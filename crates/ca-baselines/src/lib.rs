@@ -1,0 +1,29 @@
+//! # ca-baselines
+//!
+//! The comparison algorithms of the paper's evaluation, built from the same
+//! `ca-kernels` substrate as CALU/CAQR:
+//!
+//! * [`getrf_blocked`] / [`geqrf_blocked`] — LAPACK-style blocked
+//!   factorizations with a sequential BLAS2 panel and a (rayon-)parallel
+//!   BLAS3 trailing update: the `MKL_dgetrf` / `ACML_dgetrf` /
+//!   `MKL_dgeqrf` vendor-library stand-ins.
+//! * `ca_kernels::getf2` / `ca_kernels::geqr2` — the pure BLAS2 routines the
+//!   paper benchmarks as `MKL_dgetf2` / `MKL_dgeqr2`.
+//! * [`tiled_lu`] / [`tiled_qr`] — PLASMA 2.0-style tile algorithms
+//!   (incremental pairwise pivoting LU; flat-tree tile QR), run on the
+//!   `ca-sched` task runtime.
+//! * `*_task_graph` builders — the same algorithms as bare task DAGs for the
+//!   multicore simulator.
+
+#![warn(missing_docs)]
+
+mod geqrf_blocked;
+mod getrf_blocked;
+pub mod tile_kernels;
+mod tiled_lu;
+mod tiled_qr;
+
+pub use geqrf_blocked::{geqrf_blocked, geqrf_blocked_task_graph, BlockedQr};
+pub use getrf_blocked::{getrf_blocked, getrf_blocked_task_graph, BlockedLu};
+pub use tiled_lu::{tiled_lu, tiled_lu_task_graph, TiledLu, TiledLuTask};
+pub use tiled_qr::{tiled_qr, tiled_qr_task_graph, TiledQr, TiledQrTask};

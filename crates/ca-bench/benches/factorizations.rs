@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the end-to-end factorizations at laptop scale:
+//! CALU vs blocked LAPACK-style LU vs PLASMA-style tiled LU, and the QR
+//! trio, on a square and a tall-and-skinny matrix.
+
+use ca_baselines::{geqrf_blocked, getrf_blocked, tiled_lu, tiled_qr};
+use ca_core::{calu, caqr, CaParams, TreeShape};
+use ca_matrix::seeded_rng;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_lu(c: &mut Criterion) {
+    for &(m, n, tag) in &[(512usize, 512usize, "square512"), (8192, 128, "tall8192x128")] {
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(1));
+        let mut group = c.benchmark_group(format!("lu_{tag}"));
+        group.throughput(Throughput::Elements(ca_kernels::flops::getrf(m, n) as u64));
+        let b = 100.min(n);
+
+        group.bench_function("calu_tr4", |bch| {
+            let mut p = CaParams::new(b, 4, 2);
+            p.tree = TreeShape::Binary;
+            bch.iter(|| calu(a0.clone(), &p))
+        });
+        group.bench_function("blocked_dgetrf", |bch| {
+            bch.iter(|| {
+                let mut a = a0.clone();
+                getrf_blocked(&mut a, 64.min(n), 2)
+            })
+        });
+        group.bench_function("tiled_dgetrf", |bch| {
+            bch.iter(|| tiled_lu(a0.clone(), b, 2))
+        });
+        group.finish();
+    }
+}
+
+fn bench_qr(c: &mut Criterion) {
+    for &(m, n, tag) in &[(512usize, 512usize, "square512"), (8192, 128, "tall8192x128")] {
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(2));
+        let mut group = c.benchmark_group(format!("qr_{tag}"));
+        group.throughput(Throughput::Elements(ca_kernels::flops::geqrf(m, n) as u64));
+        let b = 100.min(n);
+
+        group.bench_function("caqr_tr4_flat", |bch| {
+            let mut p = CaParams::new(b, 4, 2);
+            p.tree = TreeShape::Flat;
+            bch.iter(|| caqr(a0.clone(), &p))
+        });
+        group.bench_function("blocked_dgeqrf", |bch| {
+            bch.iter(|| {
+                let mut a = a0.clone();
+                geqrf_blocked(&mut a, 64.min(n), 2)
+            })
+        });
+        group.bench_function("tiled_dgeqrf", |bch| {
+            bch.iter(|| tiled_qr(a0.clone(), b, 2))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lu, bench_qr
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the BLAS-level kernels: `gemm` across shapes
+//! (square and the trailing-update shape), `trsm`, and `larfb`. Throughput
+//! is reported in elements so Criterion's `GiB/s`-style scaling applies;
+//! GFlop/s can be derived from the flop counts printed by `ca-bench`'s
+//! calibration pass.
+
+use ca_bench::calibrate::Calibration;
+use ca_kernels::{gemm, larfb_left, trsm_right_upper_notrans, Trans};
+use ca_matrix::{seeded_rng, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(m, n, k) in &[(256usize, 256usize, 256usize), (2000, 100, 100), (8000, 100, 100)] {
+        let mut rng = seeded_rng(1);
+        let a = ca_matrix::random_uniform(m, k, &mut rng);
+        let b = ca_matrix::random_uniform(k, n, &mut rng);
+        let mut cm = Matrix::zeros(m, n);
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}x{k}")), &(), |bch, _| {
+            bch.iter(|| {
+                gemm(Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, cm.view_mut());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trsm_right_upper");
+    for &(m, n) in &[(2000usize, 100usize), (8000, 100)] {
+        let mut rng = seeded_rng(2);
+        let mut u = ca_matrix::random_uniform(n, n, &mut rng);
+        for i in 0..n {
+            for j in 0..i {
+                u[(i, j)] = 0.0;
+            }
+            u[(i, i)] += 2.0;
+        }
+        let mut b = ca_matrix::random_uniform(m, n, &mut rng);
+        group.throughput(Throughput::Elements((m * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(), |bch, _| {
+            bch.iter(|| trsm_right_upper_notrans(u.view(), b.view_mut()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_larfb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("larfb_left");
+    for &(m, k) in &[(2000usize, 100usize), (8000, 100)] {
+        let mut rng = seeded_rng(3);
+        let mut v = ca_matrix::random_uniform(m, k, &mut rng);
+        let mut t = Matrix::zeros(k, k);
+        ca_kernels::geqr3(v.view_mut(), t.view_mut());
+        let mut cmat = ca_matrix::random_uniform(m, k, &mut rng);
+        group.throughput(Throughput::Elements((4 * m * k * k) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}")), &(), |bch, _| {
+            bch.iter(|| larfb_left(Trans::Yes, v.view(), t.view(), cmat.view_mut()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibration_snapshot(c: &mut Criterion) {
+    // Not a kernel: records how long a quick calibration pass takes, and
+    // prints the measured throughputs once for reference.
+    let cal = ca_bench::calibrate(true);
+    eprintln!("quick calibration snapshot: {:?}", cal.throughput);
+    let _ = Calibration::reference();
+    c.bench_function("calibrate_quick", |b| b.iter(|| ca_bench::calibrate(true)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_trsm, bench_larfb, bench_calibration_snapshot
+);
+criterion_main!(benches);

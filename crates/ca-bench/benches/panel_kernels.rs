@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the panel factorization kernels — the ablation
+//! behind the paper's choice of *recursive* LU/QR inside TSLU/TSQR leaves
+//! ("the best available sequential algorithm can be used"):
+//! `dgetf2` (BLAS2) vs `rgetf2` (recursive), `dgeqr2` vs `dgeqr3`,
+//! and the TSLU/TSQR panel under binary vs flat reduction trees.
+
+use ca_core::{tslu_factor, tsqr_factor, CaParams, TreeShape};
+use ca_kernels::{geqr2, geqr3, getf2, rgetf2};
+use ca_matrix::{seeded_rng, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const M: usize = 8000;
+const B: usize = 100;
+
+fn bench_lu_panels(c: &mut Criterion) {
+    let a0 = ca_matrix::random_uniform(M, B, &mut seeded_rng(1));
+    let mut group = c.benchmark_group("lu_panel");
+    group.throughput(Throughput::Elements(ca_kernels::flops::getrf(M, B) as u64));
+
+    let mut a = a0.clone();
+    group.bench_function("dgetf2_blas2", |bch| {
+        bch.iter(|| {
+            a.view_mut().copy_from(a0.view());
+            getf2(a.view_mut())
+        })
+    });
+    let mut a = a0.clone();
+    group.bench_function("rgetf2_recursive", |bch| {
+        bch.iter(|| {
+            a.view_mut().copy_from(a0.view());
+            rgetf2(a.view_mut())
+        })
+    });
+    for (name, tree) in [("tslu_binary_tr8", TreeShape::Binary), ("tslu_flat_tr8", TreeShape::Flat)] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut p = CaParams::new(B, 8, 1);
+                p.tree = tree;
+                tslu_factor(a0.clone(), 8, &p)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr_panels(c: &mut Criterion) {
+    let a0 = ca_matrix::random_uniform(M, B, &mut seeded_rng(2));
+    let mut group = c.benchmark_group("qr_panel");
+    group.throughput(Throughput::Elements(ca_kernels::flops::geqrf(M, B) as u64));
+
+    let mut a = a0.clone();
+    let mut tau = Vec::new();
+    group.bench_function("dgeqr2_blas2", |bch| {
+        bch.iter(|| {
+            a.view_mut().copy_from(a0.view());
+            geqr2(a.view_mut(), &mut tau)
+        })
+    });
+    let mut a = a0.clone();
+    let mut t = Matrix::zeros(B, B);
+    group.bench_function("dgeqr3_recursive", |bch| {
+        bch.iter(|| {
+            a.view_mut().copy_from(a0.view());
+            geqr3(a.view_mut(), t.view_mut())
+        })
+    });
+    for (name, tree) in [("tsqr_binary_tr8", TreeShape::Binary), ("tsqr_flat_tr8", TreeShape::Flat)] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut p = CaParams::new(B, 8, 1);
+                p.tree = tree;
+                tsqr_factor(a0.clone(), 8, &p)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lu_panels, bench_qr_panels
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablations of the design choices DESIGN.md calls out, evaluated on the
+//! simulated machine (where the effects the paper discusses — tree shape,
+//! lookahead, Tr, task granularity/scheduling overhead — are visible
+//! regardless of how many physical cores this container has):
+//!
+//! 1. reduction tree: binary vs flat, across Tr;
+//! 2. lookahead-of-1 priority: on vs off;
+//! 3. Tr sweep at fixed size (the paper's main tuning knob);
+//! 4. panel-width (b) sweep — granularity vs BLAS3 efficiency;
+//! 5. scheduling overhead sensitivity (the paper's "too many tasks" remark).
+
+use ca_bench::{Cli, MachineModel};
+use ca_core::{calu_task_graph, caqr_task_graph, CaParams, TreeShape};
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let calib = cli.calibration();
+    let cores = cli.cores.unwrap_or(8);
+    let machine = MachineModel::new(cores, calib.clone());
+    let m = ((1e5 * cli.scale) as usize).max(4000);
+
+    println!("== Ablation 1: reduction tree shape (CALU panel, m={m}, n=100, {cores} cores)");
+    println!("{:>6} {:>14} {:>14} {:>12}", "Tr", "binary (s)", "flat (s)", "flat/binary");
+    for tr in [2usize, 4, 8, 16, 32] {
+        let mk = |tree| {
+            let mut p = CaParams::new(100, tr, cores);
+            p.tree = tree;
+            machine.run(&calu_task_graph(m, 100, &p)).makespan
+        };
+        let tb = mk(TreeShape::Binary);
+        let tf = mk(TreeShape::Flat);
+        println!("{tr:>6} {tb:>14.4} {tf:>14.4} {:>12.3}", tf / tb);
+    }
+
+    println!("\n== Ablation 2: lookahead-of-1 priorities (CALU, n=1000, {cores} cores)");
+    println!("{:>10} {:>14} {:>14} {:>10}", "size", "on (s)", "off (s)", "off/on");
+    for &(mm, nn) in &[(m / 5, 1000.min(m / 5)), (4000, 4000.min(m))] {
+        let p_on = CaParams::new(100, 4, cores);
+        let p_off = p_on.without_lookahead();
+        let t_on = machine.run(&calu_task_graph(mm, nn, &p_on)).makespan;
+        let t_off = machine.run(&calu_task_graph(mm, nn, &p_off)).makespan;
+        println!("{:>10} {t_on:>14.4} {t_off:>14.4} {:>10.3}", format!("{mm}x{nn}"), t_off / t_on);
+    }
+
+    println!("\n== Ablation 3: Tr sweep (CALU, m={m}, n=100, {cores} cores; GFlop/s)");
+    let useful = ca_kernels::flops::getrf(m, 100);
+    for tr in [1usize, 2, 4, 8, 16] {
+        let p = CaParams::new(100, tr, cores);
+        let gf = machine.gflops(&calu_task_graph(m, 100, &p), useful);
+        println!("  Tr={tr:<3} {gf:>8.2}");
+    }
+
+    println!("\n== Ablation 4: panel width b (CALU square 4000, Tr=4, {cores} cores; GFlop/s)");
+    let useful_sq = ca_kernels::flops::getrf(4000, 4000);
+    for b in [25usize, 50, 100, 200, 400] {
+        let p = CaParams::new(b, 4, cores);
+        let g = calu_task_graph(4000, 4000, &p);
+        let gf = machine.gflops(&g, useful_sq);
+        println!("  b={b:<4} tasks={:<7} {gf:>8.2}", g.len());
+    }
+
+    println!("\n== Ablation 5: scheduling overhead (CALU square 4000, b=50, Tr=8)");
+    let p = CaParams::new(50, 8, cores);
+    let g = calu_task_graph(4000, 4000, &p);
+    println!("  ({} tasks)", g.len());
+    for ovh in [0.0, 1e-6, 1e-5, 1e-4, 1e-3] {
+        let mut mm = MachineModel::new(cores, calib.clone());
+        mm.task_overhead = ovh;
+        let gf = mm.gflops(&g, useful_sq);
+        println!("  overhead={ovh:>8.0e}s  {gf:>8.2} GFlop/s");
+    }
+
+    println!("\n== Ablation 6: two-level update blocking B = k*b (paper §V future work)");
+    println!("   (CALU square 4000, b=50, Tr=8, {cores} cores)");
+    for ub in [1usize, 2, 4, 8] {
+        let p = CaParams::new(50, 8, cores).with_update_blocking(ub);
+        let g = calu_task_graph(4000, 4000, &p);
+        let gf = machine.gflops(&g, useful_sq);
+        println!("  B={:<4} tasks={:<7} {gf:>8.2} GFlop/s", ub * 50, g.len());
+    }
+
+    println!("\n== Bonus: CAQR tree shape (panel only, m={m}, n=100)");
+    for tr in [4usize, 8, 16] {
+        let mk = |tree| {
+            let mut p = CaParams::new(100, tr, cores);
+            p.tree = tree;
+            machine.run(&caqr_task_graph(m, 100, &p)).makespan
+        };
+        let tb = mk(TreeShape::Binary);
+        let tf = mk(TreeShape::Flat);
+        println!("  Tr={tr:<3} binary {tb:.4}s  flat {tf:.4}s  (flat/binary {:.3})", tf / tb);
+    }
+}

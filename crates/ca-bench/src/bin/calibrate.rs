@@ -1,0 +1,51 @@
+//! Prints the host calibration: measured single-thread throughput of every
+//! kernel class (the anchors of the simulated figures) plus stream
+//! bandwidth, and derived ratios — including the recursive-vs-BLAS2 panel
+//! advantage that underpins TSLU/TSQR ("the best available sequential
+//! algorithm", paper §II).
+
+use ca_bench::{calibrate, Cli};
+use ca_sched::KernelClass;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let c = if cli.reference_calibration {
+        ca_bench::Calibration::reference()
+    } else {
+        calibrate(cli.quick)
+    };
+
+    println!("Host calibration (single thread):");
+    let classes = [
+        (KernelClass::Gemm, "gemm (trailing update)"),
+        (KernelClass::Trsm, "trsm (task L)"),
+        (KernelClass::Larfb, "larfb (QR update)"),
+        (KernelClass::LuBlas2, "dgetf2 (BLAS2 LU panel)"),
+        (KernelClass::LuRecursive, "rgetf2 (recursive LU panel)"),
+        (KernelClass::QrBlas2, "dgeqr2 (BLAS2 QR panel)"),
+        (KernelClass::QrRecursive, "dgeqr3 (recursive QR panel)"),
+        (KernelClass::Memory, "row swaps"),
+    ];
+    for (k, name) in classes {
+        println!("  {name:<30} {:>8.2} GFlop/s", c.flops_per_sec(k) / 1e9);
+    }
+    println!("  {:<30} {:>8.2} GB/s", "stream bandwidth", c.bandwidth / 1e9);
+
+    let lu_ratio = c.flops_per_sec(KernelClass::LuRecursive) / c.flops_per_sec(KernelClass::LuBlas2);
+    let qr_ratio = c.flops_per_sec(KernelClass::QrRecursive) / c.flops_per_sec(KernelClass::QrBlas2);
+    println!("\nRecursive-panel advantage (the sequential half of TSLU/TSQR):");
+    println!("  rgetf2 / dgetf2 = {lu_ratio:.2}x");
+    println!("  dgeqr3 / dgeqr2 = {qr_ratio:.2}x");
+    println!(
+        "  gemm / dgetf2   = {:.2}x (BLAS3 vs BLAS2 gap)",
+        c.flops_per_sec(KernelClass::Gemm) / c.flops_per_sec(KernelClass::LuBlas2)
+    );
+
+    if let Ok(json) = serde_json::to_string_pretty(&c) {
+        let _ = std::fs::create_dir_all(&cli.out);
+        let path = cli.out.join("calibration.json");
+        if std::fs::write(&path, json).is_ok() {
+            println!("\nsaved {}", path.display());
+        }
+    }
+}

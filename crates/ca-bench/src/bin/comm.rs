@@ -1,0 +1,59 @@
+//! Communication counts (distributed-memory model): the §II optimality
+//! claim, quantified from this workspace's actual reduction schedules.
+//!
+//! Prints, for the paper's panel shapes, critical-path messages and words of
+//! TSLU (binary/flat tree) vs the ScaLAPACK-style partial-pivoting panel,
+//! and α-β-γ timings on three network profiles.
+
+use ca_bench::comm::{full_lu, gepp_panel, tslu_panel, tsqr_panel};
+use ca_core::TreeShape;
+
+fn main() {
+    let b = 100usize;
+    let m = 1_000_000usize;
+
+    println!("== Panel communication, m=10^6, b=100 (critical path)");
+    println!(
+        "{:>6} {:>16} {:>12} | {:>14} {:>12} | {:>14} {:>12}",
+        "P", "GEPP msgs", "words", "TSLU(bin) msgs", "words", "TSLU(flat) msgs", "words"
+    );
+    for p in [4usize, 16, 64, 256] {
+        let g = gepp_panel(m, b, p);
+        let tb = tslu_panel(m, b, p, TreeShape::Binary);
+        let tf = tslu_panel(m, b, p, TreeShape::Flat);
+        println!(
+            "{p:>6} {:>16.0} {:>12.1e} | {:>14.0} {:>12.1e} | {:>14.0} {:>12.1e}",
+            g.messages, g.words, tb.messages, tb.words, tf.messages, tf.words
+        );
+    }
+
+    println!("\n== α-β-γ panel time, P=64 (α latency, β=1/bandwidth, γ=1/flop-rate)");
+    println!("{:>22} {:>12} {:>12} {:>12}", "network", "GEPP (s)", "TSLU (s)", "speedup");
+    for (name, alpha, beta, gamma) in [
+        ("low-latency SMP", 1e-7, 1e-10, 2e-10),
+        ("commodity cluster", 1e-5, 1e-9, 2e-10),
+        ("high-latency WAN", 1e-3, 1e-8, 2e-10),
+    ] {
+        let g = gepp_panel(m, b, 64).time(alpha, beta, gamma);
+        let t = tslu_panel(m, b, 64, TreeShape::Binary).time(alpha, beta, gamma);
+        println!("{name:>22} {g:>12.4} {t:>12.4} {:>12.1}x", g / t);
+    }
+
+    println!("\n== Whole LU (m=10^5, n=10^4, b=100): total messages");
+    for p in [16usize, 64] {
+        let ca = full_lu(100_000, 10_000, b, p, Some(TreeShape::Binary));
+        let pp = full_lu(100_000, 10_000, b, p, None);
+        println!(
+            "  P={p:<4} CALU {:>10.0} msgs / {:.2e} words   PDGETRF-style {:>10.0} msgs / {:.2e} words   ({:.0}x fewer messages)",
+            ca.messages, ca.words, pp.messages, pp.words, pp.messages / ca.messages
+        );
+    }
+
+    println!("\n== TSQR panel messages (m=10^6, b=100)");
+    for p in [4usize, 16, 64] {
+        let q = tsqr_panel(m, b, p, TreeShape::Binary);
+        println!("  P={p:<4} {:>4.0} messages, {:.2e} words", q.messages, q.words);
+    }
+    println!("\n(The binary tree sends Θ(log P) messages per panel — the optimal count;");
+    println!(" partial pivoting needs Θ(b·log P): one reduction per column.)");
+}

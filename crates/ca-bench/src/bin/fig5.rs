@@ -1,0 +1,34 @@
+//! Figure 5: LU GFlop/s on the (simulated) 8-core Intel machine for
+//! tall-and-skinny matrices, m = 10^5, n ∈ {10 … 1000}.
+//! Contenders: CALU (Tr = 4, 8; b = min(n,100)), MKL_dgetrf (blocked),
+//! MKL_dgetf2 (BLAS2), PLASMA_dgetrf (tiled).
+
+use ca_bench::figures::{finish, sweep, Contender};
+use ca_bench::{paper_b, Algo, Cli, MachineModel, Series};
+use ca_core::TreeShape;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let m = ((1e5 * cli.scale) as usize).max(2000);
+    let ns: Vec<usize> =
+        if cli.quick { vec![10, 100, 500] } else { vec![10, 25, 50, 100, 150, 200, 500, 1000] };
+    let cores = cli.cores.unwrap_or(8);
+    let machine = MachineModel::new(cores, cli.calibration());
+
+    let contenders = [
+        Contender::new("CALU(Tr=4)", |n| Algo::Calu { b: paper_b(n), tr: 4, tree: TreeShape::Binary }),
+        Contender::new("CALU(Tr=8)", |n| Algo::Calu { b: paper_b(n), tr: 8, tree: TreeShape::Binary }),
+        Contender::new("MKL_dgetrf", |_| Algo::BlockedLu { nb: 64 }),
+        Contender::new("MKL_dgetf2", |_| Algo::Blas2Lu),
+        Contender::new("PLASMA_dgetrf", |n| Algo::TiledLu { b: paper_b(n) }),
+    ];
+
+    let mode = if cli.measured { "measured" } else { format!("simulated {cores}-core").leak() as &str };
+    let mut series = Series::new(
+        format!("Figure 5 — LU of tall-skinny m={m}, varying n ({mode}); GFlop/s"),
+        "n",
+        ns,
+    );
+    sweep(&mut series, |_| m, |n| n, &contenders, &cli, &machine);
+    finish(series, &cli, "fig5");
+}

@@ -1,0 +1,32 @@
+//! Figure 7: LU GFlop/s on the (simulated) 16-core AMD machine for
+//! tall-and-skinny matrices, m = 10^5, n ∈ {10 … 1000}.
+//! Contenders: CALU (Tr = 8, 16), ACML_dgetrf (blocked), PLASMA_dgetrf.
+
+use ca_bench::figures::{finish, sweep, Contender};
+use ca_bench::{paper_b, Algo, Cli, MachineModel, Series};
+use ca_core::TreeShape;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let m = ((1e5 * cli.scale) as usize).max(2000);
+    let ns: Vec<usize> =
+        if cli.quick { vec![10, 100, 500] } else { vec![10, 25, 50, 100, 150, 200, 500, 1000] };
+    let cores = cli.cores.unwrap_or(16);
+    let machine = MachineModel::new(cores, cli.calibration());
+
+    let contenders = [
+        Contender::new("CALU(Tr=8)", |n| Algo::Calu { b: paper_b(n), tr: 8, tree: TreeShape::Binary }),
+        Contender::new("CALU(Tr=16)", |n| Algo::Calu { b: paper_b(n), tr: 16, tree: TreeShape::Binary }),
+        Contender::new("ACML_dgetrf", |_| Algo::BlockedLu { nb: 64 }),
+        Contender::new("PLASMA_dgetrf", |n| Algo::TiledLu { b: paper_b(n) }),
+    ];
+
+    let mode = if cli.measured { "measured" } else { format!("simulated {cores}-core").leak() as &str };
+    let mut series = Series::new(
+        format!("Figure 7 — LU of tall-skinny m={m}, varying n ({mode}); GFlop/s"),
+        "n",
+        ns,
+    );
+    sweep(&mut series, |_| m, |n| n, &contenders, &cli, &machine);
+    finish(series, &cli, "fig7");
+}

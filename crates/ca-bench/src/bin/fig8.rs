@@ -1,0 +1,34 @@
+//! Figure 8: QR GFlop/s on the (simulated) 8-core Intel machine for
+//! tall-and-skinny matrices, m = 10^5, n ∈ {10 … 1000}.
+//! Contenders: TSQR (binary tree), CAQR (Tr = 4, height-1 tree — the
+//! configuration the paper reports), MKL_dgeqrf, MKL_dgeqr2, PLASMA_dgeqrf.
+
+use ca_bench::figures::{finish, sweep, Contender};
+use ca_bench::{paper_b, Algo, Cli, MachineModel, Series};
+use ca_core::TreeShape;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let m = ((1e5 * cli.scale) as usize).max(2000);
+    let ns: Vec<usize> =
+        if cli.quick { vec![10, 100, 500] } else { vec![10, 25, 50, 100, 150, 200, 500, 1000] };
+    let cores = cli.cores.unwrap_or(8);
+    let machine = MachineModel::new(cores, cli.calibration());
+
+    let contenders = [
+        Contender::new("TSQR", |_| Algo::Tsqr { tr: 8, tree: TreeShape::Binary }),
+        Contender::new("CAQR(Tr=4)", |n| Algo::Caqr { b: paper_b(n), tr: 4, tree: TreeShape::Flat }),
+        Contender::new("MKL_dgeqrf", |_| Algo::BlockedQr { nb: 64 }),
+        Contender::new("MKL_dgeqr2", |_| Algo::Blas2Qr),
+        Contender::new("PLASMA_dgeqrf", |n| Algo::TiledQr { b: paper_b(n) }),
+    ];
+
+    let mode = if cli.measured { "measured" } else { format!("simulated {cores}-core").leak() as &str };
+    let mut series = Series::new(
+        format!("Figure 8 — QR of tall-skinny m={m}, varying n ({mode}); GFlop/s"),
+        "n",
+        ns,
+    );
+    sweep(&mut series, |_| m, |n| n, &contenders, &cli, &machine);
+    finish(series, &cli, "fig8");
+}

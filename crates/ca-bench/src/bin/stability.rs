@@ -1,0 +1,67 @@
+//! Stability experiment backing the paper's §II claim that CALU's
+//! tournament (ca-)pivoting is "as stable as Gaussian elimination with
+//! partial pivoting in practice" (after Grigori, Demmel & Xiang 2008).
+//!
+//! For a set of matrix classes, reports element growth factors and LU
+//! residuals for GEPP and CALU across Tr and both tree shapes.
+
+use ca_bench::Cli;
+use ca_core::{calu_seq_factor, CaParams, TreeShape};
+use ca_matrix::{growth_factor, seeded_rng, Matrix};
+
+fn gepp_stats(a0: &Matrix) -> (f64, f64) {
+    let mut a = a0.clone();
+    let info = ca_kernels::getf2(a.view_mut());
+    let g = growth_factor(a0, &a.upper());
+    let perm = info.pivots.to_permutation(a0.nrows());
+    let res = ca_matrix::lu_residual(a0, &perm, &a.unit_lower(), &a.upper());
+    (g, res)
+}
+
+fn calu_stats(a0: &Matrix, b: usize, tr: usize, tree: TreeShape) -> (f64, f64) {
+    let mut p = CaParams::new(b, tr, 1);
+    p.tree = tree;
+    let f = calu_seq_factor(a0.clone(), &p);
+    (growth_factor(a0, &f.u()), f.residual(a0))
+}
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let n = if cli.quick { 128 } else { 512 };
+    let b = 32;
+    let mut rng = seeded_rng(2026);
+
+    let cases: Vec<(&str, Matrix)> = vec![
+        ("random uniform", ca_matrix::random_uniform(n, n, &mut rng)),
+        ("random normal", ca_matrix::random_normal(n, n, &mut rng)),
+        ("graded rows (1.2^i)", ca_matrix::graded_rows(n, n, 1.2, &mut rng)),
+        ("Wilkinson growth (n=56)", ca_matrix::wilkinson_growth(56)),
+        ("Kahan (theta=1.2)", ca_matrix::kahan(n.min(256), 1.2)),
+        ("random orthogonal", ca_matrix::random_orthogonal(n.min(256), &mut rng)),
+    ];
+
+    println!("Stability: growth factor g = max|U| / max|A| and relative residual ‖ΠA−LU‖/‖A‖");
+    println!(
+        "{:<26} {:>14} {:>10} | {:>14} {:>10} | {:>14} {:>10}",
+        "matrix", "GEPP g", "resid", "CALU bin g", "resid", "CALU flat g", "resid"
+    );
+    for (name, a0) in &cases {
+        let (gg, gr) = gepp_stats(a0);
+        let (cbg, cbr) = calu_stats(a0, b.min(a0.ncols()), 8, TreeShape::Binary);
+        let (cfg_, cfr) = calu_stats(a0, b.min(a0.ncols()), 8, TreeShape::Flat);
+        println!(
+            "{name:<26} {gg:>14.3e} {gr:>10.2e} | {cbg:>14.3e} {cbr:>10.2e} | {cfg_:>14.3e} {cfr:>10.2e}"
+        );
+    }
+
+    println!("\nCALU growth vs Tr (random uniform, n={n}, b={b}, binary tree):");
+    let a0 = ca_matrix::random_uniform(n, n, &mut rng);
+    let (gg, _) = gepp_stats(&a0);
+    println!("  GEPP: {gg:.3}");
+    for tr in [1usize, 2, 4, 8, 16] {
+        let (g, r) = calu_stats(&a0, b, tr, TreeShape::Binary);
+        println!("  Tr={tr:<3} growth {g:>8.3}  residual {r:.2e}");
+    }
+    println!("\nConclusion check: CALU growth within a small factor of GEPP on every class");
+    println!("(the Wilkinson matrix defeats BOTH pivoting strategies — growth 2^(n-1)).");
+}

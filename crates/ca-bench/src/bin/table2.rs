@@ -1,0 +1,37 @@
+//! Table II: LU GFlop/s for square matrices on the (simulated) 16-core AMD
+//! machine. Columns: ACML_dgetrf, PLASMA_dgetrf, CALU with
+//! Tr = 1, 2, 4, 8, 16 (b = 100).
+
+use ca_bench::figures::{finish, sweep, Contender};
+use ca_bench::{Algo, Cli, MachineModel, Series};
+use ca_core::TreeShape;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let sizes: Vec<usize> =
+        if cli.quick { vec![1000, 3000] } else { vec![1000, 2000, 3000, 4000, 5000] };
+    let sizes: Vec<usize> = sizes.iter().map(|&s| ((s as f64 * cli.scale) as usize).max(200)).collect();
+    let cores = cli.cores.unwrap_or(16);
+    let machine = MachineModel::new(cores, cli.calibration());
+
+    let mut contenders = vec![
+        Contender::new("ACML_dgetrf", |_| Algo::BlockedLu { nb: 64 }),
+        Contender::new("PLASMA_dgetrf", |_| Algo::TiledLu { b: 100 }),
+    ];
+    for tr in [1usize, 2, 4, 8, 16] {
+        contenders.push(Contender::new(format!("CALU(Tr={tr})"), move |_| Algo::Calu {
+            b: 100,
+            tr,
+            tree: TreeShape::Binary,
+        }));
+    }
+
+    let mode = if cli.measured { "measured" } else { format!("simulated {cores}-core").leak() as &str };
+    let mut series = Series::new(
+        format!("Table II — LU of square matrices ({mode}); GFlop/s"),
+        "m=n",
+        sizes,
+    );
+    sweep(&mut series, |s| s, |s| s, &contenders, &cli, &machine);
+    finish(series, &cli, "table2");
+}

@@ -1,0 +1,37 @@
+//! Table III: QR GFlop/s for square matrices on the (simulated) 8-core
+//! Intel machine. Columns: MKL_dgeqrf, PLASMA_dgeqrf, CAQR with
+//! Tr = 1, 2, 4, 8 (b = 100, height-1 tree as reported in the paper).
+
+use ca_bench::figures::{finish, sweep, Contender};
+use ca_bench::{Algo, Cli, MachineModel, Series};
+use ca_core::TreeShape;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let sizes: Vec<usize> =
+        if cli.quick { vec![1000, 3000] } else { vec![1000, 2000, 3000, 4000, 5000] };
+    let sizes: Vec<usize> = sizes.iter().map(|&s| ((s as f64 * cli.scale) as usize).max(200)).collect();
+    let cores = cli.cores.unwrap_or(8);
+    let machine = MachineModel::new(cores, cli.calibration());
+
+    let mut contenders = vec![
+        Contender::new("MKL_dgeqrf", |_| Algo::BlockedQr { nb: 64 }),
+        Contender::new("PLASMA_dgeqrf", |_| Algo::TiledQr { b: 100 }),
+    ];
+    for tr in [1usize, 2, 4, 8] {
+        contenders.push(Contender::new(format!("CAQR(Tr={tr})"), move |_| Algo::Caqr {
+            b: 100,
+            tr,
+            tree: TreeShape::Flat,
+        }));
+    }
+
+    let mode = if cli.measured { "measured" } else { format!("simulated {cores}-core").leak() as &str };
+    let mut series = Series::new(
+        format!("Table III — QR of square matrices ({mode}); GFlop/s"),
+        "m=n",
+        sizes,
+    );
+    sweep(&mut series, |s| s, |s| s, &contenders, &cli, &machine);
+    finish(series, &cli, "table3");
+}

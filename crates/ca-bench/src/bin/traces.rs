@@ -1,0 +1,82 @@
+//! Figures 1–4: the CALU task DAG and Gantt-style execution traces.
+//!
+//! Subcommands (first positional argument):
+//! * `dag`  — Figure 1: task dependency graph of CALU on a 4×4-block
+//!   matrix, Tr = 2, as Graphviz DOT on stdout.
+//! * `fig2` — Figure 2: simulated schedule of that DAG on 4 cores.
+//! * `fig3` — Figure 3: CALU trace, 10^5×1000 (scalable), b = 100, Tr = 1,
+//!   8 simulated cores — panel idle time visible.
+//! * `fig4` — Figure 4: same with Tr = 8 — idle time gone.
+//! * `all`  — everything in order.
+
+use ca_bench::{Cli, MachineModel};
+use ca_core::{calu_task_graph, CaParams};
+use ca_sched::{ascii_gantt, chrome_trace_json};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sub = if !args.is_empty() && !args[0].starts_with("--") {
+        args.remove(0)
+    } else {
+        "all".to_string()
+    };
+    let cli = Cli::parse(args.into_iter());
+    let calib = cli.calibration();
+
+    let dag = || {
+        // 4×4 block matrix (Figure 1): 4 blocks of b=50, Tr=2.
+        let p = CaParams::new(50, 2, 4);
+        let g = calu_task_graph(200, 200, &p);
+        println!("// Figure 1 — CALU task DAG, 4x4 blocks, Tr=2 ({} tasks)", g.len());
+        println!("{}", g.to_dot());
+    };
+    let fig2 = || {
+        let p = CaParams::new(50, 2, 4);
+        let g = calu_task_graph(200, 200, &p);
+        let machine = MachineModel::new(4, calib.clone());
+        let tl = machine.run(&g);
+        println!("Figure 2 — schedule of the 4x4-block CALU DAG on 4 cores");
+        println!("{}", ascii_gantt(&tl, 96));
+    };
+    let trace = |tr: usize, name: &str| {
+        let m = ((1e5 * cli.scale) as usize).max(4000);
+        let p = CaParams::new(100, tr, 8);
+        let g = calu_task_graph(m, 1000.min(m), &p);
+        let machine = MachineModel::new(cli.cores.unwrap_or(8), calib.clone());
+        let tl = machine.run(&g);
+        println!("{name} — CALU trace, {m}x1000, b=100, Tr={tr}, 8 simulated cores");
+        println!("(P = panel/tournament, L = L-block, U = U-row, S = update, . = idle)");
+        println!("{}", ascii_gantt(&tl, 110));
+        let stem = name.to_lowercase().replace(' ', "");
+        if std::fs::create_dir_all(&cli.out).is_ok() {
+            let path = cli.out.join(format!("{stem}_trace.json"));
+            if std::fs::write(&path, chrome_trace_json(&tl)).is_ok() {
+                println!("(chrome://tracing JSON written to {})", path.display());
+            }
+        }
+        let by = tl.busy_by_kind();
+        for (k, t) in by {
+            if t > 0.0 {
+                println!("  {:?}: {:.4}s", k, t);
+            }
+        }
+        println!();
+    };
+
+    match sub.as_str() {
+        "dag" => dag(),
+        "fig2" => fig2(),
+        "fig3" => trace(1, "Figure 3"),
+        "fig4" => trace(8, "Figure 4"),
+        "all" => {
+            dag();
+            fig2();
+            trace(1, "Figure 3");
+            trace(8, "Figure 4");
+        }
+        other => {
+            eprintln!("unknown subcommand {other}; use dag|fig2|fig3|fig4|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared sweep driver for the figure/table binaries.
+
+use crate::model::MachineModel;
+use crate::report::{Cli, Series};
+use crate::runners::Algo;
+
+/// A named contender whose parameters may depend on the current column
+/// count (the paper's `b = min(n, 100)` rule).
+pub struct Contender {
+    /// Column label.
+    pub name: String,
+    /// Algorithm factory, given the sweep's current `n`.
+    pub make: Box<dyn Fn(usize) -> Algo>,
+}
+
+impl Contender {
+    /// Creates a contender.
+    pub fn new(name: impl Into<String>, make: impl Fn(usize) -> Algo + 'static) -> Self {
+        Self { name: name.into(), make: Box::new(make) }
+    }
+}
+
+/// Fills `series` with one column per contender: GFlop/s at each `x`,
+/// where the matrix is `rows(x) × cols(x)`.
+pub fn sweep(
+    series: &mut Series,
+    rows: impl Fn(usize) -> usize,
+    cols: impl Fn(usize) -> usize,
+    contenders: &[Contender],
+    cli: &Cli,
+    machine: &MachineModel,
+) {
+    for c in contenders {
+        let mut vals = Vec::with_capacity(series.xs.len());
+        for &x in &series.xs {
+            let (m, n) = (rows(x), cols(x));
+            let algo = (c.make)(n);
+            let gf = if cli.measured {
+                algo.measured_gflops(m, n, cli.threads, 42)
+            } else {
+                algo.sim_gflops(m, n, machine)
+            };
+            eprintln!("  {} @ {}x{}: {:.2} GFlop/s", c.name, m, n, gf);
+            vals.push(gf);
+        }
+        series.push_column(c.name.clone(), vals);
+    }
+}
+
+/// Prints, saves, and returns the series (shared tail of every binary).
+pub fn finish(series: Series, cli: &Cli, stem: &str) -> Series {
+    println!("{}", series.to_text());
+    if let Err(e) = series.save(&cli.out, stem) {
+        eprintln!("warning: could not save results: {e}");
+    } else {
+        println!("saved {}/{stem}.{{csv,json}}", cli.out.display());
+    }
+    series
+}

@@ -1,0 +1,215 @@
+//! Output helpers for the figure/table binaries: aligned text tables,
+//! CSV, and JSON dumps under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A GFlop/s series table: one row per x-value, one column per algorithm.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Series {
+    /// Table caption (e.g. "Figure 5 ...").
+    pub title: String,
+    /// Name of the x column (e.g. "n").
+    pub xlabel: String,
+    /// x values.
+    pub xs: Vec<usize>,
+    /// `(column name, values)` pairs; each value list matches `xs`.
+    pub columns: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Creates an empty series table.
+    pub fn new(title: impl Into<String>, xlabel: impl Into<String>, xs: Vec<usize>) -> Self {
+        Self { title: title.into(), xlabel: xlabel.into(), xs, columns: Vec::new() }
+    }
+
+    /// Appends a column.
+    pub fn push_column(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.xs.len(), "column length mismatch");
+        self.columns.push((name.into(), values));
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let width = self
+            .columns
+            .iter()
+            .map(|(n, _)| n.len() + 2)
+            .max()
+            .unwrap_or(12)
+            .max(12);
+        let _ = write!(out, "{:>8}", self.xlabel);
+        for (name, _) in &self.columns {
+            let _ = write!(out, "{name:>width$}");
+        }
+        let _ = writeln!(out);
+        for (i, &x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x:>8}");
+            for (_, vals) in &self.columns {
+                let _ = write!(out, "{:>width$.2}", vals[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.xlabel);
+        for (name, _) in &self.columns {
+            let _ = write!(out, ",{name}");
+        }
+        let _ = writeln!(out);
+        for (i, &x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for (_, vals) in &self.columns {
+                let _ = write!(out, ",{:.4}", vals[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes `<stem>.csv` and `<stem>.json` under `dir`, creating it.
+    pub fn save(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
+        let json = serde_json::to_string_pretty(self).expect("serializable");
+        fs::write(dir.join(format!("{stem}.json")), json)?;
+        Ok(())
+    }
+
+    /// Ratio between two named columns at each x (e.g. speedup of CALU over
+    /// MKL), for shape assertions and summaries.
+    pub fn ratio(&self, over: &str, under: &str) -> Vec<f64> {
+        let a = &self.columns.iter().find(|(n, _)| n == over).expect("column").1;
+        let b = &self.columns.iter().find(|(n, _)| n == under).expect("column").1;
+        a.iter().zip(b.iter()).map(|(x, y)| x / y).collect()
+    }
+}
+
+/// Minimal CLI flags shared by the figure binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Row-count scale factor applied to the paper's `m`.
+    pub scale: f64,
+    /// Run real factorizations instead of the simulator.
+    pub measured: bool,
+    /// Use the paper's full sizes (overrides the safety default of fig6).
+    pub full: bool,
+    /// Simulated core count override.
+    pub cores: Option<usize>,
+    /// Threads for measured mode.
+    pub threads: usize,
+    /// Output directory.
+    pub out: std::path::PathBuf,
+    /// Quick mode: shrink sweeps for smoke-testing.
+    pub quick: bool,
+    /// Use the fixed reference calibration instead of measuring the host.
+    pub reference_calibration: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            measured: false,
+            full: false,
+            cores: None,
+            threads: 4,
+            out: std::path::PathBuf::from("results"),
+            quick: false,
+            reference_calibration: false,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`-style flags. Unknown flags abort with usage.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut cli = Cli::default();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    cli.scale = it.next().expect("--scale VALUE").parse().expect("scale number")
+                }
+                "--measured" => cli.measured = true,
+                "--full" => cli.full = true,
+                "--quick" => cli.quick = true,
+                "--reference-calibration" => cli.reference_calibration = true,
+                "--cores" => {
+                    cli.cores = Some(it.next().expect("--cores N").parse().expect("core count"))
+                }
+                "--threads" => {
+                    cli.threads = it.next().expect("--threads N").parse().expect("thread count")
+                }
+                "--out" => cli.out = it.next().expect("--out DIR").into(),
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nflags: --scale F --measured --full --quick \
+                         --reference-calibration --cores N --threads N --out DIR"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// The calibration to use: measured on this host unless
+    /// `--reference-calibration` (or quick mode) requests the fixed one.
+    pub fn calibration(&self) -> crate::calibrate::Calibration {
+        if self.reference_calibration {
+            crate::calibrate::Calibration::reference()
+        } else {
+            crate::calibrate::calibrate(self.quick)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_render_and_ratio() {
+        let mut s = Series::new("t", "n", vec![10, 20]);
+        s.push_column("a", vec![2.0, 4.0]);
+        s.push_column("b", vec![1.0, 2.0]);
+        let txt = s.to_text();
+        assert!(txt.contains("a"));
+        assert!(txt.contains("2.00"));
+        let csv = s.to_csv();
+        assert!(csv.starts_with("n,a,b"));
+        assert_eq!(s.ratio("a", "b"), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn cli_parses_flags() {
+        let cli = Cli::parse(
+            ["--scale", "0.5", "--measured", "--cores", "16", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cli.scale, 0.5);
+        assert!(cli.measured);
+        assert_eq!(cli.cores, Some(16));
+        assert_eq!(cli.out, std::path::PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn series_save_writes_files() {
+        let mut s = Series::new("t", "n", vec![1]);
+        s.push_column("a", vec![1.5]);
+        let dir = std::env::temp_dir().join("ca_bench_report_test");
+        s.save(&dir, "unit").unwrap();
+        assert!(dir.join("unit.csv").exists());
+        assert!(dir.join("unit.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

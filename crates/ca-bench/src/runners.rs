@@ -1,0 +1,268 @@
+//! Uniform access to every contender in the paper's evaluation, in both
+//! modes: *simulated* (task graph replayed on the virtual machine) and
+//! *measured* (real factorization timed on this host).
+
+use crate::model::MachineModel;
+use ca_core::{CaParams, TreeShape};
+use ca_kernels::flops;
+use ca_matrix::{seeded_rng, Matrix};
+use ca_sched::{KernelClass, TaskGraph, TaskKind, TaskLabel, TaskMeta};
+use std::time::Instant;
+
+/// A factorization algorithm with its tuning parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Multithreaded CALU (the paper's contribution).
+    Calu {
+        /// Panel width.
+        b: usize,
+        /// Panel tasks.
+        tr: usize,
+        /// Reduction tree.
+        tree: TreeShape,
+    },
+    /// LAPACK-style blocked LU — the `MKL_dgetrf`/`ACML_dgetrf` stand-in.
+    BlockedLu {
+        /// Panel width.
+        nb: usize,
+    },
+    /// Pure BLAS2 LU (`MKL_dgetf2`).
+    Blas2Lu,
+    /// PLASMA-style tiled LU with incremental pivoting (`PLASMA_dgetrf`).
+    TiledLu {
+        /// Tile size.
+        b: usize,
+    },
+    /// Multithreaded CAQR.
+    Caqr {
+        /// Panel width.
+        b: usize,
+        /// Panel tasks.
+        tr: usize,
+        /// Reduction tree.
+        tree: TreeShape,
+    },
+    /// Standalone TSQR (single panel of width `n`).
+    Tsqr {
+        /// Panel tasks.
+        tr: usize,
+        /// Reduction tree.
+        tree: TreeShape,
+    },
+    /// LAPACK-style blocked QR (`MKL_dgeqrf`).
+    BlockedQr {
+        /// Panel width.
+        nb: usize,
+    },
+    /// Pure BLAS2 QR (`MKL_dgeqr2`).
+    Blas2Qr,
+    /// PLASMA-style tiled QR (`PLASMA_dgeqrf`).
+    TiledQr {
+        /// Tile size.
+        b: usize,
+    },
+}
+
+impl Algo {
+    /// `true` for LU-family algorithms (affects the useful-flop count).
+    pub fn is_lu(&self) -> bool {
+        matches!(
+            self,
+            Algo::Calu { .. } | Algo::BlockedLu { .. } | Algo::Blas2Lu | Algo::TiledLu { .. }
+        )
+    }
+
+    /// Useful flops for the GFlop/s convention (LAPACK counts, as in the
+    /// paper — redundant CA/tiled flops are *not* credited).
+    pub fn useful_flops(&self, m: usize, n: usize) -> f64 {
+        if self.is_lu() {
+            flops::getrf(m, n.min(m))
+        } else {
+            flops::geqrf(m, n.min(m))
+        }
+    }
+
+    /// Builds the algorithm's task graph for the simulator (`cores` sets
+    /// the strip count of the vendor baselines' parallel updates).
+    pub fn task_graph(&self, m: usize, n: usize, cores: usize) -> TaskGraph<()> {
+        match *self {
+            Algo::Calu { b, tr, tree } => {
+                let mut p = CaParams::new(b.min(n.max(1)), tr, cores);
+                p.tree = tree;
+                ca_core::calu_task_graph(m, n, &p).map(|_, _| ())
+            }
+            Algo::Caqr { b, tr, tree } => {
+                let mut p = CaParams::new(b.min(n.max(1)), tr, cores);
+                p.tree = tree;
+                ca_core::caqr_task_graph(m, n, &p).map(|_, _| ())
+            }
+            Algo::Tsqr { tr, tree } => {
+                let mut p = CaParams::new(n.max(1), tr, cores);
+                p.tree = tree;
+                ca_core::caqr_task_graph(m, n, &p).map(|_, _| ())
+            }
+            Algo::BlockedLu { nb } => {
+                ca_baselines::getrf_blocked_task_graph(m, n, nb.min(n.max(1)), cores)
+            }
+            Algo::BlockedQr { nb } => {
+                ca_baselines::geqrf_blocked_task_graph(m, n, nb.min(n.max(1)), cores)
+            }
+            Algo::TiledLu { b } => {
+                ca_baselines::tiled_lu_task_graph(m, n, b.min(n.max(1))).map(|_, _| ())
+            }
+            Algo::TiledQr { b } => {
+                ca_baselines::tiled_qr_task_graph(m, n, b.min(n.max(1))).map(|_, _| ())
+            }
+            Algo::Blas2Lu => single_task_graph(
+                flops::getrf(m, n.min(m)),
+                ca_kernels::traffic::getf2(m, n.min(m)),
+                KernelClass::LuBlas2,
+            ),
+            Algo::Blas2Qr => single_task_graph(
+                flops::geqrf(m, n.min(m)),
+                ca_kernels::traffic::geqr2(m, n.min(m)),
+                KernelClass::QrBlas2,
+            ),
+        }
+    }
+
+    /// Simulated GFlop/s on `machine`.
+    pub fn sim_gflops(&self, m: usize, n: usize, machine: &MachineModel) -> f64 {
+        let g = self.task_graph(m, n, machine.cores);
+        machine.gflops(&g, self.useful_flops(m, n))
+    }
+
+    /// Wall-clock run on this host with `threads` workers; returns GFlop/s.
+    pub fn measured_gflops(&self, m: usize, n: usize, threads: usize, seed: u64) -> f64 {
+        let a = ca_matrix::random_uniform(m, n, &mut seeded_rng(seed));
+        let useful = self.useful_flops(m, n);
+        let secs = self.run_once(a, threads);
+        useful / secs / 1e9
+    }
+
+    /// Runs the real factorization once, returning elapsed seconds.
+    pub fn run_once(&self, a: Matrix, threads: usize) -> f64 {
+        let n = a.ncols();
+        let t0 = Instant::now();
+        match *self {
+            Algo::Calu { b, tr, tree } => {
+                let mut p = CaParams::new(b.min(n.max(1)), tr, threads);
+                p.tree = tree;
+                std::hint::black_box(ca_core::calu(a, &p));
+            }
+            Algo::Caqr { b, tr, tree } => {
+                let mut p = CaParams::new(b.min(n.max(1)), tr, threads);
+                p.tree = tree;
+                std::hint::black_box(ca_core::caqr(a, &p));
+            }
+            Algo::Tsqr { tr, tree } => {
+                let mut p = CaParams::new(n.max(1), tr, threads);
+                p.tree = tree;
+                std::hint::black_box(ca_core::caqr(a, &p));
+            }
+            Algo::BlockedLu { nb } => {
+                let mut a = a;
+                std::hint::black_box(ca_baselines::getrf_blocked(&mut a, nb.min(n.max(1)), threads));
+            }
+            Algo::BlockedQr { nb } => {
+                let mut a = a;
+                std::hint::black_box(ca_baselines::geqrf_blocked(&mut a, nb.min(n.max(1)), threads));
+            }
+            Algo::TiledLu { b } => {
+                std::hint::black_box(ca_baselines::tiled_lu(a, b.min(n.max(1)), threads));
+            }
+            Algo::TiledQr { b } => {
+                std::hint::black_box(ca_baselines::tiled_qr(a, b.min(n.max(1)), threads));
+            }
+            Algo::Blas2Lu => {
+                let mut a = a;
+                std::hint::black_box(ca_kernels::getf2(a.view_mut()));
+            }
+            Algo::Blas2Qr => {
+                let mut a = a;
+                let mut tau = Vec::new();
+                ca_kernels::geqr2(a.view_mut(), &mut tau);
+                std::hint::black_box(tau.len());
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+fn single_task_graph(fl: f64, bytes: f64, class: KernelClass) -> TaskGraph<()> {
+    let mut g = TaskGraph::new();
+    g.add_task(
+        TaskMeta::new(TaskLabel::new(TaskKind::Panel, 0, 0, 0), fl)
+            .with_bytes(bytes)
+            .with_class(class),
+        (),
+    );
+    g
+}
+
+/// The paper's tall-and-skinny `b = min(n, 100)` convention.
+pub fn paper_b(n: usize) -> usize {
+    n.min(100).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::Calibration;
+
+    #[test]
+    fn all_lu_graphs_build_and_validate() {
+        for algo in [
+            Algo::Calu { b: 50, tr: 4, tree: TreeShape::Binary },
+            Algo::BlockedLu { nb: 32 },
+            Algo::Blas2Lu,
+            Algo::TiledLu { b: 50 },
+        ] {
+            let g = algo.task_graph(500, 200, 8);
+            g.validate();
+            assert!(g.total_flops() > 0.0, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn all_qr_graphs_build_and_validate() {
+        for algo in [
+            Algo::Caqr { b: 50, tr: 4, tree: TreeShape::Flat },
+            Algo::Tsqr { tr: 4, tree: TreeShape::Binary },
+            Algo::BlockedQr { nb: 32 },
+            Algo::Blas2Qr,
+            Algo::TiledQr { b: 50 },
+        ] {
+            let g = algo.task_graph(500, 200, 8);
+            g.validate();
+            assert!(g.total_flops() > 0.0, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn sim_gflops_positive_and_bounded() {
+        let machine = MachineModel::new(8, Calibration::reference());
+        for algo in [
+            Algo::Calu { b: 100, tr: 8, tree: TreeShape::Binary },
+            Algo::BlockedLu { nb: 64 },
+            Algo::Blas2Lu,
+        ] {
+            let gf = algo.sim_gflops(10_000, 100, &machine);
+            assert!(gf > 0.0 && gf < 8.0 * 5.0, "{algo:?}: {gf}");
+        }
+    }
+
+    #[test]
+    fn measured_mode_runs_small_cases() {
+        for algo in [
+            Algo::Calu { b: 16, tr: 2, tree: TreeShape::Binary },
+            Algo::BlockedLu { nb: 16 },
+            Algo::TiledLu { b: 16 },
+            Algo::Caqr { b: 16, tr: 2, tree: TreeShape::Flat },
+            Algo::TiledQr { b: 16 },
+        ] {
+            let gf = algo.measured_gflops(64, 48, 2, 42);
+            assert!(gf > 0.0, "{algo:?}");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! CALU: communication-avoiding LU with tournament pivoting.
+//!
+//! [`calu_seq`] is the sequential reference (exactly Algorithm 1 executed in
+//! program order); [`calu`] runs the same computation as a task graph on the
+//! `ca-sched` worker pool. Both write LAPACK-`dgetrf`-compatible output:
+//! packed `L\U` in place plus a global interchange sequence.
+
+use crate::dag_calu;
+use crate::params::CaParams;
+use crate::tslu::factor_panel;
+use ca_kernels::{gemm, trsm_left_lower_unit, trsm_left_upper_notrans, Trans};
+use ca_matrix::{lu_residual, Matrix, PivotSeq};
+
+/// The result of an LU factorization: packed factors plus pivots.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    /// Packed factors: unit-lower `L` strictly below the diagonal, `U` on
+    /// and above (LAPACK `dgetrf` layout).
+    pub lu: Matrix,
+    /// Global row interchanges (offset 0, length `min(m, n)`).
+    pub pivots: PivotSeq,
+    /// First column where a panel hit an exactly-zero pivot, if any.
+    pub breakdown: Option<usize>,
+}
+
+impl LuFactors {
+    /// Explicit permutation: entry `i` is the original row now at position `i`.
+    pub fn permutation(&self) -> Vec<usize> {
+        self.pivots.to_permutation(self.lu.nrows())
+    }
+
+    /// The unit-lower factor `L` (`m × min(m,n)`).
+    pub fn l(&self) -> Matrix {
+        self.lu.unit_lower()
+    }
+
+    /// The upper factor `U` (`min(m,n) × n`).
+    pub fn u(&self) -> Matrix {
+        self.lu.upper()
+    }
+
+    /// Relative residual `‖ΠA − LU‖_F / ‖A‖_F` against the original matrix.
+    pub fn residual(&self, a0: &Matrix) -> f64 {
+        lu_residual(a0, &self.permutation(), &self.l(), &self.u())
+    }
+
+    /// Determinant of a square factored matrix:
+    /// `det(A) = sign(Π) · Π U_ii`.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.nrows();
+        assert_eq!(self.lu.ncols(), n, "determinant requires square A");
+        let mut d = 1.0f64;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        // Parity of the interchange sequence: each ipiv[k] != offset+k swap
+        // flips the sign.
+        for (k, &p) in self.pivots.ipiv.iter().enumerate() {
+            if p != self.pivots.offset + k {
+                d = -d;
+            }
+        }
+        d
+    }
+
+    /// Solves `A·X = rhs` in place using the factors (square `A` only).
+    ///
+    /// # Panics
+    /// If the factored matrix is not square or shapes mismatch.
+    pub fn solve_in_place(&self, rhs: &mut Matrix) {
+        let n = self.lu.nrows();
+        assert_eq!(self.lu.ncols(), n, "solve requires a square factorization");
+        assert_eq!(rhs.nrows(), n, "rhs row count mismatch");
+        self.pivots.apply(rhs.view_mut());
+        trsm_left_lower_unit(self.lu.view(), rhs.view_mut());
+        trsm_left_upper_notrans(self.lu.view(), rhs.view_mut());
+    }
+
+    /// Convenience wrapper returning the solution.
+    pub fn solve(&self, rhs: &Matrix) -> Matrix {
+        let mut x = rhs.clone();
+        self.solve_in_place(&mut x);
+        x
+    }
+}
+
+/// Sequential CALU, in place. Returns the pivot sequence and breakdown info.
+///
+/// This is Algorithm 1 run on one thread: for each panel, tournament
+/// pivoting + packed panel factorization (TSLU), interchanges applied to the
+/// columns left and right of the panel, `U` block row by triangular solve,
+/// trailing update by `gemm`.
+pub fn calu_seq(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>) {
+    let m = a.nrows();
+    let n = a.ncols();
+    let kmax = m.min(n);
+    let mut pivots = PivotSeq::new(0);
+    let mut breakdown: Option<usize> = None;
+
+    let mut k0 = 0usize;
+    while k0 < kmax {
+        let w = p.b.min(n - k0);
+        let k = w.min(m - k0);
+
+        // Panel factorization on columns k0..k0+w.
+        let outcome = {
+            let panel = a.block_mut(0, k0, m, w);
+            factor_panel(panel, k0, p.b, p.tr, p.tree, !p.leaf_blas2)
+        };
+        if breakdown.is_none() {
+            breakdown = outcome.breakdown.map(|c| k0 + c);
+        }
+
+        // Apply interchanges to the left and right of the panel.
+        if k0 > 0 {
+            outcome.pivots.apply(a.block_mut(0, 0, m, k0));
+        }
+        if k0 + w < n {
+            outcome.pivots.apply(a.block_mut(0, k0 + w, m, n - k0 - w));
+        }
+        pivots.extend(&outcome.pivots);
+
+        // U block row: U[k0..k0+k, k0+w..] := L_KK⁻¹ · A[k0..k0+k, k0+w..].
+        if k0 + w < n && k > 0 {
+            let (panel_cols, trailing) = a.view_mut().split_at_col(k0 + w);
+            let lkk = panel_cols.as_ref().sub(k0, k0, k, k);
+            let mut trailing = trailing;
+            let u_row = trailing.rb().into_sub(k0, 0, k, n - k0 - w);
+            trsm_left_lower_unit(lkk, u_row);
+
+            // Trailing update: A[k0+k.., k0+w..] -= L[k0+k.., k0..k0+k] · U.
+            if k0 + k < m {
+                let l_below = panel_cols.as_ref().sub(k0 + k, k0, m - k0 - k, k);
+                let (u_row, a_below) = trailing.split_at_row(k0 + k);
+                let u_row = u_row.as_ref().sub(k0, 0, k, n - k0 - w);
+                gemm(Trans::No, Trans::No, -1.0, l_below, u_row, 1.0, a_below);
+            }
+        }
+
+        k0 += w;
+    }
+    (pivots, breakdown)
+}
+
+/// Sequential CALU returning owned factors.
+pub fn calu_seq_factor(mut a: Matrix, p: &CaParams) -> LuFactors {
+    let (pivots, breakdown) = calu_seq(&mut a, p);
+    LuFactors { lu: a, pivots, breakdown }
+}
+
+/// Multithreaded CALU (Algorithm 1): builds the task dependency graph and
+/// executes it on `p.threads` workers with the lookahead-of-1 priority rule.
+pub fn calu(a: Matrix, p: &CaParams) -> LuFactors {
+    dag_calu::run(a, p).0
+}
+
+/// Like [`calu`], also returning the executor's wall-clock timeline
+/// (usable with [`ca_sched::ascii_gantt`] for real execution traces).
+pub fn calu_with_stats(a: Matrix, p: &CaParams) -> (LuFactors, ca_sched::ExecStats) {
+    dag_calu::run(a, p)
+}
+
+/// TSLU as a standalone factorization of a tall-and-skinny matrix: a single
+/// panel of width `n` (the paper's TSLU benchmark configuration).
+pub fn tslu_factor(mut a: Matrix, tr: usize, p: &CaParams) -> LuFactors {
+    let n = a.ncols();
+    let params = CaParams { b: n.max(1), tr, ..*p };
+    let (pivots, breakdown) = calu_seq(&mut a, &params);
+    LuFactors { lu: a, pivots, breakdown }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreeShape;
+    use ca_matrix::seeded_rng;
+
+    fn check_seq(m: usize, n: usize, b: usize, tr: usize, tree: TreeShape, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(seed));
+        let mut params = CaParams::new(b, tr, 1);
+        params.tree = tree;
+        let f = calu_seq_factor(a0.clone(), &params);
+        assert!(f.breakdown.is_none(), "breakdown {m}x{n} b={b} tr={tr}");
+        assert_eq!(f.pivots.len(), m.min(n));
+        let res = f.residual(&a0);
+        assert!(res < 1e-12, "residual {res} for {m}x{n} b={b} tr={tr} {tree:?}");
+    }
+
+    #[test]
+    fn square_matrices_multiple_panels() {
+        check_seq(64, 64, 16, 4, TreeShape::Binary, 1);
+        check_seq(100, 100, 25, 2, TreeShape::Binary, 2);
+        check_seq(60, 60, 16, 4, TreeShape::Flat, 3); // ragged last panel
+    }
+
+    #[test]
+    fn kary_and_hybrid_trees_factor_correctly() {
+        check_seq(256, 64, 16, 8, TreeShape::Kary(4), 30);
+        check_seq(256, 64, 16, 8, TreeShape::Hybrid { flat_width: 4 }, 31);
+        check_seq(100, 100, 25, 6, TreeShape::Kary(3), 32);
+    }
+
+    #[test]
+    fn tall_skinny_matrices() {
+        check_seq(500, 40, 10, 8, TreeShape::Binary, 4);
+        check_seq(333, 30, 10, 4, TreeShape::Flat, 5);
+        check_seq(1000, 10, 10, 8, TreeShape::Binary, 6); // single panel
+    }
+
+    #[test]
+    fn odd_shapes_and_block_sizes() {
+        check_seq(97, 53, 13, 3, TreeShape::Binary, 7);
+        check_seq(53, 97, 13, 3, TreeShape::Binary, 8); // wide
+        check_seq(41, 41, 41, 2, TreeShape::Binary, 9); // one panel exactly
+        check_seq(41, 41, 100, 2, TreeShape::Binary, 10); // b > n
+    }
+
+    #[test]
+    fn b_equals_one_is_partial_pivoting_exactly() {
+        // Paper §II: "when b = 1 or Tr = 1, CALU is equivalent to partial
+        // pivoting". With b = 1 the tournament over single columns picks
+        // the max-magnitude entry, exactly like GEPP.
+        let m = 24;
+        let n = 24;
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(11));
+        let mut a = a0.clone();
+        let (piv, _) = calu_seq(&mut a, &CaParams::new(1, 4, 1));
+        let mut r = a0.clone();
+        let info = ca_kernels::getf2(r.view_mut());
+        assert_eq!(piv.ipiv, info.pivots.ipiv, "pivot sequences differ");
+        for j in 0..n {
+            for i in 0..m {
+                assert_eq!(a[(i, j)], r[(i, j)], "factors differ at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tr_one_gives_partial_pivoting_pivots() {
+        let m = 60;
+        let n = 24;
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(12));
+        let mut a = a0.clone();
+        let (piv, _) = calu_seq(&mut a, &CaParams::new(8, 1, 1));
+        let mut r = a0.clone();
+        let info = ca_kernels::getf2(r.view_mut());
+        assert_eq!(piv.ipiv, info.pivots.ipiv);
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let n = 50;
+        let a0 = ca_matrix::random_uniform(n, n, &mut seeded_rng(13));
+        let x_true = ca_matrix::random_uniform(n, 3, &mut seeded_rng(14));
+        let b = a0.matmul(&x_true);
+        let f = calu_seq_factor(a0.clone(), &CaParams::new(10, 4, 1));
+        let x = f.solve(&b);
+        let err = ca_matrix::norm_max(x.sub_matrix(&x_true).view());
+        assert!(err < 1e-9, "solve error {err}");
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        // det(I) = 1; det of a permutation-like matrix = ±1; 2x2 known.
+        let f = calu_seq_factor(ca_matrix::Matrix::identity(6), &CaParams::new(2, 2, 1));
+        assert!((f.det() - 1.0).abs() < 1e-12);
+        let a = ca_matrix::Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let f = calu_seq_factor(a, &CaParams::new(1, 1, 1));
+        assert!((f.det() + 2.0).abs() < 1e-12, "det {}", f.det());
+        // det is invariant to tournament parameters.
+        let a = ca_matrix::random_uniform(30, 30, &mut seeded_rng(40));
+        let d1 = calu_seq_factor(a.clone(), &CaParams::new(5, 4, 1)).det();
+        let d2 = calu_seq_factor(a, &CaParams::new(30, 1, 1)).det();
+        assert!((d1 - d2).abs() < 1e-9 * d1.abs().max(1.0), "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn tslu_factor_single_panel() {
+        let a0 = ca_matrix::random_uniform(400, 20, &mut seeded_rng(15));
+        let f = tslu_factor(a0.clone(), 8, &CaParams::new(100, 8, 1));
+        assert!(f.residual(&a0) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_reports_breakdown_column() {
+        // An exactly-zero column makes GEPP hit an exact zero pivot when
+        // elimination reaches it (floating-point near-singularity would only
+        // give tiny pivots, which is not a breakdown).
+        let n = 20;
+        let mut a0 = ca_matrix::random_uniform(n, n, &mut seeded_rng(16));
+        for i in 0..n {
+            a0[(i, 7)] = 0.0;
+        }
+        let f = calu_seq_factor(a0, &CaParams::new(5, 2, 1));
+        assert!(f.breakdown.is_some());
+    }
+
+    #[test]
+    fn growth_factor_comparable_to_gepp() {
+        // Stability sanity: tournament pivoting growth within 4x of GEPP on
+        // random matrices.
+        let n = 96;
+        let a0 = ca_matrix::random_uniform(n, n, &mut seeded_rng(17));
+        let f = calu_seq_factor(a0.clone(), &CaParams::new(16, 8, 1));
+        let g_calu = ca_matrix::growth_factor(&a0, &f.u());
+        let mut r = a0.clone();
+        ca_kernels::getf2(r.view_mut());
+        let g_gepp = ca_matrix::growth_factor(&a0, &r.upper());
+        assert!(g_calu < 4.0 * g_gepp + 4.0, "CALU growth {g_calu} vs GEPP {g_gepp}");
+    }
+}

@@ -1,0 +1,268 @@
+//! CAQR: communication-avoiding QR.
+//!
+//! [`caqr_seq`] is the sequential reference (Algorithm 2 in program order);
+//! [`caqr`] executes the same task decomposition on the worker pool.
+//! Both produce [`QrFactors`]: `R` packed in the matrix plus the TSQR tree's
+//! `Q` representation (in-place leaf reflectors + per-node scratch), with
+//! `Q`/`Qᵀ` application and thin-`Q` reconstruction.
+
+use crate::dag_caqr;
+use crate::params::{num_panels, partition_rows, CaParams};
+use crate::tsqr::{leaf_apply, leaf_qr, node_apply, node_qr, panel_apply, plan_panel, PanelQ};
+use ca_kernels::{trsm_left_upper_notrans, Trans};
+use ca_matrix::{Matrix, SharedMatrix};
+
+/// The result of a CAQR/TSQR factorization.
+#[derive(Debug)]
+pub struct QrFactors {
+    /// Factored matrix: `R` in the upper triangle, leaf Householder vectors
+    /// below the diagonal (tree-node reflectors live in [`PanelQ`] scratch).
+    pub a: Matrix,
+    /// Per-panel `Q` representation, in factorization order.
+    pub panels: Vec<PanelQ>,
+}
+
+impl QrFactors {
+    /// The upper-triangular/trapezoidal factor `R` (`min(m,n) × n`).
+    pub fn r(&self) -> Matrix {
+        self.a.upper()
+    }
+
+    /// Applies `Qᵀ` to `c` in place (`c` must have `m` rows).
+    pub fn apply_qt(&self, c: &mut Matrix) {
+        self.apply(c, Trans::Yes);
+    }
+
+    /// Applies `Q` to `c` in place (`c` must have `m` rows).
+    pub fn apply_q(&self, c: &mut Matrix) {
+        self.apply(c, Trans::No);
+    }
+
+    fn apply(&self, c: &mut Matrix, trans: Trans) {
+        assert_eq!(c.nrows(), self.a.nrows(), "row count mismatch with Q");
+        let ncols = c.ncols();
+        let owned = std::mem::replace(c, Matrix::zeros(0, 0));
+        let dst = SharedMatrix::new(owned);
+        match trans {
+            Trans::Yes => {
+                for p in &self.panels {
+                    panel_apply(&self.a, p, &dst, 0..ncols, trans);
+                }
+            }
+            Trans::No => {
+                for p in self.panels.iter().rev() {
+                    panel_apply(&self.a, p, &dst, 0..ncols, trans);
+                }
+            }
+        }
+        *c = dst.into_inner();
+    }
+
+    /// The thin orthogonal factor `Q` (`m × min(m,n)`).
+    pub fn q_thin(&self) -> Matrix {
+        let m = self.a.nrows();
+        let k = m.min(self.a.ncols());
+        let mut q = Matrix::zeros(m, k);
+        for i in 0..k {
+            q[(i, i)] = 1.0;
+        }
+        self.apply_q(&mut q);
+        q
+    }
+
+    /// Relative residual `‖A − Q·R‖_F / ‖A‖_F` against the original matrix.
+    pub fn residual(&self, a0: &Matrix) -> f64 {
+        let q = self.q_thin();
+        let r = Matrix::from_fn(q.ncols(), self.a.ncols(), |i, j| {
+            if i <= j {
+                self.a[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        ca_matrix::qr_residual(a0, &q, &r)
+    }
+
+    /// Orthogonality `‖I − QᵀQ‖_F` of the thin factor.
+    pub fn orthogonality(&self) -> f64 {
+        ca_matrix::orthogonality(&self.q_thin())
+    }
+
+    /// Least-squares solve: `x = argmin ‖A·x − rhs‖₂` via `R⁻¹ (Qᵀ rhs)`
+    /// (full-column-rank `A`, `m ≥ n`).
+    pub fn solve_ls(&self, rhs: &Matrix) -> Matrix {
+        let m = self.a.nrows();
+        let n = self.a.ncols();
+        assert!(m >= n, "least squares needs a tall matrix");
+        assert_eq!(rhs.nrows(), m, "rhs row mismatch");
+        let mut qtb = rhs.clone();
+        self.apply_qt(&mut qtb);
+        let mut x = Matrix::from_fn(n, rhs.ncols(), |i, j| qtb[(i, j)]);
+        let r = self.a.block(0, 0, n, n);
+        let rmat = Matrix::from_fn(n, n, |i, j| if i <= j { r.at(i, j) } else { 0.0 });
+        trsm_left_upper_notrans(rmat.view(), x.view_mut());
+        x
+    }
+}
+
+/// Sequential CAQR (Algorithm 2 in program order), consuming `a`.
+pub fn caqr_seq(a: Matrix, p: &CaParams) -> QrFactors {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m > 0 && n > 0, "empty matrix");
+    let nsteps = num_panels(m, n, p.b);
+    let sh = SharedMatrix::new(a);
+    let mut panels = Vec::with_capacity(nsteps);
+
+    for step in 0..nsteps {
+        let k0 = step * p.b;
+        let c0 = k0;
+        let w = p.b.min(n - c0);
+        let part = partition_rows(m, k0, p.b, p.tr);
+        let (_leaf_ks, plans) = plan_panel(&part, w, p.tree);
+        let trailing = (c0 + w)..n;
+
+        let mut leaves = Vec::with_capacity(part.ngroups());
+        for grp in 0..part.ngroups() {
+            let leaf = leaf_qr(&sh, c0, w, part.group(grp));
+            leaf_apply(&sh, c0, &leaf, &sh, trailing.clone(), Trans::Yes);
+            leaves.push(leaf);
+        }
+        let mut nodes = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let node = node_qr(&sh, c0, w, plan);
+            node_apply(&node, &sh, trailing.clone(), Trans::Yes);
+            nodes.push(node);
+        }
+        let k = (m - k0).min(w);
+        panels.push(PanelQ { k0, c0, w, k, leaves, nodes });
+    }
+
+    QrFactors { a: sh.into_inner(), panels }
+}
+
+/// Multithreaded CAQR (Algorithm 2): task-graph execution with the
+/// lookahead-of-1 priority rule on `p.threads` workers.
+pub fn caqr(a: Matrix, p: &CaParams) -> QrFactors {
+    dag_caqr::run(a, p).0
+}
+
+/// Like [`caqr`], also returning the executor's wall-clock timeline.
+pub fn caqr_with_stats(a: Matrix, p: &CaParams) -> (QrFactors, ca_sched::ExecStats) {
+    dag_caqr::run(a, p)
+}
+
+/// TSQR as a standalone tall-and-skinny factorization: a single panel of
+/// width `n` reduced over `tr` row blocks (the paper's TSQR benchmark).
+pub fn tsqr_factor(a: Matrix, tr: usize, p: &CaParams) -> QrFactors {
+    let n = a.ncols();
+    let params = CaParams { b: n.max(1), tr, ..*p };
+    caqr_seq(a, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreeShape;
+    use ca_matrix::seeded_rng;
+
+    fn check_seq(m: usize, n: usize, b: usize, tr: usize, tree: TreeShape, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(seed));
+        let mut p = CaParams::new(b, tr, 1);
+        p.tree = tree;
+        let f = caqr_seq(a0.clone(), &p);
+        let res = f.residual(&a0);
+        let orth = f.orthogonality();
+        let scale = 1e-12 * (m.max(n) as f64);
+        assert!(res < scale, "residual {res} for {m}x{n} b={b} tr={tr} {tree:?}");
+        assert!(orth < scale, "orthogonality {orth} for {m}x{n} b={b} tr={tr} {tree:?}");
+    }
+
+    #[test]
+    fn square_multi_panel() {
+        check_seq(64, 64, 16, 4, TreeShape::Binary, 1);
+        check_seq(60, 60, 16, 4, TreeShape::Flat, 2); // ragged last panel
+        check_seq(100, 100, 25, 2, TreeShape::Binary, 3);
+    }
+
+    #[test]
+    fn tall_skinny() {
+        check_seq(400, 24, 8, 8, TreeShape::Binary, 4);
+        check_seq(333, 30, 10, 4, TreeShape::Flat, 5);
+        check_seq(500, 10, 10, 8, TreeShape::Binary, 6); // single panel
+    }
+
+    #[test]
+    fn kary_and_hybrid_trees() {
+        check_seq(256, 48, 16, 8, TreeShape::Kary(4), 30);
+        check_seq(256, 48, 16, 8, TreeShape::Hybrid { flat_width: 4 }, 31);
+    }
+
+    #[test]
+    fn odd_shapes() {
+        check_seq(97, 53, 13, 3, TreeShape::Binary, 7);
+        check_seq(41, 41, 100, 2, TreeShape::Binary, 8); // b > n
+        check_seq(129, 65, 32, 5, TreeShape::Flat, 9);
+    }
+
+    #[test]
+    fn r_matches_lapack_style_qr_up_to_signs() {
+        let m = 90;
+        let n = 30;
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(10));
+        let f = caqr_seq(a0.clone(), &CaParams::new(10, 4, 1));
+        let r = f.r();
+        let mut aref = a0.clone();
+        let mut tau = Vec::new();
+        ca_kernels::geqr2(aref.view_mut(), &mut tau);
+        let rref = aref.upper();
+        for i in 0..n {
+            for j in i..n {
+                assert!(
+                    (r[(i, j)].abs() - rref[(i, j)].abs()).abs() < 1e-10,
+                    "R mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_planted_solution() {
+        let m = 200;
+        let n = 12;
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(11));
+        let x_true = ca_matrix::random_uniform(n, 2, &mut seeded_rng(12));
+        let b = a0.matmul(&x_true);
+        let f = tsqr_factor(a0, 8, &CaParams::new(100, 8, 1));
+        let x = f.solve_ls(&b);
+        let err = ca_matrix::norm_max(x.sub_matrix(&x_true).view());
+        assert!(err < 1e-10, "LS error {err}");
+    }
+
+    #[test]
+    fn apply_q_then_qt_roundtrips() {
+        let m = 70;
+        let n = 20;
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(13));
+        let f = caqr_seq(a0, &CaParams::new(8, 4, 1));
+        let c0 = ca_matrix::random_uniform(m, 4, &mut seeded_rng(14));
+        let mut c = c0.clone();
+        f.apply_q(&mut c);
+        f.apply_qt(&mut c);
+        let err = ca_matrix::norm_max(c.sub_matrix(&c0).view());
+        assert!(err < 1e-11, "roundtrip error {err}");
+    }
+
+    #[test]
+    fn tsqr_equals_caqr_single_panel() {
+        let m = 300;
+        let n = 16;
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(15));
+        let f1 = tsqr_factor(a0.clone(), 4, &CaParams::new(100, 4, 1));
+        let mut p = CaParams::new(16, 4, 1);
+        p.tree = TreeShape::Binary;
+        let f2 = caqr_seq(a0, &p);
+        // Same single-panel factorization: identical R.
+        assert_eq!(f1.a.as_slice(), f2.a.as_slice());
+    }
+}

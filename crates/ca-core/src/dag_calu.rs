@@ -1,0 +1,523 @@
+//! Task-graph construction and parallel execution of multithreaded CALU
+//! (Algorithm 1 of the paper).
+//!
+//! Tasks follow the paper's P/L/U/S decomposition:
+//! * `P` — tournament-pivoting steps: one leaf GEPP per row group, then one
+//!   task per reduction-tree node; the final node additionally applies the
+//!   winning interchanges to the panel and writes the packed `L_KK\U_KK`
+//!   block (Algorithm 1 lines 8, 14, 19).
+//! * `L` — per-group `dtrsm` producing the panel's `L` blocks (line 24).
+//! * `U` — per trailing block column: interchanges + `L_KK⁻¹` solve
+//!   (line 28).
+//! * `S` — per (group × block column) `dgemm` trailing update (line 36).
+//! * `W` — deferred left-side interchanges, one task per finished block
+//!   column (line 41).
+//!
+//! Dependencies are derived from block-level reads/writes via
+//! [`BlockTracker`], which reproduces the dependency structure of Figure 1.
+//! Priorities implement the lookahead-of-1 rule from §III.
+
+use crate::calu::LuFactors;
+use ca_sched::{row_blocks, BlockTracker};
+use crate::params::{num_panels, partition_rows, CaParams, RowPartition};
+use crate::tournament::{select, stack_candidates, Selected};
+use crate::tree::{reduction_schedule, ReduceNode};
+use crate::tslu::pivot_seq_from_targets;
+use ca_kernels::{flops, traffic};
+use ca_kernels::{gemm, trsm_left_lower_unit, trsm_right_upper_notrans, Trans};
+use ca_matrix::{Matrix, PivotSeq, SharedMatrix};
+use ca_sched::{run_graph, ExecStats, Job, KernelClass, TaskGraph, TaskId, TaskKind, TaskLabel, TaskMeta};
+use std::sync::OnceLock;
+
+/// What a CALU task does (payload of the task graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field names (step/grp/node/jblk) are the documentation
+pub enum CaluTask {
+    /// Leaf GEPP of row group `grp` of panel `step`. When the panel has a
+    /// single group this doubles as the root.
+    Leaf { step: usize, grp: usize },
+    /// Reduction node `node` (index into the panel's schedule); the last
+    /// node is the root and also pivots the panel + writes `L_KK\U_KK`.
+    Node { step: usize, node: usize },
+    /// `L` block of group `grp`.
+    LBlock { step: usize, grp: usize },
+    /// Interchanges + `U` block row for trailing block columns
+    /// `jblk .. jblk + jcnt` (`jcnt > 1` under §V two-level blocking).
+    URow { step: usize, jblk: usize, jcnt: usize },
+    /// Trailing update of (group `grp`) × (block columns `jblk..jblk+jcnt`).
+    Update { step: usize, grp: usize, jblk: usize, jcnt: usize },
+    /// Deferred left-side interchanges for finished block column `jblk`.
+    LeftSwap { jblk: usize },
+}
+
+/// Per-panel shared state filled in by panel tasks at run time.
+pub(crate) struct PanelCtx {
+    k0: usize,
+    /// Panel width (columns).
+    w: usize,
+    /// Factored rows/columns this panel (`min(w, m - k0)`).
+    k: usize,
+    part: RowPartition,
+    schedule: Vec<ReduceNode>,
+    /// Candidate dataflow slots: leaves at `0..g`, node `i` at `g + i`.
+    results: Vec<OnceLock<Selected>>,
+    /// For each schedule node, the result-slot indices it consumes.
+    node_inputs: Vec<Vec<usize>>,
+    /// Winning interchanges (offset `k0`), written by the root task.
+    pivots: OnceLock<PivotSeq>,
+    /// Panel breakdown column (panel-local), written by the root task.
+    breakdown: OnceLock<Option<usize>>,
+}
+
+/// Everything needed to execute a built CALU DAG.
+pub(crate) struct CaluPlan {
+    pub graph: TaskGraph<CaluTask>,
+    pub panels: Vec<PanelCtx>,
+    m: usize,
+    n: usize,
+    b: usize,
+    recursive_leaves: bool,
+}
+
+/// Priority scheme (see module docs of `ca-sched`): panel work of step `K`
+/// outranks everything later; the lookahead rule boosts the updates of block
+/// column `K+1` above the rest so panel `K+1` becomes ready early, while
+/// non-critical updates of step `K` rank *below* panel `K+1`.
+fn prio(nsteps: usize, step: usize, lookahead: bool, kind: TaskKind, jblk: usize) -> i64 {
+    let critical = ((nsteps - step) as i64) * 1000;
+    match kind {
+        TaskKind::Panel => critical + 900,
+        TaskKind::LBlock => critical + 850,
+        TaskKind::URow | TaskKind::Update => {
+            let next = lookahead && jblk == step + 1;
+            if next {
+                critical + if kind == TaskKind::URow { 800 } else { 790 }
+            } else {
+                critical - if kind == TaskKind::URow { 400 } else { 500 }
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Builds the CALU task graph for an `m × n` matrix with parameters `p`.
+pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
+    assert!(m > 0 && n > 0, "empty matrix");
+    let b = p.b;
+    let nsteps = num_panels(m, n, b);
+    let nb = n.div_ceil(b);
+    let mb = m.div_ceil(b);
+
+    let mut graph: TaskGraph<CaluTask> = TaskGraph::new();
+    let mut tracker = BlockTracker::new(mb, nb);
+    let mut panels: Vec<PanelCtx> = Vec::with_capacity(nsteps);
+    let mut root_ids: Vec<TaskId> = Vec::with_capacity(nsteps);
+
+    for step in 0..nsteps {
+        let k0 = step * b;
+        let w = b.min(n - k0);
+        let k = w.min(m - k0);
+        let part = partition_rows(m, k0, b, p.tr);
+        let g = part.ngroups();
+        let schedule = reduction_schedule(g, p.tree);
+
+        // --- P tasks: leaves.
+        let mut slot_task: Vec<TaskId> = Vec::with_capacity(g);
+        let mut slot_res: Vec<usize> = (0..g).collect();
+        for grp in 0..g {
+            let rows = part.group(grp);
+            let meta = TaskMeta::new(
+                TaskLabel::new(TaskKind::Panel, step, grp, step),
+                flops::getrf(rows.len(), w),
+            )
+            .with_bytes(if p.leaf_blas2 {
+                traffic::getf2(rows.len(), w)
+            } else {
+                traffic::rgetf2(rows.len(), w)
+            })
+            .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Panel, step))
+            .with_class(if p.leaf_blas2 { KernelClass::LuBlas2 } else { KernelClass::LuRecursive });
+            let id = graph.add_task(meta, CaluTask::Leaf { step, grp });
+            tracker.read(&mut graph, id, row_blocks(rows, b), step..step + 1);
+            slot_task.push(id);
+        }
+
+        // --- P tasks: reduction nodes (last one is the root).
+        let mut node_inputs: Vec<Vec<usize>> = Vec::with_capacity(schedule.len());
+        for (ni, node) in schedule.iter().enumerate() {
+            let stacked_rows: usize = node.participants.len() * k.min(b);
+            let meta = TaskMeta::new(
+                TaskLabel::new(TaskKind::Panel, step, g + ni, step),
+                flops::getrf(stacked_rows.max(1), w),
+            )
+            .with_bytes(traffic::rgetf2(stacked_rows.max(1), w))
+            .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Panel, step))
+            .with_class(KernelClass::LuRecursive);
+            let id = graph.add_task(meta, CaluTask::Node { step, node: ni });
+            node_inputs.push(node.participants.iter().map(|&pt| slot_res[pt]).collect());
+            for &pt in &node.participants {
+                graph.add_dep(slot_task[pt], id);
+            }
+            slot_task[node.participants[0]] = id;
+            slot_res[node.participants[0]] = g + ni;
+            if ni + 1 == schedule.len() {
+                // Root: pivots the panel and writes the packed top block.
+                tracker.write(&mut graph, id, row_blocks(k0..m, b), step..step + 1);
+            }
+        }
+        let root_id = if schedule.is_empty() {
+            // Single group: the leaf is the root; it also writes the panel.
+            let id = slot_task[0];
+            tracker.write(&mut graph, id, row_blocks(k0..m, b), step..step + 1);
+            id
+        } else {
+            slot_task[0]
+        };
+        root_ids.push(root_id);
+
+        // --- L tasks.
+        for grp in 0..g {
+            let rows = part.group(grp);
+            let lo = rows.start.max(k0 + k);
+            if lo >= rows.end || k == 0 {
+                continue;
+            }
+            let meta = TaskMeta::new(
+                TaskLabel::new(TaskKind::LBlock, step, grp, step),
+                flops::trsm_right(rows.end - lo, k),
+            )
+            .with_bytes(traffic::trsm_right(rows.end - lo, k))
+            .with_priority(prio(nsteps, step, p.lookahead, TaskKind::LBlock, step))
+            .with_class(KernelClass::Trsm);
+            let id = graph.add_task(meta, CaluTask::LBlock { step, grp });
+            tracker.read(&mut graph, id, step..step + 1, step..step + 1); // U_KK
+            tracker.write(&mut graph, id, row_blocks(lo..rows.end, b), step..step + 1);
+        }
+
+        // --- U tasks (interchange + triangular solve per trailing column
+        //     chunk; chunk width = p.update_blocks block columns, §V).
+        let mut jblk = step + 1;
+        while jblk < nb {
+            let jcnt = p.update_blocks.min(nb - jblk);
+            let jc0 = jblk * b;
+            let wj = (jcnt * b).min(n - jc0);
+            let meta = TaskMeta::new(
+                TaskLabel::new(TaskKind::URow, step, 0, jblk),
+                flops::trsm_left(k, wj),
+            )
+            .with_bytes(traffic::trsm_left(k, wj) + traffic::laswp(k, wj))
+            .with_priority(prio(nsteps, step, p.lookahead, TaskKind::URow, jblk))
+            .with_class(KernelClass::Trsm);
+            let id = graph.add_task(meta, CaluTask::URow { step, jblk, jcnt });
+            graph.add_dep(root_id, id); // pivots
+            tracker.read(&mut graph, id, step..step + 1, step..step + 1); // L_KK
+            tracker.write(&mut graph, id, row_blocks(k0..m, b), jblk..jblk + jcnt);
+            jblk += jcnt;
+        }
+
+        // --- S tasks (trailing updates, same column chunking).
+        let mut jblk = step + 1;
+        while jblk < nb {
+            let jcnt = p.update_blocks.min(nb - jblk);
+            let jc0 = jblk * b;
+            let wj = (jcnt * b).min(n - jc0);
+            for grp in 0..g {
+                let rows = part.group(grp);
+                let lo = rows.start.max(k0 + k);
+                if lo >= rows.end || k == 0 {
+                    continue;
+                }
+                let meta = TaskMeta::new(
+                    TaskLabel::new(TaskKind::Update, step, grp, jblk),
+                    flops::gemm(rows.end - lo, wj, k),
+                )
+                .with_bytes(traffic::gemm(rows.end - lo, wj, k))
+                .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Update, jblk))
+                .with_class(KernelClass::Gemm);
+                let id = graph.add_task(meta, CaluTask::Update { step, grp, jblk, jcnt });
+                tracker.read(&mut graph, id, row_blocks(lo..rows.end, b), step..step + 1);
+                tracker.read(&mut graph, id, step..step + 1, jblk..jblk + jcnt);
+                tracker.write(&mut graph, id, row_blocks(lo..rows.end, b), jblk..jblk + jcnt);
+            }
+            jblk += jcnt;
+        }
+
+        let results = (0..g + schedule.len()).map(|_| OnceLock::new()).collect();
+        panels.push(PanelCtx {
+            k0,
+            w,
+            k,
+            part,
+            schedule,
+            results,
+            node_inputs,
+            pivots: OnceLock::new(),
+            breakdown: OnceLock::new(),
+        });
+    }
+
+    // --- Deferred left-side interchanges (Algorithm 1 line 41).
+    for jblk in 0..nsteps.saturating_sub(1) {
+        let swap_rows: usize = (jblk + 1..nsteps).map(|k| b.min(m.min(n) - k * b)).sum();
+        let meta = TaskMeta::new(TaskLabel::new(TaskKind::Swap, nsteps, 0, jblk), 0.0)
+            .with_bytes(traffic::laswp(swap_rows, b.min(n - jblk * b)))
+            .with_class(KernelClass::Memory);
+        let id = graph.add_task(meta, CaluTask::LeftSwap { jblk });
+        for (step, &rid) in root_ids.iter().enumerate().skip(jblk + 1) {
+            let _ = step;
+            graph.add_dep(rid, id);
+        }
+        tracker.write(&mut graph, id, row_blocks((jblk + 1) * b..m, b), jblk..jblk + 1);
+    }
+
+    CaluPlan { graph, panels, m, n, b, recursive_leaves: !p.leaf_blas2 }
+}
+
+impl CaluPlan {
+    /// Executes one task against the shared matrix (called from workers).
+    fn exec(&self, a: &SharedMatrix, t: CaluTask) {
+        let m = self.m;
+        let n = self.n;
+        let b = self.b;
+        match t {
+            CaluTask::Leaf { step, grp } => {
+                let ctx = &self.panels[step];
+                let rows = ctx.part.group(grp);
+                // SAFETY: the DAG orders this read after the last writer of
+                // these panel blocks and before any subsequent writer.
+                let block = unsafe { a.block(rows.start, ctx.k0, rows.len(), ctx.w) };
+                let idx: Vec<usize> = rows.collect();
+                let sel = select(block, &idx, self.recursive_leaves);
+                if ctx.schedule.is_empty() {
+                    self.finish_root(a, step, sel);
+                } else {
+                    ctx.results[grp].set(sel).ok().expect("leaf slot already set");
+                }
+            }
+            CaluTask::Node { step, node } => {
+                let ctx = &self.panels[step];
+                let inputs: Vec<&Selected> = ctx.node_inputs[node]
+                    .iter()
+                    .map(|&r| ctx.results[r].get().expect("candidate not ready"))
+                    .collect();
+                let (stacked, idx) = stack_candidates(&inputs);
+                let sel = select(stacked.view(), &idx, self.recursive_leaves);
+                if node + 1 == ctx.schedule.len() {
+                    self.finish_root(a, step, sel);
+                } else {
+                    let g = ctx.part.ngroups();
+                    ctx.results[g + node].set(sel).ok().expect("node slot already set");
+                }
+            }
+            CaluTask::LBlock { step, grp } => {
+                let ctx = &self.panels[step];
+                let rows = ctx.part.group(grp);
+                let lo = rows.start.max(ctx.k0 + ctx.k);
+                // SAFETY: disjoint from all concurrent tasks per the DAG.
+                let ukk = unsafe { a.block(ctx.k0, ctx.k0, ctx.k, ctx.k) };
+                let lb = unsafe { a.block_mut(lo, ctx.k0, rows.end - lo, ctx.k) };
+                trsm_right_upper_notrans(ukk, lb);
+            }
+            CaluTask::URow { step, jblk, jcnt } => {
+                let ctx = &self.panels[step];
+                let jc0 = jblk * b;
+                let wj = (jcnt * b).min(n - jc0);
+                let pivots = ctx.pivots.get().expect("pivots not ready");
+                // SAFETY: this task is the only one touching column block
+                // jblk rows k0.. at this point in the schedule.
+                let mut col = unsafe { a.block_mut(ctx.k0, jc0, m - ctx.k0, wj) };
+                local_seq(pivots, ctx.k0).apply(col.rb());
+                let lkk = unsafe { a.block(ctx.k0, ctx.k0, ctx.k, ctx.k) };
+                let urow = col.into_sub(0, 0, ctx.k, wj);
+                trsm_left_lower_unit(lkk, urow);
+            }
+            CaluTask::Update { step, grp, jblk, jcnt } => {
+                let ctx = &self.panels[step];
+                let jc0 = jblk * b;
+                let wj = (jcnt * b).min(n - jc0);
+                let rows = ctx.part.group(grp);
+                let lo = rows.start.max(ctx.k0 + ctx.k);
+                // SAFETY: reads L (final) and U (final); writes blocks only
+                // this task may touch per the DAG.
+                let l = unsafe { a.block(lo, ctx.k0, rows.end - lo, ctx.k) };
+                let u = unsafe { a.block(ctx.k0, jc0, ctx.k, wj) };
+                let c = unsafe { a.block_mut(lo, jc0, rows.end - lo, wj) };
+                gemm(Trans::No, Trans::No, -1.0, l, u, 1.0, c);
+            }
+            CaluTask::LeftSwap { jblk } => {
+                let jc0 = jblk * b;
+                let wj = b.min(n - jc0);
+                for ctx in &self.panels[jblk + 1..] {
+                    let pivots = ctx.pivots.get().expect("pivots not ready");
+                    // SAFETY: exclusive writer of this finished column block.
+                    let col = unsafe { a.block_mut(ctx.k0, jc0, m - ctx.k0, wj) };
+                    local_seq(pivots, ctx.k0).apply(col);
+                }
+            }
+        }
+    }
+
+    /// Root-task epilogue: record pivots, interchange the panel, write the
+    /// packed `L_KK\U_KK` block.
+    fn finish_root(&self, a: &SharedMatrix, step: usize, sel: Selected) {
+        let ctx = &self.panels[step];
+        let m = self.m;
+        let pivots = pivot_seq_from_targets(ctx.k0, &sel.idx);
+        // SAFETY: the root is ordered after every reader/writer of the
+        // panel's active blocks and before every subsequent consumer.
+        let mut panel = unsafe { a.block_mut(ctx.k0, ctx.k0, m - ctx.k0, ctx.w) };
+        local_seq(&pivots, ctx.k0).apply(panel.rb());
+        panel.sub(0, 0, ctx.k, ctx.w).copy_from(sel.packed.view());
+        ctx.breakdown.set(sel.breakdown).ok().expect("root ran twice");
+        ctx.pivots.set(pivots).ok().expect("root ran twice");
+    }
+}
+
+/// Rebases a pivot sequence to a view starting at global row `k0`.
+fn local_seq(p: &PivotSeq, k0: usize) -> PivotSeq {
+    PivotSeq { offset: p.offset - k0, ipiv: p.ipiv.iter().map(|&x| x - k0).collect() }
+}
+
+/// Runs multithreaded CALU, consuming `a`. Returns factors plus executor
+/// statistics (timeline usable for trace figures).
+pub(crate) fn run(a: Matrix, p: &CaParams) -> (LuFactors, ExecStats) {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    let shared = SharedMatrix::new(a);
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        Box::new(move || plan.exec(shared, spec)) as Job<'_>
+    });
+    let stats = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => run_graph(jobs, p.threads),
+        crate::params::Scheduler::WorkStealing => ca_sched::run_graph_stealing(jobs, p.threads),
+    };
+
+    let mut pivots = PivotSeq::new(0);
+    let mut breakdown = None;
+    for ctx in &plan.panels {
+        let pp = ctx.pivots.get().expect("panel pivots missing");
+        pivots.extend(pp);
+        if breakdown.is_none() {
+            if let Some(c) = ctx.breakdown.get().copied().flatten() {
+                breakdown = Some(ctx.k0 + c);
+            }
+        }
+    }
+    let lu = shared.into_inner();
+    (LuFactors { lu, pivots, breakdown }, stats)
+}
+
+/// Builds just the task graph (for the multicore simulator and DAG figures).
+pub fn calu_task_graph(m: usize, n: usize, p: &CaParams) -> TaskGraph<CaluTask> {
+    build(m, n, p).graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calu::{calu, calu_seq_factor};
+    use crate::params::TreeShape;
+    use ca_matrix::seeded_rng;
+
+    fn check_parallel(m: usize, n: usize, b: usize, tr: usize, threads: usize, tree: TreeShape, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(seed));
+        let mut p = CaParams::new(b, tr, threads);
+        p.tree = tree;
+        let f = calu(a0.clone(), &p);
+        let res = f.residual(&a0);
+        assert!(res < 1e-12, "residual {res} for {m}x{n} b={b} tr={tr} t={threads}");
+        // Must agree bitwise with the sequential reference: same kernels on
+        // the same blocks, only the interleaving differs.
+        let fs = calu_seq_factor(a0, &p);
+        assert_eq!(f.pivots.ipiv, fs.pivots.ipiv, "pivots differ from sequential");
+        assert_eq!(f.lu.as_slice(), fs.lu.as_slice(), "factors differ from sequential");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_square() {
+        check_parallel(64, 64, 16, 2, 4, TreeShape::Binary, 1);
+        check_parallel(100, 100, 25, 4, 3, TreeShape::Binary, 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_tall() {
+        check_parallel(400, 30, 10, 8, 4, TreeShape::Binary, 3);
+        check_parallel(333, 20, 7, 4, 2, TreeShape::Flat, 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_wide_and_ragged() {
+        check_parallel(50, 90, 16, 4, 4, TreeShape::Binary, 5);
+        check_parallel(97, 61, 13, 3, 5, TreeShape::Binary, 6);
+    }
+
+    #[test]
+    fn single_thread_single_group() {
+        check_parallel(60, 60, 20, 1, 1, TreeShape::Binary, 7);
+    }
+
+    #[test]
+    fn graph_is_valid_and_sized_sensibly() {
+        let p = CaParams::new(100, 8, 8);
+        let g = calu_task_graph(1000, 1000, &p);
+        g.validate();
+        // 10 panels; tasks per panel ~ g + nodes + L + U + S.
+        assert!(g.len() > 100, "suspiciously few tasks: {}", g.len());
+        assert!(g.critical_path_flops() <= g.total_flops());
+    }
+
+    #[test]
+    fn dag_total_flops_close_to_lapack_count() {
+        // CA overhead is lower-order: DAG flops within 25% of dgetrf count.
+        let p = CaParams::new(50, 4, 4);
+        let (m, n) = (2000, 200);
+        let g = calu_task_graph(m, n, &p);
+        let lapack = ca_kernels::flops::getrf(m, n);
+        let total = g.total_flops();
+        assert!(total >= lapack * 0.9, "DAG flops {total} below LAPACK {lapack}");
+        assert!(total <= lapack * 1.35, "DAG flops {total} too far above LAPACK {lapack}");
+    }
+
+    #[test]
+    fn two_level_update_blocking_same_results_fewer_tasks() {
+        // The §V future-work feature: B = 4b update tasks must give the
+        // bitwise-same factorization with a smaller task graph.
+        let a0 = ca_matrix::random_uniform(240, 240, &mut seeded_rng(21));
+        let p1 = CaParams::new(20, 4, 4);
+        let p4 = p1.with_update_blocking(4);
+        let f1 = calu(a0.clone(), &p1);
+        let f4 = calu(a0.clone(), &p4);
+        assert_eq!(f1.lu.as_slice(), f4.lu.as_slice());
+        assert_eq!(f1.pivots.ipiv, f4.pivots.ipiv);
+        let g1 = calu_task_graph(240, 240, &p1);
+        let g4 = calu_task_graph(240, 240, &p4);
+        g4.validate();
+        assert!(g4.len() < g1.len(), "coarse blocking must shrink the graph: {} vs {}", g4.len(), g1.len());
+    }
+
+    #[test]
+    fn work_stealing_runtime_gives_identical_results() {
+        let a0 = ca_matrix::random_uniform(150, 150, &mut seeded_rng(22));
+        let p_pq = CaParams::new(30, 4, 4);
+        let p_ws = p_pq.with_work_stealing();
+        let f_pq = calu(a0.clone(), &p_pq);
+        let f_ws = calu(a0, &p_ws);
+        assert_eq!(f_pq.lu.as_slice(), f_ws.lu.as_slice());
+        assert_eq!(f_pq.pivots.ipiv, f_ws.pivots.ipiv);
+    }
+
+    #[test]
+    fn lookahead_changes_priorities_not_results() {
+        let a0 = ca_matrix::random_uniform(120, 120, &mut seeded_rng(8));
+        let p1 = CaParams::new(30, 4, 4);
+        let p2 = p1.without_lookahead();
+        let f1 = calu(a0.clone(), &p1);
+        let f2 = calu(a0.clone(), &p2);
+        assert_eq!(f1.lu.as_slice(), f2.lu.as_slice());
+        assert_eq!(f1.pivots.ipiv, f2.pivots.ipiv);
+    }
+}

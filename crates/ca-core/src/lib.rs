@@ -1,0 +1,35 @@
+//! # ca-core
+//!
+//! Multithreaded communication-avoiding LU and QR factorizations — the
+//! primary contribution of Donfack, Grigori & Gupta, *"Adapting
+//! communication-avoiding LU and QR factorizations to multicore
+//! architectures"* (IPDPS 2010).
+//!
+//! * [`calu`] / [`calu_seq`] — CALU with tournament (ca-)pivoting; panel
+//!   factorization by TSLU over a binary or flat reduction tree.
+//! * [`caqr`] / [`caqr_seq`] — CAQR; panel factorization by TSQR, with the
+//!   reduction tree driving the trailing-matrix update.
+//! * [`tslu_factor`] / [`tsqr_factor`] — the panel factorizations as
+//!   standalone tall-and-skinny solvers (the paper's TSLU/TSQR benchmarks).
+//! * [`calu_task_graph`] / [`caqr_task_graph`] — the task DAGs alone, for
+//!   the multicore simulator and Figure-1-style renderings.
+
+#![warn(missing_docs)]
+
+mod calu;
+mod caqr;
+mod dag_calu;
+mod dag_caqr;
+pub mod solve;
+pub mod params;
+pub mod tournament;
+pub mod tree;
+pub mod tslu;
+pub mod tsqr;
+
+pub use calu::{calu, calu_seq, calu_seq_factor, calu_with_stats, tslu_factor, LuFactors};
+pub use caqr::{caqr, caqr_seq, caqr_with_stats, tsqr_factor, QrFactors};
+pub use dag_calu::{calu_task_graph, CaluTask};
+pub use solve::{lu_packed_solve_in_place, RefineInfo};
+pub use dag_caqr::{caqr_task_graph, CaqrTask};
+pub use params::{num_panels, partition_rows, CaParams, RowPartition, Scheduler, TreeShape};

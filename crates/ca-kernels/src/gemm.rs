@@ -1,0 +1,345 @@
+//! General matrix-matrix multiply (`dgemm` equivalent).
+//!
+//! `gemm` computes `C := alpha * op(A) * op(B) + beta * C` for column-major
+//! views. The `NoTrans × NoTrans` case — the trailing-matrix update in every
+//! factorization here — runs a cache-blocked loop nest whose inner kernel is
+//! a 4-way unrolled sequence of column AXPYs; columns are contiguous in
+//! column-major storage, so the compiler autovectorizes the inner loop.
+//! The transposed cases use dot-product loop orders and only appear on small
+//! operands (compact-WY applications), where they are not the bottleneck.
+
+use ca_matrix::{MatView, MatViewMut};
+
+/// Whether an operand is used as stored or transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Cache-block sizes for the `NoTrans × NoTrans` path.
+/// `KC * MC` doubles of A (~256 KiB) target L2; `KC` rows of B stream.
+const MC: usize = 256;
+const KC: usize = 128;
+const NC: usize = 512;
+
+#[inline]
+fn op_shape(t: Trans, a: MatView<'_>) -> (usize, usize) {
+    match t {
+        Trans::No => (a.nrows(), a.ncols()),
+        Trans::Yes => (a.ncols(), a.nrows()),
+    }
+}
+
+/// `C := alpha * op(A) * op(B) + beta * C`.
+///
+/// # Panics
+/// If the shapes of `op(A)` (`m × k`), `op(B)` (`k × n`) and `C` (`m × n`)
+/// are inconsistent.
+pub fn gemm(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f64,
+    mut c: MatViewMut<'_>,
+) {
+    let (m, ka) = op_shape(ta, a);
+    let (kb, n) = op_shape(tb, b);
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: op(A) is {m}x{ka}, op(B) is {kb}x{n}");
+    assert_eq!(c.nrows(), m, "gemm C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm C column mismatch");
+    let k = ka;
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 || k == 0 {
+        scale(beta, c.rb());
+        return;
+    }
+
+    match (ta, tb) {
+        (Trans::No, Trans::No) => gemm_nn(alpha, a, b, beta, c),
+        (Trans::Yes, Trans::No) => gemm_tn(alpha, a, b, beta, c),
+        (Trans::No, Trans::Yes) => gemm_nt(alpha, a, b, beta, c),
+        (Trans::Yes, Trans::Yes) => gemm_tt(alpha, a, b, beta, c),
+    }
+}
+
+/// `C := beta * C` (handles `beta == 0` without reading C).
+fn scale(beta: f64, mut c: MatViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..c.ncols() {
+        let col = c.col_mut(j);
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for x in col {
+                *x *= beta;
+            }
+        }
+    }
+}
+
+/// Blocked `NoTrans × NoTrans` path. The `A` block is packed into a
+/// contiguous scratch (`ld == mb`) before the inner kernel runs: with tall
+/// operands (`ld` in the 10⁵ range) the packed copy turns strided column
+/// hops into sequential streams, which is worth far more than the copy.
+fn gemm_nn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    scale(beta, c.rb());
+
+    let mut pack = vec![0.0f64; MC.min(m) * KC.min(k)];
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = KC.min(k - pc);
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                // Pack A[ic..ic+mb, pc..pc+kb] column-major with ld = mb.
+                for (p, dst) in pack.chunks_mut(mb).enumerate().take(kb) {
+                    dst.copy_from_slice(&a.col(pc + p)[ic..ic + mb]);
+                }
+                let a_blk = MatView::from_slice(&pack[..mb * kb], mb, kb);
+                let b_blk = b.sub(pc, jc, kb, nb);
+                let c_blk = c.sub(ic, jc, mb, nb);
+                gemm_nn_block(alpha, a_blk, b_blk, c_blk);
+                ic += mb;
+            }
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// Inner block: `C += alpha * A * B` with A `mb × kb`, all fitting cache.
+/// Loop order j-k-i with the k loop unrolled by 4 so each C column is loaded
+/// and stored once per 4 rank-1 contributions.
+fn gemm_nn_block(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_>) {
+    let (mb, kb) = (a.nrows(), a.ncols());
+    let nb = b.ncols();
+    for j in 0..nb {
+        let b_col = b.col(j);
+        let c_col = c.col_mut(j);
+        let mut p = 0;
+        while p + 4 <= kb {
+            let (x0, x1, x2, x3) = (
+                alpha * b_col[p],
+                alpha * b_col[p + 1],
+                alpha * b_col[p + 2],
+                alpha * b_col[p + 3],
+            );
+            let a0 = a.col(p);
+            let a1 = a.col(p + 1);
+            let a2 = a.col(p + 2);
+            let a3 = a.col(p + 3);
+            for i in 0..mb {
+                // Safe indexing: all five slices have length mb.
+                c_col[i] += x0 * a0[i] + x1 * a1[i] + x2 * a2[i] + x3 * a3[i];
+            }
+            p += 4;
+        }
+        while p < kb {
+            let x = alpha * b_col[p];
+            if x != 0.0 {
+                let a_col = a.col(p);
+                for i in 0..mb {
+                    c_col[i] += x * a_col[i];
+                }
+            }
+            p += 1;
+        }
+    }
+}
+
+/// `C := alpha * Aᵀ * B + beta*C` — dot-product order; A is `k × m` stored.
+fn gemm_tn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let m = a.ncols();
+    let k = a.nrows();
+    let n = b.ncols();
+    for j in 0..n {
+        let b_col = b.col(j);
+        for i in 0..m {
+            let a_col = a.col(i);
+            let mut dot = 0.0;
+            for p in 0..k {
+                dot += a_col[p] * b_col[p];
+            }
+            let cij = c.at(i, j);
+            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
+        }
+    }
+}
+
+/// `C := alpha * A * Bᵀ + beta*C` — B is `n × k` stored; axpy order over Bᵀ.
+fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let m = a.nrows();
+    let k = a.ncols();
+    let n = b.nrows();
+    scale(beta, c.rb());
+    for p in 0..k {
+        let a_col = a.col(p);
+        let b_col = b.col(p); // column p of B = row elements B[j, p]
+        for j in 0..n {
+            let x = alpha * b_col[j];
+            if x != 0.0 {
+                let c_col = c.col_mut(j);
+                for i in 0..m {
+                    c_col[i] += x * a_col[i];
+                }
+            }
+        }
+    }
+}
+
+/// `C := alpha * Aᵀ * Bᵀ + beta*C` — rarely used; simple triple loop.
+fn gemm_tt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let m = a.ncols();
+    let k = a.nrows();
+    let n = b.nrows();
+    for j in 0..n {
+        for i in 0..m {
+            let a_col = a.col(i);
+            let mut dot = 0.0;
+            for p in 0..k {
+                dot += a_col[p] * b.at(j, p);
+            }
+            let cij = c.at(i, j);
+            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::Matrix;
+
+    fn reference(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &Matrix) -> Matrix {
+        let oa = match ta {
+            Trans::No => a.clone(),
+            Trans::Yes => a.transpose(),
+        };
+        let ob = match tb {
+            Trans::No => b.clone(),
+            Trans::Yes => b.transpose(),
+        };
+        let ab = oa.matmul(&ob);
+        Matrix::from_fn(c.nrows(), c.ncols(), |i, j| beta * c[(i, j)] + alpha * ab[(i, j)])
+    }
+
+    fn check(ta: Trans, tb: Trans, m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+        let mut rng = ca_matrix::seeded_rng(m as u64 * 31 + n as u64 * 7 + k as u64);
+        let (ar, ac) = match ta {
+            Trans::No => (m, k),
+            Trans::Yes => (k, m),
+        };
+        let (br, bc) = match tb {
+            Trans::No => (k, n),
+            Trans::Yes => (n, k),
+        };
+        let a = ca_matrix::random_uniform(ar, ac, &mut rng);
+        let b = ca_matrix::random_uniform(br, bc, &mut rng);
+        let c0 = ca_matrix::random_uniform(m, n, &mut rng);
+        let expect = reference(ta, tb, alpha, &a, &b, beta, &c0);
+        let mut c = c0.clone();
+        gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
+        let diff = c.sub_matrix(&expect);
+        let err = ca_matrix::norm_max(diff.view());
+        assert!(err < 1e-12 * (k.max(1) as f64), "error {err} for {ta:?}{tb:?} {m}x{n}x{k}");
+    }
+
+    #[test]
+    fn nn_small_and_odd_sizes() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (4, 4, 4), (5, 3, 9), (17, 13, 11)] {
+            check(Trans::No, Trans::No, m, n, k, 1.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn nn_crosses_block_boundaries() {
+        check(Trans::No, Trans::No, MC + 7, 19, KC + 5, 1.0, 0.0);
+        check(Trans::No, Trans::No, 33, NC + 3, 9, -0.5, 2.0);
+    }
+
+    #[test]
+    fn transposed_variants() {
+        check(Trans::Yes, Trans::No, 6, 8, 10, 1.0, 1.0);
+        check(Trans::No, Trans::Yes, 6, 8, 10, 2.0, -1.0);
+        check(Trans::Yes, Trans::Yes, 7, 5, 9, -1.0, 0.5);
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let mut rng = ca_matrix::seeded_rng(9);
+        let a = ca_matrix::random_uniform(4, 4, &mut rng);
+        let b = ca_matrix::random_uniform(4, 4, &mut rng);
+        let c0 = ca_matrix::random_uniform(4, 4, &mut rng);
+        let mut c = c0.clone();
+        gemm(Trans::No, Trans::No, 0.0, a.view(), b.view(), 2.0, c.view_mut());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c[(i, j)], 2.0 * c0[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_ignores_nan_in_c() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_rows(2, 2, &[f64::NAN, f64::NAN, f64::NAN, f64::NAN]);
+        gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view_mut());
+        assert_eq!(c, Matrix::identity(2));
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut c = Matrix::zeros(0, 4);
+        gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 1.0, c.view_mut());
+
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut c = ca_matrix::random_uniform(2, 4, &mut ca_matrix::seeded_rng(1));
+        let c0 = c.clone();
+        // k == 0: C := beta * C
+        gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 1.0, c.view_mut());
+        assert_eq!(c, c0);
+    }
+
+    #[test]
+    fn strided_views_multiply_correctly() {
+        // Operate on interior blocks of larger matrices so ld != rows.
+        let mut rng = ca_matrix::seeded_rng(77);
+        let big_a = ca_matrix::random_uniform(10, 10, &mut rng);
+        let big_b = ca_matrix::random_uniform(10, 10, &mut rng);
+        let mut big_c = Matrix::zeros(10, 10);
+        let a = big_a.block(2, 3, 4, 5);
+        let b = big_b.block(1, 2, 5, 3);
+        gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, big_c.block_mut(5, 6, 4, 3));
+
+        let a_own = Matrix::from_fn(4, 5, |i, j| big_a[(2 + i, 3 + j)]);
+        let b_own = Matrix::from_fn(5, 3, |i, j| big_b[(1 + i, 2 + j)]);
+        let expect = a_own.matmul(&b_own);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((big_c[(5 + i, 6 + j)] - expect[(i, j)]).abs() < 1e-13);
+            }
+        }
+        // Untouched area stays zero.
+        assert_eq!(big_c[(0, 0)], 0.0);
+        assert_eq!(big_c[(4, 6)], 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Rank-1 update (`dger` equivalent) and column scaling — the BLAS2
+//! building blocks of unblocked Gaussian elimination.
+
+use ca_matrix::MatViewMut;
+
+/// `A := A + alpha * x * yᵀ` where `x` has `A.nrows()` and `y` has
+/// `A.ncols()` elements.
+///
+/// # Panics
+/// If the vector lengths do not match `A`'s shape.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatViewMut<'_>) {
+    assert_eq!(x.len(), a.nrows(), "x length must equal row count");
+    assert_eq!(y.len(), a.ncols(), "y length must equal column count");
+    for (j, &yj) in y.iter().enumerate() {
+        let s = alpha * yj;
+        if s != 0.0 {
+            let col = a.col_mut(j);
+            for (ci, &xi) in col.iter_mut().zip(x) {
+                *ci += s * xi;
+            }
+        }
+    }
+}
+
+/// `x := alpha * x` over a column slice.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Index of the element of maximum absolute value (`idamax`), or `None` for
+/// an empty slice. NaN entries are treated as not-a-maximum (skipped) unless
+/// every entry is NaN, in which case index 0 is returned.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_val = -1.0f64;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        if a > best_val {
+            best_val = a;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::Matrix;
+
+    #[test]
+    fn ger_matches_outer_product() {
+        let mut a = Matrix::zeros(3, 2);
+        ger(2.0, &[1.0, 2.0, 3.0], &[10.0, 20.0], a.view_mut());
+        assert_eq!(a, Matrix::from_rows(3, 2, &[20.0, 40.0, 40.0, 80.0, 60.0, 120.0]));
+    }
+
+    #[test]
+    fn ger_accumulates() {
+        let mut a = Matrix::identity(2);
+        ger(1.0, &[1.0, 1.0], &[1.0, 1.0], a.view_mut());
+        assert_eq!(a, Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[0.0, 0.0]), Some(0));
+        assert_eq!(iamax(&[]), None);
+        // NaN never beats a real maximum.
+        assert_eq!(iamax(&[1.0, f64::NAN, 3.0]), Some(2));
+    }
+
+    #[test]
+    fn scal_scales_in_place() {
+        let mut x = vec![1.0, -2.0, 4.0];
+        scal(0.5, &mut x);
+        assert_eq!(x, vec![0.5, -1.0, 2.0]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Householder reflector primitives: generation (`dlarfg`), single-reflector
+//! application (`dlarf`), compact-WY triangular factor assembly (`dlarft`),
+//! and block-reflector application (`dlarfb`) — including the *pair* variant
+//! that applies a reflector block to two discontiguous row blocks, which is
+//! what the TSQR reduction-tree update (task S at inner tree nodes,
+//! Algorithm 2 line 26 of the paper) needs.
+
+use crate::gemm::{gemm, Trans};
+use ca_matrix::{MatView, MatViewMut, Matrix};
+
+/// Generates an elementary reflector `H = I − τ·v·vᵀ` with `v[0] = 1` such
+/// that `H · [alpha; x] = [beta; 0]`.
+///
+/// On return `x` holds `v[1..]`; returns `(beta, tau)`. If `x` is zero,
+/// `tau = 0` (H = I) and `beta = alpha`.
+pub fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    let xnorm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if xnorm == 0.0 {
+        return (alpha, 0.0);
+    }
+    let mut beta = -(alpha.hypot(xnorm)).copysign(alpha);
+    // Guard against underflow in the scaling factor for tiny beta.
+    if beta == 0.0 {
+        beta = f64::MIN_POSITIVE;
+    }
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for v in x.iter_mut() {
+        *v *= scale;
+    }
+    (beta, tau)
+}
+
+/// Applies `H = I − τ·v·vᵀ` from the left to `c` (`m × n`), where `v` is the
+/// full reflector vector including the leading implicit `1`
+/// (`v.len() == m`, `v[0]` ignored and treated as 1).
+pub fn larf_left(tau: f64, v: &[f64], mut c: MatViewMut<'_>) {
+    if tau == 0.0 {
+        return;
+    }
+    let m = c.nrows();
+    assert_eq!(v.len(), m, "reflector length must equal row count");
+    for j in 0..c.ncols() {
+        let col = c.col_mut(j);
+        // w = vᵀ c_j  (with v[0] treated as 1)
+        let mut w = col[0];
+        for i in 1..m {
+            w += v[i] * col[i];
+        }
+        let tw = tau * w;
+        col[0] -= tw;
+        for i in 1..m {
+            col[i] -= tw * v[i];
+        }
+    }
+}
+
+/// Builds the upper-triangular compact-WY factor `T` (`k × k`) from the
+/// reflectors stored in `v` (`m × k`, unit lower trapezoidal: `v[i][j]` for
+/// `i > j` are stored, the diagonal is implicitly 1, above is ignored) and
+/// the scalar factors `tau` (`dlarft` with `DIRECT='F'`, `STOREV='C'`).
+pub fn larft(v: MatView<'_>, tau: &[f64], mut t: MatViewMut<'_>) {
+    let m = v.nrows();
+    let k = v.ncols();
+    assert_eq!(tau.len(), k, "tau length must equal reflector count");
+    assert!(t.nrows() >= k && t.ncols() >= k, "T must be at least k x k");
+
+    for j in 0..k {
+        let tj = tau[j];
+        t.set(j, j, tj);
+        if j > 0 {
+            // w = Vᵀ v_j restricted to columns 0..j, where v_j has an
+            // implicit 1 at row j and stored entries below.
+            let mut w = vec![0.0f64; j];
+            for (i, wi) in w.iter_mut().enumerate() {
+                let mut s = v.at(j, i); // row j of column i times the implicit 1
+                for r in j + 1..m {
+                    s += v.at(r, i) * v.at(r, j);
+                }
+                *wi = s;
+            }
+            // T[0..j, j] = -tau_j * T[0..j, 0..j] * w  (T upper triangular)
+            for i in 0..j {
+                let mut s = 0.0;
+                for (l, wl) in w.iter().enumerate().take(j).skip(i) {
+                    s += t.at(i, l) * wl;
+                }
+                t.set(i, j, -tj * s);
+            }
+        }
+        // Zero the strictly-lower part of column j so T is cleanly triangular.
+        for i in j + 1..k {
+            t.set(i, j, 0.0);
+        }
+    }
+}
+
+/// In place `W := V₁ᵀ · W` where `V₁` is `k × k` **unit lower** triangular
+/// (stored entries strictly below the diagonal; diagonal implicit 1).
+fn trmv_unit_lower_trans(v1: MatView<'_>, mut w: MatViewMut<'_>) {
+    let k = v1.nrows();
+    debug_assert_eq!(v1.ncols(), k);
+    debug_assert_eq!(w.nrows(), k);
+    for j in 0..w.ncols() {
+        let col = w.col_mut(j);
+        // (V₁ᵀ)[i, :] has 1 at i and V1[r, i] for r > i: process ascending so
+        // each row reads only not-yet-overwritten entries.
+        for i in 0..k {
+            let mut s = col[i];
+            for r in i + 1..k {
+                s += v1.at(r, i) * col[r];
+            }
+            col[i] = s;
+        }
+    }
+}
+
+/// In place `C₁ := C₁ − V₁ · W` where `V₁` is `k × k` unit lower triangular.
+fn sub_unit_lower_mul(v1: MatView<'_>, w: MatView<'_>, mut c1: MatViewMut<'_>) {
+    let k = v1.nrows();
+    debug_assert_eq!(w.nrows(), k);
+    debug_assert_eq!(c1.nrows(), k);
+    debug_assert_eq!(c1.ncols(), w.ncols());
+    for j in 0..w.ncols() {
+        let wc = w.col(j);
+        let cc = c1.col_mut(j);
+        for i in 0..k {
+            // (V₁ W)[i] = w[i] + sum_{l<i} V1[i,l] w[l]
+            let mut s = wc[i];
+            for l in 0..i {
+                s += v1.at(i, l) * wc[l];
+            }
+            cc[i] -= s;
+        }
+    }
+}
+
+/// In place `W := op(T) · W` with `T` upper triangular `k × k`.
+fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
+    let k = t.nrows();
+    debug_assert_eq!(w.nrows(), k);
+    for j in 0..w.ncols() {
+        let col = w.col_mut(j);
+        match trans {
+            Trans::No => {
+                // row i uses rows >= i: ascending is safe in place.
+                for i in 0..k {
+                    let mut s = 0.0;
+                    for l in i..k {
+                        s += t.at(i, l) * col[l];
+                    }
+                    col[i] = s;
+                }
+            }
+            Trans::Yes => {
+                // (Tᵀ)[i, :] uses rows <= i: descending is safe in place.
+                for i in (0..k).rev() {
+                    let mut s = 0.0;
+                    for l in 0..=i {
+                        s += t.at(l, i) * col[l];
+                    }
+                    col[i] = s;
+                }
+            }
+        }
+    }
+}
+
+/// Applies a compact-WY block reflector `Q = I − V·T·Vᵀ` (or its transpose)
+/// from the left to a conceptually stacked matrix `[C_top; C_bot]`, where the
+/// reflectors are likewise stacked `V = [V_top; V_bot]`:
+///
+/// * `v_top` is `k × k`, unit lower triangular (stored below the diagonal —
+///   the upper part typically holds `R` and is ignored);
+/// * `v_bot` is `r × k`, dense (possibly `r = 0`);
+/// * `c_top` is `k × n`, `c_bot` is `r' × n` with `r' == r`.
+///
+/// `trans == Trans::Yes` applies `Qᵀ` (the factorization update direction);
+/// `trans == Trans::No` applies `Q` (used when forming/applying Q).
+///
+/// The two C blocks may live at unrelated addresses — this is exactly the
+/// inner-tree-node trailing update of multithreaded CAQR, where the stacked
+/// `R` rows of two different block rows of the matrix are updated together.
+pub fn larfb_left_pair(
+    trans: Trans,
+    v_top: MatView<'_>,
+    v_bot: MatView<'_>,
+    t: MatView<'_>,
+    c_top: MatViewMut<'_>,
+    c_bot: MatViewMut<'_>,
+) {
+    let mut c_rest = [c_bot];
+    larfb_left_multi(trans, v_top, &[v_bot], t, c_top, &mut c_rest);
+}
+
+/// Generalization of [`larfb_left_pair`] to any number of discontiguous row
+/// blocks: applies `op(Q)` with `Q = I − V·T·Vᵀ` where
+/// `V = [V_top; V_rest[0]; V_rest[1]; …]` and the target is the conceptual
+/// stack `[C_top; C_rest[0]; …]`. This is the flat-tree (height-1) TSQR
+/// reduction update, where all `Tr` candidate `R` blocks reduce in one node.
+///
+/// # Panics
+/// If block shapes are inconsistent or `v_rest.len() != c_rest.len()`.
+pub fn larfb_left_multi(
+    trans: Trans,
+    v_top: MatView<'_>,
+    v_rest: &[MatView<'_>],
+    t: MatView<'_>,
+    mut c_top: MatViewMut<'_>,
+    c_rest: &mut [MatViewMut<'_>],
+) {
+    let k = v_top.nrows();
+    assert_eq!(v_top.ncols(), k, "v_top must be square k x k");
+    assert_eq!(c_top.nrows(), k, "c_top must have k rows");
+    assert_eq!(v_rest.len(), c_rest.len(), "V and C block counts must match");
+    let n = c_top.ncols();
+    for (vb, cb) in v_rest.iter().zip(c_rest.iter()) {
+        assert_eq!(vb.ncols(), k, "each V block must have k columns");
+        assert_eq!(cb.nrows(), vb.nrows(), "C block rows must match V block");
+        assert_eq!(cb.ncols(), n, "C blocks must share width");
+    }
+    if n == 0 || k == 0 {
+        return;
+    }
+
+    let mut w = Matrix::zeros(k, n);
+    w.view_mut().copy_from(c_top.as_ref());
+    trmv_unit_lower_trans(v_top, w.view_mut());
+    for (vb, cb) in v_rest.iter().zip(c_rest.iter()) {
+        if vb.nrows() > 0 {
+            gemm(Trans::Yes, Trans::No, 1.0, *vb, cb.as_ref(), 1.0, w.view_mut());
+        }
+    }
+    trmv_upper(trans, t, w.view_mut());
+    sub_unit_lower_mul(v_top, w.view(), c_top.rb());
+    for (vb, cb) in v_rest.iter().zip(c_rest.iter_mut()) {
+        if vb.nrows() > 0 {
+            gemm(Trans::No, Trans::No, -1.0, *vb, w.view(), 1.0, cb.rb());
+        }
+    }
+}
+
+/// Applies `op(Q)` from the left to a contiguous `m × n` block `c`, where
+/// the reflectors are stored unit-lower-trapezoidally in `v` (`m × k`),
+/// as produced by [`crate::geqr2`]/[`crate::geqr3`] (`dlarfb`).
+pub fn larfb_left(trans: Trans, v: MatView<'_>, t: MatView<'_>, c: MatViewMut<'_>) {
+    let m = v.nrows();
+    let k = v.ncols();
+    assert_eq!(c.nrows(), m, "C rows must match V rows");
+    assert!(m >= k, "V must be tall (m >= k)");
+    let v_top = v.sub(0, 0, k, k);
+    let v_bot = v.sub(k, 0, m - k, k);
+    let (c_top, c_bot) = c.split_at_row(k);
+    larfb_left_pair(trans, v_top, v_bot, t, c_top, c_bot);
+}
+
+/// Forms the thin explicit `Q` (`m × k`) from packed reflectors `v` (`m × k`)
+/// and compact-WY factor `t`: `Q = (I − V·T·Vᵀ) · [I_k; 0]`.
+pub fn form_q_thin(v: MatView<'_>, t: MatView<'_>) -> Matrix {
+    let m = v.nrows();
+    let k = v.ncols();
+    let mut q = Matrix::zeros(m, k);
+    for i in 0..k {
+        q[(i, i)] = 1.0;
+    }
+    larfb_left(Trans::No, v, t, q.view_mut());
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::norm_max;
+
+    #[test]
+    fn larfg_annihilates_vector() {
+        let alpha = 3.0;
+        let mut x = vec![4.0];
+        let (beta, tau) = larfg(alpha, &mut x);
+        // H [3; 4] should be [±5; 0]
+        assert!((beta.abs() - 5.0).abs() < 1e-14);
+        // Apply H = I - tau v vᵀ manually to [3;4]:
+        let v = [1.0, x[0]];
+        let w = tau * (3.0 * v[0] + 4.0 * v[1]);
+        let r0 = 3.0 - w * v[0];
+        let r1 = 4.0 - w * v[1];
+        assert!((r0 - beta).abs() < 1e-14);
+        assert!(r1.abs() < 1e-14);
+    }
+
+    #[test]
+    fn larfg_zero_tail_is_identity() {
+        let mut x = vec![0.0, 0.0];
+        let (beta, tau) = larfg(7.0, &mut x);
+        assert_eq!(beta, 7.0);
+        assert_eq!(tau, 0.0);
+    }
+
+    #[test]
+    fn larfg_reflector_is_orthogonal() {
+        let mut x = vec![1.0, -2.0, 0.5];
+        let (_, tau) = larfg(0.7, &mut x);
+        let v = vec![1.0, x[0], x[1], x[2]];
+        // H = I - tau v vᵀ must satisfy HᵀH = I.
+        let n = 4;
+        let mut h = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                h[(i, j)] -= tau * v[i] * v[j];
+            }
+        }
+        let hth = h.transpose().matmul(&h);
+        let diff = hth.sub_matrix(&Matrix::identity(n));
+        assert!(norm_max(diff.view()) < 1e-14);
+    }
+
+    #[test]
+    fn larf_left_matches_explicit_reflector() {
+        let mut rng = ca_matrix::seeded_rng(12);
+        let c0 = ca_matrix::random_uniform(4, 3, &mut rng);
+        let mut x = vec![0.3, -0.8, 0.1];
+        let (_, tau) = larfg(1.5, &mut x);
+        let v = vec![1.0, x[0], x[1], x[2]];
+
+        let mut h = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                h[(i, j)] -= tau * v[i] * v[j];
+            }
+        }
+        let expect = h.matmul(&c0);
+        let mut c = c0.clone();
+        larf_left(tau, &v, c.view_mut());
+        assert!(norm_max(c.sub_matrix(&expect).view()) < 1e-14);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ca-kernels
+//!
+//! Pure-Rust BLAS/LAPACK-style kernels for the `ca-factor` workspace: the
+//! sequential building blocks under the multithreaded communication-avoiding
+//! LU and QR factorizations of Donfack, Grigori & Gupta (IPDPS 2010).
+//!
+//! | LAPACK/BLAS name | here |
+//! |---|---|
+//! | `dgemm`  | [`gemm`] |
+//! | `dtrsm`  | [`trsm_right_upper_notrans`] and friends |
+//! | `dger` / `idamax` | [`ger`], [`iamax`] |
+//! | `dgetf2` | [`getf2`] (BLAS2 GEPP) |
+//! | `rgetf2` | [`rgetf2`] (recursive GEPP, Toledo) |
+//! | `dgeqr2` | [`geqr2`] (BLAS2 Householder QR) |
+//! | `dgeqr3` | [`geqr3`] (recursive QR, Elmroth–Gustavson) |
+//! | `dlarfg`/`dlarf`/`dlarft`/`dlarfb` | [`larfg`], [`larf_left`], [`larft`], [`larfb_left`], [`larfb_left_pair`] |
+//!
+//! All kernels operate on [`ca_matrix::MatView`]/[`ca_matrix::MatViewMut`]
+//! blocks, so they compose into panel/tile tasks without copying.
+
+#![warn(missing_docs)]
+
+pub mod flops;
+pub mod traffic;
+mod gemm;
+mod ger;
+mod householder;
+mod lu_recursive;
+mod lu_unblocked;
+mod qr_recursive;
+mod qr_unblocked;
+mod trsm;
+
+pub use gemm::{gemm, Trans};
+pub use ger::{ger, iamax, scal};
+pub use householder::{
+    form_q_thin, larf_left, larfb_left, larfb_left_multi, larfb_left_pair, larfg, larft,
+};
+pub use lu_recursive::rgetf2;
+pub use lu_unblocked::{getf2, lu_nopiv, LuInfo};
+pub use qr_recursive::geqr3;
+pub use qr_unblocked::geqr2;
+pub use trsm::{
+    trsm_left_lower_trans_unit, trsm_left_lower_unit, trsm_left_upper_notrans,
+    trsm_left_upper_trans, trsm_right_upper_notrans,
+};

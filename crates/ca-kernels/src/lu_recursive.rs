@@ -1,0 +1,136 @@
+//! Recursive LU with partial pivoting (`rgetf2`), after Toledo (1997) and
+//! Gustavson (1997). Recursion on the column count turns almost all of the
+//! elimination into BLAS3 (`trsm` + `gemm`) calls, which is why the paper
+//! uses it as the sequential kernel inside TSLU leaves: "the best available
+//! sequential algorithm can be used".
+
+use crate::gemm::{gemm, Trans};
+use crate::lu_unblocked::{getf2, LuInfo};
+use crate::trsm::trsm_left_lower_unit;
+use ca_matrix::{MatViewMut, PivotSeq};
+
+/// Column count at which recursion bottoms out into BLAS2 `getf2`.
+const BASE_COLS: usize = 8;
+
+/// Recursive Gaussian elimination with partial pivoting of an `m × n` view
+/// (`m ≥ n` expected but not required), in place. Pivot indices are
+/// view-local, exactly as [`getf2`] reports them.
+pub fn rgetf2(a: MatViewMut<'_>) -> LuInfo {
+    let m = a.nrows();
+    let n = a.ncols();
+    if n <= BASE_COLS || m <= 1 {
+        return getf2(a);
+    }
+    // Never split past the row count: for wide views the factorization only
+    // involves the first min(m, n) columns, the rest are updated in place.
+    let n1 = (n / 2).min(m);
+
+    let mut a = a;
+    // Factor the left half A[:, 0..n1].
+    let left_info = {
+        let left = a.sub(0, 0, m, n1);
+        rgetf2(left)
+    };
+
+    // Apply the left pivots to the right half.
+    {
+        let right = a.sub(0, n1, m, n - n1);
+        left_info.pivots.apply(right);
+    }
+
+    // U12 := L11⁻¹ A12 ; A22 -= L21 * U12.
+    {
+        let (left_cols, right_cols) = a.rb().split_at_col(n1);
+        let (mut u12, a22) = right_cols.split_at_row(n1);
+        let l11 = left_cols.as_ref().sub(0, 0, n1, n1);
+        trsm_left_lower_unit(l11, u12.rb());
+        let l21 = left_cols.as_ref().sub(n1, 0, m - n1, n1);
+        gemm(Trans::No, Trans::No, -1.0, l21, u12.as_ref(), 1.0, a22);
+    }
+
+    // Factor the trailing block A[n1.., n1..].
+    let lower_info = {
+        let trailing = a.sub(n1, n1, m - n1, n - n1);
+        rgetf2(trailing)
+    };
+
+    // Apply the trailing pivots (shifted by n1) to the left-bottom block.
+    {
+        let left_bottom = a.sub(n1, 0, m - n1, n1);
+        lower_info.pivots.apply(left_bottom);
+    }
+
+    // Merge pivot sequences into view-local indices.
+    let mut pivots = PivotSeq::new(0);
+    pivots.ipiv.extend_from_slice(&left_info.pivots.ipiv);
+    for &p in &lower_info.pivots.ipiv {
+        pivots.ipiv.push(p + n1);
+    }
+    let first_zero_pivot = left_info
+        .first_zero_pivot
+        .or(lower_info.first_zero_pivot.map(|k| k + n1));
+    LuInfo { pivots, first_zero_pivot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::{lu_residual, Matrix};
+
+    fn check(m: usize, n: usize, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(seed));
+        let mut a = a0.clone();
+        let info = rgetf2(a.view_mut());
+        assert!(info.first_zero_pivot.is_none(), "unexpected breakdown for {m}x{n}");
+        assert_eq!(info.pivots.len(), m.min(n));
+        let perm = info.pivots.to_permutation(m);
+        let res = lu_residual(&a0, &perm, &a.unit_lower(), &a.upper());
+        assert!(res < 1e-12, "residual {res} for {m}x{n}");
+    }
+
+    #[test]
+    fn recursive_lu_various_shapes() {
+        check(16, 16, 1);
+        check(100, 40, 2);
+        check(33, 17, 3);
+        check(9, 9, 4); // just above base case
+        check(8, 8, 5); // exactly base case
+        check(200, 64, 6);
+        check(13, 29, 7); // wide
+    }
+
+    #[test]
+    fn recursive_matches_blas2_exactly() {
+        // Same pivot choices and identical arithmetic order is not
+        // guaranteed, but for generic matrices the pivot *sequence* is the
+        // same because both pick the max-magnitude entry of the updated
+        // column. Verify pivots and factors agree to roundoff.
+        let m = 24;
+        let n = 16;
+        let a0 = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(8));
+        let mut a_rec = a0.clone();
+        let mut a_b2 = a0.clone();
+        let i_rec = rgetf2(a_rec.view_mut());
+        let i_b2 = getf2(a_b2.view_mut());
+        assert_eq!(i_rec.pivots.ipiv, i_b2.pivots.ipiv);
+        let diff = a_rec.sub_matrix(&a_b2);
+        assert!(ca_matrix::norm_max(diff.view()) < 1e-12);
+    }
+
+    #[test]
+    fn recursive_handles_singular_input() {
+        let a0 = Matrix::from_fn(12, 12, |i, j| ((i + 1) * (j + 1)) as f64);
+        let mut a = a0.clone();
+        let info = rgetf2(a.view_mut());
+        assert!(info.first_zero_pivot.is_some());
+    }
+
+    #[test]
+    fn recursive_single_column() {
+        let a0 = Matrix::from_rows(4, 1, &[1.0, -4.0, 2.0, 3.0]);
+        let mut a = a0.clone();
+        let info = rgetf2(a.view_mut());
+        assert_eq!(info.pivots.ipiv, vec![1]);
+        assert_eq!(a[(0, 0)], -4.0);
+    }
+}

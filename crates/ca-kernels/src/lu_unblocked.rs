@@ -1,0 +1,217 @@
+//! Unblocked LU factorizations: `getf2` (BLAS2 Gaussian elimination with
+//! partial pivoting — the paper's `MKL_dgetf2` stand-in) and `lu_nopiv`
+//! (no-pivoting LU used to factor a panel after tournament pivoting has
+//! already moved the chosen pivot rows to the top).
+
+use crate::ger::iamax;
+use ca_matrix::{MatViewMut, PivotSeq};
+
+/// Outcome of an LU panel factorization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LuInfo {
+    /// Row interchanges, view-local (offset 0).
+    pub pivots: PivotSeq,
+    /// Column index of the first exactly-zero pivot encountered, if any
+    /// (LAPACK `info`). Factorization continues past it, leaving zeros.
+    pub first_zero_pivot: Option<usize>,
+}
+
+/// Gaussian elimination with partial pivoting of an `m × n` view, in place —
+/// `dgetf2`. On return the strictly-lower part holds `L` (unit diagonal
+/// implicit) and the upper part holds `U`, with `ΠA = LU` for the recorded
+/// interchanges.
+///
+/// One column is eliminated per step: pivot search (`idamax`), row swap,
+/// column scale, rank-1 trailing update. This is the BLAS2 routine whose
+/// poor multicore performance motivates TSLU in the paper.
+pub fn getf2(mut a: MatViewMut<'_>) -> LuInfo {
+    let m = a.nrows();
+    let n = a.ncols();
+    let kmax = m.min(n);
+    let mut pivots = PivotSeq::new(0);
+    let mut first_zero_pivot = None;
+
+    for k in 0..kmax {
+        // Pivot search over column k, rows k..m.
+        let col = &a.col(k)[k..];
+        let p = k + iamax(col).expect("non-empty pivot column");
+        pivots.push(p);
+        if p != k {
+            a.swap_rows(k, p);
+        }
+        let piv = a.at(k, k);
+        if piv == 0.0 {
+            if first_zero_pivot.is_none() {
+                first_zero_pivot = Some(k);
+            }
+            continue; // nothing to eliminate; U gets the zero
+        }
+        // Scale multipliers.
+        let inv = 1.0 / piv;
+        {
+            let col_k = a.col_mut(k);
+            for x in &mut col_k[k + 1..] {
+                *x *= inv;
+            }
+        }
+        // Rank-1 update of the trailing (m-k-1) × (n-k-1) block:
+        // A[k+1.., k+1..] -= L[k+1.., k] * U[k, k+1..].
+        for j in k + 1..n {
+            let ukj = a.at(k, j);
+            if ukj != 0.0 {
+                // Column k multipliers are read-only during the update of
+                // column j (j > k) — copy via raw parts to satisfy borrows.
+                let lk_ptr = a.col(k)[k + 1..].as_ptr();
+                let lk = unsafe { core::slice::from_raw_parts(lk_ptr, m - k - 1) };
+                let cj = &mut a.col_mut(j)[k + 1..];
+                for (c, &l) in cj.iter_mut().zip(lk) {
+                    *c -= l * ukj;
+                }
+            }
+        }
+    }
+    LuInfo { pivots, first_zero_pivot }
+}
+
+/// LU factorization **without pivoting** of an `m × n` view (`m ≥ n`
+/// expected), in place. Used on a tournament-pivoted panel whose top `n × n`
+/// block is already guaranteed a good pivot order.
+///
+/// Returns the column index of the first zero diagonal if the factorization
+/// broke down (`None` on success).
+pub fn lu_nopiv(mut a: MatViewMut<'_>) -> Option<usize> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let kmax = m.min(n);
+    let mut breakdown = None;
+    for k in 0..kmax {
+        let piv = a.at(k, k);
+        if piv == 0.0 {
+            if breakdown.is_none() {
+                breakdown = Some(k);
+            }
+            continue;
+        }
+        let inv = 1.0 / piv;
+        {
+            let col_k = a.col_mut(k);
+            for x in &mut col_k[k + 1..] {
+                *x *= inv;
+            }
+        }
+        for j in k + 1..n {
+            let ukj = a.at(k, j);
+            if ukj != 0.0 {
+                let lk_ptr = a.col(k)[k + 1..].as_ptr();
+                let lk = unsafe { core::slice::from_raw_parts(lk_ptr, m - k - 1) };
+                let cj = &mut a.col_mut(j)[k + 1..];
+                for (c, &l) in cj.iter_mut().zip(lk) {
+                    *c -= l * ukj;
+                }
+            }
+        }
+    }
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::{lu_residual, Matrix};
+
+    fn check_gepp(m: usize, n: usize, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(seed));
+        let mut a = a0.clone();
+        let info = getf2(a.view_mut());
+        assert!(info.first_zero_pivot.is_none());
+        let perm = info.pivots.to_permutation(m);
+        let res = lu_residual(&a0, &perm, &a.unit_lower(), &a.upper());
+        assert!(res < 1e-13, "residual {res} for {m}x{n}");
+        // Partial pivoting bounds multipliers by 1.
+        let l = a.unit_lower();
+        for j in 0..l.ncols() {
+            for i in j + 1..m {
+                assert!(l[(i, j)].abs() <= 1.0 + 1e-15, "multiplier > 1 at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gepp_square_and_rectangular() {
+        check_gepp(1, 1, 1);
+        check_gepp(5, 5, 2);
+        check_gepp(16, 16, 3);
+        check_gepp(20, 7, 4); // tall
+        check_gepp(7, 20, 5); // wide
+        check_gepp(64, 32, 6);
+    }
+
+    #[test]
+    fn gepp_picks_largest_pivot_first() {
+        let a0 = Matrix::from_rows(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0]);
+        let mut a = a0.clone();
+        let info = getf2(a.view_mut());
+        assert_eq!(info.pivots.ipiv[0], 2); // row 2 has the 7
+    }
+
+    #[test]
+    fn gepp_survives_zero_column() {
+        let mut a = Matrix::from_rows(3, 3, &[0.0, 1.0, 2.0, 0.0, 3.0, 4.0, 0.0, 5.0, 7.0]);
+        let info = getf2(a.view_mut());
+        assert_eq!(info.first_zero_pivot, Some(0));
+        // Remaining columns still eliminated.
+        assert!(a[(2, 2)].is_finite());
+    }
+
+    #[test]
+    fn gepp_on_singular_matrix_reports_info() {
+        // rank-1 matrix
+        let a0 = Matrix::from_fn(4, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let mut a = a0.clone();
+        let info = getf2(a.view_mut());
+        assert!(info.first_zero_pivot.is_some());
+    }
+
+    #[test]
+    fn nopiv_matches_gepp_on_diag_dominant() {
+        let a0 = ca_matrix::random_diag_dominant(10, &mut ca_matrix::seeded_rng(9));
+        let mut a = a0.clone();
+        let bd = lu_nopiv(a.view_mut());
+        assert!(bd.is_none());
+        let res = lu_residual(&a0, &(0..10).collect::<Vec<_>>(), &a.unit_lower(), &a.upper());
+        assert!(res < 1e-13, "residual {res}");
+    }
+
+    #[test]
+    fn nopiv_reports_breakdown() {
+        let mut a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(lu_nopiv(a.view_mut()), Some(0));
+    }
+
+    #[test]
+    fn nopiv_tall_panel() {
+        // Tall panel with dominant top block: the TSLU post-tournament shape.
+        let mut rng = ca_matrix::seeded_rng(11);
+        let mut a0 = ca_matrix::random_uniform(12, 3, &mut rng);
+        for i in 0..3 {
+            a0[(i, i)] = 10.0;
+        }
+        let mut a = a0.clone();
+        assert!(lu_nopiv(a.view_mut()).is_none());
+        let res = lu_residual(&a0, &(0..12).collect::<Vec<_>>(), &a.unit_lower(), &a.upper());
+        assert!(res < 1e-13, "residual {res}");
+    }
+
+    #[test]
+    fn gepp_equals_manual_two_by_two() {
+        let a0 = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut a = a0.clone();
+        let info = getf2(a.view_mut());
+        // pivot row 1: U = [3 4; 0 2/3], L21 = 1/3
+        assert_eq!(info.pivots.ipiv, vec![1, 1]);
+        assert!((a[(0, 0)] - 3.0).abs() < 1e-15);
+        assert!((a[(0, 1)] - 4.0).abs() < 1e-15);
+        assert!((a[(1, 0)] - 1.0 / 3.0).abs() < 1e-15);
+        assert!((a[(1, 1)] - 2.0 / 3.0).abs() < 1e-15);
+    }
+}

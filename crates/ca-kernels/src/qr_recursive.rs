@@ -1,0 +1,201 @@
+//! Recursive Householder QR (`dgeqr3`), after Elmroth & Gustavson (1998).
+//!
+//! Recursing on the column count turns the bulk of the work into BLAS3
+//! (`larfb` block applications); the compact-WY `T` factor of the whole
+//! panel is assembled on the way up. This is the sequential kernel the paper
+//! runs inside TSQR leaves and tree nodes ("the efficient recursive QR
+//! factorization [10]").
+
+use crate::gemm::{gemm, Trans};
+use crate::householder::{larfb_left, larft};
+use crate::qr_unblocked::geqr2;
+use ca_matrix::{MatView, MatViewMut, Matrix};
+
+/// Column count at which recursion bottoms out into `geqr2` + `larft`.
+const BASE_COLS: usize = 4;
+
+/// Recursive QR of an `m × n` view (`m ≥ n` required), in place.
+///
+/// On return `a` holds `R` in its upper triangle and the Householder vectors
+/// below the diagonal; `t` (an `n × n` view) receives the upper-triangular
+/// compact-WY factor of the whole panel, so `Q = I − V·T·Vᵀ`.
+///
+/// # Panics
+/// If `m < n` or `t` is smaller than `n × n`.
+pub fn geqr3(mut a: MatViewMut<'_>, mut t: MatViewMut<'_>) {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m >= n, "geqr3 requires a tall or square panel (m >= n), got {m}x{n}");
+    assert!(t.nrows() >= n && t.ncols() >= n, "T workspace must be at least n x n");
+    if n == 0 {
+        return;
+    }
+    if n <= BASE_COLS {
+        let mut tau = Vec::with_capacity(n);
+        geqr2(a.rb(), &mut tau);
+        larft(a.as_ref(), &tau, t.rb());
+        return;
+    }
+
+    let n1 = n / 2;
+    let n2 = n - n1;
+
+    // Factor the left half: V1, R1, T1.
+    geqr3(a.sub(0, 0, m, n1), t.sub(0, 0, n1, n1));
+
+    // A[:, n1..] := Q1ᵀ A[:, n1..]
+    {
+        let (left, right) = a.rb().split_at_col(n1);
+        larfb_left(Trans::Yes, left.as_ref(), t.as_ref().sub(0, 0, n1, n1), right);
+    }
+
+    // Factor the trailing block: V2, R2, T2 (rows n1.., cols n1..).
+    geqr3(a.sub(n1, n1, m - n1, n2), t.sub(n1, n1, n2, n2));
+
+    // T3 = T[0..n1, n1..n] = −T1 · (V1ᵀ V2) · T2, where V2 is embedded in
+    // rows n1..m. V1ᵀV2 = V1[n1.., :]ᵀ · V2 with V2's unit-diagonal top
+    // block materialized explicitly (it is at most BASE-sized relative to b).
+    {
+        let v2_unit = materialize_unit_lower(a.as_ref().sub(n1, n1, m - n1, n2));
+        let v1_low = a.as_ref().sub(n1, 0, m - n1, n1);
+        let mut w = Matrix::zeros(n1, n2);
+        gemm(Trans::Yes, Trans::No, 1.0, v1_low, v2_unit.view(), 0.0, w.view_mut());
+
+        // w := T1 * w (T1 upper triangular n1×n1)
+        let t1 = t.as_ref().sub(0, 0, n1, n1);
+        trmm_upper_left(t1, w.view_mut());
+        // w := w * T2 (T2 upper triangular n2×n2)
+        let t2 = t.as_ref().sub(n1, n1, n2, n2);
+        trmm_upper_right(t2, w.view_mut());
+
+        let mut t3 = t.sub(0, n1, n1, n2);
+        for j in 0..n2 {
+            for i in 0..n1 {
+                t3.set(i, j, -w[(i, j)]);
+            }
+        }
+    }
+}
+
+/// Copies a unit-lower-trapezoidal reflector block into an explicit dense
+/// matrix (upper part zeroed, unit diagonal written).
+fn materialize_unit_lower(v: MatView<'_>) -> Matrix {
+    let m = v.nrows();
+    let k = v.ncols();
+    Matrix::from_fn(m, k, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            v.at(i, j)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// In place `W := T · W` with `T` upper triangular (non-unit).
+fn trmm_upper_left(t: MatView<'_>, mut w: MatViewMut<'_>) {
+    let k = t.nrows();
+    debug_assert_eq!(w.nrows(), k);
+    for j in 0..w.ncols() {
+        let col = w.col_mut(j);
+        for i in 0..k {
+            let mut s = 0.0;
+            for l in i..k {
+                s += t.at(i, l) * col[l];
+            }
+            col[i] = s;
+        }
+    }
+}
+
+/// In place `W := W · T` with `T` upper triangular (non-unit).
+fn trmm_upper_right(t: MatView<'_>, mut w: MatViewMut<'_>) {
+    let k = t.nrows();
+    debug_assert_eq!(w.ncols(), k);
+    let m = w.nrows();
+    // Column j of the result uses columns 0..=j of W: process right-to-left.
+    for j in (0..k).rev() {
+        for i in 0..m {
+            let mut s = 0.0;
+            for l in 0..=j {
+                s += w.at(i, l) * t.at(l, j);
+            }
+            w.set(i, j, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::form_q_thin;
+    use ca_matrix::{norm_max, orthogonality, qr_residual};
+
+    fn check(m: usize, n: usize, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(seed));
+        let mut a = a0.clone();
+        let mut t = Matrix::zeros(n, n);
+        geqr3(a.view_mut(), t.view_mut());
+        let q = form_q_thin(a.view(), t.view());
+        let r = a.upper();
+        assert!(orthogonality(&q) < 1e-12 * (m as f64), "Q not orthogonal for {m}x{n}");
+        let res = qr_residual(&a0, &q, &r);
+        assert!(res < 1e-12 * (m as f64), "residual {res} for {m}x{n}");
+    }
+
+    #[test]
+    fn recursive_qr_various_shapes() {
+        check(4, 4, 1); // base case exactly
+        check(5, 5, 2); // first split
+        check(16, 16, 3);
+        check(40, 12, 4);
+        check(100, 32, 5);
+        check(65, 33, 6); // odd sizes
+        check(7, 1, 7);
+    }
+
+    #[test]
+    fn recursive_matches_unblocked_r_up_to_sign() {
+        let m = 30;
+        let n = 12;
+        let a0 = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(9));
+        let mut a3 = a0.clone();
+        let mut t = Matrix::zeros(n, n);
+        geqr3(a3.view_mut(), t.view_mut());
+        let mut a2 = a0.clone();
+        let mut tau = Vec::new();
+        crate::qr_unblocked::geqr2(a2.view_mut(), &mut tau);
+        // R is unique up to row signs.
+        for i in 0..n {
+            for j in i..n {
+                let x = a3[(i, j)].abs();
+                let y = a2[(i, j)].abs();
+                assert!((x - y).abs() < 1e-11, "R mismatch at ({i},{j}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_factor_is_upper_triangular() {
+        let m = 20;
+        let n = 10;
+        let mut a = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(10));
+        let mut t = Matrix::zeros(n, n);
+        geqr3(a.view_mut(), t.view_mut());
+        for j in 0..n {
+            for i in j + 1..n {
+                assert_eq!(t[(i, j)], 0.0, "T not upper triangular at ({i},{j})");
+            }
+        }
+        assert!(norm_max(t.view()) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn wide_panel_rejected() {
+        let mut a = Matrix::zeros(3, 5);
+        let mut t = Matrix::zeros(5, 5);
+        geqr3(a.view_mut(), t.view_mut());
+    }
+}

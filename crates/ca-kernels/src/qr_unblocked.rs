@@ -1,0 +1,108 @@
+//! Unblocked Householder QR (`dgeqr2`) — the BLAS2 panel routine the paper
+//! calls `MKL_dgeqr2`, and the base case of the recursive `geqr3`.
+
+use crate::householder::{larf_left, larfg};
+use ca_matrix::MatViewMut;
+
+/// Householder QR of an `m × n` view, in place. On return the upper triangle
+/// holds `R`; the reflector vectors `v_j` are stored below the diagonal with
+/// implicit unit diagonal; `tau` receives the `min(m, n)` scalar factors.
+pub fn geqr2(mut a: MatViewMut<'_>, tau: &mut Vec<f64>) {
+    let m = a.nrows();
+    let n = a.ncols();
+    let k = m.min(n);
+    tau.clear();
+    tau.reserve(k);
+
+    let mut vbuf = vec![0.0f64; m];
+    for j in 0..k {
+        // Generate reflector annihilating A[j+1.., j].
+        let alpha = a.at(j, j);
+        let (beta, tj) = {
+            let col = a.col_mut(j);
+            larfg(alpha, &mut col[j + 1..])
+        };
+        a.set(j, j, beta);
+        tau.push(tj);
+
+        if j + 1 < n && tj != 0.0 {
+            // Apply H to the trailing columns A[j.., j+1..].
+            let len = m - j;
+            vbuf[0] = 1.0;
+            vbuf[1..len].copy_from_slice(&a.col(j)[j + 1..]);
+            let trailing = a.sub(j, j + 1, len, n - j - 1);
+            larf_left(tj, &vbuf[..len], trailing);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::{form_q_thin, larft};
+    use ca_matrix::{norm_max, orthogonality, qr_residual, Matrix};
+
+    fn check_qr(m: usize, n: usize, seed: u64) {
+        let a0 = ca_matrix::random_uniform(m, n, &mut ca_matrix::seeded_rng(seed));
+        let mut a = a0.clone();
+        let mut tau = Vec::new();
+        geqr2(a.view_mut(), &mut tau);
+        let k = m.min(n);
+        assert_eq!(tau.len(), k);
+
+        let mut t = Matrix::zeros(k, k);
+        larft(a.block(0, 0, m, k), &tau, t.view_mut());
+        let q = form_q_thin(a.block(0, 0, m, k), t.view());
+        let r = a.upper();
+        assert!(orthogonality(&q) < 1e-13 * (m as f64), "Q not orthogonal {m}x{n}");
+        let res = qr_residual(&a0, &q, &r);
+        assert!(res < 1e-13 * (m as f64), "residual {res} for {m}x{n}");
+    }
+
+    #[test]
+    fn qr_various_shapes() {
+        check_qr(1, 1, 1);
+        check_qr(6, 6, 2);
+        check_qr(20, 5, 3); // tall
+        check_qr(5, 9, 4); // wide
+        check_qr(50, 50, 5);
+        check_qr(128, 16, 6);
+    }
+
+    #[test]
+    fn r_diagonal_sign_convention() {
+        // LAPACK-style larfg makes beta = -sign(alpha)*norm: R diagonal has
+        // the opposite sign of the leading entry. Just check |R[0,0]| = ‖a‖.
+        let a0 = Matrix::from_rows(3, 1, &[3.0, 0.0, 4.0]);
+        let mut a = a0.clone();
+        let mut tau = Vec::new();
+        geqr2(a.view_mut(), &mut tau);
+        assert!((a[(0, 0)].abs() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn qr_of_zero_matrix() {
+        let mut a = Matrix::zeros(4, 3);
+        let mut tau = Vec::new();
+        geqr2(a.view_mut(), &mut tau);
+        assert_eq!(tau, vec![0.0, 0.0, 0.0]);
+        assert_eq!(norm_max(a.view()), 0.0);
+    }
+
+    #[test]
+    fn qr_of_orthogonal_columns_gives_diagonal_r() {
+        // Columns of the identity are already orthonormal.
+        let mut a = Matrix::from_fn(5, 3, |i, j| if i == j { 2.0 } else { 0.0 });
+        let a0 = a.clone();
+        let mut tau = Vec::new();
+        geqr2(a.view_mut(), &mut tau);
+        let r = a.upper();
+        for i in 0..3 {
+            assert!((r[(i, i)].abs() - 2.0).abs() < 1e-14);
+            for j in i + 1..3 {
+                assert!(r[(i, j)].abs() < 1e-14);
+            }
+        }
+        let _ = a0;
+    }
+}

@@ -1,0 +1,99 @@
+//! Memory-traffic estimates (bytes moved between memory and cache) for each
+//! kernel class — the *communication* that communication-avoiding
+//! algorithms minimize.
+//!
+//! The estimates are the standard blocked-algorithm counts: each operand is
+//! charged once per pass over it, assuming the `b × b`-scale working set
+//! fits cache but the tall operands do not. They feed the simulator's
+//! roofline cost model (`max(flops/throughput, bytes/bandwidth)`), which is
+//! what makes BLAS2 kernels bandwidth-bound and BLAS3 kernels compute-bound
+//! in simulated runs — the mechanism behind the paper's BLAS2/BLAS3 gap.
+
+const W: f64 = 8.0; // bytes per f64
+
+/// `C += A·B` with `C` `m × n`, inner dimension `k`: read A, B, read+write
+/// C once each (blocked, working set cached).
+pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+    W * ((m * k) as f64 + (k * n) as f64 + 2.0 * (m * n) as f64)
+}
+
+/// Right triangular solve `B := B·U⁻¹`, `B` `m × n`: read U, read+write B.
+pub fn trsm_right(m: usize, n: usize) -> f64 {
+    W * ((n * n / 2) as f64 + 2.0 * (m * n) as f64)
+}
+
+/// Left triangular solve over an `m × n` block.
+pub fn trsm_left(m: usize, n: usize) -> f64 {
+    W * ((m * m / 2) as f64 + 2.0 * (m * n) as f64)
+}
+
+/// Compact-WY application to an `m × n` block with `k` reflectors:
+/// read V and T, read+write C, plus the `k × n` W workspace twice.
+pub fn larfb(m: usize, n: usize, k: usize) -> f64 {
+    W * ((m * k) as f64 + (k * k / 2) as f64 + 2.0 * (m * n) as f64 + 2.0 * (k * n) as f64)
+}
+
+/// BLAS2 GEPP of an `m × n` panel: the trailing block is re-read and
+/// re-written once per column — `n` passes over O(m·n) data. This is the
+/// term TSLU's single-pass-per-level structure avoids.
+pub fn getf2(m: usize, n: usize) -> f64 {
+    // sum_j 2·(m-j)(n-j) words ≈ 2·m·n²/2 for m >> n.
+    let (mf, nf) = (m as f64, n as f64);
+    W * (mf * nf * nf - nf * nf * nf / 3.0).max(2.0 * mf * nf)
+}
+
+/// Recursive GEPP: BLAS3-like — each half-panel recursion passes over the
+/// panel a logarithmic number of times.
+pub fn rgetf2(m: usize, n: usize) -> f64 {
+    let passes = (n.max(2) as f64).log2().ceil();
+    W * 2.0 * (m * n) as f64 * passes
+}
+
+/// BLAS2 Householder QR of an `m × n` panel (same column-at-a-time pattern
+/// as [`getf2`], with twice the arithmetic per pass).
+pub fn geqr2(m: usize, n: usize) -> f64 {
+    getf2(m, n)
+}
+
+/// Recursive QR: logarithmic passes, like [`rgetf2`].
+pub fn geqr3(m: usize, n: usize) -> f64 {
+    rgetf2(m, n)
+}
+
+/// Row interchanges: `swaps` row pairs over `n` columns, read+write both.
+pub fn laswp(swaps: usize, n: usize) -> f64 {
+    W * 4.0 * (swaps * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blas2_panel_moves_far_more_than_blas3() {
+        // 20000 x 100 panel: dgetf2 re-traverses the panel ~100 times,
+        // rgetf2 ~7 times.
+        let b2 = getf2(20_000, 100);
+        let rec = rgetf2(20_000, 100);
+        assert!(b2 > 5.0 * rec, "blas2 {b2} vs recursive {rec}");
+    }
+
+    #[test]
+    fn gemm_traffic_is_linear_in_operands() {
+        let t = gemm(100, 100, 100);
+        assert_eq!(t, 8.0 * (10_000.0 + 10_000.0 + 20_000.0));
+    }
+
+    #[test]
+    fn gemm_arithmetic_intensity_grows_with_size() {
+        // flops/byte must grow ~linearly with the block size: that is why
+        // BLAS3 becomes compute-bound.
+        let ai = |s: usize| crate::flops::gemm(s, s, s) / gemm(s, s, s);
+        assert!(ai(200) > 3.0 * ai(50));
+    }
+
+    #[test]
+    fn swap_traffic_scales_with_width() {
+        assert_eq!(laswp(10, 100), 8.0 * 4.0 * 1000.0);
+    }
+}

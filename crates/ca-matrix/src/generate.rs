@@ -1,0 +1,210 @@
+//! Test-matrix generators: random dense matrices and the structured matrices
+//! used by the stability experiments.
+
+use crate::matrix::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for reproducible experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Dense matrix with i.i.d. entries uniform in `[-1, 1]`.
+pub fn random_uniform(rows: usize, cols: usize, rng: &mut impl rand::Rng) -> Matrix {
+    let dist = Uniform::new_inclusive(-1.0f64, 1.0);
+    let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
+    Matrix::from_vec(data, rows, cols)
+}
+
+/// Dense matrix with approximately standard-normal entries
+/// (sum of 12 uniforms, shifted — avoids an extra distribution dependency).
+pub fn random_normal(rows: usize, cols: usize, rng: &mut impl rand::Rng) -> Matrix {
+    let dist = Uniform::new(0.0f64, 1.0);
+    let data = (0..rows * cols)
+        .map(|_| {
+            let s: f64 = (0..12).map(|_| dist.sample(rng)).sum();
+            s - 6.0
+        })
+        .collect();
+    Matrix::from_vec(data, rows, cols)
+}
+
+/// A random matrix guaranteed diagonally dominant (hence LU without pivoting
+/// exists); useful for isolating pivoting effects in tests.
+pub fn random_diag_dominant(n: usize, rng: &mut impl rand::Rng) -> Matrix {
+    let mut a = random_uniform(n, n, rng);
+    for i in 0..n {
+        a[(i, i)] = n as f64 + 1.0;
+    }
+    a
+}
+
+/// The Wilkinson "growth" matrix: ones on the diagonal and last column,
+/// `-1` below the diagonal. Partial pivoting exhibits `2^{n-1}` element
+/// growth on it — the classic worst case for GEPP stability experiments.
+pub fn wilkinson_growth(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if j == n - 1 || i == j {
+            1.0
+        } else if i > j {
+            -1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// A matrix with geometrically graded row scales
+/// (condition roughly `scale^(n-1)` per row grading), for ill-conditioned
+/// stress tests.
+pub fn graded_rows(rows: usize, cols: usize, scale: f64, rng: &mut impl rand::Rng) -> Matrix {
+    let mut a = random_uniform(rows, cols, rng);
+    let mut s = 1.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            a[(i, j)] *= s;
+        }
+        s *= scale;
+        if s < f64::MIN_POSITIVE * 1e8 {
+            s = f64::MIN_POSITIVE * 1e8;
+        }
+    }
+    a
+}
+
+/// The Kahan matrix: upper triangular with `diag(s^i)` and `-c·s^i` above,
+/// `s² + c² = 1`. Notoriously adversarial for pivoting and rank detection.
+pub fn kahan(n: usize, theta: f64) -> Matrix {
+    let s = theta.sin();
+    let c = theta.cos();
+    Matrix::from_fn(n, n, |i, j| {
+        let si = s.powi(i as i32);
+        if i == j {
+            si
+        } else if j > i {
+            -c * si
+        } else {
+            0.0
+        }
+    })
+}
+
+/// A dense orthogonal-ish matrix built from a product of Householder
+/// reflectors (exactly orthogonal up to roundoff): growth factor 1 under
+/// any reasonable pivoting.
+pub fn random_orthogonal(n: usize, rng: &mut impl rand::Rng) -> Matrix {
+    // Start from identity and apply n reflectors.
+    let mut q = Matrix::identity(n);
+    let dist = Uniform::new(-1.0f64, 1.0);
+    let mut v = vec![0.0f64; n];
+    for _ in 0..n.min(20) {
+        for x in v.iter_mut() {
+            *x = dist.sample(rng);
+        }
+        let norm2: f64 = v.iter().map(|x| x * x).sum();
+        if norm2 < 1e-12 {
+            continue;
+        }
+        // q := (I - 2 v vᵀ / ‖v‖²) q
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in 0..n {
+                dot += v[i] * q[(i, j)];
+            }
+            let scale = 2.0 * dot / norm2;
+            for i in 0..n {
+                q[(i, j)] -= scale * v[i];
+            }
+        }
+    }
+    q
+}
+
+/// A tall-and-skinny matrix whose top `cols × cols` block is singular
+/// (duplicate rows), exercising tournament pivoting on rank-deficient leaves.
+pub fn deficient_top_block(rows: usize, cols: usize, rng: &mut impl rand::Rng) -> Matrix {
+    assert!(rows >= 2 * cols, "need rows >= 2*cols");
+    let mut a = random_uniform(rows, cols, rng);
+    for i in 0..cols {
+        for j in 0..cols {
+            let v = a[(0, j)];
+            a[(i, j)] = v; // every top-block row equals row 0
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a = random_uniform(4, 4, &mut seeded_rng(42));
+        let b = random_uniform(4, 4, &mut seeded_rng(42));
+        assert_eq!(a, b);
+        let c = random_uniform(4, 4, &mut seeded_rng(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_entries_in_range() {
+        let a = random_uniform(10, 10, &mut seeded_rng(1));
+        for &x in a.as_slice() {
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_entries_have_small_mean() {
+        let a = random_normal(100, 100, &mut seeded_rng(7));
+        let mean: f64 = a.as_slice().iter().sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn wilkinson_has_expected_pattern() {
+        let w = wilkinson_growth(4);
+        assert_eq!(w[(0, 0)], 1.0);
+        assert_eq!(w[(3, 3)], 1.0);
+        assert_eq!(w[(2, 0)], -1.0);
+        assert_eq!(w[(0, 3)], 1.0);
+        assert_eq!(w[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn deficient_top_block_is_rank_one_on_top() {
+        let a = deficient_top_block(12, 3, &mut seeded_rng(5));
+        for i in 1..3 {
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], a[(0, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn kahan_is_upper_triangular_with_decaying_diagonal() {
+        let k = kahan(6, 1.2);
+        assert!(k[(3, 1)] == 0.0);
+        assert!(k[(1, 3)] < 0.0);
+        assert!(k[(5, 5)] < k[(0, 0)]);
+        assert!(k[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let q = random_orthogonal(24, &mut seeded_rng(11));
+        assert!(crate::norms::orthogonality(&q) < 1e-12);
+    }
+
+    #[test]
+    fn diag_dominant_dominates() {
+        let a = random_diag_dominant(8, &mut seeded_rng(3));
+        for i in 0..8 {
+            let off: f64 = (0..8).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            assert!(a[(i, i)].abs() > off);
+        }
+    }
+}

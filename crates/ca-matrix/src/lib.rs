@@ -1,0 +1,38 @@
+//! # ca-matrix
+//!
+//! Dense column-major matrix substrate for the `ca-factor` workspace — the
+//! data layer under the communication-avoiding LU/QR factorizations of
+//! Donfack, Grigori & Gupta (IPDPS 2010).
+//!
+//! Provides:
+//! * [`Matrix`] — owned, packed column-major storage (LAPACK layout);
+//! * [`MatView`] / [`MatViewMut`] — stride-aware borrowed blocks, the
+//!   argument type of every kernel in `ca-kernels`;
+//! * [`SharedMatrix`] — the shared-mutable handle task runtimes use to hand
+//!   disjoint blocks to concurrent tasks;
+//! * [`PivotSeq`] and permutation helpers — row-interchange bookkeeping for
+//!   partial and tournament pivoting;
+//! * norms, residual measures, and reproducible test-matrix generators.
+
+#![warn(missing_docs)]
+
+mod generate;
+pub mod io;
+mod matrix;
+mod norms;
+mod perm;
+mod shared;
+mod view;
+
+pub use generate::{
+    deficient_top_block, graded_rows, kahan, random_diag_dominant, random_normal,
+    random_orthogonal, random_uniform, seeded_rng, wilkinson_growth,
+};
+pub use matrix::Matrix;
+pub use norms::{
+    growth_factor, lu_residual, norm_fro, norm_inf, norm_max, norm_one, orthogonality,
+    qr_residual, residual_threshold,
+};
+pub use perm::{invert_permutation, is_permutation, permute_rows, PivotSeq};
+pub use shared::SharedMatrix;
+pub use view::{MatView, MatViewMut};

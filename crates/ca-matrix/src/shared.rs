@@ -1,0 +1,153 @@
+//! Shared-mutable matrix handle for task-parallel runtimes.
+//!
+//! A dynamic task scheduler hands blocks of one matrix to tasks running on
+//! different threads. The borrow checker cannot express "these tasks touch
+//! disjoint blocks because the dependency graph says so", so the runtime uses
+//! [`SharedMatrix`]: an unsafe cell over the matrix buffer whose block
+//! accessors are `unsafe fn`s with the disjointness obligation spelled out.
+//!
+//! This mirrors what every task-based dense linear algebra runtime
+//! (PLASMA/QUARK, StarPU, OpenMP tasks with `depend`) does: correctness of
+//! concurrent block access is a property of the task graph, not of the type
+//! system. All uses in this workspace are confined to `ca-sched` executors
+//! running graphs built by `ca-core`/`ca-baselines` DAG builders, which are
+//! tested to produce dependency-respecting schedules.
+
+use crate::matrix::Matrix;
+use crate::view::{MatView, MatViewMut};
+use core::cell::UnsafeCell;
+
+/// A matrix owned by a task-parallel computation.
+///
+/// Construct with [`SharedMatrix::new`], run the task graph, then reclaim the
+/// result with [`SharedMatrix::into_inner`].
+pub struct SharedMatrix {
+    cell: UnsafeCell<Matrix>,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: concurrent access is only possible through the `unsafe` block
+// accessors, whose contracts require callers (the task runtime) to guarantee
+// non-overlapping access; under that contract data races cannot occur.
+unsafe impl Send for SharedMatrix {}
+unsafe impl Sync for SharedMatrix {}
+
+impl SharedMatrix {
+    /// Wraps a matrix for shared task access.
+    pub fn new(m: Matrix) -> Self {
+        let rows = m.nrows();
+        let cols = m.ncols();
+        Self { cell: UnsafeCell::new(m), rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reclaims the matrix after all tasks have completed.
+    pub fn into_inner(self) -> Matrix {
+        self.cell.into_inner()
+    }
+
+    /// Immutable view of the block at `(i, j)` with shape `r × c`.
+    ///
+    /// # Safety
+    /// For the lifetime of the returned view no concurrently running task may
+    /// mutate any element of the block. The scheduler's dependency edges must
+    /// enforce this.
+    #[inline]
+    pub unsafe fn block(&self, i: usize, j: usize, r: usize, c: usize) -> MatView<'_> {
+        assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
+        let m = &*self.cell.get();
+        let ptr = m.as_slice().as_ptr().add(i + j * self.rows);
+        MatView::from_raw_parts(ptr, r, c, self.rows)
+    }
+
+    /// Mutable view of the block at `(i, j)` with shape `r × c`.
+    ///
+    /// # Safety
+    /// For the lifetime of the returned view no concurrently running task may
+    /// read or mutate any element of the block. The scheduler's dependency
+    /// edges must enforce this.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn block_mut(&self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'_> {
+        assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
+        let m = &mut *self.cell.get();
+        let rows = self.rows;
+        let ptr = m.as_mut_slice().as_mut_ptr().add(i + j * rows);
+        MatViewMut::from_raw_parts(ptr, r, c, rows)
+    }
+
+    /// Whole-matrix mutable view.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedMatrix::block_mut`] over the whole matrix —
+    /// i.e. the caller must be the only task touching the matrix.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn whole_mut(&self) -> MatViewMut<'_> {
+        self.block_mut(0, 0, self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + 10 * j) as f64);
+        let orig = m.clone();
+        let s = SharedMatrix::new(m);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.into_inner(), orig);
+    }
+
+    #[test]
+    fn disjoint_blocks_see_their_own_data() {
+        let s = SharedMatrix::new(Matrix::zeros(4, 4));
+        // SAFETY: single-threaded test; blocks are disjoint.
+        unsafe {
+            s.block_mut(0, 0, 2, 2).fill(1.0);
+            s.block_mut(2, 2, 2, 2).fill(2.0);
+            assert_eq!(s.block(0, 0, 2, 2).at(1, 1), 1.0);
+            assert_eq!(s.block(2, 2, 2, 2).at(0, 0), 2.0);
+            assert_eq!(s.block(0, 2, 2, 2).at(0, 0), 0.0);
+        }
+        let m = s.into_inner();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(3, 3)], 2.0);
+        assert_eq!(m[(0, 3)], 0.0);
+    }
+
+    #[test]
+    fn parallel_disjoint_writes_are_sound() {
+        let s = SharedMatrix::new(Matrix::zeros(64, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    // SAFETY: each thread writes a disjoint 16-row stripe.
+                    let mut b = unsafe { s.block_mut(t * 16, 0, 16, 8) };
+                    b.fill(t as f64 + 1.0);
+                });
+            }
+        });
+        let m = s.into_inner();
+        for t in 0..4 {
+            assert_eq!(m[(t * 16, 0)], t as f64 + 1.0);
+            assert_eq!(m[(t * 16 + 15, 7)], t as f64 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Block-level dependency inference for building factorization task graphs.
+//!
+//! The builders express each task's effect as reads/writes of `b × b` blocks
+//! of the matrix; [`BlockTracker`] turns those into dependency edges
+//! (read-after-write, write-after-write, and write-after-read), which is how
+//! the paper's "task dependency graph constructed on the fly" is realized.
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+use std::collections::HashSet;
+
+/// Per-block last-writer / readers-since-write bookkeeping over an `mb × nb`
+/// block grid.
+pub struct BlockTracker {
+    mb: usize,
+    nb: usize,
+    last_writer: Vec<Option<TaskId>>,
+    readers: Vec<Vec<TaskId>>,
+}
+
+impl BlockTracker {
+    /// A tracker over an `mb × nb` block grid with no accesses recorded yet.
+    pub fn new(mb: usize, nb: usize) -> Self {
+        Self { mb, nb, last_writer: vec![None; mb * nb], readers: vec![Vec::new(); mb * nb] }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.mb && j < self.nb, "block ({i},{j}) outside {}x{} grid", self.mb, self.nb);
+        i + j * self.mb
+    }
+
+    /// Declares that `task` reads blocks `(i, j)` for `i` in `rows`, `j` in
+    /// `cols`, adding read-after-write edges.
+    pub fn read<T>(
+        &mut self,
+        g: &mut TaskGraph<T>,
+        task: TaskId,
+        rows: core::ops::Range<usize>,
+        cols: core::ops::Range<usize>,
+    ) {
+        let mut deps = HashSet::new();
+        for j in cols {
+            for i in rows.clone() {
+                let x = self.idx(i, j);
+                if let Some(w) = self.last_writer[x] {
+                    if w != task {
+                        deps.insert(w);
+                    }
+                }
+                self.readers[x].push(task);
+            }
+        }
+        add_sorted_deps(g, deps, task);
+    }
+
+    /// Declares that `task` writes blocks `(i, j)` for `i` in `rows`, `j` in
+    /// `cols`, adding WAW and WAR edges and resetting reader sets.
+    pub fn write<T>(
+        &mut self,
+        g: &mut TaskGraph<T>,
+        task: TaskId,
+        rows: core::ops::Range<usize>,
+        cols: core::ops::Range<usize>,
+    ) {
+        let mut deps = HashSet::new();
+        for j in cols {
+            for i in rows.clone() {
+                let x = self.idx(i, j);
+                if let Some(w) = self.last_writer[x] {
+                    if w != task {
+                        deps.insert(w);
+                    }
+                }
+                for &r in &self.readers[x] {
+                    if r != task {
+                        deps.insert(r);
+                    }
+                }
+                self.readers[x].clear();
+                self.last_writer[x] = Some(task);
+            }
+        }
+        add_sorted_deps(g, deps, task);
+    }
+}
+
+fn add_sorted_deps<T>(g: &mut TaskGraph<T>, deps: HashSet<TaskId>, task: TaskId) {
+    let mut v: Vec<TaskId> = deps.into_iter().collect();
+    v.sort_unstable();
+    for d in v {
+        g.add_dep(d, task);
+    }
+}
+
+/// Block-row range (inclusive start, exclusive end) covering rows
+/// `r.start..r.end` on a grid of `b`-row blocks.
+pub fn row_blocks(r: core::ops::Range<usize>, b: usize) -> core::ops::Range<usize> {
+    if r.is_empty() {
+        return 0..0;
+    }
+    (r.start / b)..r.end.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskKind, TaskLabel, TaskMeta};
+
+    fn mk(g: &mut TaskGraph<()>) -> TaskId {
+        g.add_task(TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), 1.0), ())
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(4, 4);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..2, 0..2);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 1..2, 1..2);
+        assert_eq!(g.successors(w), &[r]);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 2);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 0..1, 0..1);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..1, 0..1);
+        assert_eq!(g.successors(r), &[w]);
+    }
+
+    #[test]
+    fn waw_dependency_and_reader_reset() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 2);
+        let w1 = mk(&mut g);
+        t.write(&mut g, w1, 0..1, 0..1);
+        let w2 = mk(&mut g);
+        t.write(&mut g, w2, 0..1, 0..1);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 0..1, 0..1);
+        assert_eq!(g.successors(w1), &[w2]);
+        assert_eq!(g.successors(w2), &[r]);
+    }
+
+    #[test]
+    fn disjoint_blocks_no_dependency() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(4, 4);
+        let a = mk(&mut g);
+        t.write(&mut g, a, 0..1, 0..1);
+        let b = mk(&mut g);
+        t.write(&mut g, b, 1..2, 1..2);
+        assert!(g.successors(a).is_empty());
+        assert_eq!(g.pred_count(b), 0);
+    }
+
+    #[test]
+    fn duplicate_deps_are_merged() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(4, 1);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..4, 0..1);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 0..4, 0..1);
+        // One edge, not four.
+        assert_eq!(g.successors(w).len(), 1);
+        assert_eq!(g.pred_count(r), 1);
+    }
+
+    #[test]
+    fn row_block_ranges() {
+        assert_eq!(row_blocks(0..100, 100), 0..1);
+        assert_eq!(row_blocks(0..101, 100), 0..2);
+        assert_eq!(row_blocks(100..250, 100), 1..3);
+        assert_eq!(row_blocks(150..250, 100), 1..3);
+        assert_eq!(row_blocks(5..5, 100), 0..0);
+    }
+}

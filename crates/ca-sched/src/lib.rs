@@ -1,0 +1,37 @@
+//! # ca-sched
+//!
+//! Dynamic task-graph runtime for the `ca-factor` workspace — the scheduling
+//! substrate of multithreaded CALU/CAQR (Donfack, Grigori & Gupta, IPDPS
+//! 2010, §III "Task scheduling").
+//!
+//! Two executors share one [`TaskGraph`] representation:
+//!
+//! * [`run_graph`] — a real worker pool: a shared priority queue of ready
+//!   tasks, drained by `nthreads` OS threads. Priorities encode the paper's
+//!   lookahead-of-1 rule (panel tasks and the update of block column `K+1`
+//!   outrank other updates).
+//! * [`simulate`] — a deterministic list-scheduling discrete-event simulator
+//!   with `P` virtual cores and a pluggable cost model. This is the
+//!   hardware-substitution layer that stands in for the paper's 8-core Xeon
+//!   and 16-core Opteron machines (see DESIGN.md §2).
+//!
+//! Both produce a [`Timeline`] renderable as an ASCII Gantt chart
+//! ([`ascii_gantt`]) in the style of the paper's Figures 2–4.
+
+#![warn(missing_docs)]
+
+mod blockdeps;
+mod graph;
+mod pool;
+mod pool_ws;
+mod sim;
+mod task;
+mod trace;
+
+pub use blockdeps::{row_blocks, BlockTracker};
+pub use graph::TaskGraph;
+pub use pool::{run_graph, ExecStats, Job};
+pub use pool_ws::run_graph_stealing;
+pub use sim::{simulate, simulate_uniform};
+pub use task::{KernelClass, TaskId, TaskKind, TaskLabel, TaskMeta};
+pub use trace::{ascii_gantt, chrome_trace_json, Span, Timeline};

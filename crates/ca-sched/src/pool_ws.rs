@@ -1,0 +1,208 @@
+//! Work-stealing execution of a task graph — the Cilk-style alternative to
+//! the centralized priority queue of [`crate::run_graph`].
+//!
+//! Each worker owns a LIFO deque; completing a task pushes its newly ready
+//! successors locally, and idle workers steal from the global injector or
+//! from peers. Global priorities (and hence the paper's lookahead-of-1
+//! rule) are **not** honored — only depth-first locality — which is exactly
+//! the trade-off this variant exists to expose: dynamic scheduling with
+//! priorities (the paper's choice, PLASMA-like) versus pure work stealing.
+
+use crate::graph::TaskGraph;
+use crate::pool::{ExecStats, Job};
+use crate::trace::{Span, Timeline};
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Executes the graph on `nthreads` workers with work stealing, consuming
+/// it. Returns after every task has run; propagates the first task panic.
+///
+/// # Panics
+/// Propagates task panics; panics if `nthreads == 0`.
+pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
+    assert!(nthreads > 0, "need at least one worker");
+    let n = graph.len();
+    let TaskGraph { metas, payloads, succs, npreds } = graph;
+
+    let slots: Vec<Mutex<Option<Job<'_>>>> =
+        payloads.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let preds: Vec<AtomicUsize> = npreds.iter().map(|&c| AtomicUsize::new(c)).collect();
+    let remaining = AtomicUsize::new(n);
+
+    let injector: Injector<usize> = Injector::new();
+    for id in 0..n {
+        if npreds[id] == 0 {
+            injector.push(id);
+        }
+    }
+    let deques: Vec<Deque<usize>> = (0..nthreads).map(|_| Deque::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
+
+    let t0 = Instant::now();
+    let lanes: Vec<Mutex<Vec<Span>>> = (0..nthreads).map(|_| Mutex::new(Vec::new())).collect();
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for (w, local) in deques.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            let preds = &preds;
+            let metas = &metas;
+            let succs = &succs;
+            let lanes = &lanes;
+            let remaining = &remaining;
+            let panic_payload = &panic_payload;
+            scope.spawn(move || {
+                let mut idle_spins = 0u32;
+                loop {
+                    // Local first, then the injector, then steal from peers.
+                    let found = local.pop().or_else(|| {
+                        std::iter::repeat_with(|| {
+                            injector
+                                .steal_batch_and_pop(&local)
+                                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+                        })
+                        .find(|s| !s.is_retry())
+                        .and_then(|s| s.success())
+                    });
+
+                    let Some(id) = found else {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                        idle_spins += 1;
+                        if idle_spins > 64 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                        continue;
+                    };
+                    idle_spins = 0;
+
+                    let job = slots[id].lock().take().expect("task executed twice");
+                    let start = t0.elapsed().as_secs_f64();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    let end = t0.elapsed().as_secs_f64();
+                    lanes[w].lock().push(Span { task: id, label: metas[id].label, start, end });
+
+                    if let Err(p) = result {
+                        let mut slot = panic_payload.lock();
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                    }
+                    for &s in &succs[id] {
+                        if preds[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            local.push(s);
+                        }
+                    }
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = panic_payload.into_inner() {
+        std::panic::resume_unwind(p);
+    }
+
+    let mut timeline = Timeline::new(nthreads);
+    for (w, lane) in lanes.into_iter().enumerate() {
+        let mut spans = lane.into_inner();
+        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        timeline.lanes[w] = spans;
+    }
+    timeline.makespan = t0.elapsed().as_secs_f64();
+    ExecStats { tasks: n, wall_seconds: timeline.makespan, timeline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskKind, TaskLabel, TaskMeta};
+    use std::sync::atomic::AtomicU64;
+
+    fn meta() -> TaskMeta {
+        TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), 1.0)
+    }
+
+    #[test]
+    fn executes_all_tasks_once() {
+        let counter = AtomicUsize::new(0);
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        for _ in 0..200 {
+            g.add_task(meta(), Box::new(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let stats = run_graph_stealing(g, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(stats.tasks, 200);
+        stats.timeline.validate();
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let clock = AtomicU64::new(0);
+        let stamps: Vec<AtomicU64> = (0..40).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        // Chain of 40 tasks.
+        let mut prev = None;
+        for i in 0..40usize {
+            let clock = &clock;
+            let stamps = &stamps;
+            let id = g.add_task(meta(), Box::new(move || {
+                stamps[i].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            }));
+            if let Some(p) = prev {
+                g.add_dep(p, id);
+            }
+            prev = Some(id);
+        }
+        run_graph_stealing(g, 4);
+        for i in 1..40 {
+            assert!(stamps[i - 1].load(Ordering::SeqCst) < stamps[i].load(Ordering::SeqCst));
+        }
+    }
+
+    #[test]
+    fn diamond_fanout() {
+        let total = AtomicUsize::new(0);
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let total_ref = &total;
+        let root = g.add_task(meta(), Box::new(move || {
+            total_ref.fetch_add(1, Ordering::Relaxed);
+        }));
+        let mids: Vec<_> = (0..64)
+            .map(|_| {
+                let id = g.add_task(meta(), Box::new(move || {
+                    total_ref.fetch_add(1, Ordering::Relaxed);
+                }));
+                g.add_dep(root, id);
+                id
+            })
+            .collect();
+        let sink = g.add_task(meta(), Box::new(move || {
+            total_ref.fetch_add(1, Ordering::Relaxed);
+        }));
+        for m in mids {
+            g.add_dep(m, sink);
+        }
+        run_graph_stealing(g, 8);
+        assert_eq!(total.load(Ordering::Relaxed), 66);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        g.add_task(meta(), Box::new(|| panic!("boom")));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_graph_stealing(g, 2)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Deterministic multicore simulator.
+//!
+//! Replays a task graph on `P` virtual cores with list scheduling: whenever a
+//! core is idle and tasks are ready, the highest-priority ready task starts
+//! on the lowest-numbered idle core. Task durations come from a caller-
+//! supplied cost model (seconds per task, typically `flops / throughput`
+//! with throughputs measured by `ca-bench`'s calibration on the host).
+//!
+//! This is the hardware-substitution layer documented in DESIGN.md: the
+//! paper's 8-core Xeon and 16-core Opteron are replaced by simulated
+//! machines executing the *same task DAGs* the threaded runtime executes,
+//! so schedule-level effects (panel on the critical path, idle-time gaps of
+//! Figure 3, lookahead) are reproduced faithfully.
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+use crate::trace::{Span, Timeline};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct ReadyEntry {
+    priority: i64,
+    id: TaskId,
+}
+
+impl Ord for ReadyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority.cmp(&other.priority).then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for ReadyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(PartialEq)]
+struct Completion {
+    time: f64,
+    worker: usize,
+    task: TaskId,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, worker): earliest completion first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.worker.cmp(&self.worker))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates executing `graph` on `nworkers` cores; `cost` maps a task id
+/// and its metadata to a duration in seconds.
+///
+/// Returns the full [`Timeline`]. Deterministic: same inputs, same schedule.
+///
+/// # Panics
+/// If `nworkers == 0`.
+pub fn simulate<T>(
+    graph: &TaskGraph<T>,
+    nworkers: usize,
+    mut cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
+) -> Timeline {
+    assert!(nworkers > 0, "need at least one simulated core");
+    let n = graph.len();
+    let mut preds: Vec<usize> = graph.npreds.clone();
+    let mut ready: BinaryHeap<ReadyEntry> = BinaryHeap::new();
+    for id in 0..n {
+        if preds[id] == 0 {
+            ready.push(ReadyEntry { priority: graph.metas[id].priority, id });
+        }
+    }
+
+    let mut idle: Vec<usize> = (0..nworkers).rev().collect(); // pop() gives lowest index
+    let mut events: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut timeline = Timeline::new(nworkers);
+    let mut t = 0.0f64;
+    let mut done = 0usize;
+
+    while done < n {
+        // Start as many ready tasks as there are idle cores, at time t.
+        while !idle.is_empty() && !ready.is_empty() {
+            let entry = ready.pop().expect("nonempty");
+            let worker = idle.pop().expect("nonempty");
+            let d = cost(entry.id, &graph.metas[entry.id]).max(0.0);
+            timeline.lanes[worker].push(Span {
+                task: entry.id,
+                label: graph.metas[entry.id].label,
+                start: t,
+                end: t + d,
+            });
+            events.push(Completion { time: t + d, worker, task: entry.id });
+        }
+
+        // Advance to the next completion.
+        let c = events.pop().expect("deadlock: no running task but graph unfinished");
+        t = c.time;
+        idle.push(c.worker);
+        done += 1;
+        for &s in &graph.succs[c.task] {
+            preds[s] -= 1;
+            if preds[s] == 0 {
+                ready.push(ReadyEntry { priority: graph.metas[s].priority, id: s });
+            }
+        }
+        // Drain any other completions at the same instant so their cores are
+        // all available before the next assignment round.
+        while events.peek().map(|e| e.time <= t).unwrap_or(false) {
+            let c = events.pop().expect("nonempty");
+            idle.push(c.worker);
+            done += 1;
+            for &s in &graph.succs[c.task] {
+                preds[s] -= 1;
+                if preds[s] == 0 {
+                    ready.push(ReadyEntry { priority: graph.metas[s].priority, id: s });
+                }
+            }
+        }
+        idle.sort_unstable_by(|a, b| b.cmp(a)); // keep lowest-index-on-top
+    }
+
+    timeline.makespan = t;
+    timeline
+}
+
+/// Convenience: simulate with durations equal to each task's `flops` field
+/// divided by `flops_per_second`.
+pub fn simulate_uniform<T>(graph: &TaskGraph<T>, nworkers: usize, flops_per_second: f64) -> Timeline {
+    simulate(graph, nworkers, |_, m| m.flops / flops_per_second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskKind, TaskLabel, TaskMeta};
+
+    fn meta(flops: f64, priority: i64) -> TaskMeta {
+        TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), flops).with_priority(priority)
+    }
+
+    fn chain(n: usize, flops: f64) -> TaskGraph<()> {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..n {
+            let id = g.add_task(meta(flops, 0), ());
+            if let Some(p) = prev {
+                g.add_dep(p, id);
+            }
+            prev = Some(id);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_is_serial_regardless_of_cores() {
+        let g = chain(10, 2.0);
+        let tl = simulate_uniform(&g, 8, 1.0);
+        assert!((tl.makespan - 20.0).abs() < 1e-12);
+        tl.validate();
+    }
+
+    #[test]
+    fn independent_tasks_scale_perfectly() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        for _ in 0..8 {
+            g.add_task(meta(3.0, 0), ());
+        }
+        let tl1 = simulate_uniform(&g, 1, 1.0);
+        let tl4 = simulate_uniform(&g, 4, 1.0);
+        let tl8 = simulate_uniform(&g, 8, 1.0);
+        assert!((tl1.makespan - 24.0).abs() < 1e-12);
+        assert!((tl4.makespan - 6.0).abs() < 1e-12);
+        assert!((tl8.makespan - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounds_hold() {
+        // Random-ish DAG: layered.
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let mut prev_layer: Vec<usize> = Vec::new();
+        for layer in 0..5 {
+            let mut this = Vec::new();
+            for i in 0..(3 + layer) {
+                let id = g.add_task(meta((i + 1) as f64, 0), ());
+                for &p in &prev_layer {
+                    g.add_dep(p, id);
+                }
+                this.push(id);
+            }
+            prev_layer = this;
+        }
+        let p = 4;
+        let tl = simulate_uniform(&g, p, 1.0);
+        tl.validate();
+        let total = g.total_flops();
+        let cp = g.critical_path_flops();
+        assert!(tl.makespan >= cp - 1e-9, "makespan below critical path");
+        assert!(tl.makespan >= total / p as f64 - 1e-9, "makespan below work bound");
+        assert!(tl.makespan <= total + 1e-9, "makespan above serial time");
+    }
+
+    #[test]
+    fn priorities_break_ties() {
+        // Two ready tasks, one core: higher priority runs first.
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let lo = g.add_task(meta(1.0, 0), ());
+        let hi = g.add_task(meta(1.0, 10), ());
+        let tl = simulate_uniform(&g, 1, 1.0);
+        let lane = &tl.lanes[0];
+        assert_eq!(lane[0].task, hi);
+        assert_eq!(lane[1].task, lo);
+    }
+
+    #[test]
+    fn lookahead_priority_shortens_makespan() {
+        // Classic case: a long task L and a short chain s1 -> s2 -> s3, two
+        // cores. If the chain head starts first, makespan = max(L, 3s); if
+        // the long task hogs the only... with 2 cores both run; make chain
+        // long enough that starting order matters with 1 core + 1 chain.
+        // Use 1 core: priority decides order but not makespan. Use a DAG
+        // where wrong order creates idle: root releases {chain-head(hi), leaf},
+        // chain: 3 x 1.0, leaf 1.0, 2 cores after root.
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let root = g.add_task(meta(1.0, 0), ());
+        let c1 = g.add_task(meta(1.0, 5), ());
+        let leaf1 = g.add_task(meta(1.0, 0), ());
+        let leaf2 = g.add_task(meta(1.0, 0), ());
+        let c2 = g.add_task(meta(1.0, 5), ());
+        let c3 = g.add_task(meta(1.0, 5), ());
+        g.add_dep(root, c1);
+        g.add_dep(root, leaf1);
+        g.add_dep(root, leaf2);
+        g.add_dep(c1, c2);
+        g.add_dep(c2, c3);
+        let tl = simulate_uniform(&g, 2, 1.0);
+        // With chain prioritized: t=1 start c1+leaf1; t=2 c2+leaf2; t=3 c3.
+        assert!((tl.makespan - 4.0).abs() < 1e-12, "makespan {}", tl.makespan);
+    }
+
+    #[test]
+    fn zero_cost_tasks_do_not_hang() {
+        let g = chain(100, 0.0);
+        let tl = simulate_uniform(&g, 2, 1.0);
+        assert_eq!(tl.makespan, 0.0);
+        let spans: usize = tl.lanes.iter().map(|l| l.len()).sum();
+        assert_eq!(spans, 100);
+    }
+}

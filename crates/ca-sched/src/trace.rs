@@ -1,0 +1,240 @@
+//! Execution timelines and Gantt-style rendering.
+//!
+//! Both the threaded executor and the multicore simulator produce a
+//! [`Timeline`]; [`ascii_gantt`] renders it the way the paper's Figures 2–4
+//! show executions (one lane per core, colored by task kind — here letters).
+
+use crate::task::{TaskId, TaskLabel, TaskKind};
+
+/// One executed task occurrence on one worker.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// Task id in the source graph.
+    pub task: TaskId,
+    /// Task identity (kind, step, coordinates).
+    pub label: TaskLabel,
+    /// Start time in seconds from the beginning of the execution.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+/// A complete execution record: one span list per worker.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Timeline {
+    /// Per-worker sequences of executed spans, ordered by start time.
+    pub lanes: Vec<Vec<Span>>,
+    /// Total wall time (max span end).
+    pub makespan: f64,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with `nworkers` lanes.
+    pub fn new(nworkers: usize) -> Self {
+        Self { lanes: vec![Vec::new(); nworkers], makespan: 0.0 }
+    }
+
+    /// Number of workers.
+    pub fn nworkers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total busy time across workers.
+    pub fn busy_time(&self) -> f64 {
+        self.lanes.iter().flatten().map(|s| s.end - s.start).sum()
+    }
+
+    /// Fraction of worker-time spent busy, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0.0 || self.lanes.is_empty() {
+            return 0.0;
+        }
+        self.busy_time() / (self.makespan * self.lanes.len() as f64)
+    }
+
+    /// Busy time broken down by task kind, as `(kind, seconds)` pairs in a
+    /// fixed order (P, L, U, S, W, O).
+    pub fn busy_by_kind(&self) -> Vec<(TaskKind, f64)> {
+        let kinds = [
+            TaskKind::Panel,
+            TaskKind::LBlock,
+            TaskKind::URow,
+            TaskKind::Update,
+            TaskKind::Swap,
+            TaskKind::Other,
+        ];
+        kinds
+            .iter()
+            .map(|&k| {
+                let t = self
+                    .lanes
+                    .iter()
+                    .flatten()
+                    .filter(|s| s.label.kind == k)
+                    .map(|s| s.end - s.start)
+                    .sum();
+                (k, t)
+            })
+            .collect()
+    }
+
+    /// Checks internal consistency: spans within a lane do not overlap and
+    /// are sorted; `makespan` covers every span.
+    pub fn validate(&self) {
+        for lane in &self.lanes {
+            let mut prev_end = 0.0f64;
+            for s in lane {
+                assert!(s.start >= prev_end - 1e-12, "overlapping spans in a lane");
+                assert!(s.end >= s.start, "negative-length span");
+                assert!(s.end <= self.makespan + 1e-9, "span beyond makespan");
+                prev_end = s.end;
+            }
+        }
+    }
+}
+
+/// Renders the timeline as an ASCII Gantt chart, one row per worker, `width`
+/// character cells across; each cell shows the kind-letter of the task
+/// occupying that instant ('.' = idle). Matches the reading of the paper's
+/// Figures 3–4: red panel bars → `P`, L-computation → `L`, updates → `S`.
+pub fn ascii_gantt(tl: &Timeline, width: usize) -> String {
+    use core::fmt::Write;
+    let mut out = String::new();
+    if tl.makespan <= 0.0 || width == 0 {
+        return out;
+    }
+    let dt = tl.makespan / width as f64;
+    for (w, lane) in tl.lanes.iter().enumerate() {
+        let mut row = vec!['.'; width];
+        for s in lane {
+            let c0 = ((s.start / dt).floor() as usize).min(width - 1);
+            let c1 = ((s.end / dt).ceil() as usize).clamp(c0 + 1, width);
+            for cell in &mut row[c0..c1] {
+                *cell = s.label.kind.code();
+            }
+        }
+        let _ = writeln!(out, "core {w:>2} |{}|", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "makespan {:.4}s  utilization {:.1}%",
+        tl.makespan,
+        tl.utilization() * 100.0
+    );
+    out
+}
+
+/// Serializes the timeline in Chrome tracing ("trace event") JSON format —
+/// load it at `chrome://tracing` or in Perfetto for an interactive view of
+/// the schedule.
+pub fn chrome_trace_json(tl: &Timeline) -> String {
+    #[derive(serde::Serialize)]
+    struct Event<'a> {
+        name: String,
+        cat: &'a str,
+        ph: &'a str,
+        ts: f64,
+        dur: f64,
+        pid: u32,
+        tid: usize,
+    }
+    let mut events = Vec::new();
+    for (tid, lane) in tl.lanes.iter().enumerate() {
+        for s in lane {
+            events.push(Event {
+                name: s.label.to_string(),
+                cat: match s.label.kind {
+                    TaskKind::Panel => "panel",
+                    TaskKind::LBlock => "l-block",
+                    TaskKind::URow => "u-row",
+                    TaskKind::Update => "update",
+                    TaskKind::Swap => "swap",
+                    TaskKind::Other => "other",
+                },
+                ph: "X",
+                ts: s.start * 1e6,
+                dur: (s.end - s.start) * 1e6,
+                pid: 0,
+                tid,
+            });
+        }
+    }
+    serde_json::to_string(&events).expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: TaskKind, start: f64, end: f64) -> Span {
+        Span { task: 0, label: TaskLabel::new(kind, 0, 0, 0), start, end }
+    }
+
+    #[test]
+    fn utilization_of_fully_busy_timeline_is_one() {
+        let mut tl = Timeline::new(2);
+        tl.lanes[0].push(span(TaskKind::Panel, 0.0, 1.0));
+        tl.lanes[1].push(span(TaskKind::Update, 0.0, 1.0));
+        tl.makespan = 1.0;
+        tl.validate();
+        assert!((tl.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_idle_timeline() {
+        let mut tl = Timeline::new(2);
+        tl.lanes[0].push(span(TaskKind::Panel, 0.0, 2.0));
+        tl.lanes[1].push(span(TaskKind::Update, 0.0, 1.0));
+        tl.makespan = 2.0;
+        assert!((tl.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_marks_idle_and_busy_cells() {
+        let mut tl = Timeline::new(1);
+        tl.lanes[0].push(span(TaskKind::Panel, 0.0, 0.5));
+        tl.makespan = 1.0;
+        let g = ascii_gantt(&tl, 10);
+        assert!(g.contains("PPPPP"));
+        assert!(g.contains("....."));
+    }
+
+    #[test]
+    fn busy_by_kind_partitions_time() {
+        let mut tl = Timeline::new(1);
+        tl.lanes[0].push(span(TaskKind::Panel, 0.0, 1.0));
+        tl.lanes[0].push(span(TaskKind::Update, 1.0, 3.0));
+        tl.makespan = 3.0;
+        let by = tl.busy_by_kind();
+        let p: f64 = by.iter().find(|(k, _)| *k == TaskKind::Panel).unwrap().1;
+        let s: f64 = by.iter().find(|(k, _)| *k == TaskKind::Update).unwrap().1;
+        assert_eq!(p, 1.0);
+        assert_eq!(s, 2.0);
+        assert_eq!(tl.busy_time(), 3.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_spans() {
+        let mut tl = Timeline::new(2);
+        tl.lanes[0].push(span(TaskKind::Panel, 0.0, 1.0));
+        tl.lanes[1].push(span(TaskKind::Update, 0.5, 2.0));
+        tl.makespan = 2.0;
+        let json = chrome_trace_json(&tl);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[1]["tid"], 1);
+        assert_eq!(arr[1]["dur"], 1.5e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn validate_catches_overlap() {
+        let mut tl = Timeline::new(1);
+        tl.lanes[0].push(span(TaskKind::Panel, 0.0, 1.0));
+        tl.lanes[0].push(span(TaskKind::Update, 0.5, 2.0));
+        tl.makespan = 2.0;
+        tl.validate();
+    }
+}

@@ -1,0 +1,73 @@
+//! Solving dense square systems with the three LU variants in this
+//! workspace — CALU (tournament pivoting), LAPACK-style blocked GEPP, and
+//! PLASMA-style tiled LU with incremental pivoting — and comparing accuracy
+//! and timing head-to-head.
+//!
+//! ```text
+//! cargo run --release --example linear_solver [n]
+//! ```
+
+use ca_factor::baselines::{getrf_blocked, tiled_lu, TiledLu};
+use ca_factor::matrix::{norm_fro, random_uniform, seeded_rng, Matrix};
+use ca_factor::prelude::*;
+use std::time::Instant;
+
+fn solve_residual(a: &Matrix, x: &Matrix, b: &Matrix) -> f64 {
+    let r = a.matmul(x).sub_matrix(b);
+    norm_fro(r.view()) / (norm_fro(a.view()) * norm_fro(x.view())).max(f64::MIN_POSITIVE)
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1500);
+    let threads = 4;
+    let mut rng = seeded_rng(11);
+    let a = random_uniform(n, n, &mut rng);
+    let x_true = random_uniform(n, 4, &mut rng);
+    let b = a.matmul(&x_true);
+
+    println!("Solving a {n} x {n} system with 4 right-hand sides\n");
+
+    // CALU, the paper's algorithm.
+    let t0 = Instant::now();
+    let f = calu(a.clone(), &CaParams::new(100.min(n), 4, threads));
+    let t_fac = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let x = f.solve(&b);
+    let t_sol = t0.elapsed().as_secs_f64();
+    println!(
+        "CALU            : factor {t_fac:>7.3}s  solve {t_sol:>6.3}s  residual {:.2e}",
+        solve_residual(&a, &x, &b)
+    );
+
+    // Blocked LAPACK-style GEPP (the vendor structure).
+    let t0 = Instant::now();
+    let mut lu = a.clone();
+    let r = getrf_blocked(&mut lu, 64.min(n), threads);
+    let t_fac = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut x = b.clone();
+    r.pivots.apply(x.view_mut());
+    ca_factor::kernels::trsm_left_lower_unit(lu.view(), x.view_mut());
+    ca_factor::kernels::trsm_left_upper_notrans(lu.view(), x.view_mut());
+    let t_sol = t0.elapsed().as_secs_f64();
+    println!(
+        "blocked dgetrf  : factor {t_fac:>7.3}s  solve {t_sol:>6.3}s  residual {:.2e}",
+        solve_residual(&a, &x, &b)
+    );
+
+    // Tiled LU with incremental pivoting (the PLASMA structure).
+    let t0 = Instant::now();
+    let f = tiled_lu(a.clone(), 100.min(n), threads);
+    let t_fac = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let x = f.solve(&b);
+    let t_sol = t0.elapsed().as_secs_f64();
+    println!(
+        "tiled dgetrf    : factor {t_fac:>7.3}s  solve {t_sol:>6.3}s  residual {:.2e}",
+        TiledLu::solve_residual(&a, &x, &b)
+    );
+
+    println!("\nAll three must agree to ~machine precision; incremental pivoting");
+    println!("(tiled) is typically the least accurate of the three, tournament");
+    println!("pivoting (CALU) tracks partial pivoting — the paper's §II claim.");
+}

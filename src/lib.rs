@@ -1,0 +1,64 @@
+//! # ca-factor
+//!
+//! Communication-avoiding LU and QR factorizations adapted to multicore
+//! architectures — a Rust reproduction of Donfack, Grigori & Gupta
+//! (IPDPS 2010), built from scratch: matrix substrate, BLAS/LAPACK-style
+//! kernels, a dynamic task-graph runtime with lookahead scheduling, the
+//! CALU/CAQR/TSLU/TSQR algorithms, the evaluation baselines (blocked
+//! LAPACK-style "vendor" factorizations and PLASMA-style tiled algorithms),
+//! and a benchmark harness regenerating every table and figure of the paper.
+//!
+//! This crate is a façade re-exporting the workspace layers:
+//!
+//! ```
+//! use ca_factor::prelude::*;
+//!
+//! let a = ca_factor::matrix::random_uniform(400, 50, &mut ca_factor::matrix::seeded_rng(7));
+//! let f = calu(a.clone(), &CaParams::new(25, 4, 2));
+//! assert!(f.residual(&a) < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Dense column-major matrices, views, pivots, norms (`ca-matrix`).
+pub mod matrix {
+    pub use ca_matrix::*;
+}
+
+/// BLAS/LAPACK-style sequential kernels (`ca-kernels`).
+pub mod kernels {
+    pub use ca_kernels::*;
+}
+
+/// Task-graph runtime and multicore simulator (`ca-sched`).
+pub mod sched {
+    pub use ca_sched::*;
+}
+
+/// The paper's algorithms: CALU, CAQR, TSLU, TSQR (`ca-core`).
+pub mod core {
+    pub use ca_core::*;
+}
+
+/// Evaluation baselines: blocked LAPACK-style and tiled PLASMA-style
+/// factorizations (`ca-baselines`).
+pub mod baselines {
+    pub use ca_baselines::*;
+}
+
+/// Benchmark harness: calibration, machine model, figure sweeps (`ca-bench`).
+pub mod bench {
+    pub use ca_bench::*;
+}
+
+/// The names most programs need.
+pub mod prelude {
+    pub use ca_core::{
+        calu, calu_seq_factor, caqr, caqr_seq, tslu_factor, tsqr_factor, CaParams, LuFactors,
+        QrFactors, TreeShape,
+    };
+    pub use ca_matrix::{Matrix, PivotSeq};
+}
+
+pub use ca_core::{calu, caqr, tslu_factor, tsqr_factor, CaParams, TreeShape};
+pub use ca_matrix::Matrix;

@@ -1,0 +1,126 @@
+//! Algebraic invariants that must hold across *every* algorithm variant:
+//! the orthogonal projector `QQᵀ` of a QR factorization is unique (even
+//! though `Q` itself is only unique up to column signs), and `Πᵀ L U`
+//! reconstructs `A` exactly for every pivoting strategy and parameter set.
+
+use ca_factor::baselines::{geqrf_blocked, tiled_qr};
+use ca_factor::matrix::{norm_max, random_uniform, seeded_rng, Matrix};
+use ca_factor::prelude::*;
+
+/// P = Q Qᵀ (the projector onto range(A)) from an explicit thin Q.
+fn projector(q: &Matrix) -> Matrix {
+    q.matmul(&q.transpose())
+}
+
+#[test]
+fn qr_projectors_agree_across_engines_and_trees() {
+    let m = 120;
+    let n = 24;
+    let a = random_uniform(m, n, &mut seeded_rng(1));
+
+    let mut reference: Option<Matrix> = None;
+    let mut check = |name: &str, q: Matrix| {
+        let p = projector(&q);
+        match &reference {
+            None => reference = Some(p),
+            Some(r) => {
+                let err = norm_max(p.sub_matrix(r).view());
+                assert!(err < 1e-10, "{name}: projector deviates by {err}");
+            }
+        }
+    };
+
+    for (name, tree) in [
+        ("caqr-binary", TreeShape::Binary),
+        ("caqr-flat", TreeShape::Flat),
+        ("caqr-kary3", TreeShape::Kary(3)),
+        ("caqr-hybrid", TreeShape::Hybrid { flat_width: 3 }),
+    ] {
+        let mut p = CaParams::new(8, 4, 2);
+        p.tree = tree;
+        check(name, caqr(a.clone(), &p).q_thin());
+    }
+    {
+        let mut w = a.clone();
+        let bq = geqrf_blocked(&mut w, 8, 2);
+        check("blocked", bq.q_thin(&w));
+    }
+    check("tiled", tiled_qr(a.clone(), 8, 2).q_thin());
+}
+
+#[test]
+fn lu_reconstruction_is_exact_for_every_parameter_combo() {
+    let m = 90;
+    let n = 60;
+    let a = random_uniform(m, n, &mut seeded_rng(2));
+    let na = ca_factor::matrix::norm_fro(a.view());
+
+    for tr in [1usize, 3, 8] {
+        for tree in [TreeShape::Binary, TreeShape::Flat, TreeShape::Kary(4)] {
+            for ub in [1usize, 3] {
+                let mut p = CaParams::new(16, tr, 2).with_update_blocking(ub);
+                p.tree = tree;
+                let f = calu(a.clone(), &p);
+                // Πᵀ (L U) == A exactly (up to roundoff): undo the pivots.
+                let mut lu = f.l().matmul(&f.u());
+                f.pivots.apply_inverse(lu.view_mut());
+                let err = ca_factor::matrix::norm_fro(lu.sub_matrix(&a).view()) / na;
+                assert!(err < 1e-13, "tr={tr} {tree:?} ub={ub}: {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn least_squares_solution_is_engine_independent() {
+    // For full-rank tall A the LS solution is unique: CAQR and tiled QR
+    // must give the same x even though their factors differ.
+    let m = 150;
+    let n = 20;
+    let a = random_uniform(m, n, &mut seeded_rng(3));
+    let rhs = random_uniform(m, 2, &mut seeded_rng(4));
+
+    let x1 = caqr(a.clone(), &CaParams::new(10, 4, 2)).solve_ls(&rhs);
+    let x2 = tiled_qr(a.clone(), 10, 2).solve_ls(&rhs);
+    let err = norm_max(x1.sub_matrix(&x2).view());
+    assert!(err < 1e-9, "LS solutions diverge by {err}");
+}
+
+#[test]
+fn square_solve_engine_independent() {
+    let n = 80;
+    let a = random_uniform(n, n, &mut seeded_rng(5));
+    let rhs = random_uniform(n, 3, &mut seeded_rng(6));
+
+    let x1 = calu(a.clone(), &CaParams::new(16, 4, 2)).solve(&rhs);
+    let x2 = ca_factor::baselines::tiled_lu(a.clone(), 16, 2).solve(&rhs);
+    let mut lu = a.clone();
+    let r = ca_factor::baselines::getrf_blocked(&mut lu, 16, 2);
+    let mut x3 = rhs.clone();
+    r.pivots.apply(x3.view_mut());
+    ca_factor::kernels::trsm_left_lower_unit(lu.view(), x3.view_mut());
+    ca_factor::kernels::trsm_left_upper_notrans(lu.view(), x3.view_mut());
+
+    assert!(norm_max(x1.sub_matrix(&x2).view()) < 1e-8);
+    assert!(norm_max(x1.sub_matrix(&x3).view()) < 1e-8);
+}
+
+#[test]
+fn qt_a_mass_is_preserved() {
+    // ‖QᵀA‖_F = ‖A‖_F for any orthogonal Q — applied through the implicit
+    // tree representation (exercises every leaf + node apply path).
+    let m = 100;
+    let n = 30;
+    let a = random_uniform(m, n, &mut seeded_rng(7));
+    let c = random_uniform(m, 5, &mut seeded_rng(8));
+    for tree in [TreeShape::Binary, TreeShape::Flat, TreeShape::Hybrid { flat_width: 2 }] {
+        let mut p = CaParams::new(10, 4, 2);
+        p.tree = tree;
+        let f = caqr(a.clone(), &p);
+        let mut qc = c.clone();
+        f.apply_qt(&mut qc);
+        let before = ca_factor::matrix::norm_fro(c.view());
+        let after = ca_factor::matrix::norm_fro(qc.view());
+        assert!((before - after).abs() < 1e-10 * before, "{tree:?}: mass changed");
+    }
+}

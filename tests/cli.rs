@@ -1,0 +1,81 @@
+//! End-to-end tests of the `cafactor` CLI binary, including Matrix Market
+//! round trips through temporary files.
+
+use std::process::Command;
+
+fn cafactor() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cafactor"))
+}
+
+#[test]
+fn factor_lu_random_reports_residual() {
+    let out = cafactor()
+        .args(["factor", "lu", "--random", "400", "80", "--b", "20", "--tr", "4", "--threads", "2"])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CALU 400x80"), "{text}");
+    assert!(text.contains("residual="), "{text}");
+}
+
+#[test]
+fn factor_qr_writes_r_and_solve_reads_matrices() {
+    let dir = std::env::temp_dir().join("cafactor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a_path = dir.join("a.mtx");
+    let r_path = dir.join("r.mtx");
+
+    // Write a random square system with the library, factor via CLI.
+    let a = ca_factor::matrix::random_uniform(60, 60, &mut ca_factor::matrix::seeded_rng(3));
+    ca_factor::matrix::io::write_matrix_market_file(&a_path, &a).unwrap();
+
+    let out = cafactor()
+        .args([
+            "factor",
+            "qr",
+            "--input",
+            a_path.to_str().unwrap(),
+            "--b",
+            "16",
+            "--output",
+            r_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let r = ca_factor::matrix::io::read_matrix_market_file(&r_path).unwrap();
+    assert_eq!(r.nrows(), 60);
+    // R upper triangular.
+    assert_eq!(r[(5, 2)], 0.0);
+
+    // Solve with implicit all-ones RHS and refinement.
+    let out = cafactor()
+        .args(["solve", "--input", a_path.to_str().unwrap(), "--refine"])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rcond"), "{text}");
+    assert!(text.contains("refinement:"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn info_prints_norms() {
+    let out = cafactor()
+        .args(["info", "--random", "50", "50"])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("‖A‖₁"));
+    assert!(text.contains("rcond"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = cafactor().args(["bogus"]).output().expect("run cafactor");
+    assert!(!out.status.success());
+}

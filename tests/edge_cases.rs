@@ -1,0 +1,124 @@
+//! Edge-case and failure-injection tests across the public API: degenerate
+//! shapes, rank-deficient and pathological inputs, extreme parameters.
+
+use ca_factor::matrix::{norm_max, random_uniform, seeded_rng, Matrix};
+use ca_factor::prelude::*;
+
+#[test]
+fn one_by_one_matrices() {
+    let a = Matrix::from_rows(1, 1, &[3.0]);
+    let f = calu(a.clone(), &CaParams::new(1, 1, 1));
+    assert_eq!(f.lu[(0, 0)], 3.0);
+    assert!(f.residual(&a) < 1e-15);
+    let q = caqr(a.clone(), &CaParams::new(1, 1, 1));
+    assert!((q.r()[(0, 0)].abs() - 3.0).abs() < 1e-15);
+}
+
+#[test]
+fn single_column_and_single_row() {
+    let col = random_uniform(50, 1, &mut seeded_rng(1));
+    let f = calu(col.clone(), &CaParams::new(1, 4, 2));
+    assert!(f.residual(&col) < 1e-13);
+    let qr = caqr(col.clone(), &CaParams::new(1, 4, 2));
+    assert!(qr.residual(&col) < 1e-13);
+
+    let row = random_uniform(1, 50, &mut seeded_rng(2));
+    let f = calu(row.clone(), &CaParams::new(8, 4, 2));
+    assert!(f.residual(&row) < 1e-13);
+}
+
+#[test]
+fn zero_matrix_lu_flags_breakdown_qr_gives_zero_r() {
+    let z = Matrix::zeros(20, 8);
+    let f = calu(z.clone(), &CaParams::new(4, 2, 2));
+    assert_eq!(f.breakdown, Some(0));
+    let qr = caqr(z, &CaParams::new(4, 2, 2));
+    assert_eq!(norm_max(qr.r().view()), 0.0);
+    // Q of a zero matrix is still orthonormal (identity-embedded).
+    assert!(qr.orthogonality() < 1e-12);
+}
+
+#[test]
+fn rank_deficient_tall_matrix_qr_has_tiny_trailing_r() {
+    // rank 3 matrix, 6 columns: R[3.., 3..] must vanish.
+    let m = 80;
+    let mut rng = seeded_rng(3);
+    let u = random_uniform(m, 3, &mut rng);
+    let v = random_uniform(6, 3, &mut rng);
+    let a = u.matmul(&v.transpose());
+    let qr = caqr(a.clone(), &CaParams::new(3, 4, 2));
+    let r = qr.r();
+    for i in 3..6 {
+        for j in i..6 {
+            assert!(r[(i, j)].abs() < 1e-10, "R[{i},{j}] = {}", r[(i, j)]);
+        }
+    }
+    assert!(qr.residual(&a) < 1e-12);
+}
+
+#[test]
+fn duplicate_rows_tournament_still_factors() {
+    // Every leaf sees duplicated rows: candidates collide but the winner
+    // must still be a valid pivot set.
+    let m = 64;
+    let n = 8;
+    let mut a = random_uniform(m, n, &mut seeded_rng(4));
+    for i in (1..m).step_by(2) {
+        for j in 0..n {
+            let v = a[(i - 1, j)];
+            a[(i, j)] = v;
+        }
+    }
+    let f = calu(a.clone(), &CaParams::new(4, 8, 2));
+    assert!(f.residual(&a) < 1e-12);
+}
+
+#[test]
+fn huge_tr_and_tiny_matrix() {
+    // Tr far larger than the number of blocks: groups collapse gracefully.
+    let a = random_uniform(12, 5, &mut seeded_rng(5));
+    let f = calu(a.clone(), &CaParams::new(3, 64, 8));
+    assert!(f.residual(&a) < 1e-13);
+    let qr = caqr(a.clone(), &CaParams::new(3, 64, 8));
+    assert!(qr.residual(&a) < 1e-12);
+}
+
+#[test]
+fn extreme_value_scales_survive() {
+    // Entries spanning ~1e±150: pivoting must keep everything finite.
+    let n = 24;
+    let mut a = random_uniform(n, n, &mut seeded_rng(6));
+    for i in 0..n {
+        let s = if i % 2 == 0 { 1e150 } else { 1e-150 };
+        for j in 0..n {
+            a[(i, j)] *= s;
+        }
+    }
+    let f = calu(a.clone(), &CaParams::new(6, 4, 2));
+    assert!(f.lu.as_slice().iter().all(|x| x.is_finite()));
+    // Residual relative to the (huge) norm of A stays at roundoff.
+    assert!(f.residual(&a) < 1e-12);
+}
+
+#[test]
+fn kahan_matrix_factors_with_small_residual() {
+    let a = ca_factor::matrix::kahan(60, 1.2);
+    let f = calu(a.clone(), &CaParams::new(10, 4, 2));
+    assert!(f.residual(&a) < 1e-12);
+    let qr = caqr(a.clone(), &CaParams::new(10, 4, 2));
+    assert!(qr.residual(&a) < 1e-11);
+}
+
+#[test]
+fn b_larger_than_matrix() {
+    let a = random_uniform(30, 30, &mut seeded_rng(7));
+    let f = calu(a.clone(), &CaParams::new(1000, 4, 2));
+    assert!(f.residual(&a) < 1e-13);
+}
+
+#[test]
+fn more_threads_than_tasks() {
+    let a = random_uniform(16, 16, &mut seeded_rng(8));
+    let f = calu(a.clone(), &CaParams::new(16, 1, 32));
+    assert!(f.residual(&a) < 1e-13);
+}
