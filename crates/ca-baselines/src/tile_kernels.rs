@@ -48,7 +48,7 @@ pub fn tsqrt(mut r_kk: MatViewMut<'_>, mut a_ik: MatViewMut<'_>, mut t: MatViewM
     assert!(t.nrows() >= b && t.ncols() >= b, "T must be at least b x b");
 
     let mut tau = vec![0.0f64; b];
-    for j in 0..b {
+    for (j, tau_j) in tau.iter_mut().enumerate() {
         // Reflector j annihilates A[:, j] against R[j, j]; its vector is
         // e_j (implicit) stacked on v = A[:, j] values.
         let alpha = r_kk.at(j, j);
@@ -57,7 +57,7 @@ pub fn tsqrt(mut r_kk: MatViewMut<'_>, mut a_ik: MatViewMut<'_>, mut t: MatViewM
             larfg(alpha, col)
         };
         r_kk.set(j, j, beta);
-        tau[j] = tj;
+        *tau_j = tj;
         if tj == 0.0 {
             continue;
         }
@@ -86,12 +86,12 @@ pub fn tsqrt(mut r_kk: MatViewMut<'_>, mut a_ik: MatViewMut<'_>, mut t: MatViewM
 
     // Build T: T[j][j] = τ_j; T[0..j, j] = -τ_j T · (V₂[:, 0..j]ᵀ v_j)
     // (the identity top parts contribute nothing off-diagonal).
-    for j in 0..b {
-        t.set(j, j, tau[j]);
+    for (j, &tau_j) in tau.iter().enumerate().take(b) {
+        t.set(j, j, tau_j);
         for i in j + 1..b {
             t.set(i, j, 0.0);
         }
-        if j > 0 && tau[j] != 0.0 {
+        if j > 0 && tau_j != 0.0 {
             let mut w = vec![0.0f64; j];
             for (i, wi) in w.iter_mut().enumerate() {
                 let vi = a_ik.col(i);
@@ -107,7 +107,7 @@ pub fn tsqrt(mut r_kk: MatViewMut<'_>, mut a_ik: MatViewMut<'_>, mut t: MatViewM
                 for (l, wl) in w.iter().enumerate().take(j).skip(i) {
                     s += t.at(i, l) * wl;
                 }
-                t.set(i, j, -tau[j] * s);
+                t.set(i, j, -tau_j * s);
             }
         }
     }

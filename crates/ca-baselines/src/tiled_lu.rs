@@ -191,7 +191,7 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledLuTask) {
             // SAFETY: exclusive tile access per the DAG.
             let tile = unsafe { a.block_mut(k0, k0, wk, wk) };
             let info = getrf_tile(tile);
-            ctx.diag[k].set(info).ok().expect("getrf ran twice");
+            ctx.diag[k].set(info).expect("getrf ran twice");
         }
         TiledLuTask::Gessm { k, j } => {
             let k0 = k * b;
@@ -213,7 +213,7 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledLuTask) {
             let ukk = unsafe { a.block_mut(k0, k0, wk, wk) };
             let aik = unsafe { a.block_mut(i * b, k0, ri, wk) };
             let tr = tstrf(ukk, aik);
-            ctx.trans[k][i - k - 1].set(tr).ok().expect("tstrf ran twice");
+            ctx.trans[k][i - k - 1].set(tr).expect("tstrf ran twice");
         }
         TiledLuTask::Ssssm { k, i, j } => {
             let k0 = k * b;
@@ -238,7 +238,7 @@ pub fn tiled_lu(a: Matrix, b: usize, threads: usize) -> TiledLu {
     let jobs: TaskGraph<Job<'_>> = graph.map_ref(|_, &spec| {
         let ctx = &ctx;
         let shared = &shared;
-        Box::new(move || exec(ctx, shared, spec)) as Job<'_>
+        ca_sched::job(move || exec(ctx, shared, spec))
     });
     run_graph(jobs, threads);
 

@@ -229,7 +229,7 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledQrTask) {
             let tile = unsafe { a.block_mut(k0, k0, rk, wk) };
             let mut t_out = Matrix::zeros(wk.min(rk), wk.min(rk));
             geqrt(tile, t_out.view_mut());
-            ctx.t_diag[k].set(t_out).ok().expect("geqrt ran twice");
+            ctx.t_diag[k].set(t_out).expect("geqrt ran twice");
         }
         TiledQrTask::Ormqr { k, j } => {
             let k0 = k * b;
@@ -249,7 +249,7 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledQrTask) {
             let a_ik = unsafe { a.block_mut(i * b, k0, ri, wk) };
             let mut t_out = Matrix::zeros(wk, wk);
             tsqrt(r_kk, a_ik, t_out.view_mut());
-            ctx.t_ts[k][i - k - 1].set(t_out).ok().expect("tsqrt ran twice");
+            ctx.t_ts[k][i - k - 1].set(t_out).expect("tsqrt ran twice");
         }
         TiledQrTask::Tsmqr { k, i, j } => {
             let k0 = k * b;
@@ -276,7 +276,7 @@ pub fn tiled_qr(a: Matrix, b: usize, threads: usize) -> TiledQr {
     let jobs: TaskGraph<Job<'_>> = graph.map_ref(|_, &spec| {
         let ctx = &ctx;
         let shared = &shared;
-        Box::new(move || exec(ctx, shared, spec)) as Job<'_>
+        ca_sched::job(move || exec(ctx, shared, spec))
     });
     run_graph(jobs, threads);
 

@@ -202,7 +202,7 @@ fn single_task_graph(fl: f64, bytes: f64, class: KernelClass) -> TaskGraph<()> {
 
 /// The paper's tall-and-skinny `b = min(n, 100)` convention.
 pub fn paper_b(n: usize) -> usize {
-    n.min(100).max(1)
+    n.clamp(1, 100)
 }
 
 #[cfg(test)]

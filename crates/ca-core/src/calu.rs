@@ -6,10 +6,29 @@
 //! packed `L\U` in place plus a global interchange sequence.
 
 use crate::dag_calu;
+use crate::error::{find_non_finite, FactorError, DEFAULT_GROWTH_LIMIT};
 use crate::params::CaParams;
-use crate::tslu::factor_panel;
+use crate::tslu::factor_panel_limited;
 use ca_kernels::{gemm, trsm_left_lower_unit, trsm_left_upper_notrans, Trans};
 use ca_matrix::{lu_residual, Matrix, PivotSeq};
+
+/// Numerical diagnostics collected while factoring, one entry per panel.
+#[derive(Clone, Debug, Default)]
+pub struct LuStats {
+    /// Per-panel element-growth estimate `max|L_KK\U_KK| / max|panel
+    /// input|` of the selection finally used, in panel order.
+    pub panel_growth: Vec<f64>,
+    /// Global column indices (`k0`) of panels where tournament instability
+    /// forced a plain-GEPP refactorization.
+    pub fallback_panels: Vec<usize>,
+}
+
+impl LuStats {
+    /// The largest per-panel growth estimate observed (`0` when empty).
+    pub fn max_growth(&self) -> f64 {
+        self.panel_growth.iter().fold(0.0f64, |a, &g| a.max(g))
+    }
+}
 
 /// The result of an LU factorization: packed factors plus pivots.
 #[derive(Clone, Debug)]
@@ -21,6 +40,8 @@ pub struct LuFactors {
     pub pivots: PivotSeq,
     /// First column where a panel hit an exactly-zero pivot, if any.
     pub breakdown: Option<usize>,
+    /// Per-panel growth estimates and GEPP-fallback record.
+    pub stats: LuStats,
 }
 
 impl LuFactors {
@@ -91,11 +112,18 @@ impl LuFactors {
 /// columns left and right of the panel, `U` block row by triangular solve,
 /// trailing update by `gemm`.
 pub fn calu_seq(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>) {
+    let (pivots, breakdown, _) = calu_seq_stats(a, p);
+    (pivots, breakdown)
+}
+
+/// [`calu_seq`] also returning the per-panel growth/fallback diagnostics.
+pub(crate) fn calu_seq_stats(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>, LuStats) {
     let m = a.nrows();
     let n = a.ncols();
     let kmax = m.min(n);
     let mut pivots = PivotSeq::new(0);
     let mut breakdown: Option<usize> = None;
+    let mut stats = LuStats::default();
 
     let mut k0 = 0usize;
     while k0 < kmax {
@@ -105,10 +133,14 @@ pub fn calu_seq(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>) {
         // Panel factorization on columns k0..k0+w.
         let outcome = {
             let panel = a.block_mut(0, k0, m, w);
-            factor_panel(panel, k0, p.b, p.tr, p.tree, !p.leaf_blas2)
+            factor_panel_limited(panel, k0, p.b, p.tr, p.tree, !p.leaf_blas2, p.growth_limit)
         };
         if breakdown.is_none() {
             breakdown = outcome.breakdown.map(|c| k0 + c);
+        }
+        stats.panel_growth.push(outcome.growth);
+        if outcome.fallback {
+            stats.fallback_panels.push(k0);
         }
 
         // Apply interchanges to the left and right of the panel.
@@ -139,13 +171,13 @@ pub fn calu_seq(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>) {
 
         k0 += w;
     }
-    (pivots, breakdown)
+    (pivots, breakdown, stats)
 }
 
 /// Sequential CALU returning owned factors.
 pub fn calu_seq_factor(mut a: Matrix, p: &CaParams) -> LuFactors {
-    let (pivots, breakdown) = calu_seq(&mut a, p);
-    LuFactors { lu: a, pivots, breakdown }
+    let (pivots, breakdown, stats) = calu_seq_stats(&mut a, p);
+    LuFactors { lu: a, pivots, breakdown, stats }
 }
 
 /// Multithreaded CALU (Algorithm 1): builds the task dependency graph and
@@ -165,8 +197,84 @@ pub fn calu_with_stats(a: Matrix, p: &CaParams) -> (LuFactors, ca_sched::ExecSta
 pub fn tslu_factor(mut a: Matrix, tr: usize, p: &CaParams) -> LuFactors {
     let n = a.ncols();
     let params = CaParams { b: n.max(1), tr, ..*p };
-    let (pivots, breakdown) = calu_seq(&mut a, &params);
-    LuFactors { lu: a, pivots, breakdown }
+    let (pivots, breakdown, stats) = calu_seq_stats(&mut a, &params);
+    LuFactors { lu: a, pivots, breakdown, stats }
+}
+
+/// Substitutes the finite [`DEFAULT_GROWTH_LIMIT`] when the caller left
+/// growth monitoring disabled — the `try_*` contract always monitors.
+fn monitored(p: &CaParams) -> CaParams {
+    if p.growth_limit.is_finite() {
+        *p
+    } else {
+        p.with_growth_limit(DEFAULT_GROWTH_LIMIT)
+    }
+}
+
+/// Maps post-factorization diagnostics to the `try_*` error contract:
+/// exact breakdown wins, then any panel whose growth (even after the GEPP
+/// fallback) broke the limit. A successful fallback is *not* an error —
+/// the degradation is recorded in [`LuStats::fallback_panels`].
+fn check_factors(f: LuFactors, p: &CaParams) -> Result<LuFactors, FactorError> {
+    if let Some(col) = f.breakdown {
+        return Err(FactorError::ZeroPivot { col });
+    }
+    for (panel, &g) in f.stats.panel_growth.iter().enumerate() {
+        if g > p.growth_limit {
+            return Err(FactorError::GrowthExplosion { col: panel * p.b, growth: g });
+        }
+    }
+    Ok(f)
+}
+
+/// Fallible multithreaded CALU: pre-scans the input for NaN/Inf, monitors
+/// per-panel element growth (falling back to plain GEPP on tournament
+/// instability), and reports exact singularity and worker-task failure as
+/// errors instead of poisoned factors.
+pub fn try_calu(a: Matrix, p: &CaParams) -> Result<LuFactors, FactorError> {
+    try_calu_with_stats(a, p).map(|(f, _)| f)
+}
+
+/// Like [`try_calu`], also returning the executor's timeline.
+pub fn try_calu_with_stats(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(LuFactors, ca_sched::ExecStats), FactorError> {
+    try_calu_with_faults(a, p, &ca_sched::FaultPlan::new())
+}
+
+/// [`try_calu_with_stats`] executed under a [`ca_sched::FaultPlan`] — the
+/// deterministic fault-injection harness, for testing the recovery paths.
+pub fn try_calu_with_faults(
+    a: Matrix,
+    p: &CaParams,
+    faults: &ca_sched::FaultPlan,
+) -> Result<(LuFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let params = monitored(p);
+    let (f, stats) = dag_calu::try_run(a, &params, faults)?;
+    check_factors(f, &params).map(|f| (f, stats))
+}
+
+/// Fallible sequential CALU with the same contract as [`try_calu`].
+pub fn try_calu_seq(a: Matrix, p: &CaParams) -> Result<LuFactors, FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let params = monitored(p);
+    check_factors(calu_seq_factor(a, &params), &params)
+}
+
+/// Fallible standalone TSLU with the same contract as [`try_calu`].
+pub fn try_tslu_factor(a: Matrix, tr: usize, p: &CaParams) -> Result<LuFactors, FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let n = a.ncols();
+    let params = monitored(&CaParams { b: n.max(1), tr, ..*p });
+    check_factors(tslu_factor(a, tr, &params), &params)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! `Q`/`Qᵀ` application and thin-`Q` reconstruction.
 
 use crate::dag_caqr;
+use crate::error::{find_non_finite, FactorError};
 use crate::params::{num_panels, partition_rows, CaParams};
 use crate::tsqr::{leaf_apply, leaf_qr, node_apply, node_qr, panel_apply, plan_panel, PanelQ};
 use ca_kernels::{trsm_left_upper_notrans, Trans};
@@ -158,6 +159,35 @@ pub fn tsqr_factor(a: Matrix, tr: usize, p: &CaParams) -> QrFactors {
     let n = a.ncols();
     let params = CaParams { b: n.max(1), tr, ..*p };
     caqr_seq(a, &params)
+}
+
+/// Fallible multithreaded CAQR: pre-scans the input for NaN/Inf (which
+/// would silently poison the Householder reflectors) and reports worker
+/// failure as [`FactorError::TaskFailed`] instead of panicking. QR needs no
+/// pivot-breakdown handling — orthogonal transforms cannot blow up.
+pub fn try_caqr(a: Matrix, p: &CaParams) -> Result<QrFactors, FactorError> {
+    try_caqr_with_faults(a, p, &ca_sched::FaultPlan::new()).map(|(f, _)| f)
+}
+
+/// [`try_caqr`] executed under a [`ca_sched::FaultPlan`] (the deterministic
+/// fault-injection harness), also returning the executor's timeline.
+pub fn try_caqr_with_faults(
+    a: Matrix,
+    p: &CaParams,
+    faults: &ca_sched::FaultPlan,
+) -> Result<(QrFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    dag_caqr::try_run(a, p, faults)
+}
+
+/// Fallible standalone TSQR with the input pre-scan of [`try_caqr`].
+pub fn try_tsqr_factor(a: Matrix, tr: usize, p: &CaParams) -> Result<QrFactors, FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    Ok(tsqr_factor(a, tr, p))
 }
 
 #[cfg(test)]

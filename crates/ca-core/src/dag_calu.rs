@@ -17,12 +17,13 @@
 //! [`BlockTracker`], which reproduces the dependency structure of Figure 1.
 //! Priorities implement the lookahead-of-1 rule from §III.
 
-use crate::calu::LuFactors;
+use crate::calu::{LuFactors, LuStats};
+use crate::error::FactorError;
 use ca_sched::{row_blocks, BlockTracker};
 use crate::params::{num_panels, partition_rows, CaParams, RowPartition};
 use crate::tournament::{select, stack_candidates, Selected};
 use crate::tree::{reduction_schedule, ReduceNode};
-use crate::tslu::pivot_seq_from_targets;
+use crate::tslu::{apply_growth_policy, pivot_seq_from_targets};
 use ca_kernels::{flops, traffic};
 use ca_kernels::{gemm, trsm_left_lower_unit, trsm_right_upper_notrans, Trans};
 use ca_matrix::{Matrix, PivotSeq, SharedMatrix};
@@ -67,6 +68,8 @@ pub(crate) struct PanelCtx {
     pivots: OnceLock<PivotSeq>,
     /// Panel breakdown column (panel-local), written by the root task.
     breakdown: OnceLock<Option<usize>>,
+    /// `(growth estimate, GEPP fallback happened)`, written by the root.
+    growth: OnceLock<(f64, bool)>,
 }
 
 /// Everything needed to execute a built CALU DAG.
@@ -77,6 +80,7 @@ pub(crate) struct CaluPlan {
     n: usize,
     b: usize,
     recursive_leaves: bool,
+    growth_limit: f64,
 }
 
 /// Priority scheme (see module docs of `ca-sched`): panel work of step `K`
@@ -253,6 +257,7 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
             node_inputs,
             pivots: OnceLock::new(),
             breakdown: OnceLock::new(),
+            growth: OnceLock::new(),
         });
     }
 
@@ -270,7 +275,7 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
         tracker.write(&mut graph, id, row_blocks((jblk + 1) * b..m, b), jblk..jblk + 1);
     }
 
-    CaluPlan { graph, panels, m, n, b, recursive_leaves: !p.leaf_blas2 }
+    CaluPlan { graph, panels, m, n, b, recursive_leaves: !p.leaf_blas2, growth_limit: p.growth_limit }
 }
 
 impl CaluPlan {
@@ -291,7 +296,7 @@ impl CaluPlan {
                 if ctx.schedule.is_empty() {
                     self.finish_root(a, step, sel);
                 } else {
-                    ctx.results[grp].set(sel).ok().expect("leaf slot already set");
+                    ctx.results[grp].set(sel).expect("leaf slot already set");
                 }
             }
             CaluTask::Node { step, node } => {
@@ -306,7 +311,7 @@ impl CaluPlan {
                     self.finish_root(a, step, sel);
                 } else {
                     let g = ctx.part.ngroups();
-                    ctx.results[g + node].set(sel).ok().expect("node slot already set");
+                    ctx.results[g + node].set(sel).expect("node slot already set");
                 }
             }
             CaluTask::LBlock { step, grp } => {
@@ -362,14 +367,23 @@ impl CaluPlan {
     fn finish_root(&self, a: &SharedMatrix, step: usize, sel: Selected) {
         let ctx = &self.panels[step];
         let m = self.m;
+        // Growth policy before any write-back: the panel's active region
+        // still holds its pre-interchange values here.
+        let (sel, growth, fallback) = {
+            // SAFETY: same ordering argument as the writes below — the root
+            // is ordered after every other reader/writer of the panel.
+            let active = unsafe { a.block(ctx.k0, ctx.k0, m - ctx.k0, ctx.w) };
+            apply_growth_policy(active, ctx.k0, sel, self.growth_limit, self.recursive_leaves)
+        };
         let pivots = pivot_seq_from_targets(ctx.k0, &sel.idx);
         // SAFETY: the root is ordered after every reader/writer of the
         // panel's active blocks and before every subsequent consumer.
         let mut panel = unsafe { a.block_mut(ctx.k0, ctx.k0, m - ctx.k0, ctx.w) };
         local_seq(&pivots, ctx.k0).apply(panel.rb());
         panel.sub(0, 0, ctx.k, ctx.w).copy_from(sel.packed.view());
-        ctx.breakdown.set(sel.breakdown).ok().expect("root ran twice");
-        ctx.pivots.set(pivots).ok().expect("root ran twice");
+        ctx.breakdown.set(sel.breakdown).expect("root ran twice");
+        ctx.growth.set((growth, fallback)).expect("root ran twice");
+        ctx.pivots.set(pivots).expect("root ran twice");
     }
 }
 
@@ -389,15 +403,56 @@ pub(crate) fn run(a: Matrix, p: &CaParams) -> (LuFactors, ExecStats) {
     let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
         let plan = &plan;
         let shared = &shared;
-        Box::new(move || plan.exec(shared, spec)) as Job<'_>
+        ca_sched::job(move || plan.exec(shared, spec))
     });
     let stats = match p.scheduler {
         crate::params::Scheduler::PriorityQueue => run_graph(jobs, p.threads),
         crate::params::Scheduler::WorkStealing => ca_sched::run_graph_stealing(jobs, p.threads),
     };
+    (collect_factors(&plan, shared), stats)
+}
 
+/// Fallible variant of [`run`]: executes on the failure-aware pool (under
+/// the given fault plan), mapping a worker failure to
+/// [`FactorError::TaskFailed`] without ever touching the panels'
+/// not-yet-filled result slots.
+pub(crate) fn try_run(
+    a: Matrix,
+    p: &CaParams,
+    faults: &ca_sched::FaultPlan,
+) -> Result<(LuFactors, ExecStats), FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    let shared = SharedMatrix::new(a);
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let result = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::try_run_graph_with_faults(jobs, p.threads, faults)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::try_run_graph_stealing_with_faults(jobs, p.threads, faults)
+        }
+    };
+    match result {
+        Ok(stats) => Ok((collect_factors(&plan, shared), stats)),
+        Err(e) => Err(FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Gathers the per-panel results once every task completed successfully.
+fn collect_factors(plan: &CaluPlan, shared: SharedMatrix) -> LuFactors {
     let mut pivots = PivotSeq::new(0);
     let mut breakdown = None;
+    let mut stats = LuStats::default();
     for ctx in &plan.panels {
         let pp = ctx.pivots.get().expect("panel pivots missing");
         pivots.extend(pp);
@@ -406,9 +461,14 @@ pub(crate) fn run(a: Matrix, p: &CaParams) -> (LuFactors, ExecStats) {
                 breakdown = Some(ctx.k0 + c);
             }
         }
+        let (g, fb) = ctx.growth.get().copied().expect("panel growth missing");
+        stats.panel_growth.push(g);
+        if fb {
+            stats.fallback_panels.push(ctx.k0);
+        }
     }
     let lu = shared.into_inner();
-    (LuFactors { lu, pivots, breakdown }, stats)
+    LuFactors { lu, pivots, breakdown, stats }
 }
 
 /// Builds just the task graph (for the multicore simulator and DAG figures).

@@ -91,13 +91,13 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaqrPlan {
 
         // --- Leaf QR tasks + their trailing updates.
         let mut leaf_qr_ids = Vec::with_capacity(g);
-        for grp in 0..g {
+        for (grp, &leaf_k) in leaf_ks.iter().enumerate() {
             let rows = part.group(grp);
             let meta = TaskMeta::new(
                 TaskLabel::new(TaskKind::Panel, step, grp, step),
-                flops::geqrf(rows.len(), leaf_ks[grp]),
+                flops::geqrf(rows.len(), leaf_k),
             )
-            .with_bytes(traffic::geqr3(rows.len(), leaf_ks[grp]))
+            .with_bytes(traffic::geqr3(rows.len(), leaf_k))
             .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Panel, step))
             .with_class(KernelClass::QrRecursive);
             let id = graph.add_task(meta, CaqrTask::LeafQr { step, grp });
@@ -184,7 +184,7 @@ impl CaqrPlan {
             CaqrTask::LeafQr { step, grp } => {
                 let ctx = &self.panels[step];
                 let leaf = leaf_qr(a, ctx.c0, ctx.w, ctx.groups[grp].clone());
-                ctx.leaves[grp].set(leaf).ok().expect("leaf ran twice");
+                ctx.leaves[grp].set(leaf).expect("leaf ran twice");
             }
             CaqrTask::LeafUpdate { step, grp, jblk } => {
                 let ctx = &self.panels[step];
@@ -196,7 +196,7 @@ impl CaqrPlan {
             CaqrTask::NodeQr { step, node } => {
                 let ctx = &self.panels[step];
                 let nq = node_qr(a, ctx.c0, ctx.w, &ctx.plans[node]);
-                ctx.nodes[node].set(nq).ok().expect("node ran twice");
+                ctx.nodes[node].set(nq).expect("node ran twice");
             }
             CaqrTask::NodeUpdate { step, node, jblk } => {
                 let ctx = &self.panels[step];
@@ -219,20 +219,59 @@ pub(crate) fn run(a: Matrix, p: &CaParams) -> (QrFactors, ExecStats) {
     let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
         let plan = &plan;
         let shared = &shared;
-        Box::new(move || plan.exec(shared, spec)) as Job<'_>
+        ca_sched::job(move || plan.exec(shared, spec))
     });
     let stats = match p.scheduler {
         crate::params::Scheduler::PriorityQueue => run_graph(jobs, p.threads),
         crate::params::Scheduler::WorkStealing => ca_sched::run_graph_stealing(jobs, p.threads),
     };
+    (collect_factors(plan, shared), stats)
+}
 
+/// Fallible variant of [`run`]: executes on the failure-aware pool (under
+/// the given fault plan), mapping a worker failure to
+/// [`FactorError::TaskFailed`] without touching unfilled result slots.
+pub(crate) fn try_run(
+    a: Matrix,
+    p: &CaParams,
+    faults: &ca_sched::FaultPlan,
+) -> Result<(QrFactors, ExecStats), crate::error::FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    let shared = SharedMatrix::new(a);
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let result = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::try_run_graph_with_faults(jobs, p.threads, faults)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::try_run_graph_stealing_with_faults(jobs, p.threads, faults)
+        }
+    };
+    match result {
+        Ok(stats) => Ok((collect_factors(plan, shared), stats)),
+        Err(e) => Err(crate::error::FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Gathers the per-panel `Q` representations after a successful run.
+fn collect_factors(plan: CaqrPlan, shared: SharedMatrix) -> QrFactors {
     let mut panels = Vec::with_capacity(plan.panels.len());
     for ctx in plan.panels {
         let leaves = ctx.leaves.into_iter().map(|l| l.into_inner().expect("leaf missing")).collect();
         let nodes = ctx.nodes.into_iter().map(|n| n.into_inner().expect("node missing")).collect();
         panels.push(PanelQ { k0: ctx.k0, c0: ctx.c0, w: ctx.w, k: ctx.k, leaves, nodes });
     }
-    (QrFactors { a: shared.into_inner(), panels }, stats)
+    QrFactors { a: shared.into_inner(), panels }
 }
 
 /// Builds just the task graph (for the multicore simulator and DAG figures).

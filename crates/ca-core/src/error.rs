@@ -1,0 +1,113 @@
+//! Error types for the fallible factorization entry points.
+//!
+//! The infallible APIs ([`crate::calu`], [`crate::caqr`], …) keep their
+//! LAPACK-style contract: always return factors, reporting exact breakdown
+//! via [`crate::LuFactors::breakdown`] like `info` from `dgetrf`. The
+//! `try_*` entry points instead surface numerical trouble as a
+//! [`FactorError`], after pre-scanning inputs and monitoring the per-panel
+//! element growth during factorization.
+
+use ca_matrix::Matrix;
+use std::fmt;
+
+/// Growth-factor ceiling the `try_*` entry points use when the caller left
+/// [`crate::CaParams::growth_limit`] at its infinite default. Element growth
+/// beyond this is far outside anything tournament pivoting produces on
+/// non-adversarial inputs and signals a numerically meaningless
+/// factorization.
+pub const DEFAULT_GROWTH_LIMIT: f64 = 1e8;
+
+/// Why a fallible factorization or solve refused to produce a result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FactorError {
+    /// The input matrix (or right-hand side) contains a NaN or infinity at
+    /// the given position.
+    NonFiniteInput {
+        /// Row of the first non-finite entry (column-major scan order).
+        row: usize,
+        /// Column of the first non-finite entry.
+        col: usize,
+    },
+    /// Elimination hit an exactly-zero pivot: the matrix is singular to
+    /// working precision at this global column.
+    ZeroPivot {
+        /// Global column index of the first zero pivot.
+        col: usize,
+    },
+    /// The per-panel element-growth estimate exceeded the configured limit
+    /// even after refactoring the panel with plain partial pivoting.
+    GrowthExplosion {
+        /// Global column index where the offending panel starts.
+        col: usize,
+        /// The growth estimate that broke the limit.
+        growth: f64,
+    },
+    /// A worker task failed or panicked during parallel execution; its
+    /// transitive successors were cancelled by the scheduler.
+    TaskFailed {
+        /// Display form of the failed task's label (e.g. `P[2,0,2]`).
+        label: String,
+        /// The scheduler's error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteInput { row, col } => {
+                write!(f, "non-finite input entry at ({row}, {col})")
+            }
+            Self::ZeroPivot { col } => {
+                write!(f, "exact zero pivot at column {col} (singular matrix)")
+            }
+            Self::GrowthExplosion { col, growth } => {
+                write!(f, "element growth {growth:.2e} exceeds the limit in the panel at column {col}")
+            }
+            Self::TaskFailed { label, message } => {
+                write!(f, "task {label} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Position `(row, col)` of the first non-finite entry, scanning in
+/// column-major order, or `None` when every entry is finite.
+pub(crate) fn find_non_finite(a: &Matrix) -> Option<(usize, usize)> {
+    for j in 0..a.ncols() {
+        for i in 0..a.nrows() {
+            if !a[(i, j)].is_finite() {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = FactorError::ZeroPivot { col: 7 };
+        assert!(e.to_string().contains("column 7"));
+        let e = FactorError::NonFiniteInput { row: 3, col: 5 };
+        assert!(e.to_string().contains("(3, 5)"));
+        let e = FactorError::GrowthExplosion { col: 16, growth: 1e12 };
+        assert!(e.to_string().contains("column 16"));
+        let e = FactorError::TaskFailed { label: "P[1,0,1]".into(), message: "boom".into() };
+        assert!(e.to_string().contains("P[1,0,1]") && e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn non_finite_scan_finds_first_column_major_entry() {
+        let mut a = Matrix::zeros(4, 4);
+        a[(2, 1)] = f64::NAN;
+        a[(0, 3)] = f64::INFINITY;
+        assert_eq!(find_non_finite(&a), Some((2, 1)));
+        assert_eq!(find_non_finite(&Matrix::zeros(3, 3)), None);
+    }
+}

@@ -13,6 +13,11 @@
 //!   standalone tall-and-skinny solvers (the paper's TSLU/TSQR benchmarks).
 //! * [`calu_task_graph`] / [`caqr_task_graph`] — the task DAGs alone, for
 //!   the multicore simulator and Figure-1-style renderings.
+//! * [`try_calu`] / [`try_caqr`] / [`try_tslu_factor`] / [`try_tsqr_factor`]
+//!   — fallible entry points that pre-scan inputs for NaN/Inf, monitor
+//!   per-panel element growth (degrading to plain GEPP on tournament
+//!   instability), and surface singularity or worker-task failure as a
+//!   [`FactorError`] instead of poisoned factors or a panic.
 
 #![warn(missing_docs)]
 
@@ -20,6 +25,7 @@ mod calu;
 mod caqr;
 mod dag_calu;
 mod dag_caqr;
+mod error;
 pub mod solve;
 pub mod params;
 pub mod tournament;
@@ -27,8 +33,15 @@ pub mod tree;
 pub mod tslu;
 pub mod tsqr;
 
-pub use calu::{calu, calu_seq, calu_seq_factor, calu_with_stats, tslu_factor, LuFactors};
-pub use caqr::{caqr, caqr_seq, caqr_with_stats, tsqr_factor, QrFactors};
+pub use calu::{
+    calu, calu_seq, calu_seq_factor, calu_with_stats, try_calu, try_calu_seq,
+    try_calu_with_faults, try_calu_with_stats, try_tslu_factor, tslu_factor, LuFactors, LuStats,
+};
+pub use caqr::{
+    caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_with_faults, try_tsqr_factor,
+    tsqr_factor, QrFactors,
+};
+pub use error::{FactorError, DEFAULT_GROWTH_LIMIT};
 pub use dag_calu::{calu_task_graph, CaluTask};
 pub use solve::{lu_packed_solve_in_place, RefineInfo};
 pub use dag_caqr::{caqr_task_graph, CaqrTask};

@@ -61,6 +61,15 @@ pub struct CaParams {
     /// improving BLAS3 granularity at some loss of parallel slack. `1`
     /// reproduces the published algorithm.
     pub update_blocks: usize,
+    /// Ceiling on the per-panel element-growth estimate
+    /// `max|L_KK\U_KK| / max|panel input|`. When a tournament's winner
+    /// exceeds it, the panel is refactored with plain partial pivoting
+    /// (GEPP) over all active rows and the fallback is recorded in
+    /// [`crate::LuFactors`] stats. The default `f64::INFINITY` disables
+    /// monitoring (the paper's algorithm verbatim); the `try_*` entry
+    /// points substitute [`crate::DEFAULT_GROWTH_LIMIT`] when the limit is
+    /// left infinite.
+    pub growth_limit: f64,
 }
 
 impl CaParams {
@@ -78,6 +87,7 @@ impl CaParams {
             scheduler: Scheduler::PriorityQueue,
             leaf_blas2: false,
             update_blocks: 1,
+            growth_limit: f64::INFINITY,
         }
     }
 
@@ -114,9 +124,17 @@ impl CaParams {
         self
     }
 
+    /// Enables growth monitoring with the given per-panel ceiling (see
+    /// [`CaParams::growth_limit`]). `NaN` limits are rejected.
+    pub fn with_growth_limit(mut self, limit: f64) -> Self {
+        assert!(!limit.is_nan(), "growth limit must not be NaN");
+        self.growth_limit = limit;
+        self
+    }
+
     /// The paper's tall-and-skinny default: `b = min(n, 100)`.
     pub fn paper_default(n: usize, tr: usize, threads: usize) -> Self {
-        Self::new(n.min(100).max(1), tr, threads)
+        Self::new(n.clamp(1, 100), tr, threads)
     }
 }
 

@@ -3,6 +3,7 @@
 //! `dgetrs`/`dgerfs`/`dgecon` trio, built on [`LuFactors`]).
 
 use crate::calu::LuFactors;
+use crate::error::{find_non_finite, FactorError};
 use ca_kernels::{
     trsm_left_lower_trans_unit, trsm_left_lower_unit, trsm_left_upper_notrans,
     trsm_left_upper_trans,
@@ -23,6 +24,20 @@ pub struct RefineInfo {
 }
 
 impl LuFactors {
+    /// Fallible solve: refuses factors with a recorded pivot breakdown
+    /// (their `U` contains an exact zero on the diagonal, so the triangular
+    /// solves would produce Inf/NaN) and right-hand sides with non-finite
+    /// entries, instead of silently returning a poisoned solution.
+    pub fn try_solve(&self, rhs: &Matrix) -> Result<Matrix, FactorError> {
+        if let Some(col) = self.breakdown {
+            return Err(FactorError::ZeroPivot { col });
+        }
+        if let Some((row, col)) = find_non_finite(rhs) {
+            return Err(FactorError::NonFiniteInput { row, col });
+        }
+        Ok(self.solve(rhs))
+    }
+
     /// Solves `Aᵀ·X = rhs` in place (square `A`): from `ΠA = LU`,
     /// `Aᵀ = Uᵀ Lᵀ Π`, so `x = Πᵀ L⁻ᵀ U⁻ᵀ rhs`.
     pub fn solve_transposed_in_place(&self, rhs: &mut Matrix) {

@@ -10,7 +10,7 @@ use crate::params::{partition_rows, RowPartition, TreeShape};
 use crate::tournament::{select, stack_candidates, Selected};
 use crate::tree::reduction_schedule;
 use ca_kernels::trsm_right_upper_notrans;
-use ca_matrix::{MatViewMut, PivotSeq};
+use ca_matrix::{MatView, MatViewMut, PivotSeq};
 
 /// Result of factoring one panel.
 #[derive(Clone, Debug)]
@@ -21,6 +21,12 @@ pub struct PanelOutcome {
     /// First zero pivot column within the panel, if the winner block was
     /// singular (panel-local column index).
     pub breakdown: Option<usize>,
+    /// Element-growth estimate `max|L_KK\U_KK| / max|panel input|` of the
+    /// selection finally used (post-fallback when one happened).
+    pub growth: f64,
+    /// Whether tournament instability forced a plain-GEPP refactorization
+    /// of this panel (see [`apply_growth_policy`]).
+    pub fallback: bool,
 }
 
 /// Builds the interchange sequence that moves global rows `idx[0..k]` to
@@ -78,6 +84,52 @@ pub fn run_tournament(
     slots[0].take().expect("tournament winner")
 }
 
+fn max_abs_view(v: MatView<'_>) -> f64 {
+    let mut mx = 0.0f64;
+    for j in 0..v.ncols() {
+        for i in 0..v.nrows() {
+            mx = mx.max(v.at(i, j).abs());
+        }
+    }
+    mx
+}
+
+/// Growth check + GEPP fallback shared by the sequential panel
+/// factorization and the parallel root task.
+///
+/// `active` is the panel's active region (rows `k0..m` of the panel
+/// columns, still holding their **pre-interchange** values — selection
+/// works on copies, so nothing has been written back yet); `row0` is the
+/// global row index of its first row. Estimates the element growth of the
+/// tournament `winner`; when it exceeds `limit`, re-runs the selection over
+/// *all* active rows as a single group — which is exactly partial pivoting
+/// (GEPP) on the panel — and reports the refactorization via the `bool`.
+///
+/// Returns `(selection to use, growth estimate of it, fallback happened)`.
+pub(crate) fn apply_growth_policy(
+    active: MatView<'_>,
+    row0: usize,
+    winner: Selected,
+    limit: f64,
+    recursive: bool,
+) -> (Selected, f64, bool) {
+    let max_in = max_abs_view(active);
+    let growth_of = |s: &Selected| {
+        let g = max_abs_view(s.packed.view());
+        if max_in > 0.0 { g / max_in } else { 0.0 }
+    };
+    let growth = growth_of(&winner);
+    // A NaN estimate (non-finite input fed through the infallible API) must
+    // never trigger the fallback path, hence the explicit `partial_cmp`.
+    if growth.partial_cmp(&limit) != Some(std::cmp::Ordering::Greater) {
+        return (winner, growth, false);
+    }
+    let idx: Vec<usize> = (row0..row0 + active.nrows()).collect();
+    let gepp = select(active, &idx, recursive);
+    let growth = growth_of(&gepp);
+    (gepp, growth, true)
+}
+
 /// Factors one panel of the matrix in place (sequential reference).
 ///
 /// * `a` — full-height view of the **panel columns** (width ≤ b);
@@ -87,21 +139,39 @@ pub fn run_tournament(
 /// Interchanges are applied to the panel columns only; the caller applies
 /// the returned sequence to the columns left and right of the panel.
 pub fn factor_panel(
-    mut a: MatViewMut<'_>,
+    a: MatViewMut<'_>,
     k0: usize,
     b: usize,
     tr: usize,
     tree: TreeShape,
     recursive: bool,
 ) -> PanelOutcome {
+    factor_panel_limited(a, k0, b, tr, tree, recursive, f64::INFINITY)
+}
+
+/// [`factor_panel`] with growth monitoring: when the tournament winner's
+/// element growth exceeds `growth_limit`, the panel is refactored with
+/// plain GEPP (see [`apply_growth_policy`]) before anything is written.
+#[allow(clippy::too_many_arguments)]
+pub fn factor_panel_limited(
+    mut a: MatViewMut<'_>,
+    k0: usize,
+    b: usize,
+    tr: usize,
+    tree: TreeShape,
+    recursive: bool,
+    growth_limit: f64,
+) -> PanelOutcome {
     let m = a.nrows();
     let w = a.ncols();
     assert!(k0 < m, "panel has no active rows");
     let part = partition_rows(m, k0, b, tr);
 
-    let winner = {
+    let (winner, growth, fallback) = {
         let panel = a.rb();
-        run_tournament(&panel, &part, tree, recursive)
+        let winner = run_tournament(&panel, &part, tree, recursive);
+        let active = panel.as_ref().sub(k0, 0, m - k0, w);
+        apply_growth_policy(active, k0, winner, growth_limit, recursive)
     };
     let k = winner.idx.len(); // min(active rows, w)
     debug_assert_eq!(k, (m - k0).min(w));
@@ -120,7 +190,7 @@ pub fn factor_panel(
         trsm_right_upper_notrans(ukk, l_rows);
     }
 
-    PanelOutcome { pivots, breakdown: winner.breakdown }
+    PanelOutcome { pivots, breakdown: winner.breakdown, growth, fallback }
 }
 
 #[cfg(test)]

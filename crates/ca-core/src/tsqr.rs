@@ -290,9 +290,9 @@ mod tests {
         let part = partition_rows(m, k0, w.max(1), tr);
         let (leaf_ks, plans) = plan_panel(&part, w, tree);
         let mut leaves = Vec::new();
-        for i in 0..part.ngroups() {
+        for (i, &leaf_k) in leaf_ks.iter().enumerate().take(part.ngroups()) {
             let leaf = leaf_qr(a, c0, w, part.group(i));
-            assert_eq!(leaf.kv, leaf_ks[i]);
+            assert_eq!(leaf.kv, leaf_k);
             leaves.push(leaf);
         }
         let mut nodes = Vec::new();

@@ -190,8 +190,8 @@ fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatView
     for p in 0..k {
         let a_col = a.col(p);
         let b_col = b.col(p); // column p of B = row elements B[j, p]
-        for j in 0..n {
-            let x = alpha * b_col[j];
+        for (j, &bjp) in b_col.iter().enumerate().take(n) {
+            let x = alpha * bjp;
             if x != 0.0 {
                 let c_col = c.col_mut(j);
                 for i in 0..m {
@@ -211,8 +211,8 @@ fn gemm_tt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatView
         for i in 0..m {
             let a_col = a.col(i);
             let mut dot = 0.0;
-            for p in 0..k {
-                dot += a_col[p] * b.at(j, p);
+            for (p, &ap) in a_col.iter().enumerate().take(k) {
+                dot += ap * b.at(j, p);
             }
             let cij = c.at(i, j);
             c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });

@@ -65,8 +65,7 @@ pub fn larft(v: MatView<'_>, tau: &[f64], mut t: MatViewMut<'_>) {
     assert_eq!(tau.len(), k, "tau length must equal reflector count");
     assert!(t.nrows() >= k && t.ncols() >= k, "T must be at least k x k");
 
-    for j in 0..k {
-        let tj = tau[j];
+    for (j, &tj) in tau.iter().enumerate() {
         t.set(j, j, tj);
         if j > 0 {
             // w = Vᵀ v_j restricted to columns 0..j, where v_j has an
@@ -107,8 +106,8 @@ fn trmv_unit_lower_trans(v1: MatView<'_>, mut w: MatViewMut<'_>) {
         // each row reads only not-yet-overwritten entries.
         for i in 0..k {
             let mut s = col[i];
-            for r in i + 1..k {
-                s += v1.at(r, i) * col[r];
+            for (r, &cr) in col.iter().enumerate().take(k).skip(i + 1) {
+                s += v1.at(r, i) * cr;
             }
             col[i] = s;
         }
@@ -127,8 +126,8 @@ fn sub_unit_lower_mul(v1: MatView<'_>, w: MatView<'_>, mut c1: MatViewMut<'_>) {
         for i in 0..k {
             // (V₁ W)[i] = w[i] + sum_{l<i} V1[i,l] w[l]
             let mut s = wc[i];
-            for l in 0..i {
-                s += v1.at(i, l) * wc[l];
+            for (l, &wl) in wc.iter().enumerate().take(i) {
+                s += v1.at(i, l) * wl;
             }
             cc[i] -= s;
         }
@@ -146,8 +145,8 @@ fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
                 // row i uses rows >= i: ascending is safe in place.
                 for i in 0..k {
                     let mut s = 0.0;
-                    for l in i..k {
-                        s += t.at(i, l) * col[l];
+                    for (l, &cl) in col.iter().enumerate().take(k).skip(i) {
+                        s += t.at(i, l) * cl;
                     }
                     col[i] = s;
                 }
@@ -156,8 +155,8 @@ fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
                 // (Tᵀ)[i, :] uses rows <= i: descending is safe in place.
                 for i in (0..k).rev() {
                     let mut s = 0.0;
-                    for l in 0..=i {
-                        s += t.at(l, i) * col[l];
+                    for (l, &cl) in col.iter().enumerate().take(i + 1) {
+                        s += t.at(l, i) * cl;
                     }
                     col[i] = s;
                 }
@@ -300,7 +299,7 @@ mod tests {
     fn larfg_reflector_is_orthogonal() {
         let mut x = vec![1.0, -2.0, 0.5];
         let (_, tau) = larfg(0.7, &mut x);
-        let v = vec![1.0, x[0], x[1], x[2]];
+        let v = [1.0, x[0], x[1], x[2]];
         // H = I - tau v vᵀ must satisfy HᵀH = I.
         let n = 4;
         let mut h = Matrix::identity(n);

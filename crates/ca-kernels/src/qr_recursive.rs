@@ -101,8 +101,8 @@ fn trmm_upper_left(t: MatView<'_>, mut w: MatViewMut<'_>) {
         let col = w.col_mut(j);
         for i in 0..k {
             let mut s = 0.0;
-            for l in i..k {
-                s += t.at(i, l) * col[l];
+            for (l, &cl) in col.iter().enumerate().take(k).skip(i) {
+                s += t.at(i, l) * cl;
             }
             col[i] = s;
         }

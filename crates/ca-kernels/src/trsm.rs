@@ -24,8 +24,7 @@ pub fn trsm_right_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
     for j in 0..n {
         // B[:, j] -= sum_{k<j} B[:, k] * U[k, j]
         let u_col = u.col(j);
-        for k in 0..j {
-            let x = u_col[k];
+        for (k, &x) in u_col.iter().enumerate().take(j) {
             if x != 0.0 {
                 // Split borrow: copy the already-solved column k scale into j.
                 let (bk_ptr, bj) = {

@@ -17,10 +17,21 @@
 //!
 //! Both produce a [`Timeline`] renderable as an ASCII Gantt chart
 //! ([`ascii_gantt`]) in the style of the paper's Figures 2–4.
+//!
+//! ## Failure semantics
+//!
+//! Jobs return [`TaskResult`]; panics are caught and converted into
+//! failures. A failed task never releases its successors — the executors
+//! cancel its **transitive successors**, drain every independent task, and
+//! the `try_*` entry points ([`try_run_graph`], [`try_run_graph_stealing`],
+//! [`try_simulate`]) report the first failure as an [`ExecError`] naming
+//! the failed task, its label, its worker lane, and the cancelled set.
+//! [`FaultPlan`] injects failures deterministically for testing.
 
 #![warn(missing_docs)]
 
 mod blockdeps;
+mod fault;
 mod graph;
 mod pool;
 mod pool_ws;
@@ -29,9 +40,12 @@ mod task;
 mod trace;
 
 pub use blockdeps::{row_blocks, BlockTracker};
+pub use fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 pub use graph::TaskGraph;
-pub use pool::{run_graph, ExecStats, Job};
-pub use pool_ws::run_graph_stealing;
-pub use sim::{simulate, simulate_uniform};
+pub use pool::{job, run_graph, try_run_graph, try_run_graph_with_faults, ExecStats, Job};
+pub use pool_ws::{
+    run_graph_stealing, try_run_graph_stealing, try_run_graph_stealing_with_faults,
+};
+pub use sim::{simulate, simulate_uniform, try_simulate};
 pub use task::{KernelClass, TaskId, TaskKind, TaskLabel, TaskMeta};
 pub use trace::{ascii_gantt, chrome_trace_json, Span, Timeline};

@@ -5,19 +5,40 @@
 //! enqueues those that become ready. Priorities implement the paper's
 //! lookahead-of-1 policy (the DAG builders assign them); among equal
 //! priorities, lower task id wins, which follows submission order.
+//!
+//! Failure semantics: jobs return [`TaskResult`], and panics are caught and
+//! converted to failures. A failed task never releases its successors;
+//! instead the pool marks the failed task's **transitive successors** as
+//! cancelled (they are accounted for without running), keeps draining every
+//! task that does not depend on the failure, and reports the first failure
+//! as an [`ExecError`] via [`try_run_graph`]. The infallible [`run_graph`]
+//! wrapper re-raises the original panic (or panics with the failure
+//! message) after the pool has drained.
 
+use crate::fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 use crate::graph::TaskGraph;
-use crate::task::TaskId;
+use crate::task::{TaskId, TaskLabel};
 use crate::trace::{Span, Timeline};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrd};
 use std::time::Instant;
 
 /// A unit of executable work. Borrows from the caller's scope (`'s`), so
-/// tasks can capture references to a shared matrix.
-pub type Job<'s> = Box<dyn FnOnce() + Send + 's>;
+/// tasks can capture references to a shared matrix. Returns `Ok(())` on
+/// success; an `Err` (or a panic) cancels all transitive successors.
+pub type Job<'s> = Box<dyn FnOnce() -> TaskResult + Send + 's>;
+
+/// Wraps an infallible closure as a [`Job`]. This is the common case: most
+/// kernels signal trouble by panicking (caught by the pool), not by
+/// returning `Err`.
+pub fn job<'s>(f: impl FnOnce() + Send + 's) -> Job<'s> {
+    Box::new(move || {
+        f();
+        Ok(())
+    })
+}
 
 #[derive(PartialEq, Eq)]
 struct ReadyEntry {
@@ -41,8 +62,37 @@ impl PartialOrd for ReadyEntry {
 struct Shared {
     ready: Mutex<BinaryHeap<ReadyEntry>>,
     cv: Condvar,
+    /// Tasks not yet accounted for (executed or cancelled).
     remaining: AtomicUsize,
-    panicked: AtomicUsize,
+}
+
+/// First failure wins; later failures only contribute their cancelled sets.
+pub(crate) struct FailureRecord {
+    pub(crate) task: TaskId,
+    pub(crate) label: TaskLabel,
+    pub(crate) lane: usize,
+    pub(crate) message: String,
+    pub(crate) panicked: bool,
+    pub(crate) payload: Option<Box<dyn std::any::Any + Send>>,
+    pub(crate) cancelled: Vec<TaskId>,
+}
+
+impl FailureRecord {
+    /// Converts the record into the public error (payload dropped,
+    /// cancelled set sorted and deduplicated).
+    pub(crate) fn into_exec_error(self) -> ExecError {
+        let mut cancelled = self.cancelled;
+        cancelled.sort_unstable();
+        cancelled.dedup();
+        ExecError {
+            task: self.task,
+            label: self.label,
+            lane: self.lane,
+            message: self.message,
+            panicked: self.panicked,
+            cancelled,
+        }
+    }
 }
 
 /// Statistics returned by [`run_graph`].
@@ -56,29 +106,83 @@ pub struct ExecStats {
     pub timeline: Timeline,
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
 /// Executes the graph on `nthreads` workers, consuming it.
 ///
-/// Returns after every task has run. If a task panics, the panic is
-/// propagated to the caller after the pool drains (remaining tasks whose
-/// dependencies were satisfied may still run).
+/// Returns after every task has run. If a task fails or panics, its
+/// transitive successors are cancelled, every independent task still runs,
+/// and the first panic is re-raised (a non-panic `TaskFailure` becomes a
+/// panic naming the task).
 ///
 /// # Panics
 /// Propagates the first task panic; panics if `nthreads == 0`.
 pub fn run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
+    let (stats, failure) = exec_graph(graph, nthreads, None);
+    if let Some(rec) = failure {
+        match rec.payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => panic!("task {} ({}) failed: {}", rec.task, rec.label, rec.message),
+        }
+    }
+    stats
+}
+
+/// Fallible sibling of [`run_graph`]: instead of panicking on a task
+/// failure, drains the pool (cancelling the failed task's transitive
+/// successors) and returns an [`ExecError`] identifying the failed task,
+/// its label, its worker lane, and the cancelled set.
+pub fn try_run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> Result<ExecStats, ExecError> {
+    try_run_graph_with_faults(graph, nthreads, &FaultPlan::new())
+}
+
+/// [`try_run_graph`] with deterministic fault injection: as each task
+/// starts, `plan` may force it to fail, panic, or run delayed. Used by the
+/// stress tests to exercise failure paths reproducibly.
+pub fn try_run_graph_with_faults(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+    plan: &FaultPlan,
+) -> Result<ExecStats, ExecError> {
+    let (stats, failure) = exec_graph(graph, nthreads, Some(plan));
+    match failure {
+        None => Ok(stats),
+        Some(rec) => Err(rec.into_exec_error()),
+    }
+}
+
+/// Shared executor. Runs the graph to quiescence: every task either
+/// executes or is cancelled because a (transitive) predecessor failed.
+fn exec_graph<'s>(
+    graph: TaskGraph<Job<'s>>,
+    nthreads: usize,
+    plan: Option<&FaultPlan>,
+) -> (ExecStats, Option<FailureRecord>) {
     assert!(nthreads > 0, "need at least one worker");
     let n = graph.len();
     let TaskGraph { metas, payloads, succs, npreds } = graph;
 
     // Payload slots claimed exactly once each.
-    let slots: Vec<Mutex<Option<Job<'_>>>> =
+    let slots: Vec<Mutex<Option<Job<'s>>>> =
         payloads.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let preds: Vec<AtomicUsize> = npreds.iter().map(|&c| AtomicUsize::new(c)).collect();
+    // Set exactly once per task (by the BFS below); a cancelled task is
+    // accounted in `remaining` by whoever wins the swap.
+    let cancel_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
     let shared = Shared {
         ready: Mutex::new(BinaryHeap::new()),
         cv: Condvar::new(),
         remaining: AtomicUsize::new(n),
-        panicked: AtomicUsize::new(0),
     };
     {
         let mut q = shared.ready.lock();
@@ -91,17 +195,18 @@ pub fn run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
 
     let t0 = Instant::now();
     let lanes: Vec<Mutex<Vec<Span>>> = (0..nthreads).map(|_| Mutex::new(Vec::new())).collect();
-    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let fail_state: Mutex<Option<FailureRecord>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for w in 0..nthreads {
             let shared = &shared;
             let slots = &slots;
             let preds = &preds;
+            let cancel_flags = &cancel_flags;
             let metas = &metas;
             let succs = &succs;
             let lanes = &lanes;
-            let panic_payload = &panic_payload;
+            let fail_state = &fail_state;
             scope.spawn(move || {
                 loop {
                     let id = {
@@ -118,23 +223,87 @@ pub fn run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
                     };
 
                     let job = slots[id].lock().take().expect("task executed twice");
+                    let label = metas[id].label;
+                    let fault = plan.and_then(|p| p.decide(&label));
                     let start = t0.elapsed().as_secs_f64();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                    let end = t0.elapsed().as_secs_f64();
-                    lanes[w].lock().push(Span { task: id, label: metas[id].label, start, end });
-
-                    if let Err(p) = result {
-                        shared.panicked.fetch_add(1, AtomicOrd::AcqRel);
-                        let mut slot = panic_payload.lock();
-                        if slot.is_none() {
-                            *slot = Some(p);
+                    let outcome = match fault {
+                        Some(FaultAction::Fail) => {
+                            drop(job);
+                            Ok(Err(TaskFailure::new("injected fault")))
                         }
+                        Some(FaultAction::Panic) => {
+                            drop(job);
+                            std::panic::catch_unwind(|| -> TaskResult {
+                                panic!("injected panic")
+                            })
+                        }
+                        Some(FaultAction::Delay(d)) => {
+                            std::thread::sleep(d);
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                        }
+                        None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)),
+                    };
+                    let end = t0.elapsed().as_secs_f64();
+                    lanes[w].lock().push(Span { task: id, label, start, end });
+
+                    let failure = match outcome {
+                        Ok(Ok(())) => None,
+                        Ok(Err(f)) => Some((f.message, false, None)),
+                        Err(p) => Some((panic_message(p.as_ref()), true, Some(p))),
+                    };
+
+                    if let Some((message, panicked, payload)) = failure {
+                        // Cancel the transitive successors instead of
+                        // releasing them. Nothing in the closure can have
+                        // started: each node's path back to the failed task
+                        // goes through a predecessor that never completed,
+                        // so its predecessor count never reached zero. The
+                        // swap makes each task count once even when two
+                        // failures race over a shared successor.
+                        let mut newly = Vec::new();
+                        let mut stack: Vec<TaskId> = succs[id].clone();
+                        while let Some(s) = stack.pop() {
+                            if !cancel_flags[s].swap(true, AtomicOrd::AcqRel) {
+                                newly.push(s);
+                                stack.extend(succs[s].iter().copied());
+                            }
+                        }
+                        {
+                            let mut rec = fail_state.lock();
+                            match rec.as_mut() {
+                                None => {
+                                    *rec = Some(FailureRecord {
+                                        task: id,
+                                        label,
+                                        lane: w,
+                                        message,
+                                        panicked,
+                                        payload,
+                                        cancelled: newly.clone(),
+                                    });
+                                }
+                                Some(r) => r.cancelled.extend(newly.iter().copied()),
+                            }
+                        }
+                        let drained = 1 + newly.len();
+                        let finished =
+                            shared.remaining.fetch_sub(drained, AtomicOrd::AcqRel) == drained;
+                        if finished {
+                            drop(shared.ready.lock());
+                            shared.cv.notify_all();
+                            return;
+                        }
+                        continue;
                     }
 
-                    // Release successors.
+                    // Release successors. The cancelled check is defensive:
+                    // a task whose predecessors all completed cannot be in
+                    // a cancelled closure, but the load is cheap.
                     let mut newly_ready = Vec::new();
                     for &s in &succs[id] {
-                        if preds[s].fetch_sub(1, AtomicOrd::AcqRel) == 1 {
+                        if preds[s].fetch_sub(1, AtomicOrd::AcqRel) == 1
+                            && !cancel_flags[s].load(AtomicOrd::Acquire)
+                        {
                             newly_ready.push(s);
                         }
                     }
@@ -156,25 +325,24 @@ pub fn run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
         }
     });
 
-    if let Some(p) = panic_payload.into_inner() {
-        std::panic::resume_unwind(p);
-    }
-
     let mut timeline = Timeline::new(nthreads);
+    let mut executed = 0;
     for (w, lane) in lanes.into_iter().enumerate() {
         let mut spans = lane.into_inner();
-        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+        executed += spans.len();
         timeline.lanes[w] = spans;
     }
     timeline.makespan = t0.elapsed().as_secs_f64();
 
-    ExecStats { tasks: n, wall_seconds: timeline.makespan, timeline }
+    let stats = ExecStats { tasks: executed, wall_seconds: timeline.makespan, timeline };
+    (stats, fail_state.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::{TaskKind, TaskLabel, TaskMeta};
+    use crate::task::{TaskKind, TaskMeta};
     use std::sync::atomic::AtomicU64;
 
     fn meta(priority: i64) -> TaskMeta {
@@ -186,7 +354,7 @@ mod tests {
         let counter = AtomicUsize::new(0);
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
         for _ in 0..50 {
-            g.add_task(meta(0), Box::new(|| {
+            g.add_task(meta(0), job(|| {
                 counter.fetch_add(1, AtomicOrd::Relaxed);
             }));
         }
@@ -209,9 +377,9 @@ mod tests {
                 order.lock().push((name, s));
             }
         };
-        let a = g.add_task(meta(0), Box::new(mk("a")));
-        let b = g.add_task(meta(0), Box::new(mk("b")));
-        let c = g.add_task(meta(0), Box::new(mk("c")));
+        let a = g.add_task(meta(0), job(mk("a")));
+        let b = g.add_task(meta(0), job(mk("b")));
+        let c = g.add_task(meta(0), job(mk("c")));
         g.add_dep(a, b);
         g.add_dep(b, c);
         run_graph(g, 4);
@@ -225,19 +393,19 @@ mod tests {
     fn fan_out_fan_in_runs_everything() {
         let total = AtomicUsize::new(0);
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
-        let root = g.add_task(meta(0), Box::new(|| {
+        let root = g.add_task(meta(0), job(|| {
             total.fetch_add(1, AtomicOrd::Relaxed);
         }));
         let mids: Vec<_> = (0..16)
             .map(|_| {
-                let id = g.add_task(meta(0), Box::new(|| {
+                let id = g.add_task(meta(0), job(|| {
                     total.fetch_add(1, AtomicOrd::Relaxed);
                 }));
                 g.add_dep(root, id);
                 id
             })
             .collect();
-        let sink = g.add_task(meta(0), Box::new(|| {
+        let sink = g.add_task(meta(0), job(|| {
             total.fetch_add(1, AtomicOrd::Relaxed);
         }));
         for m in mids {
@@ -254,7 +422,7 @@ mod tests {
         // All ready at start; one worker must take highest priority first.
         for (i, p) in [(0usize, 1i64), (1, 5), (2, 3)] {
             let order = &order;
-            g.add_task(meta(p), Box::new(move || order.lock().push(i)));
+            g.add_task(meta(p), job(move || order.lock().push(i)));
         }
         run_graph(g, 1);
         assert_eq!(order.into_inner(), vec![1, 2, 0]);
@@ -264,7 +432,7 @@ mod tests {
     fn timeline_has_all_spans() {
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
         for _ in 0..10 {
-            g.add_task(meta(0), Box::new(|| std::hint::black_box(())));
+            g.add_task(meta(0), job(|| std::hint::black_box(())));
         }
         let stats = run_graph(g, 2);
         let total: usize = stats.timeline.lanes.iter().map(|l| l.len()).sum();
@@ -275,7 +443,7 @@ mod tests {
     #[test]
     fn task_panic_propagates() {
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
-        g.add_task(meta(0), Box::new(|| panic!("boom in task")));
+        g.add_task(meta(0), job(|| panic!("boom in task")));
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_graph(g, 2)));
         assert!(r.is_err());
     }
@@ -288,10 +456,128 @@ mod tests {
             let slots: Vec<_> = data.iter_mut().collect();
             let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
             for (i, slot) in slots.into_iter().enumerate() {
-                g.add_task(meta(0), Box::new(move || *slot = i as u64 + 1));
+                g.add_task(meta(0), job(move || *slot = i as u64 + 1));
             }
             run_graph(g, 4);
         }
         assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn failed_task_cancels_transitive_successors() {
+        // a -> b -> c: a fails, so b and c must never run.
+        let ran = [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let a = g.add_task(meta(0), Box::new(|| {
+            ran[0].fetch_add(1, AtomicOrd::SeqCst);
+            Err(TaskFailure::new("pivot went sideways"))
+        }));
+        let ran_ref = &ran;
+        let b = g.add_task(meta(0), job(move || {
+            ran_ref[1].fetch_add(1, AtomicOrd::SeqCst);
+        }));
+        let c = g.add_task(meta(0), job(move || {
+            ran_ref[2].fetch_add(1, AtomicOrd::SeqCst);
+        }));
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        let err = try_run_graph(g, 4).unwrap_err();
+        assert_eq!(err.task, a);
+        assert!(!err.panicked);
+        assert!(err.message.contains("pivot went sideways"));
+        assert_eq!(err.cancelled, vec![b, c]);
+        assert_eq!(ran[0].load(AtomicOrd::SeqCst), 1);
+        assert_eq!(ran[1].load(AtomicOrd::SeqCst), 0);
+        assert_eq!(ran[2].load(AtomicOrd::SeqCst), 0);
+    }
+
+    #[test]
+    fn independent_branch_survives_failure() {
+        // Diamond with an extra independent chain: failing one branch must
+        // not stop the other branch or the chain, only the join.
+        let ok_runs = AtomicUsize::new(0);
+        let join_runs = AtomicUsize::new(0);
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let root = g.add_task(meta(0), job(|| {}));
+        let bad = g.add_task(meta(0), Box::new(|| Err(TaskFailure::new("boom"))));
+        let good = g.add_task(meta(0), job(|| {
+            ok_runs.fetch_add(1, AtomicOrd::SeqCst);
+        }));
+        let join = g.add_task(meta(0), job(|| {
+            join_runs.fetch_add(1, AtomicOrd::SeqCst);
+        }));
+        g.add_dep(root, bad);
+        g.add_dep(root, good);
+        g.add_dep(bad, join);
+        g.add_dep(good, join);
+        let chain: Vec<_> = (0..8)
+            .map(|_| {
+                g.add_task(meta(0), job(|| {
+                    ok_runs.fetch_add(1, AtomicOrd::SeqCst);
+                }))
+            })
+            .collect();
+        for pair in chain.windows(2) {
+            g.add_dep(pair[0], pair[1]);
+        }
+        let err = try_run_graph(g, 4).unwrap_err();
+        assert_eq!(err.task, bad);
+        assert_eq!(err.cancelled, vec![join]);
+        assert_eq!(ok_runs.load(AtomicOrd::SeqCst), 9);
+        assert_eq!(join_runs.load(AtomicOrd::SeqCst), 0);
+    }
+
+    #[test]
+    fn try_run_graph_succeeds_on_clean_graph() {
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        for _ in 0..20 {
+            g.add_task(meta(0), job(|| {}));
+        }
+        let stats = try_run_graph(g, 4).expect("clean graph must succeed");
+        assert_eq!(stats.tasks, 20);
+    }
+
+    #[test]
+    fn fault_plan_injects_panic_deterministically() {
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| {
+                let m = TaskMeta::new(TaskLabel::new(TaskKind::Update, i, 0, 0), 1.0);
+                g.add_task(m, job(|| {}))
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            g.add_dep(pair[0], pair[1]);
+        }
+        // Panic on the task with step == 2; everything after it cancels.
+        let plan = FaultPlan::new().panic_nth(1, |l| l.step == 2);
+        let err = try_run_graph_with_faults(g, 2, &plan).unwrap_err();
+        assert_eq!(err.task, ids[2]);
+        assert!(err.panicked);
+        assert!(err.message.contains("injected panic"));
+        assert_eq!(err.cancelled, vec![ids[3], ids[4], ids[5]]);
+    }
+
+    #[test]
+    fn injected_failure_on_source_cancels_whole_chain() {
+        let ran = AtomicUsize::new(0);
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| {
+                let m = TaskMeta::new(TaskLabel::new(TaskKind::Panel, i, 0, 0), 1.0);
+                let ran = &ran;
+                g.add_task(m, job(move || {
+                    ran.fetch_add(1, AtomicOrd::SeqCst);
+                }))
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            g.add_dep(pair[0], pair[1]);
+        }
+        let plan = FaultPlan::new().fail_nth(1, |l| l.step == 0);
+        let err = try_run_graph_with_faults(g, 1, &plan).unwrap_err();
+        assert_eq!(err.task, ids[0]);
+        assert_eq!(err.cancelled.len(), 4);
+        assert_eq!(ran.load(AtomicOrd::SeqCst), 0, "no task body may run");
     }
 }

@@ -7,33 +7,80 @@
 //! rule) are **not** honored — only depth-first locality — which is exactly
 //! the trade-off this variant exists to expose: dynamic scheduling with
 //! priorities (the paper's choice, PLASMA-like) versus pure work stealing.
+//!
+//! Failure semantics match [`crate::run_graph`]: a failed or panicking task
+//! cancels its transitive successors, independent tasks still drain, and
+//! [`try_run_graph_stealing`] reports the first failure as an
+//! [`ExecError`].
 
+use crate::fault::{ExecError, FaultAction, FaultPlan, TaskFailure};
 use crate::graph::TaskGraph;
-use crate::pool::{ExecStats, Job};
+use crate::pool::{panic_message, ExecStats, FailureRecord, Job};
 use crate::trace::{Span, Timeline};
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Executes the graph on `nthreads` workers with work stealing, consuming
-/// it. Returns after every task has run; propagates the first task panic.
+/// it. Returns after every runnable task has run. If a task fails or
+/// panics, its transitive successors are cancelled and the first panic is
+/// re-raised after the pool drains.
 ///
 /// # Panics
 /// Propagates task panics; panics if `nthreads == 0`.
 pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
+    let (stats, failure) = exec_stealing(graph, nthreads, None);
+    if let Some(rec) = failure {
+        match rec.payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => panic!("task {} ({}) failed: {}", rec.task, rec.label, rec.message),
+        }
+    }
+    stats
+}
+
+/// Fallible sibling of [`run_graph_stealing`]: drains the pool on failure
+/// (cancelling the failed task's transitive successors) and returns an
+/// [`ExecError`] identifying the failed task.
+pub fn try_run_graph_stealing(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+) -> Result<ExecStats, ExecError> {
+    try_run_graph_stealing_with_faults(graph, nthreads, &FaultPlan::new())
+}
+
+/// [`try_run_graph_stealing`] with deterministic fault injection.
+pub fn try_run_graph_stealing_with_faults(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+    plan: &FaultPlan,
+) -> Result<ExecStats, ExecError> {
+    let (stats, failure) = exec_stealing(graph, nthreads, Some(plan));
+    match failure {
+        None => Ok(stats),
+        Some(rec) => Err(rec.into_exec_error()),
+    }
+}
+
+fn exec_stealing<'s>(
+    graph: TaskGraph<Job<'s>>,
+    nthreads: usize,
+    plan: Option<&FaultPlan>,
+) -> (ExecStats, Option<FailureRecord>) {
     assert!(nthreads > 0, "need at least one worker");
     let n = graph.len();
     let TaskGraph { metas, payloads, succs, npreds } = graph;
 
-    let slots: Vec<Mutex<Option<Job<'_>>>> =
+    let slots: Vec<Mutex<Option<Job<'s>>>> =
         payloads.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let preds: Vec<AtomicUsize> = npreds.iter().map(|&c| AtomicUsize::new(c)).collect();
+    let cancel_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let remaining = AtomicUsize::new(n);
 
     let injector: Injector<usize> = Injector::new();
-    for id in 0..n {
-        if npreds[id] == 0 {
+    for (id, &np) in npreds.iter().enumerate() {
+        if np == 0 {
             injector.push(id);
         }
     }
@@ -42,7 +89,7 @@ pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecSta
 
     let t0 = Instant::now();
     let lanes: Vec<Mutex<Vec<Span>>> = (0..nthreads).map(|_| Mutex::new(Vec::new())).collect();
-    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let fail_state: Mutex<Option<FailureRecord>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for (w, local) in deques.into_iter().enumerate() {
@@ -50,11 +97,12 @@ pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecSta
             let stealers = &stealers;
             let slots = &slots;
             let preds = &preds;
+            let cancel_flags = &cancel_flags;
             let metas = &metas;
             let succs = &succs;
             let lanes = &lanes;
             let remaining = &remaining;
-            let panic_payload = &panic_payload;
+            let fail_state = &fail_state;
             scope.spawn(move || {
                 let mut idle_spins = 0u32;
                 loop {
@@ -84,19 +132,74 @@ pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecSta
                     idle_spins = 0;
 
                     let job = slots[id].lock().take().expect("task executed twice");
+                    let label = metas[id].label;
+                    let fault = plan.and_then(|p| p.decide(&label));
                     let start = t0.elapsed().as_secs_f64();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                    let end = t0.elapsed().as_secs_f64();
-                    lanes[w].lock().push(Span { task: id, label: metas[id].label, start, end });
-
-                    if let Err(p) = result {
-                        let mut slot = panic_payload.lock();
-                        if slot.is_none() {
-                            *slot = Some(p);
+                    let outcome = match fault {
+                        Some(FaultAction::Fail) => {
+                            drop(job);
+                            Ok(Err(TaskFailure::new("injected fault")))
                         }
+                        Some(FaultAction::Panic) => {
+                            drop(job);
+                            std::panic::catch_unwind(|| -> crate::fault::TaskResult {
+                                panic!("injected panic")
+                            })
+                        }
+                        Some(FaultAction::Delay(d)) => {
+                            std::thread::sleep(d);
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                        }
+                        None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)),
+                    };
+                    let end = t0.elapsed().as_secs_f64();
+                    lanes[w].lock().push(Span { task: id, label, start, end });
+
+                    let failure = match outcome {
+                        Ok(Ok(())) => None,
+                        Ok(Err(f)) => Some((f.message, false, None)),
+                        Err(p) => Some((panic_message(p.as_ref()), true, Some(p))),
+                    };
+
+                    if let Some((message, panicked, payload)) = failure {
+                        // Cancel transitive successors instead of pushing
+                        // them; they are accounted here, never scheduled.
+                        let mut newly = Vec::new();
+                        let mut stack: Vec<usize> = succs[id].clone();
+                        while let Some(s) = stack.pop() {
+                            if !cancel_flags[s].swap(true, Ordering::AcqRel) {
+                                newly.push(s);
+                                stack.extend(succs[s].iter().copied());
+                            }
+                        }
+                        {
+                            let mut rec = fail_state.lock();
+                            match rec.as_mut() {
+                                None => {
+                                    *rec = Some(FailureRecord {
+                                        task: id,
+                                        label,
+                                        lane: w,
+                                        message,
+                                        panicked,
+                                        payload,
+                                        cancelled: newly.clone(),
+                                    });
+                                }
+                                Some(r) => r.cancelled.extend(newly.iter().copied()),
+                            }
+                        }
+                        let drained = 1 + newly.len();
+                        if remaining.fetch_sub(drained, Ordering::AcqRel) == drained {
+                            return;
+                        }
+                        continue;
                     }
+
                     for &s in &succs[id] {
-                        if preds[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        if preds[s].fetch_sub(1, Ordering::AcqRel) == 1
+                            && !cancel_flags[s].load(Ordering::Acquire)
+                        {
                             local.push(s);
                         }
                     }
@@ -108,23 +211,23 @@ pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecSta
         }
     });
 
-    if let Some(p) = panic_payload.into_inner() {
-        std::panic::resume_unwind(p);
-    }
-
     let mut timeline = Timeline::new(nthreads);
+    let mut executed = 0;
     for (w, lane) in lanes.into_iter().enumerate() {
         let mut spans = lane.into_inner();
-        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+        executed += spans.len();
         timeline.lanes[w] = spans;
     }
     timeline.makespan = t0.elapsed().as_secs_f64();
-    ExecStats { tasks: n, wall_seconds: timeline.makespan, timeline }
+    let stats = ExecStats { tasks: executed, wall_seconds: timeline.makespan, timeline };
+    (stats, fail_state.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::job;
     use crate::task::{TaskKind, TaskLabel, TaskMeta};
     use std::sync::atomic::AtomicU64;
 
@@ -137,7 +240,7 @@ mod tests {
         let counter = AtomicUsize::new(0);
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
         for _ in 0..200 {
-            g.add_task(meta(), Box::new(|| {
+            g.add_task(meta(), job(|| {
                 counter.fetch_add(1, Ordering::Relaxed);
             }));
         }
@@ -157,7 +260,7 @@ mod tests {
         for i in 0..40usize {
             let clock = &clock;
             let stamps = &stamps;
-            let id = g.add_task(meta(), Box::new(move || {
+            let id = g.add_task(meta(), job(move || {
                 stamps[i].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
             }));
             if let Some(p) = prev {
@@ -176,19 +279,19 @@ mod tests {
         let total = AtomicUsize::new(0);
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
         let total_ref = &total;
-        let root = g.add_task(meta(), Box::new(move || {
+        let root = g.add_task(meta(), job(move || {
             total_ref.fetch_add(1, Ordering::Relaxed);
         }));
         let mids: Vec<_> = (0..64)
             .map(|_| {
-                let id = g.add_task(meta(), Box::new(move || {
+                let id = g.add_task(meta(), job(move || {
                     total_ref.fetch_add(1, Ordering::Relaxed);
                 }));
                 g.add_dep(root, id);
                 id
             })
             .collect();
-        let sink = g.add_task(meta(), Box::new(move || {
+        let sink = g.add_task(meta(), job(move || {
             total_ref.fetch_add(1, Ordering::Relaxed);
         }));
         for m in mids {
@@ -201,8 +304,47 @@ mod tests {
     #[test]
     fn task_panic_propagates() {
         let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
-        g.add_task(meta(), Box::new(|| panic!("boom")));
+        g.add_task(meta(), job(|| panic!("boom")));
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_graph_stealing(g, 2)));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn failure_cancels_successors_under_stealing() {
+        let ran = AtomicUsize::new(0);
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let bad = g.add_task(meta(), Box::new(|| Err(TaskFailure::new("boom"))));
+        let ran_ref = &ran;
+        let dep = g.add_task(meta(), job(move || {
+            ran_ref.fetch_add(1, Ordering::SeqCst);
+        }));
+        let free = g.add_task(meta(), job(move || {
+            ran_ref.fetch_add(1, Ordering::SeqCst);
+        }));
+        g.add_dep(bad, dep);
+        let err = try_run_graph_stealing(g, 4).unwrap_err();
+        assert_eq!(err.task, bad);
+        assert_eq!(err.cancelled, vec![dep]);
+        let _ = free;
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "independent task must still run");
+    }
+
+    #[test]
+    fn fault_injection_under_stealing() {
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| {
+                let m = TaskMeta::new(TaskLabel::new(TaskKind::Update, i, 0, 0), 1.0);
+                g.add_task(m, job(|| {}))
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            g.add_dep(pair[0], pair[1]);
+        }
+        let plan = FaultPlan::new().panic_nth(1, |l| l.step == 5);
+        let err = try_run_graph_stealing_with_faults(g, 3, &plan).unwrap_err();
+        assert_eq!(err.task, ids[5]);
+        assert!(err.panicked);
+        assert_eq!(err.cancelled.len(), 4);
     }
 }

@@ -12,6 +12,7 @@
 //! so schedule-level effects (panel on the critical path, idle-time gaps of
 //! Figure 3, lookahead) are reproduced faithfully.
 
+use crate::fault::{ExecError, FaultAction, FaultPlan};
 use crate::graph::TaskGraph;
 use crate::task::TaskId;
 use crate::trace::{Span, Timeline};
@@ -41,18 +42,18 @@ struct Completion {
     time: f64,
     worker: usize,
     task: TaskId,
+    /// `Some(panicked)` when an injected fault fails this task on
+    /// completion.
+    failed: Option<bool>,
 }
 
 impl Eq for Completion {}
 
 impl Ord for Completion {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on (time, worker): earliest completion first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then(other.worker.cmp(&self.worker))
+        // Min-heap on (time, worker): earliest completion first. total_cmp
+        // keeps the order total even if a cost model produces NaN.
+        other.time.total_cmp(&self.time).then(other.worker.cmp(&self.worker))
     }
 }
 
@@ -72,14 +73,33 @@ impl PartialOrd for Completion {
 pub fn simulate<T>(
     graph: &TaskGraph<T>,
     nworkers: usize,
-    mut cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
+    cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
 ) -> Timeline {
+    try_simulate(graph, nworkers, cost, &FaultPlan::new())
+        .expect("simulation without injected faults cannot fail")
+}
+
+/// [`simulate`] with deterministic fault injection: tasks `plan` fails (or
+/// "panics") still occupy their core for their full cost, but on completion
+/// cancel their transitive successors instead of releasing them, exactly
+/// like the threaded executors. The rest of the graph drains; the first
+/// failure comes back as an [`ExecError`] whose `lane` is the simulated
+/// core index.
+///
+/// # Panics
+/// If `nworkers == 0`.
+pub fn try_simulate<T>(
+    graph: &TaskGraph<T>,
+    nworkers: usize,
+    mut cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
+    plan: &FaultPlan,
+) -> Result<Timeline, ExecError> {
     assert!(nworkers > 0, "need at least one simulated core");
     let n = graph.len();
     let mut preds: Vec<usize> = graph.npreds.clone();
     let mut ready: BinaryHeap<ReadyEntry> = BinaryHeap::new();
-    for id in 0..n {
-        if preds[id] == 0 {
+    for (id, &np) in preds.iter().enumerate() {
+        if np == 0 {
             ready.push(ReadyEntry { priority: graph.metas[id].priority, id });
         }
     }
@@ -88,44 +108,76 @@ pub fn simulate<T>(
     let mut events: BinaryHeap<Completion> = BinaryHeap::new();
     let mut timeline = Timeline::new(nworkers);
     let mut t = 0.0f64;
-    let mut done = 0usize;
+    // Tasks accounted for: executed or cancelled.
+    let mut accounted = 0usize;
+    let mut cancelled = vec![false; n];
+    let mut failure: Option<ExecError> = None;
 
-    while done < n {
+    while accounted < n {
         // Start as many ready tasks as there are idle cores, at time t.
         while !idle.is_empty() && !ready.is_empty() {
             let entry = ready.pop().expect("nonempty");
             let worker = idle.pop().expect("nonempty");
-            let d = cost(entry.id, &graph.metas[entry.id]).max(0.0);
+            let meta = &graph.metas[entry.id];
+            let mut d = cost(entry.id, meta).max(0.0);
+            // `failed` is Some(panicked) when a fault fires for this task.
+            let failed = match plan.decide(&meta.label) {
+                Some(FaultAction::Fail) => Some(false),
+                Some(FaultAction::Panic) => Some(true),
+                Some(FaultAction::Delay(extra)) => {
+                    d += extra.as_secs_f64();
+                    None
+                }
+                None => None,
+            };
             timeline.lanes[worker].push(Span {
                 task: entry.id,
-                label: graph.metas[entry.id].label,
+                label: meta.label,
                 start: t,
                 end: t + d,
             });
-            events.push(Completion { time: t + d, worker, task: entry.id });
+            events.push(Completion { time: t + d, worker, task: entry.id, failed });
         }
 
-        // Advance to the next completion.
+        // Advance to the next completion, draining any other completions at
+        // the same instant so their cores are all available before the next
+        // assignment round.
         let c = events.pop().expect("deadlock: no running task but graph unfinished");
         t = c.time;
-        idle.push(c.worker);
-        done += 1;
-        for &s in &graph.succs[c.task] {
-            preds[s] -= 1;
-            if preds[s] == 0 {
-                ready.push(ReadyEntry { priority: graph.metas[s].priority, id: s });
-            }
-        }
-        // Drain any other completions at the same instant so their cores are
-        // all available before the next assignment round.
+        let mut batch = vec![c];
         while events.peek().map(|e| e.time <= t).unwrap_or(false) {
-            let c = events.pop().expect("nonempty");
+            batch.push(events.pop().expect("nonempty"));
+        }
+        for c in batch {
             idle.push(c.worker);
-            done += 1;
-            for &s in &graph.succs[c.task] {
-                preds[s] -= 1;
-                if preds[s] == 0 {
-                    ready.push(ReadyEntry { priority: graph.metas[s].priority, id: s });
+            accounted += 1;
+            if let Some(panicked) = c.failed {
+                // Cancel transitive successors: accounted without running.
+                let mut stack: Vec<TaskId> = graph.succs[c.task].clone();
+                while let Some(s) = stack.pop() {
+                    if !cancelled[s] {
+                        cancelled[s] = true;
+                        accounted += 1;
+                        stack.extend(graph.succs[s].iter().copied());
+                    }
+                }
+                if failure.is_none() {
+                    failure = Some(ExecError {
+                        task: c.task,
+                        label: graph.metas[c.task].label,
+                        lane: c.worker,
+                        message: if panicked { "injected panic" } else { "injected fault" }
+                            .to_string(),
+                        panicked,
+                        cancelled: Vec::new(),
+                    });
+                }
+            } else {
+                for &s in &graph.succs[c.task] {
+                    preds[s] -= 1;
+                    if preds[s] == 0 && !cancelled[s] {
+                        ready.push(ReadyEntry { priority: graph.metas[s].priority, id: s });
+                    }
                 }
             }
         }
@@ -133,7 +185,13 @@ pub fn simulate<T>(
     }
 
     timeline.makespan = t;
-    timeline
+    match failure {
+        None => Ok(timeline),
+        Some(mut err) => {
+            err.cancelled = (0..n).filter(|&id| cancelled[id]).collect();
+            Err(err)
+        }
+    }
 }
 
 /// Convenience: simulate with durations equal to each task's `flops` field
@@ -257,5 +315,51 @@ mod tests {
         assert_eq!(tl.makespan, 0.0);
         let spans: usize = tl.lanes.iter().map(|l| l.len()).sum();
         assert_eq!(spans, 100);
+    }
+
+    #[test]
+    fn injected_fault_cancels_downstream_in_simulation() {
+        // Chain of 10; fail the 4th started task: 6 tasks cancel, the
+        // simulation still terminates, and the error names the task.
+        let g = chain(10, 1.0);
+        let plan = FaultPlan::new().fail_nth(4, |_| true);
+        let err = try_simulate(&g, 4, |_, m| m.flops, &plan).unwrap_err();
+        assert_eq!(err.task, 3);
+        assert!(!err.panicked);
+        assert_eq!(err.cancelled, vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn independent_work_survives_simulated_fault() {
+        // Two disjoint chains; panic in one must not touch the other.
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let mut chains = Vec::new();
+        for c in 0..2usize {
+            let mut prev = None;
+            for s in 0..5 {
+                let m = TaskMeta::new(TaskLabel::new(TaskKind::Update, s, c, 0), 1.0);
+                let id = g.add_task(m, ());
+                if let Some(p) = prev {
+                    g.add_dep(p, id);
+                }
+                prev = Some(id);
+                chains.push(id);
+            }
+        }
+        let plan = FaultPlan::new().panic_nth(1, |l| l.i == 0 && l.step == 1);
+        let err = try_simulate(&g, 2, |_, m| m.flops, &plan).unwrap_err();
+        assert!(err.panicked);
+        assert_eq!(err.cancelled.len(), 3, "only the faulty chain's tail cancels");
+        // All of chain 1 plus chain 0's steps 0..=1 executed.
+        let tl_err = err;
+        assert!(tl_err.cancelled.iter().all(|&id| (2..=4).contains(&id)));
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_simulate() {
+        let g = chain(10, 2.0);
+        let a = simulate_uniform(&g, 3, 1.0);
+        let b = try_simulate(&g, 3, |_, m| m.flops / 1.0, &FaultPlan::new()).unwrap();
+        assert_eq!(a.makespan, b.makespan);
     }
 }

@@ -9,12 +9,28 @@
 //!
 //! Matrices are Matrix Market files (dense `array` or sparse `coordinate`).
 
-use ca_factor::core::calu_with_stats;
+use ca_factor::core::try_calu_with_stats;
 use ca_factor::matrix::io::{read_matrix_market_file, write_matrix_market_file};
 use ca_factor::matrix::{norm_one, random_uniform, seeded_rng, Matrix};
 use ca_factor::prelude::*;
 use std::process::exit;
 use std::time::Instant;
+
+/// Distinct exit code per numerical-failure class (`2` stays usage errors,
+/// `1` I/O errors).
+fn exit_code(e: &FactorError) -> i32 {
+    match e {
+        FactorError::NonFiniteInput { .. } => 3,
+        FactorError::ZeroPivot { .. } => 4,
+        FactorError::GrowthExplosion { .. } => 5,
+        FactorError::TaskFailed { .. } => 6,
+    }
+}
+
+fn fail(e: &FactorError) -> ! {
+    eprintln!("cafactor: {e}");
+    exit(exit_code(e))
+}
 
 struct Opts {
     input: Option<String>,
@@ -129,7 +145,7 @@ fn cmd_factor_lu(o: &Opts) {
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
     let t0 = Instant::now();
-    let (f, stats) = calu_with_stats(a.clone(), &p);
+    let (f, stats) = try_calu_with_stats(a.clone(), &p).unwrap_or_else(|e| fail(&e));
     let dt = t0.elapsed().as_secs_f64();
     let gf = ca_factor::kernels::flops::getrf(m, n.min(m)) / dt / 1e9;
     println!(
@@ -137,8 +153,12 @@ fn cmd_factor_lu(o: &Opts) {
          tasks={}  residual={:.2e}",
         p.b, p.tr, p.tree, p.threads, stats.tasks, f.residual(&a)
     );
-    if let Some(bd) = f.breakdown {
-        println!("warning: exact zero pivot at column {bd} (singular input)");
+    if !f.stats.fallback_panels.is_empty() {
+        eprintln!(
+            "note: {} panel(s) refactored with plain GEPP (tournament instability), max growth {:.2e}",
+            f.stats.fallback_panels.len(),
+            f.stats.max_growth()
+        );
     }
     if let Some(out) = &o.output {
         write_matrix_market_file(out, &f.lu).expect("write output");
@@ -151,7 +171,7 @@ fn cmd_factor_qr(o: &Opts) {
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
     let t0 = Instant::now();
-    let f = caqr(a.clone(), &p);
+    let f = ca_factor::core::try_caqr(a.clone(), &p).unwrap_or_else(|e| fail(&e));
     let dt = t0.elapsed().as_secs_f64();
     let gf = ca_factor::kernels::flops::geqrf(m, n.min(m)) / dt / 1e9;
     println!(
@@ -186,13 +206,19 @@ fn cmd_solve(o: &Opts) {
         }
     };
     let p = params(o, n);
-    let f = calu(a.clone(), &p);
+    let f = try_calu(a.clone(), &p).unwrap_or_else(|e| {
+        if matches!(e, FactorError::ZeroPivot { .. }) {
+            eprintln!("cafactor: rcond = 0 (exactly singular)");
+        }
+        fail(&e)
+    });
     let rcond = f.rcond_estimate(norm_one(a.view()));
     let (x, info) = if o.refine {
         let (x, info) = f.solve_refined(&a, &rhs, 5);
         (x, Some(info))
     } else {
-        (f.solve(&rhs), None)
+        let x = f.try_solve(&rhs).unwrap_or_else(|e| fail(&e));
+        (x, None)
     };
     let r = rhs.sub_matrix(&a.matmul(&x));
     println!(

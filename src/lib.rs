@@ -54,8 +54,9 @@ pub mod bench {
 /// The names most programs need.
 pub mod prelude {
     pub use ca_core::{
-        calu, calu_seq_factor, caqr, caqr_seq, tslu_factor, tsqr_factor, CaParams, LuFactors,
-        QrFactors, TreeShape,
+        calu, calu_seq_factor, caqr, caqr_seq, try_calu, try_caqr, try_tslu_factor,
+        try_tsqr_factor, tslu_factor, tsqr_factor, CaParams, FactorError, LuFactors, QrFactors,
+        TreeShape,
     };
     pub use ca_matrix::{Matrix, PivotSeq};
 }

@@ -79,3 +79,31 @@ fn bad_usage_exits_nonzero() {
     let out = cafactor().args(["bogus"]).output().expect("run cafactor");
     assert!(!out.status.success());
 }
+
+#[test]
+fn singular_input_exits_with_breakdown_code() {
+    // An exactly-singular system must produce the ZeroPivot exit code (4)
+    // and name the breakdown column on stderr, not panic or emit NaNs.
+    let dir = std::env::temp_dir().join("cafactor_cli_singular");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a_path = dir.join("singular.mtx");
+    let n = 24;
+    let mut a = ca_factor::matrix::random_uniform(n, n, &mut ca_factor::matrix::seeded_rng(9));
+    for i in 0..n {
+        a[(i, 5)] = 0.0;
+    }
+    ca_factor::matrix::io::write_matrix_market_file(&a_path, &a).unwrap();
+
+    for cmd in [&["solve"][..], &["factor", "lu"][..]] {
+        let out = cafactor()
+            .args(cmd)
+            .args(["--input", a_path.to_str().unwrap(), "--b", "6"])
+            .output()
+            .expect("run cafactor");
+        assert_eq!(out.status.code(), Some(4), "{cmd:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("zero pivot"), "{cmd:?}: {err}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

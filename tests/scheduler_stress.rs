@@ -1,8 +1,13 @@
 //! Stress tests of the `ca-sched` runtime: random DAGs executed on real
 //! threads with dependency-order verification, pool-vs-simulator agreement
-//! on task sets, and heavy-contention smoke tests.
+//! on task sets, heavy-contention smoke tests, and deterministic
+//! fault-injection runs exercising the failure/cancellation paths.
 
-use ca_factor::sched::{run_graph, simulate_uniform, Job, TaskGraph, TaskKind, TaskLabel, TaskMeta};
+use ca_factor::sched::{
+    job, run_graph, simulate_uniform, try_run_graph, try_run_graph_stealing_with_faults,
+    try_run_graph_with_faults, FaultPlan, Job, TaskFailure, TaskGraph, TaskKind, TaskLabel,
+    TaskMeta,
+};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -50,7 +55,7 @@ fn random_dags_execute_in_dependency_order() {
         let jobs: TaskGraph<Job<'_>> = g.map_ref(|id, _| {
             let clock = &clock;
             let stamps = &stamps;
-            Box::new(move || {
+            job(move || {
                 // Tiny variable work to shake the interleaving.
                 let mut acc = 0u64;
                 for k in 0..(id % 7) * 100 {
@@ -59,7 +64,7 @@ fn random_dags_execute_in_dependency_order() {
                 std::hint::black_box(acc);
                 let t = clock.fetch_add(1, Ordering::SeqCst);
                 stamps[id].store(t, Ordering::SeqCst);
-            }) as Job<'_>
+            })
         });
         let stats = run_graph(jobs, 4);
         assert_eq!(stats.tasks, n);
@@ -79,7 +84,7 @@ fn pool_and_simulator_run_the_same_task_set() {
     let executed = Mutex::new(Vec::new());
     let jobs: TaskGraph<Job<'_>> = g.map_ref(|id, _| {
         let executed = &executed;
-        Box::new(move || executed.lock().unwrap().push(id)) as Job<'_>
+        job(move || executed.lock().unwrap().push(id))
     });
     run_graph(jobs, 3);
     let mut ran = executed.into_inner().unwrap();
@@ -101,27 +106,144 @@ fn wide_fanout_with_many_threads() {
         TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), 1.0).with_priority(p)
     };
     let total_ref = &total;
-    let root = g.add_task(meta(0), Box::new(move || {
+    let root = g.add_task(meta(0), job(move || {
         total_ref.fetch_add(1, Ordering::Relaxed);
-    }) as Job<'_>);
+    }));
     let mids: Vec<_> = (0..500)
         .map(|i| {
-            let id = g.add_task(meta(i % 17), Box::new(move || {
+            let id = g.add_task(meta(i % 17), job(move || {
                 total_ref.fetch_add(1, Ordering::Relaxed);
-            }) as Job<'_>);
+            }));
             g.add_dep(root, id);
             id
         })
         .collect();
-    let sink = g.add_task(meta(0), Box::new(move || {
+    let sink = g.add_task(meta(0), job(move || {
         total_ref.fetch_add(1, Ordering::Relaxed);
-    }) as Job<'_>);
+    }));
     for m in mids {
         g.add_dep(m, sink);
     }
     let stats = run_graph(g, 16);
     assert_eq!(total.load(Ordering::Relaxed), 502);
     stats.timeline.validate();
+}
+
+#[test]
+fn injected_panics_never_hang_and_cancel_successors() {
+    // Panic at the first, middle, and last task of a chain, at 1/4/16
+    // threads: the pool must drain without hanging, cancel exactly the
+    // downstream tasks, and name the failed task in the error.
+    let n = 24usize;
+    for &threads in &[1usize, 4, 16] {
+        for &pos in &[0usize, n / 2, n - 1] {
+            let ran: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    let meta = TaskMeta::new(TaskLabel::new(TaskKind::Update, i, 0, 0), 1.0);
+                    let ran = &ran;
+                    g.add_task(meta, job(move || {
+                        ran[i].fetch_add(1, Ordering::SeqCst);
+                    }))
+                })
+                .collect();
+            for pair in ids.windows(2) {
+                g.add_dep(pair[0], pair[1]);
+            }
+            let plan = FaultPlan::new().panic_nth(1, move |l| l.step == pos);
+            let err = try_run_graph_with_faults(g, threads, &plan)
+                .expect_err("injected panic must surface as ExecError");
+            assert_eq!(err.task, ids[pos]);
+            assert_eq!(err.label.step, pos);
+            assert!(err.panicked);
+            assert_eq!(err.cancelled, ids[pos + 1..].to_vec());
+            for (i, r) in ran.iter().enumerate() {
+                let expect = usize::from(i < pos);
+                assert_eq!(
+                    r.load(Ordering::SeqCst),
+                    expect,
+                    "task {i} (panic at {pos}, {threads} threads)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_dag_failure_cancels_exact_transitive_closure() {
+    // A job returning Err in a random DAG: the cancelled set reported by
+    // the pool must equal the true transitive closure of the failed task,
+    // and everything outside it must have run exactly once.
+    for seed in 0..4u64 {
+        let g = random_dag(seed + 40, 5, 6, 0.35);
+        let n = g.len();
+        let fail_at = (7 * (seed as usize + 1)) % n;
+        let mut expected = vec![false; n];
+        let mut stack: Vec<usize> = g.successors(fail_at).to_vec();
+        while let Some(s) = stack.pop() {
+            if !expected[s] {
+                expected[s] = true;
+                stack.extend(g.successors(s).iter().copied());
+            }
+        }
+        let ran: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: TaskGraph<Job<'_>> = g.map_ref(|id, _| {
+            let ran = &ran;
+            if id == fail_at {
+                Box::new(move || {
+                    ran[id].fetch_add(1, Ordering::SeqCst);
+                    Err(TaskFailure::new("synthetic breakdown"))
+                }) as Job<'_>
+            } else {
+                job(move || {
+                    ran[id].fetch_add(1, Ordering::SeqCst);
+                })
+            }
+        });
+        let err = try_run_graph(jobs, 4).expect_err("failure must surface");
+        assert_eq!(err.task, fail_at, "seed {seed}");
+        assert!(!err.panicked);
+        assert!(err.message.contains("synthetic breakdown"));
+        let expected_ids: Vec<usize> = (0..n).filter(|&i| expected[i]).collect();
+        assert_eq!(err.cancelled, expected_ids, "seed {seed}");
+        for i in 0..n {
+            let runs = ran[i].load(Ordering::SeqCst);
+            if expected[i] {
+                assert_eq!(runs, 0, "cancelled task {i} ran (seed {seed})");
+            } else {
+                assert_eq!(runs, 1, "task {i} did not run exactly once (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn work_stealing_fault_injection_does_not_hang() {
+    use std::time::Duration;
+    for &threads in &[1usize, 4, 16] {
+        let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+        let ids: Vec<_> = (0..32)
+            .map(|i| {
+                let meta = TaskMeta::new(TaskLabel::new(TaskKind::Panel, i, 0, 0), 1.0);
+                g.add_task(meta, job(|| {}))
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            g.add_dep(pair[0], pair[1]);
+        }
+        // Delay an early task (stressing the idle/steal loop), then fail a
+        // later one.
+        let plan = FaultPlan::new()
+            .delay_nth(1, Duration::from_millis(5), |l| l.step == 3)
+            .fail_nth(1, |l| l.step == 10);
+        let err = try_run_graph_stealing_with_faults(g, threads, &plan)
+            .expect_err("injected failure must surface");
+        assert_eq!(err.task, ids[10]);
+        assert_eq!(err.label.step, 10);
+        assert!(!err.panicked);
+        assert_eq!(err.cancelled.len(), 21, "{threads} threads");
+    }
 }
 
 #[test]

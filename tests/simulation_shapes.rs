@@ -12,7 +12,7 @@ fn machine(cores: usize) -> MachineModel {
 }
 
 fn paper_b(n: usize) -> usize {
-    n.min(100).max(1)
+    n.clamp(1, 100)
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `deque` module is provided (that is all the workspace uses):
+//! `Worker`/`Stealer`/`Injector` with the same API shape as
+//! `crossbeam-deque`, implemented with mutex-protected `VecDeque`s instead
+//! of lock-free buffers. Correctness and the LIFO-owner / FIFO-stealer
+//! discipline are preserved; raw throughput is not the point — the
+//! schedulers built on top are measured through the simulator.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Whether the queue was empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Chains steal attempts: keeps a success, otherwise consults `f`,
+        /// remembering whether either side saw a retry.
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(v) => Steal::Success(v),
+                Steal::Retry => match f() {
+                    Steal::Empty => Steal::Retry,
+                    other => other,
+                },
+                Steal::Empty => f(),
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut saw_retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(v) => return Steal::Success(v),
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if saw_retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    /// Owner side of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque (owner pops its most recent push).
+        pub fn new_lifo() -> Self {
+            Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Creates a FIFO deque.
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// Thief side of a work-stealing deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's cold end (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Shared FIFO injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `dest` and pops one task to return.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.queue);
+            match q.pop_front() {
+                None => Steal::Empty,
+                Some(first) => {
+                    // Move up to half the remaining queue (capped) over to
+                    // the destination worker, oldest first.
+                    let batch = (q.len() / 2).min(16);
+                    for _ in 0..batch {
+                        match q.pop_front() {
+                            Some(v) => dest.push(v),
+                            None => break,
+                        }
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_stealer_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal().success(), Some(1));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert!(w.pop().is_none());
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_batch_and_pop() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            // Some of the remainder moved into the local worker.
+            assert!(!w.is_empty());
+        }
+
+        #[test]
+        fn steal_collect_prefers_success() {
+            let attempts = vec![Steal::Empty, Steal::Retry, Steal::Success(7), Steal::Empty];
+            let s: Steal<i32> = attempts.into_iter().collect();
+            assert_eq!(s.success(), Some(7));
+            let attempts: Vec<Steal<i32>> = vec![Steal::Empty, Steal::Retry];
+            let s: Steal<i32> = attempts.into_iter().collect();
+            assert!(s.is_retry());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Implements the subset the workspace uses: `Mutex` (non-poisoning `lock`,
+//! `into_inner`) and `Condvar` (`wait` on a guard, `notify_one`,
+//! `notify_all`). Poisoned std locks are transparently recovered — like
+//! `parking_lot`, a panic while holding the lock does not poison it for
+//! other threads.
+
+use std::ops::{Deref, DerefMut};
+use std::sync as stdsync;
+
+/// Mutex with the `parking_lot` API: `lock()` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    inner: stdsync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Condvar::wait can temporarily take the std guard out.
+    inner: Option<stdsync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self { inner: stdsync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(stdsync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
+            Err(stdsync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// Condition variable with the `parking_lot` API: `wait` takes `&mut guard`.
+#[derive(Default)]
+pub struct Condvar {
+    inner: stdsync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self { inner: stdsync::Condvar::new() }
+    }
+
+    /// Atomically releases the guard's lock and waits for a notification.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let std_guard = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1usize);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let woke = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+                woke.fetch_add(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        assert_eq!(woke.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lock_survives_panicking_holder() {
+        let m = Mutex::new(7usize);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("poison attempt");
+        }));
+        assert_eq!(*m.lock(), 7);
+    }
+}

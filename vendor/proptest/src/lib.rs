@@ -1,0 +1,303 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace uses: the
+//! `proptest! { #![proptest_config(..)] fn name(arg in strategy, ..) {..} }`
+//! macro, range strategies, `Just`, `prop_map`, `prop_oneof!`,
+//! `prop_assert!` and `prop_assert_eq!`. Case generation is deterministic
+//! (seeded per test name) with mild biasing toward range endpoints; there is
+//! no shrinking — a failing case reports its inputs instead.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::Prng;
+    use std::ops::Range;
+
+    /// Generates values of `Self::Value` from a deterministic PRNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, prng: &mut Prng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _prng: &mut Prng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter applying a function to every generated value.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, prng: &mut Prng) -> U {
+            (self.f)(self.inner.sample(prng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options` (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, prng: &mut Prng) -> T {
+            let i = prng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(prng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, prng: &mut Prng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty strategy range");
+                    // Bias: hit the endpoints now and then so edge cases
+                    // (smallest matrix, last block) are always exercised.
+                    match prng.below(8) {
+                        0 => self.start,
+                        1 => ((self.end as i128) - 1) as $t,
+                        _ => ((self.start as i128)
+                            + (prng.next_u64() as i128).rem_euclid(span)) as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, prng: &mut Prng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            if prng.below(16) == 0 {
+                self.start
+            } else {
+                self.start + prng.next_f64() * (self.end - self.start)
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test configuration and deterministic PRNG.
+
+    /// How many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator, seeded from the test name.
+    pub struct Prng {
+        state: u64,
+    }
+
+    impl Prng {
+        /// Seeds the generator from a test name (FNV-1a hash).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next double in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+        }
+
+        /// Uniform value in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable names, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$attr:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut prng = $crate::test_runner::Prng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut prng);)+
+                    let inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case + 1, config.cases, message, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, reporting the generated inputs on
+/// failure instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`", left, right
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity_strategy() -> impl Strategy<Value = bool> {
+        prop_oneof![Just(true), Just(false)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0f64..2.0, even in parity_strategy()) {
+            prop_assert!((3..17).contains(&n), "n out of range: {}", n);
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert_eq!(even, even);
+        }
+
+        #[test]
+        fn map_applies_function(k in (1usize..5).prop_map(|v| v * 10)) {
+            prop_assert!(k % 10 == 0 && (10..50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::Prng::from_name("t");
+        let mut b = crate::test_runner::Prng::from_name("t");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn edge_bias_hits_endpoints() {
+        use crate::strategy::Strategy;
+        let mut prng = crate::test_runner::Prng::from_name("edges");
+        let s = 10usize..20;
+        let draws: Vec<usize> = (0..200).map(|_| s.sample(&mut prng)).collect();
+        assert!(draws.contains(&10) && draws.contains(&19));
+        assert!(draws.iter().all(|&v| (10..20).contains(&v)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace pins its external dependencies to local path crates so the
+//! build needs no network access. This crate reimplements the *subset* of the
+//! `rand 0.8` API the workspace uses — `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`/`rngs::SmallRng`, `Rng::{gen_range, gen_bool}` and
+//! `distributions::{Distribution, Uniform}` — on top of a SplitMix64 core.
+//!
+//! Streams are deterministic and seed-sensitive but do **not** match the
+//! upstream `rand` byte streams; everything in this workspace that depends on
+//! reproducibility only requires "same seed → same sequence".
+
+/// Advances a SplitMix64 state and returns the next output word.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a raw word to a double in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Core RNG interface: a source of raw 64-bit words.
+pub trait RngCore {
+    /// Returns the next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next raw 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators (all SplitMix64 under the hood).
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix once so consecutive seeds give uncorrelated streams.
+            let mut state = seed ^ 0xA076_1D64_78BD_642F;
+            splitmix64(&mut state);
+            Self { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    /// Deterministic stand-in for `rand::rngs::SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+            splitmix64(&mut state);
+            Self { state }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+pub mod distributions {
+    //! The `Distribution` trait and a uniform distribution over ranges.
+
+    use super::{unit_f64, Rng};
+
+    /// Types that can produce samples of `T` given an RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)` or `[lo, hi]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T> Uniform<T> {
+        /// Uniform over the half-open interval `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Self { lo, hi, inclusive: false }
+        }
+
+        /// Uniform over the closed interval `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            Self { lo, hi, inclusive: true }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let u = if self.inclusive {
+                // Top 53 bits scaled so both endpoints are reachable.
+                (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_991.0)
+            } else {
+                unit_f64(rng.next_u64())
+            };
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+
+    macro_rules! uniform_int_distribution {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    let lo = self.lo as i128;
+                    let hi = self.hi as i128;
+                    let span = hi - lo + if self.inclusive { 1 } else { 0 };
+                    assert!(span > 0, "empty uniform range");
+                    (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int_distribution!(usize, u32, u64, i32, i64);
+
+    pub mod uniform {
+        //! Range sampling used by `Rng::gen_range`.
+
+        use super::super::{unit_f64, RngCore};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Ranges that `Rng::gen_range` accepts.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! int_sample_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let span = (self.end as i128) - (self.start as i128);
+                        assert!(span > 0, "empty gen_range range");
+                        ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                        assert!(span > 0, "empty gen_range range");
+                        ((*self.start() as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                    }
+                }
+            )*};
+        }
+        int_sample_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty gen_range range");
+                self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range range");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_991.0);
+                lo + u * (hi - lo)
+            }
+        }
+    }
+
+    // Re-export matching rand 0.8's module layout.
+    pub use uniform::SampleRange;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Uniform::new_inclusive(-1.0f64, 1.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(1.0..100.0);
+            assert!((1.0..100.0).contains(&x));
+            let k: i64 = rng.gen_range(-100..100);
+            assert!((-100..100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+}

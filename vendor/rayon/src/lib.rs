@@ -1,0 +1,109 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides `into_par_iter().for_each(..)` over anything iterable, executed
+//! with `std::thread::scope` across `available_parallelism` threads. That is
+//! the only rayon surface the workspace uses (parallel column-strip updates
+//! in the vendor-BLAS stand-ins).
+
+/// Parallel iterator over an eagerly collected set of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Minimal parallel-iterator interface: `for_each`.
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Applies `op` to every item, potentially in parallel.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            for item in self.items {
+                op(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let mut items = self.items;
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let take = chunk.min(items.len());
+                let batch: Vec<T> = items.drain(..take).collect();
+                let op = &op;
+                scope.spawn(move || {
+                    for item in batch {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let sum = AtomicUsize::new(0);
+        (1..=100usize).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        Vec::<usize>::new().into_par_iter().for_each(|_| panic!("no items expected"));
+    }
+}

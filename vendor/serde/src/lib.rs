@@ -1,0 +1,233 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's zero-copy visitor architecture, this crate serializes
+//! through an owned [`value::Value`] tree: `Serialize` renders a value tree,
+//! `Deserialize` reads one back. `serde_json` (the sibling stand-in) turns
+//! value trees into JSON text and back. The `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros come from the local `serde_derive` and
+//! support named-field structs and fieldless enums — the shapes used in this
+//! workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+/// Types renderable as a [`value::Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> value::Value;
+}
+
+/// Types reconstructible from a [`value::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `self` back from a value tree.
+    fn deserialize(v: &value::Value) -> Result<Self, value::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+use value::Value;
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+serialize_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic across runs.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter().map(|k| (k.clone(), self[k].to_value())).collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+use value::Error;
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::mismatch("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize(v)? as f32)
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let x = v.as_f64().ok_or_else(|| Error::mismatch("integer", v))?;
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::mismatch("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::mismatch("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::mismatch("array", v))?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($n:tt $t:ident),+; $len:expr)),+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::mismatch("tuple array", v))?;
+                if arr.len() != $len {
+                    return Err(Error::new(format!(
+                        "expected array of length {}, got {}", $len, arr.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&arr[$n])?,)+))
+            }
+        }
+    )+};
+}
+deserialize_tuple!((0 A; 1), (0 A, 1 B; 2), (0 A, 1 B, 2 C; 3), (0 A, 1 B, 2 C, 3 D; 4));
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::mismatch("object", v))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::mismatch("object", v))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

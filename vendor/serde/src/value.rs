@@ -1,0 +1,492 @@
+//! The owned value tree all (de)serialization goes through, plus the shared
+//! error type. `serde_json` re-exports [`Value`] so user code can treat it
+//! as `serde_json::Value`.
+
+use std::fmt;
+
+/// A JSON-shaped value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an integer, if this is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a signed integer, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key (`None` when absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object member by key, as a `Result` for derive-generated code.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key).ok_or_else(|| Error::new(format!("missing field `{key}`")))
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_number {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other.as_f64() == Some(*self as f64)
+            }
+        }
+    )*};
+}
+value_eq_number!(f64, f32, u32, u64, usize, i32, i64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_json_compact(self))
+    }
+}
+
+/// Writes `v` as compact JSON text.
+pub fn to_json_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, None, 0, &mut out);
+    out
+}
+
+/// Writes `v` as pretty-printed JSON text (2-space indent).
+pub fn to_json_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, Some(2), 0, &mut out);
+    out
+}
+
+fn write_json(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => write_number(*x, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => write_seq(
+            items.iter().map(|item| (None, item)),
+            ('[', ']'),
+            indent,
+            level,
+            out,
+        ),
+        Value::Object(pairs) => write_seq(
+            pairs.iter().map(|(k, v)| (Some(k.as_str()), v)),
+            ('{', '}'),
+            indent,
+            level,
+            out,
+        ),
+    }
+}
+
+fn write_seq<'a>(
+    items: impl ExactSizeIterator<Item = (Option<&'a str>, &'a Value)>,
+    (open, close): (char, char),
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, (key, item)) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        if let Some(k) = key {
+            write_string(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+        }
+        write_json(item, indent, level + 1, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(x: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf
+    } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        // {:?} prints the shortest string that round-trips the f64.
+        let _ = write!(out, "{x:?}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+pub fn from_json(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input".to_string())),
+        Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}", pos = *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}", pos = *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Value::Number),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {pos}", pos = *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("bad \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape".to_string()))?,
+                            16,
+                        )
+                        .map_err(|_| Error::new("bad \\u escape".to_string()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("bad escape".to_string())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8".to_string()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, Error> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| Error::new(format!("invalid number at byte {start}")))
+}
+
+/// Shared (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with `message`.
+    pub fn new(message: String) -> Self {
+        Self { message }
+    }
+
+    /// A type-mismatch error: expected `what`, found `found`.
+    pub fn mismatch(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {found:?}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("x\"y".to_string())),
+            ("xs".to_string(), Value::Array(vec![Value::Number(1.0), Value::Number(1.5)])),
+            ("flag".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+        ]);
+        let text = to_json_compact(&v);
+        let back = from_json(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn integral_floats_print_without_point() {
+        let mut s = String::new();
+        write_number(1.5e6, &mut s);
+        assert_eq!(s, "1500000");
+        s.clear();
+        write_number(0.25, &mut s);
+        assert_eq!(s, "0.25");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Array(vec![Value::Object(vec![(
+            "k".to_string(),
+            Value::Array(vec![Value::Number(-3.0)]),
+        )])]);
+        let text = to_json_pretty(&v);
+        assert!(text.contains('\n'));
+        assert_eq!(from_json(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let v = from_json(r#"[{"ph":"X","tid":1,"dur":1500000.0}]"#).unwrap();
+        assert_eq!(v[0]["ph"], "X");
+        assert_eq!(v[0]["tid"], 1);
+        assert_eq!(v[0]["dur"], 1.5e6);
+        assert!(v[0]["missing"].is_null());
+    }
+}

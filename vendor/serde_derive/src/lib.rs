@@ -1,0 +1,309 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the local `serde` crate's value-tree `Serialize` /
+//! `Deserialize` traits. Supports exactly the shapes this workspace derives
+//! on: structs with named fields (optionally lifetime-generic, `Serialize`
+//! only) and enums with unit variants. Anything else fails loudly at compile
+//! time rather than generating wrong code.
+//!
+//! Parsing is done directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which keeps the build offline); code generation goes through `format!`
+//! and `str::parse`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    /// Generic parameter list without the angle brackets (e.g. `'a`), empty
+    /// when the type is not generic. Only lifetime params are supported.
+    generics: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants in declaration order.
+    Enum(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let lt = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics)
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(::std::vec![{pairs}])")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let code = format!(
+        "impl{lt} ::serde::Serialize for {name}{lt} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    assert!(
+        item.generics.is_empty(),
+        "serde_derive stand-in: Deserialize on generic types is not supported"
+    );
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("::std::option::Option::Some(\"{v}\") => \
+                             ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            format!(
+                "match v.as_str() {{ {arms} other => ::std::result::Result::Err(\
+                 ::serde::value::Error::new(::std::format!(\
+                 \"unknown variant {{other:?}} for {name}\"))) }}"
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::value::Value) \
+             -> ::std::result::Result<Self, ::serde::value::Error> {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Header: attributes / visibility / `struct` / `enum`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(other) => panic!("serde_derive stand-in: unexpected token `{other}` in item header"),
+            None => panic!("serde_derive stand-in: ran out of tokens before struct/enum keyword"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected type name, got {other:?}"),
+    };
+    // Optional generics — lifetimes only.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut last_was_quote = false;
+            while depth > 0 {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        depth += 1;
+                        generics.push('<');
+                        last_was_quote = false;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            generics.push('>');
+                        }
+                        last_was_quote = false;
+                    }
+                    Some(TokenTree::Punct(p)) => {
+                        generics.push(p.as_char());
+                        last_was_quote = p.as_char() == '\'';
+                    }
+                    Some(TokenTree::Ident(id)) => {
+                        assert!(
+                            last_was_quote,
+                            "serde_derive stand-in: type parameters are not supported \
+                             (only lifetimes); offending parameter `{id}` on `{name}`"
+                        );
+                        generics.push_str(&id.to_string());
+                        last_was_quote = false;
+                    }
+                    Some(other) => panic!("serde_derive stand-in: unexpected token `{other}` in generics"),
+                    None => panic!("serde_derive stand-in: unterminated generics on `{name}`"),
+                }
+            }
+        }
+    }
+    // Body group.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive stand-in: unit/tuple structs are not supported (`{name}`)")
+            }
+            Some(_) => continue, // where-clauses etc. — skipped
+            None => panic!("serde_derive stand-in: `{name}` has no braced body"),
+        }
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body, &name))
+    } else {
+        Kind::Struct(parse_fields(body, &name))
+    };
+    Input { name, generics, kind }
+}
+
+fn parse_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde_derive stand-in: unexpected token `{other}` in fields of `{name}`")
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive stand-in: expected `:` after field `{field}` of `{name}`, got {other:?}"
+            ),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(field);
+    }
+}
+
+fn parse_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde_derive stand-in: unexpected token `{other}` in variants of `{name}`")
+                }
+            }
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                return variants;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stand-in: data-carrying variant `{name}::{variant}` is not supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                loop {
+                    match iter.next() {
+                        None => {
+                            variants.push(variant);
+                            return variants;
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => continue,
+                    }
+                }
+                variants.push(variant);
+            }
+            Some(other) => panic!(
+                "serde_derive stand-in: unexpected token `{other}` after variant `{name}::{variant}`"
+            ),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_json`, built on the local `serde` crate's
+//! value tree: `to_string`/`to_string_pretty` render a `Serialize` type's
+//! value tree as JSON text, `from_str` parses JSON text and hands the tree
+//! to `Deserialize`.
+
+pub use serde::value::{Error, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_json_compact(&value.to_value()))
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_json_pretty(&value.to_value()))
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let v = serde::value::from_json(text)?;
+    T::deserialize(&v)
+}
+
+/// Converts a `Serialize` type into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] into a `Deserialize` type.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T> {
+    T::deserialize(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let xs = vec![(String::from("a"), vec![1.0f64, 2.5])];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(String, Vec<f64>)> = from_str(&text).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert("gemm".to_string(), 3.5e9f64);
+        m.insert("trsm".to_string(), 2.0e9f64);
+        let text = to_string_pretty(&m).unwrap();
+        let back: HashMap<String, f64> = from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn value_untyped_access() {
+        let v: Value = from_str(r#"[{"ph":"X","dur":1500000}]"#).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["dur"], 1.5e6);
+    }
+}
