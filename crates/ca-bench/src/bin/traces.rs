@@ -60,6 +60,25 @@ fn main() {
                 println!("  {:?}: {:.4}s", k, t);
             }
         }
+        // The numeric version of the Fig 3 vs Fig 4 contrast: with Tr = 1
+        // panels wait on the full trailing update (large panel wait); with
+        // lookahead (Tr = 8 splits the update so the next panel's column
+        // block finishes first) the wait collapses.
+        let metrics = machine.profile(&g).metrics();
+        println!(
+            "  utilization {:.1}%, scheduling efficiency {:.1}% (critical path {:.4}s, makespan {:.4}s)",
+            100.0 * metrics.utilization,
+            100.0 * metrics.efficiency,
+            metrics.critical_path_seconds,
+            metrics.makespan
+        );
+        let la = &metrics.lookahead;
+        if la.panel_steps > 0 {
+            println!(
+                "  lookahead: {} panel steps, panel wait mean {:.4}s / max {:.4}s (total {:.4}s, worst step {})",
+                la.panel_steps, la.mean_wait, la.max_wait, la.total_wait, la.worst_step
+            );
+        }
         println!();
     };
 

@@ -15,7 +15,10 @@
 //!
 //! Binaries: `fig5 fig6 fig7 fig8 table1 table2 table3 traces stability`
 //! (one per paper artifact), each accepting `--measured`, `--scale`,
-//! `--cores`, `--quick`, `--reference-calibration`.
+//! `--cores`, `--quick`, `--reference-calibration`; plus `profile`, which
+//! prints the scheduler-native profiling report (roofline attribution,
+//! dispatch latency, critical-path efficiency, lookahead metric) and emits
+//! Chrome-trace + `BENCH_profile_*.json` baselines.
 
 #![warn(missing_docs)]
 

@@ -6,7 +6,7 @@
 //! significant").
 
 use crate::calibrate::Calibration;
-use ca_sched::{simulate, TaskGraph, Timeline};
+use ca_sched::{profile_simulate, simulate, FaultPlan, Profile, TaskGraph, Timeline};
 
 /// A virtual multicore machine for replaying factorization task graphs.
 #[derive(Clone, Debug)]
@@ -42,6 +42,17 @@ impl MachineModel {
     /// Replays a task graph; returns the full timeline.
     pub fn run<T>(&self, graph: &TaskGraph<T>) -> Timeline {
         simulate(graph, self.cores, |_, meta| self.task_seconds(meta))
+    }
+
+    /// Replays a task graph on the profiled simulator; returns the full
+    /// [`Profile`] (exact lifecycle records in simulated seconds — lookahead
+    /// metric, critical-path efficiency, roofline attribution). Same
+    /// schedule as [`MachineModel::run`], and fully deterministic.
+    pub fn profile<T>(&self, graph: &TaskGraph<T>) -> Profile {
+        let (profile, failure) =
+            profile_simulate(graph, self.cores, |_, meta| self.task_seconds(meta), &FaultPlan::new());
+        debug_assert!(failure.is_none(), "no faults injected");
+        profile
     }
 
     /// Replays a task graph and converts to GFlop/s using the *useful*

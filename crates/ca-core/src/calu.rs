@@ -258,6 +258,25 @@ pub fn try_calu_with_faults(
     check_factors(f, &params).map(|f| (f, stats))
 }
 
+/// [`try_calu`] on the profiled executor: same numerical contract (NaN/Inf
+/// prescan, growth monitoring, breakdown detection), but returns the
+/// scheduler's full [`ca_sched::Profile`] alongside the factors —
+/// lifecycle records for every task, per-kernel-class flop/byte totals for
+/// roofline attribution, and queue/steal counters. Derive the report with
+/// [`ca_sched::Profile::metrics`] or a Perfetto-loadable trace with
+/// [`ca_sched::Profile::chrome_trace`].
+pub fn try_calu_profiled(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(LuFactors, ca_sched::Profile), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let params = monitored(p);
+    let (f, profile) = dag_calu::profile_run(a, &params, &ca_sched::FaultPlan::new())?;
+    check_factors(f, &params).map(|f| (f, profile))
+}
+
 /// Fallible sequential CALU with the same contract as [`try_calu`].
 pub fn try_calu_seq(a: Matrix, p: &CaParams) -> Result<LuFactors, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {

@@ -182,6 +182,19 @@ pub fn try_caqr_with_faults(
     dag_caqr::try_run(a, p, faults)
 }
 
+/// [`try_caqr`] on the profiled executor: same input prescan, but returns
+/// the scheduler's full [`ca_sched::Profile`] alongside the factors (see
+/// [`crate::try_calu_profiled`]).
+pub fn try_caqr_profiled(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(QrFactors, ca_sched::Profile), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    dag_caqr::profile_run(a, p, &ca_sched::FaultPlan::new())
+}
+
 /// Fallible standalone TSQR with the input pre-scan of [`try_caqr`].
 pub fn try_tsqr_factor(a: Matrix, tr: usize, p: &CaParams) -> Result<QrFactors, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {

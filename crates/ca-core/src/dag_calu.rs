@@ -448,6 +448,43 @@ pub(crate) fn try_run(
     }
 }
 
+/// Profiling variant of [`try_run`]: executes on the profiled pool matching
+/// `p.scheduler` and returns the factors together with the full
+/// [`ca_sched::Profile`] (lifecycle records, roofline attribution inputs,
+/// queue/steal counters). A task failure maps to
+/// [`FactorError::TaskFailed`] like [`try_run`].
+pub(crate) fn profile_run(
+    a: Matrix,
+    p: &CaParams,
+    faults: &ca_sched::FaultPlan,
+) -> Result<(LuFactors, ca_sched::Profile), FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    let shared = SharedMatrix::new(a);
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let (profile, failure) = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::profile_run_graph(jobs, p.threads, faults)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::profile_run_graph_stealing(jobs, p.threads, faults)
+        }
+    };
+    match failure {
+        None => Ok((collect_factors(&plan, shared), profile)),
+        Some(e) => Err(FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
 /// Gathers the per-panel results once every task completed successfully.
 fn collect_factors(plan: &CaluPlan, shared: SharedMatrix) -> LuFactors {
     let mut pivots = PivotSeq::new(0);

@@ -263,6 +263,42 @@ pub(crate) fn try_run(
     }
 }
 
+/// Profiling variant of [`try_run`]: executes on the profiled pool matching
+/// `p.scheduler` and returns the factors together with the full
+/// [`ca_sched::Profile`]. A task failure maps to
+/// [`crate::error::FactorError::TaskFailed`] like [`try_run`].
+pub(crate) fn profile_run(
+    a: Matrix,
+    p: &CaParams,
+    faults: &ca_sched::FaultPlan,
+) -> Result<(QrFactors, ca_sched::Profile), crate::error::FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    let shared = SharedMatrix::new(a);
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let (profile, failure) = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::profile_run_graph(jobs, p.threads, faults)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::profile_run_graph_stealing(jobs, p.threads, faults)
+        }
+    };
+    match failure {
+        None => Ok((collect_factors(plan, shared), profile)),
+        Some(e) => Err(crate::error::FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
 /// Gathers the per-panel `Q` representations after a successful run.
 fn collect_factors(plan: CaqrPlan, shared: SharedMatrix) -> QrFactors {
     let mut panels = Vec::with_capacity(plan.panels.len());

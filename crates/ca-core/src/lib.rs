@@ -18,6 +18,9 @@
 //!   per-panel element growth (degrading to plain GEPP on tournament
 //!   instability), and surface singularity or worker-task failure as a
 //!   [`FactorError`] instead of poisoned factors or a panic.
+//! * [`try_calu_profiled`] / [`try_caqr_profiled`] — the same runs on the
+//!   profiled executors, returning a [`ca_sched::Profile`] with full task
+//!   lifecycles, roofline attribution inputs, and scheduling diagnostics.
 
 #![warn(missing_docs)]
 
@@ -34,12 +37,13 @@ pub mod tslu;
 pub mod tsqr;
 
 pub use calu::{
-    calu, calu_seq, calu_seq_factor, calu_with_stats, try_calu, try_calu_seq,
-    try_calu_with_faults, try_calu_with_stats, try_tslu_factor, tslu_factor, LuFactors, LuStats,
+    calu, calu_seq, calu_seq_factor, calu_with_stats, try_calu, try_calu_profiled,
+    try_calu_seq, try_calu_with_faults, try_calu_with_stats, try_tslu_factor, tslu_factor,
+    LuFactors, LuStats,
 };
 pub use caqr::{
-    caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_with_faults, try_tsqr_factor,
-    tsqr_factor, QrFactors,
+    caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_profiled, try_caqr_with_faults,
+    try_tsqr_factor, tsqr_factor, QrFactors,
 };
 pub use error::{FactorError, DEFAULT_GROWTH_LIMIT};
 pub use dag_calu::{calu_task_graph, CaluTask};

@@ -27,6 +27,17 @@
 //! [`try_simulate`]) report the first failure as an [`ExecError`] naming
 //! the failed task, its label, its worker lane, and the cancelled set.
 //! [`FaultPlan`] injects failures deterministically for testing.
+//!
+//! ## Profiling
+//!
+//! Every executor has a `profile_*` twin ([`profile_run_graph`],
+//! [`profile_run_graph_stealing`], [`profile_simulate`]) that records the
+//! full task lifecycle (ready → dispatch → start → end, steal counters,
+//! queue-depth samples) into a [`Profile`]. [`Profile::metrics`] derives
+//! dispatch-latency distributions, per-[`KernelClass`] achieved GFlop/s
+//! (roofline attribution), critical-path scheduling efficiency, and the
+//! lookahead-effectiveness metric; [`Profile::chrome_trace`] emits a Chrome
+//! trace with DAG flow events and counter tracks.
 
 #![warn(missing_docs)]
 
@@ -35,6 +46,7 @@ mod fault;
 mod graph;
 mod pool;
 mod pool_ws;
+mod profile;
 mod sim;
 mod task;
 mod trace;
@@ -42,10 +54,17 @@ mod trace;
 pub use blockdeps::{row_blocks, BlockTracker};
 pub use fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 pub use graph::TaskGraph;
-pub use pool::{job, run_graph, try_run_graph, try_run_graph_with_faults, ExecStats, Job};
-pub use pool_ws::{
-    run_graph_stealing, try_run_graph_stealing, try_run_graph_stealing_with_faults,
+pub use pool::{
+    job, profile_run_graph, run_graph, try_run_graph, try_run_graph_with_faults, ExecStats, Job,
 };
-pub use sim::{simulate, simulate_uniform, try_simulate};
+pub use pool_ws::{
+    profile_run_graph_stealing, run_graph_stealing, try_run_graph_stealing,
+    try_run_graph_stealing_with_faults,
+};
+pub use profile::{
+    ClassMetrics, KindMetrics, LatencyStats, LookaheadMetrics, PanelWait, Profile, QueueSample,
+    SchedMetrics, StealStats, TaskRecord,
+};
+pub use sim::{profile_simulate, simulate, simulate_uniform, try_simulate};
 pub use task::{KernelClass, TaskId, TaskKind, TaskLabel, TaskMeta};
-pub use trace::{ascii_gantt, chrome_trace_json, Span, Timeline};
+pub use trace::{ascii_gantt, chrome_trace_json, Span, Timeline, TimelineError};

@@ -17,6 +17,7 @@
 
 use crate::fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 use crate::graph::TaskGraph;
+use crate::profile::{Collector, Profile};
 use crate::task::{TaskId, TaskLabel};
 use crate::trace::{Span, Timeline};
 use parking_lot::{Condvar, Mutex};
@@ -127,7 +128,7 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// # Panics
 /// Propagates the first task panic; panics if `nthreads == 0`.
 pub fn run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
-    let (stats, failure) = exec_graph(graph, nthreads, None);
+    let (stats, failure, _) = exec_graph(graph, nthreads, None, false);
     if let Some(rec) = failure {
         match rec.payload {
             Some(p) => std::panic::resume_unwind(p),
@@ -153,11 +154,26 @@ pub fn try_run_graph_with_faults(
     nthreads: usize,
     plan: &FaultPlan,
 ) -> Result<ExecStats, ExecError> {
-    let (stats, failure) = exec_graph(graph, nthreads, Some(plan));
+    let (stats, failure, _) = exec_graph(graph, nthreads, Some(plan), false);
     match failure {
         None => Ok(stats),
         Some(rec) => Err(rec.into_exec_error()),
     }
+}
+
+/// Profiling sibling of [`try_run_graph_with_faults`]: records the full task
+/// lifecycle (ready → dispatch → start → end, queue-depth samples) and
+/// returns a [`Profile`] **always** — even when a task fails — with any
+/// failure reported on the side. Cancelled tasks appear in
+/// [`Profile::cancelled`], never as records. Pass `&FaultPlan::new()` for a
+/// fault-free profiled run.
+pub fn profile_run_graph(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+    plan: &FaultPlan,
+) -> (Profile, Option<ExecError>) {
+    let (_, failure, profile) = exec_graph(graph, nthreads, Some(plan), true);
+    (profile.expect("profiling enabled"), failure.map(FailureRecord::into_exec_error))
 }
 
 /// Shared executor. Runs the graph to quiescence: every task either
@@ -166,10 +182,12 @@ fn exec_graph<'s>(
     graph: TaskGraph<Job<'s>>,
     nthreads: usize,
     plan: Option<&FaultPlan>,
-) -> (ExecStats, Option<FailureRecord>) {
+    profile: bool,
+) -> (ExecStats, Option<FailureRecord>, Option<Profile>) {
     assert!(nthreads > 0, "need at least one worker");
     let n = graph.len();
     let TaskGraph { metas, payloads, succs, npreds } = graph;
+    let collector = profile.then(|| Collector::new(n, nthreads));
 
     // Payload slots claimed exactly once each.
     let slots: Vec<Mutex<Option<Job<'s>>>> =
@@ -188,8 +206,14 @@ fn exec_graph<'s>(
         let mut q = shared.ready.lock();
         for id in 0..n {
             if npreds[id] == 0 {
+                if let Some(c) = &collector {
+                    c.mark_ready(id, 0.0);
+                }
                 q.push(ReadyEntry { priority: metas[id].priority, id });
             }
+        }
+        if let Some(c) = &collector {
+            c.sample_queue(0.0, q.len());
         }
     }
 
@@ -207,12 +231,16 @@ fn exec_graph<'s>(
             let succs = &succs;
             let lanes = &lanes;
             let fail_state = &fail_state;
+            let collector = collector.as_ref();
             scope.spawn(move || {
                 loop {
                     let id = {
                         let mut q = shared.ready.lock();
                         loop {
                             if let Some(e) = q.pop() {
+                                if let Some(c) = collector {
+                                    c.sample_queue(t0.elapsed().as_secs_f64(), q.len());
+                                }
                                 break e.id;
                             }
                             if shared.remaining.load(AtomicOrd::Acquire) == 0 {
@@ -221,6 +249,7 @@ fn exec_graph<'s>(
                             shared.cv.wait(&mut q);
                         }
                     };
+                    let dispatch = t0.elapsed().as_secs_f64();
 
                     let job = slots[id].lock().take().expect("task executed twice");
                     let label = metas[id].label;
@@ -245,6 +274,9 @@ fn exec_graph<'s>(
                     };
                     let end = t0.elapsed().as_secs_f64();
                     lanes[w].lock().push(Span { task: id, label, start, end });
+                    if let Some(c) = collector {
+                        c.record(w, id, &metas[id], dispatch, start, end);
+                    }
 
                     let failure = match outcome {
                         Ok(Ok(())) => None,
@@ -311,8 +343,15 @@ fn exec_graph<'s>(
                         shared.remaining.fetch_sub(1, AtomicOrd::AcqRel) == 1;
                     if !newly_ready.is_empty() || finished {
                         let mut q = shared.ready.lock();
+                        let t_ready = t0.elapsed().as_secs_f64();
                         for s in newly_ready {
+                            if let Some(c) = collector {
+                                c.mark_ready(s, t_ready);
+                            }
                             q.push(ReadyEntry { priority: metas[s].priority, id: s });
+                        }
+                        if let Some(c) = collector {
+                            c.sample_queue(t_ready, q.len());
                         }
                         drop(q);
                         shared.cv.notify_all();
@@ -335,8 +374,14 @@ fn exec_graph<'s>(
     }
     timeline.makespan = t0.elapsed().as_secs_f64();
 
+    let profile = collector.map(|c| {
+        let cancelled: Vec<TaskId> = (0..n)
+            .filter(|&id| cancel_flags[id].load(AtomicOrd::Acquire))
+            .collect();
+        c.finish("priority-queue", timeline.makespan, &succs, cancelled, false)
+    });
     let stats = ExecStats { tasks: executed, wall_seconds: timeline.makespan, timeline };
-    (stats, fail_state.into_inner())
+    (stats, fail_state.into_inner(), profile)
 }
 
 #[cfg(test)]

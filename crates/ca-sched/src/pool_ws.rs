@@ -16,6 +16,8 @@
 use crate::fault::{ExecError, FaultAction, FaultPlan, TaskFailure};
 use crate::graph::TaskGraph;
 use crate::pool::{panic_message, ExecStats, FailureRecord, Job};
+use crate::profile::{Collector, Profile};
+use crate::task::TaskId;
 use crate::trace::{Span, Timeline};
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::Mutex;
@@ -30,7 +32,7 @@ use std::time::Instant;
 /// # Panics
 /// Propagates task panics; panics if `nthreads == 0`.
 pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
-    let (stats, failure) = exec_stealing(graph, nthreads, None);
+    let (stats, failure, _) = exec_stealing(graph, nthreads, None, false);
     if let Some(rec) = failure {
         match rec.payload {
             Some(p) => std::panic::resume_unwind(p),
@@ -56,21 +58,37 @@ pub fn try_run_graph_stealing_with_faults(
     nthreads: usize,
     plan: &FaultPlan,
 ) -> Result<ExecStats, ExecError> {
-    let (stats, failure) = exec_stealing(graph, nthreads, Some(plan));
+    let (stats, failure, _) = exec_stealing(graph, nthreads, Some(plan), false);
     match failure {
         None => Ok(stats),
         Some(rec) => Err(rec.into_exec_error()),
     }
 }
 
+/// Profiling sibling of [`try_run_graph_stealing_with_faults`]: records the
+/// full task lifecycle plus per-worker steal counters and returns a
+/// [`Profile`] **always** — even when a task fails — with any failure
+/// reported on the side. Pass `&FaultPlan::new()` for a fault-free profiled
+/// run.
+pub fn profile_run_graph_stealing(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+    plan: &FaultPlan,
+) -> (Profile, Option<ExecError>) {
+    let (_, failure, profile) = exec_stealing(graph, nthreads, Some(plan), true);
+    (profile.expect("profiling enabled"), failure.map(FailureRecord::into_exec_error))
+}
+
 fn exec_stealing<'s>(
     graph: TaskGraph<Job<'s>>,
     nthreads: usize,
     plan: Option<&FaultPlan>,
-) -> (ExecStats, Option<FailureRecord>) {
+    profile: bool,
+) -> (ExecStats, Option<FailureRecord>, Option<Profile>) {
     assert!(nthreads > 0, "need at least one worker");
     let n = graph.len();
     let TaskGraph { metas, payloads, succs, npreds } = graph;
+    let collector = profile.then(|| Collector::new(n, nthreads));
 
     let slots: Vec<Mutex<Option<Job<'s>>>> =
         payloads.into_iter().map(|p| Mutex::new(Some(p))).collect();
@@ -81,6 +99,9 @@ fn exec_stealing<'s>(
     let injector: Injector<usize> = Injector::new();
     for (id, &np) in npreds.iter().enumerate() {
         if np == 0 {
+            if let Some(c) = &collector {
+                c.mark_ready(id, 0.0);
+            }
             injector.push(id);
         }
     }
@@ -103,18 +124,23 @@ fn exec_stealing<'s>(
             let lanes = &lanes;
             let remaining = &remaining;
             let fail_state = &fail_state;
+            let collector = collector.as_ref();
             scope.spawn(move || {
                 let mut idle_spins = 0u32;
                 loop {
                     // Local first, then the injector, then steal from peers.
                     let found = local.pop().or_else(|| {
-                        std::iter::repeat_with(|| {
+                        let stolen = std::iter::repeat_with(|| {
                             injector
                                 .steal_batch_and_pop(&local)
                                 .or_else(|| stealers.iter().map(|s| s.steal()).collect())
                         })
                         .find(|s| !s.is_retry())
-                        .and_then(|s| s.success())
+                        .and_then(|s| s.success());
+                        if let Some(c) = collector {
+                            c.count_steal(w, stolen.is_some());
+                        }
+                        stolen
                     });
 
                     let Some(id) = found else {
@@ -130,6 +156,7 @@ fn exec_stealing<'s>(
                         continue;
                     };
                     idle_spins = 0;
+                    let dispatch = t0.elapsed().as_secs_f64();
 
                     let job = slots[id].lock().take().expect("task executed twice");
                     let label = metas[id].label;
@@ -154,6 +181,9 @@ fn exec_stealing<'s>(
                     };
                     let end = t0.elapsed().as_secs_f64();
                     lanes[w].lock().push(Span { task: id, label, start, end });
+                    if let Some(c) = collector {
+                        c.record(w, id, &metas[id], dispatch, start, end);
+                    }
 
                     let failure = match outcome {
                         Ok(Ok(())) => None,
@@ -200,6 +230,9 @@ fn exec_stealing<'s>(
                         if preds[s].fetch_sub(1, Ordering::AcqRel) == 1
                             && !cancel_flags[s].load(Ordering::Acquire)
                         {
+                            if let Some(c) = collector {
+                                c.mark_ready(s, t0.elapsed().as_secs_f64());
+                            }
                             local.push(s);
                         }
                     }
@@ -220,8 +253,14 @@ fn exec_stealing<'s>(
         timeline.lanes[w] = spans;
     }
     timeline.makespan = t0.elapsed().as_secs_f64();
+    let profile = collector.map(|c| {
+        let cancelled: Vec<TaskId> = (0..n)
+            .filter(|&id| cancel_flags[id].load(Ordering::Acquire))
+            .collect();
+        c.finish("work-stealing", timeline.makespan, &succs, cancelled, true)
+    });
     let stats = ExecStats { tasks: executed, wall_seconds: timeline.makespan, timeline };
-    (stats, fail_state.into_inner())
+    (stats, fail_state.into_inner(), profile)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 
 use crate::fault::{ExecError, FaultAction, FaultPlan};
 use crate::graph::TaskGraph;
+use crate::profile::{Profile, QueueSample, TaskRecord};
 use crate::task::TaskId;
 use crate::trace::{Span, Timeline};
 use std::cmp::Ordering;
@@ -91,9 +92,38 @@ pub fn simulate<T>(
 pub fn try_simulate<T>(
     graph: &TaskGraph<T>,
     nworkers: usize,
-    mut cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
+    cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
     plan: &FaultPlan,
 ) -> Result<Timeline, ExecError> {
+    let (timeline, failure, _) = sim_core(graph, nworkers, cost, plan, false);
+    match failure {
+        None => Ok(timeline),
+        Some(err) => Err(err),
+    }
+}
+
+/// Profiling sibling of [`try_simulate`]: records the full task lifecycle
+/// (exact ready/dispatch/start/end in simulated seconds, ready-heap depth
+/// samples) and returns a [`Profile`] **always** — even when an injected
+/// fault fails a task — with any failure reported on the side. Fully
+/// deterministic: tests can assert exact metric values.
+pub fn profile_simulate<T>(
+    graph: &TaskGraph<T>,
+    nworkers: usize,
+    cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
+    plan: &FaultPlan,
+) -> (Profile, Option<ExecError>) {
+    let (_, failure, profile) = sim_core(graph, nworkers, cost, plan, true);
+    (profile.expect("profiling enabled"), failure)
+}
+
+fn sim_core<T>(
+    graph: &TaskGraph<T>,
+    nworkers: usize,
+    mut cost: impl FnMut(TaskId, &crate::task::TaskMeta) -> f64,
+    plan: &FaultPlan,
+    profile: bool,
+) -> (Timeline, Option<ExecError>, Option<Profile>) {
     assert!(nworkers > 0, "need at least one simulated core");
     let n = graph.len();
     let mut preds: Vec<usize> = graph.npreds.clone();
@@ -112,6 +142,11 @@ pub fn try_simulate<T>(
     let mut accounted = 0usize;
     let mut cancelled = vec![false; n];
     let mut failure: Option<ExecError> = None;
+    // Profiling state: exact ready instants, lifecycle records, and
+    // ready-heap depth samples (one per assignment round).
+    let mut ready_at = vec![0.0f64; n];
+    let mut records: Vec<TaskRecord> = Vec::new();
+    let mut queue_samples: Vec<QueueSample> = Vec::new();
 
     while accounted < n {
         // Start as many ready tasks as there are idle cores, at time t.
@@ -136,7 +171,24 @@ pub fn try_simulate<T>(
                 start: t,
                 end: t + d,
             });
+            if profile {
+                records.push(TaskRecord {
+                    task: entry.id,
+                    label: meta.label,
+                    class: meta.class,
+                    flops: meta.flops,
+                    bytes: meta.bytes,
+                    worker,
+                    ready: ready_at[entry.id],
+                    dispatch: t,
+                    start: t,
+                    end: t + d,
+                });
+            }
             events.push(Completion { time: t + d, worker, task: entry.id, failed });
+        }
+        if profile {
+            queue_samples.push(QueueSample { t, depth: ready.len() });
         }
 
         // Advance to the next completion, draining any other completions at
@@ -176,6 +228,7 @@ pub fn try_simulate<T>(
                 for &s in &graph.succs[c.task] {
                     preds[s] -= 1;
                     if preds[s] == 0 && !cancelled[s] {
+                        ready_at[s] = t;
                         ready.push(ReadyEntry { priority: graph.metas[s].priority, id: s });
                     }
                 }
@@ -185,13 +238,30 @@ pub fn try_simulate<T>(
     }
 
     timeline.makespan = t;
-    match failure {
-        None => Ok(timeline),
-        Some(mut err) => {
-            err.cancelled = (0..n).filter(|&id| cancelled[id]).collect();
-            Err(err)
+    let cancelled_ids: Vec<TaskId> = (0..n).filter(|&id| cancelled[id]).collect();
+    let profile_out = profile.then(|| {
+        records.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.task.cmp(&b.task)));
+        Profile {
+            scheduler: "simulator".to_string(),
+            nworkers,
+            makespan: t,
+            records,
+            edges: graph
+                .succs
+                .iter()
+                .enumerate()
+                .flat_map(|(a, ss)| ss.iter().map(move |&b| (a, b)))
+                .collect(),
+            queue_samples,
+            steals: Vec::new(),
+            cancelled: cancelled_ids.clone(),
         }
-    }
+    });
+    let failure = failure.map(|mut err| {
+        err.cancelled = cancelled_ids;
+        err
+    });
+    (timeline, failure, profile_out)
 }
 
 /// Convenience: simulate with durations equal to each task's `flops` field

@@ -79,19 +79,85 @@ impl Timeline {
     }
 
     /// Checks internal consistency: spans within a lane do not overlap and
-    /// are sorted; `makespan` covers every span.
-    pub fn validate(&self) {
-        for lane in &self.lanes {
+    /// are sorted; `makespan` covers every span. Returns the first violation
+    /// instead of aborting, so library callers (and the profiler) can report
+    /// malformed timelines as errors.
+    pub fn check(&self) -> Result<(), TimelineError> {
+        for (lane, spans) in self.lanes.iter().enumerate() {
             let mut prev_end = 0.0f64;
-            for s in lane {
-                assert!(s.start >= prev_end - 1e-12, "overlapping spans in a lane");
-                assert!(s.end >= s.start, "negative-length span");
-                assert!(s.end <= self.makespan + 1e-9, "span beyond makespan");
+            for (index, s) in spans.iter().enumerate() {
+                if s.end < s.start {
+                    return Err(TimelineError::NegativeSpan { lane, index });
+                }
+                if s.start < prev_end - 1e-12 {
+                    return Err(TimelineError::OverlappingSpans { lane, index });
+                }
+                if s.end > self.makespan + 1e-9 {
+                    return Err(TimelineError::BeyondMakespan { lane, index });
+                }
                 prev_end = s.end;
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`Timeline::check`] for tests and asserts.
+    ///
+    /// # Panics
+    /// On the first inconsistency found.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// A structural inconsistency in a [`Timeline`], reported by
+/// [`Timeline::check`]. All variants carry the lane index and the index of
+/// the offending span within that lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimelineError {
+    /// A span starts before the previous span in its lane ended (or the
+    /// lane is not sorted by start time).
+    OverlappingSpans {
+        /// Worker lane containing the violation.
+        lane: usize,
+        /// Index of the offending span within the lane.
+        index: usize,
+    },
+    /// A span ends before it starts.
+    NegativeSpan {
+        /// Worker lane containing the violation.
+        lane: usize,
+        /// Index of the offending span within the lane.
+        index: usize,
+    },
+    /// A span ends after the recorded makespan.
+    BeyondMakespan {
+        /// Worker lane containing the violation.
+        lane: usize,
+        /// Index of the offending span within the lane.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TimelineError::OverlappingSpans { lane, index } => {
+                write!(f, "overlapping spans in lane {lane} at span {index}")
+            }
+            TimelineError::NegativeSpan { lane, index } => {
+                write!(f, "negative-length span in lane {lane} at span {index}")
+            }
+            TimelineError::BeyondMakespan { lane, index } => {
+                write!(f, "span beyond makespan in lane {lane} at span {index}")
             }
         }
     }
 }
+
+impl std::error::Error for TimelineError {}
 
 /// Renders the timeline as an ASCII Gantt chart, one row per worker, `width`
 /// character cells across; each cell shows the kind-letter of the task
@@ -124,41 +190,69 @@ pub fn ascii_gantt(tl: &Timeline, width: usize) -> String {
     out
 }
 
-/// Serializes the timeline in Chrome tracing ("trace event") JSON format —
-/// load it at `chrome://tracing` or in Perfetto for an interactive view of
-/// the schedule.
-pub fn chrome_trace_json(tl: &Timeline) -> String {
-    #[derive(serde::Serialize)]
-    struct Event<'a> {
-        name: String,
-        cat: &'a str,
-        ph: &'a str,
-        ts: f64,
-        dur: f64,
-        pid: u32,
-        tid: usize,
+/// Chrome-tracing category string for a task kind.
+pub(crate) fn trace_category(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Panel => "panel",
+        TaskKind::LBlock => "l-block",
+        TaskKind::URow => "u-row",
+        TaskKind::Update => "update",
+        TaskKind::Swap => "swap",
+        TaskKind::Other => "other",
     }
+}
+
+/// Process id used for all emitted trace events.
+pub(crate) const TRACE_PID: u32 = 1;
+
+/// Metadata events labelling the process and the worker lanes ("core N") so
+/// Perfetto / `chrome://tracing` name the tracks correctly.
+pub(crate) fn trace_metadata_events(nworkers: usize, process: &str) -> Vec<serde_json::Value> {
+    let mut events = Vec::with_capacity(2 * nworkers + 1);
+    events.push(serde_json::json!({
+        "name": "process_name", "ph": "M", "pid": TRACE_PID,
+        "args": serde_json::json!({"name": process}),
+    }));
+    for tid in 0..nworkers {
+        events.push(serde_json::json!({
+            "name": "thread_name", "ph": "M", "pid": TRACE_PID, "tid": tid,
+            "args": serde_json::json!({"name": format!("core {tid}")}),
+        }));
+        events.push(serde_json::json!({
+            "name": "thread_sort_index", "ph": "M", "pid": TRACE_PID, "tid": tid,
+            "args": serde_json::json!({"sort_index": tid}),
+        }));
+    }
+    events
+}
+
+/// The complete-span (`ph: "X"`) events of a timeline, in microseconds.
+pub(crate) fn trace_span_events(tl: &Timeline) -> Vec<serde_json::Value> {
     let mut events = Vec::new();
     for (tid, lane) in tl.lanes.iter().enumerate() {
         for s in lane {
-            events.push(Event {
-                name: s.label.to_string(),
-                cat: match s.label.kind {
-                    TaskKind::Panel => "panel",
-                    TaskKind::LBlock => "l-block",
-                    TaskKind::URow => "u-row",
-                    TaskKind::Update => "update",
-                    TaskKind::Swap => "swap",
-                    TaskKind::Other => "other",
-                },
-                ph: "X",
-                ts: s.start * 1e6,
-                dur: (s.end - s.start) * 1e6,
-                pid: 0,
-                tid,
-            });
+            events.push(serde_json::json!({
+                "name": s.label.to_string(),
+                "cat": trace_category(s.label.kind),
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": (s.end - s.start) * 1e6,
+                "pid": TRACE_PID,
+                "tid": tid,
+            }));
         }
     }
+    events
+}
+
+/// Serializes the timeline in Chrome tracing ("trace event") JSON format —
+/// load it at `chrome://tracing` or in Perfetto for an interactive view of
+/// the schedule. Includes `process_name`/`thread_name` metadata records so
+/// lanes are labelled "core N"; [`crate::Profile::chrome_trace`] extends
+/// this format with flow events and counter tracks.
+pub fn chrome_trace_json(tl: &Timeline) -> String {
+    let mut events = trace_metadata_events(tl.nworkers(), "ca-factor");
+    events.extend(trace_span_events(tl));
     serde_json::to_string(&events).expect("serializable")
 }
 
@@ -214,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    fn chrome_trace_is_valid_json_with_all_spans() {
+    fn chrome_trace_is_valid_json_with_all_spans_and_metadata() {
         let mut tl = Timeline::new(2);
         tl.lanes[0].push(span(TaskKind::Panel, 0.0, 1.0));
         tl.lanes[1].push(span(TaskKind::Update, 0.5, 2.0));
@@ -222,10 +316,16 @@ mod tests {
         let json = chrome_trace_json(&tl);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let arr = v.as_array().unwrap();
-        assert_eq!(arr.len(), 2);
-        assert_eq!(arr[0]["ph"], "X");
-        assert_eq!(arr[1]["tid"], 1);
-        assert_eq!(arr[1]["dur"], 1.5e6);
+        let spans: Vec<_> = arr.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1]["tid"], 1);
+        assert_eq!(spans[1]["dur"], 1.5e6);
+        // Metadata: one process_name plus thread_name/sort per lane.
+        let metas: Vec<_> = arr.iter().filter(|e| e["ph"] == "M").collect();
+        assert!(metas.iter().any(|e| e["name"] == "process_name"));
+        assert!(metas
+            .iter()
+            .any(|e| e["name"] == "thread_name" && e["args"]["name"] == "core 1"));
     }
 
     #[test]
@@ -236,5 +336,20 @@ mod tests {
         tl.lanes[0].push(span(TaskKind::Update, 0.5, 2.0));
         tl.makespan = 2.0;
         tl.validate();
+    }
+
+    #[test]
+    fn check_reports_instead_of_panicking() {
+        let mut tl = Timeline::new(2);
+        tl.lanes[1].push(span(TaskKind::Panel, 0.0, 1.0));
+        tl.lanes[1].push(span(TaskKind::Update, 0.5, 2.0));
+        tl.makespan = 2.0;
+        assert_eq!(tl.check(), Err(TimelineError::OverlappingSpans { lane: 1, index: 1 }));
+        tl.lanes[1].truncate(1);
+        assert_eq!(tl.check(), Ok(()));
+        tl.lanes[0].push(span(TaskKind::Other, 1.0, 3.0));
+        assert_eq!(tl.check(), Err(TimelineError::BeyondMakespan { lane: 0, index: 0 }));
+        tl.lanes[0][0] = span(TaskKind::Other, 1.0, 0.5);
+        assert_eq!(tl.check(), Err(TimelineError::NegativeSpan { lane: 0, index: 0 }));
     }
 }

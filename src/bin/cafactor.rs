@@ -43,6 +43,9 @@ struct Opts {
     tree: TreeShape,
     seed: u64,
     refine: bool,
+    /// `--profile[=FILE]`: run on the profiled executor, print the scheduler
+    /// report, and write Chrome-trace JSON to FILE.
+    profile: Option<String>,
 }
 
 impl Default for Opts {
@@ -58,6 +61,7 @@ impl Default for Opts {
             tree: TreeShape::Binary,
             seed: 42,
             refine: false,
+            profile: None,
         }
     }
 }
@@ -70,7 +74,10 @@ fn usage() -> ! {
                 --output FILE.mtx                 write factors/solution\n\
                 --b B --tr TR --threads T         CALU/CAQR parameters\n\
                 --tree binary|flat|kary:K|hybrid:W  reduction tree\n\
-                --seed S --refine"
+                --seed S --refine\n\
+                --profile[=FILE.json]             scheduler profile report +\n\
+                                                  Chrome trace (factor only;\n\
+                                                  default profile_trace.json)"
     );
     exit(2)
 }
@@ -111,6 +118,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--tree" => o.tree = parse_tree(&next()),
             "--seed" => o.seed = next().parse().unwrap_or_else(|_| usage()),
             "--refine" => o.refine = true,
+            "--profile" => o.profile = Some("profile_trace.json".to_string()),
+            s if s.starts_with("--profile=") => {
+                o.profile = Some(s["--profile=".len()..].to_string())
+            }
             _ => usage(),
         }
     }
@@ -140,18 +151,39 @@ fn params(o: &Opts, n: usize) -> CaParams {
     p
 }
 
+/// Prints the scheduler report and writes the Chrome trace for `--profile`.
+fn report_profile(profile: &ca_factor::sched::Profile, path: &str) {
+    print!("{}", profile.metrics());
+    match std::fs::write(path, profile.chrome_trace()) {
+        Ok(()) => println!("profile trace written to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn cmd_factor_lu(o: &Opts) {
     let a = load_matrix(o);
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
     let t0 = Instant::now();
-    let (f, stats) = try_calu_with_stats(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+    let (f, tasks) = if let Some(trace) = &o.profile {
+        let (f, profile) =
+            ca_factor::core::try_calu_profiled(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+        let tasks = profile.records.len();
+        report_profile(&profile, trace);
+        (f, tasks)
+    } else {
+        let (f, stats) = try_calu_with_stats(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+        (f, stats.tasks)
+    };
     let dt = t0.elapsed().as_secs_f64();
     let gf = ca_factor::kernels::flops::getrf(m, n.min(m)) / dt / 1e9;
     println!(
         "CALU {m}x{n}  b={} Tr={} tree={:?} threads={}  {dt:.3}s  {gf:.2} GFlop/s  \
-         tasks={}  residual={:.2e}",
-        p.b, p.tr, p.tree, p.threads, stats.tasks, f.residual(&a)
+         tasks={tasks}  residual={:.2e}",
+        p.b, p.tr, p.tree, p.threads, f.residual(&a)
     );
     if !f.stats.fallback_panels.is_empty() {
         eprintln!(
@@ -171,7 +203,14 @@ fn cmd_factor_qr(o: &Opts) {
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
     let t0 = Instant::now();
-    let f = ca_factor::core::try_caqr(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+    let f = if let Some(trace) = &o.profile {
+        let (f, profile) =
+            ca_factor::core::try_caqr_profiled(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+        report_profile(&profile, trace);
+        f
+    } else {
+        ca_factor::core::try_caqr(a.clone(), &p).unwrap_or_else(|e| fail(&e))
+    };
     let dt = t0.elapsed().as_secs_f64();
     let gf = ca_factor::kernels::flops::geqrf(m, n.min(m)) / dt / 1e9;
     println!(

@@ -75,6 +75,35 @@ fn info_prints_norms() {
 }
 
 #[test]
+fn factor_lu_profile_reports_and_writes_trace() {
+    let dir = std::env::temp_dir().join("cafactor_cli_profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let out = cafactor()
+        .args(["factor", "lu", "--random", "300", "90", "--b", "30", "--tr", "4", "--threads", "2"])
+        .arg(format!("--profile={}", trace_path.display()))
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("profile: priority-queue scheduler"), "{text}");
+    assert!(text.contains("scheduling efficiency"), "{text}");
+    assert!(text.contains("dispatch latency"), "{text}");
+    assert!(text.contains("GFlop/s"), "{text}");
+    assert!(text.contains("lookahead:"), "{text}");
+    // The emitted trace is valid Chrome-trace JSON with spans, flow events,
+    // counters, and thread-name metadata.
+    let raw = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let v: serde_json::Value = serde_json::from_str(&raw).expect("trace parses");
+    let arr = v.as_array().unwrap();
+    for ph in ["X", "M", "s", "f", "C"] {
+        assert!(arr.iter().any(|e| e["ph"] == ph), "missing ph {ph}");
+    }
+    assert!(arr.iter().any(|e| e["name"] == "thread_name"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = cafactor().args(["bogus"]).output().expect("run cafactor");
     assert!(!out.status.success());

@@ -1,0 +1,194 @@
+//! End-to-end tests of the profiling layer: timeline consistency of the
+//! profiled executors, exact profiles from the deterministic simulator,
+//! Chrome-trace structure, and the `try_calu_profiled` library surface.
+
+use ca_factor::sched::{
+    job, profile_run_graph, profile_run_graph_stealing, profile_simulate, FaultPlan, Job,
+    Profile, TaskGraph, TaskKind, TaskLabel, TaskMeta,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A layered DAG of `layers * width` trivially-quick jobs that counts
+/// executions into `counter`.
+fn layered_jobs<'a>(layers: usize, width: usize, counter: &'a AtomicUsize) -> TaskGraph<Job<'a>> {
+    let mut g: TaskGraph<Job<'a>> = TaskGraph::new();
+    let mut prev: Vec<usize> = Vec::new();
+    for l in 0..layers {
+        let mut cur = Vec::new();
+        for i in 0..width {
+            let meta = TaskMeta::new(TaskLabel::new(TaskKind::Update, l, i, 0), 100.0);
+            let id = g.add_task(meta, job(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+            for &p in &prev {
+                g.add_dep(p, id);
+            }
+            cur.push(id);
+        }
+        prev = cur;
+    }
+    g
+}
+
+/// The invariants every clean profiled run must satisfy, whichever executor
+/// produced it.
+fn assert_profile_consistent(profile: &Profile, nthreads: usize, ntasks: usize) {
+    assert_eq!(profile.nworkers, nthreads);
+    assert_eq!(profile.records.len(), ntasks, "every task gets one record");
+    assert!(profile.cancelled.is_empty());
+    let tl = profile.timeline();
+    assert_eq!(tl.lanes.len(), nthreads, "one lane per worker");
+    tl.check().expect("spans sorted and non-overlapping per lane");
+    assert_eq!(tl.lanes.iter().map(|l| l.len()).sum::<usize>(), ntasks);
+    for r in &profile.records {
+        assert!(r.worker < nthreads);
+        assert!(r.ready <= r.start + 1e-12, "ready after start: {r:?}");
+        assert!(r.dispatch <= r.start + 1e-12, "dispatched after start: {r:?}");
+        assert!(r.start <= r.end, "negative duration: {r:?}");
+        assert!(r.end <= profile.makespan + 1e-9);
+    }
+}
+
+#[test]
+fn profiled_pool_timeline_is_consistent() {
+    for &threads in &[1usize, 2, 4] {
+        let counter = AtomicUsize::new(0);
+        let g = layered_jobs(5, 4, &counter);
+        let n = g.len();
+        let (profile, err) = profile_run_graph(g, threads, &FaultPlan::new());
+        assert!(err.is_none());
+        assert_eq!(counter.load(Ordering::SeqCst), n);
+        assert_eq!(profile.scheduler, "priority-queue");
+        assert_profile_consistent(&profile, threads, n);
+        assert!(profile.steals.is_empty(), "central pool does not steal");
+        assert!(!profile.queue_samples.is_empty());
+        assert!(!profile.edges.is_empty());
+    }
+}
+
+#[test]
+fn profiled_stealing_pool_timeline_is_consistent() {
+    for &threads in &[1usize, 2, 4] {
+        let counter = AtomicUsize::new(0);
+        let g = layered_jobs(5, 4, &counter);
+        let n = g.len();
+        let (profile, err) = profile_run_graph_stealing(g, threads, &FaultPlan::new());
+        assert!(err.is_none());
+        assert_eq!(counter.load(Ordering::SeqCst), n);
+        assert_eq!(profile.scheduler, "work-stealing");
+        assert_profile_consistent(&profile, threads, n);
+        assert_eq!(profile.steals.len(), threads, "one steal counter per worker");
+        let m = profile.metrics();
+        assert!(m.steal_attempts >= m.steal_hits);
+        assert!(m.steal_hits > 0, "roots always arrive via the injector");
+    }
+}
+
+#[test]
+fn cancelled_tasks_never_appear_as_records() {
+    // A chain failing at task 5: tasks 0..=5 execute (and are recorded);
+    // 6.. are cancelled and must be absent from records and spans.
+    let n = 12usize;
+    let fail_at = 5usize;
+    let mut g: TaskGraph<Job<'_>> = TaskGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let meta = TaskMeta::new(TaskLabel::new(TaskKind::Panel, i, 0, 0), 1.0);
+            g.add_task(meta, job(|| {}))
+        })
+        .collect();
+    for pair in ids.windows(2) {
+        g.add_dep(pair[0], pair[1]);
+    }
+    let plan = FaultPlan::new().fail_nth(1, move |l| l.step == fail_at);
+    let (profile, err) = profile_run_graph(g, 2, &plan);
+    let err = err.expect("injected failure must surface");
+    assert_eq!(err.task, ids[fail_at]);
+    assert_eq!(profile.cancelled, ids[fail_at + 1..].to_vec());
+    assert_eq!(profile.records.len(), fail_at + 1, "failed task itself is recorded");
+    for r in &profile.records {
+        assert!(r.task <= ids[fail_at], "cancelled task {} has a record", r.task);
+    }
+    let tl = profile.timeline();
+    tl.check().expect("partial timeline still consistent");
+    assert_eq!(tl.lanes.iter().map(|l| l.len()).sum::<usize>(), fail_at + 1);
+}
+
+#[test]
+fn simulator_profile_is_deterministic_and_exact() {
+    // Diamond 0 -> {1, 2} -> 3 with unit costs on 2 workers:
+    //   t=0: task 0 runs (1s); t=1: tasks 1 and 2 in parallel; t=2: task 3.
+    let mut g: TaskGraph<()> = TaskGraph::new();
+    let meta = |s: usize| TaskMeta::new(TaskLabel::new(TaskKind::Update, s, 0, 0), 1.0);
+    let a = g.add_task(meta(0), ());
+    let b = g.add_task(meta(1), ());
+    let c = g.add_task(meta(2), ());
+    let d = g.add_task(meta(3), ());
+    g.add_dep(a, b);
+    g.add_dep(a, c);
+    g.add_dep(b, d);
+    g.add_dep(c, d);
+    let (p1, err) = profile_simulate(&g, 2, |_, _| 1.0, &FaultPlan::new());
+    assert!(err.is_none());
+    assert_eq!(p1.scheduler, "simulator");
+    assert_eq!(p1.makespan, 3.0);
+    let r: Vec<_> = p1.records.iter().map(|r| (r.task, r.ready, r.start, r.end)).collect();
+    assert_eq!(r[0], (a, 0.0, 0.0, 1.0));
+    assert_eq!(r[1], (b, 1.0, 1.0, 2.0));
+    assert_eq!(r[2], (c, 1.0, 1.0, 2.0));
+    assert_eq!(r[3], (d, 2.0, 2.0, 3.0));
+    assert_eq!(p1.edges, vec![(a, b), (a, c), (b, d), (c, d)]);
+    let m = p1.metrics();
+    assert_eq!(m.critical_path_seconds, 3.0);
+    assert_eq!(m.efficiency, 1.0);
+    assert_eq!(m.dispatch_latency.max, 0.0, "simulator dispatch is immediate");
+    // Determinism: a second run is bit-identical.
+    let (p2, _) = profile_simulate(&g, 2, |_, _| 1.0, &FaultPlan::new());
+    let r2: Vec<_> = p2.records.iter().map(|r| (r.task, r.ready, r.start, r.end)).collect();
+    assert_eq!(r, r2);
+}
+
+#[test]
+fn calu_profile_has_roofline_classes_and_valid_trace() {
+    use ca_factor::core::{try_calu_profiled, CaParams};
+    let a = ca_factor::matrix::random_uniform(300, 120, &mut ca_factor::matrix::seeded_rng(11));
+    let p = CaParams::new(40, 4, 3);
+    let (f, profile) = try_calu_profiled(a.clone(), &p).expect("factorization succeeds");
+    assert!(f.residual(&a) < 1e-12);
+    let m = profile.metrics();
+    assert_eq!(m.nworkers, 3);
+    assert!(m.lookahead.panel_steps > 0);
+    assert!(m.by_class.iter().any(|c| c.class == "Gemm" && c.gflops > 0.0));
+    assert!(m.by_kind.iter().any(|k| k.code == 'P'));
+    assert!(m.efficiency > 0.0 && m.efficiency <= 1.0 + 1e-9);
+    let report = m.render();
+    assert!(report.contains("scheduling efficiency"), "{report}");
+    assert!(report.contains("GFlop/s"), "{report}");
+
+    // The Chrome trace must carry spans, flow events for DAG edges, counter
+    // tracks, and thread-name metadata — in valid JSON.
+    let trace = profile.chrome_trace();
+    let v: serde_json::Value = serde_json::from_str(&trace).expect("trace parses");
+    let arr = v.as_array().unwrap();
+    let count = |ph: &str| arr.iter().filter(|e| e["ph"] == ph).count();
+    assert_eq!(count("X"), profile.records.len());
+    assert!(count("s") > 0, "flow-start events");
+    assert_eq!(count("s"), count("f"), "flows are paired");
+    assert!(count("C") >= 2, "ready-queue and completion counter tracks");
+    assert!(arr
+        .iter()
+        .any(|e| e["ph"] == "M" && e["name"] == "thread_name" && e["args"]["name"] == "core 0"));
+}
+
+#[test]
+fn caqr_profiled_matches_plain_caqr() {
+    use ca_factor::core::{try_caqr, try_caqr_profiled, CaParams};
+    let a = ca_factor::matrix::random_uniform(200, 80, &mut ca_factor::matrix::seeded_rng(4));
+    let p = CaParams::new(20, 2, 2);
+    let (f, profile) = try_caqr_profiled(a.clone(), &p).expect("profiled CAQR succeeds");
+    let plain = try_caqr(a.clone(), &p).expect("plain CAQR succeeds");
+    assert_eq!(f.r().as_slice(), plain.r().as_slice(), "profiling must not change results");
+    assert!(f.residual(&a) < 1e-12);
+    assert!(!profile.records.is_empty());
+    assert!(profile.metrics().by_class.iter().any(|c| c.class == "QrRecursive"));
+}

@@ -64,6 +64,12 @@ impl Serialize for bool {
     }
 }
 
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
@@ -170,6 +176,17 @@ deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Deserialize for bool {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         v.as_bool().ok_or_else(|| Error::mismatch("bool", v))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::mismatch("single-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::mismatch("single-char string", v)),
+        }
     }
 }
 

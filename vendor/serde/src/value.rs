@@ -99,6 +99,47 @@ impl Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<char> for Value {
+    fn from(c: char) -> Self {
+        Value::String(c.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+macro_rules! value_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self {
+                Value::Number(x as f64)
+            }
+        }
+    )*};
+}
+value_from_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 impl std::ops::Index<usize> for Value {
     type Output = Value;
     fn index(&self, idx: usize) -> &Value {

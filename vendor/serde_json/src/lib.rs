@@ -34,6 +34,36 @@ pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T> {
     T::deserialize(&v)
 }
 
+/// Builds a [`Value`] from a JSON-looking literal.
+///
+/// Supports object literals with string-literal keys, array literals, and
+/// `null`; every value position takes a Rust expression convertible into
+/// [`Value`] via `Into` — including another `json!` invocation, which is how
+/// nested objects are written:
+///
+/// ```
+/// let tid = 3usize;
+/// let e = serde_json::json!({
+///     "name": "thread_name", "ph": "M", "tid": tid,
+///     "args": serde_json::json!({"name": format!("core {tid}")}),
+/// });
+/// assert_eq!(e["args"]["name"], "core 3");
+/// ```
+///
+/// Unlike upstream `serde_json`, nested object/array *literals* in value
+/// position must be wrapped in their own `json!` call.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( (($key).to_string(), $crate::Value::from($val)) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
