@@ -16,6 +16,7 @@
 //!   multicore simulator.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod geqrf_blocked;
 mod getrf_blocked;
@@ -25,5 +26,5 @@ mod tiled_qr;
 
 pub use geqrf_blocked::{geqrf_blocked, geqrf_blocked_task_graph, BlockedQr};
 pub use getrf_blocked::{getrf_blocked, getrf_blocked_task_graph, BlockedLu};
-pub use tiled_lu::{tiled_lu, tiled_lu_task_graph, TiledLu, TiledLuTask};
-pub use tiled_qr::{tiled_qr, tiled_qr_task_graph, TiledQr, TiledQrTask};
+pub use tiled_lu::{tiled_lu, tiled_lu_task_graph, tiled_lu_task_graph_with_access, TiledLu, TiledLuTask};
+pub use tiled_qr::{tiled_qr, tiled_qr_task_graph, tiled_qr_task_graph_with_access, TiledQr, TiledQrTask};

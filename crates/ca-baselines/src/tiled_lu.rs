@@ -14,7 +14,8 @@ use ca_kernels::{flops, traffic};
 use ca_kernels::{trsm_left_upper_notrans, LuInfo};
 use ca_matrix::{Matrix, SharedMatrix};
 use ca_sched::{
-    run_graph, BlockTracker, Job, KernelClass, TaskGraph, TaskKind, TaskLabel, TaskMeta,
+    run_graph, AccessMap, BlockTracker, Job, KernelClass, TaskGraph, TaskKind, TaskLabel,
+    TaskMeta,
 };
 use std::sync::OnceLock;
 
@@ -102,7 +103,7 @@ struct Ctx {
     trans: Vec<Vec<OnceLock<TstrfTransform>>>,
 }
 
-fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx) {
+fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx, AccessMap) {
     let mt = m.div_ceil(b);
     let nt = n.div_ceil(b);
     let kt = m.min(n).div_ceil(b);
@@ -177,9 +178,13 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx) {
         diag: (0..kt).map(|_| OnceLock::new()).collect(),
         trans: (0..kt).map(|k| (k + 1..mt).map(|_| OnceLock::new()).collect()).collect(),
     };
-    (g, ctx)
+    let access = tracker.into_access_map();
+    (g, ctx, access)
 }
 
+// DAG executor: every access falls inside the footprint declared in
+// build(), which `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledLuTask) {
     let m = ctx.m;
     let n = ctx.n;
@@ -233,7 +238,7 @@ pub fn tiled_lu(a: Matrix, b: usize, threads: usize) -> TiledLu {
     let m = a.nrows();
     let n = a.ncols();
     assert!(b > 0 && threads > 0);
-    let (graph, ctx) = build(m, n, b);
+    let (graph, ctx, _access) = build(m, n, b);
     let shared = SharedMatrix::new(a);
     let jobs: TaskGraph<Job<'_>> = graph.map_ref(|_, &spec| {
         let ctx = &ctx;
@@ -257,6 +262,22 @@ pub fn tiled_lu(a: Matrix, b: usize, threads: usize) -> TiledLu {
 /// Task graph of tiled LU for the multicore simulator.
 pub fn tiled_lu_task_graph(m: usize, n: usize, b: usize) -> TaskGraph<TiledLuTask> {
     build(m, n, b).0
+}
+
+/// [`tiled_lu_task_graph`] plus the builder's retained block-access
+/// declarations, for the static DAG soundness verifier
+/// ([`ca_sched::verify_graph`]). The map's grid has one extra virtual
+/// column (`nt`) standing for the diagonal tile's `L` factor — element-level
+/// checked execution is therefore not meaningful for this builder (the `L`
+/// and `U` parts of tile `(k,k)` alias at block granularity), but the static
+/// happens-before proof is exact.
+pub fn tiled_lu_task_graph_with_access(
+    m: usize,
+    n: usize,
+    b: usize,
+) -> (TaskGraph<TiledLuTask>, AccessMap) {
+    let (g, _ctx, access) = build(m, n, b);
+    (g, access)
 }
 
 #[cfg(test)]
@@ -311,6 +332,17 @@ mod tests {
             g.critical_path_flops() < gb.critical_path_flops(),
             "tiled critical path should beat blocked's"
         );
+    }
+
+    #[test]
+    fn task_graph_passes_static_soundness_verification() {
+        for (m, n, b) in [(96, 96, 16), (60, 60, 16), (128, 64, 32)] {
+            let (g, access) = tiled_lu_task_graph_with_access(m, n, b);
+            let report = ca_sched::verify_graph(&g, &access)
+                .unwrap_or_else(|e| panic!("tiled LU {m}x{n} b={b} unsound: {e}"));
+            assert_eq!(report.tasks, g.len());
+            assert!(report.conflict_pairs > 0, "expected conflicting pairs to prove ordered");
+        }
     }
 
     #[test]

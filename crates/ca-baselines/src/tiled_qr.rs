@@ -12,7 +12,8 @@ use ca_kernels::{flops, traffic};
 use ca_kernels::{larfb_left, trsm_left_upper_notrans, Trans};
 use ca_matrix::{Matrix, SharedMatrix};
 use ca_sched::{
-    run_graph, BlockTracker, Job, KernelClass, TaskGraph, TaskKind, TaskLabel, TaskMeta,
+    run_graph, AccessMap, BlockTracker, Job, KernelClass, TaskGraph, TaskKind, TaskLabel,
+    TaskMeta,
 };
 use std::sync::OnceLock;
 
@@ -141,7 +142,7 @@ struct Ctx {
     t_ts: Vec<Vec<OnceLock<Matrix>>>,
 }
 
-fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledQrTask>, Ctx) {
+fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledQrTask>, Ctx, AccessMap) {
     assert!(m >= n, "tiled QR implemented for tall or square matrices");
     let mt = m.div_ceil(b);
     let nt = n.div_ceil(b);
@@ -213,9 +214,13 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledQrTask>, Ctx) {
         t_diag: (0..kt).map(|_| OnceLock::new()).collect(),
         t_ts: (0..kt).map(|k| (k + 1..mt).map(|_| OnceLock::new()).collect()).collect(),
     };
-    (g, ctx)
+    let access = tracker.into_access_map();
+    (g, ctx, access)
 }
 
+// DAG executor: every access falls inside the footprint declared in
+// build(), which `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledQrTask) {
     let m = ctx.m;
     let n = ctx.n;
@@ -271,7 +276,7 @@ pub fn tiled_qr(a: Matrix, b: usize, threads: usize) -> TiledQr {
     let m = a.nrows();
     let n = a.ncols();
     assert!(b > 0 && threads > 0);
-    let (graph, ctx) = build(m, n, b);
+    let (graph, ctx, _access) = build(m, n, b);
     let shared = SharedMatrix::new(a);
     let jobs: TaskGraph<Job<'_>> = graph.map_ref(|_, &spec| {
         let ctx = &ctx;
@@ -295,6 +300,18 @@ pub fn tiled_qr(a: Matrix, b: usize, threads: usize) -> TiledQr {
 /// Task graph of tiled QR for the multicore simulator.
 pub fn tiled_qr_task_graph(m: usize, n: usize, b: usize) -> TaskGraph<TiledQrTask> {
     build(m, n, b).0
+}
+
+/// [`tiled_qr_task_graph`] plus the builder's retained block-access
+/// declarations, for the static DAG soundness verifier
+/// ([`ca_sched::verify_graph`]).
+pub fn tiled_qr_task_graph_with_access(
+    m: usize,
+    n: usize,
+    b: usize,
+) -> (TaskGraph<TiledQrTask>, AccessMap) {
+    let (g, _ctx, access) = build(m, n, b);
+    (g, access)
 }
 
 #[cfg(test)]
@@ -343,6 +360,17 @@ mod tests {
         let x = f.solve_ls(&rhs);
         let err = ca_matrix::norm_max(x.sub_matrix(&x_true).view());
         assert!(err < 1e-9, "LS error {err}");
+    }
+
+    #[test]
+    fn task_graph_passes_static_soundness_verification() {
+        for (m, n, b) in [(96, 96, 16), (120, 36, 12), (100, 30, 16)] {
+            let (g, access) = tiled_qr_task_graph_with_access(m, n, b);
+            let report = ca_sched::verify_graph(&g, &access)
+                .unwrap_or_else(|e| panic!("tiled QR {m}x{n} b={b} unsound: {e}"));
+            assert_eq!(report.tasks, g.len());
+            assert!(report.conflict_pairs > 0, "expected conflicting pairs to prove ordered");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! Chrome-trace + `BENCH_profile_*.json` baselines.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod calibrate;
 pub mod comm;

@@ -258,6 +258,25 @@ pub fn try_calu_with_faults(
     check_factors(f, &params).map(|f| (f, stats))
 }
 
+/// [`try_calu`] in checked execution mode: the task graph is first proven
+/// sound by the static verifier ([`ca_sched::verify_graph`]), then executed
+/// with every [`ca_matrix::SharedMatrix`] block access audited against the
+/// builder's declared footprints through a [`ca_matrix::ShadowRegistry`].
+/// Any unordered conflict, runtime lease overlap, or out-of-footprint
+/// access is reported as [`FactorError::Soundness`] naming the offending
+/// task labels. Numerical contract is identical to [`try_calu`].
+pub fn try_calu_checked(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(LuFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let params = monitored(p);
+    let (f, stats) = dag_calu::try_run_checked(a, &params)?;
+    check_factors(f, &params).map(|f| (f, stats))
+}
+
 /// [`try_calu`] on the profiled executor: same numerical contract (NaN/Inf
 /// prescan, growth monitoring, breakdown detection), but returns the
 /// scheduler's full [`ca_sched::Profile`] alongside the factors —

@@ -182,6 +182,23 @@ pub fn try_caqr_with_faults(
     dag_caqr::try_run(a, p, faults)
 }
 
+/// [`try_caqr`] in checked execution mode: the task graph is first proven
+/// sound by the static verifier ([`ca_sched::verify_graph`]), then executed
+/// with every [`ca_matrix::SharedMatrix`] block access audited against the
+/// builder's declared footprints through a [`ca_matrix::ShadowRegistry`].
+/// Any unordered conflict, runtime lease overlap, or out-of-footprint
+/// access is reported as [`FactorError::Soundness`] naming the offending
+/// task labels. Numerical contract is identical to [`try_caqr`].
+pub fn try_caqr_checked(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(QrFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    dag_caqr::try_run_checked(a, p)
+}
+
 /// [`try_caqr`] on the profiled executor: same input prescan, but returns
 /// the scheduler's full [`ca_sched::Profile`] alongside the factors (see
 /// [`crate::try_calu_profiled`]).

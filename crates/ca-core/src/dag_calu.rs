@@ -19,7 +19,7 @@
 
 use crate::calu::{LuFactors, LuStats};
 use crate::error::FactorError;
-use ca_sched::{row_blocks, BlockTracker};
+use ca_sched::{row_blocks, AccessMap, BlockTracker, CheckedError, SoundnessError, VerifyReport};
 use crate::params::{num_panels, partition_rows, CaParams, RowPartition};
 use crate::tournament::{select, stack_candidates, Selected};
 use crate::tree::{reduction_schedule, ReduceNode};
@@ -75,6 +75,9 @@ pub(crate) struct PanelCtx {
 /// Everything needed to execute a built CALU DAG.
 pub(crate) struct CaluPlan {
     pub graph: TaskGraph<CaluTask>,
+    /// Declared block footprints of every task (for verification / checked
+    /// execution).
+    pub access: AccessMap,
     pub panels: Vec<PanelCtx>,
     m: usize,
     n: usize,
@@ -275,11 +278,23 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
         tracker.write(&mut graph, id, row_blocks((jblk + 1) * b..m, b), jblk..jblk + 1);
     }
 
-    CaluPlan { graph, panels, m, n, b, recursive_leaves: !p.leaf_blas2, growth_limit: p.growth_limit }
+    CaluPlan {
+        graph,
+        access: tracker.into_access_map(),
+        panels,
+        m,
+        n,
+        b,
+        recursive_leaves: !p.leaf_blas2,
+        growth_limit: p.growth_limit,
+    }
 }
 
 impl CaluPlan {
     /// Executes one task against the shared matrix (called from workers).
+    // DAG executor: every access falls inside the footprint declared in
+    // build(), which `verify_graph` proves conflict-ordered.
+    #[allow(clippy::disallowed_methods)]
     fn exec(&self, a: &SharedMatrix, t: CaluTask) {
         let m = self.m;
         let n = self.n;
@@ -364,6 +379,8 @@ impl CaluPlan {
 
     /// Root-task epilogue: record pivots, interchange the panel, write the
     /// packed `L_KK\U_KK` block.
+    // DAG executor: accesses stay inside the root task's declared footprint.
+    #[allow(clippy::disallowed_methods)]
     fn finish_root(&self, a: &SharedMatrix, step: usize, sel: Selected) {
         let ctx = &self.panels[step];
         let m = self.m;
@@ -448,6 +465,45 @@ pub(crate) fn try_run(
     }
 }
 
+/// Checked-mode variant of [`try_run`]: statically verifies the graph +
+/// declared footprints, then executes under the dynamic race detector (a
+/// shadow lease registry auditing every `SharedMatrix` block access). Any
+/// violation maps to [`FactorError::Soundness`].
+pub(crate) fn try_run_checked(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(LuFactors, ExecStats), FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    ca_sched::verify_graph(&plan.graph, &plan.access)
+        .map_err(|violation| FactorError::Soundness { violation })?;
+    let registry = ca_sched::build_shadow_registry(&plan.graph, &plan.access, plan.b, m, n);
+    let shared = SharedMatrix::with_shadow(a, registry.clone());
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let result = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::try_run_graph_checked(jobs, p.threads, &registry)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::try_run_graph_stealing_checked(jobs, p.threads, &registry)
+        }
+    };
+    match result {
+        Ok(stats) => Ok((collect_factors(&plan, shared), stats)),
+        Err(CheckedError::Soundness(violation)) => Err(FactorError::Soundness { violation }),
+        Err(CheckedError::Exec(e)) => Err(FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
 /// Profiling variant of [`try_run`]: executes on the profiled pool matching
 /// `p.scheduler` and returns the factors together with the full
 /// [`ca_sched::Profile`] (lifecycle records, roofline attribution inputs,
@@ -511,6 +567,26 @@ fn collect_factors(plan: &CaluPlan, shared: SharedMatrix) -> LuFactors {
 /// Builds just the task graph (for the multicore simulator and DAG figures).
 pub fn calu_task_graph(m: usize, n: usize, p: &CaParams) -> TaskGraph<CaluTask> {
     build(m, n, p).graph
+}
+
+/// Builds the task graph together with the declared block footprints, for
+/// soundness verification ([`ca_sched::verify_graph`]) and checked
+/// simulation.
+pub fn calu_task_graph_with_access(
+    m: usize,
+    n: usize,
+    p: &CaParams,
+) -> (TaskGraph<CaluTask>, AccessMap) {
+    let plan = build(m, n, p);
+    (plan.graph, plan.access)
+}
+
+/// Statically verifies the CALU task graph for an `m × n` factorization:
+/// structural invariants, every conflicting block pair ordered by a
+/// happens-before path, and the §III lookahead priority rule.
+pub fn verify_calu(m: usize, n: usize, p: &CaParams) -> Result<VerifyReport, SoundnessError> {
+    let plan = build(m, n, p);
+    ca_sched::verify_graph(&plan.graph, &plan.access)
 }
 
 #[cfg(test)]

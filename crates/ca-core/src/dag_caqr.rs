@@ -12,7 +12,7 @@
 //! reduction tree itself drives the trailing update.
 
 use crate::caqr::QrFactors;
-use ca_sched::{row_blocks, BlockTracker};
+use ca_sched::{row_blocks, AccessMap, BlockTracker, CheckedError, SoundnessError, VerifyReport};
 use crate::params::{num_panels, partition_rows, CaParams};
 use crate::tsqr::{leaf_apply, leaf_qr, node_apply, node_qr, plan_panel, LeafQ, NodePlan, NodeQ, PanelQ};
 use ca_kernels::{flops, traffic};
@@ -48,6 +48,9 @@ pub(crate) struct PanelCtx {
 
 pub(crate) struct CaqrPlan {
     pub graph: TaskGraph<CaqrTask>,
+    /// Declared block footprints of every task (for verification / checked
+    /// execution).
+    pub access: AccessMap,
     pub panels: Vec<PanelCtx>,
     n: usize,
     b: usize,
@@ -173,10 +176,13 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaqrPlan {
         });
     }
 
-    CaqrPlan { graph, panels, n, b }
+    CaqrPlan { graph, access: tracker.into_access_map(), panels, n, b }
 }
 
 impl CaqrPlan {
+    // DAG executor: every access falls inside the footprint declared in
+    // build(), which `verify_graph` proves conflict-ordered.
+    #[allow(clippy::disallowed_methods)]
     fn exec(&self, a: &SharedMatrix, t: CaqrTask) {
         let b = self.b;
         let n = self.n;
@@ -263,6 +269,46 @@ pub(crate) fn try_run(
     }
 }
 
+/// Checked-mode variant of [`try_run`]: statically verifies the graph +
+/// declared footprints, then executes under the dynamic race detector. Any
+/// violation maps to [`crate::error::FactorError::Soundness`].
+pub(crate) fn try_run_checked(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<(QrFactors, ExecStats), crate::error::FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    ca_sched::verify_graph(&plan.graph, &plan.access)
+        .map_err(|violation| crate::error::FactorError::Soundness { violation })?;
+    let registry = ca_sched::build_shadow_registry(&plan.graph, &plan.access, plan.b, m, n);
+    let shared = SharedMatrix::with_shadow(a, registry.clone());
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|_, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let result = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::try_run_graph_checked(jobs, p.threads, &registry)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::try_run_graph_stealing_checked(jobs, p.threads, &registry)
+        }
+    };
+    match result {
+        Ok(stats) => Ok((collect_factors(plan, shared), stats)),
+        Err(CheckedError::Soundness(violation)) => {
+            Err(crate::error::FactorError::Soundness { violation })
+        }
+        Err(CheckedError::Exec(e)) => Err(crate::error::FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
 /// Profiling variant of [`try_run`]: executes on the profiled pool matching
 /// `p.scheduler` and returns the factors together with the full
 /// [`ca_sched::Profile`]. A task failure maps to
@@ -313,6 +359,26 @@ fn collect_factors(plan: CaqrPlan, shared: SharedMatrix) -> QrFactors {
 /// Builds just the task graph (for the multicore simulator and DAG figures).
 pub fn caqr_task_graph(m: usize, n: usize, p: &CaParams) -> TaskGraph<CaqrTask> {
     build(m, n, p).graph
+}
+
+/// Builds the task graph together with the declared block footprints, for
+/// soundness verification ([`ca_sched::verify_graph`]) and checked
+/// simulation.
+pub fn caqr_task_graph_with_access(
+    m: usize,
+    n: usize,
+    p: &CaParams,
+) -> (TaskGraph<CaqrTask>, AccessMap) {
+    let plan = build(m, n, p);
+    (plan.graph, plan.access)
+}
+
+/// Statically verifies the CAQR task graph for an `m × n` factorization:
+/// structural invariants, every conflicting block pair ordered by a
+/// happens-before path, and the §III lookahead priority rule.
+pub fn verify_caqr(m: usize, n: usize, p: &CaParams) -> Result<VerifyReport, SoundnessError> {
+    let plan = build(m, n, p);
+    ca_sched::verify_graph(&plan.graph, &plan.access)
 }
 
 #[cfg(test)]

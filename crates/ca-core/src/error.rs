@@ -50,6 +50,13 @@ pub enum FactorError {
         /// The scheduler's error message.
         message: String,
     },
+    /// The static DAG verifier or checked execution mode found a soundness
+    /// violation (unordered conflicting block accesses, a runtime lease
+    /// overlap, or an access outside a task's declared footprint).
+    Soundness {
+        /// The violation, naming the conflicting task labels.
+        violation: ca_sched::SoundnessError,
+    },
 }
 
 impl fmt::Display for FactorError {
@@ -66,6 +73,9 @@ impl fmt::Display for FactorError {
             }
             Self::TaskFailed { label, message } => {
                 write!(f, "task {label} failed: {message}")
+            }
+            Self::Soundness { violation } => {
+                write!(f, "soundness violation: {violation}")
             }
         }
     }

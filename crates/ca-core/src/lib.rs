@@ -21,8 +21,15 @@
 //! * [`try_calu_profiled`] / [`try_caqr_profiled`] — the same runs on the
 //!   profiled executors, returning a [`ca_sched::Profile`] with full task
 //!   lifecycles, roofline attribution inputs, and scheduling diagnostics.
+//! * [`verify_calu`] / [`verify_caqr`] — static DAG soundness verification:
+//!   prove every conflicting block access in the builder's declared
+//!   footprints is ordered by a happens-before path.
+//! * [`try_calu_checked`] / [`try_caqr_checked`] — checked execution: the
+//!   static verifier followed by a run in which every element access is
+//!   audited against the declared footprints by a shadow lease registry.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod calu;
 mod caqr;
@@ -37,16 +44,16 @@ pub mod tslu;
 pub mod tsqr;
 
 pub use calu::{
-    calu, calu_seq, calu_seq_factor, calu_with_stats, try_calu, try_calu_profiled,
-    try_calu_seq, try_calu_with_faults, try_calu_with_stats, try_tslu_factor, tslu_factor,
-    LuFactors, LuStats,
+    calu, calu_seq, calu_seq_factor, calu_with_stats, try_calu, try_calu_checked,
+    try_calu_profiled, try_calu_seq, try_calu_with_faults, try_calu_with_stats,
+    try_tslu_factor, tslu_factor, LuFactors, LuStats,
 };
 pub use caqr::{
-    caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_profiled, try_caqr_with_faults,
-    try_tsqr_factor, tsqr_factor, QrFactors,
+    caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_checked, try_caqr_profiled,
+    try_caqr_with_faults, try_tsqr_factor, tsqr_factor, QrFactors,
 };
 pub use error::{FactorError, DEFAULT_GROWTH_LIMIT};
-pub use dag_calu::{calu_task_graph, CaluTask};
+pub use dag_calu::{calu_task_graph, calu_task_graph_with_access, verify_calu, CaluTask};
 pub use solve::{lu_packed_solve_in_place, RefineInfo};
-pub use dag_caqr::{caqr_task_graph, CaqrTask};
+pub use dag_caqr::{caqr_task_graph, caqr_task_graph_with_access, verify_caqr, CaqrTask};
 pub use params::{num_panels, partition_rows, CaParams, RowPartition, Scheduler, TreeShape};

@@ -114,6 +114,9 @@ pub fn plan_panel(part: &RowPartition, w: usize, tree: TreeShape) -> (Vec<usize>
 
 /// Leaf QR of the group `rows × w` block at panel columns `c0..c0+w`,
 /// in place. Returns the leaf's `T` factor.
+// TSQR kernel helper: called from DAG executors whose declared
+// footprints `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 pub fn leaf_qr(a: &SharedMatrix, c0: usize, w: usize, rows: Range<usize>) -> LeafQ {
     let r = rows.len();
     let kv = r.min(w);
@@ -134,6 +137,9 @@ pub fn leaf_qr(a: &SharedMatrix, c0: usize, w: usize, rows: Range<usize>) -> Lea
 /// Applies `op(Q_leaf)` to columns `dcols` of `dst` (rows = the leaf's
 /// group). `src` holds the factored panel (the reflectors); during the
 /// factorization's own trailing update `src` and `dst` are the same matrix.
+// TSQR kernel helper: called from DAG executors whose declared
+// footprints `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 pub fn leaf_apply(
     src: &SharedMatrix,
     c0: usize,
@@ -157,6 +163,9 @@ pub fn leaf_apply(
 /// from `a` at `plan.row_ranges`, panel columns `c0..c0+w`), refactors them,
 /// writes the merged `R` back into the first participant's rows, and returns
 /// the node's reflectors.
+// TSQR kernel helper: called from DAG executors whose declared
+// footprints `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 pub fn node_qr(a: &SharedMatrix, c0: usize, w: usize, plan: &NodePlan) -> NodeQ {
     let s: usize = plan.row_ranges.iter().map(|r| r.len()).sum();
     let kk = plan.kk;
@@ -207,6 +216,9 @@ pub fn node_qr(a: &SharedMatrix, c0: usize, w: usize, plan: &NodePlan) -> NodeQ 
 
 /// Applies `op(Q_node)` to columns `dcols` of `dst`, touching only the
 /// node's stacked rows (the paper's task S at inner tree nodes).
+// TSQR kernel helper: called from DAG executors whose declared
+// footprints `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 pub fn node_apply(node: &NodeQ, dst: &SharedMatrix, dcols: Range<usize>, trans: Trans) {
     if dcols.is_empty() {
         return;
@@ -237,6 +249,9 @@ pub fn node_apply(node: &NodeQ, dst: &SharedMatrix, dcols: Range<usize>, trans: 
 /// reflectors are read safely from the owned factored matrix `src`; `dst`
 /// is a [`SharedMatrix`] only because the node updates need several disjoint
 /// mutable row blocks of it at once.
+// TSQR kernel helper: called from DAG executors whose declared
+// footprints `verify_graph` proves conflict-ordered.
+#[allow(clippy::disallowed_methods)]
 pub fn panel_apply(
     src: &Matrix,
     panel: &PanelQ,

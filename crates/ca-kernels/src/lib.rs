@@ -19,6 +19,7 @@
 //! blocks, so they compose into panel/tile tasks without copying.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod flops;
 pub mod traffic;

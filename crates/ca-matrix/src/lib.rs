@@ -12,15 +12,20 @@
 //!   disjoint blocks to concurrent tasks;
 //! * [`PivotSeq`] and permutation helpers — row-interchange bookkeeping for
 //!   partial and tournament pivoting;
+//! * [`ShadowRegistry`] — the lease registry behind checked execution mode,
+//!   auditing that every block access stays inside its task's declared
+//!   footprint and never overlaps a live conflicting lease;
 //! * norms, residual measures, and reproducible test-matrix generators.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod generate;
 pub mod io;
 mod matrix;
 mod norms;
 mod perm;
+pub mod shadow;
 mod shared;
 mod view;
 
@@ -34,5 +39,6 @@ pub use norms::{
     qr_residual, residual_threshold,
 };
 pub use perm::{invert_permutation, is_permutation, permute_rows, PivotSeq};
+pub use shadow::{ElemRect, ShadowRegistry, ShadowViolation, TaskFootprint, TaskScope};
 pub use shared::SharedMatrix;
 pub use view::{MatView, MatViewMut};

@@ -1,0 +1,436 @@
+//! Shadow lease registry — the dynamic half of the runtime's race detector.
+//!
+//! Checked execution mode wraps every [`crate::SharedMatrix`] block accessor
+//! with a bookkeeping hook: while a task runs, each block view it takes
+//! claims a *lease* on the element rectangle it covers. The registry checks
+//! two properties the task-graph contract promises but the type system
+//! cannot see:
+//!
+//! 1. **Footprint containment** — every access falls inside the element
+//!    region the DAG builder declared for the task (reads inside
+//!    reads ∪ writes, writes inside writes);
+//! 2. **Lease disjointness** — no two concurrently held leases overlap
+//!    unless both are reads.
+//!
+//! Leases are held for the task's whole duration (released by
+//! [`TaskScope`]'s drop), which is conservative in exactly the right
+//! direction: a view handed out to a kernel stays usable until the task
+//! ends, so the lease must outlive the borrow.
+//!
+//! The registry knows tasks only as indices plus display labels, so it
+//! lives here (under the matrix it guards) without depending on the
+//! scheduler crate.
+
+use core::cell::Cell;
+use core::fmt;
+use core::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Half-open element rectangle `rows × cols` of a matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElemRect {
+    /// First row (inclusive).
+    pub row0: usize,
+    /// Past-the-end row.
+    pub row1: usize,
+    /// First column (inclusive).
+    pub col0: usize,
+    /// Past-the-end column.
+    pub col1: usize,
+}
+
+impl ElemRect {
+    /// Rectangle covering `rows × cols`.
+    pub fn new(rows: Range<usize>, cols: Range<usize>) -> Self {
+        Self { row0: rows.start, row1: rows.end, col0: cols.start, col1: cols.end }
+    }
+
+    /// `true` if the rectangle contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.row0 >= self.row1 || self.col0 >= self.col1
+    }
+
+    /// `true` if the rectangles share at least one element.
+    pub fn overlaps(&self, o: &ElemRect) -> bool {
+        !self.is_empty()
+            && !o.is_empty()
+            && self.row0 < o.row1
+            && o.row0 < self.row1
+            && self.col0 < o.col1
+            && o.col0 < self.col1
+    }
+
+    /// `true` if `o` lies entirely inside `self` (empty `o` always does).
+    pub fn contains(&self, o: &ElemRect) -> bool {
+        o.is_empty()
+            || (self.row0 <= o.row0
+                && o.row1 <= self.row1
+                && self.col0 <= o.col0
+                && o.col1 <= self.col1)
+    }
+}
+
+impl fmt::Display for ElemRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rows {}..{} × cols {}..{}", self.row0, self.row1, self.col0, self.col1)
+    }
+}
+
+/// Declared element footprint of one task: the regions the DAG builder
+/// claimed the task reads and writes.
+#[derive(Clone, Debug, Default)]
+pub struct TaskFootprint {
+    /// Declared read rectangles.
+    pub reads: Vec<ElemRect>,
+    /// Declared write rectangles.
+    pub writes: Vec<ElemRect>,
+}
+
+/// A contract violation observed at run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShadowViolation {
+    /// A task touched elements outside its declared footprint.
+    Undeclared {
+        /// Offending task index.
+        task: usize,
+        /// Offending task's display label.
+        label: String,
+        /// `true` for a mutable access.
+        write: bool,
+        /// The rectangle actually accessed.
+        rect: ElemRect,
+    },
+    /// Two concurrently live leases overlap and at least one is a write.
+    Overlap {
+        /// Task holding the earlier lease.
+        first: usize,
+        /// Its display label.
+        first_label: String,
+        /// Whether the earlier lease is mutable.
+        first_write: bool,
+        /// Task taking the later, overlapping lease.
+        second: usize,
+        /// Its display label.
+        second_label: String,
+        /// Whether the later lease is mutable.
+        second_write: bool,
+        /// The later lease's rectangle.
+        rect: ElemRect,
+    },
+}
+
+impl fmt::Display for ShadowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Undeclared { label, write, rect, .. } => write!(
+                f,
+                "task {label} {} {} outside its declared footprint",
+                if *write { "wrote" } else { "read" },
+                rect
+            ),
+            Self::Overlap { first_label, first_write, second_label, second_write, rect, .. } => {
+                write!(
+                    f,
+                    "tasks {first_label} ({}) and {second_label} ({}) hold overlapping leases on {rect}",
+                    if *first_write { "write" } else { "read" },
+                    if *second_write { "write" } else { "read" },
+                )
+            }
+        }
+    }
+}
+
+struct Lease {
+    task: usize,
+    write: bool,
+    rect: ElemRect,
+}
+
+/// Registry of declared footprints, live leases, and detected violations
+/// for one checked run.
+pub struct ShadowRegistry {
+    footprints: Vec<TaskFootprint>,
+    labels: Vec<String>,
+    active: Mutex<Vec<Lease>>,
+    violations: Mutex<Vec<ShadowViolation>>,
+    accesses: AtomicUsize,
+}
+
+thread_local! {
+    /// Task the current thread is executing, if any. Accesses made outside
+    /// a task scope (setup, result collection) are not checked.
+    static CURRENT_TASK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Locks a mutex, surviving poisoning (a panicking task must not hide the
+/// violations recorded before it died).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ShadowRegistry {
+    /// A registry for tasks `0..footprints.len()` with the given display
+    /// labels (`labels.len()` must match).
+    pub fn new(footprints: Vec<TaskFootprint>, labels: Vec<String>) -> Self {
+        assert_eq!(footprints.len(), labels.len(), "one label per task");
+        Self {
+            footprints,
+            labels,
+            active: Mutex::new(Vec::new()),
+            violations: Mutex::new(Vec::new()),
+            accesses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tasks the registry knows about.
+    pub fn ntasks(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// Marks the current thread as executing `task` until the returned
+    /// guard drops (which also releases every lease the task claimed).
+    pub fn enter_task(self: &Arc<Self>, task: usize) -> TaskScope {
+        assert!(task < self.footprints.len(), "unknown task {task}");
+        let prev = CURRENT_TASK.replace(Some(task));
+        TaskScope { reg: Arc::clone(self), task, prev }
+    }
+
+    /// Records an access of `rows × cols` by the current thread's task (a
+    /// no-op outside a task scope). Called by the [`crate::SharedMatrix`]
+    /// block accessors.
+    pub fn on_access(&self, write: bool, rows: Range<usize>, cols: Range<usize>) {
+        let Some(task) = CURRENT_TASK.get() else { return };
+        let rect = ElemRect::new(rows, cols);
+        if rect.is_empty() || task >= self.footprints.len() {
+            return;
+        }
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+
+        let fp = &self.footprints[task];
+        let declared = if write {
+            covered(rect, &[&fp.writes])
+        } else {
+            covered(rect, &[&fp.reads, &fp.writes])
+        };
+        if !declared {
+            lock_unpoisoned(&self.violations).push(ShadowViolation::Undeclared {
+                task,
+                label: self.labels[task].clone(),
+                write,
+                rect,
+            });
+        }
+
+        let mut active = lock_unpoisoned(&self.active);
+        for lease in active.iter() {
+            if lease.task != task && (write || lease.write) && lease.rect.overlaps(&rect) {
+                lock_unpoisoned(&self.violations).push(ShadowViolation::Overlap {
+                    first: lease.task,
+                    first_label: self.labels[lease.task].clone(),
+                    first_write: lease.write,
+                    second: task,
+                    second_label: self.labels[task].clone(),
+                    second_write: write,
+                    rect,
+                });
+            }
+        }
+        active.push(Lease { task, write, rect });
+    }
+
+    /// Total accesses recorded so far.
+    pub fn accesses(&self) -> usize {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Drains and returns every violation recorded so far.
+    pub fn take_violations(&self) -> Vec<ShadowViolation> {
+        core::mem::take(&mut *lock_unpoisoned(&self.violations))
+    }
+
+    fn release(&self, task: usize) {
+        lock_unpoisoned(&self.active).retain(|l| l.task != task);
+    }
+}
+
+/// `true` if `rect` is entirely covered by the union of the rectangle sets.
+///
+/// Works by peeling: find one declared rectangle that intersects `rect`,
+/// split the uncovered remainder into at most four sub-rectangles, recurse.
+/// Declared sets are tiny (a handful of block-aligned regions per task), so
+/// the recursion stays shallow.
+fn covered(rect: ElemRect, sets: &[&[ElemRect]]) -> bool {
+    if rect.is_empty() {
+        return true;
+    }
+    let Some(d) = sets.iter().flat_map(|s| s.iter()).find(|d| d.overlaps(&rect)) else {
+        return false;
+    };
+    let r0 = rect.row0.max(d.row0);
+    let r1 = rect.row1.min(d.row1);
+    let c0 = rect.col0.max(d.col0);
+    let c1 = rect.col1.min(d.col1);
+    let parts = [
+        ElemRect { row0: rect.row0, row1: r0, col0: rect.col0, col1: rect.col1 },
+        ElemRect { row0: r1, row1: rect.row1, col0: rect.col0, col1: rect.col1 },
+        ElemRect { row0: r0, row1: r1, col0: rect.col0, col1: c0 },
+        ElemRect { row0: r0, row1: r1, col0: c1, col1: rect.col1 },
+    ];
+    parts.iter().all(|p| covered(*p, sets))
+}
+
+/// RAII guard returned by [`ShadowRegistry::enter_task`]: clears the
+/// thread's current-task marker and releases the task's leases on drop
+/// (also on unwind, so a panicking task cannot leak leases).
+pub struct TaskScope {
+    reg: Arc<ShadowRegistry>,
+    task: usize,
+    prev: Option<usize>,
+}
+
+impl Drop for TaskScope {
+    fn drop(&mut self) {
+        CURRENT_TASK.set(self.prev);
+        self.reg.release(self.task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(rows: Range<usize>, cols: Range<usize>) -> ElemRect {
+        ElemRect::new(rows, cols)
+    }
+
+    #[test]
+    fn rect_overlap_and_containment() {
+        let a = rect(0..4, 0..4);
+        let b = rect(2..6, 2..6);
+        let c = rect(4..8, 0..4);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.contains(&rect(1..3, 1..3)));
+        assert!(!a.contains(&b));
+        assert!(a.contains(&rect(2..2, 0..4)), "empty rect is contained anywhere");
+        assert!(!rect(0..0, 0..4).overlaps(&a), "empty rect overlaps nothing");
+    }
+
+    #[test]
+    fn coverage_handles_unions() {
+        // Two declared rects tile 0..4 x 0..8; the union covers a spanning
+        // access even though neither rect alone does.
+        let decl = vec![rect(0..4, 0..4), rect(0..4, 4..8)];
+        assert!(covered(rect(0..4, 0..8), &[&decl]));
+        assert!(covered(rect(1..3, 2..6), &[&decl]));
+        assert!(!covered(rect(0..5, 0..4), &[&decl]));
+        assert!(!covered(rect(0..4, 0..9), &[&decl]));
+        assert!(covered(rect(0..0, 0..100), &[&decl]));
+    }
+
+    fn two_task_registry() -> Arc<ShadowRegistry> {
+        let fp0 = TaskFootprint { reads: vec![], writes: vec![rect(0..4, 0..4)] };
+        let fp1 = TaskFootprint { reads: vec![rect(0..4, 0..4)], writes: vec![rect(4..8, 0..4)] };
+        Arc::new(ShadowRegistry::new(vec![fp0, fp1], vec!["t0".into(), "t1".into()]))
+    }
+
+    #[test]
+    fn in_footprint_access_is_clean() {
+        let reg = two_task_registry();
+        {
+            let _s = reg.enter_task(0);
+            reg.on_access(true, 0..4, 0..4);
+            reg.on_access(false, 1..2, 1..2); // read inside the write region
+        }
+        {
+            let _s = reg.enter_task(1);
+            reg.on_access(false, 0..4, 0..4);
+            reg.on_access(true, 4..8, 0..4);
+        }
+        assert!(reg.take_violations().is_empty());
+        assert_eq!(reg.accesses(), 4);
+    }
+
+    #[test]
+    fn undeclared_access_is_reported() {
+        let reg = two_task_registry();
+        {
+            let _s = reg.enter_task(0);
+            reg.on_access(true, 4..8, 0..4); // t1's region, not t0's
+        }
+        let v = reg.take_violations();
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            ShadowViolation::Undeclared { label, write, .. } => {
+                assert_eq!(label, "t0");
+                assert!(write);
+            }
+            other => panic!("expected Undeclared, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_live_leases_are_reported() {
+        let reg = two_task_registry();
+        let scope0 = reg.enter_task(0);
+        reg.on_access(true, 0..4, 0..4);
+        // Simulate task 1 on the same thread while task 0's lease is live.
+        {
+            let _s1 = reg.enter_task(1);
+            reg.on_access(false, 0..4, 0..4); // read vs live write: overlap
+        }
+        drop(scope0);
+        let v = reg.take_violations();
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            ShadowViolation::Overlap { first_label, second_label, .. } => {
+                assert_eq!(first_label, "t0");
+                assert_eq!(second_label, "t1");
+            }
+            other => panic!("expected Overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leases_release_on_scope_drop() {
+        let reg = two_task_registry();
+        {
+            let _s = reg.enter_task(0);
+            reg.on_access(true, 0..4, 0..4);
+        }
+        {
+            let _s = reg.enter_task(1);
+            reg.on_access(false, 0..4, 0..4); // previous lease released: clean
+        }
+        assert!(reg.take_violations().is_empty());
+    }
+
+    #[test]
+    fn accesses_outside_task_scope_are_ignored() {
+        let reg = two_task_registry();
+        reg.on_access(true, 0..100, 0..100);
+        assert!(reg.take_violations().is_empty());
+        assert_eq!(reg.accesses(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_leases_are_clean() {
+        let fps = (0..4)
+            .map(|t| TaskFootprint { reads: vec![], writes: vec![rect(t * 4..t * 4 + 4, 0..8)] })
+            .collect();
+        let labels = (0..4).map(|t| format!("w{t}")).collect();
+        let reg = Arc::new(ShadowRegistry::new(fps, labels));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let reg = &reg;
+                s.spawn(move || {
+                    let _scope = reg.enter_task(t);
+                    reg.on_access(true, t * 4..t * 4 + 4, 0..8);
+                });
+            }
+        });
+        assert!(reg.take_violations().is_empty());
+        assert_eq!(reg.accesses(), 4);
+    }
+}

@@ -10,21 +10,30 @@
 //! (PLASMA/QUARK, StarPU, OpenMP tasks with `depend`) does: correctness of
 //! concurrent block access is a property of the task graph, not of the type
 //! system. All uses in this workspace are confined to `ca-sched` executors
-//! running graphs built by `ca-core`/`ca-baselines` DAG builders, which are
-//! tested to produce dependency-respecting schedules.
+//! running graphs built by `ca-core`/`ca-baselines` DAG builders. That
+//! contract is machine-checked: `ca-sched`'s static verifier proves every
+//! conflicting block pair is ordered by a happens-before path, and checked
+//! execution mode (a [`crate::shadow::ShadowRegistry`] attached via
+//! [`SharedMatrix::with_shadow`]) audits the actual element ranges at run
+//! time.
 
 use crate::matrix::Matrix;
+use crate::shadow::ShadowRegistry;
 use crate::view::{MatView, MatViewMut};
 use core::cell::UnsafeCell;
+use std::sync::Arc;
 
 /// A matrix owned by a task-parallel computation.
 ///
 /// Construct with [`SharedMatrix::new`], run the task graph, then reclaim the
-/// result with [`SharedMatrix::into_inner`].
+/// result with [`SharedMatrix::into_inner`]. Checked execution mode attaches
+/// a [`ShadowRegistry`] with [`SharedMatrix::with_shadow`], which makes every
+/// block accessor record its element range for race/footprint checking.
 pub struct SharedMatrix {
     cell: UnsafeCell<Matrix>,
     rows: usize,
     cols: usize,
+    shadow: Option<Arc<ShadowRegistry>>,
 }
 
 // SAFETY: concurrent access is only possible through the `unsafe` block
@@ -38,7 +47,20 @@ impl SharedMatrix {
     pub fn new(m: Matrix) -> Self {
         let rows = m.nrows();
         let cols = m.ncols();
-        Self { cell: UnsafeCell::new(m), rows, cols }
+        Self { cell: UnsafeCell::new(m), rows, cols, shadow: None }
+    }
+
+    /// Wraps a matrix for *checked* shared task access: every block accessor
+    /// reports its element range to `registry` (see [`crate::shadow`]).
+    pub fn with_shadow(m: Matrix, registry: Arc<ShadowRegistry>) -> Self {
+        let mut s = Self::new(m);
+        s.shadow = Some(registry);
+        s
+    }
+
+    /// The attached shadow registry, if running in checked mode.
+    pub fn shadow(&self) -> Option<&Arc<ShadowRegistry>> {
+        self.shadow.as_ref()
     }
 
     /// Number of rows.
@@ -67,9 +89,16 @@ impl SharedMatrix {
     #[inline]
     pub unsafe fn block(&self, i: usize, j: usize, r: usize, c: usize) -> MatView<'_> {
         assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
-        let m = &*self.cell.get();
-        let ptr = m.as_slice().as_ptr().add(i + j * self.rows);
-        MatView::from_raw_parts(ptr, r, c, self.rows)
+        if let Some(reg) = &self.shadow {
+            reg.on_access(false, i..i + r, j..j + c);
+        }
+        // SAFETY: bounds hold per the assert; disjointness from concurrent
+        // writers is the caller's obligation (see function contract).
+        unsafe {
+            let m = &*self.cell.get();
+            let ptr = m.as_slice().as_ptr().add(i + j * self.rows);
+            MatView::from_raw_parts(ptr, r, c, self.rows)
+        }
     }
 
     /// Mutable view of the block at `(i, j)` with shape `r × c`.
@@ -82,10 +111,17 @@ impl SharedMatrix {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn block_mut(&self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'_> {
         assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
-        let m = &mut *self.cell.get();
-        let rows = self.rows;
-        let ptr = m.as_mut_slice().as_mut_ptr().add(i + j * rows);
-        MatViewMut::from_raw_parts(ptr, r, c, rows)
+        if let Some(reg) = &self.shadow {
+            reg.on_access(true, i..i + r, j..j + c);
+        }
+        // SAFETY: bounds hold per the assert; exclusivity is the caller's
+        // obligation (see function contract).
+        unsafe {
+            let m = &mut *self.cell.get();
+            let rows = self.rows;
+            let ptr = m.as_mut_slice().as_mut_ptr().add(i + j * rows);
+            MatViewMut::from_raw_parts(ptr, r, c, rows)
+        }
     }
 
     /// Whole-matrix mutable view.
@@ -95,12 +131,18 @@ impl SharedMatrix {
     /// i.e. the caller must be the only task touching the matrix.
     #[inline]
     #[allow(clippy::mut_from_ref)]
+    // Forwarding wrapper: carries block_mut's own contract verbatim.
+    #[allow(clippy::disallowed_methods)]
     pub unsafe fn whole_mut(&self) -> MatViewMut<'_> {
-        self.block_mut(0, 0, self.rows, self.cols)
+        // SAFETY: the caller's contract is exactly `block_mut`'s over the
+        // whole matrix.
+        unsafe { self.block_mut(0, 0, self.rows, self.cols) }
     }
 }
 
 #[cfg(test)]
+// Tests exercise the raw accessors directly, single-threaded.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

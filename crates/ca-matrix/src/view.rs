@@ -108,7 +108,8 @@ impl<'a> MatView<'a> {
     #[inline]
     pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(i + j * self.ld)
+        // SAFETY: in bounds per the caller's contract.
+        unsafe { *self.ptr.add(i + j * self.ld) }
     }
 
     /// Column `j` as a contiguous slice.
@@ -244,7 +245,8 @@ impl<'a> MatViewMut<'a> {
     #[inline]
     pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(i + j * self.ld)
+        // SAFETY: in bounds per the caller's contract.
+        unsafe { *self.ptr.add(i + j * self.ld) }
     }
 
     /// Writes element `(i, j)` without bounds checking.
@@ -254,7 +256,8 @@ impl<'a> MatViewMut<'a> {
     #[inline]
     pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(i + j * self.ld) = v;
+        // SAFETY: in bounds per the caller's contract.
+        unsafe { *self.ptr.add(i + j * self.ld) = v };
     }
 
     /// Column `j` as a contiguous immutable slice.

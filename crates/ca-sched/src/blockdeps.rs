@@ -5,28 +5,43 @@
 //! (read-after-write, write-after-write, and write-after-read), which is how
 //! the paper's "task dependency graph constructed on the fly" is realized.
 
+use crate::footprint::AccessMap;
 use crate::graph::TaskGraph;
 use crate::task::TaskId;
 use std::collections::HashSet;
 
 /// Per-block last-writer / readers-since-write bookkeeping over an `mb × nb`
 /// block grid.
+///
+/// Besides inferring edges, the tracker retains every declared region in an
+/// [`AccessMap`] so the graph can later be verified ([`crate::verify_graph`])
+/// or executed in checked mode.
 pub struct BlockTracker {
     mb: usize,
     nb: usize,
     last_writer: Vec<Option<TaskId>>,
     readers: Vec<Vec<TaskId>>,
+    access: AccessMap,
 }
 
 impl BlockTracker {
     /// A tracker over an `mb × nb` block grid with no accesses recorded yet.
     pub fn new(mb: usize, nb: usize) -> Self {
-        Self { mb, nb, last_writer: vec![None; mb * nb], readers: vec![Vec::new(); mb * nb] }
+        Self {
+            mb,
+            nb,
+            last_writer: vec![None; mb * nb],
+            readers: vec![Vec::new(); mb * nb],
+            access: AccessMap::new(mb, nb),
+        }
     }
 
     #[inline]
     fn idx(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < self.mb && j < self.nb, "block ({i},{j}) outside {}x{} grid", self.mb, self.nb);
+        // Hard check even in release builds: an out-of-grid declaration means
+        // the builder's footprint arithmetic is wrong, and silently indexing
+        // a neighbouring block would corrupt the dependency structure.
+        assert!(i < self.mb && j < self.nb, "block ({i},{j}) outside {}x{} grid", self.mb, self.nb);
         i + j * self.mb
     }
 
@@ -39,6 +54,7 @@ impl BlockTracker {
         rows: core::ops::Range<usize>,
         cols: core::ops::Range<usize>,
     ) {
+        self.access.record_read(task, rows.clone(), cols.clone());
         let mut deps = HashSet::new();
         for j in cols {
             for i in rows.clone() {
@@ -48,7 +64,12 @@ impl BlockTracker {
                         deps.insert(w);
                     }
                 }
-                self.readers[x].push(task);
+                // Dedup: a task reading overlapping ranges must appear once,
+                // or later writers would get duplicate WAR scans and the
+                // reader list would grow without bound.
+                if self.readers[x].last() != Some(&task) && !self.readers[x].contains(&task) {
+                    self.readers[x].push(task);
+                }
             }
         }
         add_sorted_deps(g, deps, task);
@@ -63,6 +84,7 @@ impl BlockTracker {
         rows: core::ops::Range<usize>,
         cols: core::ops::Range<usize>,
     ) {
+        self.access.record_write(task, rows.clone(), cols.clone());
         let mut deps = HashSet::new();
         for j in cols {
             for i in rows.clone() {
@@ -82,6 +104,18 @@ impl BlockTracker {
             }
         }
         add_sorted_deps(g, deps, task);
+    }
+
+    /// The declared footprints recorded so far.
+    pub fn access_map(&self) -> &AccessMap {
+        &self.access
+    }
+
+    /// Consumes the tracker, yielding the declared footprints — the form the
+    /// DAG builders hand to [`crate::verify_graph`] and the checked
+    /// executors.
+    pub fn into_access_map(self) -> AccessMap {
+        self.access
     }
 }
 
@@ -170,6 +204,46 @@ mod tests {
         // One edge, not four.
         assert_eq!(g.successors(w).len(), 1);
         assert_eq!(g.pred_count(r), 1);
+    }
+
+    #[test]
+    fn overlapping_reads_do_not_duplicate_reader_ids() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(4, 4);
+        let r = mk(&mut g);
+        // Three overlapping read declarations all covering block (0, 0).
+        t.read(&mut g, r, 0..2, 0..2);
+        t.read(&mut g, r, 0..1, 0..1);
+        t.read(&mut g, r, 0..2, 0..1);
+        assert_eq!(t.readers[0], vec![r], "reader list must stay deduplicated");
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..1, 0..1);
+        assert_eq!(g.pred_count(w), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_declaration_panics_in_release_too() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 2);
+        let a = mk(&mut g);
+        t.write(&mut g, a, 0..3, 0..1);
+    }
+
+    #[test]
+    fn tracker_retains_declared_footprints() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(4, 4);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..2, 0..1);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 1..2, 0..1);
+        let access = t.into_access_map();
+        assert_eq!(access.grid(), (4, 4));
+        assert_eq!(access.writes(w).len(), 1);
+        assert_eq!(access.writes(w)[0].rows, 0..2);
+        assert_eq!(access.reads(r).len(), 1);
+        assert!(access.writes(r).is_empty());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Checked execution mode: every executor, wrapped by the race detector.
+//!
+//! A checked run composes three layers:
+//!
+//! 1. [`crate::verify_graph`] statically proves the graph + declared
+//!    footprints sound before anything executes;
+//! 2. [`build_shadow_registry`] converts the block-level [`AccessMap`] into
+//!    element-level [`TaskFootprint`]s and attaches them to a
+//!    [`ShadowRegistry`];
+//! 3. the `*_checked` executors run each job inside a
+//!    [`ShadowRegistry::enter_task`] scope, so every `SharedMatrix` block
+//!    accessor audits its element range against the task's declaration and
+//!    against every concurrently live lease.
+//!
+//! The discrete-event simulator never touches matrix data, so its checked
+//! twin ([`try_simulate_checked`]) is the static verification plus the
+//! ordinary simulation.
+
+use crate::fault::{ExecError, FaultPlan};
+use crate::footprint::AccessMap;
+use crate::graph::TaskGraph;
+use crate::pool::{ExecStats, Job};
+use crate::task::{TaskId, TaskMeta};
+use crate::trace::Timeline;
+use crate::verify::SoundnessError;
+use ca_matrix::{ShadowRegistry, ShadowViolation, TaskFootprint};
+use ca_matrix::ElemRect;
+use std::sync::Arc;
+
+/// Failure of a checked run: either the run itself failed (panic/injected
+/// fault) or the race detector found a soundness violation.
+#[derive(Debug)]
+pub enum CheckedError {
+    /// The underlying execution failed.
+    Exec(ExecError),
+    /// The shadow registry (or the static verifier) found a violation.
+    Soundness(SoundnessError),
+}
+
+impl core::fmt::Display for CheckedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Exec(e) => write!(f, "{e}"),
+            Self::Soundness(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckedError {}
+
+/// Converts the block-level declarations of `access` (on a `b`-sized block
+/// grid over an `m × n` matrix) into an element-level shadow registry for
+/// `graph`'s tasks. Block regions are clamped to the matrix, and regions
+/// that fall entirely outside (virtual bookkeeping columns some builders
+/// use) contribute no element rectangle.
+pub fn build_shadow_registry<T>(
+    graph: &TaskGraph<T>,
+    access: &AccessMap,
+    b: usize,
+    m: usize,
+    n: usize,
+) -> Arc<ShadowRegistry> {
+    let ntasks = graph.len();
+    let to_rects = |regions: &[crate::footprint::BlockRegion]| -> Vec<ElemRect> {
+        regions
+            .iter()
+            .filter_map(|reg| {
+                let rect = ElemRect::new(
+                    (reg.rows.start * b).min(m)..(reg.rows.end * b).min(m),
+                    (reg.cols.start * b).min(n)..(reg.cols.end * b).min(n),
+                );
+                (!rect.is_empty()).then_some(rect)
+            })
+            .collect()
+    };
+    let mut footprints = Vec::with_capacity(ntasks);
+    let mut labels = Vec::with_capacity(ntasks);
+    for t in 0..ntasks {
+        footprints.push(TaskFootprint { reads: to_rects(access.reads(t)), writes: to_rects(access.writes(t)) });
+        labels.push(graph.meta(t).label.to_string());
+    }
+    Arc::new(ShadowRegistry::new(footprints, labels))
+}
+
+/// Wraps each job so it runs inside a shadow task scope.
+fn instrument<'s>(graph: TaskGraph<Job<'s>>, registry: &Arc<ShadowRegistry>) -> TaskGraph<Job<'s>> {
+    graph.map(|id, job| {
+        let reg = Arc::clone(registry);
+        Box::new(move || {
+            let _scope = reg.enter_task(id);
+            job()
+        }) as Job<'s>
+    })
+}
+
+/// Maps the first recorded shadow violation (if any) to a soundness error.
+fn first_violation(registry: &ShadowRegistry) -> Option<SoundnessError> {
+    registry.take_violations().into_iter().next().map(|v| match v {
+        ShadowViolation::Undeclared { label, write, rect, .. } => SoundnessError::UndeclaredAccess {
+            task: label,
+            write,
+            rows: (rect.row0, rect.row1),
+            cols: (rect.col0, rect.col1),
+        },
+        ShadowViolation::Overlap { first_label, second_label, rect, .. } => SoundnessError::Race {
+            first: first_label,
+            second: second_label,
+            rows: (rect.row0, rect.row1),
+            cols: (rect.col0, rect.col1),
+        },
+    })
+}
+
+/// [`crate::try_run_graph`] under the dynamic race detector. The
+/// `SharedMatrix` the jobs touch must have been built with
+/// `SharedMatrix::with_shadow(_, registry)` so its accessors report here.
+pub fn try_run_graph_checked<'s>(
+    graph: TaskGraph<Job<'s>>,
+    nthreads: usize,
+    registry: &Arc<ShadowRegistry>,
+) -> Result<ExecStats, CheckedError> {
+    let stats =
+        crate::pool::try_run_graph(instrument(graph, registry), nthreads).map_err(CheckedError::Exec)?;
+    match first_violation(registry) {
+        None => Ok(stats),
+        Some(v) => Err(CheckedError::Soundness(v)),
+    }
+}
+
+/// Panicking variant of [`try_run_graph_checked`].
+pub fn run_graph_checked<'s>(
+    graph: TaskGraph<Job<'s>>,
+    nthreads: usize,
+    registry: &Arc<ShadowRegistry>,
+) -> ExecStats {
+    match try_run_graph_checked(graph, nthreads, registry) {
+        Ok(stats) => stats,
+        Err(e) => panic!("checked execution failed: {e}"),
+    }
+}
+
+/// [`crate::try_run_graph_stealing`] under the dynamic race detector.
+pub fn try_run_graph_stealing_checked<'s>(
+    graph: TaskGraph<Job<'s>>,
+    nthreads: usize,
+    registry: &Arc<ShadowRegistry>,
+) -> Result<ExecStats, CheckedError> {
+    let stats = crate::pool_ws::try_run_graph_stealing(instrument(graph, registry), nthreads)
+        .map_err(CheckedError::Exec)?;
+    match first_violation(registry) {
+        None => Ok(stats),
+        Some(v) => Err(CheckedError::Soundness(v)),
+    }
+}
+
+/// Checked twin of [`crate::try_simulate`]: the simulator executes no matrix
+/// code, so "checked" means the static verifier must accept the graph +
+/// footprints before the timeline is computed.
+pub fn try_simulate_checked<T>(
+    graph: &TaskGraph<T>,
+    access: &AccessMap,
+    nworkers: usize,
+    cost: impl FnMut(TaskId, &TaskMeta) -> f64,
+) -> Result<Timeline, CheckedError> {
+    crate::verify::verify_graph(graph, access).map_err(CheckedError::Soundness)?;
+    crate::sim::try_simulate(graph, nworkers, cost, &FaultPlan::new()).map_err(CheckedError::Exec)
+}
+
+#[cfg(test)]
+// Tests drive raw block accesses on purpose (including deliberately bad
+// ones) to prove the shadow registry catches them.
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use crate::blockdeps::BlockTracker;
+    use crate::pool::job;
+    use crate::task::{TaskKind, TaskLabel};
+    use ca_matrix::{Matrix, SharedMatrix};
+    use std::sync::Barrier;
+
+    fn meta(kind: TaskKind, step: usize, i: usize) -> TaskMeta {
+        TaskMeta::new(TaskLabel::new(kind, step, i, 0), 1.0)
+    }
+
+    #[test]
+    fn clean_graph_executes_without_violations() {
+        // Two writers of disjoint blocks, then a reader of both.
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 1);
+        let w0 = g.add_task(meta(TaskKind::Panel, 0, 0), ());
+        t.write(&mut g, w0, 0..1, 0..1);
+        let w1 = g.add_task(meta(TaskKind::Panel, 0, 1), ());
+        t.write(&mut g, w1, 1..2, 0..1);
+        let r = g.add_task(meta(TaskKind::Update, 0, 0), ());
+        t.read(&mut g, r, 0..2, 0..1);
+        let access = t.into_access_map();
+
+        let b = 4;
+        let reg = build_shadow_registry(&g, &access, b, 8, 4);
+        let shared = SharedMatrix::with_shadow(Matrix::zeros(8, 4), Arc::clone(&reg));
+        let a = &shared;
+        let jobs = g.map_ref(|id, _| match id {
+            0 => job(move || unsafe { a.block_mut(0, 0, 4, 4).fill(1.0) }),
+            1 => job(move || unsafe { a.block_mut(4, 0, 4, 4).fill(2.0) }),
+            _ => job(move || {
+                let v = unsafe { a.block(0, 0, 8, 4) };
+                assert_eq!(v.at(0, 0) + v.at(4, 0), 3.0);
+            }),
+        });
+        let stats = try_run_graph_checked(jobs, 2, &reg).expect("sound run");
+        assert_eq!(stats.tasks, 3);
+        assert!(reg.accesses() >= 3);
+    }
+
+    #[test]
+    fn out_of_footprint_write_is_reported_with_label() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 1);
+        let w = g.add_task(meta(TaskKind::Panel, 0, 0), ());
+        t.write(&mut g, w, 0..1, 0..1); // declares rows 0..4 only
+        let access = t.into_access_map();
+
+        let reg = build_shadow_registry(&g, &access, 4, 8, 4);
+        let shared = SharedMatrix::with_shadow(Matrix::zeros(8, 4), Arc::clone(&reg));
+        let a = &shared;
+        let jobs = g.map_ref(|_, _| {
+            job(move || unsafe { a.block_mut(4, 0, 4, 4).fill(9.0) }) // writes rows 4..8
+        });
+        match try_run_graph_checked(jobs, 1, &reg) {
+            Err(CheckedError::Soundness(SoundnessError::UndeclaredAccess {
+                task, write, rows, ..
+            })) => {
+                assert_eq!(task, TaskLabel::new(TaskKind::Panel, 0, 0, 0).to_string());
+                assert!(write);
+                assert_eq!(rows, (4, 8));
+            }
+            other => panic!("expected UndeclaredAccess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_overlapping_writes_are_reported_as_race() {
+        // Two root tasks, no ordering edge, both declaring + performing a
+        // write of block (0,0). A barrier forces their leases to be live
+        // simultaneously so the detection is deterministic.
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let a_id = g.add_task(meta(TaskKind::Panel, 0, 0), ());
+        let b_id = g.add_task(meta(TaskKind::Panel, 0, 1), ());
+        let mut access = AccessMap::new(1, 1);
+        access.record_write(a_id, 0..1, 0..1);
+        access.record_write(b_id, 0..1, 0..1);
+
+        let reg = build_shadow_registry(&g, &access, 4, 4, 4);
+        let shared = SharedMatrix::with_shadow(Matrix::zeros(4, 4), Arc::clone(&reg));
+        let a = &shared;
+        let barrier = Barrier::new(2);
+        let bref = &barrier;
+        let jobs = g.map_ref(|_, _| {
+            job(move || {
+                bref.wait(); // both tasks running
+                let mut v = unsafe { a.block_mut(0, 0, 4, 4) };
+                bref.wait(); // both leases taken before either releases
+                v.fill(1.0);
+            })
+        });
+        match try_run_graph_checked(jobs, 2, &reg) {
+            Err(CheckedError::Soundness(SoundnessError::Race { first, second, .. })) => {
+                let labels = [first, second];
+                assert!(labels.contains(&"P[0,0,0]".to_string()), "labels: {labels:?}");
+                assert!(labels.contains(&"P[0,1,0]".to_string()), "labels: {labels:?}");
+            }
+            other => panic!("expected Race, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_checked_rejects_unordered_graph() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let a = g.add_task(meta(TaskKind::Panel, 0, 0), ());
+        let b = g.add_task(meta(TaskKind::Panel, 0, 1), ());
+        let mut access = AccessMap::new(1, 1);
+        access.record_write(a, 0..1, 0..1);
+        access.record_write(b, 0..1, 0..1);
+        match try_simulate_checked(&g, &access, 2, |_, m| m.flops) {
+            Err(CheckedError::Soundness(SoundnessError::UnorderedConflict { .. })) => {}
+            other => panic!("expected UnorderedConflict, got {other:?}"),
+        }
+        // With the ordering edge the same graph simulates fine.
+        g.add_dep(a, b);
+        try_simulate_checked(&g, &access, 2, |_, m| m.flops).expect("ordered graph simulates");
+    }
+}

@@ -1,0 +1,136 @@
+//! First-class task access footprints.
+//!
+//! The DAG builders declare each task's block reads/writes to
+//! [`crate::BlockTracker`] to infer dependency edges. Historically those
+//! declarations were consumed for edges and thrown away; an [`AccessMap`]
+//! retains them, so the static verifier ([`crate::verify_graph`]) can prove
+//! that every conflicting pair of tasks is ordered, and checked execution
+//! mode can audit runtime accesses against the declarations.
+
+use crate::task::TaskId;
+use core::ops::Range;
+
+/// A rectangular region of the block grid: blocks `(i, j)` for `i` in
+/// `rows`, `j` in `cols`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockRegion {
+    /// Block-row range (half-open).
+    pub rows: Range<usize>,
+    /// Block-column range (half-open).
+    pub cols: Range<usize>,
+}
+
+impl BlockRegion {
+    /// `true` if the region contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() || self.cols.is_empty()
+    }
+}
+
+impl core::fmt::Display for BlockRegion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "blocks ({}..{}, {}..{})",
+            self.rows.start, self.rows.end, self.cols.start, self.cols.end
+        )
+    }
+}
+
+/// Per-task declared block read/write regions over an `mb × nb` block grid.
+///
+/// Built as a side effect of [`crate::BlockTracker::read`] /
+/// [`crate::BlockTracker::write`]; retrieve it with
+/// [`crate::BlockTracker::into_access_map`] and hand it (together with the
+/// graph) to [`crate::verify_graph`] or to the checked executors.
+#[derive(Clone, Debug, Default)]
+pub struct AccessMap {
+    mb: usize,
+    nb: usize,
+    reads: Vec<Vec<BlockRegion>>,
+    writes: Vec<Vec<BlockRegion>>,
+}
+
+impl AccessMap {
+    /// An empty map over an `mb × nb` block grid.
+    pub fn new(mb: usize, nb: usize) -> Self {
+        Self { mb, nb, reads: Vec::new(), writes: Vec::new() }
+    }
+
+    /// Block-grid dimensions `(mb, nb)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.mb, self.nb)
+    }
+
+    /// One past the highest task id with any recorded region.
+    pub fn tasks(&self) -> usize {
+        self.reads.len().max(self.writes.len())
+    }
+
+    /// Total number of recorded regions (reads + writes).
+    pub fn region_count(&self) -> usize {
+        self.reads.iter().chain(self.writes.iter()).map(Vec::len).sum()
+    }
+
+    fn slot(vec: &mut Vec<Vec<BlockRegion>>, task: TaskId) -> &mut Vec<BlockRegion> {
+        if task >= vec.len() {
+            vec.resize_with(task + 1, Vec::new);
+        }
+        &mut vec[task]
+    }
+
+    /// Records that `task` reads the block region `rows × cols`.
+    pub fn record_read(&mut self, task: TaskId, rows: Range<usize>, cols: Range<usize>) {
+        let region = BlockRegion { rows, cols };
+        if !region.is_empty() {
+            Self::slot(&mut self.reads, task).push(region);
+        }
+    }
+
+    /// Records that `task` writes the block region `rows × cols`.
+    pub fn record_write(&mut self, task: TaskId, rows: Range<usize>, cols: Range<usize>) {
+        let region = BlockRegion { rows, cols };
+        if !region.is_empty() {
+            Self::slot(&mut self.writes, task).push(region);
+        }
+    }
+
+    /// Declared read regions of `task` (empty for tasks that touch no
+    /// blocks, e.g. reduction-tree nodes passing data through side storage).
+    pub fn reads(&self, task: TaskId) -> &[BlockRegion] {
+        self.reads.get(task).map_or(&[], Vec::as_slice)
+    }
+
+    /// Declared write regions of `task`.
+    pub fn writes(&self, task: TaskId) -> &[BlockRegion] {
+        self.writes.get(task).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_regions() {
+        let mut m = AccessMap::new(4, 4);
+        m.record_read(0, 0..2, 0..1);
+        m.record_write(0, 2..4, 0..1);
+        m.record_write(2, 0..1, 1..2);
+        assert_eq!(m.tasks(), 3);
+        assert_eq!(m.region_count(), 3);
+        assert_eq!(m.reads(0), &[BlockRegion { rows: 0..2, cols: 0..1 }]);
+        assert_eq!(m.writes(0), &[BlockRegion { rows: 2..4, cols: 0..1 }]);
+        assert!(m.reads(1).is_empty());
+        assert!(m.writes(1).is_empty());
+        assert!(m.reads(7).is_empty(), "out-of-range task has empty footprint");
+    }
+
+    #[test]
+    fn empty_regions_are_dropped() {
+        let mut m = AccessMap::new(4, 4);
+        m.record_read(0, 2..2, 0..4);
+        m.record_write(0, 0..4, 1..1);
+        assert_eq!(m.region_count(), 0);
+    }
+}

@@ -76,6 +76,22 @@ impl<T> TaskGraph<T> {
         }
     }
 
+    /// Removes the edge `before → after` if present; returns whether it
+    /// existed. Used by soundness tests to seed ordering violations for
+    /// [`crate::verify_graph`] to catch.
+    pub fn remove_dep(&mut self, before: TaskId, after: TaskId) -> bool {
+        let Some(pos) = self
+            .succs
+            .get(before)
+            .and_then(|s| s.iter().position(|&x| x == after))
+        else {
+            return false;
+        };
+        self.succs[before].remove(pos);
+        self.npreds[after] -= 1;
+        true
+    }
+
     /// Metadata of task `id`.
     pub fn meta(&self, id: TaskId) -> &TaskMeta {
         &self.metas[id]

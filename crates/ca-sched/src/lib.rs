@@ -39,10 +39,23 @@
 //! lookahead-effectiveness metric; [`Profile::chrome_trace`] emits a Chrome
 //! trace with DAG flow events and counter tracks.
 
+//! ## Verification
+//!
+//! The builders' block declarations are retained in an [`AccessMap`]
+//! ([`BlockTracker::into_access_map`]); [`verify_graph`] statically proves
+//! every conflicting block pair is ordered by a happens-before path, and
+//! the `*_checked` executors ([`try_run_graph_checked`],
+//! [`try_run_graph_stealing_checked`], [`try_simulate_checked`]) audit the
+//! actual element accesses at run time through a
+//! [`ca_matrix::ShadowRegistry`].
+
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod blockdeps;
+mod checked;
 mod fault;
+mod footprint;
 mod graph;
 mod pool;
 mod pool_ws;
@@ -50,8 +63,17 @@ mod profile;
 mod sim;
 mod task;
 mod trace;
+mod verify;
 
 pub use blockdeps::{row_blocks, BlockTracker};
+pub use checked::{
+    build_shadow_registry, run_graph_checked, try_run_graph_checked,
+    try_run_graph_stealing_checked, try_simulate_checked, CheckedError,
+};
+pub use footprint::{AccessMap, BlockRegion};
+pub use verify::{
+    verify_graph, ConflictKind, SoundnessError, VerifyReport, CLOSURE_TASK_LIMIT,
+};
 pub use fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 pub use graph::TaskGraph;
 pub use pool::{

@@ -1,0 +1,608 @@
+//! Static DAG soundness verifier.
+//!
+//! [`verify_graph`] proves — before a single task runs — that a task graph
+//! plus its declared block footprints ([`AccessMap`]) is safe to execute on
+//! a `SharedMatrix`: every pair of tasks whose declared regions conflict
+//! (W–W, R–W, or W–R on an overlapping block) must be ordered by a
+//! happens-before path in the DAG. It also re-checks structural invariants
+//! (forward-only edges, consistent predecessor counts, every task
+//! releasable) without trusting the builder, and lints the §III scheduling
+//! rule that panel tasks of step `K+1` outrank the trailing updates of step
+//! `K` (lookahead of 1).
+//!
+//! Happens-before is decided with a bitset transitive closure computed in
+//! reverse topological order (`reach[t] = ∪ reach[s] ∪ {s}` over successors
+//! `s`), `O(E · V/64)` time and `V²/8` bytes; graphs beyond
+//! [`CLOSURE_TASK_LIMIT`] tasks fall back to a per-pair pruned DFS.
+
+use crate::footprint::{AccessMap, BlockRegion};
+use crate::graph::TaskGraph;
+use crate::task::{TaskId, TaskKind, TaskLabel};
+use std::collections::{HashMap, HashSet};
+
+/// Above this many tasks the verifier switches from the quadratic-memory
+/// transitive closure to per-pair DFS reachability.
+pub const CLOSURE_TASK_LIMIT: usize = 1 << 14;
+
+/// How two tasks' declared accesses of one block conflict. The first mode
+/// belongs to the earlier task (lower id), the second to the later one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Both tasks write the block.
+    WriteWrite,
+    /// The earlier task reads, the later writes (anti-dependence).
+    ReadWrite,
+    /// The earlier task writes, the later reads (true dependence).
+    WriteRead,
+}
+
+impl core::fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::WriteWrite => "W-W",
+            Self::ReadWrite => "R-W",
+            Self::WriteRead => "W-R",
+        })
+    }
+}
+
+/// A soundness violation found by [`verify_graph`] or by checked execution
+/// mode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SoundnessError {
+    /// An edge points backwards (or to itself) in topological insertion
+    /// order — the graph could cycle.
+    BackEdge {
+        /// Source of the offending edge.
+        from: TaskId,
+        /// Target of the offending edge.
+        to: TaskId,
+    },
+    /// A task's stored predecessor count disagrees with the edges — an
+    /// executor would release it too early or never.
+    InconsistentPreds {
+        /// The task with the bad count.
+        task: TaskId,
+        /// Count stored in the graph.
+        declared: usize,
+        /// Count implied by the edges.
+        counted: usize,
+    },
+    /// A task can never become ready (dangling: unreachable from the roots
+    /// by dependency release).
+    Unreleasable {
+        /// The dangling task.
+        task: TaskId,
+        /// Its label.
+        label: TaskLabel,
+    },
+    /// The access map mentions a task id the graph does not contain.
+    UnknownTask {
+        /// The unknown id.
+        task: TaskId,
+        /// Number of tasks in the graph.
+        tasks: usize,
+    },
+    /// A declared region lies outside the block grid.
+    RegionOutOfGrid {
+        /// The declaring task.
+        task: TaskId,
+        /// Its label.
+        label: TaskLabel,
+        /// The offending region.
+        region: BlockRegion,
+        /// Grid rows.
+        mb: usize,
+        /// Grid columns.
+        nb: usize,
+    },
+    /// Two tasks conflict on a block but no happens-before path orders them
+    /// — executing the graph could race.
+    UnorderedConflict {
+        /// Earlier task (lower id).
+        first: TaskId,
+        /// Its label.
+        first_label: TaskLabel,
+        /// Later task (higher id).
+        second: TaskId,
+        /// Its label.
+        second_label: TaskLabel,
+        /// How the accesses conflict.
+        kind: ConflictKind,
+        /// The contested block `(i, j)`.
+        block: (usize, usize),
+    },
+    /// Checked execution observed two concurrently live leases overlapping
+    /// (at least one a write). Labels are rendered strings because the
+    /// violation comes from the matrix-level shadow registry.
+    Race {
+        /// Label of the task holding the earlier lease.
+        first: String,
+        /// Label of the task that took the overlapping lease.
+        second: String,
+        /// Overlapping element rows `(start, end)`.
+        rows: (usize, usize),
+        /// Overlapping element columns `(start, end)`.
+        cols: (usize, usize),
+    },
+    /// Checked execution observed a task touching elements outside its
+    /// declared footprint.
+    UndeclaredAccess {
+        /// Label of the offending task.
+        task: String,
+        /// `true` for a mutable access.
+        write: bool,
+        /// Accessed element rows `(start, end)`.
+        rows: (usize, usize),
+        /// Accessed element columns `(start, end)`.
+        cols: (usize, usize),
+    },
+}
+
+impl core::fmt::Display for SoundnessError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BackEdge { from, to } => {
+                write!(f, "edge {from} -> {to} violates topological order (possible cycle)")
+            }
+            Self::InconsistentPreds { task, declared, counted } => write!(
+                f,
+                "task {task} declares {declared} predecessors but edges imply {counted}"
+            ),
+            Self::Unreleasable { task, label } => {
+                write!(f, "task {task} ({label}) can never become ready")
+            }
+            Self::UnknownTask { task, tasks } => {
+                write!(f, "access map names task {task} but the graph has only {tasks} tasks")
+            }
+            Self::RegionOutOfGrid { task, label, region, mb, nb } => {
+                write!(f, "task {task} ({label}) declares {region} outside the {mb}x{nb} grid")
+            }
+            Self::UnorderedConflict { first, first_label, second, second_label, kind, block } => {
+                write!(
+                    f,
+                    "{kind} conflict on block ({}, {}) between task {first} ({first_label}) and \
+                     task {second} ({second_label}) with no happens-before path",
+                    block.0, block.1
+                )
+            }
+            Self::Race { first, second, rows, cols } => write!(
+                f,
+                "race: tasks {first} and {second} held overlapping leases on elements \
+                 rows {}..{} × cols {}..{}",
+                rows.0, rows.1, cols.0, cols.1
+            ),
+            Self::UndeclaredAccess { task, write, rows, cols } => write!(
+                f,
+                "task {task} {} elements rows {}..{} × cols {}..{} outside its declared footprint",
+                if *write { "wrote" } else { "read" },
+                rows.0,
+                rows.1,
+                cols.0,
+                cols.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SoundnessError {}
+
+/// Statistics from a successful [`verify_graph`] run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Tasks in the graph.
+    pub tasks: usize,
+    /// Dependency edges.
+    pub edges: usize,
+    /// Declared read/write regions.
+    pub declared_regions: usize,
+    /// Distinct blocks with at least one declared access.
+    pub blocks_touched: usize,
+    /// Conflicting task pairs proven ordered.
+    pub conflict_pairs: usize,
+    /// Lookahead-lint findings (§III priority rule). Informational:
+    /// the tiled baselines intentionally schedule without lookahead.
+    pub lookahead_warnings: Vec<String>,
+}
+
+impl core::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "verified {} tasks, {} edges: {} conflicting pair(s) ordered across {} declared \
+             region(s) on {} block(s)",
+            self.tasks, self.edges, self.conflict_pairs, self.declared_regions, self.blocks_touched
+        )?;
+        for w in &self.lookahead_warnings {
+            writeln!(f, "warning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies that `graph` with declared footprints `access` is sound to
+/// execute on a shared matrix: structurally valid, every task releasable,
+/// and every conflicting block access ordered by a happens-before path.
+pub fn verify_graph<T>(
+    graph: &TaskGraph<T>,
+    access: &AccessMap,
+) -> Result<VerifyReport, SoundnessError> {
+    let n = graph.len();
+
+    // Structure: forward-only edges, consistent predecessor counts. Checked
+    // from scratch — the verifier must not trust builder discipline.
+    let mut counted = vec![0usize; n];
+    let mut edges = 0usize;
+    for id in 0..n {
+        for &s in graph.successors(id) {
+            if s >= n {
+                return Err(SoundnessError::UnknownTask { task: s, tasks: n });
+            }
+            if s <= id {
+                return Err(SoundnessError::BackEdge { from: id, to: s });
+            }
+            counted[s] += 1;
+            edges += 1;
+        }
+    }
+    for (id, &c) in counted.iter().enumerate() {
+        if c != graph.pred_count(id) {
+            return Err(SoundnessError::InconsistentPreds {
+                task: id,
+                declared: graph.pred_count(id),
+                counted: c,
+            });
+        }
+    }
+
+    // Completeness: dependency release (Kahn) must reach every task.
+    let mut indeg = counted;
+    let mut stack: Vec<TaskId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut released = 0usize;
+    while let Some(id) = stack.pop() {
+        released += 1;
+        for &s in graph.successors(id) {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                stack.push(s);
+            }
+        }
+    }
+    if released < n {
+        let task = (0..n).find(|&i| indeg[i] > 0).expect("some task unreleased");
+        return Err(SoundnessError::Unreleasable { task, label: graph.meta(task).label });
+    }
+
+    // Footprint sanity: known tasks, regions inside the grid.
+    let (mb, nb) = access.grid();
+    for t in 0..access.tasks() {
+        if t >= n {
+            if !access.reads(t).is_empty() || !access.writes(t).is_empty() {
+                return Err(SoundnessError::UnknownTask { task: t, tasks: n });
+            }
+            continue;
+        }
+        for region in access.reads(t).iter().chain(access.writes(t)) {
+            if region.rows.end > mb || region.cols.end > nb {
+                return Err(SoundnessError::RegionOutOfGrid {
+                    task: t,
+                    label: graph.meta(t).label,
+                    region: region.clone(),
+                    mb,
+                    nb,
+                });
+            }
+        }
+    }
+
+    // Per-block access lists: who touches block (i, j), and how.
+    let ntasks = access.tasks().min(n);
+    let mut per_block: Vec<Vec<(TaskId, bool)>> = vec![Vec::new(); mb * nb];
+    for t in 0..ntasks {
+        for (regions, write) in [(access.reads(t), false), (access.writes(t), true)] {
+            for region in regions {
+                for j in region.cols.clone() {
+                    for i in region.rows.clone() {
+                        per_block[i + j * mb].push((t, write));
+                    }
+                }
+            }
+        }
+    }
+    let blocks_touched = per_block.iter().filter(|l| !l.is_empty()).count();
+
+    // Happens-before: bitset transitive closure in reverse topological
+    // order. reach[id] holds a bit per task reachable from id.
+    let words = n.div_ceil(64);
+    let use_closure = n <= CLOSURE_TASK_LIMIT;
+    let mut reach: Vec<u64> = if use_closure { vec![0u64; n * words] } else { Vec::new() };
+    if use_closure {
+        for id in (0..n).rev() {
+            let (head, tail) = reach.split_at_mut((id + 1) * words);
+            let row = &mut head[id * words..];
+            for &s in graph.successors(id) {
+                row[s / 64] |= 1u64 << (s % 64);
+                let srow = &tail[(s - id - 1) * words..(s - id) * words];
+                for (d, &w) in row.iter_mut().zip(srow) {
+                    *d |= w;
+                }
+            }
+        }
+    }
+    let ordered = |a: TaskId, b: TaskId| -> bool {
+        debug_assert!(a < b);
+        if use_closure {
+            reach[a * words + b / 64] & (1u64 << (b % 64)) != 0
+        } else {
+            dfs_reaches(graph, a, b)
+        }
+    };
+
+    // Every conflicting pair must be ordered.
+    let mut seen_pairs: HashSet<(TaskId, TaskId)> = HashSet::new();
+    for (bidx, list) in per_block.iter().enumerate() {
+        for x in 0..list.len() {
+            for y in x + 1..list.len() {
+                let (t1, w1) = list[x];
+                let (t2, w2) = list[y];
+                if t1 == t2 || (!w1 && !w2) {
+                    continue;
+                }
+                let (a, wa, b, wb) = if t1 < t2 { (t1, w1, t2, w2) } else { (t2, w2, t1, w1) };
+                if !seen_pairs.insert((a, b)) {
+                    continue;
+                }
+                if !ordered(a, b) {
+                    let kind = match (wa, wb) {
+                        (true, true) => ConflictKind::WriteWrite,
+                        (false, true) => ConflictKind::ReadWrite,
+                        (true, false) => ConflictKind::WriteRead,
+                        (false, false) => unreachable!("read-read pairs are skipped"),
+                    };
+                    return Err(SoundnessError::UnorderedConflict {
+                        first: a,
+                        first_label: graph.meta(a).label,
+                        second: b,
+                        second_label: graph.meta(b).label,
+                        kind,
+                        block: (bidx % mb, bidx / mb),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(VerifyReport {
+        tasks: n,
+        edges,
+        declared_regions: access.region_count(),
+        blocks_touched,
+        conflict_pairs: seen_pairs.len(),
+        lookahead_warnings: lookahead_lint(graph),
+    })
+}
+
+/// Pruned DFS reachability `a → b` (only ids in `(a, b]` can be on a path,
+/// because edges go forward in id order).
+fn dfs_reaches<T>(graph: &TaskGraph<T>, a: TaskId, b: TaskId) -> bool {
+    let mut visited = HashSet::new();
+    let mut stack = vec![a];
+    while let Some(id) = stack.pop() {
+        for &s in graph.successors(id) {
+            if s == b {
+                return true;
+            }
+            if s < b && visited.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// Lints the paper's §III lookahead rule: the panel tasks of step `K+1`
+/// should outrank the *trailing* (non-lookahead, block column ≠ `K+1`)
+/// updates of step `K`, so panels start as soon as their column is ready.
+fn lookahead_lint<T>(graph: &TaskGraph<T>) -> Vec<String> {
+    let mut min_panel: HashMap<usize, i64> = HashMap::new();
+    let mut max_trailing: HashMap<usize, i64> = HashMap::new();
+    for id in 0..graph.len() {
+        let m = graph.meta(id);
+        match m.label.kind {
+            TaskKind::Panel => {
+                min_panel
+                    .entry(m.label.step)
+                    .and_modify(|p| *p = (*p).min(m.priority))
+                    .or_insert(m.priority);
+            }
+            TaskKind::Update if m.label.j != m.label.step + 1 => {
+                max_trailing
+                    .entry(m.label.step)
+                    .and_modify(|p| *p = (*p).max(m.priority))
+                    .or_insert(m.priority);
+            }
+            _ => {}
+        }
+    }
+    let mut warnings: Vec<String> = max_trailing
+        .iter()
+        .filter_map(|(&step, &maxu)| {
+            let &minp = min_panel.get(&(step + 1))?;
+            (minp <= maxu).then(|| {
+                format!(
+                    "panel tasks of step {} (min priority {minp}) do not outrank the trailing \
+                     updates of step {step} (max priority {maxu}); lookahead-of-1 is not in effect",
+                    step + 1
+                )
+            })
+        })
+        .collect();
+    warnings.sort();
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdeps::BlockTracker;
+    use crate::task::{TaskMeta, TaskKind};
+
+    fn mk<T>(g: &mut TaskGraph<T>, kind: TaskKind, step: usize, i: usize, payload: T) -> TaskId {
+        g.add_task(TaskMeta::new(TaskLabel::new(kind, step, i, 0), 1.0), payload)
+    }
+
+    /// Write-chain then fan-out reads then barrier write, via the tracker.
+    fn tracked_graph() -> (TaskGraph<()>, AccessMap) {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(4, 4);
+        let w0 = mk(&mut g, TaskKind::Panel, 0, 0, ());
+        t.write(&mut g, w0, 0..4, 0..1);
+        for i in 0..3 {
+            let r = mk(&mut g, TaskKind::Update, 0, i, ());
+            t.read(&mut g, r, 0..4, 0..1);
+            t.write(&mut g, r, i..i + 1, 1..2);
+        }
+        let w1 = mk(&mut g, TaskKind::Panel, 1, 0, ());
+        t.write(&mut g, w1, 0..4, 0..2);
+        (g, t.into_access_map())
+    }
+
+    #[test]
+    fn accepts_tracker_built_graph() {
+        let (g, access) = tracked_graph();
+        let report = verify_graph(&g, &access).expect("tracker-built graph is sound");
+        assert_eq!(report.tasks, 5);
+        assert!(report.conflict_pairs >= 7, "got {}", report.conflict_pairs);
+        assert!(report.blocks_touched >= 5);
+    }
+
+    #[test]
+    fn detects_removed_edge_as_unordered_conflict() {
+        let (mut g, access) = tracked_graph();
+        // Drop the RAW edge panel -> first reader; no other path orders them.
+        assert!(g.remove_dep(0, 1));
+        let err = verify_graph(&g, &access).expect_err("missing edge must be caught");
+        match err {
+            SoundnessError::UnorderedConflict { first, second, first_label, second_label, .. } => {
+                assert_eq!((first, second), (0, 1));
+                assert_eq!(first_label.kind, TaskKind::Panel);
+                assert_eq!(second_label.kind, TaskKind::Update);
+            }
+            other => panic!("expected UnorderedConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_edge_removal_is_accepted() {
+        // w0 -> r -> w1 and w0 -> w1: dropping the direct w0 -> w1 edge keeps
+        // the pair ordered through r.
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 2);
+        let w0 = mk(&mut g, TaskKind::Panel, 0, 0, ());
+        t.write(&mut g, w0, 0..1, 0..1);
+        let r = mk(&mut g, TaskKind::Update, 0, 0, ());
+        t.read(&mut g, r, 0..1, 0..1);
+        let w1 = mk(&mut g, TaskKind::Panel, 1, 0, ());
+        t.write(&mut g, w1, 0..1, 0..1);
+        let access = t.into_access_map();
+        assert!(g.remove_dep(w0, w1), "tracker adds the WAW edge");
+        verify_graph(&g, &access).expect("transitive path w0 -> r -> w1 still orders the pair");
+    }
+
+    #[test]
+    fn detects_back_edge() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        mk(&mut g, TaskKind::Other, 0, 0, ());
+        mk(&mut g, TaskKind::Other, 0, 1, ());
+        // Forge a backward edge behind the API's back.
+        g.succs[1].push(0);
+        g.npreds[0] += 1;
+        assert_eq!(
+            verify_graph(&g, &AccessMap::new(1, 1)),
+            Err(SoundnessError::BackEdge { from: 1, to: 0 })
+        );
+    }
+
+    #[test]
+    fn detects_inconsistent_pred_counts() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        mk(&mut g, TaskKind::Other, 0, 0, ());
+        let b = mk(&mut g, TaskKind::Other, 0, 1, ());
+        g.npreds[b] = 1; // no edge backs this up
+        match verify_graph(&g, &AccessMap::new(1, 1)) {
+            Err(SoundnessError::InconsistentPreds { task, declared, counted }) => {
+                assert_eq!((task, declared, counted), (b, 1, 0));
+            }
+            other => panic!("expected InconsistentPreds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_region_outside_grid() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let a = mk(&mut g, TaskKind::Other, 0, 0, ());
+        let mut access = AccessMap::new(2, 2);
+        access.record_write(a, 0..3, 0..1);
+        match verify_graph(&g, &access) {
+            Err(SoundnessError::RegionOutOfGrid { task, mb, nb, .. }) => {
+                assert_eq!((task, mb, nb), (a, 2, 2));
+            }
+            other => panic!("expected RegionOutOfGrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_unknown_task_in_access_map() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        mk(&mut g, TaskKind::Other, 0, 0, ());
+        let mut access = AccessMap::new(2, 2);
+        access.record_write(5, 0..1, 0..1);
+        assert_eq!(
+            verify_graph(&g, &access),
+            Err(SoundnessError::UnknownTask { task: 5, tasks: 1 })
+        );
+    }
+
+    #[test]
+    fn lookahead_lint_flags_priority_inversion() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        // Step-0 trailing update (j=2) outranks the step-1 panel: warn.
+        let upd = TaskMeta::new(TaskLabel::new(TaskKind::Update, 0, 0, 2), 1.0)
+            .with_priority(1100);
+        let pan = TaskMeta::new(TaskLabel::new(TaskKind::Panel, 1, 0, 0), 1.0)
+            .with_priority(900);
+        let u = g.add_task(upd, ());
+        let p = g.add_task(pan, ());
+        g.add_dep(u, p);
+        let report = verify_graph(&g, &AccessMap::new(1, 1)).unwrap();
+        assert_eq!(report.lookahead_warnings.len(), 1);
+        assert!(report.lookahead_warnings[0].contains("step 1"));
+    }
+
+    #[test]
+    fn lookahead_column_update_may_outrank_panel() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        // The update of block column K+1 is *supposed* to outrank the panel
+        // of step K+1 (it produces its input): no warning.
+        let upd = TaskMeta::new(TaskLabel::new(TaskKind::Update, 0, 0, 1), 1.0)
+            .with_priority(1100);
+        let pan = TaskMeta::new(TaskLabel::new(TaskKind::Panel, 1, 0, 0), 1.0)
+            .with_priority(900);
+        let u = g.add_task(upd, ());
+        let p = g.add_task(pan, ());
+        g.add_dep(u, p);
+        let report = verify_graph(&g, &AccessMap::new(1, 1)).unwrap();
+        assert!(report.lookahead_warnings.is_empty());
+    }
+
+    #[test]
+    fn dfs_fallback_agrees_with_closure() {
+        let (g, access) = tracked_graph();
+        // Exercise the DFS path directly on each conflicting pair.
+        assert!(dfs_reaches(&g, 0, 1));
+        assert!(dfs_reaches(&g, 0, 4));
+        assert!(!dfs_reaches(&g, 1, 2));
+        let report = verify_graph(&g, &access).unwrap();
+        assert!(report.conflict_pairs > 0);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! cafactor factor lu  --random 20000 100 --b 100 --tr 8 --threads 4
 //! cafactor factor qr  --input A.mtx --tree flat --output R.mtx
+//! cafactor verify lu  --random 1024 1024 --b 64 --threads 4
 //! cafactor solve      --input A.mtx --rhs b.mtx --refine
 //! cafactor info       --input A.mtx
 //! ```
@@ -24,6 +25,18 @@ fn exit_code(e: &FactorError) -> i32 {
         FactorError::ZeroPivot { .. } => 4,
         FactorError::GrowthExplosion { .. } => 5,
         FactorError::TaskFailed { .. } => 6,
+        FactorError::Soundness { violation } => soundness_exit_code(violation),
+    }
+}
+
+/// Exit code per soundness-violation class: static DAG violations → 7,
+/// runtime lease races → 8, out-of-footprint accesses → 9.
+fn soundness_exit_code(v: &ca_factor::sched::SoundnessError) -> i32 {
+    use ca_factor::sched::SoundnessError;
+    match v {
+        SoundnessError::Race { .. } => 8,
+        SoundnessError::UndeclaredAccess { .. } => 9,
+        _ => 7,
     }
 }
 
@@ -68,7 +81,7 @@ impl Default for Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cafactor <factor lu|factor qr|solve|info> [flags]\n\
+        "usage: cafactor <factor lu|factor qr|verify lu|verify qr|solve|info> [flags]\n\
          flags: --input FILE.mtx | --random M N   matrix source\n\
                 --rhs FILE.mtx                    right-hand side (solve)\n\
                 --output FILE.mtx                 write factors/solution\n\
@@ -277,6 +290,56 @@ fn cmd_solve(o: &Opts) {
     }
 }
 
+/// `cafactor verify lu|qr`: static DAG soundness verification followed by a
+/// checked execution in which every element access is audited against the
+/// builder's declared footprints. Exit code 7 for a static violation, 8 for
+/// a runtime race, 9 for an out-of-footprint access.
+fn cmd_verify(sub: &str, o: &Opts) {
+    let a = load_matrix(o);
+    let (m, n) = (a.nrows(), a.ncols());
+    let p = params(o, n);
+    let report = match sub {
+        "lu" => ca_factor::core::verify_calu(m, n, &p),
+        "qr" => ca_factor::core::verify_caqr(m, n, &p),
+        _ => usage(),
+    }
+    .unwrap_or_else(|v| {
+        eprintln!("cafactor: static soundness violation: {v}");
+        exit(soundness_exit_code(&v))
+    });
+    println!(
+        "static verify {sub} {m}x{n}  b={} Tr={} tree={:?}: {report}",
+        p.b, p.tr, p.tree
+    );
+    for w in &report.lookahead_warnings {
+        eprintln!("warning: {w}");
+    }
+    let t0 = Instant::now();
+    match sub {
+        "lu" => {
+            let (f, stats) =
+                ca_factor::core::try_calu_checked(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+            let dt = t0.elapsed().as_secs_f64();
+            println!(
+                "checked CALU run clean: {} tasks, {dt:.3}s, residual={:.2e}",
+                stats.tasks,
+                f.residual(&a),
+            );
+        }
+        "qr" => {
+            let (f, stats) =
+                ca_factor::core::try_caqr_checked(a.clone(), &p).unwrap_or_else(|e| fail(&e));
+            let dt = t0.elapsed().as_secs_f64();
+            println!(
+                "checked CAQR run clean: {} tasks, {dt:.3}s, residual={:.2e}",
+                stats.tasks,
+                f.residual(&a),
+            );
+        }
+        _ => unreachable!(),
+    }
+}
+
 fn cmd_info(o: &Opts) {
     let a = load_matrix(o);
     let (m, n) = (a.nrows(), a.ncols());
@@ -305,6 +368,7 @@ fn main() {
                     _ => usage(),
                 }
             }
+            ("verify", Some((sub, rest2))) => cmd_verify(sub, &parse_opts(rest2)),
             ("solve", _) => cmd_solve(&parse_opts(rest)),
             ("info", _) => cmd_info(&parse_opts(rest)),
             _ => usage(),

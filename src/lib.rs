@@ -19,6 +19,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 /// Dense column-major matrices, views, pivots, norms (`ca-matrix`).
 pub mod matrix {

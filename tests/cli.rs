@@ -104,6 +104,28 @@ fn factor_lu_profile_reports_and_writes_trace() {
 }
 
 #[test]
+fn verify_subcommand_proves_soundness_and_runs_checked() {
+    let out = cafactor()
+        .args(["verify", "lu", "--random", "128", "128", "--b", "32", "--threads", "2"])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("static verify lu"), "{text}");
+    assert!(text.contains("conflicting pair(s) ordered"), "{text}");
+    assert!(text.contains("checked CALU run clean"), "{text}");
+
+    let out = cafactor()
+        .args(["verify", "qr", "--random", "200", "48", "--b", "16", "--tree", "flat"])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("static verify qr"), "{text}");
+    assert!(text.contains("checked CAQR run clean"), "{text}");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = cafactor().args(["bogus"]).output().expect("run cafactor");
     assert!(!out.status.success());

@@ -246,6 +246,105 @@ fn work_stealing_fault_injection_does_not_hang() {
     }
 }
 
+/// Builds a random task set with block-granular footprints declared through
+/// [`BlockTracker`]; returns the graph plus the retained [`AccessMap`].
+/// Deterministic in `seed`, so calling twice reproduces the same graph.
+fn random_block_graph(
+    seed: u64,
+    tasks: usize,
+    grid: usize,
+) -> (TaskGraph<usize>, ca_factor::sched::AccessMap) {
+    use ca_factor::sched::BlockTracker;
+    let mut rng = ca_factor::matrix::seeded_rng(seed);
+    let mut g: TaskGraph<usize> = TaskGraph::new();
+    let mut tracker = BlockTracker::new(grid, grid);
+    let region = |rng: &mut rand::rngs::StdRng| {
+        let r0 = rng.gen_range(0..grid);
+        let r1 = rng.gen_range(r0..grid) + 1;
+        let c0 = rng.gen_range(0..grid);
+        let c1 = rng.gen_range(c0..grid) + 1;
+        (r0..r1, c0..c1)
+    };
+    for t in 0..tasks {
+        let meta = TaskMeta::new(TaskLabel::new(TaskKind::Other, t, 0, 0), 1.0);
+        let id = g.add_task(meta, t);
+        if rng.gen_bool(0.7) {
+            let (rows, cols) = region(&mut rng);
+            tracker.read(&mut g, id, rows, cols);
+        }
+        let (rows, cols) = region(&mut rng);
+        tracker.write(&mut g, id, rows, cols);
+    }
+    (g, tracker.into_access_map())
+}
+
+/// DFS reachability over the live graph (post edge removal).
+fn path_exists(g: &TaskGraph<usize>, from: usize, to: usize) -> bool {
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![from];
+    while let Some(t) = stack.pop() {
+        if t == to {
+            return true;
+        }
+        if !seen[t] {
+            seen[t] = true;
+            stack.extend(g.successors(t).iter().copied());
+        }
+    }
+    false
+}
+
+#[test]
+fn verifier_accepts_tracker_built_random_graphs() {
+    // Property: any graph whose edges come from BlockTracker declarations is
+    // sound by construction — the verifier must accept it.
+    for seed in 0..8u64 {
+        let (g, access) = random_block_graph(seed, 40, 6);
+        let report = ca_factor::sched::verify_graph(&g, &access)
+            .unwrap_or_else(|e| panic!("seed {seed}: tracker-built graph rejected: {e}"));
+        assert_eq!(report.tasks, g.len());
+    }
+}
+
+#[test]
+fn verifier_rejects_edge_deletions_that_break_ordering() {
+    // Property: removing a tracker-created edge (a, b) leaves the graph
+    // sound iff an alternate a→b path remains (the edge was transitively
+    // redundant). The verifier's verdict must match exact reachability, and
+    // a rejection must name a genuinely unordered pair.
+    use ca_factor::sched::SoundnessError;
+    let mut rejected = 0usize;
+    for seed in 0..6u64 {
+        let (g0, _) = random_block_graph(seed, 30, 5);
+        let edges: Vec<(usize, usize)> = (0..g0.len())
+            .flat_map(|i| g0.successors(i).iter().map(move |&s| (i, s)))
+            .collect();
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            if idx % 3 != 0 {
+                continue; // sample a third of the edges per seed
+            }
+            let (mut g, access) = random_block_graph(seed, 30, 5);
+            assert!(g.remove_dep(a, b), "edge {a}->{b} must exist");
+            let reachable = path_exists(&g, a, b);
+            match ca_factor::sched::verify_graph(&g, &access) {
+                Ok(_) => assert!(
+                    reachable,
+                    "seed {seed}: accepted graph with unordered pair {a}->{b}"
+                ),
+                Err(SoundnessError::UnorderedConflict { first, second, .. }) => {
+                    assert!(
+                        !path_exists(&g, first, second) && !path_exists(&g, second, first),
+                        "seed {seed}: reported pair {first}/{second} is actually ordered"
+                    );
+                    rejected += 1;
+                }
+                Err(e) => panic!("seed {seed}: unexpected error class: {e}"),
+            }
+        }
+    }
+    assert!(rejected > 0, "no edge deletion produced a rejection");
+}
+
 #[test]
 fn repeated_runs_of_calu_are_stable_under_contention() {
     // Run the same parallel factorization many times with more threads than

@@ -1,0 +1,122 @@
+//! End-to-end soundness tests: the static DAG verifier over the real
+//! CALU/CAQR builders (paper shapes × reduction trees), seeded-violation
+//! detection on a real factorization graph, and checked-execution
+//! regression runs in which every element access is audited against the
+//! builders' declared footprints.
+
+use ca_factor::core::{
+    calu_task_graph_with_access, try_calu_checked, try_caqr_checked, verify_calu, verify_caqr,
+    CaParams, TreeShape,
+};
+use ca_factor::matrix::{random_uniform, seeded_rng};
+use ca_factor::sched::SoundnessError;
+
+fn params(b: usize, tree: TreeShape) -> CaParams {
+    let mut p = CaParams::new(b, 4, 4);
+    p.tree = tree;
+    p
+}
+
+#[test]
+fn static_verifier_accepts_calu_across_shapes_and_trees() {
+    // Square, tall-skinny, and ragged shapes — the paper's m=n and TSLU
+    // regimes — under both reduction trees.
+    for &(m, n, b) in &[(192usize, 192usize, 32usize), (400, 40, 20), (250, 90, 30)] {
+        for tree in [TreeShape::Binary, TreeShape::Flat] {
+            let p = params(b, tree);
+            let report = verify_calu(m, n, &p)
+                .unwrap_or_else(|e| panic!("CALU {m}x{n} {tree:?} unsound: {e}"));
+            assert!(report.conflict_pairs > 0, "CALU {m}x{n}: no conflicts proven ordered");
+        }
+    }
+}
+
+#[test]
+fn static_verifier_accepts_caqr_across_shapes_and_trees() {
+    for &(m, n, b) in &[(192usize, 192usize, 32usize), (400, 40, 20), (250, 90, 30)] {
+        for tree in [TreeShape::Binary, TreeShape::Flat] {
+            let p = params(b, tree);
+            let report = verify_caqr(m, n, &p)
+                .unwrap_or_else(|e| panic!("CAQR {m}x{n} {tree:?} unsound: {e}"));
+            assert!(report.conflict_pairs > 0, "CAQR {m}x{n}: no conflicts proven ordered");
+        }
+    }
+}
+
+#[test]
+fn removing_a_calu_edge_is_caught_and_names_the_conflicting_tasks() {
+    // Delete each dependency edge of a real CALU graph in turn: the
+    // verifier must reject every deletion that actually breaks the ordering
+    // of a conflicting pair (some edges are transitively redundant), and
+    // each rejection must name two real tasks by label.
+    let p = params(32, TreeShape::Binary);
+    let (g0, _) = calu_task_graph_with_access(96, 96, &p);
+    let edges: Vec<(usize, usize)> = (0..g0.len())
+        .flat_map(|i| g0.successors(i).iter().map(move |&s| (i, s)))
+        .collect();
+    let mut rejected = 0usize;
+    for &(a, b) in &edges {
+        let (mut g, access) = calu_task_graph_with_access(96, 96, &p);
+        assert!(g.remove_dep(a, b));
+        match ca_factor::sched::verify_graph(&g, &access) {
+            Ok(_) => {}
+            Err(SoundnessError::UnorderedConflict { first, second, first_label, second_label, .. }) => {
+                assert!(first < second);
+                let (fl, sl) = (first_label.to_string(), second_label.to_string());
+                assert!(
+                    fl.contains('[') && sl.contains('['),
+                    "violation must name both task labels, got {fl} / {sl}"
+                );
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error class for edge {a}->{b}: {e}"),
+        }
+    }
+    assert!(rejected > 0, "no edge deletion was caught over {} edges", edges.len());
+}
+
+#[test]
+fn checked_calu_reports_zero_violations_on_paper_shapes() {
+    // Checked execution audits every SharedMatrix element access against
+    // the declared footprints; a clean CALU/CAQR must produce zero
+    // violations on both schedulers, square and tall-skinny.
+    for &(m, n, b) in &[(192usize, 192usize, 32usize), (400, 40, 20)] {
+        for ws in [false, true] {
+            let mut p = params(b, TreeShape::Binary);
+            if ws {
+                p = p.with_work_stealing();
+            }
+            let a = random_uniform(m, n, &mut seeded_rng(7));
+            let (f, stats) = try_calu_checked(a.clone(), &p)
+                .unwrap_or_else(|e| panic!("checked CALU {m}x{n} ws={ws}: {e}"));
+            assert!(stats.tasks > 0);
+            assert!(f.residual(&a) < 1e-12, "checked CALU {m}x{n} residual off");
+        }
+    }
+}
+
+#[test]
+fn checked_caqr_reports_zero_violations_on_paper_shapes() {
+    for &(m, n, b) in &[(192usize, 192usize, 32usize), (400, 40, 20)] {
+        for tree in [TreeShape::Binary, TreeShape::Flat] {
+            let p = params(b, tree);
+            let a = random_uniform(m, n, &mut seeded_rng(11));
+            let (f, stats) = try_caqr_checked(a.clone(), &p)
+                .unwrap_or_else(|e| panic!("checked CAQR {m}x{n} {tree:?}: {e}"));
+            assert!(stats.tasks > 0);
+            assert!(f.residual(&a) < 1e-12, "checked CAQR {m}x{n} residual off");
+        }
+    }
+}
+
+#[test]
+fn checked_results_match_unchecked_bitwise() {
+    // The shadow registry must be observation-only: checked and unchecked
+    // runs of the same factorization produce identical factors.
+    let p = params(24, TreeShape::Binary);
+    let a = random_uniform(120, 120, &mut seeded_rng(3));
+    let (fc, _) = try_calu_checked(a.clone(), &p).expect("checked");
+    let fu = ca_factor::core::try_calu(a, &p).expect("unchecked");
+    assert_eq!(fc.lu.as_slice(), fu.lu.as_slice());
+    assert_eq!(fc.pivots.ipiv, fu.pivots.ipiv);
+}
