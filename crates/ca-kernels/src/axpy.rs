@@ -1,0 +1,216 @@
+//! The pre-BLIS GEMM implementation, retained verbatim as a baseline.
+//!
+//! This is the kernel the packed path replaced: a cache-blocked loop nest
+//! whose inner kernel is a 4-way unrolled sequence of column AXPYs (packing
+//! only A), with dot-product loop orders for the transposed cases. It
+//! exists so `ca-bench`'s `gemm_sweep` binary can report the packed
+//! kernel's speedup against it (`BENCH_gemm.json`), and as an independent
+//! second oracle in the conformance suite.
+
+use crate::gemm::{op_shape, scale, Trans};
+use ca_matrix::{MatView, MatViewMut};
+
+/// Cache-block sizes of the AXPY path (the original tuning).
+const MC: usize = 256;
+const KC: usize = 128;
+const NC: usize = 512;
+
+/// `C := alpha * op(A) * op(B) + beta * C` via the pre-BLIS AXPY kernel.
+///
+/// Same contract as [`crate::gemm`]; kept only for benchmarking and as a
+/// conformance oracle — factorizations always use the packed path.
+///
+/// # Panics
+/// If the shapes of `op(A)`, `op(B)` and `C` are inconsistent.
+pub fn gemm_axpy(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f64,
+    mut c: MatViewMut<'_>,
+) {
+    let (m, ka) = op_shape(ta, a);
+    let (kb, n) = op_shape(tb, b);
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: op(A) is {m}x{ka}, op(B) is {kb}x{n}");
+    assert_eq!(c.nrows(), m, "gemm C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm C column mismatch");
+    let k = ka;
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 || k == 0 {
+        scale(beta, c.rb());
+        return;
+    }
+
+    match (ta, tb) {
+        (Trans::No, Trans::No) => gemm_nn(alpha, a, b, beta, c),
+        (Trans::Yes, Trans::No) => gemm_tn(alpha, a, b, beta, c),
+        (Trans::No, Trans::Yes) => gemm_nt(alpha, a, b, beta, c),
+        (Trans::Yes, Trans::Yes) => gemm_tt(alpha, a, b, beta, c),
+    }
+}
+
+/// Blocked `NoTrans × NoTrans` path. The `A` block is packed into a
+/// contiguous scratch (`ld == mb`) before the inner kernel runs.
+fn gemm_nn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    scale(beta, c.rb());
+
+    let mut pack = vec![0.0f64; MC.min(m) * KC.min(k)];
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = KC.min(k - pc);
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                // Pack A[ic..ic+mb, pc..pc+kb] column-major with ld = mb.
+                for (p, dst) in pack.chunks_mut(mb).enumerate().take(kb) {
+                    dst.copy_from_slice(&a.col(pc + p)[ic..ic + mb]);
+                }
+                let a_blk = MatView::from_slice(&pack[..mb * kb], mb, kb);
+                let b_blk = b.sub(pc, jc, kb, nb);
+                let c_blk = c.sub(ic, jc, mb, nb);
+                gemm_nn_block(alpha, a_blk, b_blk, c_blk);
+                ic += mb;
+            }
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// Inner block: `C += alpha * A * B` with A `mb × kb`, all fitting cache.
+/// Loop order j-k-i with the k loop unrolled by 4 so each C column is loaded
+/// and stored once per 4 rank-1 contributions.
+fn gemm_nn_block(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_>) {
+    let (mb, kb) = (a.nrows(), a.ncols());
+    let nb = b.ncols();
+    for j in 0..nb {
+        let b_col = b.col(j);
+        let c_col = c.col_mut(j);
+        let mut p = 0;
+        while p + 4 <= kb {
+            let (x0, x1, x2, x3) = (
+                alpha * b_col[p],
+                alpha * b_col[p + 1],
+                alpha * b_col[p + 2],
+                alpha * b_col[p + 3],
+            );
+            let a0 = a.col(p);
+            let a1 = a.col(p + 1);
+            let a2 = a.col(p + 2);
+            let a3 = a.col(p + 3);
+            for i in 0..mb {
+                // Safe indexing: all five slices have length mb.
+                c_col[i] += x0 * a0[i] + x1 * a1[i] + x2 * a2[i] + x3 * a3[i];
+            }
+            p += 4;
+        }
+        while p < kb {
+            let x = alpha * b_col[p];
+            if x != 0.0 {
+                let a_col = a.col(p);
+                for i in 0..mb {
+                    c_col[i] += x * a_col[i];
+                }
+            }
+            p += 1;
+        }
+    }
+}
+
+/// `C := alpha * Aᵀ * B + beta*C` — dot-product order; A is `k × m` stored.
+fn gemm_tn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let m = a.ncols();
+    let k = a.nrows();
+    let n = b.ncols();
+    for j in 0..n {
+        let b_col = b.col(j);
+        for i in 0..m {
+            let a_col = a.col(i);
+            let mut dot = 0.0;
+            for p in 0..k {
+                dot += a_col[p] * b_col[p];
+            }
+            let cij = c.at(i, j);
+            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
+        }
+    }
+}
+
+/// `C := alpha * A * Bᵀ + beta*C` — B is `n × k` stored; axpy order over Bᵀ.
+fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let m = a.nrows();
+    let k = a.ncols();
+    let n = b.nrows();
+    scale(beta, c.rb());
+    for p in 0..k {
+        let a_col = a.col(p);
+        let b_col = b.col(p); // column p of B = row elements B[j, p]
+        for (j, &bjp) in b_col.iter().enumerate().take(n) {
+            let x = alpha * bjp;
+            if x != 0.0 {
+                let c_col = c.col_mut(j);
+                for i in 0..m {
+                    c_col[i] += x * a_col[i];
+                }
+            }
+        }
+    }
+}
+
+/// `C := alpha * Aᵀ * Bᵀ + beta*C` — rarely used; simple triple loop.
+fn gemm_tt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let m = a.ncols();
+    let k = a.nrows();
+    let n = b.nrows();
+    for j in 0..n {
+        for i in 0..m {
+            let a_col = a.col(i);
+            let mut dot = 0.0;
+            for (p, &ap) in a_col.iter().enumerate().take(k) {
+                dot += ap * b.at(j, p);
+            }
+            let cij = c.at(i, j);
+            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::norm_max;
+
+    #[test]
+    fn axpy_baseline_agrees_with_packed_path() {
+        for &(ta, tb) in &[
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (m, n, k) = (23, 17, 31);
+            let mut rng = ca_matrix::seeded_rng(5);
+            let (ar, ac) = if ta == Trans::No { (m, k) } else { (k, m) };
+            let (br, bc) = if tb == Trans::No { (k, n) } else { (n, k) };
+            let a = ca_matrix::random_uniform(ar, ac, &mut rng);
+            let b = ca_matrix::random_uniform(br, bc, &mut rng);
+            let c0 = ca_matrix::random_uniform(m, n, &mut rng);
+            let mut c_axpy = c0.clone();
+            let mut c_packed = c0.clone();
+            gemm_axpy(ta, tb, 1.0, a.view(), b.view(), -0.5, c_axpy.view_mut());
+            crate::gemm::gemm(ta, tb, 1.0, a.view(), b.view(), -0.5, c_packed.view_mut());
+            let err = norm_max(c_axpy.sub_matrix(&c_packed).view());
+            assert!(err < 1e-12 * k as f64, "{ta:?}{tb:?} differ by {err}");
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //! performed matter, including CA redundancy).
 
 /// Flops of `C += A·B` with `C` being `m × n` and inner dimension `k`.
+///
+/// Packing on the BLIS-style path moves data but performs no arithmetic:
+/// the copies are charged in [`crate::traffic::gemm`], never here, so
+/// GFlop/s stays the LAPACK useful-flops convention.
 pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
     2.0 * m as f64 * n as f64 * k as f64
 }

@@ -1,14 +1,50 @@
 //! General matrix-matrix multiply (`dgemm` equivalent).
 //!
 //! `gemm` computes `C := alpha * op(A) * op(B) + beta * C` for column-major
-//! views. The `NoTrans × NoTrans` case — the trailing-matrix update in every
-//! factorization here — runs a cache-blocked loop nest whose inner kernel is
-//! a 4-way unrolled sequence of column AXPYs; columns are contiguous in
-//! column-major storage, so the compiler autovectorizes the inner loop.
-//! The transposed cases use dot-product loop orders and only appear on small
-//! operands (compact-WY applications), where they are not the bottleneck.
+//! views, as a BLIS-style three-loop blocked algorithm around a
+//! register-blocked `MR × NR` microkernel (Van Zee & van de Geijn, "BLIS: A
+//! Framework for Rapidly Instantiating BLAS Functionality"):
+//!
+//! * the `jc`/`pc`/`ic` cache loops carve `op(B)` into `KC × NC` panels and
+//!   `op(A)` into `MC × KC` blocks, packed into aligned micro-tiled scratch
+//!   ([`ca_matrix::AlignedBuf`], reused per thread);
+//! * both `Trans` flags are folded into the pack routines ([`crate::pack`]),
+//!   so transposed operands — compact-WY applications in TSQR, `dtrsm`
+//!   updates — run the same packed hot path as the trailing update;
+//! * the `jr`/`ir` register loops drive an `8 × 4` f64 microkernel: AVX2 +
+//!   FMA intrinsics when the CPU supports them (checked once at runtime via
+//!   `is_x86_feature_detected!`), a portable scalar kernel otherwise or when
+//!   `CA_KERNELS_FORCE_SCALAR` is set in the environment;
+//! * `m % MR` / `n % NR` remainders run the same full-size microkernel on
+//!   zero-padded panels and land in C through a stack tile.
+//!
+//! The pre-BLIS 4-way-unrolled AXPY implementation survives as
+//! [`gemm_axpy`] — the baseline the `gemm_sweep` bench (BENCH_gemm.json)
+//! compares against, and a second oracle for the conformance suite.
 
-use ca_matrix::{MatView, MatViewMut};
+use crate::microkernel::{kernel_scalar, MR as MR_, NR as NR_};
+use crate::pack::{pack_a, pack_b, PackTrans};
+use ca_matrix::{AlignedBuf, MatView, MatViewMut};
+use core::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Microkernel tile height: C rows computed per microkernel call.
+pub const MR: usize = MR_;
+/// Microkernel tile width: C columns computed per microkernel call.
+pub const NR: usize = NR_;
+
+/// Cache-block sizes for the packed path, tuned against the profiler's
+/// per-kernel-class roofline attribution (see DESIGN.md §10): the packed A
+/// block (`MC × KC` = 256 KiB) fills most of a 512 KiB-class L2 while
+/// leaving room for the streaming B micro-panel; `KC` keeps one `MR`- or
+/// `NR`-wide micro-panel (`KC·MR·8` = 16 KiB) resident in L1 across the
+/// register loops; `NC` bounds the packed B panel (`KC × NC` = 2 MiB) to a
+/// per-core L3 share.
+pub const MC: usize = 128;
+/// `k`-dimension cache-block depth (see [`MC`]).
+pub const KC: usize = 256;
+/// `n`-dimension cache-block width (see [`MC`]).
+pub const NC: usize = 1024;
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,14 +55,73 @@ pub enum Trans {
     Yes,
 }
 
-/// Cache-block sizes for the `NoTrans × NoTrans` path.
-/// `KC * MC` doubles of A (~256 KiB) target L2; `KC` rows of B stream.
-const MC: usize = 256;
-const KC: usize = 128;
-const NC: usize = 512;
+/// Microkernel backend selected at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Backend {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+fn active_backend() -> Backend {
+    static CACHE: OnceLock<Backend> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let forced = match std::env::var("CA_KERNELS_FORCE_SCALAR") {
+            Ok(v) => !v.is_empty() && v != "0",
+            Err(_) => false,
+        };
+        if forced {
+            return Backend::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Backend::Avx2;
+        }
+        Backend::Scalar
+    })
+}
+
+/// Name of the microkernel backend `gemm` dispatches to on this host:
+/// `"avx2-fma"` or `"scalar"`. Scalar is selected when the CPU lacks
+/// AVX2/FMA or when the `CA_KERNELS_FORCE_SCALAR` environment variable is
+/// set (to anything but `0`); the choice is made once per process.
+pub fn gemm_backend() -> &'static str {
+    match active_backend() {
+        Backend::Scalar => "scalar",
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => "avx2-fma",
+    }
+}
+
+/// Dispatches one `MR × NR` microkernel tile on the chosen backend.
+///
+/// # Safety
+/// Panel and C-tile requirements of [`kernel_scalar`]; for the AVX2 backend
+/// the caller (the dispatch logic) guarantees the CPU supports AVX2+FMA and
+/// `a` is 32-byte aligned (packed panels in an [`AlignedBuf`]).
+#[inline]
+unsafe fn run_kernel(
+    backend: Backend,
+    kc: usize,
+    alpha: f64,
+    a: *const f64,
+    b: *const f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    match backend {
+        // SAFETY: forwarded caller contract.
+        Backend::Scalar => unsafe { kernel_scalar(kc, alpha, a, b, c, ldc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: forwarded caller contract; Avx2 is only ever constructed
+        // after `is_x86_feature_detected!("avx2") && ("fma")`.
+        Backend::Avx2 => unsafe { crate::microkernel::kernel_avx2(kc, alpha, a, b, c, ldc) },
+    }
+}
 
 #[inline]
-fn op_shape(t: Trans, a: MatView<'_>) -> (usize, usize) {
+pub(crate) fn op_shape(t: Trans, a: MatView<'_>) -> (usize, usize) {
     match t {
         Trans::No => (a.nrows(), a.ncols()),
         Trans::Yes => (a.ncols(), a.nrows()),
@@ -45,6 +140,36 @@ pub fn gemm(
     a: MatView<'_>,
     b: MatView<'_>,
     beta: f64,
+    c: MatViewMut<'_>,
+) {
+    gemm_on(active_backend(), ta, tb, alpha, a, b, beta, c);
+}
+
+/// [`gemm`] forced onto the portable scalar microkernel, regardless of CPU
+/// features or `CA_KERNELS_FORCE_SCALAR`. A testing hook: the conformance
+/// suite and the ASan job use it to exercise the fallback path in-process
+/// next to the dispatched one.
+pub fn gemm_force_scalar(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f64,
+    c: MatViewMut<'_>,
+) {
+    gemm_on(Backend::Scalar, ta, tb, alpha, a, b, beta, c);
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the 8-operand BLAS dgemm surface
+fn gemm_on(
+    backend: Backend,
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f64,
     mut c: MatViewMut<'_>,
 ) {
     let (m, ka) = op_shape(ta, a);
@@ -57,21 +182,100 @@ pub fn gemm(
     if m == 0 || n == 0 {
         return;
     }
+    scale(beta, c.rb());
     if alpha == 0.0 || k == 0 {
-        scale(beta, c.rb());
         return;
     }
 
-    match (ta, tb) {
-        (Trans::No, Trans::No) => gemm_nn(alpha, a, b, beta, c),
-        (Trans::Yes, Trans::No) => gemm_tn(alpha, a, b, beta, c),
-        (Trans::No, Trans::Yes) => gemm_nt(alpha, a, b, beta, c),
-        (Trans::Yes, Trans::Yes) => gemm_tt(alpha, a, b, beta, c),
-    }
+    let tap = match ta {
+        Trans::No => PackTrans::No,
+        Trans::Yes => PackTrans::Yes,
+    };
+    let tbp = match tb {
+        Trans::No => PackTrans::No,
+        Trans::Yes => PackTrans::Yes,
+    };
+
+    PACK_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (a_buf, b_buf) = &mut *bufs;
+        let apack = a_buf.scratch(MC.min(m).next_multiple_of(MR) * KC.min(k));
+        let bpack = b_buf.scratch(KC.min(k) * NC.min(n).next_multiple_of(NR));
+        let ldc = c.ld();
+        let cbase = c.as_mut_ptr();
+
+        let mut jc = 0;
+        while jc < n {
+            let nb = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kcb = KC.min(k - pc);
+                pack_b(tbp, b, pc, kcb, jc, nb, bpack);
+                let mut ic = 0;
+                while ic < m {
+                    let mb = MC.min(m - ic);
+                    pack_a(tap, a, ic, mb, pc, kcb, apack);
+                    let mut jr = 0;
+                    while jr < nb {
+                        let nr = NR.min(nb - jr);
+                        let b_panel = bpack[(jr / NR) * NR * kcb..].as_ptr();
+                        let mut ir = 0;
+                        while ir < mb {
+                            let mr = MR.min(mb - ir);
+                            let a_panel = apack[(ir / MR) * MR * kcb..].as_ptr();
+                            // SAFETY: panels hold MR*kcb / NR*kcb packed
+                            // (zero-padded) elements; the A panel starts at
+                            // a multiple of MR·kcb f64s inside a 64-byte-
+                            // aligned AlignedBuf, so it is 32-byte aligned.
+                            unsafe {
+                                if mr == MR && nr == NR {
+                                    // Full tile: C window (ic+ir, jc+jr) is
+                                    // MR×NR, in bounds by the loop guards.
+                                    let cp = cbase.add(ic + ir + (jc + jr) * ldc);
+                                    run_kernel(backend, kcb, alpha, a_panel, b_panel, cp, ldc);
+                                } else {
+                                    // Edge tile: land in a stack tile, then
+                                    // fold the valid mr×nr corner into C.
+                                    let mut tile = [0.0f64; MR * NR];
+                                    run_kernel(
+                                        backend,
+                                        kcb,
+                                        alpha,
+                                        a_panel,
+                                        b_panel,
+                                        tile.as_mut_ptr(),
+                                        MR,
+                                    );
+                                    for j in 0..nr {
+                                        for i in 0..mr {
+                                            *cbase.add(ic + ir + i + (jc + jr + j) * ldc) +=
+                                                tile[j * MR + i];
+                                        }
+                                    }
+                                }
+                            }
+                            ir += MR;
+                        }
+                        jr += NR;
+                    }
+                    ic += mb;
+                }
+                pc += kcb;
+            }
+            jc += nb;
+        }
+    });
+}
+
+thread_local! {
+    /// Per-thread packing scratch (A block, B panel), reused across calls so
+    /// task-sized gemms don't pay an allocation each.
+    static PACK_BUFS: RefCell<(AlignedBuf, AlignedBuf)> =
+        const { RefCell::new((AlignedBuf::new(), AlignedBuf::new())) };
 }
 
 /// `C := beta * C` (handles `beta == 0` without reading C).
-fn scale(beta: f64, mut c: MatViewMut<'_>) {
+pub(crate) fn scale(beta: f64, mut c: MatViewMut<'_>) {
     if beta == 1.0 {
         return;
     }
@@ -83,139 +287,6 @@ fn scale(beta: f64, mut c: MatViewMut<'_>) {
             for x in col {
                 *x *= beta;
             }
-        }
-    }
-}
-
-/// Blocked `NoTrans × NoTrans` path. The `A` block is packed into a
-/// contiguous scratch (`ld == mb`) before the inner kernel runs: with tall
-/// operands (`ld` in the 10⁵ range) the packed copy turns strided column
-/// hops into sequential streams, which is worth far more than the copy.
-fn gemm_nn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
-    let (m, k) = (a.nrows(), a.ncols());
-    let n = b.ncols();
-    scale(beta, c.rb());
-
-    let mut pack = vec![0.0f64; MC.min(m) * KC.min(k)];
-    let mut jc = 0;
-    while jc < n {
-        let nb = NC.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kb = KC.min(k - pc);
-            let mut ic = 0;
-            while ic < m {
-                let mb = MC.min(m - ic);
-                // Pack A[ic..ic+mb, pc..pc+kb] column-major with ld = mb.
-                for (p, dst) in pack.chunks_mut(mb).enumerate().take(kb) {
-                    dst.copy_from_slice(&a.col(pc + p)[ic..ic + mb]);
-                }
-                let a_blk = MatView::from_slice(&pack[..mb * kb], mb, kb);
-                let b_blk = b.sub(pc, jc, kb, nb);
-                let c_blk = c.sub(ic, jc, mb, nb);
-                gemm_nn_block(alpha, a_blk, b_blk, c_blk);
-                ic += mb;
-            }
-            pc += kb;
-        }
-        jc += nb;
-    }
-}
-
-/// Inner block: `C += alpha * A * B` with A `mb × kb`, all fitting cache.
-/// Loop order j-k-i with the k loop unrolled by 4 so each C column is loaded
-/// and stored once per 4 rank-1 contributions.
-fn gemm_nn_block(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_>) {
-    let (mb, kb) = (a.nrows(), a.ncols());
-    let nb = b.ncols();
-    for j in 0..nb {
-        let b_col = b.col(j);
-        let c_col = c.col_mut(j);
-        let mut p = 0;
-        while p + 4 <= kb {
-            let (x0, x1, x2, x3) = (
-                alpha * b_col[p],
-                alpha * b_col[p + 1],
-                alpha * b_col[p + 2],
-                alpha * b_col[p + 3],
-            );
-            let a0 = a.col(p);
-            let a1 = a.col(p + 1);
-            let a2 = a.col(p + 2);
-            let a3 = a.col(p + 3);
-            for i in 0..mb {
-                // Safe indexing: all five slices have length mb.
-                c_col[i] += x0 * a0[i] + x1 * a1[i] + x2 * a2[i] + x3 * a3[i];
-            }
-            p += 4;
-        }
-        while p < kb {
-            let x = alpha * b_col[p];
-            if x != 0.0 {
-                let a_col = a.col(p);
-                for i in 0..mb {
-                    c_col[i] += x * a_col[i];
-                }
-            }
-            p += 1;
-        }
-    }
-}
-
-/// `C := alpha * Aᵀ * B + beta*C` — dot-product order; A is `k × m` stored.
-fn gemm_tn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
-    let m = a.ncols();
-    let k = a.nrows();
-    let n = b.ncols();
-    for j in 0..n {
-        let b_col = b.col(j);
-        for i in 0..m {
-            let a_col = a.col(i);
-            let mut dot = 0.0;
-            for p in 0..k {
-                dot += a_col[p] * b_col[p];
-            }
-            let cij = c.at(i, j);
-            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
-        }
-    }
-}
-
-/// `C := alpha * A * Bᵀ + beta*C` — B is `n × k` stored; axpy order over Bᵀ.
-fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
-    let m = a.nrows();
-    let k = a.ncols();
-    let n = b.nrows();
-    scale(beta, c.rb());
-    for p in 0..k {
-        let a_col = a.col(p);
-        let b_col = b.col(p); // column p of B = row elements B[j, p]
-        for (j, &bjp) in b_col.iter().enumerate().take(n) {
-            let x = alpha * bjp;
-            if x != 0.0 {
-                let c_col = c.col_mut(j);
-                for i in 0..m {
-                    c_col[i] += x * a_col[i];
-                }
-            }
-        }
-    }
-}
-
-/// `C := alpha * Aᵀ * Bᵀ + beta*C` — rarely used; simple triple loop.
-fn gemm_tt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
-    let m = a.ncols();
-    let k = a.nrows();
-    let n = b.nrows();
-    for j in 0..n {
-        for i in 0..m {
-            let a_col = a.col(i);
-            let mut dot = 0.0;
-            for (p, &ap) in a_col.iter().enumerate().take(k) {
-                dot += ap * b.at(j, p);
-            }
-            let cij = c.at(i, j);
-            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
         }
     }
 }
@@ -252,11 +323,20 @@ mod tests {
         let b = ca_matrix::random_uniform(br, bc, &mut rng);
         let c0 = ca_matrix::random_uniform(m, n, &mut rng);
         let expect = reference(ta, tb, alpha, &a, &b, beta, &c0);
-        let mut c = c0.clone();
-        gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
-        let diff = c.sub_matrix(&expect);
-        let err = ca_matrix::norm_max(diff.view());
-        assert!(err < 1e-12 * (k.max(1) as f64), "error {err} for {ta:?}{tb:?} {m}x{n}x{k}");
+        for forced_scalar in [false, true] {
+            let mut c = c0.clone();
+            if forced_scalar {
+                gemm_force_scalar(ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
+            } else {
+                gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
+            }
+            let diff = c.sub_matrix(&expect);
+            let err = ca_matrix::norm_max(diff.view());
+            assert!(
+                err < 1e-12 * (k.max(1) as f64),
+                "error {err} for {ta:?}{tb:?} {m}x{n}x{k} scalar={forced_scalar}"
+            );
+        }
     }
 
     #[test]
@@ -267,9 +347,18 @@ mod tests {
     }
 
     #[test]
-    fn nn_crosses_block_boundaries() {
+    fn nn_crosses_cache_block_boundaries() {
         check(Trans::No, Trans::No, MC + 7, 19, KC + 5, 1.0, 0.0);
         check(Trans::No, Trans::No, 33, NC + 3, 9, -0.5, 2.0);
+    }
+
+    #[test]
+    fn nn_crosses_register_block_boundaries() {
+        for &m in &[MR - 1, MR, MR + 1, 2 * MR - 1] {
+            for &n in &[NR - 1, NR, NR + 1, 2 * NR + 1] {
+                check(Trans::No, Trans::No, m, n, 5, 1.0, 1.0);
+            }
+        }
     }
 
     #[test]
@@ -277,6 +366,9 @@ mod tests {
         check(Trans::Yes, Trans::No, 6, 8, 10, 1.0, 1.0);
         check(Trans::No, Trans::Yes, 6, 8, 10, 2.0, -1.0);
         check(Trans::Yes, Trans::Yes, 7, 5, 9, -1.0, 0.5);
+        // Transposed operands crossing the register blocking.
+        check(Trans::Yes, Trans::No, MR + 3, NR + 2, 21, 1.0, 0.0);
+        check(Trans::No, Trans::Yes, 2 * MR + 1, 2 * NR + 3, 13, -1.0, 1.0);
     }
 
     #[test]
@@ -341,5 +433,24 @@ mod tests {
         // Untouched area stays zero.
         assert_eq!(big_c[(0, 0)], 0.0);
         assert_eq!(big_c[(4, 6)], 0.0);
+    }
+
+    #[test]
+    fn repeated_calls_are_bitwise_identical() {
+        let mut rng = ca_matrix::seeded_rng(1234);
+        let a = ca_matrix::random_uniform(37, 29, &mut rng);
+        let b = ca_matrix::random_uniform(29, 23, &mut rng);
+        let c0 = ca_matrix::random_uniform(37, 23, &mut rng);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), 0.5, c1.view_mut());
+        gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), 0.5, c2.view_mut());
+        assert_eq!(c1.as_slice(), c2.as_slice());
+    }
+
+    #[test]
+    fn backend_name_is_reported() {
+        let name = gemm_backend();
+        assert!(name == "avx2-fma" || name == "scalar", "unexpected backend {name}");
     }
 }

@@ -17,14 +17,24 @@
 //!
 //! All kernels operate on [`ca_matrix::MatView`]/[`ca_matrix::MatViewMut`]
 //! blocks, so they compose into panel/tile tasks without copying.
+//!
+//! [`gemm`] is a packed BLIS-style implementation (DESIGN.md §10): three
+//! cache loops over [`NC`]/[`KC`]/[`MC`] around an [`MR`]`×`[`NR`]
+//! microkernel, runtime-dispatched between AVX2+FMA and a portable scalar
+//! fallback ([`gemm_backend`] reports which; `CA_KERNELS_FORCE_SCALAR`
+//! pins the scalar path). The pre-BLIS AXPY-loop kernel survives as
+//! [`gemm_axpy`] — the benchmark baseline and a second test oracle.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod flops;
 pub mod traffic;
+mod axpy;
 mod gemm;
 mod ger;
+mod microkernel;
+mod pack;
 mod householder;
 mod lu_recursive;
 mod lu_unblocked;
@@ -32,7 +42,8 @@ mod qr_recursive;
 mod qr_unblocked;
 mod trsm;
 
-pub use gemm::{gemm, Trans};
+pub use axpy::gemm_axpy;
+pub use gemm::{gemm, gemm_backend, gemm_force_scalar, Trans, KC, MC, MR, NC, NR};
 pub use ger::{ger, iamax, scal};
 pub use householder::{
     form_q_thin, larf_left, larfb_left, larfb_left_multi, larfb_left_pair, larfg, larft,

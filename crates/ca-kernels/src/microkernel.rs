@@ -1,0 +1,107 @@
+//! Register-blocked GEMM microkernels.
+//!
+//! Both kernels compute the same contraction over zero-padded packed panels:
+//!
+//! ```text
+//! C[0..MR, 0..NR] += alpha * sum_p  a[p*MR + i] * b[p*NR + j]
+//! ```
+//!
+//! where `a` is an `MR × kc` micro-panel of packed A (column `p` stored as
+//! `MR` contiguous elements) and `b` is a `kc × NR` micro-panel of packed B
+//! (row `p` stored as `NR` contiguous elements). `C` is addressed through
+//! `(c, ldc)` in the usual column-major way.
+//!
+//! The AVX2+FMA kernel keeps the full `MR × NR = 8 × 4` accumulator tile in
+//! eight `ymm` registers (two 4-wide vectors per C column) and issues two
+//! FMAs per packed B element; the scalar kernel is the exact same algorithm
+//! on a stack array, used when AVX2 is unavailable or force-disabled. The
+//! two differ bitwise (FMA contracts the multiply-add), but both are within
+//! the `O(k·eps)` conformance bound of a naive triple loop.
+
+/// Microkernel tile height (rows of C per call).
+pub const MR: usize = 8;
+/// Microkernel tile width (columns of C per call).
+pub const NR: usize = 4;
+
+/// Scalar reference microkernel.
+///
+/// # Safety
+/// `a` must hold `MR * kc` elements, `b` must hold `NR * kc` elements, and
+/// `c` must point to an `MR × NR` column-major tile with leading dimension
+/// `ldc >= MR` that is valid for reads and writes.
+pub unsafe fn kernel_scalar(kc: usize, alpha: f64, a: *const f64, b: *const f64, c: *mut f64, ldc: usize) {
+    let mut acc = [0.0f64; MR * NR];
+    // SAFETY: panel bounds per the caller's contract.
+    unsafe {
+        for p in 0..kc {
+            let ap = a.add(p * MR);
+            let bp = b.add(p * NR);
+            for j in 0..NR {
+                let bv = *bp.add(j);
+                for i in 0..MR {
+                    acc[j * MR + i] += *ap.add(i) * bv;
+                }
+            }
+        }
+        for j in 0..NR {
+            for i in 0..MR {
+                *c.add(i + j * ldc) += alpha * acc[j * MR + i];
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA microkernel (8×4 f64 register tile).
+///
+/// # Safety
+/// Same panel/tile requirements as [`kernel_scalar`], plus the CPU must
+/// support AVX2 and FMA (guaranteed by the runtime dispatch in `gemm`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn kernel_avx2(kc: usize, alpha: f64, a: *const f64, b: *const f64, c: *mut f64, ldc: usize) {
+    use core::arch::x86_64::*;
+    // SAFETY: panel bounds per the caller's contract; loads/stores below
+    // stay inside the packed panels and the MR×NR C tile.
+    unsafe {
+        // Accumulators: columns j = 0..4, each split into rows 0..4 / 4..8.
+        let mut c0l = _mm256_setzero_pd();
+        let mut c0h = _mm256_setzero_pd();
+        let mut c1l = _mm256_setzero_pd();
+        let mut c1h = _mm256_setzero_pd();
+        let mut c2l = _mm256_setzero_pd();
+        let mut c2h = _mm256_setzero_pd();
+        let mut c3l = _mm256_setzero_pd();
+        let mut c3h = _mm256_setzero_pd();
+
+        for p in 0..kc {
+            let ap = a.add(p * MR);
+            let al = _mm256_load_pd(ap);
+            let ah = _mm256_load_pd(ap.add(4));
+            let bp = b.add(p * NR);
+
+            let b0 = _mm256_broadcast_sd(&*bp);
+            c0l = _mm256_fmadd_pd(al, b0, c0l);
+            c0h = _mm256_fmadd_pd(ah, b0, c0h);
+            let b1 = _mm256_broadcast_sd(&*bp.add(1));
+            c1l = _mm256_fmadd_pd(al, b1, c1l);
+            c1h = _mm256_fmadd_pd(ah, b1, c1h);
+            let b2 = _mm256_broadcast_sd(&*bp.add(2));
+            c2l = _mm256_fmadd_pd(al, b2, c2l);
+            c2h = _mm256_fmadd_pd(ah, b2, c2h);
+            let b3 = _mm256_broadcast_sd(&*bp.add(3));
+            c3l = _mm256_fmadd_pd(al, b3, c3l);
+            c3h = _mm256_fmadd_pd(ah, b3, c3h);
+        }
+
+        // C tile update: c += alpha * acc (mul then add, matching the scalar
+        // kernel's store step so full tiles and edge tiles round alike).
+        let av = _mm256_set1_pd(alpha);
+        let cols = [(c0l, c0h), (c1l, c1h), (c2l, c2h), (c3l, c3h)];
+        for (j, (lo, hi)) in cols.into_iter().enumerate() {
+            let cp = c.add(j * ldc);
+            _mm256_storeu_pd(cp, _mm256_add_pd(_mm256_loadu_pd(cp), _mm256_mul_pd(av, lo)));
+            let cp4 = cp.add(4);
+            _mm256_storeu_pd(cp4, _mm256_add_pd(_mm256_loadu_pd(cp4), _mm256_mul_pd(av, hi)));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Operand packing for the BLIS-style blocked GEMM.
+//!
+//! Packing rearranges a cache block of `op(A)` / `op(B)` into the exact
+//! streaming order the microkernel consumes, and is where the `Trans` flags
+//! are folded away: the packed image is always the *operated* matrix, so the
+//! driver and microkernel only ever see the `NoTrans × NoTrans` case.
+//!
+//! Layouts (`MR`/`NR` from [`crate::microkernel`]):
+//!
+//! * **A block** (`mb × kb` of `op(A)`): row micro-panels of `MR` rows, each
+//!   panel stored column-by-column — element `(i, p)` of panel `q` lives at
+//!   `q·MR·kb + p·MR + i`. Rows past `mb` in the last panel are zero-filled.
+//! * **B block** (`kb × nb` of `op(B)`): column micro-panels of `NR`
+//!   columns, each stored row-by-row — element `(p, j)` of panel `q` lives
+//!   at `q·NR·kb + p·NR + j`. Columns past `nb` are zero-filled.
+//!
+//! Zero-padding lets the microkernel always run a full `MR × NR` tile; the
+//! driver discards the padded lanes when storing edge tiles.
+
+use crate::microkernel::{MR, NR};
+use ca_matrix::MatView;
+
+/// Whether the source operand is read as stored or transposed, resolved at
+/// pack time.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PackTrans {
+    No,
+    Yes,
+}
+
+/// Packs the `mb × kb` block of `op(A)` starting at (`ic`, `pc`) (indices in
+/// the *operated* matrix) into `buf` in row-micro-panel order.
+///
+/// `buf` must hold at least `mb.next_multiple_of(MR) * kb` elements.
+pub(crate) fn pack_a(
+    trans: PackTrans,
+    a: MatView<'_>,
+    ic: usize,
+    mb: usize,
+    pc: usize,
+    kb: usize,
+    buf: &mut [f64],
+) {
+    let panels = mb.div_ceil(MR);
+    debug_assert!(buf.len() >= panels * MR * kb);
+    for q in 0..panels {
+        let i0 = q * MR;
+        let rows = MR.min(mb - i0);
+        let panel = &mut buf[q * MR * kb..(q + 1) * MR * kb];
+        match trans {
+            PackTrans::No => {
+                // op(A)[ic+i, pc+p] = A[ic+i, pc+p]: source columns are
+                // contiguous, copy `rows` at a time.
+                for p in 0..kb {
+                    let src = &a.col(pc + p)[ic + i0..ic + i0 + rows];
+                    let dst = &mut panel[p * MR..p * MR + rows];
+                    dst.copy_from_slice(src);
+                    panel[p * MR + rows..(p + 1) * MR].fill(0.0);
+                }
+            }
+            PackTrans::Yes => {
+                // op(A)[ic+i, pc+p] = A[pc+p, ic+i]: each packed row i walks
+                // a source column (ic+i0+i), contiguous over p.
+                for i in 0..rows {
+                    let src = &a.col(ic + i0 + i)[pc..pc + kb];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * MR + i] = v;
+                    }
+                }
+                if rows < MR {
+                    for p in 0..kb {
+                        panel[p * MR + rows..(p + 1) * MR].fill(0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kb × nb` block of `op(B)` starting at (`pc`, `jc`) (indices in
+/// the *operated* matrix) into `buf` in column-micro-panel order.
+///
+/// `buf` must hold at least `kb * nb.next_multiple_of(NR)` elements.
+pub(crate) fn pack_b(
+    trans: PackTrans,
+    b: MatView<'_>,
+    pc: usize,
+    kb: usize,
+    jc: usize,
+    nb: usize,
+    buf: &mut [f64],
+) {
+    let panels = nb.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * NR * kb);
+    for q in 0..panels {
+        let j0 = q * NR;
+        let cols = NR.min(nb - j0);
+        let panel = &mut buf[q * NR * kb..(q + 1) * NR * kb];
+        match trans {
+            PackTrans::No => {
+                // op(B)[pc+p, jc+j] = B[pc+p, jc+j]: walk the NR source
+                // columns, scattering each into stride-NR slots.
+                for j in 0..cols {
+                    let src = &b.col(jc + j0 + j)[pc..pc + kb];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * NR + j] = v;
+                    }
+                }
+            }
+            PackTrans::Yes => {
+                // op(B)[pc+p, jc+j] = B[jc+j, pc+p]: each packed row p is a
+                // stretch of a source column (pc+p), strided over j.
+                for p in 0..kb {
+                    let src = b.col(pc + p);
+                    for j in 0..cols {
+                        panel[p * NR + j] = src[jc + j0 + j];
+                    }
+                }
+            }
+        }
+        if cols < NR {
+            for p in 0..kb {
+                panel[p * NR + cols..(p + 1) * NR].fill(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::Matrix;
+
+    fn numbered(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| (i * 100 + j) as f64)
+    }
+
+    #[test]
+    fn pack_a_notrans_layout_and_padding() {
+        let a = numbered(MR + 3, 5);
+        let mb = MR + 3;
+        let kb = 5;
+        let mut buf = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
+        pack_a(PackTrans::No, a.view(), 0, mb, 0, kb, &mut buf);
+        // Panel 0, column p, row i.
+        for p in 0..kb {
+            for i in 0..MR {
+                assert_eq!(buf[p * MR + i], a[(i, p)]);
+            }
+        }
+        // Panel 1 holds rows MR..MR+3 then zero padding.
+        let panel1 = &buf[MR * kb..];
+        for p in 0..kb {
+            for i in 0..3 {
+                assert_eq!(panel1[p * MR + i], a[(MR + i, p)]);
+            }
+            for i in 3..MR {
+                assert_eq!(panel1[p * MR + i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_trans_matches_notrans_of_transpose() {
+        let a = numbered(6, MR + 2);
+        let at = a.transpose(); // (MR+2) x 6
+        let (mb, kb) = (MR + 2, 6);
+        let mut packed_t = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
+        let mut packed_n = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
+        pack_a(PackTrans::Yes, a.view(), 0, mb, 0, kb, &mut packed_t);
+        pack_a(PackTrans::No, at.view(), 0, mb, 0, kb, &mut packed_n);
+        assert_eq!(packed_t, packed_n);
+    }
+
+    #[test]
+    fn pack_b_notrans_layout_and_padding() {
+        let b = numbered(4, NR + 1);
+        let (kb, nb) = (4, NR + 1);
+        let mut buf = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
+        pack_b(PackTrans::No, b.view(), 0, kb, 0, nb, &mut buf);
+        for p in 0..kb {
+            for j in 0..NR {
+                assert_eq!(buf[p * NR + j], b[(p, j)]);
+            }
+        }
+        let panel1 = &buf[NR * kb..];
+        for p in 0..kb {
+            assert_eq!(panel1[p * NR], b[(p, NR)]);
+            for j in 1..NR {
+                assert_eq!(panel1[p * NR + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_trans_matches_notrans_of_transpose() {
+        let b = numbered(NR + 3, 7);
+        let bt = b.transpose(); // 7 x (NR+3)
+        let (kb, nb) = (7, NR + 3);
+        let mut packed_t = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
+        let mut packed_n = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
+        pack_b(PackTrans::Yes, b.view(), 0, kb, 0, nb, &mut packed_t);
+        pack_b(PackTrans::No, bt.view(), 0, kb, 0, nb, &mut packed_n);
+        assert_eq!(packed_t, packed_n);
+    }
+
+    #[test]
+    fn packing_interior_blocks_respects_offsets() {
+        let a = numbered(20, 20);
+        let (ic, pc, mb, kb) = (3, 5, MR, 4);
+        let mut buf = vec![f64::NAN; MR * kb];
+        pack_a(PackTrans::No, a.view(), ic, mb, pc, kb, &mut buf);
+        for p in 0..kb {
+            for i in 0..MR {
+                assert_eq!(buf[p * MR + i], a[(ic + i, pc + p)]);
+            }
+        }
+        let mut buf = vec![f64::NAN; 2 * NR * kb];
+        pack_b(PackTrans::No, a.view(), pc, kb, ic, 2 * NR, &mut buf);
+        for q in 0..2 {
+            for p in 0..kb {
+                for j in 0..NR {
+                    assert_eq!(buf[q * NR * kb + p * NR + j], a[(pc + p, ic + q * NR + j)]);
+                }
+            }
+        }
+    }
+}

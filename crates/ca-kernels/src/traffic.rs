@@ -11,10 +11,24 @@
 
 const W: f64 = 8.0; // bytes per f64
 
-/// `C += A·B` with `C` `m × n`, inner dimension `k`: read A, B, read+write
-/// C once each (blocked, working set cached).
+/// `C += A·B` with `C` `m × n`, inner dimension `k`, on the packed
+/// BLIS-style path: packing copies are real memory traffic and are charged
+/// here so the roofline GB/s attribution stays honest.
+///
+/// Per the blocked loop structure (`jc` over `NC`, `pc` over `KC`, `ic` over
+/// `MC` — constants re-exported by this crate):
+/// * every `KC × NC` tile of B is packed exactly once — B is read and
+///   pack-written once in total (`2·k·n` words);
+/// * every `MC × KC` block of A is re-packed for each `jc` sweep — A is
+///   read and pack-written `⌈n/NC⌉` times (`2·m·k·⌈n/NC⌉` words);
+/// * C streams through once per `pc` sweep — read and written `⌈k/KC⌉`
+///   times (`2·m·n·⌈k/KC⌉` words).
 pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
-    W * ((m * k) as f64 + (k * n) as f64 + 2.0 * (m * n) as f64)
+    let a_sweeps = n.div_ceil(crate::NC).max(1) as f64;
+    let c_sweeps = k.div_ceil(crate::KC).max(1) as f64;
+    W * (2.0 * (m * k) as f64 * a_sweeps
+        + 2.0 * (k * n) as f64
+        + 2.0 * (m * n) as f64 * c_sweeps)
 }
 
 /// Right triangular solve `B := B·U⁻¹`, `B` `m × n`: read U, read+write B.
@@ -79,9 +93,23 @@ mod tests {
     }
 
     #[test]
-    fn gemm_traffic_is_linear_in_operands() {
+    fn gemm_traffic_counts_packing_copies() {
+        // 100³ fits inside one cache block in every dimension: each operand
+        // is read once and pack-written once, C is read+written once.
         let t = gemm(100, 100, 100);
-        assert_eq!(t, 8.0 * (10_000.0 + 10_000.0 + 20_000.0));
+        assert_eq!(t, 8.0 * (2.0 * 10_000.0 + 2.0 * 10_000.0 + 2.0 * 10_000.0));
+    }
+
+    #[test]
+    fn gemm_traffic_charges_repacking_across_sweeps() {
+        // k > KC: C streams once per pc sweep. n > NC: A repacked per jc
+        // sweep. Both must exceed the single-block model.
+        let single = gemm(64, 64, 64) / (64.0 * 64.0);
+        let deep = gemm(64, 64, 4 * crate::KC) / (64.0 * 4.0 * crate::KC as f64);
+        assert!(deep < 4.0 * single, "deep-k traffic should amortize A/B reads");
+        let wide = gemm(64, 4 * crate::NC, 64);
+        let narrow = gemm(64, crate::NC, 64);
+        assert!(wide > 3.9 * narrow, "wide-n must charge A repacking per sweep");
     }
 
     #[test]

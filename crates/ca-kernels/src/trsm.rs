@@ -2,8 +2,19 @@
 //!
 //! Only the variants the factorizations need are implemented, as standalone
 //! functions with self-describing names rather than a flag-driven monolith.
+//!
+//! The two hot variants (`trsm_right_upper_notrans` — Task L of CALU — and
+//! `trsm_left_lower_unit` — the `U₁₂` block row) are blocked: the triangle
+//! is carved into `TRSM_NB`-wide diagonal blocks solved by the scalar base
+//! case, and everything off-diagonal becomes a rank-`TRSM_NB` [`gemm`]
+//! update, so the bulk of the arithmetic runs on the packed BLIS-style
+//! GEMM path.
 
+use crate::gemm::{gemm, Trans};
 use ca_matrix::{MatView, MatViewMut};
+
+/// Diagonal-block order below which the scalar base-case solver runs.
+const TRSM_NB: usize = 64;
 
 /// `B := B * U⁻¹` with `U` upper triangular, non-unit diagonal
 /// (`dtrsm('R','U','N','N')`).
@@ -20,6 +31,31 @@ pub fn trsm_right_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
     let n = u.nrows();
     assert_eq!(u.ncols(), n, "U must be square");
     assert_eq!(b.ncols(), n, "B column count must equal order of U");
+    let mut j0 = 0;
+    while j0 < n {
+        let w = TRSM_NB.min(n - j0);
+        if j0 > 0 {
+            // B[:, j0..j0+w] -= B[:, 0..j0] · U[0..j0, j0..j0+w]
+            let m = b.nrows();
+            let (solved, rest) = b.rb().split_at_col(j0);
+            gemm(
+                Trans::No,
+                Trans::No,
+                -1.0,
+                solved.as_ref(),
+                u.sub(0, j0, j0, w),
+                1.0,
+                rest.into_sub(0, 0, m, w),
+            );
+        }
+        trsm_right_upper_notrans_base(u.sub(j0, j0, w, w), b.sub(0, j0, b.nrows(), w));
+        j0 += w;
+    }
+}
+
+/// Scalar base case of [`trsm_right_upper_notrans`] (one diagonal block).
+fn trsm_right_upper_notrans_base(u: MatView<'_>, mut b: MatViewMut<'_>) {
+    let n = u.nrows();
     let m = b.nrows();
     for j in 0..n {
         // B[:, j] -= sum_{k<j} B[:, k] * U[k, j]
@@ -53,6 +89,31 @@ pub fn trsm_left_lower_unit(l: MatView<'_>, mut b: MatViewMut<'_>) {
     let m = l.nrows();
     assert_eq!(l.ncols(), m, "L must be square");
     assert_eq!(b.nrows(), m, "B row count must equal order of L");
+    let n = b.ncols();
+    let mut k0 = 0;
+    while k0 < m {
+        let w = TRSM_NB.min(m - k0);
+        trsm_left_lower_unit_base(l.sub(k0, k0, w, w), b.sub(k0, 0, w, n));
+        if k0 + w < m {
+            // B[k0+w.., :] -= L[k0+w.., k0..k0+w] · B[k0..k0+w, :]
+            let (top, below) = b.rb().split_at_row(k0 + w);
+            gemm(
+                Trans::No,
+                Trans::No,
+                -1.0,
+                l.sub(k0 + w, k0, m - k0 - w, w),
+                top.as_ref().sub(k0, 0, w, n),
+                1.0,
+                below,
+            );
+        }
+        k0 += w;
+    }
+}
+
+/// Scalar base case of [`trsm_left_lower_unit`] (one diagonal block).
+fn trsm_left_lower_unit_base(l: MatView<'_>, mut b: MatViewMut<'_>) {
+    let m = l.nrows();
     let n = b.ncols();
     for j in 0..n {
         let bj = b.col_mut(j);
@@ -250,6 +311,33 @@ mod tests {
         b.view_mut().fill(1.0);
         trsm_right_upper_notrans(u.view(), b.view_mut());
         assert!(b.as_slice().iter().any(|x| !x.is_finite()));
+    }
+
+    #[test]
+    fn right_upper_blocked_crosses_nb_boundary() {
+        // Orders straddling TRSM_NB exercise the gemm off-diagonal update.
+        for &n in &[TRSM_NB - 1, TRSM_NB, TRSM_NB + 1, 2 * TRSM_NB + 5] {
+            let u = random_upper(n, 21);
+            let x_true = ca_matrix::random_uniform(33, n, &mut ca_matrix::seeded_rng(22));
+            let b = x_true.matmul(&u);
+            let mut x = b.clone();
+            trsm_right_upper_notrans(u.view(), x.view_mut());
+            let err = norm_max(x.sub_matrix(&x_true).view());
+            assert!(err < 1e-10 * n as f64, "n={n} err {err}");
+        }
+    }
+
+    #[test]
+    fn left_lower_blocked_crosses_nb_boundary() {
+        for &m in &[TRSM_NB - 1, TRSM_NB, TRSM_NB + 1, 2 * TRSM_NB + 5] {
+            let l = random_unit_lower(m, 23);
+            let x_true = ca_matrix::random_uniform(m, 7, &mut ca_matrix::seeded_rng(24));
+            let b = l.matmul(&x_true);
+            let mut x = b.clone();
+            trsm_left_lower_unit(l.view(), x.view_mut());
+            let err = norm_max(x.sub_matrix(&x_true).view());
+            assert!(err < 1e-10 * m as f64, "m={m} err {err}");
+        }
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! * [`ShadowRegistry`] — the lease registry behind checked execution mode,
 //!   auditing that every block access stays inside its task's declared
 //!   footprint and never overlaps a live conflicting lease;
+//! * [`AlignedBuf`] — cache-line-aligned scratch, the packing-buffer
+//!   substrate under the BLIS-style packed GEMM in `ca-kernels`;
 //! * norms, residual measures, and reproducible test-matrix generators.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod aligned;
 mod generate;
 pub mod io;
 mod matrix;
@@ -29,6 +32,7 @@ pub mod shadow;
 mod shared;
 mod view;
 
+pub use aligned::AlignedBuf;
 pub use generate::{
     deficient_top_block, graded_rows, kahan, random_diag_dominant, random_normal,
     random_orthogonal, random_uniform, seeded_rng, wilkinson_growth,

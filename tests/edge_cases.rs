@@ -122,3 +122,72 @@ fn more_threads_than_tasks() {
     let f = calu(a.clone(), &CaParams::new(16, 1, 32));
     assert!(f.residual(&a) < 1e-13);
 }
+
+// --- Register-blocking residue classes ------------------------------------
+//
+// The packed GEMM path tiles C into MR × NR register blocks; partial tiles
+// on the right/bottom rim go through a separate zero-padded edge kernel.
+// Walk every (m mod MR, n mod NR) residue class so each rim shape is hit
+// both directly and through a full factorization's trailing updates.
+
+#[test]
+fn gemm_every_register_residue_class() {
+    use ca_factor::kernels::{gemm, Trans, MR, NR};
+    for mr in 0..MR {
+        for nr in 0..NR {
+            let (m, n, k) = (MR + mr, NR + nr, 7);
+            let mut rng = seeded_rng((mr * NR + nr) as u64);
+            let a = random_uniform(m, k, &mut rng);
+            let b = random_uniform(k, n, &mut rng);
+            let c0 = random_uniform(m, n, &mut rng);
+            let mut c = c0.clone();
+            gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 1.0, c.view_mut());
+            for j in 0..n {
+                for i in 0..m {
+                    let mut want = c0[(i, j)];
+                    for p in 0..k {
+                        want += a[(i, p)] * b[(p, j)];
+                    }
+                    assert!(
+                        (c[(i, j)] - want).abs() < 1e-13,
+                        "residue ({mr},{nr}) at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn factorizations_across_register_residue_classes() {
+    // CALU/CAQR with trailing-update widths sweeping the MR/NR residues:
+    // n = 3b + r keeps the last panel and every update rim partial.
+    use ca_factor::kernels::{MR, NR};
+    for r in 0..MR.max(NR) {
+        let (m, n) = (3 * MR + r, 2 * MR + r);
+        let a = random_uniform(m, n, &mut seeded_rng(100 + r as u64));
+        let p = CaParams::new(MR - 1, 2, 2);
+        let f = calu(a.clone(), &p);
+        assert!(f.residual(&a) < 1e-12, "CALU residue {r}");
+        let qr = caqr(a.clone(), &p);
+        assert!(qr.residual(&a) < 1e-12, "CAQR residue {r}");
+    }
+}
+
+#[test]
+fn residue_classes_under_checked_executor() {
+    // The PR-3 checked executor (static DAG verification + shadow lease
+    // registry) must accept the same rim shapes: an out-of-footprint write
+    // by an edge kernel would surface here as a lease violation.
+    use ca_factor::core::{try_calu_checked, try_caqr_checked};
+    use ca_factor::kernels::{MR, NR};
+    for r in [0, 1, MR - 1, NR - 1] {
+        let (m, n) = (3 * MR + r, 2 * MR + r);
+        let a = random_uniform(m, n, &mut seeded_rng(200 + r as u64));
+        let p = CaParams::new(MR - 1, 2, 2);
+        let (f, _) = try_calu_checked(a.clone(), &p).expect("checked CALU");
+        assert!(f.residual(&a) < 1e-12, "checked CALU residue {r}");
+        let (qr, _) = try_caqr_checked(a.clone(), &p).expect("checked CAQR");
+        assert!(qr.residual(&a) < 1e-12, "checked CAQR residue {r}");
+    }
+}
