@@ -1,0 +1,122 @@
+//! Pool-churn microbench: the one-shot graph executor's scoped worker pool
+//! (spawn threads, run, join — per call) against the process-wide
+//! persistent pool (`ca_sched::run_graph_persistent`, what the
+//! `persistent-pool` feature makes the default), on the workload the
+//! satellite targets: many small factorization-shaped graphs where thread
+//! spawn/join is a visible fraction of every call.
+//!
+//! Each call runs a panel-and-updates graph (1 root + `width` dependent
+//! trailing updates, the shape of one CALU step) whose tasks do real GEMM
+//! work on `nb × nb` blocks. Writes `results/BENCH_pool.json`.
+//! Flags: `--quick`, `--threads W`, `--out DIR`.
+
+use ca_kernels::{gemm, Trans};
+use ca_matrix::{random_uniform, seeded_rng, Matrix};
+use ca_sched::{job, Job, KernelClass, TaskGraph, TaskKind, TaskLabel, TaskMeta};
+use serde_json::json;
+use std::time::Instant;
+
+/// Builds the panel-and-updates graph: task 0 (panel) then `width` update
+/// tasks depending on it, each GEMM-ing its own `nb²` block.
+fn build_graph<'a>(
+    a: &'a Matrix,
+    b: &'a Matrix,
+    cs: &'a mut [Matrix],
+) -> TaskGraph<Job<'a>> {
+    let nb = a.nrows();
+    let fl = ca_kernels::flops::gemm(nb, nb, nb);
+    let mut g = TaskGraph::new();
+    let root = g.add_task(
+        TaskMeta::new(TaskLabel::new(TaskKind::Panel, 0, 0, 0), fl)
+            .with_class(KernelClass::Gemm),
+        job(move || {
+            std::hint::black_box(a.view());
+        }),
+    );
+    for (j, c) in cs.iter_mut().enumerate() {
+        let t = g.add_task(
+            TaskMeta::new(TaskLabel::new(TaskKind::Update, 0, 0, j), fl)
+                .with_class(KernelClass::Gemm),
+            job(move || {
+                gemm(Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, c.view_mut());
+            }),
+        );
+        g.add_dep(root, t);
+    }
+    g
+}
+
+/// Best-of-3 total seconds for `reps` calls of `f`, each on a fresh graph.
+fn time_calls(
+    nb: usize,
+    width: usize,
+    reps: usize,
+    f: impl Fn(TaskGraph<Job<'_>>),
+) -> f64 {
+    let mut rng = seeded_rng(nb as u64);
+    let a = random_uniform(nb, nb, &mut rng);
+    let b = random_uniform(nb, nb, &mut rng);
+    let mut cs: Vec<Matrix> = (0..width).map(|_| Matrix::zeros(nb, nb)).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f(build_graph(&a, &b, &mut cs));
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let cli = ca_bench::Cli::parse(std::env::args().skip(1));
+    let threads = cli.threads;
+    let reps = if cli.quick { 30 } else { 200 };
+    let shapes: &[(usize, usize)] =
+        if cli.quick { &[(16, 4), (32, 8)] } else { &[(16, 4), (32, 8), (64, 8), (100, 10)] };
+
+    println!(
+        "pool churn — {reps} graph runs per row, {threads} thread(s), persistent pool: {} lane(s)",
+        ca_sched::persistent_pool_threads()
+    );
+    println!("{:>5} {:>6}  {:>12} {:>12} {:>9}", "nb", "tasks", "scoped µs", "persist µs", "speedup");
+
+    let mut rows = Vec::new();
+    for &(nb, width) in shapes {
+        let t_scoped =
+            time_calls(nb, width, reps, |g| drop(ca_sched::run_graph_scoped(g, threads)));
+        let t_persist =
+            time_calls(nb, width, reps, |g| drop(ca_sched::run_graph_persistent(g, threads)));
+        let speedup = t_scoped / t_persist;
+        let per = |t: f64| t / reps as f64 * 1e6;
+        println!(
+            "{nb:>5} {:>6}  {:>12.1} {:>12.1} {speedup:>8.2}x",
+            width + 1,
+            per(t_scoped),
+            per(t_persist)
+        );
+        rows.push(json!({
+            "nb": nb as f64,
+            "tasks": (width + 1) as f64,
+            "reps": reps as f64,
+            "scoped_us_per_call": per(t_scoped),
+            "persistent_us_per_call": per(t_persist),
+            "speedup": speedup,
+        }));
+    }
+
+    let report = json!({
+        "bench": "pool_churn",
+        "threads": threads as f64,
+        "rows": rows,
+    });
+    if let Err(e) = std::fs::create_dir_all(&cli.out) {
+        eprintln!("warning: could not create {}: {e}", cli.out.display());
+        return;
+    }
+    let path = cli.out.join("BENCH_pool.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable")) {
+        Ok(()) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("warning: could not save {}: {e}", path.display()),
+    }
+}

@@ -295,7 +295,7 @@ impl CaluPlan {
     // DAG executor: every access falls inside the footprint declared in
     // build(), which `verify_graph` proves conflict-ordered.
     #[allow(clippy::disallowed_methods)]
-    fn exec(&self, a: &SharedMatrix, t: CaluTask) {
+    pub(crate) fn exec(&self, a: &SharedMatrix, t: CaluTask) {
         let m = self.m;
         let n = self.n;
         let b = self.b;
@@ -542,7 +542,7 @@ pub(crate) fn profile_run(
 }
 
 /// Gathers the per-panel results once every task completed successfully.
-fn collect_factors(plan: &CaluPlan, shared: SharedMatrix) -> LuFactors {
+pub(crate) fn collect_factors(plan: &CaluPlan, shared: SharedMatrix) -> LuFactors {
     let mut pivots = PivotSeq::new(0);
     let mut breakdown = None;
     let mut stats = LuStats::default();

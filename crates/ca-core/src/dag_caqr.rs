@@ -183,7 +183,7 @@ impl CaqrPlan {
     // DAG executor: every access falls inside the footprint declared in
     // build(), which `verify_graph` proves conflict-ordered.
     #[allow(clippy::disallowed_methods)]
-    fn exec(&self, a: &SharedMatrix, t: CaqrTask) {
+    pub(crate) fn exec(&self, a: &SharedMatrix, t: CaqrTask) {
         let b = self.b;
         let n = self.n;
         match t {
@@ -346,7 +346,7 @@ pub(crate) fn profile_run(
 }
 
 /// Gathers the per-panel `Q` representations after a successful run.
-fn collect_factors(plan: CaqrPlan, shared: SharedMatrix) -> QrFactors {
+pub(crate) fn collect_factors(plan: CaqrPlan, shared: SharedMatrix) -> QrFactors {
     let mut panels = Vec::with_capacity(plan.panels.len());
     for ctx in plan.panels {
         let leaves = ctx.leaves.into_iter().map(|l| l.into_inner().expect("leaf missing")).collect();

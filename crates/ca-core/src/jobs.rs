@@ -1,0 +1,323 @@
+//! `'static` task graphs for the serving runtime (`ca-serve`).
+//!
+//! The one-shot entry points ([`crate::calu`], [`crate::caqr`]) build jobs
+//! that borrow the plan and matrix from the submitting stack frame — fine
+//! when the caller blocks until the graph drains. A service job outlives
+//! its submission call, so the builders here produce graphs of owning
+//! [`DynJob`] closures (`Arc`-shared plan and matrix) plus a *sink task*
+//! that assembles the result once every compute task has finished:
+//!
+//! * Every compute task holds an `Arc` to the plan and the shared matrix
+//!   and is consumed when it runs (the executor calls the `FnOnce` by
+//!   value), dropping its clones.
+//! * The sink depends on every task without successors — and therefore,
+//!   transitively, on every task of the graph — so when it runs it holds
+//!   the *last* `Arc` and can unwrap the shared matrix to collect factors
+//!   exactly like the one-shot paths do.
+//! * If any task fails or the job is cancelled, the sink never runs and
+//!   the output slot stays empty; the dropped closures release the `Arc`s.
+
+use crate::calu::LuFactors;
+use crate::caqr::QrFactors;
+use crate::error::{find_non_finite, FactorError};
+use crate::params::CaParams;
+use crate::{dag_calu, dag_caqr};
+use ca_matrix::{Matrix, SharedMatrix};
+use ca_sched::{DynJob, TaskFailure, TaskGraph, TaskId, TaskKind, TaskLabel, TaskMeta};
+use std::sync::{Arc, OnceLock};
+
+/// Graph, sink task id, and output slot — the pieces a serve-graph builder
+/// assembles before the sink id is discarded or reused by a fused builder.
+type GraphParts<T> = (TaskGraph<DynJob>, TaskId, Arc<OnceLock<T>>);
+
+/// A `'static` job graph plus the handle its sink task deposits the result
+/// into. Submit `graph` to a [`ca_sched::MultiFrontier`]; `output` is
+/// filled iff the job completes (every task succeeded).
+pub struct ServeGraph<T> {
+    /// The job graph, ready for [`ca_sched::MultiFrontier::submit`].
+    pub graph: TaskGraph<DynJob>,
+    /// Written by the sink task on successful completion.
+    pub output: Arc<OnceLock<T>>,
+}
+
+/// Appends `body` as a sink task depending on every current leaf (and thus
+/// transitively on every task). Returns the sink's id.
+fn add_sink(
+    graph: &mut TaskGraph<DynJob>,
+    flops: f64,
+    body: impl FnOnce() + Send + 'static,
+) -> TaskId {
+    let leaves: Vec<TaskId> =
+        (0..graph.len()).filter(|&t| graph.successors(t).is_empty()).collect();
+    let sink = graph.add_task(
+        TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), flops),
+        ca_sched::dyn_job(body),
+    );
+    graph.add_deps(leaves, sink);
+    sink
+}
+
+/// CALU serve graph: the full multithreaded DAG of [`crate::calu`] with an
+/// owning payload per task and a factor-collecting sink.
+///
+/// Rejects matrices with non-finite entries up front (the service returns
+/// the error synchronously instead of poisoning a running job).
+pub fn calu_serve_graph(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<ServeGraph<LuFactors>, FactorError> {
+    let (graph, _, output) = calu_graph_parts(a, p)?;
+    Ok(ServeGraph { graph, output })
+}
+
+fn calu_graph_parts(a: Matrix, p: &CaParams) -> Result<GraphParts<LuFactors>, FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = Arc::new(dag_calu::build(m, n, p));
+    let shared = Arc::new(SharedMatrix::new(a));
+    let output = Arc::new(OnceLock::new());
+
+    let mut graph: TaskGraph<DynJob> = plan.graph.map_ref(|_, &spec| {
+        let plan = Arc::clone(&plan);
+        let shared = Arc::clone(&shared);
+        ca_sched::dyn_job(move || plan.exec(&shared, spec))
+    });
+    let sink = {
+        let plan = Arc::clone(&plan);
+        let shared = Arc::clone(&shared);
+        let output = Arc::clone(&output);
+        add_sink(&mut graph, 0.0, move || {
+            let shared = Arc::try_unwrap(shared)
+                .unwrap_or_else(|_| panic!("matrix still referenced at sink"));
+            let _ = output.set(dag_calu::collect_factors(&plan, shared));
+        })
+    };
+    Ok((graph, sink, output))
+}
+
+/// CAQR serve graph: the full multithreaded DAG of [`crate::caqr`] with an
+/// owning payload per task and a factor-collecting sink.
+pub fn caqr_serve_graph(
+    a: Matrix,
+    p: &CaParams,
+) -> Result<ServeGraph<QrFactors>, FactorError> {
+    let (graph, _, output) = caqr_graph_parts(a, p)?;
+    Ok(ServeGraph { graph, output })
+}
+
+fn caqr_graph_parts(a: Matrix, p: &CaParams) -> Result<GraphParts<QrFactors>, FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = Arc::new(dag_caqr::build(m, n, p));
+    let shared = Arc::new(SharedMatrix::new(a));
+    let output = Arc::new(OnceLock::new());
+
+    let mut graph: TaskGraph<DynJob> = plan.graph.map_ref(|_, &spec| {
+        let plan = Arc::clone(&plan);
+        let shared = Arc::clone(&shared);
+        ca_sched::dyn_job(move || plan.exec(&shared, spec))
+    });
+    let sink = {
+        let output = Arc::clone(&output);
+        add_sink(&mut graph, 0.0, move || {
+            // Last holders standing: every compute task's clone was
+            // consumed before this sink became ready.
+            let plan = Arc::try_unwrap(plan)
+                .unwrap_or_else(|_| panic!("plan still referenced at sink"));
+            let shared = Arc::try_unwrap(shared)
+                .unwrap_or_else(|_| panic!("matrix still referenced at sink"));
+            let _ = output.set(dag_caqr::collect_factors(plan, shared));
+        })
+    };
+    Ok((graph, sink, output))
+}
+
+/// Factor-and-solve serve graph for square `A·X = rhs`: the CALU DAG plus a
+/// solve sink running [`LuFactors::try_solve`]. A pivot breakdown surfaces
+/// as a failed job (the [`FactorError`] message travels in the
+/// [`ca_sched::ExecError`]); the factors themselves are discarded.
+///
+/// # Panics
+/// Panics if `A` is not square or `rhs` has the wrong row count (the
+/// service layer validates shapes before building).
+pub fn lu_solve_serve_graph(
+    a: Matrix,
+    rhs: Matrix,
+    p: &CaParams,
+) -> Result<ServeGraph<Matrix>, FactorError> {
+    assert_eq!(a.nrows(), a.ncols(), "solve requires square A");
+    assert_eq!(rhs.nrows(), a.nrows(), "rhs row mismatch");
+    if let Some((row, col)) = find_non_finite(&rhs) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let flops = 2.0 * (a.nrows() as f64) * (a.nrows() as f64) * (rhs.ncols() as f64);
+    let (mut graph, fsink, factors) = calu_graph_parts(a, p)?;
+    let output = Arc::new(OnceLock::new());
+    let out = Arc::clone(&output);
+    let solve = graph.add_task(
+        TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 1), flops),
+        Box::new(move || {
+            let f = factors.get().expect("factor sink must precede solve");
+            match f.try_solve(&rhs) {
+                Ok(x) => {
+                    let _ = out.set(x);
+                    Ok(())
+                }
+                Err(e) => Err(TaskFailure::new(e.to_string())),
+            }
+        }),
+    );
+    graph.add_dep(fsink, solve);
+    Ok(ServeGraph { graph, output })
+}
+
+/// Factor-and-least-squares serve graph for tall `A` (`m ≥ n`): the CAQR
+/// DAG plus a sink running [`QrFactors::try_solve_ls`]. Rank deficiency
+/// surfaces as a failed job.
+///
+/// # Panics
+/// Panics if `m < n` or `rhs` has the wrong row count.
+pub fn qr_lstsq_serve_graph(
+    a: Matrix,
+    rhs: Matrix,
+    p: &CaParams,
+) -> Result<ServeGraph<Matrix>, FactorError> {
+    assert!(a.nrows() >= a.ncols(), "least squares needs a tall matrix");
+    assert_eq!(rhs.nrows(), a.nrows(), "rhs row mismatch");
+    if let Some((row, col)) = find_non_finite(&rhs) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let flops = 2.0 * (a.ncols() as f64) * (a.nrows() as f64) * (rhs.ncols() as f64);
+    let (mut graph, fsink, factors) = caqr_graph_parts(a, p)?;
+    let output = Arc::new(OnceLock::new());
+    let out = Arc::clone(&output);
+    let solve = graph.add_task(
+        TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 1), flops),
+        Box::new(move || {
+            let f = factors.get().expect("factor sink must precede solve");
+            match f.try_solve_ls(&rhs) {
+                Ok(x) => {
+                    let _ = out.set(x);
+                    Ok(())
+                }
+                Err(e) => Err(TaskFailure::new(e.to_string())),
+            }
+        }),
+    );
+    graph.add_dep(fsink, solve);
+    Ok(ServeGraph { graph, output })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calu::calu_seq_factor;
+    use crate::caqr::caqr_seq;
+    use ca_matrix::{norm_max, seeded_rng};
+    use ca_sched::{JobOptions, JobOutcome, MultiFrontier};
+
+    #[test]
+    fn calu_serve_graph_matches_sequential_bitwise() {
+        let a = ca_matrix::random_uniform(96, 96, &mut seeded_rng(20));
+        let p = CaParams::new(16, 4, 2);
+        let reference = calu_seq_factor(a.clone(), &p);
+
+        let f = MultiFrontier::new(2);
+        let sg = calu_serve_graph(a, &p).expect("finite input");
+        let (_, watch) = f.submit(sg.graph, JobOptions::default());
+        assert!(watch.wait().outcome.is_completed());
+        let lu = sg.output.get().expect("output set");
+        assert_eq!(lu.pivots.ipiv, reference.pivots.ipiv);
+        assert_eq!(lu.lu.as_slice(), reference.lu.as_slice());
+        f.shutdown();
+    }
+
+    #[test]
+    fn caqr_serve_graph_matches_sequential_bitwise() {
+        let a = ca_matrix::random_uniform(96, 64, &mut seeded_rng(21));
+        let p = CaParams::new(16, 4, 2);
+        let reference = caqr_seq(a.clone(), &p);
+
+        let f = MultiFrontier::new(2);
+        let sg = caqr_serve_graph(a, &p).expect("finite input");
+        let (_, watch) = f.submit(sg.graph, JobOptions::default());
+        assert!(watch.wait().outcome.is_completed());
+        let qr = sg.output.get().expect("output set");
+        assert_eq!(qr.a.as_slice(), reference.a.as_slice());
+        f.shutdown();
+    }
+
+    #[test]
+    fn solve_graph_solves_and_reports_breakdown() {
+        let n = 48;
+        let a = ca_matrix::random_uniform(n, n, &mut seeded_rng(22));
+        let x_true = ca_matrix::random_uniform(n, 1, &mut seeded_rng(23));
+        let b = a.matmul(&x_true);
+        let p = CaParams::new(8, 4, 2);
+
+        let f = MultiFrontier::new(2);
+        let sg = lu_solve_serve_graph(a, b, &p).expect("finite input");
+        let (_, watch) = f.submit(sg.graph, JobOptions::default());
+        assert!(watch.wait().outcome.is_completed());
+        let x = sg.output.get().expect("solution set");
+        assert!(norm_max(x.sub_matrix(&x_true).view()) < 1e-8);
+
+        // Singular system: the solve sink fails the job with ZeroPivot.
+        let mut s = ca_matrix::random_uniform(n, n, &mut seeded_rng(24));
+        for i in 0..n {
+            let v = s[(i, 0)];
+            for j in 1..n {
+                s[(i, j)] = v; // rank 1
+            }
+        }
+        let rhs = ca_matrix::random_uniform(n, 1, &mut seeded_rng(25));
+        let sg = lu_solve_serve_graph(s, rhs, &p).expect("finite input");
+        let (_, watch) = f.submit(sg.graph, JobOptions::default());
+        match watch.wait().outcome {
+            JobOutcome::Failed(e) => {
+                assert!(e.message.contains("zero pivot"), "message: {}", e.message)
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(sg.output.get().is_none());
+        f.shutdown();
+    }
+
+    #[test]
+    fn lstsq_graph_matches_direct_solve() {
+        let (m, n) = (80, 24);
+        let a = ca_matrix::random_uniform(m, n, &mut seeded_rng(26));
+        let b = ca_matrix::random_uniform(m, 1, &mut seeded_rng(27));
+        let p = CaParams::new(8, 4, 2);
+        let reference = caqr_seq(a.clone(), &p).solve_ls(&b);
+
+        let f = MultiFrontier::new(2);
+        let sg = qr_lstsq_serve_graph(a, b, &p).expect("finite input");
+        let (_, watch) = f.submit(sg.graph, JobOptions::default());
+        assert!(watch.wait().outcome.is_completed());
+        let x = sg.output.get().expect("solution set");
+        assert!(norm_max(x.sub_matrix(&reference).view()) < 1e-10);
+        f.shutdown();
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_at_build_time() {
+        let mut a = ca_matrix::random_uniform(8, 8, &mut seeded_rng(28));
+        a[(2, 3)] = f64::INFINITY;
+        let p = CaParams::new(4, 2, 1);
+        assert!(matches!(
+            calu_serve_graph(a.clone(), &p),
+            Err(FactorError::NonFiniteInput { row: 2, col: 3 })
+        ));
+        assert!(matches!(
+            caqr_serve_graph(a, &p),
+            Err(FactorError::NonFiniteInput { row: 2, col: 3 })
+        ));
+    }
+}

@@ -36,6 +36,7 @@ mod caqr;
 mod dag_calu;
 mod dag_caqr;
 mod error;
+pub mod jobs;
 pub mod solve;
 pub mod params;
 pub mod tournament;
@@ -53,6 +54,9 @@ pub use caqr::{
     try_caqr_with_faults, try_tsqr_factor, tsqr_factor, QrFactors,
 };
 pub use error::{FactorError, DEFAULT_GROWTH_LIMIT};
+pub use jobs::{
+    calu_serve_graph, caqr_serve_graph, lu_solve_serve_graph, qr_lstsq_serve_graph, ServeGraph,
+};
 pub use dag_calu::{calu_task_graph, calu_task_graph_with_access, verify_calu, CaluTask};
 pub use solve::{lu_packed_solve_in_place, RefineInfo};
 pub use dag_caqr::{caqr_task_graph, caqr_task_graph_with_access, verify_caqr, CaqrTask};

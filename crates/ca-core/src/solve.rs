@@ -1,8 +1,10 @@
-//! Solver companions to the LU factorization: transpose solves, iterative
-//! refinement, and 1-norm condition estimation (the classic LAPACK
-//! `dgetrs`/`dgerfs`/`dgecon` trio, built on [`LuFactors`]).
+//! Solver companions to the factorizations: transpose solves, iterative
+//! refinement, 1-norm condition estimation (the classic LAPACK
+//! `dgetrs`/`dgerfs`/`dgecon` trio, built on [`LuFactors`]), and the
+//! fallible least-squares solve on [`QrFactors`].
 
 use crate::calu::LuFactors;
+use crate::caqr::QrFactors;
 use crate::error::{find_non_finite, FactorError};
 use ca_kernels::{
     trsm_left_lower_trans_unit, trsm_left_lower_unit, trsm_left_upper_notrans,
@@ -150,6 +152,34 @@ impl LuFactors {
     }
 }
 
+impl QrFactors {
+    /// Fallible least-squares solve `x = argmin ‖A·x − rhs‖₂` via the
+    /// implicit product `Qᵀ·rhs` followed by the triangular solve with `R`
+    /// (`dgels`-style, full-column-rank `A`, `m ≥ n`).
+    ///
+    /// Unlike [`QrFactors::solve_ls`] this refuses right-hand sides with
+    /// non-finite entries ([`FactorError::NonFiniteInput`]) and factors
+    /// whose `R` has a zero (or non-finite) diagonal entry — i.e. a
+    /// (numerically) rank-deficient `A` — as [`FactorError::ZeroPivot`],
+    /// instead of silently returning a poisoned solution.
+    pub fn try_solve_ls(&self, rhs: &Matrix) -> Result<Matrix, FactorError> {
+        let m = self.a.nrows();
+        let n = self.a.ncols();
+        assert!(m >= n, "least squares needs a tall matrix");
+        assert_eq!(rhs.nrows(), m, "rhs row mismatch");
+        if let Some((row, col)) = find_non_finite(rhs) {
+            return Err(FactorError::NonFiniteInput { row, col });
+        }
+        for col in 0..n {
+            let d = self.a[(col, col)];
+            if d == 0.0 || !d.is_finite() {
+                return Err(FactorError::ZeroPivot { col });
+            }
+        }
+        Ok(self.solve_ls(rhs))
+    }
+}
+
 /// Forward/backward substitution pair for a packed square LU without
 /// pivoting (helper for callers holding raw packed factors).
 pub fn lu_packed_solve_in_place(lu: &Matrix, rhs: &mut Matrix) {
@@ -247,6 +277,61 @@ mod tests {
         let est = f.rcond_estimate(norm_one(a.view()));
         assert!(est <= true_rcond * 3.0 + 1e-12 && est >= true_rcond / 10.0,
             "est {est} vs true {true_rcond}");
+    }
+
+    #[test]
+    fn try_solve_ls_residual_is_orthogonal_to_range() {
+        // The LS residual r = b − A·x must satisfy Aᵀr ≈ 0 (it is the
+        // projection of b onto the orthogonal complement of range(A)).
+        let (m, n) = (60, 20);
+        let a = ca_matrix::random_uniform(m, n, &mut seeded_rng(10));
+        let b = ca_matrix::random_uniform(m, 2, &mut seeded_rng(11));
+        let f = crate::caqr::caqr_seq(a.clone(), &CaParams::new(8, 4, 1));
+        let x = f.try_solve_ls(&b).expect("full-rank LS solve");
+        let r = b.sub_matrix(&a.matmul(&x));
+        let atr = a.transpose().matmul(&r);
+        let scale = norm_inf(a.view()) * norm_inf(b.view());
+        assert!(
+            norm_max(atr.view()) < 1e-12 * scale,
+            "residual not orthogonal: ‖Aᵀr‖ = {}",
+            norm_max(atr.view())
+        );
+    }
+
+    #[test]
+    fn try_solve_ls_matches_known_solution_on_consistent_system() {
+        let (m, n) = (50, 15);
+        let a = ca_matrix::random_uniform(m, n, &mut seeded_rng(12));
+        let x_true = ca_matrix::random_uniform(n, 1, &mut seeded_rng(13));
+        let b = a.matmul(&x_true);
+        let f = crate::caqr::caqr_seq(a, &CaParams::new(8, 4, 1));
+        let x = f.try_solve_ls(&b).expect("consistent system");
+        assert!(norm_max(x.sub_matrix(&x_true).view()) < 1e-9);
+    }
+
+    #[test]
+    fn try_solve_ls_rejects_bad_inputs() {
+        let (m, n) = (24, 8);
+        // Rank-deficient: column 3 is zero, so R[3,3] == 0.
+        let mut a = ca_matrix::random_uniform(m, n, &mut seeded_rng(14));
+        for i in 0..m {
+            a[(i, 3)] = 0.0;
+        }
+        let f = crate::caqr::caqr_seq(a.clone(), &CaParams::new(4, 2, 1));
+        let b = ca_matrix::random_uniform(m, 1, &mut seeded_rng(15));
+        assert!(matches!(
+            f.try_solve_ls(&b),
+            Err(FactorError::ZeroPivot { col: 3 })
+        ));
+
+        let good = ca_matrix::random_uniform(m, n, &mut seeded_rng(16));
+        let f = crate::caqr::caqr_seq(good, &CaParams::new(4, 2, 1));
+        let mut bad_rhs = b.clone();
+        bad_rhs[(5, 0)] = f64::NAN;
+        assert!(matches!(
+            f.try_solve_ls(&bad_rhs),
+            Err(FactorError::NonFiniteInput { row: 5, col: 0 })
+        ));
     }
 
     #[test]

@@ -57,6 +57,8 @@ mod checked;
 mod fault;
 mod footprint;
 mod graph;
+mod multigraph;
+mod persist;
 mod pool;
 mod pool_ws;
 mod profile;
@@ -76,12 +78,18 @@ pub use verify::{
 };
 pub use fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 pub use graph::TaskGraph;
+pub use multigraph::{
+    dyn_job, CancelReason, DynJob, JobId, JobOptions, JobOutcome, JobReport, JobWatch,
+    MultiFrontier,
+};
+pub use persist::persistent_pool_threads;
 pub use pool::{
-    job, profile_run_graph, run_graph, try_run_graph, try_run_graph_with_faults, ExecStats, Job,
+    job, profile_run_graph, run_graph, run_graph_persistent, run_graph_scoped,
+    try_run_graph, try_run_graph_persistent, try_run_graph_with_faults, ExecStats, Job,
 };
 pub use pool_ws::{
     profile_run_graph_stealing, run_graph_stealing, try_run_graph_stealing,
-    try_run_graph_stealing_with_faults,
+    try_run_graph_stealing_persistent, try_run_graph_stealing_with_faults,
 };
 pub use profile::{
     ClassMetrics, KindMetrics, LatencyStats, LookaheadMetrics, PanelWait, Profile, QueueSample,

@@ -1,0 +1,290 @@
+//! Process-wide persistent worker pool ("hub") for the one-shot executors.
+//!
+//! [`crate::run_graph`] and [`crate::run_graph_stealing`] historically
+//! spawned `nthreads` OS threads per call and joined them before returning.
+//! For repeated small factorizations (a server handling many requests, a
+//! bench loop, panel-sized problems) the spawn/join cost dominates. This
+//! module keeps a lazily-initialized, process-wide set of detached worker
+//! threads alive for the lifetime of the process; an executor run borrows
+//! threads from the hub instead of creating them.
+//!
+//! Two details make this safe and fast:
+//!
+//! * **Lane 0 runs inline on the calling thread.** The caller always makes
+//!   progress even if every hub thread is busy, so borrowing can never
+//!   deadlock, and an `nthreads == 1` run touches the hub not at all (the
+//!   fast path for tiny graphs).
+//! * **Worker bodies borrow the caller's stack.** The hub stores
+//!   `'static` closures, so bodies are lifetime-erased before submission
+//!   and the caller blocks on a completion latch before returning — no
+//!   borrow outlives the call (see the safety comment in
+//!   [`run_bodies_persistent`]).
+//!
+//! The hub grows on demand: a submission finding no idle thread spawns one.
+//! Threads are never torn down; the steady-state size is the maximum number
+//! of concurrently borrowed lanes the process ever needed.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased worker body queued on the hub.
+type HubJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct Hub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct HubState {
+    queue: VecDeque<HubJob>,
+    /// Threads parked in [`Hub::cv`] waiting for work.
+    idle: usize,
+    /// Total threads ever spawned (monotonic; threads never exit).
+    spawned: usize,
+}
+
+static HUB: OnceLock<Hub> = OnceLock::new();
+
+fn hub() -> &'static Hub {
+    HUB.get_or_init(|| Hub { state: Mutex::new(HubState::default()), cv: Condvar::new() })
+}
+
+/// Number of threads the process-wide pool has spawned so far. Exposed for
+/// tests and the pool-churn microbench (growth must be bounded by peak
+/// concurrency, not by call count).
+pub fn persistent_pool_threads() -> usize {
+    HUB.get().map_or(0, |h| h.state.lock().expect("hub lock").spawned)
+}
+
+fn submit(job: HubJob) {
+    let h = hub();
+    let mut st = h.state.lock().expect("hub lock");
+    st.queue.push_back(job);
+    if st.idle == 0 {
+        st.spawned += 1;
+        let name = format!("ca-pool-{}", st.spawned);
+        drop(st);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(hub_worker)
+            .expect("spawn persistent pool worker");
+    } else {
+        drop(st);
+        h.cv.notify_one();
+    }
+}
+
+fn hub_worker() {
+    let h = hub();
+    loop {
+        let job = {
+            let mut st = h.state.lock().expect("hub lock");
+            loop {
+                if let Some(j) = st.queue.pop_front() {
+                    break j;
+                }
+                st.idle += 1;
+                st = h.cv.wait(st).expect("hub lock");
+                st.idle -= 1;
+            }
+        };
+        // Worker bodies catch task panics internally; a panic escaping here
+        // is a runtime bug. Contain it so the hub thread survives (the
+        // caller's latch was already released by the unwind).
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            eprintln!("ca-sched: persistent-pool worker body panicked (runtime bug)");
+        }
+    }
+}
+
+/// Countdown latch: the caller blocks until every borrowed lane finished.
+struct Latch {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self { count: Mutex::new(n), cv: Condvar::new() }
+    }
+
+    fn arrive(&self) {
+        let mut c = self.count.lock().expect("latch lock");
+        *c -= 1;
+        if *c == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut c = self.count.lock().expect("latch lock");
+        while *c > 0 {
+            c = self.cv.wait(c).expect("latch lock");
+        }
+    }
+}
+
+/// Decrements the latch when dropped — including during unwinding, so a
+/// panicking body can never leave the caller waiting forever.
+struct ArriveOnDrop<'a>(&'a Latch);
+
+impl Drop for ArriveOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.arrive();
+    }
+}
+
+/// Runs every body to completion: body 0 inline on the calling thread, the
+/// rest on hub threads. Returns only after all bodies have returned.
+pub(crate) fn run_bodies_persistent(bodies: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let mut it = bodies.into_iter();
+    let Some(first) = it.next() else { return };
+    let rest: Vec<_> = it.collect();
+    if rest.is_empty() {
+        // Single lane: run inline, never touch the hub.
+        first();
+        return;
+    }
+    let latch = Arc::new(Latch::new(rest.len()));
+    for body in rest {
+        let latch = Arc::clone(&latch);
+        let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // Declared before the call so it drops *after* the body's
+            // captures are destroyed (FnOnce call frames drop captures
+            // before returning or unwinding out).
+            let _arrive = ArriveOnDrop(&latch);
+            body();
+        });
+        // SAFETY: `wrapped` borrows the caller's stack (executor state such
+        // as the ready queue, task slots and the shared matrix). The
+        // lifetime is erased to queue it on the process-wide hub, which is
+        // sound because this function does not return until `latch.wait()`
+        // observes every wrapper finished, and a wrapper only releases the
+        // latch (via `ArriveOnDrop`) after the body has returned or its
+        // captures were dropped during unwinding. Panic payloads are
+        // `'static` by construction (`Box<dyn Any + Send + 'static>`), so
+        // nothing borrowed can escape through the unwind either.
+        let promoted: HubJob = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, HubJob>(wrapped)
+        };
+        submit(promoted);
+    }
+    first();
+    latch.wait();
+}
+
+/// Runs every body to completion on scoped threads (body 0 inline on the
+/// calling thread) — the classic spawn-per-call strategy.
+pub(crate) fn run_bodies_scoped(bodies: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let mut it = bodies.into_iter();
+    let Some(first) = it.next() else { return };
+    let rest: Vec<_> = it.collect();
+    if rest.is_empty() {
+        first();
+        return;
+    }
+    std::thread::scope(|scope| {
+        for body in rest {
+            scope.spawn(body);
+        }
+        first();
+    });
+}
+
+/// Dispatches to the persistent hub or scoped threads.
+pub(crate) fn run_bodies(persistent: bool, bodies: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    if persistent {
+        run_bodies_persistent(bodies);
+    } else {
+        run_bodies_scoped(bodies);
+    }
+}
+
+/// Whether the one-shot executors route through the persistent pool by
+/// default (the `persistent-pool` feature flips this; the `*_persistent`
+/// entry points always do).
+pub(crate) fn default_persistent() -> bool {
+    cfg!(feature = "persistent-pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_lane_never_touches_hub() {
+        let before = persistent_pool_threads();
+        let hit = AtomicUsize::new(0);
+        for _ in 0..32 {
+            let hit = &hit;
+            run_bodies_persistent(vec![Box::new(move || {
+                hit.fetch_add(1, Ordering::Relaxed);
+            })]);
+        }
+        assert_eq!(hit.load(Ordering::Relaxed), 32);
+        assert_eq!(persistent_pool_threads(), before, "lane 0 must run inline");
+    }
+
+    #[test]
+    fn borrowed_state_is_released_before_return() {
+        let mut data = vec![0usize; 4];
+        {
+            let slots: Vec<_> = data.iter_mut().collect();
+            let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let b: Box<dyn FnOnce() + Send + '_> = Box::new(move || *slot = i + 1);
+                    b
+                })
+                .collect();
+            run_bodies_persistent(bodies);
+        }
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_growth_is_bounded_by_peak_concurrency_not_call_count() {
+        // Warm the hub, then hammer it with many multi-lane runs: thread
+        // growth must stay far below the number of calls.
+        for _ in 0..4 {
+            run_bodies_persistent((0..4).map(|_| {
+                let b: Box<dyn FnOnce() + Send + '_> = Box::new(|| {});
+                b
+            }).collect());
+        }
+        let after_warm = persistent_pool_threads();
+        for _ in 0..64 {
+            run_bodies_persistent((0..4).map(|_| {
+                let b: Box<dyn FnOnce() + Send + '_> = Box::new(|| {});
+                b
+            }).collect());
+        }
+        let growth = persistent_pool_threads() - after_warm;
+        assert!(growth <= 16, "hub grew by {growth} threads over 64 calls");
+    }
+
+    #[test]
+    fn panicking_body_releases_the_latch() {
+        // The latch must be released during unwinding so the caller
+        // returns; the hub thread must survive to serve later calls.
+        let ran = AtomicUsize::new(0);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("injected body panic")),
+        ];
+        run_bodies_persistent(bodies);
+        let r = &ran;
+        run_bodies_persistent(vec![
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }),
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }),
+        ]);
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+}

@@ -128,7 +128,26 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// # Panics
 /// Propagates the first task panic; panics if `nthreads == 0`.
 pub fn run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
-    let (stats, failure, _) = exec_graph(graph, nthreads, None, false);
+    run_graph_on(graph, nthreads, crate::persist::default_persistent())
+}
+
+/// [`run_graph`] on the process-wide persistent worker pool: lane 0 runs on
+/// the calling thread, the remaining lanes borrow hub threads instead of
+/// spawning fresh ones. Identical semantics, no per-call thread churn.
+pub fn run_graph_persistent(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
+    run_graph_on(graph, nthreads, true)
+}
+
+/// [`run_graph`] on a freshly spawned, scoped worker pool regardless of the
+/// `persistent-pool` feature — the churn-y pre-feature behavior, kept
+/// callable so the pool-churn microbench can compare the two paths in one
+/// binary.
+pub fn run_graph_scoped(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
+    run_graph_on(graph, nthreads, false)
+}
+
+fn run_graph_on(graph: TaskGraph<Job<'_>>, nthreads: usize, persistent: bool) -> ExecStats {
+    let (stats, failure, _) = exec_graph(graph, nthreads, None, false, persistent);
     if let Some(rec) = failure {
         match rec.payload {
             Some(p) => std::panic::resume_unwind(p),
@@ -146,6 +165,19 @@ pub fn try_run_graph(graph: TaskGraph<Job<'_>>, nthreads: usize) -> Result<ExecS
     try_run_graph_with_faults(graph, nthreads, &FaultPlan::new())
 }
 
+/// [`try_run_graph`] on the process-wide persistent worker pool (see
+/// [`run_graph_persistent`]).
+pub fn try_run_graph_persistent(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+) -> Result<ExecStats, ExecError> {
+    let (stats, failure, _) = exec_graph(graph, nthreads, Some(&FaultPlan::new()), false, true);
+    match failure {
+        None => Ok(stats),
+        Some(rec) => Err(rec.into_exec_error()),
+    }
+}
+
 /// [`try_run_graph`] with deterministic fault injection: as each task
 /// starts, `plan` may force it to fail, panic, or run delayed. Used by the
 /// stress tests to exercise failure paths reproducibly.
@@ -154,7 +186,8 @@ pub fn try_run_graph_with_faults(
     nthreads: usize,
     plan: &FaultPlan,
 ) -> Result<ExecStats, ExecError> {
-    let (stats, failure, _) = exec_graph(graph, nthreads, Some(plan), false);
+    let (stats, failure, _) =
+        exec_graph(graph, nthreads, Some(plan), false, crate::persist::default_persistent());
     match failure {
         None => Ok(stats),
         Some(rec) => Err(rec.into_exec_error()),
@@ -172,7 +205,8 @@ pub fn profile_run_graph(
     nthreads: usize,
     plan: &FaultPlan,
 ) -> (Profile, Option<ExecError>) {
-    let (_, failure, profile) = exec_graph(graph, nthreads, Some(plan), true);
+    let (_, failure, profile) =
+        exec_graph(graph, nthreads, Some(plan), true, crate::persist::default_persistent());
     (profile.expect("profiling enabled"), failure.map(FailureRecord::into_exec_error))
 }
 
@@ -183,6 +217,7 @@ fn exec_graph<'s>(
     nthreads: usize,
     plan: Option<&FaultPlan>,
     profile: bool,
+    persistent: bool,
 ) -> (ExecStats, Option<FailureRecord>, Option<Profile>) {
     assert!(nthreads > 0, "need at least one worker");
     let n = graph.len();
@@ -221,7 +256,8 @@ fn exec_graph<'s>(
     let lanes: Vec<Mutex<Vec<Span>>> = (0..nthreads).map(|_| Mutex::new(Vec::new())).collect();
     let fail_state: Mutex<Option<FailureRecord>> = Mutex::new(None);
 
-    std::thread::scope(|scope| {
+    {
+        let mut bodies: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nthreads);
         for w in 0..nthreads {
             let shared = &shared;
             let slots = &slots;
@@ -232,7 +268,7 @@ fn exec_graph<'s>(
             let lanes = &lanes;
             let fail_state = &fail_state;
             let collector = collector.as_ref();
-            scope.spawn(move || {
+            bodies.push(Box::new(move || {
                 loop {
                     let id = {
                         let mut q = shared.ready.lock();
@@ -360,9 +396,10 @@ fn exec_graph<'s>(
                         return;
                     }
                 }
-            });
+            }));
         }
-    });
+        crate::persist::run_bodies(persistent, bodies);
+    }
 
     let mut timeline = Timeline::new(nthreads);
     let mut executed = 0;

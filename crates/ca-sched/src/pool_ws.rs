@@ -32,7 +32,8 @@ use std::time::Instant;
 /// # Panics
 /// Propagates task panics; panics if `nthreads == 0`.
 pub fn run_graph_stealing(graph: TaskGraph<Job<'_>>, nthreads: usize) -> ExecStats {
-    let (stats, failure, _) = exec_stealing(graph, nthreads, None, false);
+    let (stats, failure, _) =
+        exec_stealing(graph, nthreads, None, false, crate::persist::default_persistent());
     if let Some(rec) = failure {
         match rec.payload {
             Some(p) => std::panic::resume_unwind(p),
@@ -52,13 +53,29 @@ pub fn try_run_graph_stealing(
     try_run_graph_stealing_with_faults(graph, nthreads, &FaultPlan::new())
 }
 
+/// [`try_run_graph_stealing`] on the process-wide persistent worker pool:
+/// lane 0 runs on the calling thread, the remaining lanes borrow hub
+/// threads instead of spawning fresh ones (see
+/// [`crate::run_graph_persistent`]).
+pub fn try_run_graph_stealing_persistent(
+    graph: TaskGraph<Job<'_>>,
+    nthreads: usize,
+) -> Result<ExecStats, ExecError> {
+    let (stats, failure, _) = exec_stealing(graph, nthreads, Some(&FaultPlan::new()), false, true);
+    match failure {
+        None => Ok(stats),
+        Some(rec) => Err(rec.into_exec_error()),
+    }
+}
+
 /// [`try_run_graph_stealing`] with deterministic fault injection.
 pub fn try_run_graph_stealing_with_faults(
     graph: TaskGraph<Job<'_>>,
     nthreads: usize,
     plan: &FaultPlan,
 ) -> Result<ExecStats, ExecError> {
-    let (stats, failure, _) = exec_stealing(graph, nthreads, Some(plan), false);
+    let (stats, failure, _) =
+        exec_stealing(graph, nthreads, Some(plan), false, crate::persist::default_persistent());
     match failure {
         None => Ok(stats),
         Some(rec) => Err(rec.into_exec_error()),
@@ -75,7 +92,8 @@ pub fn profile_run_graph_stealing(
     nthreads: usize,
     plan: &FaultPlan,
 ) -> (Profile, Option<ExecError>) {
-    let (_, failure, profile) = exec_stealing(graph, nthreads, Some(plan), true);
+    let (_, failure, profile) =
+        exec_stealing(graph, nthreads, Some(plan), true, crate::persist::default_persistent());
     (profile.expect("profiling enabled"), failure.map(FailureRecord::into_exec_error))
 }
 
@@ -84,6 +102,7 @@ fn exec_stealing<'s>(
     nthreads: usize,
     plan: Option<&FaultPlan>,
     profile: bool,
+    persistent: bool,
 ) -> (ExecStats, Option<FailureRecord>, Option<Profile>) {
     assert!(nthreads > 0, "need at least one worker");
     let n = graph.len();
@@ -112,7 +131,8 @@ fn exec_stealing<'s>(
     let lanes: Vec<Mutex<Vec<Span>>> = (0..nthreads).map(|_| Mutex::new(Vec::new())).collect();
     let fail_state: Mutex<Option<FailureRecord>> = Mutex::new(None);
 
-    std::thread::scope(|scope| {
+    {
+        let mut bodies: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nthreads);
         for (w, local) in deques.into_iter().enumerate() {
             let injector = &injector;
             let stealers = &stealers;
@@ -125,7 +145,7 @@ fn exec_stealing<'s>(
             let remaining = &remaining;
             let fail_state = &fail_state;
             let collector = collector.as_ref();
-            scope.spawn(move || {
+            bodies.push(Box::new(move || {
                 let mut idle_spins = 0u32;
                 loop {
                     // Local first, then the injector, then steal from peers.
@@ -240,9 +260,10 @@ fn exec_stealing<'s>(
                         return;
                     }
                 }
-            });
+            }));
         }
-    });
+        crate::persist::run_bodies(persistent, bodies);
+    }
 
     let mut timeline = Timeline::new(nthreads);
     let mut executed = 0;

@@ -1,0 +1,64 @@
+//! Small-problem batching internals: the pending batch a flusher thread
+//! (or a full-batch trigger) turns into one fused frontier job, and the
+//! ticket a batched handle waits on until its batch is flushed.
+
+use ca_sched::{DynJob, JobWatch, TaskMeta};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Hands a batched [`crate::JobHandle`] its [`JobWatch`] once the fused job
+/// is submitted. Fulfilled exactly once, at flush time.
+pub(crate) struct BatchTicket {
+    slot: Mutex<Option<JobWatch>>,
+    cv: Condvar,
+}
+
+impl BatchTicket {
+    pub(crate) fn new() -> Self {
+        Self { slot: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    pub(crate) fn fulfill(&self, watch: JobWatch) {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        debug_assert!(slot.is_none(), "batch ticket fulfilled twice");
+        *slot = Some(watch);
+        self.cv.notify_all();
+    }
+
+    /// The watch, if the batch already flushed.
+    pub(crate) fn try_get(&self) -> Option<JobWatch> {
+        self.slot.lock().expect("ticket lock").clone()
+    }
+
+    /// Blocks until the batch flushes, then returns the fused job's watch.
+    pub(crate) fn wait(&self) -> JobWatch {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(w) = slot.as_ref() {
+                return w.clone();
+            }
+            slot = self.cv.wait(slot).expect("ticket lock");
+        }
+    }
+}
+
+/// One coalesced request: a single sequential-kernel task plus the ticket
+/// its handle waits on.
+pub(crate) struct PendingMember {
+    pub(crate) meta: TaskMeta,
+    pub(crate) body: DynJob,
+    pub(crate) ticket: std::sync::Arc<BatchTicket>,
+}
+
+/// The batch currently accumulating members.
+pub(crate) struct PendingBatch {
+    pub(crate) members: Vec<PendingMember>,
+    /// When the first member arrived (drives the max-delay flush).
+    pub(crate) opened: Instant,
+}
+
+impl PendingBatch {
+    pub(crate) fn new() -> Self {
+        Self { members: Vec::new(), opened: Instant::now() }
+    }
+}

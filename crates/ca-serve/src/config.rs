@@ -1,0 +1,167 @@
+//! Service configuration: worker pool size, admission control, batching.
+
+use ca_core::CaParams;
+use std::time::Duration;
+
+/// What happens when a submission arrives while the service is already at
+/// [`ServiceConfig::queue_capacity`] active jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fail the submission immediately with [`crate::ServeError::Rejected`].
+    Reject,
+    /// Block the submitting thread until capacity frees up (or the service
+    /// shuts down).
+    Block,
+    /// Evict the oldest job that has not started running yet (it finalizes
+    /// as cancelled-shed) to make room; if every active job is already
+    /// running, fall back to rejecting the new submission.
+    ShedOldest,
+}
+
+/// Small-problem batching: factorization requests at or below
+/// [`BatchConfig::max_dim`] are coalesced into one fused frontier job (one
+/// sequential-kernel task per member), amortizing per-job scheduling
+/// overhead that would otherwise dominate tiny problems.
+///
+/// Only *plain* submissions batch: a request with a deadline, a non-default
+/// weight, or `batchable = false` always gets its own job.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Coalesce factorizations whose larger dimension is ≤ this (the
+    /// paper-scale heuristic is the panel width `b`). `0` disables.
+    pub max_dim: usize,
+    /// Flush the pending batch when it reaches this many members.
+    pub max_batch: usize,
+    /// Flush the pending batch once its oldest member has waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_dim: 0, max_batch: 16, max_delay: Duration::from_millis(2) }
+    }
+}
+
+impl BatchConfig {
+    /// Batching at the given size threshold with default flush parameters.
+    pub fn up_to(max_dim: usize) -> Self {
+        Self { max_dim, ..Self::default() }
+    }
+}
+
+/// Configuration for a [`crate::Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads owned by the service for its whole lifetime.
+    pub workers: usize,
+    /// Maximum admitted-but-unfinished jobs (the bounded queue).
+    pub queue_capacity: usize,
+    /// Behavior at capacity.
+    pub admission: AdmissionPolicy,
+    /// Small-problem batching; `None` disables coalescing.
+    pub batch: Option<BatchConfig>,
+    /// Default factorization parameters (per-submission override via
+    /// [`crate::SubmitOptions::params`]). The `threads` field is ignored —
+    /// parallelism comes from the service's worker pool.
+    pub params: CaParams,
+    /// Deadline applied to submissions that don't set their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_capacity: 64,
+            admission: AdmissionPolicy::Block,
+            batch: None,
+            params: CaParams::new(64, 4, 1),
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with an explicit worker count.
+    pub fn new(workers: usize) -> Self {
+        Self { workers, ..Self::default() }
+    }
+
+    /// Sets the bounded-queue capacity.
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Enables small-problem batching.
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Sets the default factorization parameters.
+    pub fn with_params(mut self, params: CaParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the default per-job deadline.
+    pub fn with_default_deadline(mut self, d: Duration) -> Self {
+        self.default_deadline = Some(d);
+        self
+    }
+}
+
+/// Per-submission options.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitOptions {
+    /// Fair-share weight (> 0): relative flop share across concurrent jobs.
+    pub weight: f64,
+    /// Deadline for this job (queue + execution); overrides
+    /// [`ServiceConfig::default_deadline`].
+    pub deadline: Option<std::time::Duration>,
+    /// Factorization parameters override.
+    pub params: Option<CaParams>,
+    /// Allow this request to be coalesced into a batch when eligible.
+    pub batchable: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self { weight: 1.0, deadline: None, params: None, batchable: true }
+    }
+}
+
+impl SubmitOptions {
+    /// Sets the fair-share weight.
+    pub fn with_weight(mut self, w: f64) -> Self {
+        assert!(w > 0.0 && w.is_finite(), "weight must be positive");
+        self.weight = w;
+        self
+    }
+
+    /// Sets the deadline.
+    pub fn with_deadline(mut self, d: std::time::Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Overrides the factorization parameters.
+    pub fn with_params(mut self, p: CaParams) -> Self {
+        self.params = Some(p);
+        self
+    }
+
+    /// Forbids batching for this request.
+    pub fn unbatched(mut self) -> Self {
+        self.batchable = false;
+        self
+    }
+}

@@ -1,0 +1,49 @@
+//! `ca-serve` — a persistent multi-tenant factorization service.
+//!
+//! The one-shot entry points in `ca-core` spawn a worker pool, run a single
+//! CALU/CAQR task graph, and tear the pool down. That is the right shape for
+//! a benchmark, and the wrong one for a long-lived process answering many
+//! factorization requests: pool churn and per-request setup dominate small
+//! problems, and unrelated requests serialize.
+//!
+//! [`Service`] owns one worker pool for the process lifetime and executes
+//! many factorization/solve jobs *concurrently* by merging their task graphs
+//! into a shared ready-queue (`ca_sched::MultiFrontier`):
+//!
+//! - each job keeps its own DAG edges and the paper's lookahead priority
+//!   order internally, while worker time is weighted-fair-shared across jobs
+//!   (stride scheduling on completed flops);
+//! - admission is bounded ([`ServiceConfig::queue_capacity`]) with a choice
+//!   of [`AdmissionPolicy`]: reject, block, or shed the oldest queued job;
+//! - per-job deadlines cancel expired jobs at dispatch points, reusing the
+//!   scheduler's transitive-successor cancellation;
+//! - tiny factorizations (≤ [`BatchConfig::max_dim`]) coalesce into fused
+//!   batch jobs, amortizing per-job scheduling overhead;
+//! - [`Service::stats`] snapshots per-job latency (queue/exec/total),
+//!   throughput, occupancy, and shed/reject/deadline counters, and
+//!   [`Service::chrome_trace`] reuses the existing chrome-trace pipeline.
+//!
+//! ```
+//! use ca_serve::{Service, ServiceConfig, SubmitOptions};
+//!
+//! let svc = Service::new(ServiceConfig::new(2));
+//! let a = ca_matrix::random_uniform(64, 64, &mut ca_matrix::seeded_rng(1));
+//! let handle = svc.submit_lu(a, SubmitOptions::default()).unwrap();
+//! let factors = handle.wait().unwrap();
+//! assert_eq!(factors.lu.nrows(), 64);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod batch;
+mod config;
+mod service;
+mod stats;
+
+pub use config::{AdmissionPolicy, BatchConfig, ServiceConfig, SubmitOptions};
+pub use service::{serialized_baseline, JobHandle, Service};
+pub use stats::{LatencySummary, ServeError, ServiceStats};
+
+// Frontier types that surface through the service API.
+pub use ca_sched::{CancelReason, JobId};

@@ -1,0 +1,192 @@
+//! Service-level observability: counters, latency distributions, errors.
+
+use ca_core::FactorError;
+use ca_sched::CancelReason;
+
+/// Why a service request did not produce a result.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control refused the job (queue full under `Reject`, or
+    /// nothing sheddable under `ShedOldest`).
+    Rejected,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The job was cancelled before completing (user cancel, deadline,
+    /// shed, or shutdown).
+    Cancelled(CancelReason),
+    /// A task of the job failed (numerical breakdown, panic, …).
+    Failed {
+        /// Label of the failing task.
+        label: String,
+        /// Failure description.
+        message: String,
+    },
+    /// The request was invalid before any work was scheduled.
+    Invalid(FactorError),
+    /// Internal error: the job completed but its output slot is empty.
+    Lost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "rejected: service at capacity"),
+            ServeError::ShuttingDown => write!(f, "service shutting down"),
+            ServeError::Cancelled(r) => write!(f, "job cancelled: {r}"),
+            ServeError::Failed { label, message } => {
+                write!(f, "job failed at task {label}: {message}")
+            }
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServeError::Lost => write!(f, "internal: job output missing"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Latency-sample cap: enough for every benchmark trace while bounding the
+/// service's footprint over a long lifetime.
+const MAX_SAMPLES: usize = 1 << 16;
+
+/// Mutable aggregation state behind the service's stats lock.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub deadline_missed: u64,
+    pub batches_flushed: u64,
+    pub batched_jobs: u64,
+    pub queue_s: Vec<f64>,
+    pub exec_s: Vec<f64>,
+    pub total_s: Vec<f64>,
+}
+
+impl Counters {
+    /// Records one finished job's latency decomposition (capped reservoir;
+    /// once full, new samples are dropped — fine for bounded benchmark runs
+    /// and long-lived services alike).
+    pub fn sample(&mut self, queue: f64, exec: f64, total: f64) {
+        if self.total_s.len() < MAX_SAMPLES {
+            self.queue_s.push(queue);
+            self.exec_s.push(exec);
+            self.total_s.push(total);
+        }
+    }
+}
+
+/// Summary of one latency distribution (seconds).
+#[derive(Clone, Copy, Debug, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Maximum.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    pub(crate) fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64) * p).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            count: sorted.len(),
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: pct(0.50),
+            p95_s: pct(0.95),
+            p99_s: pct(0.99),
+            max_s: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Point-in-time snapshot of the service ([`crate::Service::stats`]).
+#[derive(Clone, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded-queue capacity (max admitted-but-unfinished jobs).
+    pub queue_capacity: usize,
+    /// Jobs admitted (including batched members).
+    pub submitted: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that failed (task failure / numerical breakdown).
+    pub failed: u64,
+    /// Jobs cancelled for any reason (user, deadline, shed, shutdown).
+    pub cancelled: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Jobs evicted by the shed-oldest policy.
+    pub shed: u64,
+    /// Jobs cancelled because their deadline expired.
+    pub deadline_missed: u64,
+    /// Fused batches submitted.
+    pub batches_flushed: u64,
+    /// Member jobs that ran inside fused batches.
+    pub batched_jobs: u64,
+    /// Jobs admitted and not yet finished at snapshot time.
+    pub active_jobs: usize,
+    /// Seconds since the service started.
+    pub elapsed_s: f64,
+    /// Cumulative seconds workers spent executing task bodies.
+    pub busy_s: f64,
+    /// `busy_s / (elapsed_s · workers)` — pool utilization in `[0, 1]`.
+    pub occupancy: f64,
+    /// Completed jobs per second of service lifetime.
+    pub jobs_per_s: f64,
+    /// Time from admission to first task dispatch.
+    pub queue_latency: LatencySummary,
+    /// Time from first dispatch to finalization.
+    pub exec_latency: LatencySummary,
+    /// Time from admission to finalization.
+    pub total_latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+        let empty = LatencySummary::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn serve_error_display() {
+        assert!(ServeError::Rejected.to_string().contains("capacity"));
+        assert!(ServeError::Cancelled(CancelReason::Deadline)
+            .to_string()
+            .contains("deadline"));
+        let e = ServeError::Failed { label: "P[0]".into(), message: "boom".into() };
+        assert!(e.to_string().contains("P[0]") && e.to_string().contains("boom"));
+    }
+}

@@ -5,6 +5,7 @@
 //! cafactor factor qr  --input A.mtx --tree flat --output R.mtx
 //! cafactor verify lu  --random 1024 1024 --b 64 --threads 4
 //! cafactor solve      --input A.mtx --rhs b.mtx --refine
+//! cafactor serve      --jobs 32 --threads 4 --capacity 16 --policy block
 //! cafactor info       --input A.mtx
 //! ```
 //!
@@ -57,8 +58,20 @@ struct Opts {
     seed: u64,
     refine: bool,
     /// `--profile[=FILE]`: run on the profiled executor, print the scheduler
-    /// report, and write Chrome-trace JSON to FILE.
+    /// report, and write Chrome-trace JSON to FILE. For `serve`, the file is
+    /// a combined object: `{"serviceStats": …, "traceEvents": […]}`.
     profile: Option<String>,
+    /// `serve`: number of demo jobs to submit.
+    jobs: usize,
+    /// `serve`: bounded-queue capacity.
+    capacity: usize,
+    /// `serve`: admission policy at capacity.
+    policy: ca_factor::serve::AdmissionPolicy,
+    /// `serve`: coalesce factorizations at or below this dimension
+    /// (`0` disables batching).
+    batch: usize,
+    /// `serve`: per-job deadline in milliseconds (`0` = none).
+    deadline_ms: u64,
 }
 
 impl Default for Opts {
@@ -75,13 +88,18 @@ impl Default for Opts {
             seed: 42,
             refine: false,
             profile: None,
+            jobs: 32,
+            capacity: 16,
+            policy: ca_factor::serve::AdmissionPolicy::Block,
+            batch: 0,
+            deadline_ms: 0,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cafactor <factor lu|factor qr|verify lu|verify qr|solve|info> [flags]\n\
+        "usage: cafactor <factor lu|factor qr|verify lu|verify qr|solve|serve|info> [flags]\n\
          flags: --input FILE.mtx | --random M N   matrix source\n\
                 --rhs FILE.mtx                    right-hand side (solve)\n\
                 --output FILE.mtx                 write factors/solution\n\
@@ -89,8 +107,13 @@ fn usage() -> ! {
                 --tree binary|flat|kary:K|hybrid:W  reduction tree\n\
                 --seed S --refine\n\
                 --profile[=FILE.json]             scheduler profile report +\n\
-                                                  Chrome trace (factor only;\n\
-                                                  default profile_trace.json)"
+                                                  Chrome trace (factor/serve;\n\
+                                                  default profile_trace.json)\n\
+         serve: --jobs J                          demo jobs to submit (32)\n\
+                --capacity C                      bounded queue capacity (16)\n\
+                --policy reject|block|shed        admission policy (block)\n\
+                --batch DIM                       coalesce jobs ≤ DIM (0=off)\n\
+                --deadline MS                     per-job deadline (0=none)"
     );
     exit(2)
 }
@@ -131,6 +154,18 @@ fn parse_opts(args: &[String]) -> Opts {
             "--tree" => o.tree = parse_tree(&next()),
             "--seed" => o.seed = next().parse().unwrap_or_else(|_| usage()),
             "--refine" => o.refine = true,
+            "--jobs" => o.jobs = next().parse().unwrap_or_else(|_| usage()),
+            "--capacity" => o.capacity = next().parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                o.policy = match next().as_str() {
+                    "reject" => ca_factor::serve::AdmissionPolicy::Reject,
+                    "block" => ca_factor::serve::AdmissionPolicy::Block,
+                    "shed" => ca_factor::serve::AdmissionPolicy::ShedOldest,
+                    _ => usage(),
+                }
+            }
+            "--batch" => o.batch = next().parse().unwrap_or_else(|_| usage()),
+            "--deadline" => o.deadline_ms = next().parse().unwrap_or_else(|_| usage()),
             "--profile" => o.profile = Some("profile_trace.json".to_string()),
             s if s.starts_with("--profile=") => {
                 o.profile = Some(s["--profile=".len()..].to_string())
@@ -340,6 +375,104 @@ fn cmd_verify(sub: &str, o: &Opts) {
     }
 }
 
+/// `cafactor serve`: starts a persistent factorization service, replays a
+/// synthetic mixed LU/QR workload (1 in 4 jobs large, the rest small), and
+/// prints the service statistics. With `--profile[=FILE]`, writes a combined
+/// JSON object `{"serviceStats": …, "traceEvents": […]}` — the trace loads
+/// in `chrome://tracing`/Perfetto, and the `serviceStats` member carries the
+/// shed/reject/deadline-miss counters alongside it.
+fn cmd_serve(o: &Opts) {
+    use ca_factor::serve::{BatchConfig, ServeError, Service, ServiceConfig, SubmitOptions};
+    let mut cfg = ServiceConfig::new(o.threads.max(1))
+        .with_capacity(o.capacity)
+        .with_admission(o.policy);
+    if o.batch > 0 {
+        cfg = cfg.with_batching(BatchConfig::up_to(o.batch));
+    }
+    if o.deadline_ms > 0 {
+        cfg = cfg.with_default_deadline(std::time::Duration::from_millis(o.deadline_ms));
+    }
+    let svc = Service::new(cfg);
+    if o.profile.is_some() {
+        svc.set_tracing(true);
+    }
+    let mut rng = seeded_rng(o.seed);
+    let mut lu_handles = Vec::new();
+    let mut qr_handles = Vec::new();
+    let mut invalid = 0u64;
+    for i in 0..o.jobs {
+        let n = if i % 4 == 0 { 256 } else { 64 };
+        let p = {
+            let mut p = CaParams::new(o.b.min(n), o.tr, 1);
+            p.tree = o.tree;
+            p
+        };
+        let opts = SubmitOptions::default().with_params(p);
+        let r = if i % 2 == 0 {
+            svc.submit_lu(random_uniform(n, n, &mut rng), opts).map(|h| lu_handles.push(h))
+        } else {
+            svc.submit_qr(random_uniform(n, n, &mut rng), opts).map(|h| qr_handles.push(h))
+        };
+        if let Err(e) = r {
+            match e {
+                ServeError::Rejected => {} // counted by the service
+                _ => invalid += 1,
+            }
+        }
+    }
+    for h in lu_handles {
+        let _ = h.wait();
+    }
+    for h in qr_handles {
+        let _ = h.wait();
+    }
+    let s = svc.stats();
+    let policy = match o.policy {
+        ca_factor::serve::AdmissionPolicy::Reject => "reject",
+        ca_factor::serve::AdmissionPolicy::Block => "block",
+        ca_factor::serve::AdmissionPolicy::ShedOldest => "shed",
+    };
+    println!(
+        "serve: {} job(s) offered to {} worker(s)  capacity={} policy={policy} batch={}",
+        o.jobs,
+        s.workers,
+        s.queue_capacity,
+        if o.batch > 0 { format!("≤{}", o.batch) } else { "off".to_string() },
+    );
+    println!(
+        "  submitted={} completed={} failed={} cancelled={} rejected={} shed={} \
+         deadline_missed={} invalid={invalid}",
+        s.submitted, s.completed, s.failed, s.cancelled, s.rejected, s.shed, s.deadline_missed,
+    );
+    if s.batches_flushed > 0 {
+        println!("  batching: {} fused batch(es) covering {} job(s)", s.batches_flushed, s.batched_jobs);
+    }
+    println!(
+        "  throughput {:.1} jobs/s  occupancy {:.2}  busy {:.3}s / elapsed {:.3}s",
+        s.jobs_per_s, s.occupancy, s.busy_s, s.elapsed_s
+    );
+    let ms = |x: f64| x * 1e3;
+    println!(
+        "  latency ms  queue p50/p95/p99 {:.2}/{:.2}/{:.2}   exec {:.2}/{:.2}/{:.2}   total {:.2}/{:.2}/{:.2}",
+        ms(s.queue_latency.p50_s), ms(s.queue_latency.p95_s), ms(s.queue_latency.p99_s),
+        ms(s.exec_latency.p50_s), ms(s.exec_latency.p95_s), ms(s.exec_latency.p99_s),
+        ms(s.total_latency.p50_s), ms(s.total_latency.p95_s), ms(s.total_latency.p99_s),
+    );
+    if let Some(path) = &o.profile {
+        let stats_json = serde_json::to_string(&s).expect("serializable");
+        let combined =
+            format!("{{\"serviceStats\":{stats_json},\"traceEvents\":{}}}", svc.chrome_trace());
+        match std::fs::write(path, combined) {
+            Ok(()) => println!("service profile written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+    svc.shutdown();
+}
+
 fn cmd_info(o: &Opts) {
     let a = load_matrix(o);
     let (m, n) = (a.nrows(), a.ncols());
@@ -370,6 +503,7 @@ fn main() {
             }
             ("verify", Some((sub, rest2))) => cmd_verify(sub, &parse_opts(rest2)),
             ("solve", _) => cmd_solve(&parse_opts(rest)),
+            ("serve", _) => cmd_serve(&parse_opts(rest)),
             ("info", _) => cmd_info(&parse_opts(rest)),
             _ => usage(),
         },

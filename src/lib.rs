@@ -52,6 +52,11 @@ pub mod bench {
     pub use ca_bench::*;
 }
 
+/// Persistent multi-tenant factorization service (`ca-serve`).
+pub mod serve {
+    pub use ca_serve::*;
+}
+
 /// The names most programs need.
 pub mod prelude {
     pub use ca_core::{

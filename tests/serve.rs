@@ -1,0 +1,271 @@
+//! Integration tests for `ca-serve`: concurrent-job isolation, cancellation
+//! independence, backpressure under oversubscription, and the solve API —
+//! all through the public `ca_factor::serve` facade.
+//!
+//! The central property (DESIGN.md §11): because each job's DAG executes
+//! under the same deterministic reduction order as the one-shot entry
+//! points, N jobs interleaved on a shared worker pool produce factors
+//! **bitwise identical** to running each alone through
+//! `calu_seq_factor` / `caqr_seq`.
+
+use ca_factor::matrix::{norm_max, random_uniform, seeded_rng};
+use ca_factor::prelude::{calu_seq_factor, caqr_seq, CaParams, Matrix};
+use ca_factor::serve::{
+    AdmissionPolicy, BatchConfig, CancelReason, ServeError, Service, ServiceConfig,
+    SubmitOptions,
+};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn params() -> CaParams {
+    CaParams::new(16, 4, 1)
+}
+
+fn service(workers: usize) -> Service {
+    Service::new(ServiceConfig::new(workers).with_params(params()))
+}
+
+/// The isolation property test: a seeded mix of LU and QR jobs of varying
+/// shapes, all in flight at once on a shared pool, each bitwise equal to
+/// its sequential reference.
+#[test]
+fn interleaved_lu_qr_jobs_are_bitwise_identical_to_sequential_runs() {
+    let svc = service(4);
+    let p = params();
+
+    let mut rng = seeded_rng(0x5E21);
+    let mut lu_in = Vec::new();
+    let mut qr_in = Vec::new();
+    for i in 0..12 {
+        let n = 48 + 8 * (i % 5); // 48..80, deliberately not batch-aligned
+        if i % 2 == 0 {
+            lu_in.push(random_uniform(n + 16, n, &mut rng));
+        } else {
+            qr_in.push(random_uniform(n + 32, n, &mut rng));
+        }
+    }
+
+    // Submit everything before waiting on anything, so the frontier holds
+    // all jobs concurrently. `unbatched` forces the full DAG path.
+    let lu_handles: Vec<_> = lu_in
+        .iter()
+        .map(|a| {
+            svc.submit_lu(a.clone(), SubmitOptions::default().unbatched())
+                .expect("admits")
+        })
+        .collect();
+    let qr_handles: Vec<_> = qr_in
+        .iter()
+        .map(|a| {
+            svc.submit_qr(a.clone(), SubmitOptions::default().unbatched())
+                .expect("admits")
+        })
+        .collect();
+
+    for (a, h) in lu_in.iter().zip(lu_handles) {
+        let got = h.wait().expect("lu job completes");
+        let want = calu_seq_factor(a.clone(), &p);
+        assert_eq!(got.lu.as_slice(), want.lu.as_slice(), "LU factors must be bitwise equal");
+        assert_eq!(got.pivots.ipiv, want.pivots.ipiv, "pivot sequences must agree");
+    }
+    for (a, h) in qr_in.iter().zip(qr_handles) {
+        let got = h.wait().expect("qr job completes");
+        let want = caqr_seq(a.clone(), &p);
+        assert_eq!(got.a.as_slice(), want.a.as_slice(), "QR factors must be bitwise equal");
+    }
+
+    let s = svc.stats();
+    assert_eq!(s.completed, 12);
+    assert_eq!(s.failed + s.cancelled + s.rejected + s.shed, 0);
+    svc.shutdown();
+}
+
+/// Cancelling one in-flight job must neither cancel nor stall its
+/// neighbours, and the survivors must still be bitwise correct.
+#[test]
+fn cancelling_one_job_never_disturbs_the_others() {
+    let svc = service(2);
+    let p = params();
+    let mut rng = seeded_rng(0x5E22);
+    let mut mats: Vec<Matrix> = (0..6).map(|_| random_uniform(96, 96, &mut rng)).collect();
+    let mut handles: Vec<_> = mats
+        .iter()
+        .map(|a| {
+            svc.submit_lu(a.clone(), SubmitOptions::default().unbatched())
+                .expect("admits")
+        })
+        .collect();
+    // Cancel the middle job while the queue is still draining.
+    let victim = handles.remove(3);
+    mats.remove(3);
+    victim.cancel();
+
+    match victim.wait() {
+        // Either the cancel landed, or the job raced to completion first —
+        // both are legal; a hang or a foreign error is not.
+        Err(ServeError::Cancelled(CancelReason::User)) | Ok(_) => {}
+        other => panic!("unexpected terminal state for cancelled job: {other:?}"),
+    }
+
+    for (i, (a, h)) in mats.iter().zip(handles).enumerate() {
+        let got = h
+            .wait_for(WAIT)
+            .unwrap_or_else(|_| panic!("job {i} stalled after a neighbour was cancelled"))
+            .unwrap_or_else(|e| panic!("job {i} failed after a neighbour was cancelled: {e}"));
+        let want = calu_seq_factor(a.clone(), &p);
+        assert_eq!(got.lu.as_slice(), want.lu.as_slice());
+        assert_eq!(got.pivots.ipiv, want.pivots.ipiv);
+    }
+    svc.shutdown();
+}
+
+/// `Block` admission at 2× oversubscription: twice as many jobs as queue
+/// slots, submitted back-to-back. Every submit must eventually admit and
+/// every job must resolve — no deadlock between the admission gate and the
+/// worker pool.
+#[test]
+fn block_admission_survives_two_x_oversubscription() {
+    let svc = Service::new(
+        ServiceConfig::new(2)
+            .with_params(params())
+            .with_capacity(4)
+            .with_admission(AdmissionPolicy::Block),
+    );
+    let mut rng = seeded_rng(0x5E23);
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let a = random_uniform(64, 64, &mut rng);
+            // submit_lu blocks here whenever all 4 slots are taken; progress
+            // depends on workers draining jobs while we are parked.
+            svc.submit_lu(a, SubmitOptions::default().unbatched()).expect("block admits")
+        })
+        .collect();
+    for h in handles {
+        h.wait_for(WAIT).map_err(|_| "deadlock").expect("resolves").expect("completes");
+    }
+    let s = svc.stats();
+    assert_eq!(s.completed, 8);
+    assert_eq!(s.rejected, 0, "Block policy must never reject");
+    svc.shutdown();
+}
+
+/// `ShedOldest` under overload: the queue stays bounded by evicting the
+/// oldest queued job, every handle resolves (completed or shed), and the
+/// shed counter records the evictions.
+#[test]
+fn shed_oldest_keeps_the_queue_bounded_and_resolves_every_handle() {
+    let svc = Service::new(
+        ServiceConfig::new(1)
+            .with_params(params())
+            .with_capacity(2)
+            .with_admission(AdmissionPolicy::ShedOldest),
+    );
+    let mut rng = seeded_rng(0x5E24);
+    let handles: Vec<_> = (0..10)
+        .map(|_| {
+            let a = random_uniform(96, 96, &mut rng);
+            svc.submit_lu(a, SubmitOptions::default().unbatched())
+        })
+        .collect();
+
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        match h {
+            Ok(h) => match h.wait_for(WAIT).map_err(|_| "stall").expect("resolves") {
+                Ok(_) => completed += 1,
+                Err(ServeError::Cancelled(CancelReason::Shed)) => shed += 1,
+                Err(e) => panic!("unexpected error under shed-oldest: {e}"),
+            },
+            // If even the running job is unsheddable the submit itself is
+            // refused — also a legal bounded-queue outcome.
+            Err(ServeError::Rejected) => {}
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(completed >= 1, "at least the running job must complete");
+    let s = svc.stats();
+    assert!(svc.active_jobs() == 0, "all slots released");
+    assert_eq!(s.shed, shed, "stats must agree with observed shed count");
+    svc.shutdown();
+}
+
+/// A deadline in the past is honoured before any task runs and is counted.
+#[test]
+fn expired_deadline_cancels_and_is_counted() {
+    let svc = service(1);
+    let a = random_uniform(64, 64, &mut seeded_rng(0x5E25));
+    let h = svc
+        .submit_lu(a, SubmitOptions::default().unbatched().with_deadline(Duration::ZERO))
+        .expect("admits");
+    match h.wait() {
+        Err(ServeError::Cancelled(CancelReason::Deadline)) => {}
+        other => panic!("expected deadline miss, got {other:?}"),
+    }
+    let s = svc.stats();
+    assert_eq!(s.deadline_missed, 1);
+    svc.shutdown();
+}
+
+/// Batched tiny jobs, interleaved with a large direct job, still match
+/// their sequential references bitwise — fusion must not leak state
+/// between members or across the batch/direct boundary.
+#[test]
+fn fused_batches_are_bitwise_correct_next_to_direct_jobs() {
+    let svc = Service::new(
+        ServiceConfig::new(2)
+            .with_params(params())
+            .with_batching(BatchConfig::up_to(32)),
+    );
+    let p = params();
+    let mut rng = seeded_rng(0x5E26);
+    let big = random_uniform(160, 160, &mut rng);
+    let tinies: Vec<Matrix> = (0..8).map(|_| random_uniform(24, 24, &mut rng)).collect();
+
+    let h_big = svc.submit_lu(big.clone(), SubmitOptions::default()).expect("admits");
+    let h_tiny: Vec<_> = tinies
+        .iter()
+        .map(|a| svc.submit_lu(a.clone(), SubmitOptions::default()).expect("admits"))
+        .collect();
+    svc.flush();
+
+    let got_big = h_big.wait().expect("direct job completes");
+    let want_big = calu_seq_factor(big, &p);
+    assert_eq!(got_big.lu.as_slice(), want_big.lu.as_slice());
+    for (a, h) in tinies.iter().zip(h_tiny) {
+        let got = h.wait().expect("batched job completes");
+        let want = calu_seq_factor(a.clone(), &p);
+        assert_eq!(got.lu.as_slice(), want.lu.as_slice());
+        assert_eq!(got.pivots.ipiv, want.pivots.ipiv);
+    }
+    let s = svc.stats();
+    assert_eq!(s.batched_jobs, 8);
+    assert!(s.batches_flushed >= 1);
+    svc.shutdown();
+}
+
+/// The solve API end-to-end: `A·X = B` via CALU and a least-squares system
+/// via CAQR, both through the service, checked against the true solutions.
+#[test]
+fn solve_and_lstsq_through_the_service_are_accurate() {
+    let svc = service(2);
+    let mut rng = seeded_rng(0x5E27);
+
+    let n = 80;
+    let a = random_uniform(n, n, &mut rng);
+    let x_true = random_uniform(n, 3, &mut rng);
+    let b = a.matmul(&x_true);
+    let h_solve = svc.submit_solve(a, b, SubmitOptions::default()).expect("admits");
+
+    let t = random_uniform(120, 40, &mut rng);
+    let rhs = random_uniform(120, 2, &mut rng);
+    let want_ls = caqr_seq(t.clone(), &params()).solve_ls(&rhs);
+    let h_ls = svc.submit_lstsq(t, rhs, SubmitOptions::default()).expect("admits");
+
+    let x = h_solve.wait().expect("solve completes");
+    assert!(norm_max(x.sub_matrix(&x_true).view()) < 1e-8, "solve accuracy");
+    let got_ls = h_ls.wait().expect("lstsq completes");
+    assert!(norm_max(got_ls.sub_matrix(&want_ls).view()) < 1e-10, "lstsq vs reference");
+    svc.shutdown();
+}
