@@ -258,6 +258,47 @@ pub fn try_calu_with_faults(
     check_factors(f, &params).map(|f| (f, stats))
 }
 
+/// [`try_calu_with_stats`] on the recovering executor: every task body is
+/// wrapped by [`ca_sched::retrying_job`] so that a failure or panic
+/// restores the task's declared write-set from a pre-attempt snapshot and
+/// replays it under `policy` — fault-free replays are bitwise-identical, so
+/// a recovered run produces exactly the factors of an undisturbed one.
+/// `chaos` injects seeded faults/panics/delays/corruption for testing
+/// (use [`ca_sched::ChaosPlan::quiet`] when none are wanted); observed
+/// recovery activity accumulates into `counters`.
+pub fn try_calu_recovering(
+    a: Matrix,
+    p: &CaParams,
+    policy: ca_sched::RetryPolicy,
+    chaos: &ca_sched::ChaosPlan,
+    counters: &ca_sched::RecoveryCounters,
+) -> Result<(LuFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let params = monitored(p);
+    let (f, stats) = dag_calu::try_run_recovering(a, &params, policy, chaos, counters)?;
+    check_factors(f, &params).map(|f| (f, stats))
+}
+
+/// [`try_calu_recovering`] in checked execution mode: the retry wrapper's
+/// snapshot capture and write-set restores run under the shadow lease
+/// registry, so recovery itself is audited against the declared footprints.
+pub fn try_calu_recovering_checked(
+    a: Matrix,
+    p: &CaParams,
+    policy: ca_sched::RetryPolicy,
+    chaos: &ca_sched::ChaosPlan,
+    counters: &ca_sched::RecoveryCounters,
+) -> Result<(LuFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    let params = monitored(p);
+    let (f, stats) = dag_calu::try_run_recovering_checked(a, &params, policy, chaos, counters)?;
+    check_factors(f, &params).map(|f| (f, stats))
+}
+
 /// [`try_calu`] in checked execution mode: the task graph is first proven
 /// sound by the static verifier ([`ca_sched::verify_graph`]), then executed
 /// with every [`ca_matrix::SharedMatrix`] block access audited against the

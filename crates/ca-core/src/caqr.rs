@@ -182,6 +182,41 @@ pub fn try_caqr_with_faults(
     dag_caqr::try_run(a, p, faults)
 }
 
+/// [`try_caqr_with_faults`] on the recovering executor: every task body is
+/// wrapped by [`ca_sched::retrying_job`] so that a failure or panic
+/// restores the task's declared write-set from a pre-attempt snapshot and
+/// replays it under `policy` — fault-free replays are bitwise-identical.
+/// `chaos` injects seeded faults for testing; recovery activity accumulates
+/// into `counters`.
+pub fn try_caqr_recovering(
+    a: Matrix,
+    p: &CaParams,
+    policy: ca_sched::RetryPolicy,
+    chaos: &ca_sched::ChaosPlan,
+    counters: &ca_sched::RecoveryCounters,
+) -> Result<(QrFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    dag_caqr::try_run_recovering(a, p, policy, chaos, counters)
+}
+
+/// [`try_caqr_recovering`] in checked execution mode: the retry wrapper's
+/// snapshot capture and write-set restores run under the shadow lease
+/// registry, so recovery itself is audited against the declared footprints.
+pub fn try_caqr_recovering_checked(
+    a: Matrix,
+    p: &CaParams,
+    policy: ca_sched::RetryPolicy,
+    chaos: &ca_sched::ChaosPlan,
+    counters: &ca_sched::RecoveryCounters,
+) -> Result<(QrFactors, ca_sched::ExecStats), FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    dag_caqr::try_run_recovering_checked(a, p, policy, chaos, counters)
+}
+
 /// [`try_caqr`] in checked execution mode: the task graph is first proven
 /// sound by the static verifier ([`ca_sched::verify_graph`]), then executed
 /// with every [`ca_matrix::SharedMatrix`] block access audited against the

@@ -81,7 +81,7 @@ pub(crate) struct CaluPlan {
     pub panels: Vec<PanelCtx>,
     m: usize,
     n: usize,
-    b: usize,
+    pub(crate) b: usize,
     recursive_leaves: bool,
     growth_limit: f64,
 }
@@ -485,6 +485,94 @@ pub(crate) fn try_run_checked(
         let plan = &plan;
         let shared = &shared;
         ca_sched::job(move || plan.exec(shared, spec))
+    });
+    let result = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => {
+            ca_sched::try_run_graph_checked(jobs, p.threads, &registry)
+        }
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::try_run_graph_stealing_checked(jobs, p.threads, &registry)
+        }
+    };
+    match result {
+        Ok(stats) => Ok((collect_factors(&plan, shared), stats)),
+        Err(CheckedError::Soundness(violation)) => Err(FactorError::Soundness { violation }),
+        Err(CheckedError::Exec(e)) => Err(FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Recovering variant of [`try_run`]: every task body is wrapped by
+/// [`ca_sched::retrying_job`], which snapshots the task's declared
+/// write-set (resolved from the plan's [`AccessMap`]) before each attempt
+/// and, on failure or panic, restores it and replays under `policy`.
+/// Successors are cancelled only once retries are exhausted. `chaos`
+/// injects seeded failures/panics/delays/corruption for testing; pass
+/// [`ca_sched::ChaosPlan::quiet`] for production runs.
+pub(crate) fn try_run_recovering(
+    a: Matrix,
+    p: &CaParams,
+    policy: ca_sched::RetryPolicy,
+    chaos: &ca_sched::ChaosPlan,
+    counters: &ca_sched::RecoveryCounters,
+) -> Result<(LuFactors, ExecStats), FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    let shared = SharedMatrix::new(a);
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|id, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        let label = plan.graph.meta(id).label;
+        let writes = ca_sched::write_set(&plan.access, id, plan.b, m, n);
+        ca_sched::retrying_job(label, writes, shared, policy, chaos, counters, move || {
+            plan.exec(shared, spec)
+        })
+    });
+    let result = match p.scheduler {
+        crate::params::Scheduler::PriorityQueue => ca_sched::try_run_graph(jobs, p.threads),
+        crate::params::Scheduler::WorkStealing => {
+            ca_sched::try_run_graph_stealing(jobs, p.threads)
+        }
+    };
+    match result {
+        Ok(stats) => Ok((collect_factors(&plan, shared), stats)),
+        Err(e) => Err(FactorError::TaskFailed {
+            label: e.label.to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Checked-mode variant of [`try_run_recovering`]: the retry wrapper runs
+/// under the shadow lease registry, so snapshot capture and write-set
+/// restore are themselves audited against the declared footprints.
+pub(crate) fn try_run_recovering_checked(
+    a: Matrix,
+    p: &CaParams,
+    policy: ca_sched::RetryPolicy,
+    chaos: &ca_sched::ChaosPlan,
+    counters: &ca_sched::RecoveryCounters,
+) -> Result<(LuFactors, ExecStats), FactorError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let plan = build(m, n, p);
+    ca_sched::verify_graph(&plan.graph, &plan.access)
+        .map_err(|violation| FactorError::Soundness { violation })?;
+    let registry = ca_sched::build_shadow_registry(&plan.graph, &plan.access, plan.b, m, n);
+    let shared = SharedMatrix::with_shadow(a, registry.clone());
+
+    let jobs: TaskGraph<Job<'_>> = plan.graph.map_ref(|id, &spec| {
+        let plan = &plan;
+        let shared = &shared;
+        let label = plan.graph.meta(id).label;
+        let writes = ca_sched::write_set(&plan.access, id, plan.b, m, n);
+        ca_sched::retrying_job(label, writes, shared, policy, chaos, counters, move || {
+            plan.exec(shared, spec)
+        })
     });
     let result = match p.scheduler {
         crate::params::Scheduler::PriorityQueue => {

@@ -57,6 +57,16 @@ pub enum FactorError {
         /// The violation, naming the conflicting task labels.
         violation: ca_sched::SoundnessError,
     },
+    /// The post-factorization integrity probe found a residual far above
+    /// the backward-stability bound: the factors are silently corrupted
+    /// (bit flip, torn write, injected chaos) even though every task
+    /// reported success.
+    Corrupted {
+        /// The scaled probe residual that exceeded the threshold.
+        residual: f64,
+        /// The threshold it was compared against.
+        threshold: f64,
+    },
 }
 
 impl fmt::Display for FactorError {
@@ -76,6 +86,12 @@ impl fmt::Display for FactorError {
             }
             Self::Soundness { violation } => {
                 write!(f, "soundness violation: {violation}")
+            }
+            Self::Corrupted { residual, threshold } => {
+                write!(
+                    f,
+                    "silent corruption: probe residual {residual:.2e} exceeds threshold {threshold:.2e}"
+                )
             }
         }
     }

@@ -23,8 +23,43 @@ use crate::error::{find_non_finite, FactorError};
 use crate::params::CaParams;
 use crate::{dag_calu, dag_caqr};
 use ca_matrix::{Matrix, SharedMatrix};
-use ca_sched::{DynJob, TaskFailure, TaskGraph, TaskId, TaskKind, TaskLabel, TaskMeta};
+use ca_sched::{
+    ChaosPlan, DynJob, RecoveryCounters, RetryPolicy, TaskFailure, TaskGraph, TaskId, TaskKind,
+    TaskLabel, TaskMeta,
+};
 use std::sync::{Arc, OnceLock};
+
+/// Recovery context for a serve graph: wraps every *compute* task with
+/// [`ca_sched::retrying_dyn_job`] (sinks and solve epilogues — `FnOnce`
+/// closures that consume `Arc`s — are never wrapped; they only run after
+/// every compute task already succeeded).
+#[derive(Clone)]
+pub struct JobRecovery {
+    /// Per-task retry policy (snapshot/restore + bounded replay).
+    pub policy: RetryPolicy,
+    /// Fault-injection plan; [`ChaosPlan::quiet`] for production graphs.
+    pub chaos: Arc<ChaosPlan>,
+    /// Shared recovery counters, typically service-wide.
+    pub counters: Arc<RecoveryCounters>,
+}
+
+impl JobRecovery {
+    /// Recovery with no fault injection: `policy` plus a quiet chaos plan.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Self { policy, chaos: Arc::new(ChaosPlan::quiet(0)), counters: Arc::default() }
+    }
+
+    /// Recovery under a chaos plan (testing / chaos drills).
+    pub fn with_chaos(policy: RetryPolicy, chaos: Arc<ChaosPlan>) -> Self {
+        Self { policy, chaos, counters: Arc::default() }
+    }
+
+    /// Accumulate into the given (typically service-wide) counters.
+    pub fn with_counters(mut self, counters: Arc<RecoveryCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+}
 
 /// Graph, sink task id, and output slot — the pieces a serve-graph builder
 /// assembles before the sink id is discarded or reused by a fused builder.
@@ -66,11 +101,26 @@ pub fn calu_serve_graph(
     a: Matrix,
     p: &CaParams,
 ) -> Result<ServeGraph<LuFactors>, FactorError> {
-    let (graph, _, output) = calu_graph_parts(a, p)?;
+    let (graph, _, output) = calu_graph_parts(a, p, None)?;
     Ok(ServeGraph { graph, output })
 }
 
-fn calu_graph_parts(a: Matrix, p: &CaParams) -> Result<GraphParts<LuFactors>, FactorError> {
+/// [`calu_serve_graph`] with every compute task wrapped for write-set
+/// snapshot/restore retry under `rec` (see [`JobRecovery`]).
+pub fn calu_serve_graph_recovering(
+    a: Matrix,
+    p: &CaParams,
+    rec: &JobRecovery,
+) -> Result<ServeGraph<LuFactors>, FactorError> {
+    let (graph, _, output) = calu_graph_parts(a, p, Some(rec))?;
+    Ok(ServeGraph { graph, output })
+}
+
+fn calu_graph_parts(
+    a: Matrix,
+    p: &CaParams,
+    rec: Option<&JobRecovery>,
+) -> Result<GraphParts<LuFactors>, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {
         return Err(FactorError::NonFiniteInput { row, col });
     }
@@ -80,10 +130,25 @@ fn calu_graph_parts(a: Matrix, p: &CaParams) -> Result<GraphParts<LuFactors>, Fa
     let shared = Arc::new(SharedMatrix::new(a));
     let output = Arc::new(OnceLock::new());
 
-    let mut graph: TaskGraph<DynJob> = plan.graph.map_ref(|_, &spec| {
+    let mut graph: TaskGraph<DynJob> = plan.graph.map_ref(|id, &spec| {
         let plan = Arc::clone(&plan);
         let shared = Arc::clone(&shared);
-        ca_sched::dyn_job(move || plan.exec(&shared, spec))
+        match rec {
+            None => ca_sched::dyn_job(move || plan.exec(&shared, spec)),
+            Some(r) => {
+                let label = plan.graph.meta(id).label;
+                let writes = ca_sched::write_set(&plan.access, id, plan.b, m, n);
+                ca_sched::retrying_dyn_job(
+                    label,
+                    writes,
+                    Arc::clone(&shared),
+                    r.policy,
+                    Arc::clone(&r.chaos),
+                    Arc::clone(&r.counters),
+                    move || plan.exec(&shared, spec),
+                )
+            }
+        }
     });
     let sink = {
         let plan = Arc::clone(&plan);
@@ -104,11 +169,26 @@ pub fn caqr_serve_graph(
     a: Matrix,
     p: &CaParams,
 ) -> Result<ServeGraph<QrFactors>, FactorError> {
-    let (graph, _, output) = caqr_graph_parts(a, p)?;
+    let (graph, _, output) = caqr_graph_parts(a, p, None)?;
     Ok(ServeGraph { graph, output })
 }
 
-fn caqr_graph_parts(a: Matrix, p: &CaParams) -> Result<GraphParts<QrFactors>, FactorError> {
+/// [`caqr_serve_graph`] with every compute task wrapped for write-set
+/// snapshot/restore retry under `rec` (see [`JobRecovery`]).
+pub fn caqr_serve_graph_recovering(
+    a: Matrix,
+    p: &CaParams,
+    rec: &JobRecovery,
+) -> Result<ServeGraph<QrFactors>, FactorError> {
+    let (graph, _, output) = caqr_graph_parts(a, p, Some(rec))?;
+    Ok(ServeGraph { graph, output })
+}
+
+fn caqr_graph_parts(
+    a: Matrix,
+    p: &CaParams,
+    rec: Option<&JobRecovery>,
+) -> Result<GraphParts<QrFactors>, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {
         return Err(FactorError::NonFiniteInput { row, col });
     }
@@ -118,10 +198,25 @@ fn caqr_graph_parts(a: Matrix, p: &CaParams) -> Result<GraphParts<QrFactors>, Fa
     let shared = Arc::new(SharedMatrix::new(a));
     let output = Arc::new(OnceLock::new());
 
-    let mut graph: TaskGraph<DynJob> = plan.graph.map_ref(|_, &spec| {
+    let mut graph: TaskGraph<DynJob> = plan.graph.map_ref(|id, &spec| {
         let plan = Arc::clone(&plan);
         let shared = Arc::clone(&shared);
-        ca_sched::dyn_job(move || plan.exec(&shared, spec))
+        match rec {
+            None => ca_sched::dyn_job(move || plan.exec(&shared, spec)),
+            Some(r) => {
+                let label = plan.graph.meta(id).label;
+                let writes = ca_sched::write_set(&plan.access, id, plan.b, m, n);
+                ca_sched::retrying_dyn_job(
+                    label,
+                    writes,
+                    Arc::clone(&shared),
+                    r.policy,
+                    Arc::clone(&r.chaos),
+                    Arc::clone(&r.counters),
+                    move || plan.exec(&shared, spec),
+                )
+            }
+        }
     });
     let sink = {
         let output = Arc::clone(&output);
@@ -151,13 +246,34 @@ pub fn lu_solve_serve_graph(
     rhs: Matrix,
     p: &CaParams,
 ) -> Result<ServeGraph<Matrix>, FactorError> {
+    lu_solve_parts(a, rhs, p, None)
+}
+
+/// [`lu_solve_serve_graph`] with every compute task wrapped for write-set
+/// snapshot/restore retry under `rec`. The solve epilogue itself is not
+/// wrapped — it reads only completed factors and owns its right-hand side.
+pub fn lu_solve_serve_graph_recovering(
+    a: Matrix,
+    rhs: Matrix,
+    p: &CaParams,
+    rec: &JobRecovery,
+) -> Result<ServeGraph<Matrix>, FactorError> {
+    lu_solve_parts(a, rhs, p, Some(rec))
+}
+
+fn lu_solve_parts(
+    a: Matrix,
+    rhs: Matrix,
+    p: &CaParams,
+    rec: Option<&JobRecovery>,
+) -> Result<ServeGraph<Matrix>, FactorError> {
     assert_eq!(a.nrows(), a.ncols(), "solve requires square A");
     assert_eq!(rhs.nrows(), a.nrows(), "rhs row mismatch");
     if let Some((row, col)) = find_non_finite(&rhs) {
         return Err(FactorError::NonFiniteInput { row, col });
     }
     let flops = 2.0 * (a.nrows() as f64) * (a.nrows() as f64) * (rhs.ncols() as f64);
-    let (mut graph, fsink, factors) = calu_graph_parts(a, p)?;
+    let (mut graph, fsink, factors) = calu_graph_parts(a, p, rec)?;
     let output = Arc::new(OnceLock::new());
     let out = Arc::clone(&output);
     let solve = graph.add_task(
@@ -188,13 +304,34 @@ pub fn qr_lstsq_serve_graph(
     rhs: Matrix,
     p: &CaParams,
 ) -> Result<ServeGraph<Matrix>, FactorError> {
+    qr_lstsq_parts(a, rhs, p, None)
+}
+
+/// [`qr_lstsq_serve_graph`] with every compute task wrapped for write-set
+/// snapshot/restore retry under `rec`. The least-squares epilogue itself is
+/// not wrapped — it reads only completed factors.
+pub fn qr_lstsq_serve_graph_recovering(
+    a: Matrix,
+    rhs: Matrix,
+    p: &CaParams,
+    rec: &JobRecovery,
+) -> Result<ServeGraph<Matrix>, FactorError> {
+    qr_lstsq_parts(a, rhs, p, Some(rec))
+}
+
+fn qr_lstsq_parts(
+    a: Matrix,
+    rhs: Matrix,
+    p: &CaParams,
+    rec: Option<&JobRecovery>,
+) -> Result<ServeGraph<Matrix>, FactorError> {
     assert!(a.nrows() >= a.ncols(), "least squares needs a tall matrix");
     assert_eq!(rhs.nrows(), a.nrows(), "rhs row mismatch");
     if let Some((row, col)) = find_non_finite(&rhs) {
         return Err(FactorError::NonFiniteInput { row, col });
     }
     let flops = 2.0 * (a.ncols() as f64) * (a.nrows() as f64) * (rhs.ncols() as f64);
-    let (mut graph, fsink, factors) = caqr_graph_parts(a, p)?;
+    let (mut graph, fsink, factors) = caqr_graph_parts(a, p, rec)?;
     let output = Arc::new(OnceLock::new());
     let out = Arc::clone(&output);
     let solve = graph.add_task(

@@ -36,6 +36,7 @@ mod caqr;
 mod dag_calu;
 mod dag_caqr;
 mod error;
+mod probe;
 pub mod jobs;
 pub mod solve;
 pub mod params;
@@ -46,16 +47,21 @@ pub mod tsqr;
 
 pub use calu::{
     calu, calu_seq, calu_seq_factor, calu_with_stats, try_calu, try_calu_checked,
-    try_calu_profiled, try_calu_seq, try_calu_with_faults, try_calu_with_stats,
-    try_tslu_factor, tslu_factor, LuFactors, LuStats,
+    try_calu_profiled, try_calu_recovering, try_calu_recovering_checked, try_calu_seq,
+    try_calu_with_faults, try_calu_with_stats, try_tslu_factor, tslu_factor, LuFactors,
+    LuStats,
 };
 pub use caqr::{
     caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_checked, try_caqr_profiled,
-    try_caqr_with_faults, try_tsqr_factor, tsqr_factor, QrFactors,
+    try_caqr_recovering, try_caqr_recovering_checked, try_caqr_with_faults,
+    try_tsqr_factor, tsqr_factor, QrFactors,
 };
 pub use error::{FactorError, DEFAULT_GROWTH_LIMIT};
+pub use probe::PROBE_TOL;
 pub use jobs::{
-    calu_serve_graph, caqr_serve_graph, lu_solve_serve_graph, qr_lstsq_serve_graph, ServeGraph,
+    calu_serve_graph, calu_serve_graph_recovering, caqr_serve_graph,
+    caqr_serve_graph_recovering, lu_solve_serve_graph, lu_solve_serve_graph_recovering,
+    qr_lstsq_serve_graph, qr_lstsq_serve_graph_recovering, JobRecovery, ServeGraph,
 };
 pub use dag_calu::{calu_task_graph, calu_task_graph_with_access, verify_calu, CaluTask};
 pub use solve::{lu_packed_solve_in_place, RefineInfo};

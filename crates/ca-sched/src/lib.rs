@@ -28,6 +28,16 @@
 //! the failed task, its label, its worker lane, and the cancelled set.
 //! [`FaultPlan`] injects failures deterministically for testing.
 //!
+//! ## Recovery
+//!
+//! Wrapping a task body with [`retrying_job`] / [`retrying_dyn_job`] adds
+//! the *recover* half: the wrapper snapshots the task's declared write-set
+//! (resolved from the [`AccessMap`] by [`write_set`]), and on failure or
+//! panic restores it and replays the body under a [`RetryPolicy`] —
+//! successors are cancelled only once retries are exhausted. [`ChaosPlan`]
+//! extends the fault harness with seeded rate-based injection of failures,
+//! panics, delays, and silent data corruption.
+//!
 //! ## Profiling
 //!
 //! Every executor has a `profile_*` twin ([`profile_run_graph`],
@@ -62,6 +72,7 @@ mod persist;
 mod pool;
 mod pool_ws;
 mod profile;
+mod retry;
 mod sim;
 mod task;
 mod trace;
@@ -95,6 +106,12 @@ pub use profile::{
     ClassMetrics, KindMetrics, LatencyStats, LookaheadMetrics, PanelWait, Profile, QueueSample,
     SchedMetrics, StealStats, TaskRecord,
 };
+pub use retry::{
+    retrying_dyn_job, retrying_job, write_set, ChaosAction, ChaosPlan, ChaosProfile,
+    RecoveryCounters, RecoveryStats, RetryPolicy, WriteSet,
+};
 pub use sim::{profile_simulate, simulate, simulate_uniform, try_simulate};
 pub use task::{KernelClass, TaskId, TaskKind, TaskLabel, TaskMeta};
-pub use trace::{ascii_gantt, chrome_trace_json, Span, Timeline, TimelineError};
+pub use trace::{
+    ascii_gantt, chrome_trace_json, chrome_trace_json_with_marks, Span, Timeline, TimelineError,
+};

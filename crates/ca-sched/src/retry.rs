@@ -1,0 +1,889 @@
+//! Task-level recovery: write-set snapshots, bounded replay, and a seeded
+//! chaos harness.
+//!
+//! PR 1 gave the executors *fail-fast* semantics: a failed or panicked task
+//! cancels its transitive successors. This module adds the *recover* half.
+//! A task wrapped by [`retrying_job`] / [`retrying_dyn_job`]:
+//!
+//! 1. snapshots its declared write-set (the per-task block regions the DAG
+//!    builder recorded into the [`crate::AccessMap`]) before the first
+//!    attempt,
+//! 2. runs the body under a panic guard,
+//! 3. on failure or panic restores the snapshot and replays the body up to
+//!    [`RetryPolicy::max_retries`] times with bounded exponential backoff,
+//! 4. returns `Err` — cancelling successors — only once retries are
+//!    exhausted.
+//!
+//! Restoring the write-set is sufficient for idempotent replay because a
+//! task's observable effects on the shared matrix are exactly its declared
+//! writes (machine-checked by the static verifier and the shadow lease
+//! registry), and side-storage slots (`OnceLock`s in the panel contexts)
+//! are only filled at the very end of a successful body. Fault-free replays
+//! are therefore bitwise-identical to a run that never faulted.
+//!
+//! [`ChaosPlan`] extends [`crate::FaultPlan`] into a seeded harness:
+//! besides the deterministic N-th-match rules it injects failures, panics,
+//! delays *and silent data corruption* at configurable per-task-class
+//! rates. Decisions are a pure function of `(seed, label, occurrence)`, so
+//! they do not depend on thread interleaving; injected failures and panics
+//! fire *before* the body runs (after scribbling garbage over the write-set
+//! to prove restoration works), so replay is always safe.
+
+use crate::fault::{TaskFailure, TaskResult};
+use crate::footprint::AccessMap;
+use crate::multigraph::DynJob;
+use crate::pool::Job;
+use crate::task::{TaskId, TaskKind, TaskLabel};
+use ca_matrix::{MatView, SharedMatrix};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How many times a failed task is replayed, and how long to wait between
+/// attempts. The defaults (3 replays, 200 µs base, doubling, 10 ms cap) keep
+/// worst-case per-task recovery latency far below kernel runtimes, so the
+/// recovery overhead at paper-scale fault rates stays in single-digit
+/// percent.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Replays after the first attempt (`0` disables recovery).
+    pub max_retries: usize,
+    /// Delay before the first replay.
+    pub backoff: Duration,
+    /// Multiplier applied to the delay after each replay.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff: Duration::from_micros(200),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never replays (fail-fast, PR 1 semantics).
+    pub fn none() -> Self {
+        Self { max_retries: 0, ..Self::default() }
+    }
+
+    /// Sets the number of replays.
+    pub fn with_max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the base backoff delay.
+    pub fn with_backoff(mut self, d: Duration) -> Self {
+        self.backoff = d;
+        self
+    }
+
+    /// Delay before replay number `retry` (0-based), exponential and capped.
+    pub fn delay_for(&self, retry: usize) -> Duration {
+        let mult = self.multiplier.max(1.0).powi(retry.min(32) as i32);
+        let d = self.backoff.as_secs_f64() * mult;
+        Duration::from_secs_f64(d.min(self.max_backoff.as_secs_f64()))
+    }
+}
+
+/// What the chaos harness injects when a draw or rule fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosAction {
+    /// Scribble over the task's write-set, then report a `TaskFailure`
+    /// without running the body.
+    Fail,
+    /// Scribble over the write-set, then panic (caught by the retry
+    /// wrapper) without running the body.
+    Panic,
+    /// Run the body normally after sleeping, stressing drain ordering.
+    Delay(Duration),
+    /// Run the body, then silently perturb one element of the write-set —
+    /// the task *succeeds*; only an integrity probe can catch this.
+    Corrupt,
+}
+
+/// Per-task-class injection rates for [`ChaosPlan`]. All rates are
+/// probabilities in `[0, 1]` drawn independently per task attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosProfile {
+    /// Probability of an injected failure.
+    pub fail_rate: f64,
+    /// Probability of an injected panic.
+    pub panic_rate: f64,
+    /// Probability of an injected delay of [`ChaosProfile::delay`].
+    pub delay_rate: f64,
+    /// Sleep injected when the delay draw fires.
+    pub delay: Duration,
+    /// Probability of silent corruption of one written element.
+    pub corrupt_rate: f64,
+}
+
+impl Default for ChaosProfile {
+    /// The default chaos profile of the acceptance gate: 1% failures,
+    /// 0.5% panics, 0.1% silent corruption, no delays.
+    fn default() -> Self {
+        Self {
+            fail_rate: 0.01,
+            panic_rate: 0.005,
+            delay_rate: 0.0,
+            delay: Duration::from_micros(50),
+            corrupt_rate: 0.001,
+        }
+    }
+}
+
+impl ChaosProfile {
+    /// A profile that injects nothing (for rule-only plans).
+    pub fn quiet() -> Self {
+        Self {
+            fail_rate: 0.0,
+            panic_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// Profile with the given failure rate (other rates unchanged).
+    pub fn with_fail_rate(mut self, r: f64) -> Self {
+        self.fail_rate = r;
+        self
+    }
+
+    /// Profile with the given panic rate.
+    pub fn with_panic_rate(mut self, r: f64) -> Self {
+        self.panic_rate = r;
+        self
+    }
+
+    /// Profile with the given corruption rate.
+    pub fn with_corrupt_rate(mut self, r: f64) -> Self {
+        self.corrupt_rate = r;
+        self
+    }
+
+    fn total(&self) -> f64 {
+        self.fail_rate + self.panic_rate + self.delay_rate + self.corrupt_rate
+    }
+}
+
+struct ChaosRule {
+    predicate: Box<dyn Fn(&TaskLabel) -> bool + Send + Sync>,
+    /// 1-based index among the attempts matching `predicate`.
+    nth: usize,
+    action: ChaosAction,
+    hits: AtomicUsize,
+}
+
+/// Seeded chaos-injection plan: the [`crate::FaultPlan`] idea extended with
+/// rate-based injection and silent data corruption.
+///
+/// Two mechanisms compose:
+///
+/// * **Rules** fire on the N-th attempt (1-based, in decide order) whose
+///   label matches a predicate — deterministic regardless of seed, used by
+///   the retry-determinism tests.
+/// * **Rates** draw from a hash of `(seed, label, occurrence)`, where the
+///   occurrence number counts this label's attempts. The draw is a pure
+///   function of those three values, so a given attempt of a given task
+///   sees the same injection decision under any thread interleaving —
+///   and a *replay* (occurrence + 1) gets a fresh draw, so chaos cannot
+///   pin a task into an injection loop.
+///
+/// Like `FaultPlan`, a plan carries private counters and is single-use:
+/// build a fresh plan (same seed) per run to reproduce a schedule.
+pub struct ChaosPlan {
+    seed: u64,
+    profile: ChaosProfile,
+    class_profiles: Vec<(TaskKind, ChaosProfile)>,
+    rules: Vec<ChaosRule>,
+    occurrences: Mutex<HashMap<TaskLabel, u64>>,
+}
+
+impl ChaosPlan {
+    /// A plan with the default chaos profile (the acceptance gate's rates).
+    pub fn new(seed: u64) -> Self {
+        Self::with_profile(seed, ChaosProfile::default())
+    }
+
+    /// A plan that injects nothing by rate — rules still fire. This is the
+    /// drop-in upgrade path from [`crate::FaultPlan`].
+    pub fn quiet(seed: u64) -> Self {
+        Self::with_profile(seed, ChaosProfile::quiet())
+    }
+
+    /// A plan with an explicit default profile.
+    pub fn with_profile(seed: u64, profile: ChaosProfile) -> Self {
+        assert!(profile.total() <= 1.0, "chaos rates must sum to at most 1");
+        Self {
+            seed,
+            profile,
+            class_profiles: Vec::new(),
+            rules: Vec::new(),
+            occurrences: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the profile for one task class (e.g. higher GEMM rates).
+    pub fn with_class_profile(mut self, kind: TaskKind, profile: ChaosProfile) -> Self {
+        assert!(profile.total() <= 1.0, "chaos rates must sum to at most 1");
+        self.class_profiles.retain(|(k, _)| *k != kind);
+        self.class_profiles.push((kind, profile));
+        self
+    }
+
+    /// The seed the rate draws derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rule(
+        mut self,
+        nth: usize,
+        action: ChaosAction,
+        predicate: impl Fn(&TaskLabel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        assert!(nth >= 1, "chaos rules are 1-based: nth must be >= 1");
+        self.rules.push(ChaosRule {
+            predicate: Box::new(predicate),
+            nth,
+            action,
+            hits: AtomicUsize::new(0),
+        });
+        self
+    }
+
+    /// Fails the `nth` attempt matching `predicate` (1-based).
+    pub fn fail_nth(
+        self,
+        nth: usize,
+        predicate: impl Fn(&TaskLabel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.rule(nth, ChaosAction::Fail, predicate)
+    }
+
+    /// Panics on the `nth` attempt matching `predicate` (1-based).
+    pub fn panic_nth(
+        self,
+        nth: usize,
+        predicate: impl Fn(&TaskLabel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.rule(nth, ChaosAction::Panic, predicate)
+    }
+
+    /// Delays the `nth` attempt matching `predicate` (1-based).
+    pub fn delay_nth(
+        self,
+        nth: usize,
+        delay: Duration,
+        predicate: impl Fn(&TaskLabel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.rule(nth, ChaosAction::Delay(delay), predicate)
+    }
+
+    /// Silently corrupts the output of the `nth` attempt matching
+    /// `predicate` (1-based).
+    pub fn corrupt_nth(
+        self,
+        nth: usize,
+        predicate: impl Fn(&TaskLabel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.rule(nth, ChaosAction::Corrupt, predicate)
+    }
+
+    /// Whether the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+            && self.profile.total() == 0.0
+            && self.class_profiles.iter().all(|(_, p)| p.total() == 0.0)
+    }
+
+    fn profile_for(&self, kind: TaskKind) -> &ChaosProfile {
+        self.class_profiles
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(&self.profile, |(_, p)| p)
+    }
+
+    /// Consults the plan as a task attempt starts; returns the action to
+    /// inject, if any. Every call counts one occurrence of `label` (and one
+    /// match per rule whose predicate accepts it).
+    pub fn decide(&self, label: &TaskLabel) -> Option<ChaosAction> {
+        let occurrence = {
+            let mut occ = self.occurrences.lock().unwrap_or_else(|e| e.into_inner());
+            let c = occ.entry(*label).or_insert(0);
+            *c += 1;
+            *c
+        };
+        // Every matching rule advances its counter (unlike `FaultPlan`,
+        // which stops at the first firing rule): a retried attempt must be
+        // visible to all rules, or N-th-match injection sequences would
+        // depend on which earlier rule happened to fire.
+        let mut fired = None;
+        for rule in &self.rules {
+            if (rule.predicate)(label) {
+                let hit = rule.hits.fetch_add(1, Ordering::AcqRel) + 1;
+                if hit == rule.nth && fired.is_none() {
+                    fired = Some(rule.action.clone());
+                }
+            }
+        }
+        if fired.is_some() {
+            return fired;
+        }
+        let p = self.profile_for(label.kind);
+        if p.total() == 0.0 {
+            return None;
+        }
+        let u = unit_draw(mix(self.seed, label, occurrence));
+        let mut edge = p.fail_rate;
+        if u < edge {
+            return Some(ChaosAction::Fail);
+        }
+        edge += p.panic_rate;
+        if u < edge {
+            return Some(ChaosAction::Panic);
+        }
+        edge += p.corrupt_rate;
+        if u < edge {
+            return Some(ChaosAction::Corrupt);
+        }
+        edge += p.delay_rate;
+        if u < edge {
+            return Some(ChaosAction::Delay(p.delay));
+        }
+        None
+    }
+}
+
+/// splitmix64 finalizer — a well-mixed 64-bit hash of its input.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic draw identity for one attempt of one task.
+fn mix(seed: u64, label: &TaskLabel, occurrence: u64) -> u64 {
+    let mut h = splitmix64(seed);
+    h = splitmix64(h ^ (label.kind as u64).wrapping_mul(0x100000001b3));
+    h = splitmix64(h ^ label.step as u64);
+    h = splitmix64(h ^ ((label.i as u64) << 20) ^ (label.j as u64));
+    splitmix64(h ^ occurrence)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit_draw(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Counters shared by every recovery wrapper of a run (or of a whole
+/// service). All methods are lock-free; snapshot with
+/// [`RecoveryCounters::snapshot`].
+#[derive(Debug, Default)]
+pub struct RecoveryCounters {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    recovered: AtomicU64,
+    exhausted: AtomicU64,
+    restores: AtomicU64,
+    injected_failures: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_delays: AtomicU64,
+    injected_corruptions: AtomicU64,
+}
+
+impl RecoveryCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> RecoveryStats {
+        RecoveryStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recovered_tasks: self.recovered.load(Ordering::Relaxed),
+            exhausted_tasks: self.exhausted.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            injected_failures: self.injected_failures.load(Ordering::Relaxed),
+            injected_panics: self.injected_panics.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+            injected_corruptions: self.injected_corruptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`RecoveryCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RecoveryStats {
+    /// Task body attempts (first tries + replays).
+    pub attempts: u64,
+    /// Replays after a failed attempt.
+    pub retries: u64,
+    /// Tasks that failed at least once and then succeeded.
+    pub recovered_tasks: u64,
+    /// Tasks that failed every attempt (successors were cancelled).
+    pub exhausted_tasks: u64,
+    /// Write-set snapshot restorations performed.
+    pub restores: u64,
+    /// Failures injected by a [`ChaosPlan`].
+    pub injected_failures: u64,
+    /// Panics injected by a [`ChaosPlan`].
+    pub injected_panics: u64,
+    /// Delays injected by a [`ChaosPlan`].
+    pub injected_delays: u64,
+    /// Silent corruptions injected by a [`ChaosPlan`].
+    pub injected_corruptions: u64,
+}
+
+/// One element rectangle of a task's write-set (half-open ranges).
+#[derive(Clone, Copy, Debug)]
+struct WriteRect {
+    row0: usize,
+    row1: usize,
+    col0: usize,
+    col1: usize,
+}
+
+impl WriteRect {
+    fn rows(&self) -> usize {
+        self.row1 - self.row0
+    }
+
+    fn cols(&self) -> usize {
+        self.col1 - self.col0
+    }
+}
+
+/// The element regions a task declared it writes, resolved from block to
+/// element coordinates and clipped to the matrix. Build once per task with
+/// [`write_set`]; the retry wrapper snapshots and restores exactly these
+/// elements.
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    rects: Vec<WriteRect>,
+}
+
+impl WriteSet {
+    /// `true` for tasks that write no matrix blocks (reduction-tree nodes
+    /// passing data through side storage).
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Number of elements covered (rectangles may not overlap per the
+    /// builders' contract; used for cost accounting).
+    pub fn elems(&self) -> usize {
+        self.rects.iter().map(|r| r.rows() * r.cols()).sum()
+    }
+
+    /// Copies the current contents of every write rectangle.
+    fn capture(&self, shared: &SharedMatrix) -> Vec<Vec<f64>> {
+        self.rects
+            .iter()
+            .map(|r| {
+                // SAFETY: the executor guarantees no concurrent writer
+                // overlaps this task's declared footprint while the task
+                // (and this wrapper around it) runs — the same contract the
+                // body itself relies on. Reads within the declared write-set
+                // also satisfy the shadow registry's containment check.
+                unsafe { shared.block(r.row0, r.col0, r.rows(), r.cols()).to_vec() }
+            })
+            .collect()
+    }
+
+    /// Writes `saved` (from [`WriteSet::capture`]) back.
+    // Raw block access is sound here for the same reason it is in the task
+    // body: the restore touches only this task's declared write regions,
+    // while the task holds exclusive access to them per the graph edges.
+    #[allow(clippy::disallowed_methods)]
+    fn restore(&self, shared: &SharedMatrix, saved: &[Vec<f64>]) {
+        for (r, data) in self.rects.iter().zip(saved) {
+            let src = MatView::from_slice(data, r.rows(), r.cols());
+            // SAFETY: see `capture` — exclusive access per the graph edges.
+            unsafe { shared.block_mut(r.row0, r.col0, r.rows(), r.cols()).copy_from(src) };
+        }
+    }
+
+    /// Overwrites the write-set with garbage (what a task dying mid-kernel
+    /// leaves behind) so injected faults genuinely exercise restoration.
+    #[allow(clippy::disallowed_methods)]
+    fn scribble(&self, shared: &SharedMatrix) {
+        for r in &self.rects {
+            // SAFETY: see `capture` — exclusive access per the graph edges.
+            unsafe { shared.block_mut(r.row0, r.col0, r.rows(), r.cols()).fill(f64::NAN) };
+        }
+    }
+
+    /// Perturbs one element (chosen by `h`) by a large finite factor — the
+    /// silent-corruption model: plausible data, wrong value.
+    #[allow(clippy::disallowed_methods)]
+    fn corrupt_one(&self, shared: &SharedMatrix, h: u64) {
+        if self.rects.is_empty() {
+            return;
+        }
+        let r = &self.rects[(h % self.rects.len() as u64) as usize];
+        let elems = (r.rows() * r.cols()) as u64;
+        let idx = (h >> 16) % elems.max(1);
+        let (i, j) = ((idx as usize) % r.rows(), (idx as usize) / r.rows());
+        // SAFETY: see `capture` — exclusive access per the graph edges.
+        let mut block = unsafe { shared.block_mut(r.row0, r.col0, r.rows(), r.cols()) };
+        let v = block.at(i, j);
+        let bad = if v.is_finite() { v.mul_add(1.0e6, 1.0e3) } else { 1.0e6 };
+        block.set(i, j, bad);
+    }
+}
+
+/// Resolves task `task`'s declared write regions from block coordinates
+/// (`access` over a block grid of size `b`) to element rectangles clipped
+/// to the `m × n` matrix.
+pub fn write_set(access: &AccessMap, task: TaskId, b: usize, m: usize, n: usize) -> WriteSet {
+    let rects = access
+        .writes(task)
+        .iter()
+        .map(|region| WriteRect {
+            row0: (region.rows.start * b).min(m),
+            row1: (region.rows.end * b).min(m),
+            col0: (region.cols.start * b).min(n),
+            col1: (region.cols.end * b).min(n),
+        })
+        .filter(|r| r.row0 < r.row1 && r.col0 < r.col1)
+        .collect();
+    WriteSet { rects }
+}
+
+/// Runs `body` under the retry protocol. Returns `Ok` if any attempt
+/// succeeds; `Err` (with the last failure) once retries are exhausted.
+fn run_recovering(
+    label: &TaskLabel,
+    writes: &WriteSet,
+    shared: &SharedMatrix,
+    policy: &RetryPolicy,
+    chaos: &ChaosPlan,
+    counters: &RecoveryCounters,
+    body: &(dyn Fn() + Send),
+) -> TaskResult {
+    let snapshot = if policy.max_retries > 0 && !writes.is_empty() {
+        Some(writes.capture(shared))
+    } else {
+        None
+    };
+    let mut last = TaskFailure::new("task never attempted");
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            RecoveryCounters::add(&counters.retries);
+            std::thread::sleep(policy.delay_for(attempt - 1));
+        }
+        RecoveryCounters::add(&counters.attempts);
+        let outcome = attempt_once(label, writes, shared, chaos, counters, body);
+        match outcome {
+            Ok(()) => {
+                if attempt > 0 {
+                    RecoveryCounters::add(&counters.recovered);
+                }
+                return Ok(());
+            }
+            Err(failure) => {
+                last = failure;
+                if let Some(saved) = &snapshot {
+                    writes.restore(shared, saved);
+                    RecoveryCounters::add(&counters.restores);
+                }
+            }
+        }
+    }
+    RecoveryCounters::add(&counters.exhausted);
+    Err(last)
+}
+
+/// One attempt: consult chaos, run the body under a panic guard.
+fn attempt_once(
+    label: &TaskLabel,
+    writes: &WriteSet,
+    shared: &SharedMatrix,
+    chaos: &ChaosPlan,
+    counters: &RecoveryCounters,
+    body: &(dyn Fn() + Send),
+) -> TaskResult {
+    match chaos.decide(label) {
+        Some(ChaosAction::Fail) => {
+            RecoveryCounters::add(&counters.injected_failures);
+            writes.scribble(shared);
+            Err(TaskFailure::new(format!("chaos: injected failure at {label}")))
+        }
+        Some(ChaosAction::Panic) => {
+            RecoveryCounters::add(&counters.injected_panics);
+            writes.scribble(shared);
+            // Route the injection through a real unwind so the catch path
+            // is exercised, not just simulated.
+            guarded(|| panic!("chaos: injected panic at {label}"))
+        }
+        Some(ChaosAction::Delay(d)) => {
+            RecoveryCounters::add(&counters.injected_delays);
+            std::thread::sleep(d);
+            guarded(body)
+        }
+        Some(ChaosAction::Corrupt) => {
+            let r = guarded(body);
+            if r.is_ok() && !writes.is_empty() {
+                RecoveryCounters::add(&counters.injected_corruptions);
+                writes.corrupt_one(shared, splitmix64(mix(chaos.seed, label, u64::MAX)));
+            }
+            r
+        }
+        None => guarded(body),
+    }
+}
+
+thread_local! {
+    /// Set while a recovery-guarded body runs on this thread, so the panic
+    /// hook can tell a caught-and-replayed panic from a genuine crash.
+    static IN_GUARDED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that stays silent for panics unwinding out
+/// of a recovery guard — they are converted to [`TaskFailure`]s and replayed
+/// (or, in a chaos drill, injected on purpose), so the default
+/// message-plus-backtrace spew is pure noise. Panics anywhere else keep the
+/// previous hook's behavior.
+fn silence_guarded_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_GUARDED.with(|g| g.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` converting a panic into a `TaskFailure`.
+fn guarded(f: impl FnOnce()) -> TaskResult {
+    silence_guarded_panics();
+    let was = IN_GUARDED.with(|g| g.replace(true));
+    let r = catch_unwind(AssertUnwindSafe(f));
+    IN_GUARDED.with(|g| g.set(was));
+    match r {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(TaskFailure::new(crate::pool::panic_message(&payload))),
+    }
+}
+
+/// Wraps a re-runnable task body as a scoped [`Job`] with snapshot/replay
+/// recovery. The body must be `Fn` (re-callable) and must derive all its
+/// inputs from state that the write-set restore returns to the pre-attempt
+/// image — true for every DAG-builder kernel closure in this workspace.
+#[allow(clippy::too_many_arguments)]
+pub fn retrying_job<'s>(
+    label: TaskLabel,
+    writes: WriteSet,
+    shared: &'s SharedMatrix,
+    policy: RetryPolicy,
+    chaos: &'s ChaosPlan,
+    counters: &'s RecoveryCounters,
+    body: impl Fn() + Send + 's,
+) -> Job<'s> {
+    Box::new(move || run_recovering(&label, &writes, shared, &policy, chaos, counters, &body))
+}
+
+/// Owning variant of [`retrying_job`] for [`crate::MultiFrontier`] graphs:
+/// captures `Arc`s so the job can outlive the submitting call.
+#[allow(clippy::too_many_arguments)]
+pub fn retrying_dyn_job(
+    label: TaskLabel,
+    writes: WriteSet,
+    shared: Arc<SharedMatrix>,
+    policy: RetryPolicy,
+    chaos: Arc<ChaosPlan>,
+    counters: Arc<RecoveryCounters>,
+    body: impl Fn() + Send + 'static,
+) -> DynJob {
+    Box::new(move || run_recovering(&label, &writes, &shared, &policy, &chaos, &counters, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+    use ca_matrix::Matrix;
+
+    fn label(kind: TaskKind, step: usize) -> TaskLabel {
+        TaskLabel::new(kind, step, 0, 0)
+    }
+
+    fn one_rect_set() -> WriteSet {
+        WriteSet { rects: vec![WriteRect { row0: 0, row1: 4, col0: 0, col1: 4 }] }
+    }
+
+    #[test]
+    fn chaos_decisions_are_deterministic_per_occurrence() {
+        let l = label(TaskKind::Update, 3);
+        let a = ChaosPlan::new(42);
+        let b = ChaosPlan::new(42);
+        let da: Vec<_> = (0..200).map(|_| a.decide(&l)).collect();
+        let db: Vec<_> = (0..200).map(|_| b.decide(&l)).collect();
+        assert_eq!(da, db, "same seed, same label sequence, same decisions");
+        let c = ChaosPlan::new(43);
+        let dc: Vec<_> = (0..200).map(|_| c.decide(&l)).collect();
+        assert_ne!(da, dc, "different seed should differ somewhere in 200 draws");
+    }
+
+    #[test]
+    fn chaos_rates_roughly_match_over_many_draws() {
+        let plan = ChaosPlan::with_profile(
+            7,
+            ChaosProfile::quiet().with_fail_rate(0.2),
+        );
+        let mut fails = 0;
+        for step in 0..5000 {
+            if plan.decide(&label(TaskKind::Update, step)).is_some() {
+                fails += 1;
+            }
+        }
+        let rate = fails as f64 / 5000.0;
+        assert!((0.15..0.25).contains(&rate), "observed fail rate {rate}");
+    }
+
+    #[test]
+    fn quiet_plan_with_rules_fires_exactly_nth() {
+        let plan = ChaosPlan::quiet(0).fail_nth(2, |l| l.kind == TaskKind::Panel);
+        let l = label(TaskKind::Panel, 0);
+        assert!(plan.decide(&l).is_none());
+        assert_eq!(plan.decide(&l), Some(ChaosAction::Fail));
+        assert!(plan.decide(&l).is_none());
+        assert!(plan.decide(&label(TaskKind::Update, 0)).is_none());
+    }
+
+    #[test]
+    fn class_profile_overrides_default() {
+        let plan = ChaosPlan::with_profile(9, ChaosProfile::quiet())
+            .with_class_profile(TaskKind::Update, ChaosProfile::quiet().with_fail_rate(1.0));
+        assert_eq!(plan.decide(&label(TaskKind::Update, 0)), Some(ChaosAction::Fail));
+        assert!(plan.decide(&label(TaskKind::Panel, 0)).is_none());
+    }
+
+    #[test]
+    fn write_set_clips_to_matrix() {
+        let mut access = AccessMap::new(3, 3);
+        access.record_write(0, 1..3, 2..3);
+        let ws = write_set(&access, 0, 10, 25, 25);
+        assert_eq!(ws.elems(), 15 * 5, "rows 10..25 x cols 20..25");
+        let empty = write_set(&access, 1, 10, 25, 25);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let shared = SharedMatrix::new(Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64));
+        let ws = one_rect_set();
+        let saved = ws.capture(&shared);
+        ws.scribble(&shared);
+        // SAFETY: single-threaded test.
+        assert!(unsafe { shared.block(0, 0, 4, 4) }.at(1, 1).is_nan());
+        ws.restore(&shared, &saved);
+        let m = shared.into_inner();
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m[(3, 3)], 15.0);
+    }
+
+    #[test]
+    fn corrupt_one_changes_exactly_one_element() {
+        let orig = Matrix::from_fn(4, 4, |i, j| (i + j) as f64 + 1.0);
+        let shared = SharedMatrix::new(orig.clone());
+        one_rect_set().corrupt_one(&shared, 0xdeadbeef);
+        let m = shared.into_inner();
+        let changed = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .filter(|&(i, j)| m[(i, j)] != orig[(i, j)])
+            .count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn retry_recovers_from_injected_faults() {
+        let shared = SharedMatrix::new(Matrix::zeros(4, 4));
+        let ws = one_rect_set();
+        let l = label(TaskKind::Update, 0);
+        let chaos = ChaosPlan::quiet(0)
+            .fail_nth(1, |_| true)
+            .panic_nth(2, |_| true);
+        let counters = RecoveryCounters::new();
+        let runs = AtomicUsize::new(0);
+        let result = run_recovering(
+            &l,
+            &ws,
+            &shared,
+            &RetryPolicy::default().with_backoff(Duration::ZERO),
+            &chaos,
+            &counters,
+            &|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: single-threaded test, declared write region.
+                #[allow(clippy::disallowed_methods)]
+                unsafe {
+                    shared.block_mut(0, 0, 4, 4).fill(1.0)
+                };
+            },
+        );
+        assert!(result.is_ok());
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "body ran once (injections precede it)");
+        let stats = counters.snapshot();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.recovered_tasks, 1);
+        assert_eq!(stats.injected_failures, 1);
+        assert_eq!(stats.injected_panics, 1);
+        assert_eq!(stats.restores, 2);
+        let m = shared.into_inner();
+        assert_eq!(m[(2, 2)], 1.0, "final attempt's writes survive");
+    }
+
+    #[test]
+    fn exhausted_retries_restore_and_fail() {
+        let shared = SharedMatrix::new(Matrix::from_fn(4, 4, |_, _| 7.0));
+        let ws = one_rect_set();
+        let l = label(TaskKind::Update, 0);
+        let chaos = ChaosPlan::with_profile(0, ChaosProfile::quiet().with_fail_rate(1.0));
+        let counters = RecoveryCounters::new();
+        let policy = RetryPolicy::default().with_max_retries(2).with_backoff(Duration::ZERO);
+        let result = run_recovering(&l, &ws, &shared, &policy, &chaos, &counters, &|| {});
+        assert!(result.is_err());
+        let stats = counters.snapshot();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.exhausted_tasks, 1);
+        assert_eq!(stats.recovered_tasks, 0);
+        let m = shared.into_inner();
+        assert_eq!(m[(0, 0)], 7.0, "write-set restored even on exhaustion");
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            backoff: Duration::from_millis(1),
+            multiplier: 10.0,
+            max_backoff: Duration::from_millis(5),
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(1));
+        assert_eq!(p.delay_for(1), Duration::from_millis(5));
+        assert_eq!(p.delay_for(9), Duration::from_millis(5));
+    }
+}

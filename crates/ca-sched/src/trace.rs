@@ -256,6 +256,26 @@ pub fn chrome_trace_json(tl: &Timeline) -> String {
     serde_json::to_string(&events).expect("serializable")
 }
 
+/// Like [`chrome_trace_json`], with additional instant events (`ph: "i"`)
+/// interleaved at the given `(seconds, description)` marks — used by the
+/// serving layer to mark recovery actions (job retries, probe hits) on the
+/// execution timeline.
+pub fn chrome_trace_json_with_marks(tl: &Timeline, marks: &[(f64, String)]) -> String {
+    let mut events = trace_metadata_events(tl.nworkers(), "ca-factor");
+    events.extend(trace_span_events(tl));
+    for (ts, name) in marks {
+        events.push(serde_json::json!({
+            "name": name.as_str(),
+            "cat": "recovery",
+            "ph": "i",
+            "s": "g",
+            "ts": ts * 1e6,
+            "pid": TRACE_PID,
+        }));
+    }
+    serde_json::to_string(&events).expect("serializable")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

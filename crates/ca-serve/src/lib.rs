@@ -21,7 +21,13 @@
 //!   batch jobs, amortizing per-job scheduling overhead;
 //! - [`Service::stats`] snapshots per-job latency (queue/exec/total),
 //!   throughput, occupancy, and shed/reject/deadline counters, and
-//!   [`Service::chrome_trace`] reuses the existing chrome-trace pipeline.
+//!   [`Service::chrome_trace`] reuses the existing chrome-trace pipeline;
+//! - an optional recovery tier ([`RetryConfig`]): task-level replay from
+//!   write-set snapshots inside the running graph, job-level resubmission
+//!   with deadline-aware exponential backoff from the retained request
+//!   payload, and a random-vector integrity probe that turns silent factor
+//!   corruption into [`ServeError::Corrupted`] (or a retry). A seeded
+//!   [`ChaosConfig`] drill injects failures/panics/corruption for testing.
 //!
 //! ```
 //! use ca_serve::{Service, ServiceConfig, SubmitOptions};
@@ -41,9 +47,11 @@ mod config;
 mod service;
 mod stats;
 
-pub use config::{AdmissionPolicy, BatchConfig, ServiceConfig, SubmitOptions};
+pub use config::{
+    AdmissionPolicy, BatchConfig, ChaosConfig, RetryConfig, ServiceConfig, SubmitOptions,
+};
 pub use service::{serialized_baseline, JobHandle, Service};
 pub use stats::{LatencySummary, ServeError, ServiceStats};
 
 // Frontier types that surface through the service API.
-pub use ca_sched::{CancelReason, JobId};
+pub use ca_sched::{CancelReason, ChaosProfile, JobId, RecoveryStats};

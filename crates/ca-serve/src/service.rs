@@ -4,18 +4,23 @@ use crate::batch::{BatchTicket, PendingBatch, PendingMember};
 use crate::config::{AdmissionPolicy, ServiceConfig, SubmitOptions};
 use crate::stats::{Counters, LatencySummary, ServeError, ServiceStats};
 use ca_core::{
-    calu_serve_graph, caqr_serve_graph, lu_solve_serve_graph, qr_lstsq_serve_graph, CaParams,
-    FactorError, LuFactors, QrFactors, ServeGraph,
+    calu_serve_graph, calu_serve_graph_recovering, caqr_serve_graph,
+    caqr_serve_graph_recovering, lu_solve_serve_graph, lu_solve_serve_graph_recovering,
+    qr_lstsq_serve_graph, qr_lstsq_serve_graph_recovering, CaParams, FactorError, JobRecovery,
+    LuFactors, QrFactors, ServeGraph,
 };
 use ca_matrix::Matrix;
 use ca_sched::{
-    DynJob, JobId, JobOptions, JobOutcome, JobReport, JobWatch, MultiFrontier, TaskGraph,
-    TaskKind, TaskLabel, TaskMeta,
+    CancelReason, ChaosPlan, DynJob, JobId, JobOptions, JobOutcome, JobReport, JobWatch,
+    MultiFrontier, RecoveryCounters, TaskGraph, TaskKind, TaskLabel, TaskMeta,
 };
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Cap on retained recovery-mark events (chrome-trace annotations).
+const MAX_MARKS: usize = 4096;
 
 /// First non-finite entry of `a` in column-major order, if any.
 fn find_non_finite(a: &Matrix) -> Option<(usize, usize)> {
@@ -40,6 +45,29 @@ enum Waiter {
     Batched(Arc<BatchTicket>),
 }
 
+/// Job-level recovery state carried by a handle when the service runs with
+/// a [`crate::RetryConfig`]: the retained request payload (inside
+/// `rebuild`), the backoff schedule, and the absolute deadline the retry
+/// loop must never run past.
+struct RetryState<T> {
+    opts: SubmitOptions,
+    /// Absolute deadline: admission time + the job's deadline, if any.
+    deadline_at: Option<Instant>,
+    /// Job-level backoff schedule (`max_retries` is the resubmission budget).
+    backoff: ca_sched::RetryPolicy,
+    /// Resubmissions performed so far.
+    used: usize,
+    /// Rebuilds a fresh graph from the retained owning payload; `None`
+    /// when `job_retries` is 0 (probe-only recovery).
+    #[allow(clippy::type_complexity)]
+    rebuild: Option<Box<dyn Fn(&JobRecovery) -> Result<ServeGraph<T>, FactorError> + Send>>,
+    /// Integrity probe over the completed result, if configured.
+    #[allow(clippy::type_complexity)]
+    probe: Option<Box<dyn Fn(&T) -> Result<(), FactorError> + Send>>,
+    /// When the first failed/corrupted attempt was observed (MTTR anchor).
+    first_failure: Option<Instant>,
+}
+
 /// Handle to a submitted job: poll, wait (with or without timeout), cancel.
 ///
 /// Dropping a handle detaches it — the job keeps running (use
@@ -48,6 +76,9 @@ pub struct JobHandle<T> {
     core: Arc<ServiceCore>,
     waiter: Waiter,
     output: Arc<OnceLock<T>>,
+    /// Boxed: the retry state is cold and would otherwise dominate the
+    /// handle's (and its `Result`'s) size.
+    retry: Option<Box<RetryState<T>>>,
 }
 
 impl<T> JobHandle<T> {
@@ -79,62 +110,183 @@ impl<T> JobHandle<T> {
         }
     }
 
-    /// Blocks until the job finishes and returns its result.
-    pub fn wait(self) -> Result<T, ServeError> {
-        let watch = match &self.waiter {
-            Waiter::Direct { watch, .. } => watch.clone(),
-            Waiter::Batched(t) => t.wait(),
-        };
-        let report = watch.wait();
-        Self::finish(report, self.output)
+    /// Blocks until the job finishes — retrying it under the service's
+    /// [`crate::RetryConfig`], if any — and returns its result.
+    pub fn wait(mut self) -> Result<T, ServeError> {
+        loop {
+            let watch = match &self.waiter {
+                Waiter::Direct { watch, .. } => watch.clone(),
+                Waiter::Batched(t) => t.wait(),
+            };
+            let report = watch.wait();
+            match self.settle(report) {
+                Ok(result) => return result,
+                Err(retried) => self = retried,
+            }
+        }
     }
 
     /// Waits up to `timeout`; returns the handle back if the job is still
     /// running (batched members count flush-waiting time against the
-    /// timeout too).
-    pub fn wait_for(self, timeout: Duration) -> Result<Result<T, ServeError>, Self> {
-        let watch = match &self.waiter {
-            Waiter::Direct { watch, .. } => watch.clone(),
-            Waiter::Batched(t) => match t.try_get() {
-                Some(w) => w,
-                None => {
-                    // Poll for the flush within the timeout budget; flushes
-                    // are bounded by the batch max-delay, so this resolves
-                    // fast in practice.
-                    let deadline = Instant::now() + timeout;
-                    loop {
-                        if let Some(w) = {
-                            let Waiter::Batched(t) = &self.waiter else { unreachable!() };
-                            t.try_get()
-                        } {
-                            break w;
+    /// timeout too, as do retry backoffs and resubmitted attempts).
+    pub fn wait_for(mut self, timeout: Duration) -> Result<Result<T, ServeError>, Self> {
+        let until = Instant::now() + timeout;
+        loop {
+            let watch = match &self.waiter {
+                Waiter::Direct { watch, .. } => watch.clone(),
+                Waiter::Batched(t) => match t.try_get() {
+                    Some(w) => w,
+                    None => {
+                        // Poll for the flush within the timeout budget;
+                        // flushes are bounded by the batch max-delay, so
+                        // this resolves fast in practice.
+                        loop {
+                            if let Some(w) = {
+                                let Waiter::Batched(t) = &self.waiter else { unreachable!() };
+                                t.try_get()
+                            } {
+                                break w;
+                            }
+                            if Instant::now() >= until {
+                                return Err(self);
+                            }
+                            std::thread::sleep(Duration::from_micros(200));
                         }
-                        if Instant::now() >= deadline {
-                            return Err(self);
-                        }
-                        std::thread::sleep(Duration::from_micros(200));
                     }
-                }
-            },
-        };
-        match watch.wait_timeout(timeout) {
-            Some(report) => Ok(Self::finish(report, self.output)),
-            None => Err(self),
+                },
+            };
+            let remaining = until.saturating_duration_since(Instant::now());
+            match watch.wait_timeout(remaining) {
+                None => return Err(self),
+                Some(report) => match self.settle(report) {
+                    Ok(result) => return Ok(result),
+                    Err(retried) => self = retried,
+                },
+            }
         }
     }
 
-    fn finish(report: JobReport, output: Arc<OnceLock<T>>) -> Result<T, ServeError> {
+    /// Maps a terminal report to a result, or resubmits the job (returning
+    /// the updated handle in `Err`) when the outcome is retryable under the
+    /// handle's [`RetryState`]: a task failure, or a completed run whose
+    /// factors fail the integrity probe. Deadline and shed cancellations
+    /// are never retried.
+    fn settle(mut self, report: JobReport) -> Result<Result<T, ServeError>, Self> {
         match report.outcome {
-            JobOutcome::Completed => match Arc::try_unwrap(output) {
-                Ok(slot) => slot.into_inner().ok_or(ServeError::Lost),
-                Err(_) => Err(ServeError::Lost),
+            JobOutcome::Completed => {
+                let output = std::mem::replace(&mut self.output, Arc::new(OnceLock::new()));
+                let value = match Arc::try_unwrap(output) {
+                    Ok(slot) => match slot.into_inner() {
+                        Some(v) => v,
+                        None => return Ok(Err(ServeError::Lost)),
+                    },
+                    Err(_) => return Ok(Err(ServeError::Lost)),
+                };
+                if let Some(probe) = self.retry.as_ref().and_then(|r| r.probe.as_ref()) {
+                    self.core.stats.lock().expect("stats lock").probes_run += 1;
+                    if let Err(FactorError::Corrupted { residual, threshold }) = probe(&value)
+                    {
+                        {
+                            let mut s = self.core.stats.lock().expect("stats lock");
+                            s.corruption_detected += 1;
+                            // The completion hook counted this attempt as
+                            // completed, but its result is unusable.
+                            s.completed = s.completed.saturating_sub(1);
+                        }
+                        self.core.mark_recovery(format!(
+                            "probe: corrupted factors (residual {residual:.2e})"
+                        ));
+                        drop(value);
+                        return match self.try_resubmit() {
+                            Ok(retried) => Err(retried),
+                            Err(None) => {
+                                Ok(Err(ServeError::Corrupted { residual, threshold }))
+                            }
+                            Err(Some(e)) => Ok(Err(e)),
+                        };
+                    }
+                }
+                if let Some(t0) = self.retry.as_ref().and_then(|r| r.first_failure) {
+                    {
+                        let mut s = self.core.stats.lock().expect("stats lock");
+                        s.jobs_recovered += 1;
+                        if s.mttr_s.len() < MAX_MARKS {
+                            s.mttr_s.push(t0.elapsed().as_secs_f64());
+                        }
+                    }
+                    self.core.mark_recovery("job recovered".into());
+                }
+                Ok(Ok(value))
+            }
+            JobOutcome::Failed(e) => match self.try_resubmit() {
+                Ok(retried) => {
+                    // The failed attempt was not terminal: undo the
+                    // completion hook's job-level count for it.
+                    let mut s = retried.core.stats.lock().expect("stats lock");
+                    s.failed = s.failed.saturating_sub(1);
+                    drop(s);
+                    Err(retried)
+                }
+                Err(None) => Ok(Err(ServeError::Failed {
+                    label: e.label.to_string(),
+                    message: e.message,
+                })),
+                Err(Some(err)) => Ok(Err(err)),
             },
-            JobOutcome::Failed(e) => Err(ServeError::Failed {
-                label: e.label.to_string(),
-                message: e.message,
-            }),
-            JobOutcome::Cancelled(reason) => Err(ServeError::Cancelled(reason)),
+            JobOutcome::Cancelled(reason) => Ok(Err(match reason {
+                CancelReason::Deadline => ServeError::DeadlineExceeded,
+                CancelReason::Shed => ServeError::Shed,
+                other => ServeError::Cancelled(other),
+            })),
         }
+    }
+
+    /// Attempts one job-level resubmission: sleep the backoff (unless that
+    /// would cross the job's deadline), re-admit, rebuild the graph from
+    /// the retained payload under a fresh chaos seed, and submit it with
+    /// the *remaining* deadline budget. `Err(None)` means no retry is
+    /// available (the caller returns the original error); `Err(Some(e))`
+    /// means the retry itself failed.
+    fn try_resubmit(mut self) -> Result<Self, Option<ServeError>> {
+        let Some(st) = self.retry.as_mut() else { return Err(None) };
+        if st.rebuild.is_none() || st.used >= st.backoff.max_retries {
+            return Err(None);
+        }
+        if st.first_failure.is_none() {
+            st.first_failure = Some(Instant::now());
+        }
+        let delay = st.backoff.delay_for(st.used);
+        if let Some(at) = st.deadline_at {
+            // Deadline-aware: never retry past the job's deadline.
+            if Instant::now() + delay >= at {
+                return Err(Some(ServeError::DeadlineExceeded));
+            }
+        }
+        st.used += 1;
+        std::thread::sleep(delay);
+        self.core.admit().map_err(Some)?;
+        let rec = self.core.recovery_for_attempt().expect("retry implies recovery");
+        let st = self.retry.as_ref().expect("checked above");
+        let sg = match st.rebuild.as_ref().expect("checked above")(&rec) {
+            Ok(sg) => sg,
+            Err(e) => {
+                self.core.release_one();
+                return Err(Some(ServeError::Invalid(e)));
+            }
+        };
+        let mut jopts = JobOptions::default().with_weight(st.opts.weight);
+        if let Some(at) = st.deadline_at {
+            jopts = jopts.with_deadline(at.saturating_duration_since(Instant::now()));
+        }
+        {
+            let mut s = self.core.stats.lock().expect("stats lock");
+            s.job_retries += 1;
+        }
+        self.core.mark_recovery(format!("job retry {}", st.used));
+        let (id, watch) = self.core.frontier.submit(sg.graph, jopts);
+        self.output = sg.output;
+        self.waiter = Waiter::Direct { id, watch };
+        Ok(self)
     }
 }
 
@@ -152,6 +304,12 @@ pub(crate) struct ServiceCore {
     flush_cv: Condvar,
     shutdown: AtomicBool,
     started: Instant,
+    /// Task-level recovery counters, shared by every job's retry wrappers.
+    recovery: Arc<RecoveryCounters>,
+    /// Monotone counter deriving a distinct chaos seed per built graph.
+    chaos_jobs: AtomicU64,
+    /// Recovery events `(seconds since start, description)` for the trace.
+    recovery_marks: Mutex<Vec<(f64, String)>>,
 }
 
 impl ServiceCore {
@@ -221,6 +379,36 @@ impl ServiceCore {
                     active = self.admission.lock().expect("admission lock");
                 }
             }
+        }
+    }
+
+    /// The recovery context for one graph build, or `None` when neither
+    /// retry nor chaos is configured. Every call under chaos derives a
+    /// fresh plan seed, so a resubmitted job is not pinned into the exact
+    /// injection pattern that killed its previous attempt.
+    fn recovery_for_attempt(&self) -> Option<JobRecovery> {
+        let retry = self.cfg.retry;
+        let chaos = self.cfg.chaos;
+        if retry.is_none() && chaos.is_none() {
+            return None;
+        }
+        let policy = retry.map_or_else(ca_sched::RetryPolicy::none, |r| r.task_policy());
+        let plan = match chaos {
+            Some(c) => {
+                let k = self.chaos_jobs.fetch_add(1, Ordering::Relaxed);
+                let seed = c.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Arc::new(ChaosPlan::with_profile(seed, c.profile))
+            }
+            None => Arc::new(ChaosPlan::quiet(0)),
+        };
+        Some(JobRecovery { policy, chaos: plan, counters: Arc::clone(&self.recovery) })
+    }
+
+    /// Records a recovery event for the chrome trace (bounded).
+    fn mark_recovery(&self, msg: String) {
+        let mut marks = self.recovery_marks.lock().expect("marks lock");
+        if marks.len() < MAX_MARKS {
+            marks.push((self.started.elapsed().as_secs_f64(), msg));
         }
     }
 
@@ -337,6 +525,9 @@ impl Service {
                 flush_cv: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
+                recovery: Arc::new(RecoveryCounters::new()),
+                chaos_jobs: AtomicU64::new(0),
+                recovery_marks: Mutex::new(Vec::new()),
             }
         });
         let flusher = cfg.batch.map(|b| {
@@ -358,12 +549,16 @@ impl Service {
     }
 
     /// Whether a factorization of shape `m × n` under `opts` may join the
-    /// pending batch.
+    /// pending batch. Batched members run as single fused tasks without
+    /// write-set wrappers or resubmission payloads, so recovery (and chaos)
+    /// suppresses batching entirely.
     fn batchable(&self, m: usize, n: usize, opts: &SubmitOptions) -> bool {
         let Some(b) = self.core.cfg.batch else { return false };
         opts.batchable
             && opts.weight == 1.0
             && self.deadline_for(opts).is_none()
+            && self.core.cfg.retry.is_none()
+            && self.core.cfg.chaos.is_none()
             && b.max_dim > 0
             && m.max(n) <= b.max_dim
     }
@@ -372,6 +567,7 @@ impl Service {
         &self,
         sg: ServeGraph<T>,
         opts: &SubmitOptions,
+        retry: Option<Box<RetryState<T>>>,
     ) -> JobHandle<T> {
         let mut jopts = JobOptions::default().with_weight(opts.weight);
         if let Some(d) = self.deadline_for(opts) {
@@ -383,6 +579,50 @@ impl Service {
             core: Arc::clone(&self.core),
             waiter: Waiter::Direct { id, watch },
             output: sg.output,
+            retry,
+        }
+    }
+
+    /// The probe seed when integrity probing is configured.
+    fn probe_seed(&self) -> Option<u64> {
+        self.core.cfg.retry.and_then(|r| r.probe.then_some(r.probe_seed))
+    }
+
+    /// Builds and submits a graph under the given recovery context, wiring
+    /// up the handle's [`RetryState`] (rebuild closure retained only when
+    /// `job_retries > 0`). The caller has already claimed an admission
+    /// slot; a build error releases it.
+    #[allow(clippy::type_complexity)]
+    fn submit_recovering<T: Send + Sync + 'static>(
+        &self,
+        opts: &SubmitOptions,
+        rec: JobRecovery,
+        build: impl Fn(&JobRecovery) -> Result<ServeGraph<T>, FactorError> + Send + 'static,
+        probe: Option<Box<dyn Fn(&T) -> Result<(), FactorError> + Send>>,
+    ) -> Result<JobHandle<T>, ServeError> {
+        match build(&rec) {
+            Ok(sg) => {
+                let retry = self.core.cfg.retry.map(|r| Box::new(RetryState {
+                    opts: *opts,
+                    deadline_at: self.deadline_for(opts).map(|d| Instant::now() + d),
+                    backoff: r.job_policy(),
+                    used: 0,
+                    rebuild: (r.job_retries > 0).then(|| {
+                        Box::new(build)
+                            as Box<
+                                dyn Fn(&JobRecovery) -> Result<ServeGraph<T>, FactorError>
+                                    + Send,
+                            >
+                    }),
+                    probe,
+                    first_failure: None,
+                }));
+                Ok(self.submit_direct(sg, opts, retry))
+            }
+            Err(e) => {
+                self.core.release_one();
+                Err(ServeError::Invalid(e))
+            }
         }
     }
 
@@ -412,6 +652,7 @@ impl Service {
             core: Arc::clone(&self.core),
             waiter: Waiter::Batched(ticket),
             output,
+            retry: None,
         }
     }
 
@@ -439,11 +680,24 @@ impl Service {
             }));
         }
         self.core.admit()?;
-        match calu_serve_graph(a, &p) {
-            Ok(sg) => Ok(self.submit_direct(sg, &opts)),
-            Err(e) => {
-                self.core.release_one();
-                Err(ServeError::Invalid(e))
+        match self.core.recovery_for_attempt() {
+            None => match calu_serve_graph(a, &p) {
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Err(e) => {
+                    self.core.release_one();
+                    Err(ServeError::Invalid(e))
+                }
+            },
+            Some(rec) => {
+                let a0 = Arc::new(a);
+                let probe = self.probe_seed().map(|seed| {
+                    let a0 = Arc::clone(&a0);
+                    Box::new(move |f: &LuFactors| f.verify_integrity(&a0, seed))
+                        as Box<dyn Fn(&LuFactors) -> Result<(), FactorError> + Send>
+                });
+                let build =
+                    move |r: &JobRecovery| calu_serve_graph_recovering((*a0).clone(), &p, r);
+                self.submit_recovering(&opts, rec, build, probe)
             }
         }
     }
@@ -465,11 +719,24 @@ impl Service {
             return Ok(self.submit_batched(flops, move || ca_core::caqr_seq(a, &p)));
         }
         self.core.admit()?;
-        match caqr_serve_graph(a, &p) {
-            Ok(sg) => Ok(self.submit_direct(sg, &opts)),
-            Err(e) => {
-                self.core.release_one();
-                Err(ServeError::Invalid(e))
+        match self.core.recovery_for_attempt() {
+            None => match caqr_serve_graph(a, &p) {
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Err(e) => {
+                    self.core.release_one();
+                    Err(ServeError::Invalid(e))
+                }
+            },
+            Some(rec) => {
+                let a0 = Arc::new(a);
+                let probe = self.probe_seed().map(|seed| {
+                    let a0 = Arc::clone(&a0);
+                    Box::new(move |f: &QrFactors| f.verify_integrity(&a0, seed))
+                        as Box<dyn Fn(&QrFactors) -> Result<(), FactorError> + Send>
+                });
+                let build =
+                    move |r: &JobRecovery| caqr_serve_graph_recovering((*a0).clone(), &p, r);
+                self.submit_recovering(&opts, rec, build, probe)
             }
         }
     }
@@ -487,11 +754,23 @@ impl Service {
     ) -> Result<JobHandle<Matrix>, ServeError> {
         let p = self.params_for(&opts);
         self.core.admit()?;
-        match lu_solve_serve_graph(a, rhs, &p) {
-            Ok(sg) => Ok(self.submit_direct(sg, &opts)),
-            Err(e) => {
-                self.core.release_one();
-                Err(ServeError::Invalid(e))
+        match self.core.recovery_for_attempt() {
+            None => match lu_solve_serve_graph(a, rhs, &p) {
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Err(e) => {
+                    self.core.release_one();
+                    Err(ServeError::Invalid(e))
+                }
+            },
+            Some(rec) => {
+                let a0 = Arc::new(a);
+                let r0 = Arc::new(rhs);
+                // No probe on solve jobs: the factors are consumed inside
+                // the graph; task retry + job retry still apply.
+                let build = move |r: &JobRecovery| {
+                    lu_solve_serve_graph_recovering((*a0).clone(), (*r0).clone(), &p, r)
+                };
+                self.submit_recovering(&opts, rec, build, None)
             }
         }
     }
@@ -509,11 +788,21 @@ impl Service {
     ) -> Result<JobHandle<Matrix>, ServeError> {
         let p = self.params_for(&opts);
         self.core.admit()?;
-        match qr_lstsq_serve_graph(a, rhs, &p) {
-            Ok(sg) => Ok(self.submit_direct(sg, &opts)),
-            Err(e) => {
-                self.core.release_one();
-                Err(ServeError::Invalid(e))
+        match self.core.recovery_for_attempt() {
+            None => match qr_lstsq_serve_graph(a, rhs, &p) {
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Err(e) => {
+                    self.core.release_one();
+                    Err(ServeError::Invalid(e))
+                }
+            },
+            Some(rec) => {
+                let a0 = Arc::new(a);
+                let r0 = Arc::new(rhs);
+                let build = move |r: &JobRecovery| {
+                    qr_lstsq_serve_graph_recovering((*a0).clone(), (*r0).clone(), &p, r)
+                };
+                self.submit_recovering(&opts, rec, build, None)
             }
         }
     }
@@ -536,9 +825,11 @@ impl Service {
 
     /// Chrome-trace JSON of the worker timeline recorded while tracing was
     /// enabled (`chrome://tracing` / Perfetto format, same pipeline as the
-    /// one-shot `--profile` path).
+    /// one-shot `--profile` path). Recovery events — job retries, probe
+    /// hits, recoveries — appear as global instant markers.
     pub fn chrome_trace(&self) -> String {
-        ca_sched::chrome_trace_json(&self.core.frontier.timeline())
+        let marks = self.core.recovery_marks.lock().expect("marks lock").clone();
+        ca_sched::chrome_trace_json_with_marks(&self.core.frontier.timeline(), &marks)
     }
 
     /// Point-in-time service statistics.
@@ -560,6 +851,12 @@ impl Service {
             deadline_missed: c.deadline_missed,
             batches_flushed: c.batches_flushed,
             batched_jobs: c.batched_jobs,
+            job_retries: c.job_retries,
+            jobs_recovered: c.jobs_recovered,
+            corruption_detected: c.corruption_detected,
+            probes_run: c.probes_run,
+            task_recovery: self.core.recovery.snapshot(),
+            mttr: LatencySummary::from_samples(&c.mttr_s),
             active_jobs: active,
             elapsed_s: elapsed,
             busy_s: busy,
@@ -753,7 +1050,7 @@ mod tests {
             .submit_lu(a, SubmitOptions::default().with_deadline(Duration::ZERO))
             .expect("admit");
         match h.wait() {
-            Err(ServeError::Cancelled(CancelReason::Deadline)) => {}
+            Err(ServeError::DeadlineExceeded) => {}
             other => panic!("expected deadline cancellation, got {other:?}"),
         }
         let s = svc.stats();
@@ -796,6 +1093,197 @@ mod tests {
         let json = serde_json::to_string(&s).expect("serializable");
         assert!(json.contains("\"completed\":1"));
         assert!(json.contains("total_latency"));
+        assert!(json.contains("task_recovery"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn retry_path_matches_sequential_reference_without_faults() {
+        // Recovery plumbing engaged (wrapped bodies, probes) but no chaos:
+        // results must be bitwise-identical to the sequential reference.
+        let svc = Service::new(cfg(2).with_retry(crate::config::RetryConfig::default()));
+        let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(90));
+        let p = CaParams::new(16, 4, 1);
+        let lu_ref = ca_core::calu_seq_factor(a.clone(), &p);
+        let h = svc.submit_lu(a, SubmitOptions::default()).expect("admit");
+        let lu = h.wait().expect("completes");
+        assert_eq!(lu.lu.as_slice(), lu_ref.lu.as_slice());
+        assert_eq!(lu.pivots.ipiv, lu_ref.pivots.ipiv);
+        let s = svc.stats();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.probes_run, 1);
+        assert_eq!(s.corruption_detected, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn chaos_drill_jobs_all_complete_correctly() {
+        // Aggressive per-task fault rates + task retry: every job must still
+        // complete, and completed results must equal the fault-free
+        // reference (replay determinism end to end through the service).
+        let profile = ca_sched::ChaosProfile { fail_rate: 0.05, panic_rate: 0.02, ..ca_sched::ChaosProfile::quiet() };
+        let svc = Service::new(
+            cfg(2)
+                .with_retry(crate::config::RetryConfig::default())
+                .with_chaos(crate::config::ChaosConfig::seeded(7).with_profile(profile)),
+        );
+        let p = CaParams::new(16, 4, 1);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(100 + i));
+                svc.submit_lu(a, SubmitOptions::default()).expect("admit")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(100 + i as u64));
+            let lu_ref = ca_core::calu_seq_factor(a, &p);
+            let lu = h.wait().expect("job survives chaos");
+            assert_eq!(lu.lu.as_slice(), lu_ref.lu.as_slice());
+        }
+        let s = svc.stats();
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.failed, 0);
+        // At these rates over 4 × 64×64 graphs some injection must fire.
+        let inj = s.task_recovery.injected_failures + s.task_recovery.injected_panics;
+        assert!(inj > 0, "chaos drill injected nothing: {:?}", s.task_recovery);
+        assert_eq!(s.task_recovery.exhausted_tasks, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn job_level_retry_recovers_from_exhausted_task_budget() {
+        // Task retries disabled: any injected fault fails the whole job, so
+        // recovery must come from job-level resubmission. Resubmitted jobs
+        // draw fresh chaos seeds, so with a modest fault rate the retried
+        // run eventually completes.
+        // ~60 wrapped tasks per graph → a 1% per-task rate fails roughly
+        // half the attempts; 20 fresh-seeded resubmissions make exhausting
+        // the budget (~0.5^21) vanishingly unlikely.
+        let profile = ca_sched::ChaosProfile { fail_rate: 0.01, ..ca_sched::ChaosProfile::quiet() };
+        let retry = crate::config::RetryConfig::default()
+            .with_task_retries(0)
+            .with_job_retries(20)
+            .without_probe();
+        let svc = Service::new(
+            cfg(2)
+                .with_retry(retry)
+                .with_chaos(crate::config::ChaosConfig::seeded(11).with_profile(profile)),
+        );
+        let p = CaParams::new(16, 4, 1);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(120 + i));
+                svc.submit_lu(a, SubmitOptions::default()).expect("admit")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(120 + i as u64));
+            let lu_ref = ca_core::calu_seq_factor(a, &p);
+            let lu = h.wait().expect("job-level retry recovers");
+            assert_eq!(lu.lu.as_slice(), lu_ref.lu.as_slice());
+        }
+        let s = svc.stats();
+        assert_eq!(s.completed, 4);
+        if s.job_retries > 0 {
+            assert!(s.jobs_recovered > 0, "retried jobs should be counted recovered");
+            assert!(s.mttr.count as u64 == s.jobs_recovered);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn corruption_injection_is_caught_by_probe_and_retried() {
+        // Only silent corruption injected: corrupted runs "succeed"
+        // numerically wrong, the probe must catch each one, and the
+        // job-level retry must eventually produce a clean
+        // (reference-identical) result. At a 2% per-task rate roughly 70%
+        // of attempts carry an injection; 30 retries make exhaustion
+        // vanishingly unlikely.
+        let profile =
+            ca_sched::ChaosProfile { corrupt_rate: 0.02, ..ca_sched::ChaosProfile::quiet() };
+        let retry = crate::config::RetryConfig::default().with_job_retries(30);
+        let svc = Service::new(
+            cfg(2)
+                .with_retry(retry)
+                .with_chaos(crate::config::ChaosConfig::seeded(3).with_profile(profile)),
+        );
+        let p = CaParams::new(16, 4, 1);
+        let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(130));
+        let lu_ref = ca_core::calu_seq_factor(a.clone(), &p);
+        let h = svc.submit_lu(a, SubmitOptions::default()).expect("admit");
+        let lu = h.wait().expect("probe-triggered retry recovers");
+        assert_eq!(lu.lu.as_slice(), lu_ref.lu.as_slice());
+        let s = svc.stats();
+        assert_eq!(s.completed, 1);
+        // The probe ran on every completed attempt, and every resubmission
+        // was triggered by a detection.
+        assert_eq!(s.probes_run, 1 + s.job_retries);
+        assert_eq!(s.corruption_detected, s.job_retries);
+        if s.job_retries > 0 {
+            assert_eq!(s.jobs_recovered, 1);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn exhausted_corruption_budget_surfaces_corrupted_error() {
+        // Certain corruption on every task: every attempt completes with
+        // poisoned factors, the probe flags each, and once the job-retry
+        // budget is spent the handle resolves with `Corrupted`.
+        let profile =
+            ca_sched::ChaosProfile { corrupt_rate: 1.0, ..ca_sched::ChaosProfile::quiet() };
+        let retry = crate::config::RetryConfig::default().with_job_retries(2);
+        let svc = Service::new(
+            cfg(2)
+                .with_retry(retry)
+                .with_chaos(crate::config::ChaosConfig::seeded(13).with_profile(profile)),
+        );
+        let a = ca_matrix::random_uniform(64, 64, &mut seeded_rng(131));
+        let h = svc.submit_lu(a, SubmitOptions::default()).expect("admit");
+        match h.wait() {
+            Err(ServeError::Corrupted { residual, threshold }) => {
+                assert!(residual > threshold);
+            }
+            other => panic!("expected corrupted, got {other:?}"),
+        }
+        let s = svc.stats();
+        assert_eq!(s.job_retries, 2);
+        assert_eq!(s.probes_run, 3);
+        assert_eq!(s.corruption_detected, 3);
+        // Each attempt's completion count was rolled back on detection.
+        assert_eq!(s.completed, 0);
+        assert!(s.task_recovery.injected_corruptions > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn deadline_aware_backoff_refuses_to_retry_past_deadline() {
+        // Job fails every run (certain injection, no task retries) and the
+        // backoff exceeds the deadline: the handle must resolve with
+        // DeadlineExceeded instead of sleeping past it.
+        let profile = ca_sched::ChaosProfile { fail_rate: 1.0, ..ca_sched::ChaosProfile::quiet() };
+        let retry = crate::config::RetryConfig {
+            task_retries: 0,
+            job_retries: 50,
+            backoff: Duration::from_millis(250),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            probe: false,
+            probe_seed: 0,
+        };
+        let svc = Service::new(
+            cfg(1)
+                .with_retry(retry)
+                .with_chaos(crate::config::ChaosConfig::seeded(5).with_profile(profile)),
+        );
+        let a = ca_matrix::random_uniform(48, 48, &mut seeded_rng(140));
+        let h = svc
+            .submit_lu(a, SubmitOptions::default().with_deadline(Duration::from_millis(300)))
+            .expect("admit");
+        match h.wait() {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected deadline-bounded retry, got {other:?}"),
+        }
         svc.shutdown();
     }
 }

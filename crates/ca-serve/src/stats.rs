@@ -11,9 +11,23 @@ pub enum ServeError {
     Rejected,
     /// The service is shutting down.
     ShuttingDown,
-    /// The job was cancelled before completing (user cancel, deadline,
-    /// shed, or shutdown).
+    /// The job's deadline expired — while queued or mid-execution, or
+    /// because a retry backoff would have run past it.
+    DeadlineExceeded,
+    /// The job was evicted by the shed-oldest admission policy to make
+    /// room for a newer submission.
+    Shed,
+    /// The job was cancelled before completing (user cancel or shutdown;
+    /// deadline and shed have their own variants).
     Cancelled(CancelReason),
+    /// The job completed but the integrity probe found its factors
+    /// silently corrupted (and the retry budget, if any, was exhausted).
+    Corrupted {
+        /// The scaled probe residual.
+        residual: f64,
+        /// The threshold it was compared against.
+        threshold: f64,
+    },
     /// A task of the job failed (numerical breakdown, panic, …).
     Failed {
         /// Label of the failing task.
@@ -32,7 +46,13 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Rejected => write!(f, "rejected: service at capacity"),
             ServeError::ShuttingDown => write!(f, "service shutting down"),
+            ServeError::DeadlineExceeded => write!(f, "job missed its deadline"),
+            ServeError::Shed => write!(f, "job shed: evicted at capacity"),
             ServeError::Cancelled(r) => write!(f, "job cancelled: {r}"),
+            ServeError::Corrupted { residual, threshold } => write!(
+                f,
+                "job result corrupted: probe residual {residual:.2e} exceeds {threshold:.2e}"
+            ),
             ServeError::Failed { label, message } => {
                 write!(f, "job failed at task {label}: {message}")
             }
@@ -60,9 +80,15 @@ pub(crate) struct Counters {
     pub deadline_missed: u64,
     pub batches_flushed: u64,
     pub batched_jobs: u64,
+    pub job_retries: u64,
+    pub jobs_recovered: u64,
+    pub corruption_detected: u64,
+    pub probes_run: u64,
     pub queue_s: Vec<f64>,
     pub exec_s: Vec<f64>,
     pub total_s: Vec<f64>,
+    /// Recovery durations: first failure observation → eventual success.
+    pub mttr_s: Vec<f64>,
 }
 
 impl Counters {
@@ -144,6 +170,21 @@ pub struct ServiceStats {
     pub batches_flushed: u64,
     /// Member jobs that ran inside fused batches.
     pub batched_jobs: u64,
+    /// Job-level resubmissions performed by the retry layer.
+    pub job_retries: u64,
+    /// Jobs that ultimately completed after at least one resubmission (or
+    /// a probe-triggered rerun).
+    pub jobs_recovered: u64,
+    /// Probe hits: completed runs whose factors failed the integrity check.
+    pub corruption_detected: u64,
+    /// Integrity probes executed.
+    pub probes_run: u64,
+    /// Task-level recovery counters aggregated across every job (attempts,
+    /// replays, restores, chaos injections).
+    pub task_recovery: ca_sched::RecoveryStats,
+    /// Mean time to recovery: first failure observation → eventual
+    /// success, for jobs that recovered.
+    pub mttr: LatencySummary,
     /// Jobs admitted and not yet finished at snapshot time.
     pub active_jobs: usize,
     /// Seconds since the service started.
@@ -183,9 +224,13 @@ mod tests {
     #[test]
     fn serve_error_display() {
         assert!(ServeError::Rejected.to_string().contains("capacity"));
-        assert!(ServeError::Cancelled(CancelReason::Deadline)
+        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServeError::Shed.to_string().contains("shed"));
+        assert!(ServeError::Cancelled(CancelReason::Shutdown)
             .to_string()
-            .contains("deadline"));
+            .contains("cancelled"));
+        let e = ServeError::Corrupted { residual: 1.0, threshold: 1e-10 };
+        assert!(e.to_string().contains("corrupted"));
         let e = ServeError::Failed { label: "P[0]".into(), message: "boom".into() };
         assert!(e.to_string().contains("P[0]") && e.to_string().contains("boom"));
     }

@@ -27,6 +27,22 @@ fn exit_code(e: &FactorError) -> i32 {
         FactorError::GrowthExplosion { .. } => 5,
         FactorError::TaskFailed { .. } => 6,
         FactorError::Soundness { violation } => soundness_exit_code(violation),
+        FactorError::Corrupted { .. } => 10,
+    }
+}
+
+/// Distinct exit code per service-failure class: silent corruption → 10,
+/// deadline miss → 11, shed → 12; task faults and invalid inputs reuse the
+/// factorization codes.
+fn serve_exit_code(e: &ca_factor::serve::ServeError) -> i32 {
+    use ca_factor::serve::ServeError;
+    match e {
+        ServeError::Corrupted { .. } => 10,
+        ServeError::DeadlineExceeded => 11,
+        ServeError::Shed => 12,
+        ServeError::Failed { .. } => 6,
+        ServeError::Invalid(inner) => exit_code(inner),
+        _ => 1,
     }
 }
 
@@ -72,6 +88,11 @@ struct Opts {
     batch: usize,
     /// `serve`: per-job deadline in milliseconds (`0` = none).
     deadline_ms: u64,
+    /// `serve --retry N`: enable the recovery tier with N job-level
+    /// resubmissions (plus default task-level replay and integrity probe).
+    retry: Option<usize>,
+    /// `serve --chaos[=SEED]`: run the workload as a seeded chaos drill.
+    chaos: Option<u64>,
 }
 
 impl Default for Opts {
@@ -93,6 +114,8 @@ impl Default for Opts {
             policy: ca_factor::serve::AdmissionPolicy::Block,
             batch: 0,
             deadline_ms: 0,
+            retry: None,
+            chaos: None,
         }
     }
 }
@@ -113,7 +136,13 @@ fn usage() -> ! {
                 --capacity C                      bounded queue capacity (16)\n\
                 --policy reject|block|shed        admission policy (block)\n\
                 --batch DIM                       coalesce jobs ≤ DIM (0=off)\n\
-                --deadline MS                     per-job deadline (0=none)"
+                --deadline MS                     per-job deadline (0=none)\n\
+                --retry N                         recovery tier: N job-level\n\
+                                                  resubmissions + task replay\n\
+                                                  + integrity probe\n\
+                --chaos[=SEED]                    seeded fault-injection drill\n\
+                                                  (1% fail, 0.5% panic,\n\
+                                                  0.1% silent corruption)"
     );
     exit(2)
 }
@@ -166,6 +195,11 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--batch" => o.batch = next().parse().unwrap_or_else(|_| usage()),
             "--deadline" => o.deadline_ms = next().parse().unwrap_or_else(|_| usage()),
+            "--retry" => o.retry = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--chaos" => o.chaos = Some(0xC0FFEE),
+            s if s.starts_with("--chaos=") => {
+                o.chaos = Some(s["--chaos=".len()..].parse().unwrap_or_else(|_| usage()))
+            }
             "--profile" => o.profile = Some("profile_trace.json".to_string()),
             s if s.starts_with("--profile=") => {
                 o.profile = Some(s["--profile=".len()..].to_string())
@@ -382,7 +416,10 @@ fn cmd_verify(sub: &str, o: &Opts) {
 /// in `chrome://tracing`/Perfetto, and the `serviceStats` member carries the
 /// shed/reject/deadline-miss counters alongside it.
 fn cmd_serve(o: &Opts) {
-    use ca_factor::serve::{BatchConfig, ServeError, Service, ServiceConfig, SubmitOptions};
+    use ca_factor::serve::{
+        BatchConfig, ChaosConfig, RetryConfig, ServeError, Service, ServiceConfig,
+        SubmitOptions,
+    };
     let mut cfg = ServiceConfig::new(o.threads.max(1))
         .with_capacity(o.capacity)
         .with_admission(o.policy);
@@ -391,6 +428,16 @@ fn cmd_serve(o: &Opts) {
     }
     if o.deadline_ms > 0 {
         cfg = cfg.with_default_deadline(std::time::Duration::from_millis(o.deadline_ms));
+    }
+    if let Some(n) = o.retry {
+        cfg = cfg.with_retry(RetryConfig::default().with_job_retries(n));
+    }
+    if let Some(seed) = o.chaos {
+        cfg = cfg.with_chaos(ChaosConfig::seeded(seed));
+        if o.retry.is_none() {
+            // A drill without recovery would just fail jobs; default it on.
+            cfg = cfg.with_retry(RetryConfig::default());
+        }
     }
     let svc = Service::new(cfg);
     if o.profile.is_some() {
@@ -420,11 +467,28 @@ fn cmd_serve(o: &Opts) {
             }
         }
     }
+    // Track the most severe terminal failure so the drill's exit code is
+    // scriptable: corruption > task fault > deadline > shed > other.
+    let rank = |e: &ServeError| match e {
+        ServeError::Corrupted { .. } => 5,
+        ServeError::Failed { .. } => 4,
+        ServeError::DeadlineExceeded => 3,
+        ServeError::Shed => 2,
+        _ => 1,
+    };
+    let mut worst: Option<ServeError> = None;
+    let mut note = |r: Result<(), ServeError>| {
+        if let Err(e) = r {
+            if worst.as_ref().is_none_or(|w| rank(&e) > rank(w)) {
+                worst = Some(e);
+            }
+        }
+    };
     for h in lu_handles {
-        let _ = h.wait();
+        note(h.wait().map(|_| ()));
     }
     for h in qr_handles {
-        let _ = h.wait();
+        note(h.wait().map(|_| ()));
     }
     let s = svc.stats();
     let policy = match o.policy {
@@ -446,6 +510,31 @@ fn cmd_serve(o: &Opts) {
     );
     if s.batches_flushed > 0 {
         println!("  batching: {} fused batch(es) covering {} job(s)", s.batches_flushed, s.batched_jobs);
+    }
+    if o.retry.is_some() || o.chaos.is_some() {
+        println!(
+            "  recovery: job_retries={} jobs_recovered={} corruption_detected={} probes_run={} \
+             mttr p50 {:.2}ms",
+            s.job_retries,
+            s.jobs_recovered,
+            s.corruption_detected,
+            s.probes_run,
+            s.mttr.p50_s * 1e3,
+        );
+        let t = &s.task_recovery;
+        println!(
+            "  tasks: attempts={} retries={} recovered={} exhausted={} restores={}  \
+             injected fail/panic/delay/corrupt {}/{}/{}/{}",
+            t.attempts,
+            t.retries,
+            t.recovered_tasks,
+            t.exhausted_tasks,
+            t.restores,
+            t.injected_failures,
+            t.injected_panics,
+            t.injected_delays,
+            t.injected_corruptions,
+        );
     }
     println!(
         "  throughput {:.1} jobs/s  occupancy {:.2}  busy {:.3}s / elapsed {:.3}s",
@@ -471,6 +560,10 @@ fn cmd_serve(o: &Opts) {
         }
     }
     svc.shutdown();
+    if let Some(e) = worst {
+        eprintln!("cafactor: worst job outcome: {e}");
+        exit(serve_exit_code(&e));
+    }
 }
 
 fn cmd_info(o: &Opts) {

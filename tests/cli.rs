@@ -132,6 +132,53 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
+fn serve_chaos_drill_survives_and_reports_recovery() {
+    // A seeded chaos drill through the CLI: every job must complete (exit
+    // 0) and the recovery counter lines must appear in the report.
+    let out = cafactor()
+        .args([
+            "serve", "--jobs", "8", "--threads", "2", "--b", "16", "--retry", "3", "--chaos=7",
+        ])
+        .output()
+        .expect("run cafactor");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovery: job_retries="), "{text}");
+    assert!(text.contains("injected fail/panic/delay/corrupt"), "{text}");
+    assert!(text.contains("completed=8"), "{text}");
+}
+
+#[test]
+fn serve_deadline_exit_code_is_distinct() {
+    // Certain fault injection with a tiny deadline and no batching: jobs
+    // miss their deadlines, and the CLI surfaces the dedicated exit code 11.
+    let out = cafactor()
+        .args([
+            "serve", "--jobs", "4", "--threads", "1", "--b", "16", "--deadline", "1",
+        ])
+        .output()
+        .expect("run cafactor");
+    // With a 1 ms deadline at least one 256² job misses; the worst outcome
+    // ranking maps deadline misses to exit 11 (unless every job somehow
+    // finished in time, in which case success is also legal).
+    let code = out.status.code();
+    assert!(
+        code == Some(11) || code == Some(0),
+        "unexpected exit {code:?}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    if code == Some(11) {
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("deadline"), "{err}");
+    }
+}
+
+#[test]
 fn singular_input_exits_with_breakdown_code() {
     // An exactly-singular system must produce the ZeroPivot exit code (4)
     // and name the breakdown column on stderr, not panic or emit NaNs.

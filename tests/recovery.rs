@@ -1,0 +1,218 @@
+//! Recovery-tier integration tests (DESIGN.md §12).
+//!
+//! The central property: a task that fails, panics, or is delayed mid-graph
+//! and is replayed from its write-set snapshot leaves **no trace** — the
+//! recovered factorization is bitwise identical to a fault-free run of the
+//! same executor. This holds across the priority-queue pool, the
+//! work-stealing pool, and the checked (shadow-audited) executor, because
+//! recovery wraps task bodies below the scheduler layer.
+//!
+//! Silent corruption is the one fault replay cannot see; the random-vector
+//! integrity probe must catch it after the fact.
+
+use ca_factor::core::{
+    try_calu, try_calu_recovering, try_calu_recovering_checked, try_caqr,
+    try_caqr_recovering, try_caqr_recovering_checked, FactorError,
+};
+use ca_factor::matrix::{random_uniform, seeded_rng};
+use ca_factor::prelude::CaParams;
+use ca_factor::sched::{ChaosPlan, ChaosProfile, RecoveryCounters, RetryPolicy, TaskKind};
+use std::time::Duration;
+
+fn params(threads: usize) -> CaParams {
+    CaParams::new(16, 4, threads)
+}
+
+/// One deterministic injection per kind: fail the first Update, panic the
+/// second Panel task, delay the first LBlock. Every one must be absorbed
+/// by snapshot/replay with a bitwise-clean result.
+fn targeted_plan(seed: u64) -> ChaosPlan {
+    ChaosPlan::quiet(seed)
+        .fail_nth(1, |l| l.kind == TaskKind::Update)
+        .panic_nth(2, |l| l.kind == TaskKind::Panel)
+        .delay_nth(1, Duration::from_micros(50), |l| l.kind == TaskKind::LBlock)
+}
+
+#[test]
+fn calu_replay_is_bitwise_identical_across_executors() {
+    let a = random_uniform(96, 96, &mut seeded_rng(0xFA01));
+    for threads in [1, 3] {
+        for stealing in [false, true] {
+            let mut p = params(threads);
+            if stealing {
+                p = p.with_work_stealing();
+            }
+            let reference = try_calu(a.clone(), &p).expect("fault-free run");
+            let counters = RecoveryCounters::new();
+            let (f, _) = try_calu_recovering(
+                a.clone(),
+                &p,
+                RetryPolicy::default(),
+                &targeted_plan(1),
+                &counters,
+            )
+            .expect("recovered run");
+            assert_eq!(
+                f.lu.as_slice(),
+                reference.lu.as_slice(),
+                "threads={threads} stealing={stealing}: replayed factors must be bitwise \
+                 identical to fault-free"
+            );
+            assert_eq!(f.pivots.ipiv, reference.pivots.ipiv);
+            let s = counters.snapshot();
+            assert!(s.injected_failures >= 1, "fail rule must have fired: {s:?}");
+            assert!(s.injected_panics >= 1, "panic rule must have fired: {s:?}");
+            assert!(s.recovered_tasks >= 2, "both faulted tasks must recover: {s:?}");
+            // Update tasks carry matrix write-sets and restore on failure;
+            // Panel tasks write the tournament workspace (empty matrix
+            // write-set), so their replay relies on injection-before-body
+            // and counts no restore.
+            assert!(s.restores >= 1, "write-set restores must be counted: {s:?}");
+            assert_eq!(s.exhausted_tasks, 0);
+        }
+    }
+}
+
+#[test]
+fn caqr_replay_is_bitwise_identical_across_executors() {
+    let a = random_uniform(96, 64, &mut seeded_rng(0xFA02));
+    for threads in [1, 3] {
+        for stealing in [false, true] {
+            let mut p = params(threads);
+            if stealing {
+                p = p.with_work_stealing();
+            }
+            let reference = try_caqr(a.clone(), &p).expect("fault-free run");
+            let counters = RecoveryCounters::new();
+            let (f, _) = try_caqr_recovering(
+                a.clone(),
+                &p,
+                RetryPolicy::default(),
+                &targeted_plan(2),
+                &counters,
+            )
+            .expect("recovered run");
+            assert_eq!(
+                f.a.as_slice(),
+                reference.a.as_slice(),
+                "threads={threads} stealing={stealing}: replayed QR must be bitwise \
+                 identical to fault-free"
+            );
+            let s = counters.snapshot();
+            assert!(s.recovered_tasks >= 1, "faulted tasks must recover: {s:?}");
+            assert_eq!(s.exhausted_tasks, 0);
+        }
+    }
+}
+
+#[test]
+fn checked_executor_accepts_recovered_runs() {
+    // The shadow-lease auditor sees every element access of every replay;
+    // snapshot capture/restore must stay inside declared write footprints
+    // or this run would abort with a soundness violation.
+    let a = random_uniform(80, 80, &mut seeded_rng(0xFA03));
+    let p = params(2);
+    let reference = try_calu(a.clone(), &p).expect("fault-free run");
+    let counters = RecoveryCounters::new();
+    let (f, _) = try_calu_recovering_checked(
+        a.clone(),
+        &p,
+        RetryPolicy::default(),
+        &targeted_plan(3),
+        &counters,
+    )
+    .expect("checked recovered run");
+    assert_eq!(f.lu.as_slice(), reference.lu.as_slice());
+    assert!(counters.snapshot().recovered_tasks >= 1);
+
+    let aq = random_uniform(80, 48, &mut seeded_rng(0xFA04));
+    let qr_ref = try_caqr(aq.clone(), &p).expect("fault-free run");
+    let cq = RecoveryCounters::new();
+    let (fq, _) = try_caqr_recovering_checked(
+        aq.clone(),
+        &p,
+        RetryPolicy::default(),
+        &targeted_plan(4),
+        &cq,
+    )
+    .expect("checked recovered QR run");
+    assert_eq!(fq.a.as_slice(), qr_ref.a.as_slice());
+}
+
+#[test]
+fn profile_rate_chaos_recovers_under_both_pools() {
+    // Rate-based injection at an aggressive 5% fail / 2% panic across every
+    // task class: replay must still converge to the fault-free answer.
+    let a = random_uniform(96, 96, &mut seeded_rng(0xFA05));
+    let profile = ChaosProfile::quiet().with_fail_rate(0.05).with_panic_rate(0.02);
+    for stealing in [false, true] {
+        let mut p = params(3);
+        if stealing {
+            p = p.with_work_stealing();
+        }
+        let reference = try_calu(a.clone(), &p).expect("fault-free run");
+        let counters = RecoveryCounters::new();
+        let plan = ChaosPlan::with_profile(0xD2, profile);
+        let (f, _) =
+            try_calu_recovering(a.clone(), &p, RetryPolicy::default(), &plan, &counters)
+                .expect("recovered run");
+        assert_eq!(f.lu.as_slice(), reference.lu.as_slice());
+        let s = counters.snapshot();
+        assert!(
+            s.injected_failures + s.injected_panics > 0,
+            "5%/2% rates over a 6-panel graph must inject something: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_fails_cleanly() {
+    // Every Update attempt fails (rate 1.0 for the class): the first Update
+    // to run burns its whole replay budget and must surface TaskFailed —
+    // no hang, no poisoned factors.
+    let a = random_uniform(64, 64, &mut seeded_rng(0xFA06));
+    let p = params(2);
+    let counters = RecoveryCounters::new();
+    let plan = ChaosPlan::quiet(0)
+        .with_class_profile(TaskKind::Update, ChaosProfile::quiet().with_fail_rate(1.0));
+    let r = try_calu_recovering(
+        a,
+        &p,
+        RetryPolicy::default().with_max_retries(2),
+        &plan,
+        &counters,
+    );
+    match r {
+        Err(FactorError::TaskFailed { .. }) => {}
+        other => panic!("expected task failure after exhaustion, got {other:?}"),
+    }
+    let s = counters.snapshot();
+    assert!(s.exhausted_tasks >= 1, "{s:?}");
+    assert!(s.injected_failures >= 3, "all three attempts were injected: {s:?}");
+}
+
+#[test]
+fn integrity_probe_catches_injected_corruption() {
+    // Silent corruption of one Update output: replay never fires (the task
+    // "succeeds"), factorization completes, and only the probe can tell.
+    let a = random_uniform(96, 96, &mut seeded_rng(0xFA07));
+    let p = params(2);
+    let counters = RecoveryCounters::new();
+    // Target an Update: those carry matrix write-sets, and later tasks
+    // transform the corrupted block in place (they never recompute it from
+    // pristine data), so the corruption propagates into the final factors.
+    let plan = ChaosPlan::quiet(0).corrupt_nth(1, |l| l.kind == TaskKind::Update);
+    let (f, _) = try_calu_recovering(a.clone(), &p, RetryPolicy::default(), &plan, &counters)
+        .expect("corrupted run still completes");
+    assert_eq!(counters.snapshot().injected_corruptions, 1);
+    match f.verify_integrity(&a, 42) {
+        Err(FactorError::Corrupted { residual, threshold }) => {
+            assert!(residual > threshold || !residual.is_finite());
+        }
+        other => panic!("probe must flag corrupted factors, got {other:?}"),
+    }
+
+    // The same matrix factored honestly passes the probe.
+    let clean = try_calu(a.clone(), &p).expect("honest run");
+    clean.verify_integrity(&a, 42).expect("honest factors pass");
+}

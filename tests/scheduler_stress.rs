@@ -346,6 +346,197 @@ fn verifier_rejects_edge_deletions_that_break_ordering() {
 }
 
 #[test]
+fn multifrontier_failed_job_cancels_only_its_own_tasks() {
+    // Four chain jobs on a shared MultiFrontier pool; one job's middle task
+    // fails. The failure must cancel exactly that job's downstream tasks,
+    // every other job must complete with its exact checksum, and the pool
+    // must stay live for later submissions.
+    use ca_factor::sched::{dyn_job, DynJob, JobOptions, JobOutcome, MultiFrontier};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const JOBS: usize = 4;
+    const CHAIN: usize = 12;
+    const FAIL_JOB: usize = 1;
+    const FAIL_AT: usize = 5;
+    let term = |t: usize| (t as u64 + 1) * (t as u64 + 1);
+
+    let frontier = MultiFrontier::new(3);
+    let accs: Vec<Arc<AtomicU64>> = (0..JOBS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let mut watches = Vec::new();
+    for (jidx, acc) in accs.iter().enumerate() {
+        let mut g: ca_factor::sched::TaskGraph<DynJob> = ca_factor::sched::TaskGraph::new();
+        let mut prev = None;
+        for t in 0..CHAIN {
+            let meta = TaskMeta::new(TaskLabel::new(TaskKind::Update, t, jidx, 0), 1.0);
+            let acc = acc.clone();
+            let body: DynJob = if jidx == FAIL_JOB && t == FAIL_AT {
+                Box::new(move || Err(TaskFailure::new("synthetic mid-chain fault")))
+            } else {
+                dyn_job(move || {
+                    acc.fetch_add(term(t), Ordering::SeqCst);
+                })
+            };
+            let id = g.add_task(meta, body);
+            if let Some(p) = prev {
+                g.add_dep(p, id);
+            }
+            prev = Some(id);
+        }
+        watches.push(frontier.submit(g, JobOptions::default()));
+    }
+
+    let full: u64 = (0..CHAIN).map(term).sum();
+    let prefix: u64 = (0..FAIL_AT).map(term).sum();
+    for (jidx, (_, watch)) in watches.iter().enumerate() {
+        let report = watch
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|| panic!("job {jidx} stalled"));
+        match (&report.outcome, jidx == FAIL_JOB) {
+            (JobOutcome::Failed(err), true) => {
+                assert_eq!(err.label.step, FAIL_AT);
+                assert!(err.message.contains("synthetic mid-chain fault"));
+                assert_eq!(report.tasks_cancelled, CHAIN - FAIL_AT - 1);
+                assert_eq!(accs[jidx].load(Ordering::SeqCst), prefix);
+            }
+            (JobOutcome::Completed, false) => {
+                assert_eq!(
+                    accs[jidx].load(Ordering::SeqCst),
+                    full,
+                    "job {jidx} checksum corrupted by a peer's failure"
+                );
+            }
+            (outcome, _) => panic!("job {jidx}: unexpected outcome {outcome:?}"),
+        }
+    }
+
+    // Post-failure liveness: the pool still serves fresh work promptly.
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut g: ca_factor::sched::TaskGraph<DynJob> = ca_factor::sched::TaskGraph::new();
+    let done2 = done.clone();
+    g.add_task(
+        TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), 1.0),
+        dyn_job(move || {
+            done2.fetch_add(1, Ordering::SeqCst);
+        }),
+    );
+    let (_, watch) = frontier.submit(g, JobOptions::default());
+    let report = watch
+        .wait_timeout(Duration::from_secs(30))
+        .expect("pool must stay live after a job failure");
+    assert!(report.outcome.is_completed());
+    assert_eq!(done.load(Ordering::SeqCst), 1);
+    frontier.shutdown();
+}
+
+#[test]
+fn multifrontier_chaos_exhaustion_is_isolated_from_recovering_peers() {
+    // One job runs under a doomed chaos plan (every Update attempt fails,
+    // one replay): its first task exhausts the budget and the job fails
+    // alone. Two peers run under targeted fail/panic injection with the
+    // default replay budget: both must recover and produce their exact
+    // checksums — per-job recovery state (plans, counters, budgets) must
+    // never bleed across jobs sharing the worker pool.
+    use ca_factor::matrix::{Matrix, SharedMatrix};
+    use ca_factor::sched::{
+        retrying_dyn_job, ChaosPlan, ChaosProfile, DynJob, JobOptions, JobOutcome,
+        MultiFrontier, RecoveryCounters, RetryPolicy, WriteSet,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const JOBS: usize = 3;
+    const CHAIN: usize = 10;
+    const DOOMED: usize = 0;
+    let term = |t: usize| (t as u64 + 1).pow(3);
+
+    let frontier = MultiFrontier::new(3);
+    // Substrate for the retry wrappers; these chain tasks pass data through
+    // accumulators (empty write-sets), like Panel tasks and their workspace.
+    let shared = Arc::new(SharedMatrix::new(Matrix::zeros(1, 1)));
+    let mut watches = Vec::new();
+    let mut accs = Vec::new();
+    let mut counters_by_job = Vec::new();
+    for jidx in 0..JOBS {
+        let acc = Arc::new(AtomicU64::new(0));
+        accs.push(acc.clone());
+        let doomed = jidx == DOOMED;
+        let plan = Arc::new(if doomed {
+            ChaosPlan::quiet(0).with_class_profile(
+                TaskKind::Update,
+                ChaosProfile::quiet().with_fail_rate(1.0),
+            )
+        } else {
+            ChaosPlan::quiet(jidx as u64)
+                .fail_nth(1, |l| l.kind == TaskKind::Update && l.step == 2)
+                .panic_nth(1, |l| l.kind == TaskKind::Update && l.step == 7)
+        });
+        let policy = if doomed {
+            RetryPolicy::default().with_max_retries(1)
+        } else {
+            RetryPolicy::default()
+        };
+        let counters = Arc::new(RecoveryCounters::new());
+        counters_by_job.push(counters.clone());
+        let mut g: ca_factor::sched::TaskGraph<DynJob> = ca_factor::sched::TaskGraph::new();
+        let mut prev = None;
+        for t in 0..CHAIN {
+            let label = TaskLabel::new(TaskKind::Update, t, jidx, 0);
+            let acc = acc.clone();
+            let body = retrying_dyn_job(
+                label,
+                WriteSet::default(),
+                shared.clone(),
+                policy,
+                plan.clone(),
+                counters.clone(),
+                move || {
+                    acc.fetch_add(term(t), Ordering::SeqCst);
+                },
+            );
+            let id = g.add_task(TaskMeta::new(label, 1.0), body);
+            if let Some(p) = prev {
+                g.add_dep(p, id);
+            }
+            prev = Some(id);
+        }
+        watches.push(frontier.submit(g, JobOptions::default()));
+    }
+
+    let full: u64 = (0..CHAIN).map(term).sum();
+    for (jidx, (_, watch)) in watches.iter().enumerate() {
+        let report = watch
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|| panic!("job {jidx} stalled"));
+        let s = counters_by_job[jidx].snapshot();
+        if jidx == DOOMED {
+            match &report.outcome {
+                JobOutcome::Failed(err) => {
+                    assert_eq!(err.label.step, 0, "first task exhausts first");
+                    assert!(err.message.contains("chaos: injected failure"));
+                }
+                outcome => panic!("doomed job: unexpected outcome {outcome:?}"),
+            }
+            assert_eq!(report.tasks_cancelled, CHAIN - 1);
+            assert_eq!(accs[jidx].load(Ordering::SeqCst), 0, "no doomed body may run");
+            assert!(s.exhausted_tasks >= 1, "{s:?}");
+        } else {
+            assert!(report.outcome.is_completed(), "job {jidx}: {:?}", report.outcome);
+            assert_eq!(
+                accs[jidx].load(Ordering::SeqCst),
+                full,
+                "job {jidx} must recover to its exact checksum"
+            );
+            assert!(s.injected_failures >= 1, "job {jidx}: {s:?}");
+            assert!(s.injected_panics >= 1, "job {jidx}: {s:?}");
+            assert!(s.recovered_tasks >= 2, "job {jidx}: {s:?}");
+            assert_eq!(s.exhausted_tasks, 0, "job {jidx}: {s:?}");
+        }
+    }
+    frontier.shutdown();
+}
+
+#[test]
 fn repeated_runs_of_calu_are_stable_under_contention() {
     // Run the same parallel factorization many times with more threads than
     // cores; results must be identical every time (no data races).

@@ -175,7 +175,7 @@ fn shed_oldest_keeps_the_queue_bounded_and_resolves_every_handle() {
         match h {
             Ok(h) => match h.wait_for(WAIT).map_err(|_| "stall").expect("resolves") {
                 Ok(_) => completed += 1,
-                Err(ServeError::Cancelled(CancelReason::Shed)) => shed += 1,
+                Err(ServeError::Shed) => shed += 1,
                 Err(e) => panic!("unexpected error under shed-oldest: {e}"),
             },
             // If even the running job is unsheddable the submit itself is
@@ -200,7 +200,7 @@ fn expired_deadline_cancels_and_is_counted() {
         .submit_lu(a, SubmitOptions::default().unbatched().with_deadline(Duration::ZERO))
         .expect("admits");
     match h.wait() {
-        Err(ServeError::Cancelled(CancelReason::Deadline)) => {}
+        Err(ServeError::DeadlineExceeded) => {}
         other => panic!("expected deadline miss, got {other:?}"),
     }
     let s = svc.stats();
