@@ -74,6 +74,7 @@ fn prio(nsteps: usize, step: usize, lookahead: bool, kind: TaskKind, jblk: usize
 /// Builds the CAQR task graph for an `m × n` matrix with parameters `p`.
 pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaqrPlan {
     assert!(m > 0 && n > 0, "empty matrix");
+    ca_sched::sched_counters().factor_graphs_built.inc();
     let b = p.b;
     let nsteps = num_panels(m, n, b);
     let nb = n.div_ceil(b);

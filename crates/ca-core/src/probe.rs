@@ -50,10 +50,14 @@ fn scaled_residual(lhs: &Matrix, rhs: &Matrix, a0: &Matrix, x: &Matrix) -> f64 {
 }
 
 fn verdict(residual: f64, m: usize, n: usize) -> Result<(), FactorError> {
+    let counters = ca_sched::sched_counters();
+    counters.probes_run.inc();
     let threshold = residual_threshold(m, n, PROBE_TOL);
     if residual.is_finite() && residual < threshold {
         Ok(())
     } else {
+        counters.probe_failures.inc();
+        ca_sched::record_event(ca_sched::FlightEventKind::ProbeCorrupt, 0, None);
         Err(FactorError::Corrupted { residual, threshold })
     }
 }

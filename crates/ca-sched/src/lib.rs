@@ -75,6 +75,7 @@ mod profile;
 mod retry;
 mod sim;
 mod task;
+mod telemetry;
 mod trace;
 mod verify;
 
@@ -108,10 +109,14 @@ pub use profile::{
 };
 pub use retry::{
     retrying_dyn_job, retrying_job, write_set, ChaosAction, ChaosPlan, ChaosProfile,
-    RecoveryCounters, RecoveryStats, RetryPolicy, WriteSet,
+    PanicHookGuard, RecoveryCounters, RecoveryStats, RetryPolicy, WriteSet,
 };
 pub use sim::{profile_simulate, simulate, simulate_uniform, try_simulate};
 pub use task::{KernelClass, TaskId, TaskKind, TaskLabel, TaskMeta};
+pub use telemetry::{
+    record_event, sched_counters, set_thread_recorder, FlightEvent, FlightEventKind,
+    FlightRecorder, SchedCounters, SchedCountersSnapshot,
+};
 pub use trace::{
     ascii_gantt, chrome_trace_json, chrome_trace_json_with_marks, Span, Timeline, TimelineError,
 };

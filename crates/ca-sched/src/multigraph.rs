@@ -30,11 +30,12 @@ use crate::fault::{ExecError, TaskResult};
 use crate::graph::TaskGraph;
 use crate::pool::panic_message;
 use crate::task::{TaskId, TaskLabel, TaskMeta};
+use crate::telemetry::{self, FlightEventKind, FlightRecorder};
 use crate::trace::{Span, Timeline};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Identifies a job (a submitted task graph) for its whole lifetime.
@@ -313,6 +314,9 @@ struct Inner {
     tracing: AtomicBool,
     busy_nanos: AtomicU64,
     on_complete: Option<CompletionHook>,
+    /// Optional flight recorder (attached once via
+    /// [`MultiFrontier::set_flight_recorder`]).
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl Inner {
@@ -320,11 +324,45 @@ impl Inner {
         self.epoch.elapsed().as_secs_f64()
     }
 
+    /// Counts the job's terminal outcome and records it on the flight
+    /// recorder's external lane.
+    fn note_job_end(&self, report: &JobReport) {
+        let c = telemetry::sched_counters();
+        let kind = match &report.outcome {
+            JobOutcome::Completed => {
+                c.jobs_completed.inc();
+                FlightEventKind::JobDone
+            }
+            JobOutcome::Failed(_) => {
+                c.jobs_failed.inc();
+                FlightEventKind::JobFail
+            }
+            JobOutcome::Cancelled(reason) => {
+                c.jobs_cancelled.inc();
+                match reason {
+                    CancelReason::Shed => {
+                        c.jobs_shed.inc();
+                        FlightEventKind::JobShed
+                    }
+                    CancelReason::Deadline => {
+                        c.jobs_deadline_missed.inc();
+                        FlightEventKind::JobDeadline
+                    }
+                    CancelReason::User | CancelReason::Shutdown => FlightEventKind::JobCancel,
+                }
+            }
+        };
+        if let Some(rec) = self.recorder.get() {
+            rec.record(rec.nworkers(), kind, report.job, None);
+        }
+    }
+
     /// Delivers finalized reports: hook first (so aggregated stats are
     /// current before waiters wake), then the watch. Never called with the
     /// state lock held.
     fn deliver(&self, done: Vec<(JobReport, JobWatch)>) {
         for (report, watch) in done {
+            self.note_job_end(&report);
             if let Some(hook) = &self.on_complete {
                 hook(&report);
             }
@@ -371,6 +409,7 @@ impl MultiFrontier {
             tracing: AtomicBool::new(false),
             busy_nanos: AtomicU64::new(0),
             on_complete,
+            recorder: OnceLock::new(),
         });
         let workers = (0..nworkers)
             .map(|lane| {
@@ -389,6 +428,22 @@ impl MultiFrontier {
         self.inner.nworkers
     }
 
+    /// Attaches a flight recorder retaining the last `depth` events per
+    /// worker (plus one external lane for submit/finalize events) and
+    /// returns it. Only the first attach creates a recorder; later calls
+    /// return the existing one regardless of `depth`.
+    pub fn set_flight_recorder(&self, depth: usize) -> Arc<FlightRecorder> {
+        self.inner
+            .recorder
+            .get_or_init(|| Arc::new(FlightRecorder::new(self.inner.nworkers, depth)))
+            .clone()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.inner.recorder.get().cloned()
+    }
+
     /// Submits a job. Tasks become eligible immediately; the returned
     /// [`JobWatch`] resolves when the job reaches a terminal state. If the
     /// frontier is already shut down, the job finalizes immediately with
@@ -396,6 +451,10 @@ impl MultiFrontier {
     pub fn submit(&self, graph: TaskGraph<DynJob>, opts: JobOptions) -> (JobId, JobWatch) {
         assert!(opts.weight > 0.0 && opts.weight.is_finite(), "weight must be positive");
         let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
+        telemetry::sched_counters().jobs_submitted.inc();
+        if let Some(rec) = self.inner.recorder.get() {
+            rec.record(rec.nworkers(), FlightEventKind::JobSubmit, id, None);
+        }
         let TaskGraph { metas, payloads, succs, npreds } = graph;
         let n = metas.len();
         let now = self.inner.now();
@@ -794,6 +853,15 @@ fn worker_loop(inner: &Inner, lane: usize) {
         };
 
         // --- Run the task outside the lock.
+        let counters = telemetry::sched_counters();
+        counters.tasks_dispatched.inc();
+        if let Some(rec) = inner.recorder.get() {
+            // Publish the recorder as this thread's context so recovery-layer
+            // events (retry/restore/inject) land on this worker's lane, then
+            // note the dispatch itself.
+            telemetry::set_thread_recorder(Arc::downgrade(rec), lane);
+            rec.record(lane, FlightEventKind::Dispatch, jid, Some(label));
+        }
         let start = inner.now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
         let end = inner.now();
@@ -811,6 +879,16 @@ fn worker_loop(inner: &Inner, lane: usize) {
             Ok(Err(f)) => Some((f.message, false)),
             Err(p) => Some((panic_message(p.as_ref()), true)),
         };
+        if failure.is_none() {
+            counters.tasks_completed.inc();
+        } else {
+            counters.tasks_failed.inc();
+        }
+        if let Some(rec) = inner.recorder.get() {
+            let kind =
+                if failure.is_none() { FlightEventKind::TaskOk } else { FlightEventKind::TaskFail };
+            rec.record(lane, kind, jid, Some(label));
+        }
 
         // --- Account under the lock, deliver reports off it.
         let mut done = Vec::new();

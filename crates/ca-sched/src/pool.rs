@@ -286,6 +286,7 @@ fn exec_graph<'s>(
                         }
                     };
                     let dispatch = t0.elapsed().as_secs_f64();
+                    crate::telemetry::sched_counters().tasks_dispatched.inc();
 
                     let job = slots[id].lock().take().expect("task executed twice");
                     let label = metas[id].label;
@@ -319,6 +320,12 @@ fn exec_graph<'s>(
                         Ok(Err(f)) => Some((f.message, false, None)),
                         Err(p) => Some((panic_message(p.as_ref()), true, Some(p))),
                     };
+                    let counters = crate::telemetry::sched_counters();
+                    if failure.is_none() {
+                        counters.tasks_completed.inc();
+                    } else {
+                        counters.tasks_failed.inc();
+                    }
 
                     if let Some((message, panicked, payload)) = failure {
                         // Cancel the transitive successors instead of

@@ -157,6 +157,11 @@ fn exec_stealing<'s>(
                         })
                         .find(|s| !s.is_retry())
                         .and_then(|s| s.success());
+                        let counters = crate::telemetry::sched_counters();
+                        counters.steal_attempts.inc();
+                        if stolen.is_some() {
+                            counters.steal_hits.inc();
+                        }
                         if let Some(c) = collector {
                             c.count_steal(w, stolen.is_some());
                         }
@@ -177,6 +182,7 @@ fn exec_stealing<'s>(
                     };
                     idle_spins = 0;
                     let dispatch = t0.elapsed().as_secs_f64();
+                    crate::telemetry::sched_counters().tasks_dispatched.inc();
 
                     let job = slots[id].lock().take().expect("task executed twice");
                     let label = metas[id].label;
@@ -210,6 +216,12 @@ fn exec_stealing<'s>(
                         Ok(Err(f)) => Some((f.message, false, None)),
                         Err(p) => Some((panic_message(p.as_ref()), true, Some(p))),
                     };
+                    let counters = crate::telemetry::sched_counters();
+                    if failure.is_none() {
+                        counters.tasks_completed.inc();
+                    } else {
+                        counters.tasks_failed.inc();
+                    }
 
                     if let Some((message, panicked, payload)) = failure {
                         // Cancel transitive successors instead of pushing

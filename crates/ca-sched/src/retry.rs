@@ -580,6 +580,9 @@ fn run_recovering(
     counters: &RecoveryCounters,
     body: &(dyn Fn() + Send),
 ) -> TaskResult {
+    // Keep the panic-hook filter installed for every attempt; the guard is
+    // refcounted, so nested/concurrent recovery scopes share one install.
+    let _hook = PanicHookGuard::new();
     let snapshot = if policy.max_retries > 0 && !writes.is_empty() {
         Some(writes.capture(shared))
     } else {
@@ -589,6 +592,12 @@ fn run_recovering(
     for attempt in 0..=policy.max_retries {
         if attempt > 0 {
             RecoveryCounters::add(&counters.retries);
+            crate::telemetry::sched_counters().task_retries.inc();
+            crate::telemetry::record_event(
+                crate::telemetry::FlightEventKind::Retry,
+                0,
+                Some(*label),
+            );
             std::thread::sleep(policy.delay_for(attempt - 1));
         }
         RecoveryCounters::add(&counters.attempts);
@@ -605,6 +614,12 @@ fn run_recovering(
                 if let Some(saved) = &snapshot {
                     writes.restore(shared, saved);
                     RecoveryCounters::add(&counters.restores);
+                    crate::telemetry::sched_counters().task_restores.inc();
+                    crate::telemetry::record_event(
+                        crate::telemetry::FlightEventKind::Restore,
+                        0,
+                        Some(*label),
+                    );
                 }
             }
         }
@@ -622,7 +637,12 @@ fn attempt_once(
     counters: &RecoveryCounters,
     body: &(dyn Fn() + Send),
 ) -> TaskResult {
-    match chaos.decide(label) {
+    let decision = chaos.decide(label);
+    if decision.is_some() {
+        crate::telemetry::sched_counters().chaos_injections.inc();
+        crate::telemetry::record_event(crate::telemetry::FlightEventKind::Inject, 0, Some(*label));
+    }
+    match decision {
         Some(ChaosAction::Fail) => {
             RecoveryCounters::add(&counters.injected_failures);
             writes.scribble(shared);
@@ -658,26 +678,87 @@ thread_local! {
     static IN_GUARDED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-/// Installs (once) a panic hook that stays silent for panics unwinding out
-/// of a recovery guard — they are converted to [`TaskFailure`]s and replayed
-/// (or, in a chaos drill, injected on purpose), so the default
-/// message-plus-backtrace spew is pure noise. Panics anywhere else keep the
-/// previous hook's behavior.
-fn silence_guarded_panics() {
-    static HOOK: std::sync::Once = std::sync::Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !IN_GUARDED.with(|g| g.get()) {
-                prev(info);
-            }
-        }));
-    });
+/// The hook that was installed before the recovery filter, shareable so a
+/// panicking thread can keep running it while another thread uninstalls.
+type PrevHook = dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync;
+
+struct FilterState {
+    /// Live [`PanicHookGuard`]s; the filter is installed while `refs > 0`.
+    refs: usize,
+    /// The hook that was current when the first guard was created.
+    prev: Option<Arc<PrevHook>>,
 }
 
-/// Runs `f` converting a panic into a `TaskFailure`.
+static FILTER: Mutex<FilterState> = Mutex::new(FilterState { refs: 0, prev: None });
+
+/// RAII scope for the recovery panic-hook filter.
+///
+/// While at least one guard is alive, a process-wide panic hook is
+/// installed that stays silent for panics unwinding out of a recovery
+/// guard — they are converted to [`TaskFailure`]s and replayed (or, in a
+/// chaos drill, injected on purpose), so the default message-plus-backtrace
+/// spew is pure noise. Panics anywhere else are forwarded to whatever hook
+/// was installed when the first guard was created.
+///
+/// When the last guard drops, that previous hook's behavior is restored
+/// (re-wrapped in a fresh `Box`, so a pointer-identity comparison against
+/// the original would fail, but the behavior is the embedder's own). Every
+/// `run_recovering` call holds a guard for its duration; long-lived hosts
+/// (the serve tier) hold one across their whole lifetime so the hook is not
+/// churned per task. Caveat: if an embedder *replaces* the hook while
+/// guards are alive, the last guard's drop restores the pre-guard hook over
+/// the embedder's replacement — scoped saving cannot detect foreign
+/// `set_hook` calls.
+#[derive(Debug)]
+pub struct PanicHookGuard(());
+
+impl PanicHookGuard {
+    /// Installs the filter (first guard) or joins the existing scope.
+    pub fn new() -> Self {
+        let mut st = FILTER.lock().expect("panic-filter state poisoned");
+        st.refs += 1;
+        if st.refs == 1 {
+            let prev: Arc<PrevHook> = Arc::from(std::panic::take_hook());
+            st.prev = Some(Arc::clone(&prev));
+            std::panic::set_hook(Box::new(move |info| {
+                if !IN_GUARDED.with(|g| g.get()) {
+                    prev(info);
+                }
+            }));
+        }
+        Self(())
+    }
+
+    /// Number of live guards (exposed for tests).
+    pub fn active() -> usize {
+        FILTER.lock().expect("panic-filter state poisoned").refs
+    }
+}
+
+impl Default for PanicHookGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        let mut st = FILTER.lock().expect("panic-filter state poisoned");
+        st.refs -= 1;
+        if st.refs == 0 {
+            if let Some(prev) = st.prev.take() {
+                // Drop our filter and reinstate the saved hook's behavior.
+                drop(std::panic::take_hook());
+                std::panic::set_hook(Box::new(move |info| prev(info)));
+            }
+        }
+    }
+}
+
+/// Runs `f` converting a panic into a `TaskFailure`. The caller (or an
+/// enclosing scope) is expected to hold a [`PanicHookGuard`] so the unwind
+/// stays silent; without one the panic is still caught, just noisy.
 fn guarded(f: impl FnOnce()) -> TaskResult {
-    silence_guarded_panics();
     let was = IN_GUARDED.with(|g| g.replace(true));
     let r = catch_unwind(AssertUnwindSafe(f));
     IN_GUARDED.with(|g| g.set(was));

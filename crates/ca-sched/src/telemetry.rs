@@ -1,0 +1,429 @@
+//! Always-on scheduler telemetry: global counters and per-worker flight
+//! recorders.
+//!
+//! Two complementary mechanisms live here:
+//!
+//! 1. **Global scheduler counters** ([`sched_counters`]) — one process-wide
+//!    set of `ca_telemetry` atomic counters incremented by every executor
+//!    (the one-shot pools, the work-stealing pool, [`MultiFrontier`]) and by
+//!    the recovery layer. An increment is a single `Relaxed` `fetch_add`;
+//!    the counters are always on and never reset, so exposition readers
+//!    should report deltas between snapshots. Because the cells are shared
+//!    by every pool in the process, tests assert monotonicity rather than
+//!    exact values.
+//!
+//! 2. **Flight recorder** ([`FlightRecorder`]) — per-worker bounded rings of
+//!    recent task lifecycle / retry / shed events. A recorder is attached to
+//!    a `MultiFrontier` (see `set_flight_recorder`); workers then publish
+//!    their lane through a thread-local so that instrumentation deep in the
+//!    recovery layer ([`record_event`]) lands events on the right lane
+//!    without threading a handle through every call. When a job fails, a
+//!    probe detects corruption, a deadline is missed, or shed fires, the
+//!    serve tier dumps [`FlightRecorder::chrome_trace_fragment`] — a
+//!    self-contained chrome-trace JSON of the last moments before the event.
+//!
+//! [`MultiFrontier`]: crate::MultiFrontier
+
+use std::cell::Cell;
+use std::sync::{OnceLock, Weak};
+use std::time::Instant;
+
+use ca_telemetry::{Counter, Ring};
+
+use crate::task::TaskLabel;
+
+// ---------------------------------------------------------------------------
+// Global scheduler counters
+// ---------------------------------------------------------------------------
+
+/// Process-wide scheduler counters, updated by every executor.
+#[derive(Debug, Default)]
+pub struct SchedCounters {
+    /// Tasks handed to a worker (all executors).
+    pub tasks_dispatched: Counter,
+    /// Tasks that ran to completion.
+    pub tasks_completed: Counter,
+    /// Tasks whose body returned an error or panicked.
+    pub tasks_failed: Counter,
+    /// Steal attempts made by the work-stealing executor.
+    pub steal_attempts: Counter,
+    /// Steal attempts that obtained a task.
+    pub steal_hits: Counter,
+    /// Jobs submitted to a `MultiFrontier`.
+    pub jobs_submitted: Counter,
+    /// Jobs that completed successfully.
+    pub jobs_completed: Counter,
+    /// Jobs that failed.
+    pub jobs_failed: Counter,
+    /// Jobs cancelled for any reason (user, deadline, shed, shutdown).
+    pub jobs_cancelled: Counter,
+    /// Jobs cancelled specifically by load shedding.
+    pub jobs_shed: Counter,
+    /// Jobs cancelled specifically by deadline expiry.
+    pub jobs_deadline_missed: Counter,
+    /// Task-level recovery replays (PR-6 `run_recovering`).
+    pub task_retries: Counter,
+    /// Write-set restores performed before a replay.
+    pub task_restores: Counter,
+    /// Faults injected by an active chaos plan.
+    pub chaos_injections: Counter,
+    /// Integrity probes executed (ca-core `verify_integrity`).
+    pub probes_run: Counter,
+    /// Integrity probes that detected corruption.
+    pub probe_failures: Counter,
+    /// Factorization task graphs built (CALU + CAQR).
+    pub factor_graphs_built: Counter,
+}
+
+/// Serializable point-in-time copy of [`SchedCounters`].
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)] // field-per-counter mirror of `SchedCounters`
+pub struct SchedCountersSnapshot {
+    pub tasks_dispatched: u64,
+    pub tasks_completed: u64,
+    pub tasks_failed: u64,
+    pub steal_attempts: u64,
+    pub steal_hits: u64,
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub jobs_cancelled: u64,
+    pub jobs_shed: u64,
+    pub jobs_deadline_missed: u64,
+    pub task_retries: u64,
+    pub task_restores: u64,
+    pub chaos_injections: u64,
+    pub probes_run: u64,
+    pub probe_failures: u64,
+    pub factor_graphs_built: u64,
+}
+
+impl SchedCounters {
+    /// Reads every counter at once.
+    pub fn snapshot(&self) -> SchedCountersSnapshot {
+        SchedCountersSnapshot {
+            tasks_dispatched: self.tasks_dispatched.get(),
+            tasks_completed: self.tasks_completed.get(),
+            tasks_failed: self.tasks_failed.get(),
+            steal_attempts: self.steal_attempts.get(),
+            steal_hits: self.steal_hits.get(),
+            jobs_submitted: self.jobs_submitted.get(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_failed: self.jobs_failed.get(),
+            jobs_cancelled: self.jobs_cancelled.get(),
+            jobs_shed: self.jobs_shed.get(),
+            jobs_deadline_missed: self.jobs_deadline_missed.get(),
+            task_retries: self.task_retries.get(),
+            task_restores: self.task_restores.get(),
+            chaos_injections: self.chaos_injections.get(),
+            probes_run: self.probes_run.get(),
+            probe_failures: self.probe_failures.get(),
+            factor_graphs_built: self.factor_graphs_built.get(),
+        }
+    }
+}
+
+impl SchedCountersSnapshot {
+    /// `(name, value)` pairs for exposition, in declaration order.
+    pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("tasks_dispatched", self.tasks_dispatched),
+            ("tasks_completed", self.tasks_completed),
+            ("tasks_failed", self.tasks_failed),
+            ("steal_attempts", self.steal_attempts),
+            ("steal_hits", self.steal_hits),
+            ("jobs_submitted", self.jobs_submitted),
+            ("jobs_completed", self.jobs_completed),
+            ("jobs_failed", self.jobs_failed),
+            ("jobs_cancelled", self.jobs_cancelled),
+            ("jobs_shed", self.jobs_shed),
+            ("jobs_deadline_missed", self.jobs_deadline_missed),
+            ("task_retries", self.task_retries),
+            ("task_restores", self.task_restores),
+            ("chaos_injections", self.chaos_injections),
+            ("probes_run", self.probes_run),
+            ("probe_failures", self.probe_failures),
+            ("factor_graphs_built", self.factor_graphs_built),
+        ]
+    }
+}
+
+/// The process-wide scheduler counter set.
+pub fn sched_counters() -> &'static SchedCounters {
+    static COUNTERS: OnceLock<SchedCounters> = OnceLock::new();
+    COUNTERS.get_or_init(SchedCounters::default)
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// What happened, compactly. Fieldless so the vendored serde derive applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FlightEventKind {
+    /// A task was handed to this worker.
+    Dispatch,
+    /// The task body completed successfully.
+    TaskOk,
+    /// The task body returned an error or panicked.
+    TaskFail,
+    /// The recovery layer is replaying the task.
+    Retry,
+    /// The task's write-set was restored before a replay.
+    Restore,
+    /// An active chaos plan injected a fault into the task.
+    Inject,
+    /// A job was submitted.
+    JobSubmit,
+    /// A job completed successfully.
+    JobDone,
+    /// A job failed permanently.
+    JobFail,
+    /// A job was cancelled by load shedding.
+    JobShed,
+    /// A job was cancelled by deadline expiry.
+    JobDeadline,
+    /// A job was cancelled (user or shutdown).
+    JobCancel,
+    /// A post-completion integrity probe detected corruption.
+    ProbeCorrupt,
+}
+
+impl FlightEventKind {
+    fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::Dispatch => "dispatch",
+            FlightEventKind::TaskOk => "task_ok",
+            FlightEventKind::TaskFail => "task_fail",
+            FlightEventKind::Retry => "retry",
+            FlightEventKind::Restore => "restore",
+            FlightEventKind::Inject => "inject",
+            FlightEventKind::JobSubmit => "job_submit",
+            FlightEventKind::JobDone => "job_done",
+            FlightEventKind::JobFail => "job_fail",
+            FlightEventKind::JobShed => "job_shed",
+            FlightEventKind::JobDeadline => "job_deadline",
+            FlightEventKind::JobCancel => "job_cancel",
+            FlightEventKind::ProbeCorrupt => "probe_corrupt",
+        }
+    }
+}
+
+/// One flight-recorder entry.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Seconds since the recorder was created.
+    pub t: f64,
+    /// Event class.
+    pub kind: FlightEventKind,
+    /// Owning job id (0 for one-shot executors).
+    pub job: u64,
+    /// Task identity, when the event concerns a task.
+    pub label: Option<TaskLabel>,
+}
+
+/// Per-worker bounded rings of recent scheduler events.
+///
+/// Lane `nworkers` (one past the worker lanes) collects events from
+/// non-worker threads — submissions, job completions delivered on the
+/// caller's thread, and shed/deadline sweeps.
+pub struct FlightRecorder {
+    lanes: Vec<Ring<FlightEvent>>,
+    epoch: Instant,
+    depth: usize,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FlightRecorder({} lanes x {})", self.lanes.len(), self.depth)
+    }
+}
+
+thread_local! {
+    static CURRENT_LANE: Cell<usize> = const { Cell::new(usize::MAX) };
+    static CURRENT_RECORDER: std::cell::RefCell<Weak<FlightRecorder>> =
+        const { std::cell::RefCell::new(Weak::new()) };
+}
+
+/// Publishes `recorder`/`lane` as this thread's flight-recorder context, so
+/// that [`record_event`] calls made anywhere below (e.g. inside the retry
+/// wrapper) land on this worker's ring. Called by `MultiFrontier` workers at
+/// thread start; passing a dead `Weak` clears the context.
+pub fn set_thread_recorder(recorder: Weak<FlightRecorder>, lane: usize) {
+    CURRENT_LANE.with(|l| l.set(lane));
+    CURRENT_RECORDER.with(|r| *r.borrow_mut() = recorder);
+}
+
+/// Records an event on the current thread's lane, if a recorder is attached.
+///
+/// The fast path for uninstrumented threads is a thread-local read and a
+/// `Weak::upgrade` miss; no allocation, no lock.
+pub fn record_event(kind: FlightEventKind, job: u64, label: Option<TaskLabel>) {
+    CURRENT_RECORDER.with(|r| {
+        if let Some(rec) = r.borrow().upgrade() {
+            let lane = CURRENT_LANE.with(|l| l.get());
+            rec.record(lane, kind, job, label);
+        }
+    });
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with `nworkers + 1` lanes, each retaining the most
+    /// recent `depth` events.
+    pub fn new(nworkers: usize, depth: usize) -> Self {
+        let depth = depth.max(1);
+        Self {
+            lanes: (0..=nworkers).map(|_| Ring::new(depth)).collect(),
+            epoch: Instant::now(),
+            depth,
+        }
+    }
+
+    /// Per-lane retained-event depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of worker lanes (excluding the external lane).
+    pub fn nworkers(&self) -> usize {
+        self.lanes.len() - 1
+    }
+
+    /// Records an event on `lane` (out-of-range lanes fold into the external
+    /// lane), stamped with the recorder's own clock.
+    pub fn record(&self, lane: usize, kind: FlightEventKind, job: u64, label: Option<TaskLabel>) {
+        let lane = lane.min(self.lanes.len() - 1);
+        self.lanes[lane].push(FlightEvent {
+            t: self.epoch.elapsed().as_secs_f64(),
+            kind,
+            job,
+            label,
+        });
+    }
+
+    /// Total events evicted across all lanes (how much history was lost).
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped()).sum()
+    }
+
+    /// Total events currently retained.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the retained events as a self-contained chrome-trace JSON
+    /// fragment: instant events (`ph:"i"`) on one `tid` per lane, plus
+    /// thread-name metadata and a top-level `trigger` field naming the
+    /// failure class that caused the dump. Within each lane, timestamps are
+    /// monotone because the ring preserves insertion order.
+    pub fn chrome_trace_fragment(&self, trigger: &str) -> String {
+        let mut events = Vec::new();
+        for (lane, ring) in self.lanes.iter().enumerate() {
+            let lane_name = if lane == self.lanes.len() - 1 {
+                "external".to_string()
+            } else {
+                format!("worker-{lane}")
+            };
+            events.push(serde_json::json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": lane,
+                "args": serde_json::json!({"name": lane_name}),
+            }));
+            for ev in ring.snapshot() {
+                let name = match ev.label {
+                    Some(l) => format!("{} {}", ev.kind.name(), l),
+                    None => ev.kind.name().to_string(),
+                };
+                events.push(serde_json::json!({
+                    "name": name,
+                    "cat": "flight",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": lane,
+                    "ts": ev.t * 1e6,
+                    "args": serde_json::json!({"job": ev.job}),
+                }));
+            }
+        }
+        let doc = serde_json::Value::Object(vec![
+            ("trigger".to_string(), serde_json::Value::from(trigger)),
+            ("dropped".to_string(), serde_json::Value::from(self.dropped() as f64)),
+            ("traceEvents".to_string(), serde_json::Value::Array(events)),
+        ]);
+        serde_json::to_string(&doc).expect("flight fragment serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskKind, TaskLabel};
+    use std::sync::Arc;
+
+    #[test]
+    fn sched_counters_are_monotone() {
+        let before = sched_counters().snapshot();
+        sched_counters().tasks_dispatched.inc();
+        sched_counters().tasks_completed.inc();
+        let after = sched_counters().snapshot();
+        assert!(after.tasks_dispatched > before.tasks_dispatched);
+        assert!(after.tasks_completed > before.tasks_completed);
+        assert_eq!(after.pairs().len(), 17);
+    }
+
+    #[test]
+    fn recorder_keeps_depth_most_recent_events_per_lane() {
+        let rec = FlightRecorder::new(2, 4);
+        for i in 0..10 {
+            rec.record(0, FlightEventKind::Dispatch, i, None);
+        }
+        rec.record(7, FlightEventKind::JobSubmit, 1, None); // folds to external
+        assert_eq!(rec.len(), 5);
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(rec.nworkers(), 2);
+    }
+
+    #[test]
+    fn thread_recorder_context_routes_events() {
+        let rec = Arc::new(FlightRecorder::new(1, 8));
+        set_thread_recorder(Arc::downgrade(&rec), 0);
+        record_event(FlightEventKind::Retry, 42, Some(TaskLabel::new(TaskKind::Panel, 0, 0, 0)));
+        set_thread_recorder(Weak::new(), usize::MAX);
+        record_event(FlightEventKind::Retry, 43, None); // no recorder: dropped
+        assert_eq!(rec.len(), 1);
+        let evs = rec.lanes[0].snapshot();
+        assert_eq!(evs[0].job, 42);
+        assert_eq!(evs[0].kind, FlightEventKind::Retry);
+    }
+
+    #[test]
+    fn fragment_is_valid_json_with_monotone_lane_timestamps() {
+        let rec = FlightRecorder::new(2, 16);
+        for i in 0..6 {
+            rec.record(i % 2, FlightEventKind::Dispatch, i as u64, None);
+            rec.record(i % 2, FlightEventKind::TaskOk, i as u64, None);
+        }
+        let frag = rec.chrome_trace_fragment("job_fail");
+        let doc: serde_json::Value = serde_json::from_str(&frag).unwrap();
+        assert_eq!(doc.get("trigger").and_then(|t| t.as_str()), Some("job_fail"));
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let mut last_ts = [f64::NEG_INFINITY; 4];
+        for ev in events {
+            if ev.get("ph").and_then(|p| p.as_str()) != Some("i") {
+                continue;
+            }
+            let tid = ev.get("tid").and_then(|t| t.as_u64()).unwrap() as usize;
+            let ts = ev.get("ts").and_then(|t| t.as_f64()).unwrap();
+            assert!(ts >= last_ts[tid], "lane {tid} went backwards");
+            last_ts[tid] = ts;
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Service configuration: worker pool size, admission control, batching.
 
 use ca_core::CaParams;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What happens when a submission arrives while the service is already at
@@ -165,8 +167,81 @@ impl ChaosConfig {
     }
 }
 
+/// Always-on telemetry for a [`crate::Service`]: a process-wide metrics
+/// registry with per-tenant/per-class families, an optional per-worker
+/// flight recorder, and an optional periodic exposition thread that writes
+/// Prometheus-text and JSON snapshots to a file via atomic rename.
+///
+/// The metric registry itself is created whenever this config is present;
+/// hot-path updates are single relaxed atomic operations, cheap enough to
+/// leave on in production (the `telemetry_overhead` bench gates the cost at
+/// ≤ 2% on a 1024² CALU serve trace).
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Write periodic snapshots to this file (Prometheus text format; a
+    /// sibling `<file>.json` carries the same snapshot as JSON). `None`
+    /// keeps the registry in-memory only ([`crate::Service::metrics`]).
+    pub metrics_file: Option<PathBuf>,
+    /// Snapshot-thread period when `metrics_file` is set.
+    pub interval: Duration,
+    /// Per-worker flight recorder depth (events retained per lane);
+    /// `None` disables the recorder and failure dumps.
+    pub flight_recorder: Option<usize>,
+    /// Directory for flight-recorder failure dumps; defaults to the
+    /// `metrics_file` parent (or the current directory).
+    pub dump_dir: Option<PathBuf>,
+    /// Cap on flight-dump files written over the service lifetime; further
+    /// triggers only increment the `ca_serve_flight_dumps_suppressed_total`
+    /// counter. Keeps a shed-storm from filling the disk.
+    pub max_dumps: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            metrics_file: None,
+            interval: Duration::from_millis(500),
+            flight_recorder: Some(256),
+            dump_dir: None,
+            max_dumps: 8,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Periodic Prometheus/JSON exposition to `path`.
+    pub fn with_metrics_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_file = Some(path.into());
+        self
+    }
+
+    /// Sets the exposition period.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the per-worker flight-recorder depth (`0` disables).
+    pub fn with_flight_recorder(mut self, depth: usize) -> Self {
+        self.flight_recorder = (depth > 0).then_some(depth);
+        self
+    }
+
+    /// Sets the flight-dump directory.
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// Caps the number of flight-dump files written.
+    pub fn with_max_dumps(mut self, n: usize) -> Self {
+        self.max_dumps = n;
+        self
+    }
+}
+
 /// Configuration for a [`crate::Service`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads owned by the service for its whole lifetime.
     pub workers: usize,
@@ -188,6 +263,9 @@ pub struct ServiceConfig {
     pub retry: Option<RetryConfig>,
     /// Chaos drill; `None` (production) injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Always-on telemetry: metrics registry, flight recorder, periodic
+    /// exposition. `None` disables the subsystem entirely.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -201,6 +279,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             retry: None,
             chaos: None,
+            telemetry: None,
         }
     }
 }
@@ -253,10 +332,16 @@ impl ServiceConfig {
         self.chaos = Some(chaos);
         self
     }
+
+    /// Enables always-on telemetry.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
 }
 
 /// Per-submission options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SubmitOptions {
     /// Fair-share weight (> 0): relative flop share across concurrent jobs.
     pub weight: f64,
@@ -267,11 +352,16 @@ pub struct SubmitOptions {
     pub params: Option<CaParams>,
     /// Allow this request to be coalesced into a batch when eligible.
     pub batchable: bool,
+    /// Tenant attribution for telemetry: when the service runs with a
+    /// [`TelemetryConfig`], this job's submit/outcome counters and latency
+    /// histograms are labeled `tenant="…"` in the exposed metrics
+    /// (unlabeled submissions aggregate under `tenant=""`).
+    pub tenant: Option<Arc<str>>,
 }
 
 impl Default for SubmitOptions {
     fn default() -> Self {
-        Self { weight: 1.0, deadline: None, params: None, batchable: true }
+        Self { weight: 1.0, deadline: None, params: None, batchable: true, tenant: None }
     }
 }
 
@@ -298,6 +388,12 @@ impl SubmitOptions {
     /// Forbids batching for this request.
     pub fn unbatched(mut self) -> Self {
         self.batchable = false;
+        self
+    }
+
+    /// Attributes this job to a tenant in the exposed metrics.
+    pub fn with_tenant(mut self, tenant: impl Into<Arc<str>>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 }

@@ -44,14 +44,18 @@
 
 mod batch;
 mod config;
+mod metrics;
 mod service;
 mod stats;
 
 pub use config::{
     AdmissionPolicy, BatchConfig, ChaosConfig, RetryConfig, ServiceConfig, SubmitOptions,
+    TelemetryConfig,
 };
 pub use service::{serialized_baseline, JobHandle, Service};
 pub use stats::{LatencySummary, ServeError, ServiceStats};
 
 // Frontier types that surface through the service API.
 pub use ca_sched::{CancelReason, ChaosProfile, JobId, RecoveryStats};
+// Telemetry types that surface through [`Service::metrics_snapshot`].
+pub use ca_telemetry::{RegistrySnapshot, SeriesValue};

@@ -1,0 +1,405 @@
+//! Per-tenant serve metrics: registry families, periodic exposition, and
+//! bounded flight-recorder failure dumps.
+//!
+//! [`ServeMetrics`] is created when the service runs with a
+//! [`crate::TelemetryConfig`]. Submission paths resolve one
+//! [`TenantSeries`] per `(tenant, class)` pair — a one-time registration
+//! behind a lock, after which every update is a single relaxed atomic
+//! operation. Process-wide scheduler and recovery counters are folded into
+//! the registry at snapshot time by delta-addition, so the exposed families
+//! stay monotone even though several services may share the globals.
+
+use crate::config::TelemetryConfig;
+use crate::stats::ServiceStats;
+use ca_sched::FlightRecorder;
+use ca_telemetry::{
+    write_atomic, Counter, Gauge, Histogram, Registry, LATENCY_BOUNDS,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lock-free metric handles for one `(tenant, class)` label pair, resolved
+/// once at first submission and cached for the service lifetime.
+pub(crate) struct TenantSeries {
+    pub submitted: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub cancelled: Arc<Counter>,
+    pub shed: Arc<Counter>,
+    pub deadline_missed: Arc<Counter>,
+    pub retries: Arc<Counter>,
+    pub queue_s: Arc<Histogram>,
+    pub exec_s: Arc<Histogram>,
+    /// Useful flops completed under this label pair (gauge: f64 cell).
+    pub flops: Arc<Gauge>,
+}
+
+/// The service's telemetry hub: the metric registry, cached per-tenant
+/// series handles, and the bounded flight-dump writer.
+pub(crate) struct ServeMetrics {
+    pub(crate) registry: Arc<Registry>,
+    series: Mutex<HashMap<(String, &'static str), Arc<TenantSeries>>>,
+    // Global gauges refreshed by `sync`.
+    active_jobs: Arc<Gauge>,
+    occupancy: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    gflops: Arc<Gauge>,
+    flops_total: Arc<Gauge>,
+    /// MTTR histogram observed directly at recovery points.
+    pub(crate) mttr_s: Arc<Histogram>,
+    // Monotone counters delta-synced from the service stats.
+    rejected: Arc<Counter>,
+    job_retries: Arc<Counter>,
+    jobs_recovered: Arc<Counter>,
+    corruption_detected: Arc<Counter>,
+    probes_run: Arc<Counter>,
+    /// Task-level recovery counters, aligned with the field order of
+    /// [`ca_sched::RecoveryStats`] as listed in `TASK_RECOVERY_NAMES`.
+    task_recovery: Vec<Arc<Counter>>,
+    /// Process-wide scheduler counters, aligned with
+    /// [`ca_sched::SchedCountersSnapshot::pairs`] order.
+    sched: Vec<Arc<Counter>>,
+    // Flight-dump bookkeeping.
+    dump_dir: Option<PathBuf>,
+    max_dumps: u64,
+    dump_seq: AtomicU64,
+    dumps_written: Arc<Counter>,
+    dumps_suppressed: Arc<Counter>,
+}
+
+const TASK_RECOVERY_NAMES: [&str; 9] = [
+    "attempts",
+    "retries",
+    "recovered_tasks",
+    "exhausted_tasks",
+    "restores",
+    "injected_failures",
+    "injected_panics",
+    "injected_delays",
+    "injected_corruptions",
+];
+
+fn task_recovery_values(t: &ca_sched::RecoveryStats) -> [u64; 9] {
+    [
+        t.attempts,
+        t.retries,
+        t.recovered_tasks,
+        t.exhausted_tasks,
+        t.restores,
+        t.injected_failures,
+        t.injected_panics,
+        t.injected_delays,
+        t.injected_corruptions,
+    ]
+}
+
+/// Adds `current - handle.get()` so the registry copy of a monotone source
+/// counter catches up without double-counting across syncs.
+fn sync_counter(handle: &Counter, current: u64) {
+    let prev = handle.get();
+    if current > prev {
+        handle.add(current - prev);
+    }
+}
+
+impl ServeMetrics {
+    pub(crate) fn new(cfg: &TelemetryConfig) -> Arc<Self> {
+        let registry = Arc::new(Registry::new());
+        let r = &registry;
+        let task_recovery = TASK_RECOVERY_NAMES
+            .iter()
+            .map(|n| {
+                r.counter(
+                    &format!("ca_serve_task_{n}_total"),
+                    "Task-level recovery counter aggregated across jobs",
+                    &[],
+                )
+            })
+            .collect();
+        let sched = ca_sched::sched_counters()
+            .snapshot()
+            .pairs()
+            .iter()
+            .map(|(n, _)| {
+                r.counter(
+                    &format!("ca_sched_{n}_total"),
+                    "Process-wide scheduler counter",
+                    &[],
+                )
+            })
+            .collect();
+        let dump_dir = cfg.dump_dir.clone().or_else(|| {
+            cfg.metrics_file.as_ref().map(|f| {
+                f.parent()
+                    .filter(|p| !p.as_os_str().is_empty())
+                    .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+            })
+        });
+        Arc::new(Self {
+            series: Mutex::new(HashMap::new()),
+            active_jobs: r.gauge("ca_serve_active_jobs", "Jobs admitted and not yet finished", &[]),
+            occupancy: r.gauge("ca_serve_pool_occupancy", "Worker-pool utilization in [0,1]", &[]),
+            workers: r.gauge("ca_serve_workers", "Worker threads owned by the service", &[]),
+            gflops: r.gauge("ca_serve_gflops", "Achieved GFlop/s over worker busy time", &[]),
+            flops_total: r.gauge("ca_serve_flops_total", "Useful flops completed", &[]),
+            mttr_s: r.histogram(
+                "ca_serve_mttr_seconds",
+                "Time from first failure observation to eventual success",
+                &[],
+                LATENCY_BOUNDS,
+            ),
+            rejected: r.counter("ca_serve_rejected_total", "Submissions refused by admission control", &[]),
+            job_retries: r.counter("ca_serve_job_retries_total", "Job-level resubmissions", &[]),
+            jobs_recovered: r.counter(
+                "ca_serve_jobs_recovered_total",
+                "Jobs completed after at least one resubmission",
+                &[],
+            ),
+            corruption_detected: r.counter(
+                "ca_serve_corruption_detected_total",
+                "Integrity-probe hits on completed factors",
+                &[],
+            ),
+            probes_run: r.counter("ca_serve_probes_run_total", "Integrity probes executed", &[]),
+            task_recovery,
+            sched,
+            dump_dir,
+            max_dumps: cfg.max_dumps as u64,
+            dump_seq: AtomicU64::new(0),
+            dumps_written: r.counter(
+                "ca_serve_flight_dumps_written_total",
+                "Flight-recorder dump files written",
+                &[],
+            ),
+            dumps_suppressed: r.counter(
+                "ca_serve_flight_dumps_suppressed_total",
+                "Flight-dump triggers suppressed by the max-dumps cap",
+                &[],
+            ),
+            registry: Arc::clone(&registry),
+        })
+    }
+
+    /// The cached series handles for `(tenant, class)`, registering the
+    /// label pair's families on first use.
+    pub(crate) fn series(&self, tenant: &str, class: &'static str) -> Arc<TenantSeries> {
+        let mut cache = self.series.lock().expect("series lock");
+        if let Some(s) = cache.get(&(tenant.to_string(), class)) {
+            return Arc::clone(s);
+        }
+        let labels = [("tenant", tenant), ("class", class)];
+        let r = &self.registry;
+        let s = Arc::new(TenantSeries {
+            submitted: r.counter("ca_serve_jobs_submitted_total", "Jobs admitted", &labels),
+            completed: r.counter("ca_serve_jobs_completed_total", "Jobs completed successfully", &labels),
+            failed: r.counter("ca_serve_jobs_failed_total", "Jobs failed", &labels),
+            cancelled: r.counter("ca_serve_jobs_cancelled_total", "Jobs cancelled", &labels),
+            shed: r.counter("ca_serve_jobs_shed_total", "Jobs evicted by shed-oldest admission", &labels),
+            deadline_missed: r.counter(
+                "ca_serve_deadline_missed_total",
+                "Jobs cancelled because their deadline expired",
+                &labels,
+            ),
+            retries: r.counter("ca_serve_retries_total", "Job-level resubmissions", &labels),
+            queue_s: r.histogram(
+                "ca_serve_queue_seconds",
+                "Admission to first task dispatch",
+                &labels,
+                LATENCY_BOUNDS,
+            ),
+            exec_s: r.histogram(
+                "ca_serve_exec_seconds",
+                "First task dispatch to finalization",
+                &labels,
+                LATENCY_BOUNDS,
+            ),
+            flops: r.gauge("ca_serve_flops", "Useful flops completed", &labels),
+        });
+        cache.insert((tenant.to_string(), class), Arc::clone(&s));
+        s
+    }
+
+    /// Records one finalized job's latency decomposition and flop count
+    /// against its series (called from the completion hook).
+    pub(crate) fn observe_done(&self, series: &TenantSeries, queue: f64, exec: f64, flops: f64) {
+        series.queue_s.observe(queue);
+        series.exec_s.observe(exec);
+        if flops > 0.0 {
+            series.flops.add(flops);
+            self.flops_total.add(flops);
+        }
+    }
+
+    /// Refreshes gauges and delta-syncs the monotone counters whose source
+    /// of truth lives outside the registry (service stats, process-wide
+    /// scheduler and recovery counters). Called before each exposition.
+    pub(crate) fn sync(&self, s: &ServiceStats) {
+        self.active_jobs.set(s.active_jobs as f64);
+        self.occupancy.set(s.occupancy);
+        self.workers.set(s.workers as f64);
+        if s.busy_s > 0.0 {
+            self.gflops.set(self.flops_total.get() / s.busy_s / 1e9);
+        }
+        sync_counter(&self.rejected, s.rejected);
+        sync_counter(&self.job_retries, s.job_retries);
+        sync_counter(&self.jobs_recovered, s.jobs_recovered);
+        sync_counter(&self.corruption_detected, s.corruption_detected);
+        sync_counter(&self.probes_run, s.probes_run);
+        for (h, v) in self.task_recovery.iter().zip(task_recovery_values(&s.task_recovery)) {
+            sync_counter(h, v);
+        }
+        for (h, (_, v)) in
+            self.sched.iter().zip(ca_sched::sched_counters().snapshot().pairs())
+        {
+            sync_counter(h, v);
+        }
+    }
+
+    /// Writes the current registry snapshot to `path` (Prometheus text
+    /// format) and `path.json` (the same snapshot as JSON), each via
+    /// write-to-temp + atomic rename so a scraper never sees a torn file.
+    pub(crate) fn write_snapshot(&self, path: &Path) -> std::io::Result<()> {
+        let snap = self.registry.snapshot();
+        write_atomic(path, snap.render_prometheus().as_bytes())?;
+        let json = serde_json::to_string(&snap)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let sibling = PathBuf::from(format!("{}.json", path.display()));
+        write_atomic(&sibling, json.as_bytes())
+    }
+
+    /// Dumps the flight recorder's current contents as a chrome-trace
+    /// fragment named `flight-NNN-<trigger>.json`, atomically, honoring the
+    /// lifetime cap on dump files. No-op (not even counted) when no dump
+    /// directory could be resolved from the config.
+    pub(crate) fn dump_flight(&self, recorder: &FlightRecorder, trigger: &str) {
+        let Some(dir) = &self.dump_dir else { return };
+        let n = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        if n >= self.max_dumps {
+            self.dumps_suppressed.inc();
+            return;
+        }
+        let path = dir.join(format!("flight-{n:03}-{trigger}.json"));
+        let fragment = recorder.chrome_trace_fragment(trigger);
+        match write_atomic(&path, fragment.as_bytes()) {
+            Ok(()) => self.dumps_written.inc(),
+            Err(e) => eprintln!("ca-serve: cannot write flight dump {}: {e}", path.display()),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with_dir(dir: &Path) -> TelemetryConfig {
+        TelemetryConfig::default().with_dump_dir(dir).with_max_dumps(3)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("ca-serve-metrics-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn series_handles_are_cached_and_labeled() {
+        let m = ServeMetrics::new(&TelemetryConfig::default());
+        let a = m.series("acme", "lu");
+        let b = m.series("acme", "lu");
+        assert!(Arc::ptr_eq(&a, &b), "same label pair must reuse handles");
+        a.submitted.inc();
+        a.submitted.inc();
+        m.series("acme", "qr").submitted.inc();
+        let prom = m.registry.snapshot().render_prometheus();
+        assert!(prom
+            .contains("ca_serve_jobs_submitted_total{tenant=\"acme\",class=\"lu\"} 2"));
+        assert!(prom
+            .contains("ca_serve_jobs_submitted_total{tenant=\"acme\",class=\"qr\"} 1"));
+    }
+
+    #[test]
+    fn sync_is_idempotent_for_unchanged_sources() {
+        let m = ServeMetrics::new(&TelemetryConfig::default());
+        let mut s = crate::stats::ServiceStats {
+            workers: 2,
+            queue_capacity: 4,
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            cancelled: 0,
+            rejected: 7,
+            shed: 0,
+            deadline_missed: 0,
+            batches_flushed: 0,
+            batched_jobs: 0,
+            job_retries: 3,
+            jobs_recovered: 2,
+            corruption_detected: 1,
+            probes_run: 5,
+            task_recovery: ca_sched::RecoveryStats::default(),
+            mttr: Default::default(),
+            active_jobs: 1,
+            elapsed_s: 1.0,
+            busy_s: 0.5,
+            occupancy: 0.25,
+            jobs_per_s: 0.0,
+            queue_latency: Default::default(),
+            exec_latency: Default::default(),
+            total_latency: Default::default(),
+        };
+        m.sync(&s);
+        m.sync(&s);
+        assert_eq!(m.rejected.get(), 7, "double sync must not double-count");
+        assert_eq!(m.job_retries.get(), 3);
+        s.rejected = 9;
+        m.sync(&s);
+        assert_eq!(m.rejected.get(), 9);
+    }
+
+    #[test]
+    fn flight_dumps_are_capped() {
+        let dir = temp_dir("cap");
+        let m = ServeMetrics::new(&cfg_with_dir(&dir));
+        let rec = FlightRecorder::new(2, 16);
+        rec.record(0, ca_sched::FlightEventKind::TaskFail, 1, None);
+        for _ in 0..10 {
+            m.dump_flight(&rec, "shed");
+        }
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        assert_eq!(files.len(), 3, "cap must bound dump files, got {files:?}");
+        assert!(files.iter().all(|f| f.starts_with("flight-") && f.ends_with("-shed.json")));
+        assert_eq!(m.dumps_written.get(), 3);
+        assert_eq!(m.dumps_suppressed.get(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_files_are_written_atomically_with_json_sibling() {
+        let dir = temp_dir("snap");
+        let m = ServeMetrics::new(&TelemetryConfig::default());
+        m.series("t0", "lu").submitted.inc();
+        let path = dir.join("metrics.prom");
+        m.write_snapshot(&path).expect("write snapshot");
+        let prom = std::fs::read_to_string(&path).expect("prom file");
+        assert!(prom.contains("# TYPE ca_serve_jobs_submitted_total counter"));
+        let json = std::fs::read_to_string(dir.join("metrics.prom.json")).expect("json file");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert!(v.get("families").is_some(), "snapshot json must carry families");
+        // No stray temp files from the atomic-rename protocol.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .filter(|f| f.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "stray temp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

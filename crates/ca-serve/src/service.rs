@@ -2,6 +2,7 @@
 
 use crate::batch::{BatchTicket, PendingBatch, PendingMember};
 use crate::config::{AdmissionPolicy, ServiceConfig, SubmitOptions};
+use crate::metrics::{ServeMetrics, TenantSeries};
 use crate::stats::{Counters, LatencySummary, ServeError, ServiceStats};
 use ca_core::{
     calu_serve_graph, calu_serve_graph_recovering, caqr_serve_graph,
@@ -12,9 +13,9 @@ use ca_core::{
 use ca_matrix::Matrix;
 use ca_sched::{
     CancelReason, ChaosPlan, DynJob, JobId, JobOptions, JobOutcome, JobReport, JobWatch,
-    MultiFrontier, RecoveryCounters, TaskGraph, TaskKind, TaskLabel, TaskMeta,
+    MultiFrontier, PanicHookGuard, RecoveryCounters, TaskGraph, TaskKind, TaskLabel, TaskMeta,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -51,6 +52,8 @@ enum Waiter {
 /// loop must never run past.
 struct RetryState<T> {
     opts: SubmitOptions,
+    /// Job class ("lu", "qr", …) for telemetry attribution of resubmissions.
+    class: &'static str,
     /// Absolute deadline: admission time + the job's deadline, if any.
     deadline_at: Option<Instant>,
     /// Job-level backoff schedule (`max_retries` is the resubmission budget).
@@ -196,6 +199,7 @@ impl<T> JobHandle<T> {
                         self.core.mark_recovery(format!(
                             "probe: corrupted factors (residual {residual:.2e})"
                         ));
+                        self.core.dump_flight("probe-corrupt");
                         drop(value);
                         return match self.try_resubmit() {
                             Ok(retried) => Err(retried),
@@ -207,12 +211,14 @@ impl<T> JobHandle<T> {
                     }
                 }
                 if let Some(t0) = self.retry.as_ref().and_then(|r| r.first_failure) {
+                    let mttr = t0.elapsed().as_secs_f64();
                     {
                         let mut s = self.core.stats.lock().expect("stats lock");
                         s.jobs_recovered += 1;
-                        if s.mttr_s.len() < MAX_MARKS {
-                            s.mttr_s.push(t0.elapsed().as_secs_f64());
-                        }
+                        s.mttr_s.observe(mttr);
+                    }
+                    if let Some(tm) = &self.core.telemetry {
+                        tm.mttr_s.observe(mttr);
                     }
                     self.core.mark_recovery("job recovered".into());
                 }
@@ -283,10 +289,65 @@ impl<T> JobHandle<T> {
             s.job_retries += 1;
         }
         self.core.mark_recovery(format!("job retry {}", st.used));
+        let series = self.core.series_for(&st.opts, st.class);
+        if let Some(s) = &series {
+            s.retries.inc();
+        }
         let (id, watch) = self.core.frontier.submit(sg.graph, jopts);
+        self.core.register_job(id, series);
         self.output = sg.output;
         self.waiter = Waiter::Direct { id, watch };
         Ok(self)
+    }
+}
+
+/// One entry of the job-attribution map. The completion hook and the
+/// submitting thread race on fast jobs: the frontier hands out the job id
+/// only as `submit` returns, so a worker can finalize the job before the
+/// submitter records which tenant it belongs to. Whichever side arrives
+/// second completes the hand-off.
+enum SeriesSlot {
+    /// Submitter arrived first: attribution waiting for the completion hook.
+    Pending(Arc<TenantSeries>),
+    /// Completion hook arrived first: the parked outcome, applied when the
+    /// submitter registers the series.
+    Done { counts: OutcomeCounts, n: u64, queue_s: f64, exec_s: f64, flops: f64 },
+}
+
+/// Which per-tenant outcome counters a finalized job increments.
+#[derive(Clone, Copy)]
+enum OutcomeCounts {
+    Completed,
+    Failed,
+    Cancelled { deadline: bool, shed: bool },
+}
+
+impl OutcomeCounts {
+    fn of(outcome: &JobOutcome) -> Self {
+        match outcome {
+            JobOutcome::Completed => OutcomeCounts::Completed,
+            JobOutcome::Failed(_) => OutcomeCounts::Failed,
+            JobOutcome::Cancelled(reason) => OutcomeCounts::Cancelled {
+                deadline: matches!(reason, ca_sched::CancelReason::Deadline),
+                shed: matches!(reason, ca_sched::CancelReason::Shed),
+            },
+        }
+    }
+
+    fn apply(self, series: &TenantSeries, n: u64) {
+        match self {
+            OutcomeCounts::Completed => series.completed.add(n),
+            OutcomeCounts::Failed => series.failed.add(n),
+            OutcomeCounts::Cancelled { deadline, shed } => {
+                series.cancelled.add(n);
+                if deadline {
+                    series.deadline_missed.add(n);
+                }
+                if shed {
+                    series.shed.add(n);
+                }
+            }
+        }
     }
 }
 
@@ -310,6 +371,15 @@ pub(crate) struct ServiceCore {
     chaos_jobs: AtomicU64,
     /// Recovery events `(seconds since start, description)` for the trace.
     recovery_marks: Mutex<Vec<(f64, String)>>,
+    /// Always-on telemetry hub, when configured.
+    telemetry: Option<Arc<ServeMetrics>>,
+    /// Telemetry attribution for in-flight frontier jobs; entries are
+    /// removed by the completion hook, so the map stays bounded by the
+    /// admission capacity.
+    job_series: Mutex<HashMap<JobId, SeriesSlot>>,
+    /// Exposition-thread gate: set true (and notified) on shutdown.
+    metrics_gate: Mutex<bool>,
+    metrics_cv: Condvar,
 }
 
 impl ServiceCore {
@@ -338,11 +408,100 @@ impl ServiceCore {
                 s.sample(q, e, t);
             }
         }
+        self.note_telemetry(r, n);
         {
             let mut active = self.admission.lock().expect("admission lock");
             *active = active.saturating_sub(n as usize);
         }
         self.admission_cv.notify_all();
+    }
+
+    /// Telemetry half of job finalization: per-tenant outcome counters and
+    /// latency histograms, plus the flight-recorder dump on failure
+    /// classes. All updates are lock-free except the bounded series-map
+    /// removal; a dump does file I/O but is capped by
+    /// [`crate::TelemetryConfig::max_dumps`].
+    fn note_telemetry(&self, r: &JobReport, n: u64) {
+        let Some(tm) = &self.telemetry else { return };
+        let counts = OutcomeCounts::of(&r.outcome);
+        let series = {
+            let mut map = self.job_series.lock().expect("series lock");
+            match map.remove(&r.job) {
+                Some(SeriesSlot::Pending(s)) => Some(s),
+                // The submitter has not registered attribution yet (the job
+                // finished before `submit` returned its id to the caller):
+                // park the outcome for `register_job` to apply.
+                _ => {
+                    map.insert(
+                        r.job,
+                        SeriesSlot::Done {
+                            counts,
+                            n,
+                            queue_s: r.queue_seconds(),
+                            exec_s: r.exec_seconds(),
+                            flops: r.flops,
+                        },
+                    );
+                    None
+                }
+            }
+        };
+        if let Some(series) = &series {
+            counts.apply(series, n);
+            tm.observe_done(series, r.queue_seconds(), r.exec_seconds(), r.flops);
+        }
+        let trigger = match &r.outcome {
+            JobOutcome::Failed(_) => Some("job-fail"),
+            JobOutcome::Cancelled(ca_sched::CancelReason::Deadline) => Some("deadline"),
+            JobOutcome::Cancelled(ca_sched::CancelReason::Shed) => Some("shed"),
+            _ => None,
+        };
+        if let Some(trigger) = trigger {
+            if let Some(rec) = self.frontier.flight_recorder() {
+                tm.dump_flight(&rec, trigger);
+            }
+        }
+    }
+
+    /// The cached telemetry series for `(opts.tenant, class)`, or `None`
+    /// when telemetry is off.
+    fn series_for(&self, opts: &SubmitOptions, class: &'static str) -> Option<Arc<TenantSeries>> {
+        self.telemetry
+            .as_ref()
+            .map(|tm| tm.series(opts.tenant.as_deref().unwrap_or(""), class))
+    }
+
+    /// Remembers a frontier job's telemetry attribution until the
+    /// completion hook consumes it — or, if the hook already fired (fast
+    /// jobs finalize before `submit` returns), applies the parked outcome
+    /// to the series right here.
+    fn register_job(&self, id: JobId, series: Option<Arc<TenantSeries>>) {
+        let Some(series) = series else { return };
+        let parked = {
+            let mut map = self.job_series.lock().expect("series lock");
+            match map.remove(&id) {
+                Some(done @ SeriesSlot::Done { .. }) => Some(done),
+                _ => {
+                    map.insert(id, SeriesSlot::Pending(series.clone()));
+                    None
+                }
+            }
+        };
+        if let (Some(SeriesSlot::Done { counts, n, queue_s, exec_s, flops }), Some(tm)) =
+            (parked, &self.telemetry)
+        {
+            counts.apply(&series, n);
+            tm.observe_done(&series, queue_s, exec_s, flops);
+        }
+    }
+
+    /// Dumps the flight recorder (if both it and telemetry are on).
+    fn dump_flight(&self, trigger: &str) {
+        if let Some(tm) = &self.telemetry {
+            if let Some(rec) = self.frontier.flight_recorder() {
+                tm.dump_flight(&rec, trigger);
+            }
+        }
     }
 
     /// Claims one admission slot, applying the configured policy at
@@ -454,8 +613,15 @@ impl ServiceCore {
             s.batches_flushed += 1;
             s.batched_jobs += n as u64;
         }
-        let (_, watch) =
+        // Batched members carry no tenant attribution (they were admitted
+        // individually); the fused job aggregates under class="batch".
+        let series = self.telemetry.as_ref().map(|tm| tm.series("", "batch"));
+        if let Some(s) = &series {
+            s.submitted.add(n as u64);
+        }
+        let (id, watch) =
             self.frontier.submit(graph, JobOptions::default().with_tag(n as u64));
+        self.register_job(id, series);
         for t in tickets {
             t.fulfill(watch.clone());
         }
@@ -487,6 +653,72 @@ impl ServiceCore {
             drop(pending);
         }
     }
+
+    /// Point-in-time service statistics (see [`Service::stats`]).
+    fn stats_snapshot(&self) -> ServiceStats {
+        let active = *self.admission.lock().expect("admission lock");
+        let c = self.stats.lock().expect("stats lock");
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let busy = self.frontier.busy_seconds();
+        let workers = self.cfg.workers;
+        ServiceStats {
+            workers,
+            queue_capacity: self.cfg.queue_capacity,
+            submitted: c.submitted,
+            completed: c.completed,
+            failed: c.failed,
+            cancelled: c.cancelled,
+            rejected: c.rejected,
+            shed: c.shed,
+            deadline_missed: c.deadline_missed,
+            batches_flushed: c.batches_flushed,
+            batched_jobs: c.batched_jobs,
+            job_retries: c.job_retries,
+            jobs_recovered: c.jobs_recovered,
+            corruption_detected: c.corruption_detected,
+            probes_run: c.probes_run,
+            task_recovery: self.recovery.snapshot(),
+            mttr: LatencySummary::from_histogram(&c.mttr_s),
+            active_jobs: active,
+            elapsed_s: elapsed,
+            busy_s: busy,
+            occupancy: if elapsed > 0.0 { busy / (elapsed * workers as f64) } else { 0.0 },
+            jobs_per_s: if elapsed > 0.0 { c.completed as f64 / elapsed } else { 0.0 },
+            queue_latency: LatencySummary::from_histogram(&c.queue_s),
+            exec_latency: LatencySummary::from_histogram(&c.exec_s),
+            total_latency: LatencySummary::from_histogram(&c.total_s),
+        }
+    }
+
+    /// Exposition-thread body: sync the registry from the live sources and
+    /// write the snapshot files every `interval` until shutdown (one final
+    /// snapshot is written on the way out, so short-lived runs still leave
+    /// a complete file behind).
+    fn exposition_loop(&self, path: &std::path::Path, interval: Duration) {
+        let tm = self.telemetry.as_ref().expect("exposition requires telemetry");
+        loop {
+            tm.sync(&self.stats_snapshot());
+            if let Err(e) = tm.write_snapshot(path) {
+                eprintln!("ca-serve: cannot write metrics snapshot {}: {e}", path.display());
+            }
+            let gate = self.metrics_gate.lock().expect("metrics gate");
+            if *gate {
+                return;
+            }
+            let (gate, _) =
+                self.metrics_cv.wait_timeout(gate, interval).expect("metrics gate");
+            if *gate {
+                tm.sync(&self.stats_snapshot());
+                if let Err(e) = tm.write_snapshot(path) {
+                    eprintln!(
+                        "ca-serve: cannot write metrics snapshot {}: {e}",
+                        path.display()
+                    );
+                }
+                return;
+            }
+        }
+    }
 }
 
 /// A persistent multi-tenant factorization service.
@@ -500,14 +732,26 @@ impl ServiceCore {
 pub struct Service {
     core: Arc<ServiceCore>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Periodic metrics-exposition thread, when telemetry writes to a file.
+    exposer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Keeps the guarded-panic-hook filter installed for the service
+    /// lifetime when recovery/chaos is configured, instead of churning the
+    /// process hook on every task replay.
+    _hook_guard: Option<PanicHookGuard>,
 }
 
 impl Service {
     /// Starts the service: spawns the worker pool (and the batch flusher
-    /// when batching is enabled).
+    /// when batching is enabled, and the metrics-exposition thread when
+    /// telemetry writes to a file).
     pub fn new(cfg: ServiceConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let workers = cfg.workers;
+        let batch = cfg.batch;
+        let hook_guard =
+            (cfg.retry.is_some() || cfg.chaos.is_some()).then(PanicHookGuard::new);
+        let telemetry = cfg.telemetry.as_ref().map(ServeMetrics::new);
         let core = Arc::new_cyclic(|weak: &std::sync::Weak<ServiceCore>| {
             let weak = weak.clone();
             let hook: Box<dyn Fn(&JobReport) + Send + Sync> = Box::new(move |report| {
@@ -516,8 +760,8 @@ impl Service {
                 }
             });
             ServiceCore {
+                frontier: MultiFrontier::with_hook(workers, hook),
                 cfg,
-                frontier: MultiFrontier::with_hook(cfg.workers, hook),
                 admission: Mutex::new(0),
                 admission_cv: Condvar::new(),
                 stats: Mutex::new(Counters::default()),
@@ -528,16 +772,38 @@ impl Service {
                 recovery: Arc::new(RecoveryCounters::new()),
                 chaos_jobs: AtomicU64::new(0),
                 recovery_marks: Mutex::new(Vec::new()),
+                telemetry,
+                job_series: Mutex::new(HashMap::new()),
+                metrics_gate: Mutex::new(false),
+                metrics_cv: Condvar::new(),
             }
         });
-        let flusher = cfg.batch.map(|b| {
+        if let Some(depth) = core.cfg.telemetry.as_ref().and_then(|t| t.flight_recorder) {
+            let _ = core.frontier.set_flight_recorder(depth);
+        }
+        let flusher = batch.map(|b| {
             let core = Arc::clone(&core);
             std::thread::Builder::new()
                 .name("ca-serve-flush".into())
                 .spawn(move || core.flusher_loop(b.max_delay))
                 .expect("spawn batch flusher")
         });
-        Self { core, flusher: Mutex::new(flusher) }
+        let exposer = core.cfg.telemetry.as_ref().and_then(|t| {
+            t.metrics_file.clone().map(|path| {
+                let interval = t.interval;
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name("ca-serve-metrics".into())
+                    .spawn(move || core.exposition_loop(&path, interval))
+                    .expect("spawn metrics exposer")
+            })
+        });
+        Self {
+            core,
+            flusher: Mutex::new(flusher),
+            exposer: Mutex::new(exposer),
+            _hook_guard: hook_guard,
+        }
     }
 
     fn params_for(&self, opts: &SubmitOptions) -> CaParams {
@@ -568,13 +834,19 @@ impl Service {
         sg: ServeGraph<T>,
         opts: &SubmitOptions,
         retry: Option<Box<RetryState<T>>>,
+        class: &'static str,
     ) -> JobHandle<T> {
         let mut jopts = JobOptions::default().with_weight(opts.weight);
         if let Some(d) = self.deadline_for(opts) {
             jopts = jopts.with_deadline(d);
         }
         self.core.stats.lock().expect("stats lock").submitted += 1;
+        let series = self.core.series_for(opts, class);
+        if let Some(s) = &series {
+            s.submitted.inc();
+        }
         let (id, watch) = self.core.frontier.submit(sg.graph, jopts);
+        self.core.register_job(id, series);
         JobHandle {
             core: Arc::clone(&self.core),
             waiter: Waiter::Direct { id, watch },
@@ -599,11 +871,13 @@ impl Service {
         rec: JobRecovery,
         build: impl Fn(&JobRecovery) -> Result<ServeGraph<T>, FactorError> + Send + 'static,
         probe: Option<Box<dyn Fn(&T) -> Result<(), FactorError> + Send>>,
+        class: &'static str,
     ) -> Result<JobHandle<T>, ServeError> {
         match build(&rec) {
             Ok(sg) => {
                 let retry = self.core.cfg.retry.map(|r| Box::new(RetryState {
-                    opts: *opts,
+                    opts: opts.clone(),
+                    class,
                     deadline_at: self.deadline_for(opts).map(|d| Instant::now() + d),
                     backoff: r.job_policy(),
                     used: 0,
@@ -617,7 +891,7 @@ impl Service {
                     probe,
                     first_failure: None,
                 }));
-                Ok(self.submit_direct(sg, opts, retry))
+                Ok(self.submit_direct(sg, opts, retry, class))
             }
             Err(e) => {
                 self.core.release_one();
@@ -682,7 +956,7 @@ impl Service {
         self.core.admit()?;
         match self.core.recovery_for_attempt() {
             None => match calu_serve_graph(a, &p) {
-                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None, "lu")),
                 Err(e) => {
                     self.core.release_one();
                     Err(ServeError::Invalid(e))
@@ -697,7 +971,7 @@ impl Service {
                 });
                 let build =
                     move |r: &JobRecovery| calu_serve_graph_recovering((*a0).clone(), &p, r);
-                self.submit_recovering(&opts, rec, build, probe)
+                self.submit_recovering(&opts, rec, build, probe, "lu")
             }
         }
     }
@@ -721,7 +995,7 @@ impl Service {
         self.core.admit()?;
         match self.core.recovery_for_attempt() {
             None => match caqr_serve_graph(a, &p) {
-                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None, "qr")),
                 Err(e) => {
                     self.core.release_one();
                     Err(ServeError::Invalid(e))
@@ -736,7 +1010,7 @@ impl Service {
                 });
                 let build =
                     move |r: &JobRecovery| caqr_serve_graph_recovering((*a0).clone(), &p, r);
-                self.submit_recovering(&opts, rec, build, probe)
+                self.submit_recovering(&opts, rec, build, probe, "qr")
             }
         }
     }
@@ -756,7 +1030,7 @@ impl Service {
         self.core.admit()?;
         match self.core.recovery_for_attempt() {
             None => match lu_solve_serve_graph(a, rhs, &p) {
-                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None, "solve")),
                 Err(e) => {
                     self.core.release_one();
                     Err(ServeError::Invalid(e))
@@ -770,7 +1044,7 @@ impl Service {
                 let build = move |r: &JobRecovery| {
                     lu_solve_serve_graph_recovering((*a0).clone(), (*r0).clone(), &p, r)
                 };
-                self.submit_recovering(&opts, rec, build, None)
+                self.submit_recovering(&opts, rec, build, None, "solve")
             }
         }
     }
@@ -790,7 +1064,7 @@ impl Service {
         self.core.admit()?;
         match self.core.recovery_for_attempt() {
             None => match qr_lstsq_serve_graph(a, rhs, &p) {
-                Ok(sg) => Ok(self.submit_direct(sg, &opts, None)),
+                Ok(sg) => Ok(self.submit_direct(sg, &opts, None, "lstsq")),
                 Err(e) => {
                     self.core.release_one();
                     Err(ServeError::Invalid(e))
@@ -802,7 +1076,7 @@ impl Service {
                 let build = move |r: &JobRecovery| {
                     qr_lstsq_serve_graph_recovering((*a0).clone(), (*r0).clone(), &p, r)
                 };
-                self.submit_recovering(&opts, rec, build, None)
+                self.submit_recovering(&opts, rec, build, None, "lstsq")
             }
         }
     }
@@ -834,44 +1108,26 @@ impl Service {
 
     /// Point-in-time service statistics.
     pub fn stats(&self) -> ServiceStats {
-        let active = *self.core.admission.lock().expect("admission lock");
-        let c = self.core.stats.lock().expect("stats lock");
-        let elapsed = self.core.started.elapsed().as_secs_f64();
-        let busy = self.core.frontier.busy_seconds();
-        let workers = self.core.cfg.workers;
-        ServiceStats {
-            workers,
-            queue_capacity: self.core.cfg.queue_capacity,
-            submitted: c.submitted,
-            completed: c.completed,
-            failed: c.failed,
-            cancelled: c.cancelled,
-            rejected: c.rejected,
-            shed: c.shed,
-            deadline_missed: c.deadline_missed,
-            batches_flushed: c.batches_flushed,
-            batched_jobs: c.batched_jobs,
-            job_retries: c.job_retries,
-            jobs_recovered: c.jobs_recovered,
-            corruption_detected: c.corruption_detected,
-            probes_run: c.probes_run,
-            task_recovery: self.core.recovery.snapshot(),
-            mttr: LatencySummary::from_samples(&c.mttr_s),
-            active_jobs: active,
-            elapsed_s: elapsed,
-            busy_s: busy,
-            occupancy: if elapsed > 0.0 { busy / (elapsed * workers as f64) } else { 0.0 },
-            jobs_per_s: if elapsed > 0.0 { c.completed as f64 / elapsed } else { 0.0 },
-            queue_latency: LatencySummary::from_samples(&c.queue_s),
-            exec_latency: LatencySummary::from_samples(&c.exec_s),
-            total_latency: LatencySummary::from_samples(&c.total_s),
-        }
+        self.core.stats_snapshot()
+    }
+
+    /// Point-in-time snapshot of the telemetry registry (synced from the
+    /// live counters first), or `None` when the service runs without a
+    /// [`crate::TelemetryConfig`]. Render with
+    /// [`ca_telemetry::RegistrySnapshot::render_prometheus`] or serialize
+    /// to JSON.
+    pub fn metrics_snapshot(&self) -> Option<ca_telemetry::RegistrySnapshot> {
+        self.core.telemetry.as_ref().map(|tm| {
+            tm.sync(&self.core.stats_snapshot());
+            tm.registry.snapshot()
+        })
     }
 
     /// Shuts the service down: pending batch members are flushed (and run
     /// or finalize as cancelled), every still-active job is cancelled with
     /// [`ca_sched::CancelReason::Shutdown`] (in-flight tasks finish), and
-    /// the worker pool is joined. Idempotent.
+    /// the worker pool is joined (as are the flusher and metrics-exposition
+    /// threads; the exposer writes one final snapshot first). Idempotent.
     pub fn shutdown(&self) {
         self.core.shutdown.store(true, Ordering::SeqCst);
         self.core.admission_cv.notify_all();
@@ -881,6 +1137,11 @@ impl Service {
         }
         self.core.flush_pending();
         self.core.frontier.shutdown();
+        *self.core.metrics_gate.lock().expect("metrics gate") = true;
+        self.core.metrics_cv.notify_all();
+        if let Some(h) = self.exposer.lock().expect("exposer lock").take() {
+            let _ = h.join();
+        }
     }
 }
 

@@ -64,12 +64,11 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Latency-sample cap: enough for every benchmark trace while bounding the
-/// service's footprint over a long lifetime.
-const MAX_SAMPLES: usize = 1 << 16;
-
 /// Mutable aggregation state behind the service's stats lock.
-#[derive(Default)]
+///
+/// Latency distributions are fixed-bucket [`ca_telemetry::Histogram`]s —
+/// constant memory regardless of service lifetime, and the same quantile
+/// estimator as every other exposed histogram (no private percentile path).
 pub(crate) struct Counters {
     pub submitted: u64,
     pub completed: u64,
@@ -84,27 +83,53 @@ pub(crate) struct Counters {
     pub jobs_recovered: u64,
     pub corruption_detected: u64,
     pub probes_run: u64,
-    pub queue_s: Vec<f64>,
-    pub exec_s: Vec<f64>,
-    pub total_s: Vec<f64>,
+    pub queue_s: ca_telemetry::Histogram,
+    pub exec_s: ca_telemetry::Histogram,
+    pub total_s: ca_telemetry::Histogram,
     /// Recovery durations: first failure observation → eventual success.
-    pub mttr_s: Vec<f64>,
+    pub mttr_s: ca_telemetry::Histogram,
 }
 
-impl Counters {
-    /// Records one finished job's latency decomposition (capped reservoir;
-    /// once full, new samples are dropped — fine for bounded benchmark runs
-    /// and long-lived services alike).
-    pub fn sample(&mut self, queue: f64, exec: f64, total: f64) {
-        if self.total_s.len() < MAX_SAMPLES {
-            self.queue_s.push(queue);
-            self.exec_s.push(exec);
-            self.total_s.push(total);
+impl Default for Counters {
+    fn default() -> Self {
+        let h = || ca_telemetry::Histogram::new(ca_telemetry::LATENCY_BOUNDS);
+        Self {
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            cancelled: 0,
+            rejected: 0,
+            shed: 0,
+            deadline_missed: 0,
+            batches_flushed: 0,
+            batched_jobs: 0,
+            job_retries: 0,
+            jobs_recovered: 0,
+            corruption_detected: 0,
+            probes_run: 0,
+            queue_s: h(),
+            exec_s: h(),
+            total_s: h(),
+            mttr_s: h(),
         }
     }
 }
 
+impl Counters {
+    /// Records one finished job's latency decomposition.
+    pub fn sample(&mut self, queue: f64, exec: f64, total: f64) {
+        self.queue_s.observe(queue);
+        self.exec_s.observe(exec);
+        self.total_s.observe(total);
+    }
+}
+
 /// Summary of one latency distribution (seconds).
+///
+/// Percentiles are bucket estimates from the shared
+/// [`ca_telemetry::Histogram`] quantile path (see
+/// [`ca_telemetry::HistogramSnapshot::quantile`]); `count`, `mean_s` and
+/// `max_s` are exact.
 #[derive(Clone, Copy, Debug, Default)]
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct LatencySummary {
@@ -123,23 +148,20 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    pub(crate) fn from_samples(samples: &[f64]) -> Self {
-        if samples.is_empty() {
-            return Self::default();
-        }
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let pct = |p: f64| {
-            let idx = ((sorted.len() as f64) * p).ceil() as usize;
-            sorted[idx.clamp(1, sorted.len()) - 1]
-        };
+    pub(crate) fn from_histogram(h: &ca_telemetry::Histogram) -> Self {
+        Self::from(h.summary())
+    }
+}
+
+impl From<ca_telemetry::HistogramSummary> for LatencySummary {
+    fn from(s: ca_telemetry::HistogramSummary) -> Self {
         Self {
-            count: sorted.len(),
-            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_s: pct(0.50),
-            p95_s: pct(0.95),
-            p99_s: pct(0.99),
-            max_s: sorted[sorted.len() - 1],
+            count: s.count as usize,
+            mean_s: s.mean_s,
+            p50_s: s.p50_s,
+            p95_s: s.p95_s,
+            p99_s: s.p99_s,
+            max_s: s.max_s,
         }
     }
 }
@@ -209,16 +231,24 @@ mod tests {
 
     #[test]
     fn latency_summary_percentiles() {
-        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let s = LatencySummary::from_samples(&samples);
+        // Samples in milliseconds: count/mean/max are exact; percentiles
+        // are histogram-bucket estimates, so assert they land in the right
+        // bucket neighborhoods and stay ordered.
+        let h = ca_telemetry::Histogram::new(ca_telemetry::LATENCY_BOUNDS);
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e-3);
+        }
+        let s = LatencySummary::from_histogram(&h);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_s, 50.0);
-        assert_eq!(s.p95_s, 95.0);
-        assert_eq!(s.p99_s, 99.0);
-        assert_eq!(s.max_s, 100.0);
-        assert!((s.mean_s - 50.5).abs() < 1e-12);
-        let empty = LatencySummary::from_samples(&[]);
+        assert!((s.mean_s - 50.5e-3).abs() < 1e-12, "mean is exact: {}", s.mean_s);
+        assert_eq!(s.max_s, 0.1, "max is exact");
+        assert!(s.p50_s >= 0.025 && s.p50_s <= 0.1, "p50 estimate {} off", s.p50_s);
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.max_s);
+        let empty = LatencySummary::from_histogram(&ca_telemetry::Histogram::new(
+            ca_telemetry::LATENCY_BOUNDS,
+        ));
         assert_eq!(empty.count, 0);
+        assert_eq!(empty.max_s, 0.0);
     }
 
     #[test]

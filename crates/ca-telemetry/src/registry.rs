@@ -1,0 +1,391 @@
+//! Named metric families with label dimensions, and their exposition.
+//!
+//! The registry itself is a map guarded by a mutex, but the mutex is only
+//! taken to *register* (get-or-create) a series or to take a snapshot. Hot
+//! paths resolve their `Arc<Counter>`/`Arc<Histogram>` handles once (per
+//! job admission, per tenant, …) and then update them lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// What kind of metric a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MetricKind {
+    /// Monotonic counter (`_total` convention in Prometheus).
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Log-scale bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn prometheus_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by the rendered label pairs (sorted by insertion: callers pass
+    /// labels in a fixed order, so identical series always collide).
+    series: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// A collection of metric families addressed by name + label set.
+///
+/// Series handles are `Arc`s shared with the caller; dropping the registry
+/// does not invalidate them, and a snapshot observes whatever the atomics
+/// hold at that instant.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().expect("registry poisoned").len();
+        write!(f, "Registry({n} families)")
+    }
+}
+
+fn label_vec(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Metric,
+        extract: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut fams = self.families.lock().expect("registry poisoned");
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            fam.kind, kind,
+            "metric family {name:?} registered as {:?}, requested as {kind:?}",
+            fam.kind
+        );
+        let metric = fam.series.entry(label_vec(labels)).or_insert_with(make);
+        extract(metric).expect("kind checked above")
+    }
+
+    /// Gets or creates the counter series `name{labels}`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates the gauge series `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates the histogram series `name{labels}` over `bounds`.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &'static [f64],
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || Metric::Histogram(Arc::new(Histogram::new(bounds))),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Point-in-time copy of every family and series.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let fams = self.families.lock().expect("registry poisoned");
+        let families = fams
+            .iter()
+            .map(|(name, fam)| FamilySnapshot {
+                name: name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind,
+                series: fam
+                    .series
+                    .iter()
+                    .map(|(labels, metric)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match metric {
+                            Metric::Counter(c) => SeriesValue::Counter(c.get()),
+                            Metric::Gauge(g) => SeriesValue::Gauge(g.get()),
+                            Metric::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        RegistrySnapshot { families }
+    }
+}
+
+/// Snapshot of one labeled series.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SeriesSnapshot {
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: SeriesValue,
+}
+
+/// The value part of a series snapshot.
+#[derive(Clone, Debug)]
+pub enum SeriesValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+// The vendored serde derive only handles fieldless enums, so the payload
+// variants serialize by hand into a tagged single-key object.
+impl serde::Serialize for SeriesValue {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        let (tag, v) = match self {
+            SeriesValue::Counter(v) => ("counter", Value::Number(*v as f64)),
+            SeriesValue::Gauge(v) => ("gauge", Value::Number(*v)),
+            SeriesValue::Histogram(h) => ("histogram", h.to_value()),
+        };
+        Value::Object(vec![(tag.to_string(), v)])
+    }
+}
+
+impl serde::Deserialize for SeriesValue {
+    fn deserialize(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        use serde::value::Error;
+        v.as_object().ok_or_else(|| Error::mismatch("SeriesValue object", v))?;
+        if let Some(c) = v.get("counter") {
+            let n = c.as_u64().ok_or_else(|| Error::mismatch("counter number", c))?;
+            return Ok(SeriesValue::Counter(n));
+        }
+        if let Some(g) = v.get("gauge") {
+            let n = g.as_f64().ok_or_else(|| Error::mismatch("gauge number", g))?;
+            return Ok(SeriesValue::Gauge(n));
+        }
+        if let Some(h) = v.get("histogram") {
+            return Ok(SeriesValue::Histogram(HistogramSnapshot::deserialize(h)?));
+        }
+        Err(Error::mismatch("counter|gauge|histogram key", v))
+    }
+}
+
+/// Snapshot of one metric family.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FamilySnapshot {
+    /// Family name (Prometheus metric name).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// All labeled series in the family.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Snapshot of a whole [`Registry`].
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct RegistrySnapshot {
+    /// Families sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, one sample line per series; histograms
+    /// expand to cumulative `_bucket{le=…}` samples plus `_sum`/`_count`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.prometheus_name()));
+            for s in &fam.series {
+                match &s.value {
+                    SeriesValue::Counter(v) => {
+                        out.push_str(&format!(
+                            "{}{} {v}\n",
+                            fam.name,
+                            render_labels(&s.labels, None)
+                        ));
+                    }
+                    SeriesValue::Gauge(v) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels, None),
+                            fmt_f64(*v)
+                        ));
+                    }
+                    SeriesValue::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (i, &c) in h.counts.iter().enumerate() {
+                            cum += c;
+                            let le = if i < h.bounds.len() { h.bounds[i] } else { f64::INFINITY };
+                            out.push_str(&format!(
+                                "{}_bucket{} {cum}\n",
+                                fam.name,
+                                render_labels(&s.labels, Some(("le", fmt_f64(le))))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels, None),
+                            fmt_f64(h.sum_s)
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels, None),
+                            h.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_the_cell() {
+        let r = Registry::new();
+        let a = r.counter("jobs_total", "jobs", &[("tenant", "t0")]);
+        let b = r.counter("jobs_total", "jobs", &[("tenant", "t0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let other = r.counter("jobs_total", "jobs", &[("tenant", "t1")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", "x", &[]);
+        let _ = r.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_headers_and_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("serve_jobs_total", "Jobs", &[("tenant", "a"), ("class", "lu")]).add(3);
+        r.gauge("serve_occupancy", "Occupancy", &[]).set(0.5);
+        let h = r.histogram("serve_exec_seconds", "Exec latency", &[("tenant", "a")], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE serve_jobs_total counter"), "{text}");
+        assert!(text.contains("serve_jobs_total{tenant=\"a\",class=\"lu\"} 3"), "{text}");
+        assert!(text.contains("serve_occupancy 0.5"), "{text}");
+        assert!(text.contains("serve_exec_seconds_bucket{tenant=\"a\",le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("serve_exec_seconds_bucket{tenant=\"a\",le=\"1\"} 2"), "{text}");
+        assert!(text.contains("serve_exec_seconds_bucket{tenant=\"a\",le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("serve_exec_seconds_count{tenant=\"a\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let r = Registry::new();
+        r.counter("a_total", "a", &[("k", "v")]).inc();
+        r.histogram("lat", "lat", &[], &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.families.len(), 2);
+        match &back.families[0].series[0].value {
+            SeriesValue::Counter(1) => {}
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+}

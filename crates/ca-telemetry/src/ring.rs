@@ -1,0 +1,92 @@
+//! Bounded FIFO ring used by per-worker flight recorders.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-capacity FIFO that drops (and counts) the oldest entry when full.
+///
+/// The ring is internally a mutex-guarded deque, but flight-recorder usage
+/// gives every worker its own ring: the only cross-thread access is a
+/// snapshot, so the mutex is uncontended on the hot path.
+#[derive(Debug)]
+pub struct Ring<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    buf: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T: Clone> Ring<T> {
+    /// Creates an empty ring holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner { buf: VecDeque::with_capacity(capacity), dropped: 0 }),
+            capacity,
+        }
+    }
+
+    /// Appends `v`, evicting the oldest entry when at capacity.
+    pub fn push(&self, v: T) {
+        let mut g = self.inner.lock().expect("ring poisoned");
+        if g.buf.len() == self.capacity {
+            g.buf.pop_front();
+            g.dropped += 1;
+        }
+        g.buf.push_back(v);
+    }
+
+    /// Copies out the retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.lock().expect("ring poisoned").buf.iter().cloned().collect()
+    }
+
+    /// Number of entries evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_fifo() {
+        let r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.snapshot(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let r = Ring::new(0);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.snapshot(), vec!["b"]);
+    }
+}

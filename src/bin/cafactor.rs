@@ -93,6 +93,18 @@ struct Opts {
     retry: Option<usize>,
     /// `serve --chaos[=SEED]`: run the workload as a seeded chaos drill.
     chaos: Option<u64>,
+    /// `serve --metrics[=FILE]`: periodic Prometheus/JSON exposition.
+    metrics: Option<String>,
+    /// `serve --metrics-interval MS`: exposition period.
+    metrics_interval_ms: u64,
+    /// `serve --flight-recorder[=DEPTH]`: per-worker flight recorder.
+    flight_recorder: Option<usize>,
+    /// `serve --dump-dir DIR`: where flight dumps land.
+    dump_dir: Option<String>,
+    /// `serve --max-dumps N`: lifetime cap on flight-dump files.
+    max_dumps: usize,
+    /// `serve --tenants N`: label demo jobs round-robin over N tenants.
+    tenants: usize,
 }
 
 impl Default for Opts {
@@ -116,13 +128,19 @@ impl Default for Opts {
             deadline_ms: 0,
             retry: None,
             chaos: None,
+            metrics: None,
+            metrics_interval_ms: 500,
+            flight_recorder: None,
+            dump_dir: None,
+            max_dumps: 8,
+            tenants: 0,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cafactor <factor lu|factor qr|verify lu|verify qr|solve|serve|info> [flags]\n\
+        "usage: cafactor <factor lu|factor qr|verify lu|verify qr|solve|serve|top|info> [flags]\n\
          flags: --input FILE.mtx | --random M N   matrix source\n\
                 --rhs FILE.mtx                    right-hand side (solve)\n\
                 --output FILE.mtx                 write factors/solution\n\
@@ -142,7 +160,19 @@ fn usage() -> ! {
                                                   + integrity probe\n\
                 --chaos[=SEED]                    seeded fault-injection drill\n\
                                                   (1% fail, 0.5% panic,\n\
-                                                  0.1% silent corruption)"
+                                                  0.1% silent corruption)\n\
+                --metrics[=FILE]                  periodic Prometheus snapshot\n\
+                                                  to FILE + FILE.json (default\n\
+                                                  metrics.prom)\n\
+                --metrics-interval MS             exposition period (500)\n\
+                --flight-recorder[=DEPTH]         per-worker event ring, dumped\n\
+                                                  on failures (depth 256)\n\
+                --dump-dir DIR --max-dumps N      flight-dump location and\n\
+                                                  lifetime cap (8)\n\
+                --tenants N                       label demo jobs round-robin\n\
+                                                  over N tenants\n\
+         top:   cafactor top FILE                 pretty-print a metrics\n\
+                                                  snapshot (FILE or FILE.json)"
     );
     exit(2)
 }
@@ -200,6 +230,21 @@ fn parse_opts(args: &[String]) -> Opts {
             s if s.starts_with("--chaos=") => {
                 o.chaos = Some(s["--chaos=".len()..].parse().unwrap_or_else(|_| usage()))
             }
+            "--metrics" => o.metrics = Some("metrics.prom".to_string()),
+            s if s.starts_with("--metrics=") => {
+                o.metrics = Some(s["--metrics=".len()..].to_string())
+            }
+            "--metrics-interval" => {
+                o.metrics_interval_ms = next().parse().unwrap_or_else(|_| usage())
+            }
+            "--flight-recorder" => o.flight_recorder = Some(256),
+            s if s.starts_with("--flight-recorder=") => {
+                o.flight_recorder =
+                    Some(s["--flight-recorder=".len()..].parse().unwrap_or_else(|_| usage()))
+            }
+            "--dump-dir" => o.dump_dir = Some(next()),
+            "--max-dumps" => o.max_dumps = next().parse().unwrap_or_else(|_| usage()),
+            "--tenants" => o.tenants = next().parse().unwrap_or_else(|_| usage()),
             "--profile" => o.profile = Some("profile_trace.json".to_string()),
             s if s.starts_with("--profile=") => {
                 o.profile = Some(s["--profile=".len()..].to_string())
@@ -418,11 +463,26 @@ fn cmd_verify(sub: &str, o: &Opts) {
 fn cmd_serve(o: &Opts) {
     use ca_factor::serve::{
         BatchConfig, ChaosConfig, RetryConfig, ServeError, Service, ServiceConfig,
-        SubmitOptions,
+        SubmitOptions, TelemetryConfig,
     };
     let mut cfg = ServiceConfig::new(o.threads.max(1))
         .with_capacity(o.capacity)
         .with_admission(o.policy);
+    if o.metrics.is_some() || o.flight_recorder.is_some() {
+        let mut t = TelemetryConfig::default()
+            .with_interval(std::time::Duration::from_millis(o.metrics_interval_ms.max(1)))
+            .with_max_dumps(o.max_dumps);
+        if let Some(f) = &o.metrics {
+            t = t.with_metrics_file(f);
+        }
+        if let Some(depth) = o.flight_recorder {
+            t = t.with_flight_recorder(depth);
+        }
+        if let Some(dir) = &o.dump_dir {
+            t = t.with_dump_dir(dir);
+        }
+        cfg = cfg.with_telemetry(t);
+    }
     if o.batch > 0 {
         cfg = cfg.with_batching(BatchConfig::up_to(o.batch));
     }
@@ -454,7 +514,10 @@ fn cmd_serve(o: &Opts) {
             p.tree = o.tree;
             p
         };
-        let opts = SubmitOptions::default().with_params(p);
+        let mut opts = SubmitOptions::default().with_params(p);
+        if o.tenants > 0 {
+            opts = opts.with_tenant(format!("tenant-{}", i % o.tenants));
+        }
         let r = if i % 2 == 0 {
             svc.submit_lu(random_uniform(n, n, &mut rng), opts).map(|h| lu_handles.push(h))
         } else {
@@ -560,6 +623,9 @@ fn cmd_serve(o: &Opts) {
         }
     }
     svc.shutdown();
+    if let Some(path) = &o.metrics {
+        println!("metrics snapshot written to {path} (and {path}.json)");
+    }
     if let Some(e) = worst {
         eprintln!("cafactor: worst job outcome: {e}");
         exit(serve_exit_code(&e));
@@ -582,6 +648,67 @@ fn cmd_info(o: &Opts) {
     }
 }
 
+fn cmd_top(path: &str) {
+    use ca_factor::telemetry::{RegistrySnapshot, SeriesValue};
+    // `serve --metrics=FILE` writes Prometheus text to FILE and JSON to
+    // FILE.json; accept either name here.
+    let json_path = format!("{path}.json");
+    let text = std::fs::read_to_string(path)
+        .or_else(|_| std::fs::read_to_string(&json_path))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {path} (or {json_path}): {e}");
+            exit(1)
+        });
+    let snap: RegistrySnapshot = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(_) => {
+            // FILE itself holds the Prometheus text; retry the JSON sibling.
+            let t = std::fs::read_to_string(&json_path).unwrap_or_else(|e| {
+                eprintln!("{path} is not a JSON snapshot and {json_path} is unreadable: {e}");
+                exit(1)
+            });
+            serde_json::from_str(&t).unwrap_or_else(|e| {
+                eprintln!("cannot parse {json_path}: {e}");
+                exit(1)
+            })
+        }
+    };
+    let fmt_labels = |labels: &[(String, String)]| {
+        if labels.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    let mut series = 0usize;
+    for fam in &snap.families {
+        println!("{}  ({})", fam.name, fam.help);
+        for s in &fam.series {
+            series += 1;
+            let l = fmt_labels(&s.labels);
+            match &s.value {
+                SeriesValue::Counter(v) => println!("  {l:<40} {v}"),
+                SeriesValue::Gauge(v) => println!("  {l:<40} {v:.6}"),
+                SeriesValue::Histogram(h) => {
+                    let s = h.summary();
+                    println!(
+                        "  {l:<40} count={} mean={:.2}ms p50={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms",
+                        s.count,
+                        s.mean_s * 1e3,
+                        s.p50_s * 1e3,
+                        s.p95_s * 1e3,
+                        s.p99_s * 1e3,
+                        s.max_s * 1e3,
+                    );
+                }
+            }
+        }
+    }
+    println!("{} famil(ies), {series} series", snap.families.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -598,6 +725,7 @@ fn main() {
             ("solve", _) => cmd_solve(&parse_opts(rest)),
             ("serve", _) => cmd_serve(&parse_opts(rest)),
             ("info", _) => cmd_info(&parse_opts(rest)),
+            ("top", Some((file, _))) => cmd_top(file),
             _ => usage(),
         },
         None => usage(),

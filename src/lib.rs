@@ -57,6 +57,13 @@ pub mod serve {
     pub use ca_serve::*;
 }
 
+/// Always-on telemetry primitives: atomic counters/gauges, log-scale
+/// histograms, the metric registry, and atomic snapshot files
+/// (`ca-telemetry`).
+pub mod telemetry {
+    pub use ca_telemetry::*;
+}
+
 /// The names most programs need.
 pub mod prelude {
     pub use ca_core::{

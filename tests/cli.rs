@@ -179,6 +179,92 @@ fn serve_deadline_exit_code_is_distinct() {
 }
 
 #[test]
+fn serve_metrics_writes_prometheus_snapshot_and_top_reads_it() {
+    let dir = std::env::temp_dir().join("cafactor_cli_metrics");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let m_path = dir.join("m.prom");
+    let out = cafactor()
+        .args(["serve", "--jobs", "6", "--threads", "2", "--b", "16"])
+        .arg(format!("--metrics={}", m_path.display()))
+        .args(["--metrics-interval", "50", "--flight-recorder", "--tenants", "2"])
+        .output()
+        .expect("run cafactor");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics snapshot written"), "{text}");
+
+    // The Prometheus text has headers and per-tenant serve families.
+    let prom = std::fs::read_to_string(&m_path).expect("prom snapshot written");
+    assert!(prom.contains("# TYPE ca_serve_jobs_submitted_total counter"), "{prom}");
+    assert!(prom.contains("tenant=\"tenant-0\""), "{prom}");
+    assert!(prom.contains("tenant=\"tenant-1\""), "{prom}");
+    assert!(prom.contains("ca_serve_exec_seconds_bucket"), "{prom}");
+    assert!(prom.contains("ca_sched_tasks_dispatched_total"), "{prom}");
+
+    // The JSON sibling parses back into a registry snapshot.
+    let json =
+        std::fs::read_to_string(dir.join("m.prom.json")).expect("json sibling written");
+    let snap: ca_factor::telemetry::RegistrySnapshot =
+        serde_json::from_str(&json).expect("snapshot json parses");
+    assert!(!snap.families.is_empty());
+
+    // `cafactor top` pretty-prints either file name.
+    let out = cafactor().args(["top", m_path.to_str().unwrap()]).output().expect("run top");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ca_serve_jobs_completed_total"), "{text}");
+    assert!(text.contains("series"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_shed_storm_bounds_flight_dumps() {
+    // A shed storm: 16 jobs into a 2-slot queue on one worker with the
+    // shed-oldest policy. Every shed triggers a flight dump, but the
+    // --max-dumps cap must bound the files written, and each written dump
+    // must be a valid chrome-trace fragment.
+    let dir = std::env::temp_dir().join("cafactor_cli_shed_dumps");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = cafactor()
+        .args([
+            "serve", "--jobs", "16", "--threads", "1", "--b", "16", "--capacity", "2",
+            "--policy", "shed", "--chaos=3", "--flight-recorder", "--max-dumps", "2",
+        ])
+        .args(["--dump-dir", dir.to_str().unwrap()])
+        .output()
+        .expect("run cafactor");
+    // Sheds map to exit code 12 via the worst-outcome ranking; under chaos
+    // a terminal failure (6) or detected corruption (10) can outrank them,
+    // and 0 only if the single worker somehow kept up with nothing shed.
+    let code = out.status.code();
+    assert!(
+        matches!(code, Some(0 | 6 | 10 | 12)),
+        "unexpected exit {code:?}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dumps: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dump dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .filter(|f| f.starts_with("flight-"))
+        .collect();
+    assert!(dumps.len() <= 2, "max-dumps cap violated: {dumps:?}");
+    if code == Some(12) {
+        assert!(!dumps.is_empty(), "a shed storm must leave at least one dump");
+    }
+    for f in &dumps {
+        assert!(f.ends_with(".json"), "{f}");
+        let raw = std::fs::read_to_string(dir.join(f)).expect("dump readable");
+        let v: serde_json::Value = serde_json::from_str(&raw).expect("dump parses");
+        assert!(v.get("trigger").is_some(), "{f} missing trigger");
+        assert!(v["traceEvents"].as_array().is_some(), "{f} missing traceEvents");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn singular_input_exits_with_breakdown_code() {
     // An exactly-singular system must produce the ZeroPivot exit code (4)
     // and name the breakdown column on stderr, not panic or emit NaNs.

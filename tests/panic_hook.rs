@@ -1,0 +1,53 @@
+//! The recovery panic-hook filter must be a good citizen: while installed
+//! it forwards non-recovery panics to whatever hook the embedder had, and
+//! when the last guard drops the embedder's hook behavior is restored.
+//!
+//! This lives in its own integration-test binary (hence its own process)
+//! because panic hooks are process-global; a single `#[test]` keeps the
+//! hook-swapping serial.
+
+use ca_factor::sched::PanicHookGuard;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static EMBEDDER_HITS: AtomicUsize = AtomicUsize::new(0);
+
+fn panic_in_thread() {
+    let r = std::thread::spawn(|| panic!("outside any recovery scope")).join();
+    assert!(r.is_err(), "the thread must have panicked");
+}
+
+#[test]
+fn guard_forwards_foreign_panics_and_restores_the_previous_hook() {
+    // The embedder installs its own hook before the service starts.
+    std::panic::set_hook(Box::new(|_| {
+        EMBEDDER_HITS.fetch_add(1, Ordering::SeqCst);
+    }));
+
+    // Nested guards share one install (refcounted), as when a service and a
+    // recovery scope overlap.
+    let outer = PanicHookGuard::new();
+    {
+        let _inner = PanicHookGuard::new();
+        panic_in_thread();
+        assert_eq!(
+            EMBEDDER_HITS.load(Ordering::SeqCst),
+            1,
+            "a panic outside recovery scopes must reach the embedder's hook"
+        );
+    }
+    // Dropping the inner guard must not restore early.
+    panic_in_thread();
+    assert_eq!(EMBEDDER_HITS.load(Ordering::SeqCst), 2, "filter still forwards");
+    drop(outer);
+
+    // Last guard gone: the embedder's hook behavior is back as the
+    // installed hook (re-wrapped, so test behavior, not pointer identity).
+    panic_in_thread();
+    assert_eq!(
+        EMBEDDER_HITS.load(Ordering::SeqCst),
+        3,
+        "the pre-guard hook must be restored after the last guard drops"
+    );
+
+    let _ = std::panic::take_hook();
+}

@@ -192,3 +192,82 @@ fn caqr_profiled_matches_plain_caqr() {
     assert!(!profile.records.is_empty());
     assert!(profile.metrics().by_class.iter().any(|c| c.class == "QrRecursive"));
 }
+
+/// Asserts that `ts` values are monotone non-decreasing within each `tid`
+/// of a chrome-trace event array (metadata events carry no `ts` and are
+/// skipped). This is the property trace viewers rely on.
+fn assert_monotone_per_tid(events: &[serde_json::Value]) {
+    use std::collections::HashMap;
+    let mut last: HashMap<i64, f64> = HashMap::new();
+    for e in events {
+        let (Some(tid), Some(ts)) = (e["tid"].as_i64(), e["ts"].as_f64()) else { continue };
+        if e["ph"] == "M" {
+            continue;
+        }
+        let prev = last.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev - 1e-6, "tid {tid}: ts {ts} after {prev}");
+        *prev = ts;
+    }
+}
+
+#[test]
+fn recovery_marked_trace_validates_and_carries_marks() {
+    // A profiled run whose timeline passes check(), serialized with
+    // recovery marks interleaved the way the serving layer does on job
+    // retries and probe hits: the output must stay valid chrome-trace JSON
+    // with monotone per-lane timestamps and the marks present.
+    use ca_factor::sched::chrome_trace_json_with_marks;
+    let counter = AtomicUsize::new(0);
+    let g = layered_jobs(4, 3, &counter);
+    let (profile, err) = profile_run_graph(g, 2, &FaultPlan::new());
+    assert!(err.is_none());
+    let tl = profile.timeline();
+    tl.check().expect("clean timeline");
+    let marks = vec![
+        (tl.makespan * 0.25, "job retry #1".to_string()),
+        (tl.makespan * 0.5, "probe hit: corruption".to_string()),
+        (tl.makespan * 0.75, "snapshot restore".to_string()),
+    ];
+    let raw = chrome_trace_json_with_marks(&tl, &marks);
+    let v: serde_json::Value = serde_json::from_str(&raw).expect("marked trace parses");
+    let arr = v.as_array().expect("event array");
+    assert_monotone_per_tid(arr);
+    let recovery: Vec<_> =
+        arr.iter().filter(|e| e["cat"] == "recovery" && e["ph"] == "i").collect();
+    assert_eq!(recovery.len(), 3, "all marks serialized");
+    assert!(recovery.iter().any(|e| e["name"] == "probe hit: corruption"));
+    // Spans survive alongside the marks.
+    assert!(arr.iter().any(|e| e["ph"] == "X"));
+}
+
+#[test]
+fn flight_recorder_fragment_is_valid_monotone_chrome_trace() {
+    use ca_factor::sched::{FlightEventKind, FlightRecorder, TaskKind, TaskLabel};
+    let rec = FlightRecorder::new(2, 8);
+    for i in 0..20u64 {
+        let lane = (i % 2) as usize;
+        let label = TaskLabel::new(TaskKind::Panel, i as usize, 0, 0);
+        rec.record(lane, FlightEventKind::Dispatch, i, Some(label));
+        rec.record(lane, FlightEventKind::TaskOk, i, None);
+    }
+    rec.record(2, FlightEventKind::JobShed, 99, None); // external lane
+    let raw = rec.chrome_trace_fragment("shed");
+    let v: serde_json::Value = serde_json::from_str(&raw).expect("fragment parses");
+    assert_eq!(v["trigger"], "shed");
+    assert!(v["dropped"].as_f64().expect("dropped count") > 0.0, "ring evicted history");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert_monotone_per_tid(events);
+    // Per-lane thread names: worker lanes plus the external lane.
+    for name in ["worker-0", "worker-1", "external"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e["name"] == "thread_name" && e["args"]["name"] == name),
+            "missing lane {name}"
+        );
+    }
+    // Ring depth bounds retained events per lane (8 each + metadata).
+    let instants = events.iter().filter(|e| e["ph"] == "i").count();
+    assert!(instants <= 3 * 8, "depth bound violated: {instants}");
+    assert!(events.iter().any(|e| e["cat"] == "flight"));
+}

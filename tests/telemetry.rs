@@ -1,0 +1,220 @@
+//! End-to-end tests of the always-on telemetry tier: a service run with a
+//! `TelemetryConfig` must expose the documented metric families with
+//! per-tenant labels, keep its periodic exposition files parseable at any
+//! instant, and bound its flight dumps.
+
+use ca_factor::matrix::{random_uniform, seeded_rng};
+use ca_factor::serve::{
+    SeriesValue, Service, ServiceConfig, SubmitOptions, TelemetryConfig,
+};
+use ca_factor::telemetry::RegistrySnapshot;
+use ca_factor::CaParams;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ca-telemetry-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn run_jobs(svc: &Service, n: usize, tenants: usize) {
+    let mut rng = seeded_rng(11);
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mut opts = SubmitOptions::default().with_params(CaParams::new(16, 2, 1)).unbatched();
+        if tenants > 0 {
+            opts = opts.with_tenant(format!("t{}", i % tenants));
+        }
+        let a = random_uniform(48, 48, &mut rng);
+        handles.push(svc.submit_lu(a, opts).expect("admitted"));
+    }
+    for h in handles {
+        h.wait().expect("completes");
+    }
+}
+
+/// The families the serve tier documents; a snapshot after a successful run
+/// must carry every one of them.
+const EXPECTED_FAMILIES: &[&str] = &[
+    "ca_serve_jobs_submitted_total",
+    "ca_serve_jobs_completed_total",
+    "ca_serve_jobs_failed_total",
+    "ca_serve_jobs_shed_total",
+    "ca_serve_deadline_missed_total",
+    "ca_serve_retries_total",
+    "ca_serve_queue_seconds",
+    "ca_serve_exec_seconds",
+    "ca_serve_flops",
+    "ca_serve_active_jobs",
+    "ca_serve_pool_occupancy",
+    "ca_serve_workers",
+    "ca_serve_gflops",
+    "ca_serve_mttr_seconds",
+    "ca_serve_rejected_total",
+    "ca_serve_job_retries_total",
+    "ca_serve_flight_dumps_written_total",
+    "ca_sched_tasks_dispatched_total",
+    "ca_sched_jobs_completed_total",
+    "ca_serve_task_retries_total",
+];
+
+#[test]
+fn metrics_snapshot_exposes_documented_families_with_tenant_labels() {
+    let cfg = ServiceConfig::new(2).with_telemetry(TelemetryConfig::default());
+    let svc = Service::new(cfg);
+    run_jobs(&svc, 6, 3);
+    let snap = svc.metrics_snapshot().expect("telemetry configured");
+    svc.shutdown();
+
+    let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+    for want in EXPECTED_FAMILIES {
+        assert!(names.contains(want), "missing family {want}; have {names:?}");
+    }
+
+    let submitted = snap
+        .families
+        .iter()
+        .find(|f| f.name == "ca_serve_jobs_submitted_total")
+        .expect("submitted family");
+    // 3 tenants, one class each → 3 series, each counting 2 jobs.
+    assert_eq!(submitted.series.len(), 3, "{submitted:?}");
+    for s in &submitted.series {
+        assert!(s.labels.iter().any(|(k, v)| k == "tenant" && v.starts_with('t')));
+        assert!(s.labels.iter().any(|(k, v)| k == "class" && v == "lu"));
+        match s.value {
+            SeriesValue::Counter(c) => assert_eq!(c, 2),
+            ref v => panic!("submitted must be a counter, got {v:?}"),
+        }
+    }
+
+    // Completed jobs flowed through the exec-latency histogram.
+    let exec = snap
+        .families
+        .iter()
+        .find(|f| f.name == "ca_serve_exec_seconds")
+        .expect("exec family");
+    let total: u64 = exec
+        .series
+        .iter()
+        .map(|s| match &s.value {
+            SeriesValue::Histogram(h) => h.count,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total, 6, "every completion observed once");
+
+    // Prometheus rendering of the same snapshot is well-formed.
+    let prom = snap.render_prometheus();
+    assert!(prom.contains("# TYPE ca_serve_exec_seconds histogram"), "{prom}");
+    assert!(prom.contains("le=\"+Inf\""), "{prom}");
+}
+
+#[test]
+fn metrics_snapshot_is_none_without_telemetry() {
+    let svc = Service::new(ServiceConfig::new(1));
+    run_jobs(&svc, 1, 0);
+    assert!(svc.metrics_snapshot().is_none(), "plain services expose nothing");
+    svc.shutdown();
+}
+
+#[test]
+fn periodic_exposition_files_parse_at_shutdown_and_midway() {
+    let dir = temp_dir("expose");
+    let path = dir.join("metrics.prom");
+    let cfg = ServiceConfig::new(2).with_telemetry(
+        TelemetryConfig::default()
+            .with_metrics_file(&path)
+            .with_interval(Duration::from_millis(20)),
+    );
+    let svc = Service::new(cfg);
+    run_jobs(&svc, 4, 2);
+    // Give the exposer at least one mid-run tick, then read while live: the
+    // atomic-rename protocol means whatever we see must parse whole.
+    std::thread::sleep(Duration::from_millis(60));
+    let midway = std::fs::read_to_string(dir.join("metrics.prom.json"))
+        .expect("mid-run snapshot exists");
+    let _: RegistrySnapshot = serde_json::from_str(&midway).expect("mid-run snapshot parses");
+    svc.shutdown();
+
+    // Shutdown writes a final snapshot reflecting all four completions.
+    let json = std::fs::read_to_string(dir.join("metrics.prom.json")).expect("final json");
+    let snap: RegistrySnapshot = serde_json::from_str(&json).expect("final snapshot parses");
+    let completed: u64 = snap
+        .families
+        .iter()
+        .filter(|f| f.name == "ca_serve_jobs_completed_total")
+        .flat_map(|f| &f.series)
+        .map(|s| match s.value {
+            SeriesValue::Counter(c) => c,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(completed, 4, "final snapshot reflects every completion");
+    let prom = std::fs::read_to_string(&path).expect("prom text");
+    assert!(prom.contains("ca_serve_jobs_completed_total"), "{prom}");
+    // No temp files left behind by the atomic writer.
+    let stray: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .filter(|f| f.contains(".tmp."))
+        .collect();
+    assert!(stray.is_empty(), "stray temp files: {stray:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_recorder_attaches_and_failure_dump_is_bounded_chrome_trace() {
+    // Chaos at a high fail rate with no retries: jobs fail terminally, each
+    // failure triggers a flight dump, and the cap bounds the files.
+    use ca_factor::serve::{ChaosConfig, ChaosProfile};
+    let dir = temp_dir("dumps");
+    let cfg = ServiceConfig::new(2)
+        .with_chaos(ChaosConfig::seeded(5).with_profile(
+            ChaosProfile::quiet().with_fail_rate(1.0),
+        ))
+        .with_telemetry(
+            TelemetryConfig::default()
+                .with_flight_recorder(64)
+                .with_dump_dir(&dir)
+                .with_max_dumps(2),
+        );
+    let svc = Service::new(cfg);
+    let mut rng = seeded_rng(13);
+    let mut handles = Vec::new();
+    for _ in 0..5 {
+        let opts = SubmitOptions::default().with_params(CaParams::new(16, 2, 1)).unbatched();
+        handles.push(svc.submit_lu(random_uniform(48, 48, &mut rng), opts).expect("admitted"));
+    }
+    let failures = handles.into_iter().map(|h| h.wait()).filter(Result::is_err).count();
+    let snap = svc.metrics_snapshot().expect("telemetry configured");
+    svc.shutdown();
+    assert!(failures > 2, "fail-rate 1.0 with no retry must fail jobs, got {failures}");
+
+    let dumps: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dump dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .filter(|f| f.starts_with("flight-"))
+        .collect();
+    assert_eq!(dumps.len(), 2, "cap must bound dumps: {dumps:?}");
+    for f in &dumps {
+        let raw = std::fs::read_to_string(dir.join(f)).expect("dump readable");
+        let v: serde_json::Value = serde_json::from_str(&raw).expect("dump parses");
+        assert_eq!(v["trigger"], "job-fail");
+        let events = v["traceEvents"].as_array().expect("traceEvents");
+        assert!(events.iter().any(|e| e["cat"] == "flight"), "{f} has no flight events");
+    }
+    // The suppression counter accounts for the failures past the cap.
+    let suppressed: u64 = snap
+        .families
+        .iter()
+        .filter(|f| f.name == "ca_serve_flight_dumps_suppressed_total")
+        .flat_map(|f| &f.series)
+        .map(|s| match s.value {
+            SeriesValue::Counter(c) => c,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(suppressed as usize, failures - 2, "suppressed = failures past the cap");
+    let _ = std::fs::remove_dir_all(&dir);
+}
