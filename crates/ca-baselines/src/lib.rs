@@ -26,5 +26,11 @@ mod tiled_qr;
 
 pub use geqrf_blocked::{geqrf_blocked, geqrf_blocked_task_graph, BlockedQr};
 pub use getrf_blocked::{getrf_blocked, getrf_blocked_task_graph, BlockedLu};
-pub use tiled_lu::{tiled_lu, tiled_lu_task_graph, tiled_lu_task_graph_with_access, TiledLu, TiledLuTask};
-pub use tiled_qr::{tiled_qr, tiled_qr_task_graph, tiled_qr_task_graph_with_access, TiledQr, TiledQrTask};
+pub use tiled_lu::{
+    tiled_lu, tiled_lu_task_graph, tiled_lu_task_graph_with_access, try_tiled_lu_checked, TiledLu,
+    TiledLuTask,
+};
+pub use tiled_qr::{
+    tiled_qr, tiled_qr_task_graph, tiled_qr_task_graph_with_access, try_tiled_qr_checked, TiledQr,
+    TiledQrTask,
+};

@@ -12,12 +12,29 @@
 use crate::tile_kernels::{gessm, getrf_tile, ssssm, tstrf, TstrfTransform};
 use ca_kernels::{flops, traffic};
 use ca_kernels::{trsm_left_upper_notrans, LuInfo};
+use ca_matrix::shadow::ElemRect;
 use ca_matrix::{Matrix, SharedMatrix};
 use ca_sched::{
-    run_graph, AccessMap, BlockTracker, Job, KernelClass, TaskGraph, TaskKind, TaskLabel,
-    TaskMeta,
+    build_shadow_registry, run_graph, try_run_graph_checked, AccessMap, BlockTracker,
+    CheckedError, Job, KernelClass, TaskGraph, TaskKind, TaskLabel, TaskMeta,
 };
 use std::sync::OnceLock;
+
+/// Per-column rects of the strictly-lower triangle of the `wk × wk`
+/// diagonal tile at origin `k0`: the tile-local `L` factor `gessm` reads.
+/// Empty for `wk == 1`.
+fn l_rects(k0: usize, wk: usize) -> Vec<ElemRect> {
+    (0..wk.saturating_sub(1))
+        .map(|c| ElemRect::new(k0 + c + 1..k0 + wk, k0 + c..k0 + c + 1))
+        .collect()
+}
+
+/// Per-column rects of the upper triangle (diagonal included) of the
+/// `wk × wk` diagonal tile at origin `k0`: the `U` factor `tstrf`
+/// reads and rewrites.
+fn u_rects(k0: usize, wk: usize) -> Vec<ElemRect> {
+    (0..wk).map(|c| ElemRect::new(k0..k0 + c + 1, k0 + c..k0 + c + 1)).collect()
+}
 
 /// Result of the tiled LU: the tiled factors plus the per-step transforms
 /// needed to apply the elimination to a right-hand side.
@@ -108,11 +125,14 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx, AccessMa
     let nt = n.div_ceil(b);
     let kt = m.min(n).div_ceil(b);
     let mut g: TaskGraph<TiledLuTask> = TaskGraph::new();
-    // Tile grid plus one virtual column: resource (k, nt) stands for the
-    // diagonal tile's L factor, which `tstrf` (rewriting the U part of the
-    // same tile) does NOT touch — tracking it separately avoids a false
-    // gessm↔tstrf serialization the real PLASMA does not have.
-    let mut tracker = BlockTracker::new(mt, nt + 1);
+    // The diagonal tile (k, k) splits element-wise: `gessm` reads only the
+    // strictly-lower `L` factor, `tstrf` rewrites only the upper `U`
+    // triangle. Declaring those true sub-tile footprints (instead of a
+    // phantom grid column standing in for `L`) keeps gessm and tstrf
+    // unserialized — the real PLASMA concurrency — while staying inside
+    // the matrix geometry, so rect-granularity verification and checked
+    // execution cover this builder.
+    let mut tracker = BlockTracker::with_geometry(b, m, n);
     let steps = kt as i64;
 
     for k in 0..kt {
@@ -124,9 +144,8 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx, AccessMa
             .with_bytes(traffic::getf2(wk, wk))
             .with_priority(pr + 900)
             .with_class(KernelClass::LuBlas2);
-        let id = g.add_task(meta, TiledLuTask::Getrf { k });
-        tracker.write(&mut g, id, k..k + 1, k..k + 1);
-        tracker.write(&mut g, id, k..k + 1, nt..nt + 1); // the L_kk resource
+        let getrf_id = g.add_task(meta, TiledLuTask::Getrf { k });
+        tracker.write(&mut g, getrf_id, k..k + 1, k..k + 1);
 
         for j in k + 1..nt {
             let wj = b.min(n - j * b);
@@ -138,7 +157,15 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx, AccessMa
             .with_priority(pr + 500)
             .with_class(KernelClass::Trsm);
             let id = g.add_task(meta, TiledLuTask::Gessm { k, j });
-            tracker.read(&mut g, id, k..k + 1, nt..nt + 1); // L_kk
+            let lr = l_rects(k0, wk);
+            if lr.is_empty() {
+                // 1×1 diagonal tile: L is empty, but the pivots still
+                // flow from getrf through side storage.
+                g.add_dep(getrf_id, id);
+            }
+            for r in lr {
+                tracker.read_rect(&mut g, id, r); // L_kk (strict lower)
+            }
             tracker.write(&mut g, id, k..k + 1, j..j + 1);
         }
         for i in k + 1..mt {
@@ -151,7 +178,9 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledLuTask>, Ctx, AccessMa
             .with_priority(pr + 700)
             .with_class(KernelClass::LuBlas2);
             let id = g.add_task(meta, TiledLuTask::Tstrf { k, i });
-            tracker.write(&mut g, id, k..k + 1, k..k + 1); // U_kk
+            for r in u_rects(k0, wk) {
+                tracker.write_rect(&mut g, id, r); // U_kk (upper + diagonal)
+            }
             tracker.write(&mut g, id, i..i + 1, k..k + 1);
 
             for j in k + 1..nt {
@@ -207,7 +236,9 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledLuTask) {
             for &p in &info.pivots.ipiv {
                 seq.push(p);
             }
-            let lkk = unsafe { a.block(k0, k0, wk, wk) };
+            // Lease only the strictly-lower L columns: the upper triangle
+            // belongs to tstrf tasks that may run concurrently.
+            let lkk = unsafe { a.block_rects(k0, k0, wk, wk, &l_rects(k0, wk)) };
             let tile = unsafe { a.block_mut(k0, j * b, wk, wj) };
             gessm(&seq, lkk, tile);
         }
@@ -215,7 +246,9 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledLuTask) {
             let k0 = k * b;
             let wk = b.min(n - k0).min(m - k0);
             let ri = b.min(m - i * b);
-            let ukk = unsafe { a.block_mut(k0, k0, wk, wk) };
+            // Lease only the upper triangle (with diagonal): the strict
+            // lower L is concurrently read by gessm tasks.
+            let ukk = unsafe { a.block_mut_rects(k0, k0, wk, wk, &u_rects(k0, wk)) };
             let aik = unsafe { a.block_mut(i * b, k0, ri, wk) };
             let tr = tstrf(ukk, aik);
             ctx.trans[k][i - k - 1].set(tr).expect("tstrf ran twice");
@@ -259,18 +292,63 @@ pub fn tiled_lu(a: Matrix, b: usize, threads: usize) -> TiledLu {
     }
 }
 
+/// [`tiled_lu`] under the dynamic race detector: every access runs
+/// against a shadow registry built from the declared (sub-tile)
+/// footprints, catching undeclared touches and overlapping live leases.
+///
+/// The declarations split tile `(k, k)` element-wise between `gessm`
+/// (strict lower) and `tstrf` (upper + diagonal), so the graph only
+/// verifies at rect granularity
+/// ([`ca_sched::Granularity::Rect`]) — block-granularity verification
+/// reports the intentional same-tile concurrency as a conflict.
+pub fn try_tiled_lu_checked(
+    a: Matrix,
+    b: usize,
+    threads: usize,
+) -> Result<TiledLu, CheckedError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(b > 0 && threads > 0);
+    let (graph, ctx, access) = build(m, n, b);
+    let opts = ca_sched::VerifyOptions {
+        granularity: ca_sched::Granularity::Rect,
+        lint_edges: false,
+    };
+    ca_sched::verify_graph_with(&graph, &access, &opts).map_err(CheckedError::Soundness)?;
+    let registry = build_shadow_registry(&graph, &access, b, m, n);
+    let shared = SharedMatrix::with_shadow(a, registry.clone());
+    let jobs: TaskGraph<Job<'_>> = graph.map_ref(|_, &spec| {
+        let ctx = &ctx;
+        let shared = &shared;
+        ca_sched::job(move || exec(ctx, shared, spec))
+    });
+    try_run_graph_checked(jobs, threads, &registry)?;
+
+    Ok(TiledLu {
+        a: shared.into_inner(),
+        b,
+        diag: ctx.diag.into_iter().map(|d| d.into_inner().expect("diag missing")).collect(),
+        trans: ctx
+            .trans
+            .into_iter()
+            .map(|v| v.into_iter().map(|t| t.into_inner().expect("trans missing")).collect())
+            .collect(),
+    })
+}
+
 /// Task graph of tiled LU for the multicore simulator.
 pub fn tiled_lu_task_graph(m: usize, n: usize, b: usize) -> TaskGraph<TiledLuTask> {
     build(m, n, b).0
 }
 
-/// [`tiled_lu_task_graph`] plus the builder's retained block-access
-/// declarations, for the static DAG soundness verifier
-/// ([`ca_sched::verify_graph`]). The map's grid has one extra virtual
-/// column (`nt`) standing for the diagonal tile's `L` factor — element-level
-/// checked execution is therefore not meaningful for this builder (the `L`
-/// and `U` parts of tile `(k,k)` alias at block granularity), but the static
-/// happens-before proof is exact.
+/// [`tiled_lu_task_graph`] plus the builder's retained access
+/// declarations, for the static DAG verifier. The map carries the matrix
+/// geometry and true sub-tile footprints (the `L` / `U` split of the
+/// diagonal tile), so it is meant for
+/// [`ca_sched::verify_graph_with`] at [`ca_sched::Granularity::Rect`];
+/// block-granularity verification widens the split triangles to the whole
+/// tile and reports the intentional gessm ↔ tstrf concurrency as an
+/// unordered conflict.
 pub fn tiled_lu_task_graph_with_access(
     m: usize,
     n: usize,
@@ -335,14 +413,42 @@ mod tests {
     }
 
     #[test]
-    fn task_graph_passes_static_soundness_verification() {
+    fn task_graph_passes_rect_granularity_verification() {
+        let opts = ca_sched::VerifyOptions {
+            granularity: ca_sched::Granularity::Rect,
+            lint_edges: false,
+        };
         for (m, n, b) in [(96, 96, 16), (60, 60, 16), (128, 64, 32)] {
             let (g, access) = tiled_lu_task_graph_with_access(m, n, b);
-            let report = ca_sched::verify_graph(&g, &access)
+            let report = ca_sched::verify_graph_with(&g, &access, &opts)
                 .unwrap_or_else(|e| panic!("tiled LU {m}x{n} b={b} unsound: {e}"));
             assert_eq!(report.tasks, g.len());
             assert!(report.conflict_pairs > 0, "expected conflicting pairs to prove ordered");
         }
+    }
+
+    #[test]
+    fn block_granularity_sees_the_diagonal_tile_split_as_a_conflict() {
+        // gessm (strict lower L) and tstrf (upper U) share tile (k, k)
+        // unordered by design; widening their rects to the whole tile must
+        // surface exactly that as a block-granularity conflict.
+        let (g, access) = tiled_lu_task_graph_with_access(96, 96, 16);
+        match ca_sched::verify_graph(&g, &access) {
+            Err(ca_sched::SoundnessError::UnorderedConflict { .. }) => {}
+            other => panic!("expected a widened same-tile conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_execution_passes_with_subtile_leases() {
+        let n = 64;
+        let a0 = ca_matrix::random_uniform(n, n, &mut seeded_rng(7));
+        let x_true = ca_matrix::random_uniform(n, 2, &mut seeded_rng(1007));
+        let rhs = a0.matmul(&x_true);
+        let f = try_tiled_lu_checked(a0.clone(), 16, 4).expect("checked run is clean");
+        let x = f.solve(&rhs);
+        let res = TiledLu::solve_residual(&a0, &x, &rhs);
+        assert!(res < 1e-10, "checked solve residual {res}");
     }
 
     #[test]

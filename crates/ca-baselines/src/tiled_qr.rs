@@ -10,12 +10,29 @@
 use crate::tile_kernels::{geqrt, tsmqr, tsqrt};
 use ca_kernels::{flops, traffic};
 use ca_kernels::{larfb_left, trsm_left_upper_notrans, Trans};
+use ca_matrix::shadow::ElemRect;
 use ca_matrix::{Matrix, SharedMatrix};
 use ca_sched::{
-    run_graph, AccessMap, BlockTracker, Job, KernelClass, TaskGraph, TaskKind, TaskLabel,
-    TaskMeta,
+    build_shadow_registry, run_graph, try_run_graph_checked, AccessMap, BlockTracker,
+    CheckedError, Job, KernelClass, TaskGraph, TaskKind, TaskLabel, TaskMeta,
 };
 use std::sync::OnceLock;
+
+/// Per-column rects of the strictly-lower reflector trapezoid of the
+/// `rk × kv` diagonal tile at origin `k0`: the `V` factor `ormqr` reads.
+fn v_rects(k0: usize, rk: usize, kv: usize) -> Vec<ElemRect> {
+    (0..kv)
+        .map(|c| ElemRect::new(k0 + c + 1..k0 + rk, k0 + c..k0 + c + 1))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Per-column rects of the upper triangle (diagonal included) of the
+/// `wk × wk` top of the diagonal tile: the `R` factor `tsqrt` reads and
+/// rewrites.
+fn r_rects(k0: usize, wk: usize) -> Vec<ElemRect> {
+    (0..wk).map(|c| ElemRect::new(k0..k0 + c + 1, k0 + c..k0 + c + 1)).collect()
+}
 
 /// Result of the tiled QR factorization.
 pub struct TiledQr {
@@ -148,21 +165,26 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledQrTask>, Ctx, AccessMa
     let nt = n.div_ceil(b);
     let kt = m.min(n).div_ceil(b);
     let mut g: TaskGraph<TiledQrTask> = TaskGraph::new();
-    let mut tracker = BlockTracker::new(mt, nt);
+    // Element geometry lets the diagonal tile split into the strictly-lower
+    // reflector trapezoid `V` (read by `ormqr`) and the upper `R` triangle
+    // (rewritten by the `tsqrt` chain) — the two are disjoint, so `ormqr`
+    // and `tsqrt` of the same step run concurrently.
+    let mut tracker = BlockTracker::with_geometry(b, m, n);
     let steps = kt as i64;
 
     for k in 0..kt {
         let k0 = k * b;
         let wk = b.min(n - k0);
         let rk = b.min(m - k0);
+        let kv = wk.min(rk);
         let pr = (steps - k as i64) * 1000;
 
         let meta = TaskMeta::new(TaskLabel::new(TaskKind::Panel, k, k, k), flops::geqrf(rk, wk))
             .with_bytes(traffic::geqr3(rk, wk))
             .with_priority(pr + 900)
             .with_class(KernelClass::QrBlas2);
-        let id = g.add_task(meta, TiledQrTask::Geqrt { k });
-        tracker.write(&mut g, id, k..k + 1, k..k + 1);
+        let geqrt_id = g.add_task(meta, TiledQrTask::Geqrt { k });
+        tracker.write(&mut g, geqrt_id, k..k + 1, k..k + 1);
 
         for j in k + 1..nt {
             let wj = b.min(n - j * b);
@@ -174,7 +196,16 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledQrTask>, Ctx, AccessMa
             .with_priority(pr + 500)
             .with_class(KernelClass::Larfb);
             let id = g.add_task(meta, TiledQrTask::Ormqr { k, j });
-            tracker.read(&mut g, id, k..k + 1, k..k + 1);
+            let vr = v_rects(k0, rk, kv);
+            if vr.is_empty() {
+                // Degenerate 1-row panel: no reflectors below the diagonal,
+                // but `ormqr` still consumes `T_kk` — keep the side-channel
+                // ordering explicit.
+                g.add_dep(geqrt_id, id);
+            }
+            for r in vr {
+                tracker.read_rect(&mut g, id, r);
+            }
             tracker.write(&mut g, id, k..k + 1, j..j + 1);
         }
         for i in k + 1..mt {
@@ -187,7 +218,9 @@ fn build(m: usize, n: usize, b: usize) -> (TaskGraph<TiledQrTask>, Ctx, AccessMa
             .with_priority(pr + 700)
             .with_class(KernelClass::QrBlas2);
             let id = g.add_task(meta, TiledQrTask::Tsqrt { k, i });
-            tracker.write(&mut g, id, k..k + 1, k..k + 1);
+            for r in r_rects(k0, wk) {
+                tracker.write_rect(&mut g, id, r);
+            }
             tracker.write(&mut g, id, i..i + 1, k..k + 1);
 
             for j in k + 1..nt {
@@ -242,7 +275,10 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledQrTask) {
             let rk = b.min(m - k0);
             let kv = wk.min(rk);
             let t_kk = ctx.t_diag[k].get().expect("T_kk not ready");
-            let v = unsafe { a.block(k0, k0, rk, kv) };
+            // Lease only the strictly-lower `V` columns: `larfb_left` treats
+            // the upper triangle as an implicit unit diagonal and never
+            // touches it, so the concurrent `tsqrt` chain owns it.
+            let v = unsafe { a.block_rects(k0, k0, rk, kv, &v_rects(k0, rk, kv)) };
             let c = unsafe { a.block_mut(k0, j * b, rk, b.min(n - j * b)) };
             larfb_left(Trans::Yes, v, t_kk.view(), c);
         }
@@ -250,7 +286,7 @@ fn exec(ctx: &Ctx, a: &SharedMatrix, t: TiledQrTask) {
             let k0 = k * b;
             let wk = b.min(n - k0);
             let ri = b.min(m - i * b);
-            let r_kk = unsafe { a.block_mut(k0, k0, wk, wk) };
+            let r_kk = unsafe { a.block_mut_rects(k0, k0, wk, wk, &r_rects(k0, wk)) };
             let a_ik = unsafe { a.block_mut(i * b, k0, ri, wk) };
             let mut t_out = Matrix::zeros(wk, wk);
             tsqrt(r_kk, a_ik, t_out.view_mut());
@@ -297,14 +333,51 @@ pub fn tiled_qr(a: Matrix, b: usize, threads: usize) -> TiledQr {
     }
 }
 
+/// [`tiled_qr`] with the full verification stack: element-rect static
+/// soundness proof up front, then execution under a shadow registry with
+/// sub-tile leases auditing every access.
+pub fn try_tiled_qr_checked(a: Matrix, b: usize, threads: usize) -> Result<TiledQr, CheckedError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(b > 0 && threads > 0);
+    let (graph, ctx, access) = build(m, n, b);
+    let opts = ca_sched::VerifyOptions {
+        granularity: ca_sched::Granularity::Rect,
+        ..Default::default()
+    };
+    ca_sched::verify_graph_with(&graph, &access, &opts).map_err(CheckedError::Soundness)?;
+    let registry = build_shadow_registry(&graph, &access, b, m, n);
+    let shared = SharedMatrix::with_shadow(a, registry.clone());
+    let jobs: TaskGraph<Job<'_>> = graph.map_ref(|_, &spec| {
+        let ctx = &ctx;
+        let shared = &shared;
+        ca_sched::job(move || exec(ctx, shared, spec))
+    });
+    try_run_graph_checked(jobs, threads, &registry)?;
+
+    Ok(TiledQr {
+        a: shared.into_inner(),
+        b,
+        t_diag: ctx.t_diag.into_iter().map(|t| t.into_inner().expect("T missing")).collect(),
+        t_ts: ctx
+            .t_ts
+            .into_iter()
+            .map(|v| v.into_iter().map(|t| t.into_inner().expect("T missing")).collect())
+            .collect(),
+    })
+}
+
 /// Task graph of tiled QR for the multicore simulator.
 pub fn tiled_qr_task_graph(m: usize, n: usize, b: usize) -> TaskGraph<TiledQrTask> {
     build(m, n, b).0
 }
 
-/// [`tiled_qr_task_graph`] plus the builder's retained block-access
-/// declarations, for the static DAG soundness verifier
-/// ([`ca_sched::verify_graph`]).
+/// [`tiled_qr_task_graph`] plus the builder's retained access declarations
+/// (block regions plus the diagonal tile's element rects), for the static
+/// DAG soundness verifier. Meant for
+/// [`ca_sched::verify_graph_with`] at [`ca_sched::Granularity::Rect`]:
+/// block granularity conservatively reports the intentional `ormqr`/`tsqrt`
+/// concurrency on the diagonal tile as a conflict.
 pub fn tiled_qr_task_graph_with_access(
     m: usize,
     n: usize,
@@ -363,14 +436,40 @@ mod tests {
     }
 
     #[test]
-    fn task_graph_passes_static_soundness_verification() {
+    fn task_graph_passes_rect_granularity_verification() {
+        let opts = ca_sched::VerifyOptions {
+            granularity: ca_sched::Granularity::Rect,
+            ..Default::default()
+        };
         for (m, n, b) in [(96, 96, 16), (120, 36, 12), (100, 30, 16)] {
             let (g, access) = tiled_qr_task_graph_with_access(m, n, b);
-            let report = ca_sched::verify_graph(&g, &access)
+            let report = ca_sched::verify_graph_with(&g, &access, &opts)
                 .unwrap_or_else(|e| panic!("tiled QR {m}x{n} b={b} unsound: {e}"));
             assert_eq!(report.tasks, g.len());
             assert!(report.conflict_pairs > 0, "expected conflicting pairs to prove ordered");
         }
+    }
+
+    #[test]
+    fn block_granularity_sees_the_diagonal_tile_split_as_a_conflict() {
+        // `ormqr` (reads V) and `tsqrt` (rewrites R) share the diagonal tile
+        // but touch disjoint element sets; the block-level view cannot see
+        // that and must reject the graph.
+        let (g, access) = tiled_qr_task_graph_with_access(96, 96, 16);
+        let err = ca_sched::verify_graph(&g, &access)
+            .expect_err("block granularity should report the V/R split as unordered");
+        assert!(
+            matches!(err, ca_sched::SoundnessError::UnorderedConflict { .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn checked_execution_passes_with_subtile_leases() {
+        let a0 = ca_matrix::random_uniform(80, 48, &mut seeded_rng(9));
+        let f = try_tiled_qr_checked(a0.clone(), 16, 4).expect("checked tiled QR");
+        let res = f.residual(&a0);
+        assert!(res < 1e-10, "residual {res}");
     }
 
     #[test]

@@ -114,10 +114,11 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
     let b = p.b;
     let nsteps = num_panels(m, n, b);
     let nb = n.div_ceil(b);
-    let mb = m.div_ceil(b);
 
     let mut graph: TaskGraph<CaluTask> = TaskGraph::new();
-    let mut tracker = BlockTracker::new(mb, nb);
+    // Element geometry so the retained footprints support rect-granularity
+    // verification and the minimality lints, not just the block view.
+    let mut tracker = BlockTracker::with_geometry(b, m, n);
     let mut panels: Vec<PanelCtx> = Vec::with_capacity(nsteps);
     let mut root_ids: Vec<TaskId> = Vec::with_capacity(nsteps);
 
@@ -278,6 +279,13 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
         }
         tracker.write(&mut graph, id, row_blocks((jblk + 1) * b..m, b), jblk..jblk + 1);
     }
+
+    // The tracker's per-block reasoning cannot see orderings already implied
+    // by the explicitly added edges (reduction tree, pivot broadcast), so it
+    // over-wires conflict edges a path already covers. Reduce to the minimal
+    // equivalent DAG: ready times and conflict orderings are unchanged, and
+    // the schedulers track fewer dependences.
+    ca_sched::reduce_transitive_edges(&mut graph);
 
     CaluPlan {
         graph,
@@ -674,8 +682,20 @@ pub fn calu_task_graph_with_access(
 /// structural invariants, every conflicting block pair ordered by a
 /// happens-before path, and the §III lookahead priority rule.
 pub fn verify_calu(m: usize, n: usize, p: &CaParams) -> Result<VerifyReport, SoundnessError> {
+    verify_calu_with(m, n, p, &ca_sched::VerifyOptions::default())
+}
+
+/// [`verify_calu`] with explicit [`ca_sched::VerifyOptions`]: element-rect
+/// conflict enumeration ([`ca_sched::Granularity::Rect`]) and/or the
+/// edge-minimality lint passes.
+pub fn verify_calu_with(
+    m: usize,
+    n: usize,
+    p: &CaParams,
+    opts: &ca_sched::VerifyOptions,
+) -> Result<VerifyReport, SoundnessError> {
     let plan = build(m, n, p);
-    ca_sched::verify_graph(&plan.graph, &plan.access)
+    ca_sched::verify_graph_with(&plan.graph, &plan.access, opts)
 }
 
 #[cfg(test)]

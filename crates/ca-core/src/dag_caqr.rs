@@ -78,10 +78,11 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaqrPlan {
     let b = p.b;
     let nsteps = num_panels(m, n, b);
     let nb = n.div_ceil(b);
-    let mb = m.div_ceil(b);
 
     let mut graph: TaskGraph<CaqrTask> = TaskGraph::new();
-    let mut tracker = BlockTracker::new(mb, nb);
+    // Element geometry so the retained footprints support rect-granularity
+    // verification and the minimality lints, not just the block view.
+    let mut tracker = BlockTracker::with_geometry(b, m, n);
     let mut panels: Vec<PanelCtx> = Vec::with_capacity(nsteps);
 
     for step in 0..nsteps {
@@ -176,6 +177,13 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaqrPlan {
             nodes: (0..node_qr_ids.len()).map(|_| OnceLock::new()).collect(),
         });
     }
+
+    // The tracker's per-block reasoning cannot see orderings already implied
+    // by the explicitly added edges (reduction tree, pivot broadcast), so it
+    // over-wires conflict edges a path already covers. Reduce to the minimal
+    // equivalent DAG: ready times and conflict orderings are unchanged, and
+    // the schedulers track fewer dependences.
+    ca_sched::reduce_transitive_edges(&mut graph);
 
     CaqrPlan { graph, access: tracker.into_access_map(), panels, n, b }
 }
@@ -466,8 +474,20 @@ pub fn caqr_task_graph_with_access(
 /// structural invariants, every conflicting block pair ordered by a
 /// happens-before path, and the §III lookahead priority rule.
 pub fn verify_caqr(m: usize, n: usize, p: &CaParams) -> Result<VerifyReport, SoundnessError> {
+    verify_caqr_with(m, n, p, &ca_sched::VerifyOptions::default())
+}
+
+/// [`verify_caqr`] with explicit [`ca_sched::VerifyOptions`]: element-rect
+/// conflict enumeration ([`ca_sched::Granularity::Rect`]) and/or the
+/// edge-minimality lint passes.
+pub fn verify_caqr_with(
+    m: usize,
+    n: usize,
+    p: &CaParams,
+    opts: &ca_sched::VerifyOptions,
+) -> Result<VerifyReport, SoundnessError> {
     let plan = build(m, n, p);
-    ca_sched::verify_graph(&plan.graph, &plan.access)
+    ca_sched::verify_graph_with(&plan.graph, &plan.access, opts)
 }
 
 #[cfg(test)]

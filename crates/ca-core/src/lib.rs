@@ -63,7 +63,11 @@ pub use jobs::{
     caqr_serve_graph_recovering, lu_solve_serve_graph, lu_solve_serve_graph_recovering,
     qr_lstsq_serve_graph, qr_lstsq_serve_graph_recovering, JobRecovery, ServeGraph,
 };
-pub use dag_calu::{calu_task_graph, calu_task_graph_with_access, verify_calu, CaluTask};
+pub use dag_calu::{
+    calu_task_graph, calu_task_graph_with_access, verify_calu, verify_calu_with, CaluTask,
+};
 pub use solve::{lu_packed_solve_in_place, RefineInfo};
-pub use dag_caqr::{caqr_task_graph, caqr_task_graph_with_access, verify_caqr, CaqrTask};
+pub use dag_caqr::{
+    caqr_task_graph, caqr_task_graph_with_access, verify_caqr, verify_caqr_with, CaqrTask,
+};
 pub use params::{num_panels, partition_rows, CaParams, RowPartition, Scheduler, TreeShape};

@@ -15,6 +15,9 @@
 //! * [`ShadowRegistry`] — the lease registry behind checked execution mode,
 //!   auditing that every block access stays inside its task's declared
 //!   footprint and never overlaps a live conflicting lease;
+//! * [`RegionSet`] — rect region algebra (disjoint element rectangles with
+//!   union/intersect/subtract), the footprint currency of rect-granular
+//!   static verification in `ca-sched`;
 //! * [`AlignedBuf`] — cache-line-aligned scratch, the packing-buffer
 //!   substrate under the BLIS-style packed GEMM in `ca-kernels`;
 //! * norms, residual measures, and reproducible test-matrix generators.
@@ -28,6 +31,7 @@ pub mod io;
 mod matrix;
 mod norms;
 mod perm;
+pub mod region;
 pub mod shadow;
 mod shared;
 mod view;
@@ -43,6 +47,7 @@ pub use norms::{
     qr_residual, residual_threshold,
 };
 pub use perm::{invert_permutation, is_permutation, permute_rows, PivotSeq};
+pub use region::RegionSet;
 pub use shadow::{ElemRect, ShadowRegistry, ShadowViolation, TaskFootprint, TaskScope};
 pub use shared::SharedMatrix;
 pub use view::{MatView, MatViewMut};

@@ -61,6 +61,17 @@ impl ElemRect {
             && o.col0 < self.col1
     }
 
+    /// The overlapping rectangle, or `None` if the rectangles are disjoint.
+    pub fn intersection(&self, o: &ElemRect) -> Option<ElemRect> {
+        let r = ElemRect {
+            row0: self.row0.max(o.row0),
+            row1: self.row1.min(o.row1),
+            col0: self.col0.max(o.col0),
+            col1: self.col1.min(o.col1),
+        };
+        (!r.is_empty()).then_some(r)
+    }
+
     /// `true` if `o` lies entirely inside `self` (empty `o` always does).
     pub fn contains(&self, o: &ElemRect) -> bool {
         o.is_empty()
@@ -109,6 +120,8 @@ pub enum ShadowViolation {
         first_label: String,
         /// Whether the earlier lease is mutable.
         first_write: bool,
+        /// The earlier lease's rectangle.
+        first_rect: ElemRect,
         /// Task taking the later, overlapping lease.
         second: usize,
         /// Its display label.
@@ -116,8 +129,21 @@ pub enum ShadowViolation {
         /// Whether the later lease is mutable.
         second_write: bool,
         /// The later lease's rectangle.
-        rect: ElemRect,
+        second_rect: ElemRect,
     },
+}
+
+impl ShadowViolation {
+    /// The element rectangle the two leases of an [`Self::Overlap`] race on
+    /// (their intersection); `None` for other violation kinds.
+    pub fn conflict_rect(&self) -> Option<ElemRect> {
+        match self {
+            Self::Overlap { first_rect, second_rect, .. } => {
+                first_rect.intersection(second_rect)
+            }
+            Self::Undeclared { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for ShadowViolation {
@@ -129,13 +155,25 @@ impl fmt::Display for ShadowViolation {
                 if *write { "wrote" } else { "read" },
                 rect
             ),
-            Self::Overlap { first_label, first_write, second_label, second_write, rect, .. } => {
+            Self::Overlap {
+                first_label,
+                first_write,
+                first_rect,
+                second_label,
+                second_write,
+                second_rect,
+                ..
+            } => {
                 write!(
                     f,
-                    "tasks {first_label} ({}) and {second_label} ({}) hold overlapping leases on {rect}",
+                    "tasks {first_label} ({} {first_rect}) and {second_label} ({} {second_rect}) hold overlapping leases",
                     if *first_write { "write" } else { "read" },
                     if *second_write { "write" } else { "read" },
-                )
+                )?;
+                if let Some(conflict) = self.conflict_rect() {
+                    write!(f, " on {conflict}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -229,10 +267,11 @@ impl ShadowRegistry {
                     first: lease.task,
                     first_label: self.labels[lease.task].clone(),
                     first_write: lease.write,
+                    first_rect: lease.rect,
                     second: task,
                     second_label: self.labels[task].clone(),
                     second_write: write,
-                    rect,
+                    second_rect: rect,
                 });
             }
         }
@@ -378,15 +417,20 @@ mod tests {
         // Simulate task 1 on the same thread while task 0's lease is live.
         {
             let _s1 = reg.enter_task(1);
-            reg.on_access(false, 0..4, 0..4); // read vs live write: overlap
+            reg.on_access(false, 1..3, 1..3); // read vs live write: overlap
         }
         drop(scope0);
         let v = reg.take_violations();
         assert_eq!(v.len(), 1);
         match &v[0] {
-            ShadowViolation::Overlap { first_label, second_label, .. } => {
+            ShadowViolation::Overlap {
+                first_label, first_rect, second_label, second_rect, ..
+            } => {
                 assert_eq!(first_label, "t0");
                 assert_eq!(second_label, "t1");
+                assert_eq!(*first_rect, rect(0..4, 0..4));
+                assert_eq!(*second_rect, rect(1..3, 1..3));
+                assert_eq!(v[0].conflict_rect(), Some(rect(1..3, 1..3)));
             }
             other => panic!("expected Overlap, got {other:?}"),
         }

@@ -1,17 +1,47 @@
-//! Block-level dependency inference for building factorization task graphs.
+//! Block- and rect-level dependency inference for factorization task graphs.
 //!
 //! The builders express each task's effect as reads/writes of `b × b` blocks
 //! of the matrix; [`BlockTracker`] turns those into dependency edges
 //! (read-after-write, write-after-write, and write-after-read), which is how
 //! the paper's "task dependency graph constructed on the fly" is realized.
+//!
+//! Two tracking modes:
+//!
+//! * **Block mode** ([`BlockTracker::new`]) — per-block last-writer /
+//!   readers-since-write bookkeeping. A task's footprint is a set of whole
+//!   blocks.
+//! * **Rect mode** ([`BlockTracker::with_geometry`]) — tasks may additionally
+//!   declare *element-rectangle* footprints ([`BlockTracker::read_rect`] /
+//!   [`BlockTracker::write_rect`]), so sub-tile aliasing (e.g. the L and U
+//!   triangles of a factored diagonal tile) produces edges only where rects
+//!   actually overlap. Internally every access becomes per-block-cell
+//!   clipped rect entries; the block grid is kept purely as a spatial index.
+//!
+//! Both modes infer a *minimal* edge set: a write does not add a WAW edge to
+//! the previous writer where intervening reads already cover the overlap,
+//! because each covering reader carries a read-after-write edge from that
+//! writer and receives a write-after-read edge here — the WAW ordering is
+//! implied transitively. The static verifier's edge-necessity lint
+//! ([`crate::verify_graph_with`]) checks exactly this property.
 
 use crate::footprint::AccessMap;
 use crate::graph::TaskGraph;
 use crate::task::TaskId;
+use ca_matrix::shadow::ElemRect;
+use ca_matrix::RegionSet;
 use std::collections::HashSet;
 
+/// One live access in a rect-mode cell: `task` read or wrote `rect` (clipped
+/// to the cell) and no later write has fully superseded it.
+#[derive(Clone, Debug)]
+struct Entry {
+    task: TaskId,
+    write: bool,
+    rect: ElemRect,
+}
+
 /// Per-block last-writer / readers-since-write bookkeeping over an `mb × nb`
-/// block grid.
+/// block grid, or per-cell rect-entry bookkeeping in rect mode.
 ///
 /// Besides inferring edges, the tracker retains every declared region in an
 /// [`AccessMap`] so the graph can later be verified ([`crate::verify_graph`])
@@ -19,21 +49,39 @@ use std::collections::HashSet;
 pub struct BlockTracker {
     mb: usize,
     nb: usize,
+    geometry: Option<(usize, usize, usize)>,
     last_writer: Vec<Option<TaskId>>,
     readers: Vec<Vec<TaskId>>,
+    entries: Vec<Vec<Entry>>,
     access: AccessMap,
 }
 
 impl BlockTracker {
-    /// A tracker over an `mb × nb` block grid with no accesses recorded yet.
+    /// A block-mode tracker over an `mb × nb` block grid with no accesses
+    /// recorded yet.
     pub fn new(mb: usize, nb: usize) -> Self {
         Self {
             mb,
             nb,
+            geometry: None,
             last_writer: vec![None; mb * nb],
             readers: vec![Vec::new(); mb * nb],
+            entries: Vec::new(),
             access: AccessMap::new(mb, nb),
         }
+    }
+
+    /// A rect-mode tracker for an `m × n` matrix tiled into `b`-sized
+    /// blocks. Block-level declarations still work (they become one clipped
+    /// rect per declaration); `read_rect`/`write_rect` become available.
+    pub fn with_geometry(b: usize, m: usize, n: usize) -> Self {
+        let mb = m.div_ceil(b);
+        let nb = n.div_ceil(b);
+        let mut t = Self::new(mb, nb);
+        t.geometry = Some((b, m, n));
+        t.entries = vec![Vec::new(); mb * nb];
+        t.access.set_geometry(b, m, n);
+        t
     }
 
     #[inline]
@@ -55,6 +103,19 @@ impl BlockTracker {
         cols: core::ops::Range<usize>,
     ) {
         self.access.record_read(task, rows.clone(), cols.clone());
+        if let Some((b, m, n)) = self.geometry {
+            let rect = ElemRect::new(
+                (rows.start * b).min(m)..(rows.end * b).min(m),
+                (cols.start * b).min(n)..(cols.end * b).min(n),
+            );
+            // Bounds were checked via the grid clamp; still verify the block
+            // coordinates are inside the grid like block mode does.
+            if !(rows.is_empty() || cols.is_empty()) {
+                self.idx(rows.end - 1, cols.end - 1);
+            }
+            self.touch_rect(g, task, false, rect);
+            return;
+        }
         let mut deps = HashSet::new();
         for j in cols {
             for i in rows.clone() {
@@ -85,12 +146,29 @@ impl BlockTracker {
         cols: core::ops::Range<usize>,
     ) {
         self.access.record_write(task, rows.clone(), cols.clone());
+        if let Some((b, m, n)) = self.geometry {
+            let rect = ElemRect::new(
+                (rows.start * b).min(m)..(rows.end * b).min(m),
+                (cols.start * b).min(n)..(cols.end * b).min(n),
+            );
+            if !(rows.is_empty() || cols.is_empty()) {
+                self.idx(rows.end - 1, cols.end - 1);
+            }
+            self.touch_rect(g, task, true, rect);
+            return;
+        }
         let mut deps = HashSet::new();
         for j in cols {
             for i in rows.clone() {
                 let x = self.idx(i, j);
                 if let Some(w) = self.last_writer[x] {
-                    if w != task {
+                    // Skip the WAW edge when readers intervened: every
+                    // reader already depends on the writer (RAW) and this
+                    // task gets a WAR edge to each reader below, so the
+                    // ordering w → task is implied transitively. (A reader
+                    // list containing only `task` itself means `task` got
+                    // the RAW edge at its own read.)
+                    if w != task && self.readers[x].is_empty() {
                         deps.insert(w);
                     }
                 }
@@ -101,6 +179,102 @@ impl BlockTracker {
                 }
                 self.readers[x].clear();
                 self.last_writer[x] = Some(task);
+            }
+        }
+        add_sorted_deps(g, deps, task);
+    }
+
+    /// Declares that `task` reads the element rectangle `rect` (rect mode
+    /// only), adding read-after-write edges against overlapping live writes.
+    pub fn read_rect<T>(&mut self, g: &mut TaskGraph<T>, task: TaskId, rect: ElemRect) {
+        assert!(self.geometry.is_some(), "read_rect needs a rect-mode tracker");
+        self.access.record_read_rect(task, rect);
+        self.touch_rect(g, task, false, rect);
+    }
+
+    /// Declares that `task` writes the element rectangle `rect` (rect mode
+    /// only), adding WAW/WAR edges against overlapping live entries.
+    pub fn write_rect<T>(&mut self, g: &mut TaskGraph<T>, task: TaskId, rect: ElemRect) {
+        assert!(self.geometry.is_some(), "write_rect needs a rect-mode tracker");
+        self.access.record_write_rect(task, rect);
+        self.touch_rect(g, task, true, rect);
+    }
+
+    /// Core of rect mode: clips `rect` to each overlapped grid cell and
+    /// updates that cell's live-entry list, collecting dependency edges.
+    fn touch_rect<T>(&mut self, g: &mut TaskGraph<T>, task: TaskId, write: bool, rect: ElemRect) {
+        let (b, m, n) = self.geometry.expect("rect mode");
+        if rect.is_empty() {
+            return;
+        }
+        assert!(
+            rect.row1 <= m && rect.col1 <= n,
+            "rect {rect} outside {m}×{n} matrix"
+        );
+        let mut deps: HashSet<TaskId> = HashSet::new();
+        for bj in rect.col0 / b..rect.col1.div_ceil(b) {
+            for bi in rect.row0 / b..rect.row1.div_ceil(b) {
+                let cell = ElemRect::new(bi * b..(bi + 1) * b, bj * b..(bj + 1) * b);
+                let Some(c) = rect.intersection(&cell) else { continue };
+                let x = self.idx(bi, bj);
+                let entries = &mut self.entries[x];
+                if write {
+                    for e in entries.iter() {
+                        if e.task == task || !e.rect.overlaps(&c) {
+                            continue;
+                        }
+                        if e.write {
+                            // WAW — skippable when intervening reads fully
+                            // cover the overlap: each covering reader has a
+                            // RAW edge from `e.task` (reads only enter the
+                            // list after the writes they saw) and receives a
+                            // WAR edge from this write below.
+                            let o = e.rect.intersection(&c).expect("overlapping");
+                            let mut cover = RegionSet::from_rect(o);
+                            for r in entries.iter().filter(|r| !r.write) {
+                                cover.subtract_rect(&r.rect);
+                                if cover.is_empty() {
+                                    break;
+                                }
+                            }
+                            if !cover.is_empty() {
+                                deps.insert(e.task);
+                            }
+                        } else {
+                            deps.insert(e.task); // WAR
+                        }
+                    }
+                    // The write supersedes everything it covers.
+                    let mut kept = Vec::with_capacity(entries.len() + 1);
+                    for e in entries.drain(..) {
+                        if !e.rect.overlaps(&c) {
+                            kept.push(e);
+                            continue;
+                        }
+                        let mut rest = RegionSet::from_rect(e.rect);
+                        rest.subtract_rect(&c);
+                        kept.extend(rest.rects().iter().map(|&r| Entry {
+                            task: e.task,
+                            write: e.write,
+                            rect: r,
+                        }));
+                    }
+                    kept.push(Entry { task, write: true, rect: c });
+                    *entries = kept;
+                } else {
+                    for e in entries.iter() {
+                        if e.write && e.task != task && e.rect.overlaps(&c) {
+                            deps.insert(e.task); // RAW
+                        }
+                    }
+                    // Dedup repeated reads of the same region by one task so
+                    // later writers scan each reader once.
+                    if !entries.iter().any(|e| {
+                        !e.write && e.task == task && e.rect.contains(&c)
+                    }) {
+                        entries.push(Entry { task, write: false, rect: c });
+                    }
+                }
             }
         }
         add_sorted_deps(g, deps, task);
@@ -182,6 +356,37 @@ mod tests {
     }
 
     #[test]
+    fn waw_skipped_when_readers_intervene() {
+        // w1 → r → w2: the direct w1 → w2 edge is transitively implied, so
+        // the tracker must not add it.
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 2);
+        let w1 = mk(&mut g);
+        t.write(&mut g, w1, 0..1, 0..1);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 0..1, 0..1);
+        let w2 = mk(&mut g);
+        t.write(&mut g, w2, 0..1, 0..1);
+        assert_eq!(g.successors(w1), &[r], "no direct WAW past the reader");
+        assert_eq!(g.successors(r), &[w2]);
+    }
+
+    #[test]
+    fn waw_skipped_when_writer_read_its_own_target() {
+        // w writes, t reads then writes: t got the RAW edge at its read, so
+        // the write adds nothing new.
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::new(2, 2);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..1, 0..1);
+        let u = mk(&mut g);
+        t.read(&mut g, u, 0..1, 0..1);
+        t.write(&mut g, u, 0..1, 0..1);
+        assert_eq!(g.successors(w), &[u]);
+        assert_eq!(g.pred_count(u), 1, "exactly one edge, not a duplicate");
+    }
+
+    #[test]
     fn disjoint_blocks_no_dependency() {
         let mut g = TaskGraph::new();
         let mut t = BlockTracker::new(4, 4);
@@ -253,5 +458,130 @@ mod tests {
         assert_eq!(row_blocks(100..250, 100), 1..3);
         assert_eq!(row_blocks(150..250, 100), 1..3);
         assert_eq!(row_blocks(5..5, 100), 0..0);
+    }
+
+    // --- rect mode ---
+
+    fn rect(rows: core::ops::Range<usize>, cols: core::ops::Range<usize>) -> ElemRect {
+        ElemRect::new(rows, cols)
+    }
+
+    #[test]
+    fn rect_mode_block_declarations_match_block_mode() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 8, 8);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..1, 0..2);
+        let r = mk(&mut g);
+        t.read(&mut g, r, 0..1, 1..2);
+        let u = mk(&mut g);
+        t.write(&mut g, u, 1..2, 0..1);
+        assert_eq!(g.successors(w), &[r]);
+        assert!(g.successors(u).is_empty());
+        assert_eq!(g.pred_count(u), 0);
+        let access = t.into_access_map();
+        assert_eq!(access.geometry(), Some((4, 8, 8)));
+        assert_eq!(access.writes(w).len(), 1, "block regions still recorded");
+    }
+
+    #[test]
+    fn disjoint_triangles_of_one_tile_do_not_conflict() {
+        // One 4×4 tile; task a writes the upper-incl-diagonal triangle
+        // (per-column rects), task b reads the strict lower triangle.
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 4, 4);
+        let w = mk(&mut g);
+        t.write(&mut g, w, 0..1, 0..1); // factor writes the whole tile
+        let a = mk(&mut g);
+        for c in 0..4 {
+            t.write_rect(&mut g, a, rect(0..c + 1, c..c + 1));
+        }
+        let b = mk(&mut g);
+        for c in 0..3 {
+            t.read_rect(&mut g, b, rect(c + 1..4, c..c + 1));
+        }
+        assert_eq!(g.successors(w), &[a, b], "both depend on the factor");
+        assert!(
+            !g.successors(a).contains(&b) && !g.successors(b).contains(&a),
+            "disjoint triangles must not be ordered"
+        );
+    }
+
+    #[test]
+    fn rect_overlap_produces_dependency() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 8, 8);
+        let w = mk(&mut g);
+        t.write_rect(&mut g, w, rect(0..3, 0..3));
+        let r = mk(&mut g);
+        t.read_rect(&mut g, r, rect(2..5, 2..5)); // overlaps at (2,2)
+        let r2 = mk(&mut g);
+        t.read_rect(&mut g, r2, rect(3..6, 3..6)); // disjoint from w
+        assert_eq!(g.successors(w), &[r]);
+        assert_eq!(g.pred_count(r2), 0);
+    }
+
+    #[test]
+    fn rect_waw_skipped_when_reads_cover_overlap() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 4, 4);
+        let w1 = mk(&mut g);
+        t.write_rect(&mut g, w1, rect(0..2, 0..2));
+        let r = mk(&mut g);
+        t.read_rect(&mut g, r, rect(0..2, 0..2));
+        let w2 = mk(&mut g);
+        t.write_rect(&mut g, w2, rect(0..2, 0..2));
+        assert_eq!(g.successors(w1), &[r], "WAW implied through the reader");
+        assert_eq!(g.successors(r), &[w2]);
+    }
+
+    #[test]
+    fn rect_waw_kept_when_reads_cover_only_part() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 4, 4);
+        let w1 = mk(&mut g);
+        t.write_rect(&mut g, w1, rect(0..2, 0..2));
+        let r = mk(&mut g);
+        t.read_rect(&mut g, r, rect(0..1, 0..2)); // covers only the top row
+        let w2 = mk(&mut g);
+        t.write_rect(&mut g, w2, rect(0..2, 0..2));
+        assert!(g.successors(w1).contains(&w2), "uncovered part needs the WAW edge");
+        assert!(g.successors(r).contains(&w2));
+    }
+
+    #[test]
+    fn rect_spanning_multiple_cells_collects_all_deps() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(2, 6, 6);
+        let a = mk(&mut g);
+        t.write_rect(&mut g, a, rect(0..2, 0..2));
+        let b = mk(&mut g);
+        t.write_rect(&mut g, b, rect(4..6, 4..6));
+        let r = mk(&mut g);
+        t.read_rect(&mut g, r, rect(1..5, 1..5)); // touches both writes
+        assert_eq!(g.successors(a), &[r]);
+        assert_eq!(g.successors(b), &[r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_matrix_rect_panics() {
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 8, 8);
+        let a = mk(&mut g);
+        t.write_rect(&mut g, a, rect(0..9, 0..1));
+    }
+
+    #[test]
+    fn rect_mode_retains_elem_rects_in_access_map() {
+        let mut g = TaskGraph::new();
+        let mut t = BlockTracker::with_geometry(4, 8, 8);
+        let a = mk(&mut g);
+        t.write_rect(&mut g, a, rect(0..3, 0..1));
+        t.read_rect(&mut g, a, rect(4..8, 4..8));
+        let access = t.into_access_map();
+        assert_eq!(access.elem_writes(a), &[rect(0..3, 0..1)]);
+        assert_eq!(access.elem_reads(a), &[rect(4..8, 4..8)]);
+        assert_eq!(access.resolved_writes(a), vec![rect(0..3, 0..1)]);
     }
 }

@@ -76,7 +76,13 @@ pub fn build_shadow_registry<T>(
     let mut footprints = Vec::with_capacity(ntasks);
     let mut labels = Vec::with_capacity(ntasks);
     for t in 0..ntasks {
-        footprints.push(TaskFootprint { reads: to_rects(access.reads(t)), writes: to_rects(access.writes(t)) });
+        // Element-rect declarations are already in matrix coordinates; they
+        // join the resolved block regions directly.
+        let mut reads = to_rects(access.reads(t));
+        reads.extend(access.elem_reads(t).iter().copied().filter(|r| !r.is_empty()));
+        let mut writes = to_rects(access.writes(t));
+        writes.extend(access.elem_writes(t).iter().copied().filter(|r| !r.is_empty()));
+        footprints.push(TaskFootprint { reads, writes });
         labels.push(graph.meta(t).label.to_string());
     }
     Arc::new(ShadowRegistry::new(footprints, labels))
@@ -102,12 +108,21 @@ fn first_violation(registry: &ShadowRegistry) -> Option<SoundnessError> {
             rows: (rect.row0, rect.row1),
             cols: (rect.col0, rect.col1),
         },
-        ShadowViolation::Overlap { first_label, second_label, rect, .. } => SoundnessError::Race {
-            first: first_label,
-            second: second_label,
-            rows: (rect.row0, rect.row1),
-            cols: (rect.col0, rect.col1),
-        },
+        v @ ShadowViolation::Overlap { .. } => {
+            // Report the *intersection* of the two leases — the element
+            // rectangle actually raced on — so the dynamic report lines up
+            // with the static verifier's rect conflicts.
+            let rect = v.conflict_rect().expect("overlap has a conflict rect");
+            let ShadowViolation::Overlap { first_label, second_label, .. } = v else {
+                unreachable!()
+            };
+            SoundnessError::Race {
+                first: first_label,
+                second: second_label,
+                rows: (rect.row0, rect.row1),
+                cols: (rect.col0, rect.col1),
+            }
+        }
     })
 }
 
@@ -155,7 +170,10 @@ pub fn try_run_graph_stealing_checked<'s>(
 
 /// Checked twin of [`crate::try_simulate`]: the simulator executes no matrix
 /// code, so "checked" means the static verifier must accept the graph +
-/// footprints before the timeline is computed.
+/// footprints before the timeline is computed — and the produced timeline
+/// must pass the post-hoc write-exclusion check (no two tasks with
+/// overlapping declared write rects scheduled concurrently on different
+/// workers).
 pub fn try_simulate_checked<T>(
     graph: &TaskGraph<T>,
     access: &AccessMap,
@@ -163,7 +181,20 @@ pub fn try_simulate_checked<T>(
     cost: impl FnMut(TaskId, &TaskMeta) -> f64,
 ) -> Result<Timeline, CheckedError> {
     crate::verify::verify_graph(graph, access).map_err(CheckedError::Soundness)?;
-    crate::sim::try_simulate(graph, nworkers, cost, &FaultPlan::new()).map_err(CheckedError::Exec)
+    let tl = crate::sim::try_simulate(graph, nworkers, cost, &FaultPlan::new())
+        .map_err(CheckedError::Exec)?;
+    if let Err(e) = tl.check_write_exclusion(access) {
+        let crate::trace::TimelineError::ConcurrentWrites { first, second, rect } = e else {
+            unreachable!("check_write_exclusion only reports ConcurrentWrites")
+        };
+        return Err(CheckedError::Soundness(SoundnessError::Race {
+            first: graph.meta(first).label.to_string(),
+            second: graph.meta(second).label.to_string(),
+            rows: (rect.row0, rect.row1),
+            cols: (rect.col0, rect.col1),
+        }));
+    }
+    Ok(tl)
 }
 
 #[cfg(test)]

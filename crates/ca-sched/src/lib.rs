@@ -86,7 +86,9 @@ pub use checked::{
 };
 pub use footprint::{AccessMap, BlockRegion};
 pub use verify::{
-    verify_graph, ConflictKind, SoundnessError, VerifyReport, CLOSURE_TASK_LIMIT,
+    reduce_transitive_edges, verify_graph, verify_graph_with, ConflictKind, EdgeFinding,
+    Granularity, LintReport, ShadowedWrite, SoundnessError, VerifyOptions, VerifyReport,
+    CLOSURE_TASK_LIMIT,
 };
 pub use fault::{ExecError, FaultAction, FaultPlan, TaskFailure, TaskResult};
 pub use graph::TaskGraph;

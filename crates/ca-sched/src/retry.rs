@@ -553,7 +553,8 @@ impl WriteSet {
 
 /// Resolves task `task`'s declared write regions from block coordinates
 /// (`access` over a block grid of size `b`) to element rectangles clipped
-/// to the `m × n` matrix.
+/// to the `m × n` matrix. Declared element-rect writes (sub-tile
+/// footprints) are included as-is.
 pub fn write_set(access: &AccessMap, task: TaskId, b: usize, m: usize, n: usize) -> WriteSet {
     let rects = access
         .writes(task)
@@ -564,6 +565,12 @@ pub fn write_set(access: &AccessMap, task: TaskId, b: usize, m: usize, n: usize)
             col0: (region.cols.start * b).min(n),
             col1: (region.cols.end * b).min(n),
         })
+        .chain(access.elem_writes(task).iter().map(|r| WriteRect {
+            row0: r.row0,
+            row1: r.row1,
+            col0: r.col0,
+            col1: r.col1,
+        }))
         .filter(|r| r.row0 < r.row1 && r.col0 < r.col1)
         .collect();
     WriteSet { rects }

@@ -4,7 +4,9 @@
 //! [`Timeline`]; [`ascii_gantt`] renders it the way the paper's Figures 2–4
 //! show executions (one lane per core, colored by task kind — here letters).
 
+use crate::footprint::AccessMap;
 use crate::task::{TaskId, TaskLabel, TaskKind};
+use ca_matrix::ElemRect;
 
 /// One executed task occurrence on one worker.
 #[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
@@ -110,6 +112,54 @@ impl Timeline {
             panic!("{e}");
         }
     }
+
+    /// Post-hoc race check over a recorded execution: no two spans on
+    /// *different* workers whose tasks declare overlapping write rects may
+    /// overlap in time. Footprints come from `access` (resolved to element
+    /// coordinates); time overlap must be strictly positive, so abutting
+    /// spans are fine. Same-lane overlap is [`Timeline::check`]'s job.
+    pub fn check_write_exclusion(&self, access: &AccessMap) -> Result<(), TimelineError> {
+        let mut spans: Vec<(usize, &Span)> = self
+            .lanes
+            .iter()
+            .enumerate()
+            .flat_map(|(lane, l)| l.iter().map(move |s| (lane, s)))
+            .collect();
+        spans.sort_by(|a, b| a.1.start.total_cmp(&b.1.start));
+        let mut writes: Vec<Option<Vec<ElemRect>>> = Vec::new();
+        let mut writes_of = |t: TaskId| -> Vec<ElemRect> {
+            if t >= writes.len() {
+                writes.resize(t + 1, None);
+            }
+            writes[t].get_or_insert_with(|| access.resolved_writes(t)).clone()
+        };
+        // Sweep by start time, keeping the spans still live.
+        let mut active: Vec<(usize, &Span)> = Vec::new();
+        for (lane, s) in spans {
+            active.retain(|(_, a)| a.end > s.start);
+            let sw = writes_of(s.task);
+            if !sw.is_empty() {
+                for &(alane, a) in &active {
+                    if alane == lane || s.end <= a.start {
+                        continue;
+                    }
+                    for ra in writes_of(a.task) {
+                        for rb in &sw {
+                            if let Some(rect) = ra.intersection(rb) {
+                                return Err(TimelineError::ConcurrentWrites {
+                                    first: a.task,
+                                    second: s.task,
+                                    rect,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            active.push((lane, s));
+        }
+        Ok(())
+    }
 }
 
 /// A structural inconsistency in a [`Timeline`], reported by
@@ -139,6 +189,17 @@ pub enum TimelineError {
         /// Index of the offending span within the lane.
         index: usize,
     },
+    /// Two tasks with overlapping declared write rects ran at the same time
+    /// on different workers (reported by
+    /// [`Timeline::check_write_exclusion`]).
+    ConcurrentWrites {
+        /// Task of the earlier-starting span.
+        first: TaskId,
+        /// Task of the later-starting span.
+        second: TaskId,
+        /// The overlapping part of their write footprints.
+        rect: ElemRect,
+    },
 }
 
 impl core::fmt::Display for TimelineError {
@@ -152,6 +213,12 @@ impl core::fmt::Display for TimelineError {
             }
             TimelineError::BeyondMakespan { lane, index } => {
                 write!(f, "span beyond makespan in lane {lane} at span {index}")
+            }
+            TimelineError::ConcurrentWrites { first, second, rect } => {
+                write!(
+                    f,
+                    "tasks {first} and {second} write {rect} concurrently on different workers"
+                )
             }
         }
     }
@@ -346,6 +413,40 @@ mod tests {
         assert!(metas
             .iter()
             .any(|e| e["name"] == "thread_name" && e["args"]["name"] == "core 1"));
+    }
+
+    #[test]
+    fn write_exclusion_flags_concurrent_writers_on_different_lanes() {
+        let mut access = AccessMap::new(2, 2);
+        access.record_write(0, 0..1, 0..1);
+        access.record_write(1, 0..1, 0..1); // same block as task 0
+        access.record_write(2, 1..2, 1..2); // disjoint
+
+        // Tasks 0 and 1 overlap in time on different lanes: race.
+        let mut tl = Timeline::new(2);
+        tl.lanes[0].push(Span { task: 0, label: TaskLabel::new(TaskKind::Panel, 0, 0, 0), start: 0.0, end: 1.0 });
+        tl.lanes[1].push(Span { task: 1, label: TaskLabel::new(TaskKind::Panel, 0, 1, 0), start: 0.5, end: 1.5 });
+        tl.makespan = 1.5;
+        match tl.check_write_exclusion(&access) {
+            Err(TimelineError::ConcurrentWrites { first, second, rect }) => {
+                assert_eq!((first, second), (0, 1));
+                assert_eq!(rect, ElemRect::new(0..1, 0..1));
+            }
+            other => panic!("expected ConcurrentWrites, got {other:?}"),
+        }
+
+        // Serialized in time: fine, even with identical footprints.
+        tl.lanes[1][0].start = 1.0;
+        tl.lanes[1][0].end = 2.0;
+        tl.makespan = 2.0;
+        assert_eq!(tl.check_write_exclusion(&access), Ok(()));
+
+        // Concurrent but disjoint write rects: fine.
+        let mut tl2 = Timeline::new(2);
+        tl2.lanes[0].push(Span { task: 0, label: TaskLabel::new(TaskKind::Panel, 0, 0, 0), start: 0.0, end: 1.0 });
+        tl2.lanes[1].push(Span { task: 2, label: TaskLabel::new(TaskKind::Update, 0, 0, 0), start: 0.0, end: 1.0 });
+        tl2.makespan = 1.0;
+        assert_eq!(tl2.check_write_exclusion(&access), Ok(()));
     }
 
     #[test]

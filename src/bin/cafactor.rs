@@ -73,6 +73,12 @@ struct Opts {
     tree: TreeShape,
     seed: u64,
     refine: bool,
+    /// `verify --granularity={block,rect}`: conflict-enumeration granularity
+    /// for the static soundness pass.
+    granularity: ca_factor::sched::Granularity,
+    /// `verify --lint-edges`: run the edge-minimality and dataflow lint
+    /// passes on top of the happens-before closure.
+    lint_edges: bool,
     /// `--profile[=FILE]`: run on the profiled executor, print the scheduler
     /// report, and write Chrome-trace JSON to FILE. For `serve`, the file is
     /// a combined object: `{"serviceStats": …, "traceEvents": […]}`.
@@ -120,6 +126,8 @@ impl Default for Opts {
             tree: TreeShape::Binary,
             seed: 42,
             refine: false,
+            granularity: ca_factor::sched::Granularity::Block,
+            lint_edges: false,
             profile: None,
             jobs: 32,
             capacity: 16,
@@ -147,6 +155,14 @@ fn usage() -> ! {
                 --b B --tr TR --threads T         CALU/CAQR parameters\n\
                 --tree binary|flat|kary:K|hybrid:W  reduction tree\n\
                 --seed S --refine\n\
+         verify: --granularity=block|rect         conflict enumeration:\n\
+                                                  whole blocks (default) or\n\
+                                                  element-exact rects; rect\n\
+                                                  also covers the tiled\n\
+                                                  baseline's sub-tile split\n\
+                --lint-edges                      minimality lints: flag\n\
+                                                  unnecessary / transitively\n\
+                                                  redundant edges (exit 13)\n\
                 --profile[=FILE.json]             scheduler profile report +\n\
                                                   Chrome trace (factor/serve;\n\
                                                   default profile_trace.json)\n\
@@ -212,6 +228,14 @@ fn parse_opts(args: &[String]) -> Opts {
             "--threads" => o.threads = next().parse().unwrap_or_else(|_| usage()),
             "--tree" => o.tree = parse_tree(&next()),
             "--seed" => o.seed = next().parse().unwrap_or_else(|_| usage()),
+            s if s.starts_with("--granularity=") => {
+                o.granularity = match &s["--granularity=".len()..] {
+                    "block" => ca_factor::sched::Granularity::Block,
+                    "rect" => ca_factor::sched::Granularity::Rect,
+                    _ => usage(),
+                }
+            }
+            "--lint-edges" => o.lint_edges = true,
             "--refine" => o.refine = true,
             "--jobs" => o.jobs = next().parse().unwrap_or_else(|_| usage()),
             "--capacity" => o.capacity = next().parse().unwrap_or_else(|_| usage()),
@@ -406,15 +430,22 @@ fn cmd_solve(o: &Opts) {
 
 /// `cafactor verify lu|qr`: static DAG soundness verification followed by a
 /// checked execution in which every element access is audited against the
-/// builder's declared footprints. Exit code 7 for a static violation, 8 for
-/// a runtime race, 9 for an out-of-footprint access.
+/// builder's declared footprints. `--granularity=rect` switches the conflict
+/// enumeration to element-exact rects and additionally verifies the tiled
+/// PLASMA-style baseline, whose sub-tile split of the diagonal tile the
+/// block view cannot represent; `--lint-edges` runs the minimality passes.
+/// Exit code 7 for a static violation, 8 for a runtime race, 9 for an
+/// out-of-footprint access, 13 when every graph is sound but the lint
+/// flags removable edges.
 fn cmd_verify(sub: &str, o: &Opts) {
     let a = load_matrix(o);
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
+    let vopts =
+        ca_factor::sched::VerifyOptions { granularity: o.granularity, lint_edges: o.lint_edges };
     let report = match sub {
-        "lu" => ca_factor::core::verify_calu(m, n, &p),
-        "qr" => ca_factor::core::verify_caqr(m, n, &p),
+        "lu" => ca_factor::core::verify_calu_with(m, n, &p, &vopts),
+        "qr" => ca_factor::core::verify_caqr_with(m, n, &p, &vopts),
         _ => usage(),
     }
     .unwrap_or_else(|v| {
@@ -427,6 +458,50 @@ fn cmd_verify(sub: &str, o: &Opts) {
     );
     for w in &report.lookahead_warnings {
         eprintln!("warning: {w}");
+    }
+    let mut minimality_findings =
+        report.lint.as_ref().map_or(0, |l| l.minimality_findings());
+
+    // The tiled baselines alias the diagonal tile at sub-tile granularity
+    // (L/V below, U/R above), so they are only verifiable at rect
+    // granularity — the block view reports the intentional concurrency as
+    // an unordered conflict.
+    if o.granularity == ca_factor::sched::Granularity::Rect {
+        fn baseline_findings<T>(
+            name: &str,
+            g: &ca_factor::sched::TaskGraph<T>,
+            access: &ca_factor::sched::AccessMap,
+            vopts: &ca_factor::sched::VerifyOptions,
+            m: usize,
+            n: usize,
+            b: usize,
+        ) -> usize {
+            let report =
+                ca_factor::sched::verify_graph_with(g, access, vopts).unwrap_or_else(|v| {
+                    eprintln!("cafactor: static soundness violation ({name} baseline): {v}");
+                    exit(soundness_exit_code(&v))
+                });
+            println!("static verify {name} baseline {m}x{n}  b={b}: {report}");
+            report.lint.as_ref().map_or(0, |l| l.minimality_findings())
+        }
+        match sub {
+            "lu" => {
+                let (g, access) = ca_factor::baselines::tiled_lu_task_graph_with_access(m, n, p.b);
+                minimality_findings += baseline_findings("tiled LU", &g, &access, &vopts, m, n, p.b);
+            }
+            "qr" if m >= n => {
+                let (g, access) = ca_factor::baselines::tiled_qr_task_graph_with_access(m, n, p.b);
+                minimality_findings += baseline_findings("tiled QR", &g, &access, &vopts, m, n, p.b);
+            }
+            _ => {} // tiled QR handles tall/square matrices only
+        }
+    }
+    if minimality_findings > 0 {
+        eprintln!(
+            "cafactor: graphs are sound but the minimality lint flagged \
+             {minimality_findings} removable edge(s)"
+        );
+        exit(13);
     }
     let t0 = Instant::now();
     match sub {

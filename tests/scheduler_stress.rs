@@ -307,6 +307,7 @@ fn verifier_accepts_tracker_built_random_graphs() {
 }
 
 #[test]
+#[allow(clippy::disallowed_methods)] // probing the verifier with raw edge deletions
 fn verifier_rejects_edge_deletions_that_break_ordering() {
     // Property: removing a tracker-created edge (a, b) leaves the graph
     // sound iff an alternate a→b path remains (the edge was transitively

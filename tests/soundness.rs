@@ -44,6 +44,7 @@ fn static_verifier_accepts_caqr_across_shapes_and_trees() {
 }
 
 #[test]
+#[allow(clippy::disallowed_methods)] // probing the verifier with raw edge deletions
 fn removing_a_calu_edge_is_caught_and_names_the_conflicting_tasks() {
     // Delete each dependency edge of a real CALU graph in turn: the
     // verifier must reject every deletion that actually breaks the ordering
@@ -119,4 +120,100 @@ fn checked_results_match_unchecked_bitwise() {
     let fu = ca_factor::core::try_calu(a, &p).expect("unchecked");
     assert_eq!(fc.lu.as_slice(), fu.lu.as_slice());
     assert_eq!(fc.pivots.ipiv, fu.pivots.ipiv);
+}
+
+#[test]
+fn rect_granularity_accepts_calu_and_caqr_across_shapes_and_trees() {
+    // Element-exact enumeration must agree with the block view on graphs
+    // whose footprints never split a tile.
+    use ca_factor::core::{verify_calu_with, verify_caqr_with};
+    let opts = ca_factor::sched::VerifyOptions {
+        granularity: ca_factor::sched::Granularity::Rect,
+        ..Default::default()
+    };
+    for &(m, n, b) in &[(192usize, 192usize, 32usize), (400, 40, 20), (250, 90, 30)] {
+        for tree in [TreeShape::Binary, TreeShape::Flat] {
+            let p = params(b, tree);
+            let report = verify_calu_with(m, n, &p, &opts)
+                .unwrap_or_else(|e| panic!("CALU {m}x{n} {tree:?} unsound at rect: {e}"));
+            assert!(report.conflict_pairs > 0, "CALU {m}x{n}: no rect conflicts proven");
+            let report = verify_caqr_with(m, n, &p, &opts)
+                .unwrap_or_else(|e| panic!("CAQR {m}x{n} {tree:?} unsound at rect: {e}"));
+            assert!(report.conflict_pairs > 0, "CAQR {m}x{n}: no rect conflicts proven");
+        }
+    }
+}
+
+#[test]
+fn calu_and_caqr_graphs_are_conflict_minimal() {
+    // The minimality half of the analysis: no edge of a production graph is
+    // unjustified by a footprint conflict, and none is transitively
+    // redundant (the builders reduce their graphs before returning).
+    use ca_factor::core::{verify_calu_with, verify_caqr_with};
+    let opts = ca_factor::sched::VerifyOptions {
+        granularity: ca_factor::sched::Granularity::Rect,
+        lint_edges: true,
+    };
+    for &(m, n, b) in &[(192usize, 192usize, 32usize), (256, 96, 32)] {
+        for tree in [TreeShape::Binary, TreeShape::Flat] {
+            let p = params(b, tree);
+            for (name, report) in [
+                ("CALU", verify_calu_with(m, n, &p, &opts).expect("sound")),
+                ("CAQR", verify_caqr_with(m, n, &p, &opts).expect("sound")),
+            ] {
+                let lint = report.lint.as_ref().expect("lint requested");
+                assert_eq!(
+                    lint.minimality_findings(),
+                    0,
+                    "{name} {m}x{n} {tree:?}: {} unnecessary + {} redundant edge(s)",
+                    lint.unnecessary_edges.len(),
+                    lint.redundant_edges.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rect_granularity_covers_the_tiled_baselines() {
+    // The tiled PLASMA-style baselines alias the diagonal tile at sub-tile
+    // granularity — unverifiable before the region algebra, provable now.
+    let opts = ca_factor::sched::VerifyOptions {
+        granularity: ca_factor::sched::Granularity::Rect,
+        lint_edges: true,
+    };
+    let (g, access) = ca_factor::baselines::tiled_lu_task_graph_with_access(96, 96, 16);
+    let report = ca_factor::sched::verify_graph_with(&g, &access, &opts)
+        .unwrap_or_else(|e| panic!("tiled LU unsound at rect: {e}"));
+    assert_eq!(report.lint.as_ref().expect("lint requested").minimality_findings(), 0);
+
+    let (g, access) = ca_factor::baselines::tiled_qr_task_graph_with_access(120, 96, 16);
+    let report = ca_factor::sched::verify_graph_with(&g, &access, &opts)
+        .unwrap_or_else(|e| panic!("tiled QR unsound at rect: {e}"));
+    assert_eq!(report.lint.as_ref().expect("lint requested").minimality_findings(), 0);
+
+    // Block granularity must still reject the same graphs: the sub-tile
+    // split is invisible to it, which is exactly what the rect mode fixes.
+    let (g, access) = ca_factor::baselines::tiled_lu_task_graph_with_access(96, 96, 16);
+    assert!(matches!(
+        ca_factor::sched::verify_graph(&g, &access),
+        Err(SoundnessError::UnorderedConflict { .. })
+    ));
+}
+
+#[test]
+fn checked_tiled_baselines_run_clean_under_subtile_leases() {
+    // End-to-end: rect verification up front, then execution with per-rect
+    // leases audited by the shadow registry.
+    let a = random_uniform(96, 96, &mut seeded_rng(21));
+    let f = ca_factor::baselines::try_tiled_lu_checked(a.clone(), 16, 4)
+        .expect("checked tiled LU");
+    let rhs = random_uniform(96, 2, &mut seeded_rng(23));
+    let x = f.solve(&rhs);
+    assert!(ca_factor::baselines::TiledLu::solve_residual(&a, &x, &rhs) < 1e-10);
+
+    let a = random_uniform(96, 64, &mut seeded_rng(22));
+    let f = ca_factor::baselines::try_tiled_qr_checked(a.clone(), 16, 4)
+        .expect("checked tiled QR");
+    assert!(f.residual(&a) < 1e-10);
 }
