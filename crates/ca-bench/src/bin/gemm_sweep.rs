@@ -1,13 +1,14 @@
-//! Single-thread GEMM kernel sweep: the packed BLIS-style kernel against
-//! the retained pre-BLIS AXPY baseline (`ca_kernels::gemm_axpy`), in
-//! GFlop/s at paper-relevant shapes — square trailing-update blocks and the
-//! tall panel-update shape. Writes `BENCH_gemm.json` under `--out` (default
-//! `results/`), the before/after record the kernel-tuning methodology in
-//! DESIGN.md §10 calls for.
+//! GEMM kernel sweep: the packed BLIS-style kernel against the retained
+//! pre-BLIS AXPY baseline (`ca_kernels::gemm_axpy`), plus the
+//! scheduler-parallel `par_gemm` decomposition and the single-precision
+//! (`f32`) series, in GFlop/s at paper-relevant shapes — square
+//! trailing-update blocks and the tall panel-update shape. Writes
+//! `BENCH_gemm.json` under `--out` (default `results/`), the before/after
+//! record the kernel-tuning methodology in DESIGN.md §10 calls for.
 //!
 //! Flags: `--quick` (shrink the sweep for smoke tests), `--out DIR`.
 
-use ca_kernels::{flops, gemm, gemm_axpy, gemm_backend, Trans};
+use ca_kernels::{flops, gemm, gemm_axpy, gemm_backend, par_gemm, Trans};
 use ca_matrix::{seeded_rng, Matrix};
 use serde_json::json;
 use std::time::Instant;
@@ -39,8 +40,14 @@ fn main() {
         &[(256, 256, 256), (512, 512, 512), (1024, 1024, 1024), (2000, 2000, 100), (8000, 100, 100)]
     };
 
-    println!("GEMM kernel sweep — backend: {}", gemm_backend());
-    println!("{:>6} {:>6} {:>6}  {:>12} {:>12} {:>9}", "m", "n", "k", "packed GF/s", "axpy GF/s", "speedup");
+    // At least 2 so the decomposed path (pack tasks + per-slab tiles) is
+    // always what gets measured, even on single-CPU CI hosts.
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get()).clamp(2, 8);
+    println!("GEMM kernel sweep — backend: {}, par workers: {workers}", gemm_backend());
+    println!(
+        "{:>6} {:>6} {:>6}  {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "m", "n", "k", "packed GF/s", "axpy GF/s", "speedup", "par GF/s", "f32 GF/s"
+    );
 
     let mut rows = Vec::new();
     let mut speedup_1024 = None;
@@ -48,7 +55,10 @@ fn main() {
         let mut rng = seeded_rng((m * 31 + n * 7 + k) as u64);
         let a = ca_matrix::random_uniform(m, k, &mut rng);
         let b = ca_matrix::random_uniform(k, n, &mut rng);
+        let a32 = Matrix::<f32>::from_f64(&a);
+        let b32 = Matrix::<f32>::from_f64(&b);
         let mut c = Matrix::zeros(m, n);
+        let mut c32 = Matrix::<f32>::zeros(m, n);
         let fl = flops::gemm(m, n, k);
 
         let t_packed = time_best(|| {
@@ -57,11 +67,21 @@ fn main() {
         let t_axpy = time_best(|| {
             gemm_axpy(Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, c.view_mut())
         });
+        let t_par = time_best(|| {
+            par_gemm(workers, Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, c.view_mut())
+        });
+        let t_f32 = time_best(|| {
+            gemm(Trans::No, Trans::No, -1.0f32, a32.view(), b32.view(), 1.0, c32.view_mut())
+        });
 
         let gf_packed = fl / t_packed / 1e9;
         let gf_axpy = fl / t_axpy / 1e9;
+        let gf_par = fl / t_par / 1e9;
+        let gf_f32 = fl / t_f32 / 1e9;
         let speedup = gf_packed / gf_axpy;
-        println!("{m:>6} {n:>6} {k:>6}  {gf_packed:>12.2} {gf_axpy:>12.2} {speedup:>8.2}x");
+        println!(
+            "{m:>6} {n:>6} {k:>6}  {gf_packed:>12.2} {gf_axpy:>12.2} {speedup:>8.2}x {gf_par:>10.2} {gf_f32:>10.2}"
+        );
         if (m, n, k) == (1024, 1024, 1024) {
             speedup_1024 = Some(speedup);
         }
@@ -70,6 +90,8 @@ fn main() {
             "packed_gflops": gf_packed,
             "axpy_gflops": gf_axpy,
             "speedup": speedup,
+            "par_gflops": gf_par,
+            "f32_gflops": gf_f32,
         }));
     }
 
@@ -83,6 +105,7 @@ fn main() {
         "bench": "gemm_sweep",
         "backend": gemm_backend(),
         "threads": 1.0,
+        "par_workers": workers as f64,
         "blocking": blocking,
         "shapes": rows,
         "speedup_1024_cubed": speedup_1024.unwrap_or(0.0),

@@ -9,8 +9,8 @@ use crate::dag_calu;
 use crate::error::{find_non_finite, FactorError, DEFAULT_GROWTH_LIMIT};
 use crate::params::CaParams;
 use crate::tslu::factor_panel_limited;
-use ca_kernels::{gemm, trsm_left_lower_unit, trsm_left_upper_notrans, Trans};
-use ca_matrix::{lu_residual, Matrix, PivotSeq};
+use ca_kernels::{gemm, trsm_left_lower_unit, trsm_left_upper_notrans, Kernel, Trans};
+use ca_matrix::{lu_residual, Matrix, PivotSeq, Scalar};
 
 /// Numerical diagnostics collected while factoring, one entry per panel.
 #[derive(Clone, Debug, Default)]
@@ -32,10 +32,10 @@ impl LuStats {
 
 /// The result of an LU factorization: packed factors plus pivots.
 #[derive(Clone, Debug)]
-pub struct LuFactors {
+pub struct LuFactors<T: Scalar = f64> {
     /// Packed factors: unit-lower `L` strictly below the diagonal, `U` on
     /// and above (LAPACK `dgetrf` layout).
-    pub lu: Matrix,
+    pub lu: Matrix<T>,
     /// Global row interchanges (offset 0, length `min(m, n)`).
     pub pivots: PivotSeq,
     /// First column where a panel hit an exactly-zero pivot, if any.
@@ -44,35 +44,36 @@ pub struct LuFactors {
     pub stats: LuStats,
 }
 
-impl LuFactors {
+impl<T: Kernel> LuFactors<T> {
     /// Explicit permutation: entry `i` is the original row now at position `i`.
     pub fn permutation(&self) -> Vec<usize> {
         self.pivots.to_permutation(self.lu.nrows())
     }
 
     /// The unit-lower factor `L` (`m × min(m,n)`).
-    pub fn l(&self) -> Matrix {
+    pub fn l(&self) -> Matrix<T> {
         self.lu.unit_lower()
     }
 
     /// The upper factor `U` (`min(m,n) × n`).
-    pub fn u(&self) -> Matrix {
+    pub fn u(&self) -> Matrix<T> {
         self.lu.upper()
     }
 
-    /// Relative residual `‖ΠA − LU‖_F / ‖A‖_F` against the original matrix.
-    pub fn residual(&self, a0: &Matrix) -> f64 {
-        lu_residual(a0, &self.permutation(), &self.l(), &self.u())
+    /// Relative residual `‖ΠA − LU‖_F / ‖A‖_F` against the original matrix,
+    /// accumulated in `f64` whatever the working precision.
+    pub fn residual(&self, a0: &Matrix<T>) -> f64 {
+        lu_residual(&a0.to_f64(), &self.permutation(), &self.l().to_f64(), &self.u().to_f64())
     }
 
     /// Determinant of a square factored matrix:
-    /// `det(A) = sign(Π) · Π U_ii`.
+    /// `det(A) = sign(Π) · Π U_ii` (accumulated in `f64`).
     pub fn det(&self) -> f64 {
         let n = self.lu.nrows();
         assert_eq!(self.lu.ncols(), n, "determinant requires square A");
         let mut d = 1.0f64;
         for i in 0..n {
-            d *= self.lu[(i, i)];
+            d *= self.lu[(i, i)].to_f64();
         }
         // Parity of the interchange sequence: each ipiv[k] != offset+k swap
         // flips the sign.
@@ -88,7 +89,7 @@ impl LuFactors {
     ///
     /// # Panics
     /// If the factored matrix is not square or shapes mismatch.
-    pub fn solve_in_place(&self, rhs: &mut Matrix) {
+    pub fn solve_in_place(&self, rhs: &mut Matrix<T>) {
         let n = self.lu.nrows();
         assert_eq!(self.lu.ncols(), n, "solve requires a square factorization");
         assert_eq!(rhs.nrows(), n, "rhs row count mismatch");
@@ -98,7 +99,7 @@ impl LuFactors {
     }
 
     /// Convenience wrapper returning the solution.
-    pub fn solve(&self, rhs: &Matrix) -> Matrix {
+    pub fn solve(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let mut x = rhs.clone();
         self.solve_in_place(&mut x);
         x
@@ -111,13 +112,16 @@ impl LuFactors {
 /// pivoting + packed panel factorization (TSLU), interchanges applied to the
 /// columns left and right of the panel, `U` block row by triangular solve,
 /// trailing update by `gemm`.
-pub fn calu_seq(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>) {
+pub fn calu_seq<T: Kernel>(a: &mut Matrix<T>, p: &CaParams) -> (PivotSeq, Option<usize>) {
     let (pivots, breakdown, _) = calu_seq_stats(a, p);
     (pivots, breakdown)
 }
 
 /// [`calu_seq`] also returning the per-panel growth/fallback diagnostics.
-pub(crate) fn calu_seq_stats(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<usize>, LuStats) {
+pub(crate) fn calu_seq_stats<T: Kernel>(
+    a: &mut Matrix<T>,
+    p: &CaParams,
+) -> (PivotSeq, Option<usize>, LuStats) {
     let m = a.nrows();
     let n = a.ncols();
     let kmax = m.min(n);
@@ -165,7 +169,7 @@ pub(crate) fn calu_seq_stats(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<
                 let l_below = panel_cols.as_ref().sub(k0 + k, k0, m - k0 - k, k);
                 let (u_row, a_below) = trailing.split_at_row(k0 + k);
                 let u_row = u_row.as_ref().sub(k0, 0, k, n - k0 - w);
-                gemm(Trans::No, Trans::No, -1.0, l_below, u_row, 1.0, a_below);
+                gemm(Trans::No, Trans::No, -T::ONE, l_below, u_row, T::ONE, a_below);
             }
         }
 
@@ -174,8 +178,9 @@ pub(crate) fn calu_seq_stats(a: &mut Matrix, p: &CaParams) -> (PivotSeq, Option<
     (pivots, breakdown, stats)
 }
 
-/// Sequential CALU returning owned factors.
-pub fn calu_seq_factor(mut a: Matrix, p: &CaParams) -> LuFactors {
+/// Sequential CALU returning owned factors (generic over the working
+/// precision — `calu_seq_factor::<f32>` is the single-precision path).
+pub fn calu_seq_factor<T: Kernel>(mut a: Matrix<T>, p: &CaParams) -> LuFactors<T> {
     let (pivots, breakdown, stats) = calu_seq_stats(&mut a, p);
     LuFactors { lu: a, pivots, breakdown, stats }
 }
@@ -194,7 +199,7 @@ pub fn calu_with_stats(a: Matrix, p: &CaParams) -> (LuFactors, ca_sched::ExecSta
 
 /// TSLU as a standalone factorization of a tall-and-skinny matrix: a single
 /// panel of width `n` (the paper's TSLU benchmark configuration).
-pub fn tslu_factor(mut a: Matrix, tr: usize, p: &CaParams) -> LuFactors {
+pub fn tslu_factor<T: Kernel>(mut a: Matrix<T>, tr: usize, p: &CaParams) -> LuFactors<T> {
     let n = a.ncols();
     let params = CaParams { b: n.max(1), tr, ..*p };
     let (pivots, breakdown, stats) = calu_seq_stats(&mut a, &params);
@@ -215,7 +220,7 @@ fn monitored(p: &CaParams) -> CaParams {
 /// exact breakdown wins, then any panel whose growth (even after the GEPP
 /// fallback) broke the limit. A successful fallback is *not* an error —
 /// the degradation is recorded in [`LuStats::fallback_panels`].
-fn check_factors(f: LuFactors, p: &CaParams) -> Result<LuFactors, FactorError> {
+fn check_factors<T: Scalar>(f: LuFactors<T>, p: &CaParams) -> Result<LuFactors<T>, FactorError> {
     if let Some(col) = f.breakdown {
         return Err(FactorError::ZeroPivot { col });
     }
@@ -337,8 +342,9 @@ pub fn try_calu_profiled(
     check_factors(f, &params).map(|f| (f, profile))
 }
 
-/// Fallible sequential CALU with the same contract as [`try_calu`].
-pub fn try_calu_seq(a: Matrix, p: &CaParams) -> Result<LuFactors, FactorError> {
+/// Fallible sequential CALU with the same contract as [`try_calu`],
+/// generic over the working precision.
+pub fn try_calu_seq<T: Kernel>(a: Matrix<T>, p: &CaParams) -> Result<LuFactors<T>, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {
         return Err(FactorError::NonFiniteInput { row, col });
     }
@@ -347,7 +353,11 @@ pub fn try_calu_seq(a: Matrix, p: &CaParams) -> Result<LuFactors, FactorError> {
 }
 
 /// Fallible standalone TSLU with the same contract as [`try_calu`].
-pub fn try_tslu_factor(a: Matrix, tr: usize, p: &CaParams) -> Result<LuFactors, FactorError> {
+pub fn try_tslu_factor<T: Kernel>(
+    a: Matrix<T>,
+    tr: usize,
+    p: &CaParams,
+) -> Result<LuFactors<T>, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {
         return Err(FactorError::NonFiniteInput { row, col });
     }
@@ -449,7 +459,7 @@ mod tests {
     #[test]
     fn determinant_of_known_matrices() {
         // det(I) = 1; det of a permutation-like matrix = ±1; 2x2 known.
-        let f = calu_seq_factor(ca_matrix::Matrix::identity(6), &CaParams::new(2, 2, 1));
+        let f = calu_seq_factor(ca_matrix::Matrix::<f64>::identity(6), &CaParams::new(2, 2, 1));
         assert!((f.det() - 1.0).abs() < 1e-12);
         let a = ca_matrix::Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let f = calu_seq_factor(a, &CaParams::new(1, 1, 1));

@@ -10,36 +10,36 @@ use crate::dag_caqr;
 use crate::error::{find_non_finite, FactorError};
 use crate::params::{num_panels, partition_rows, CaParams};
 use crate::tsqr::{leaf_apply, leaf_qr, node_apply, node_qr, panel_apply, plan_panel, PanelQ};
-use ca_kernels::{trsm_left_upper_notrans, Trans};
-use ca_matrix::{Matrix, SharedMatrix};
+use ca_kernels::{trsm_left_upper_notrans, Kernel, Trans};
+use ca_matrix::{Matrix, Scalar, SharedMatrix};
 
 /// The result of a CAQR/TSQR factorization.
 #[derive(Debug)]
-pub struct QrFactors {
+pub struct QrFactors<T: Scalar = f64> {
     /// Factored matrix: `R` in the upper triangle, leaf Householder vectors
     /// below the diagonal (tree-node reflectors live in [`PanelQ`] scratch).
-    pub a: Matrix,
+    pub a: Matrix<T>,
     /// Per-panel `Q` representation, in factorization order.
-    pub panels: Vec<PanelQ>,
+    pub panels: Vec<PanelQ<T>>,
 }
 
-impl QrFactors {
+impl<T: Kernel> QrFactors<T> {
     /// The upper-triangular/trapezoidal factor `R` (`min(m,n) × n`).
-    pub fn r(&self) -> Matrix {
+    pub fn r(&self) -> Matrix<T> {
         self.a.upper()
     }
 
     /// Applies `Qᵀ` to `c` in place (`c` must have `m` rows).
-    pub fn apply_qt(&self, c: &mut Matrix) {
+    pub fn apply_qt(&self, c: &mut Matrix<T>) {
         self.apply(c, Trans::Yes);
     }
 
     /// Applies `Q` to `c` in place (`c` must have `m` rows).
-    pub fn apply_q(&self, c: &mut Matrix) {
+    pub fn apply_q(&self, c: &mut Matrix<T>) {
         self.apply(c, Trans::No);
     }
 
-    fn apply(&self, c: &mut Matrix, trans: Trans) {
+    fn apply(&self, c: &mut Matrix<T>, trans: Trans) {
         assert_eq!(c.nrows(), self.a.nrows(), "row count mismatch with Q");
         let ncols = c.ncols();
         let owned = std::mem::replace(c, Matrix::zeros(0, 0));
@@ -60,38 +60,39 @@ impl QrFactors {
     }
 
     /// The thin orthogonal factor `Q` (`m × min(m,n)`).
-    pub fn q_thin(&self) -> Matrix {
+    pub fn q_thin(&self) -> Matrix<T> {
         let m = self.a.nrows();
         let k = m.min(self.a.ncols());
         let mut q = Matrix::zeros(m, k);
         for i in 0..k {
-            q[(i, i)] = 1.0;
+            q[(i, i)] = T::ONE;
         }
         self.apply_q(&mut q);
         q
     }
 
-    /// Relative residual `‖A − Q·R‖_F / ‖A‖_F` against the original matrix.
-    pub fn residual(&self, a0: &Matrix) -> f64 {
+    /// Relative residual `‖A − Q·R‖_F / ‖A‖_F` against the original matrix,
+    /// accumulated in `f64` whatever the working precision.
+    pub fn residual(&self, a0: &Matrix<T>) -> f64 {
         let q = self.q_thin();
         let r = Matrix::from_fn(q.ncols(), self.a.ncols(), |i, j| {
             if i <= j {
                 self.a[(i, j)]
             } else {
-                0.0
+                T::ZERO
             }
         });
-        ca_matrix::qr_residual(a0, &q, &r)
+        ca_matrix::qr_residual(&a0.to_f64(), &q.to_f64(), &r.to_f64())
     }
 
-    /// Orthogonality `‖I − QᵀQ‖_F` of the thin factor.
+    /// Orthogonality `‖I − QᵀQ‖_F` of the thin factor (in `f64`).
     pub fn orthogonality(&self) -> f64 {
-        ca_matrix::orthogonality(&self.q_thin())
+        ca_matrix::orthogonality(&self.q_thin().to_f64())
     }
 
     /// Least-squares solve: `x = argmin ‖A·x − rhs‖₂` via `R⁻¹ (Qᵀ rhs)`
     /// (full-column-rank `A`, `m ≥ n`).
-    pub fn solve_ls(&self, rhs: &Matrix) -> Matrix {
+    pub fn solve_ls(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let m = self.a.nrows();
         let n = self.a.ncols();
         assert!(m >= n, "least squares needs a tall matrix");
@@ -100,14 +101,16 @@ impl QrFactors {
         self.apply_qt(&mut qtb);
         let mut x = Matrix::from_fn(n, rhs.ncols(), |i, j| qtb[(i, j)]);
         let r = self.a.block(0, 0, n, n);
-        let rmat = Matrix::from_fn(n, n, |i, j| if i <= j { r.at(i, j) } else { 0.0 });
+        let rmat = Matrix::from_fn(n, n, |i, j| if i <= j { r.at(i, j) } else { T::ZERO });
         trsm_left_upper_notrans(rmat.view(), x.view_mut());
         x
     }
 }
 
-/// Sequential CAQR (Algorithm 2 in program order), consuming `a`.
-pub fn caqr_seq(a: Matrix, p: &CaParams) -> QrFactors {
+/// Sequential CAQR (Algorithm 2 in program order), consuming `a` — generic
+/// over the working precision (`caqr_seq::<f32>` is the single-precision
+/// path).
+pub fn caqr_seq<T: Kernel>(a: Matrix<T>, p: &CaParams) -> QrFactors<T> {
     let m = a.nrows();
     let n = a.ncols();
     assert!(m > 0 && n > 0, "empty matrix");
@@ -155,7 +158,7 @@ pub fn caqr_with_stats(a: Matrix, p: &CaParams) -> (QrFactors, ca_sched::ExecSta
 
 /// TSQR as a standalone tall-and-skinny factorization: a single panel of
 /// width `n` reduced over `tr` row blocks (the paper's TSQR benchmark).
-pub fn tsqr_factor(a: Matrix, tr: usize, p: &CaParams) -> QrFactors {
+pub fn tsqr_factor<T: Kernel>(a: Matrix<T>, tr: usize, p: &CaParams) -> QrFactors<T> {
     let n = a.ncols();
     let params = CaParams { b: n.max(1), tr, ..*p };
     caqr_seq(a, &params)
@@ -247,8 +250,21 @@ pub fn try_caqr_profiled(
     dag_caqr::profile_run(a, p, &ca_sched::FaultPlan::new())
 }
 
+/// Fallible sequential CAQR with the input pre-scan of [`try_caqr`],
+/// generic over the working precision.
+pub fn try_caqr_seq<T: Kernel>(a: Matrix<T>, p: &CaParams) -> Result<QrFactors<T>, FactorError> {
+    if let Some((row, col)) = find_non_finite(&a) {
+        return Err(FactorError::NonFiniteInput { row, col });
+    }
+    Ok(caqr_seq(a, p))
+}
+
 /// Fallible standalone TSQR with the input pre-scan of [`try_caqr`].
-pub fn try_tsqr_factor(a: Matrix, tr: usize, p: &CaParams) -> Result<QrFactors, FactorError> {
+pub fn try_tsqr_factor<T: Kernel>(
+    a: Matrix<T>,
+    tr: usize,
+    p: &CaParams,
+) -> Result<QrFactors<T>, FactorError> {
     if let Some((row, col)) = find_non_finite(&a) {
         return Err(FactorError::NonFiniteInput { row, col });
     }

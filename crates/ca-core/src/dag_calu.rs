@@ -25,8 +25,11 @@ use crate::tournament::{select, stack_candidates, Selected};
 use crate::tree::{reduction_schedule, ReduceNode};
 use crate::tslu::{apply_growth_policy, pivot_seq_from_targets};
 use ca_kernels::{flops, traffic};
-use ca_kernels::{gemm, trsm_left_lower_unit, trsm_right_upper_notrans, Trans};
-use ca_matrix::{Matrix, PivotSeq, SharedMatrix};
+use ca_kernels::{
+    gemm, gemm_packed, pack_a_slab, pack_b_panel, trsm_left_lower_unit,
+    trsm_right_upper_notrans, Trans,
+};
+use ca_matrix::{AlignedBuf, Matrix, PivotSeq, SharedMatrix};
 use ca_sched::{run_graph, ExecStats, Job, KernelClass, TaskGraph, TaskId, TaskKind, TaskLabel, TaskMeta};
 use std::sync::OnceLock;
 
@@ -47,8 +50,65 @@ pub enum CaluTask {
     URow { step: usize, jblk: usize, jcnt: usize },
     /// Trailing update of (group `grp`) × (block columns `jblk..jblk+jcnt`).
     Update { step: usize, grp: usize, jblk: usize, jcnt: usize },
+    /// par_gemm sub-DAG: packs slab `slab` of group `grp`'s L block into its
+    /// microkernel image — once per step, shared by every column chunk's
+    /// tile tasks (the "pack A once per `jc` sweep" rule of the BLIS loops).
+    UPackA { step: usize, grp: usize, slab: usize },
+    /// par_gemm sub-DAG: packs panel `panel` of the U row chunk at block
+    /// columns `jblk..jblk+jcnt`, shared by every group's tile tasks.
+    UPackB { step: usize, jblk: usize, jcnt: usize, panel: usize },
+    /// par_gemm sub-DAG: one packed-tile trailing update — (slab `slab` of
+    /// group `grp`) × (panel `panel` of chunk `jblk..jblk+jcnt`). Replaces
+    /// the monolithic [`CaluTask::Update`] when the group's update height
+    /// reaches [`CaParams::par_update_rows`].
+    UTile { step: usize, grp: usize, jblk: usize, jcnt: usize, slab: usize, panel: usize },
     /// Deferred left-side interchanges for finished block column `jblk`.
     LeftSwap { jblk: usize },
+}
+
+/// Tile geometry of the decomposed trailing update: the serial GEMM cache
+/// blocks ([`ca_kernels::MC`] rows × [`ca_kernels::NC`] columns) rounded up
+/// to whole `b`-blocks, so each tile's block footprint is exact —
+/// neighbouring tiles never share a block, block- and rect-granularity
+/// verification agree, and no false serialization edges appear between
+/// tiles of one group.
+fn par_tile(b: usize) -> (usize, usize) {
+    (ca_kernels::MC.next_multiple_of(b), ca_kernels::NC.next_multiple_of(b))
+}
+
+/// Pack-image storage for one panel's decomposed trailing updates. Each
+/// slot is written exactly once by its pack task and then read (shared) by
+/// the tile tasks the graph orders after it. The images are side storage
+/// the block tracker cannot see, which is why `build()` wires every
+/// pack → tile dependence as an explicit graph edge.
+pub(crate) struct ParUpdate {
+    /// Rows per slab (multiple of `b`, see [`par_tile`]).
+    slab_h: usize,
+    /// Columns per panel (multiple of `b`).
+    pan_w: usize,
+    /// Per-group slot offsets: group `grp`'s slab images live at
+    /// `apacks[abase[grp]..abase[grp + 1]]` (empty range for groups below
+    /// the decomposition threshold).
+    abase: Vec<usize>,
+    /// Packed-A slab images.
+    apacks: Vec<OnceLock<AlignedBuf>>,
+    /// `(jblk, base)` pairs: the column chunk at `jblk` keeps its panel `p`
+    /// image at `bpacks[base + p]`.
+    bbase: Vec<(usize, usize)>,
+    /// Packed-B panel images.
+    bpacks: Vec<OnceLock<AlignedBuf>>,
+}
+
+impl ParUpdate {
+    fn aslot(&self, grp: usize, slab: usize) -> &OnceLock<AlignedBuf> {
+        &self.apacks[self.abase[grp] + slab]
+    }
+
+    fn bslot(&self, jblk: usize, panel: usize) -> &OnceLock<AlignedBuf> {
+        let base =
+            self.bbase.iter().find(|&&(j, _)| j == jblk).expect("chunk has no packed-B images").1;
+        &self.bpacks[base + panel]
+    }
 }
 
 /// Per-panel shared state filled in by panel tasks at run time.
@@ -70,6 +130,8 @@ pub(crate) struct PanelCtx {
     breakdown: OnceLock<Option<usize>>,
     /// `(growth estimate, GEPP fallback happened)`, written by the root.
     growth: OnceLock<(f64, bool)>,
+    /// Pack-image slots of this panel's decomposed trailing updates.
+    par: ParUpdate,
 }
 
 /// Everything needed to execute a built CALU DAG.
@@ -224,29 +286,129 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
             jblk += jcnt;
         }
 
-        // --- S tasks (trailing updates, same column chunking).
+        // --- S tasks (trailing updates, same column chunking). Groups whose
+        //     update height reaches `p.par_update_rows` are decomposed into
+        //     the par_gemm sub-DAG: pack-A once per slab per group (shared
+        //     across every column chunk — pack A once per `jc` sweep),
+        //     pack-B once per panel per chunk (shared across groups), one
+        //     packed-tile GEMM task per slab × panel. Results are bitwise
+        //     identical to the monolithic `dgemm`; only the task
+        //     granularity changes.
+        let (slab_h, pan_w) = par_tile(b);
+        let has_trailing = k > 0 && step + 1 < nb;
+        let decompose: Vec<bool> = (0..g)
+            .map(|grp| {
+                let rows = part.group(grp);
+                let lo = rows.start.max(k0 + k);
+                has_trailing && lo < rows.end && rows.end - lo >= p.par_update_rows
+            })
+            .collect();
+
+        // Pack-A tasks and the per-group slot layout. Reading the L slab
+        // orders each pack after the group's LBlock solve via the tracker.
+        let mut abase = vec![0usize; g + 1];
+        let mut apack_ids: Vec<TaskId> = Vec::new();
+        for grp in 0..g {
+            abase[grp] = apack_ids.len();
+            if !decompose[grp] {
+                continue;
+            }
+            let rows = part.group(grp);
+            let lo = rows.start.max(k0 + k);
+            for slab in 0..(rows.end - lo).div_ceil(slab_h) {
+                let slo = lo + slab * slab_h;
+                let mb = slab_h.min(rows.end - slo);
+                let meta = TaskMeta::new(TaskLabel::new(TaskKind::Other, step, grp, slab), 0.0)
+                    .with_bytes(traffic::pack(mb, k))
+                    .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Update, step + 1) + 5)
+                    .with_class(KernelClass::Memory);
+                let id = graph.add_task(meta, CaluTask::UPackA { step, grp, slab });
+                tracker.read(&mut graph, id, row_blocks(slo..slo + mb, b), step..step + 1);
+                apack_ids.push(id);
+            }
+        }
+        abase[g] = apack_ids.len();
+        let any_decomposed = !apack_ids.is_empty();
+
+        let mut bbase: Vec<(usize, usize)> = Vec::new();
+        let mut nbpacks = 0usize;
         let mut jblk = step + 1;
         while jblk < nb {
             let jcnt = p.update_blocks.min(nb - jblk);
             let jc0 = jblk * b;
             let wj = (jcnt * b).min(n - jc0);
+            // Pack-B tasks of this chunk; reading the U row orders each
+            // after the chunk's URow solve.
+            let mut bpack_ids: Vec<TaskId> = Vec::new();
+            if any_decomposed {
+                bbase.push((jblk, nbpacks));
+                for panel in 0..wj.div_ceil(pan_w) {
+                    let pj0 = jc0 + panel * pan_w;
+                    let nbp = pan_w.min(jc0 + wj - pj0);
+                    let meta =
+                        TaskMeta::new(TaskLabel::new(TaskKind::Other, step, g + panel, jblk), 0.0)
+                            .with_bytes(traffic::pack(k, nbp))
+                            .with_priority(
+                                prio(nsteps, step, p.lookahead, TaskKind::Update, jblk) + 5,
+                            )
+                            .with_class(KernelClass::Memory);
+                    let id = graph.add_task(meta, CaluTask::UPackB { step, jblk, jcnt, panel });
+                    tracker.read(&mut graph, id, step..step + 1, row_blocks(pj0..pj0 + nbp, b));
+                    bpack_ids.push(id);
+                }
+                nbpacks += bpack_ids.len();
+            }
             for grp in 0..g {
                 let rows = part.group(grp);
                 let lo = rows.start.max(k0 + k);
                 if lo >= rows.end || k == 0 {
                     continue;
                 }
-                let meta = TaskMeta::new(
-                    TaskLabel::new(TaskKind::Update, step, grp, jblk),
-                    flops::gemm(rows.end - lo, wj, k),
-                )
-                .with_bytes(traffic::gemm(rows.end - lo, wj, k))
-                .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Update, jblk))
-                .with_class(KernelClass::Gemm);
-                let id = graph.add_task(meta, CaluTask::Update { step, grp, jblk, jcnt });
-                tracker.read(&mut graph, id, row_blocks(lo..rows.end, b), step..step + 1);
-                tracker.read(&mut graph, id, step..step + 1, jblk..jblk + jcnt);
-                tracker.write(&mut graph, id, row_blocks(lo..rows.end, b), jblk..jblk + jcnt);
+                if decompose[grp] {
+                    for slab in 0..(rows.end - lo).div_ceil(slab_h) {
+                        let slo = lo + slab * slab_h;
+                        let mb = slab_h.min(rows.end - slo);
+                        for (panel, &bid) in bpack_ids.iter().enumerate() {
+                            let pj0 = jc0 + panel * pan_w;
+                            let nbp = pan_w.min(jc0 + wj - pj0);
+                            let meta = TaskMeta::new(
+                                TaskLabel::new(TaskKind::Update, step, grp, jblk),
+                                flops::gemm(mb, nbp, k),
+                            )
+                            .with_bytes(traffic::gemm_packed(mb, nbp, k))
+                            .with_priority(
+                                prio(nsteps, step, p.lookahead, TaskKind::Update, jblk),
+                            )
+                            .with_class(KernelClass::Gemm);
+                            let id = graph.add_task(
+                                meta,
+                                CaluTask::UTile { step, grp, jblk, jcnt, slab, panel },
+                            );
+                            // The packed images are side storage the tracker
+                            // cannot see — wire the dataflow explicitly.
+                            graph.add_dep(apack_ids[abase[grp] + slab], id);
+                            graph.add_dep(bid, id);
+                            tracker.write(
+                                &mut graph,
+                                id,
+                                row_blocks(slo..slo + mb, b),
+                                row_blocks(pj0..pj0 + nbp, b),
+                            );
+                        }
+                    }
+                } else {
+                    let meta = TaskMeta::new(
+                        TaskLabel::new(TaskKind::Update, step, grp, jblk),
+                        flops::gemm(rows.end - lo, wj, k),
+                    )
+                    .with_bytes(traffic::gemm(rows.end - lo, wj, k))
+                    .with_priority(prio(nsteps, step, p.lookahead, TaskKind::Update, jblk))
+                    .with_class(KernelClass::Gemm);
+                    let id = graph.add_task(meta, CaluTask::Update { step, grp, jblk, jcnt });
+                    tracker.read(&mut graph, id, row_blocks(lo..rows.end, b), step..step + 1);
+                    tracker.read(&mut graph, id, step..step + 1, jblk..jblk + jcnt);
+                    tracker.write(&mut graph, id, row_blocks(lo..rows.end, b), jblk..jblk + jcnt);
+                }
             }
             jblk += jcnt;
         }
@@ -263,6 +425,14 @@ pub(crate) fn build(m: usize, n: usize, p: &CaParams) -> CaluPlan {
             pivots: OnceLock::new(),
             breakdown: OnceLock::new(),
             growth: OnceLock::new(),
+            par: ParUpdate {
+                slab_h,
+                pan_w,
+                abase,
+                apacks: (0..apack_ids.len()).map(|_| OnceLock::new()).collect(),
+                bbase,
+                bpacks: (0..nbpacks).map(|_| OnceLock::new()).collect(),
+            },
         });
     }
 
@@ -372,6 +542,50 @@ impl CaluPlan {
                 let u = unsafe { a.block(ctx.k0, jc0, ctx.k, wj) };
                 let c = unsafe { a.block_mut(lo, jc0, rows.end - lo, wj) };
                 gemm(Trans::No, Trans::No, -1.0, l, u, 1.0, c);
+            }
+            CaluTask::UPackA { step, grp, slab } => {
+                let ctx = &self.panels[step];
+                let rows = ctx.part.group(grp);
+                let lo = rows.start.max(ctx.k0 + ctx.k);
+                let slo = lo + slab * ctx.par.slab_h;
+                let mb = ctx.par.slab_h.min(rows.end - slo);
+                // SAFETY: reads the group's final L slab — the DAG orders
+                // this after the LBlock solve and before any later writer.
+                let l = unsafe { a.block(slo, ctx.k0, mb, ctx.k) };
+                let mut buf = AlignedBuf::new();
+                pack_a_slab(Trans::No, l, 0, mb, &mut buf);
+                // Ignore a lost set: a replayed task repacks identical bytes.
+                let _ = ctx.par.aslot(grp, slab).set(buf);
+            }
+            CaluTask::UPackB { step, jblk, jcnt, panel } => {
+                let ctx = &self.panels[step];
+                let jc0 = jblk * b;
+                let wj = (jcnt * b).min(n - jc0);
+                let pj0 = jc0 + panel * ctx.par.pan_w;
+                let nbp = ctx.par.pan_w.min(jc0 + wj - pj0);
+                // SAFETY: reads the final U row panel (after URow's solve).
+                let u = unsafe { a.block(ctx.k0, pj0, ctx.k, nbp) };
+                let mut buf = AlignedBuf::new();
+                pack_b_panel(Trans::No, u, 0, nbp, &mut buf);
+                let _ = ctx.par.bslot(jblk, panel).set(buf);
+            }
+            CaluTask::UTile { step, grp, jblk, jcnt, slab, panel } => {
+                let ctx = &self.panels[step];
+                let rows = ctx.part.group(grp);
+                let lo = rows.start.max(ctx.k0 + ctx.k);
+                let slo = lo + slab * ctx.par.slab_h;
+                let mb = ctx.par.slab_h.min(rows.end - slo);
+                let jc0 = jblk * b;
+                let wj = (jcnt * b).min(n - jc0);
+                let pj0 = jc0 + panel * ctx.par.pan_w;
+                let nbp = ctx.par.pan_w.min(jc0 + wj - pj0);
+                let apack = ctx.par.aslot(grp, slab).get().expect("A image not packed");
+                let bpack = ctx.par.bslot(jblk, panel).get().expect("B image not packed");
+                // SAFETY: writes only this tile's C window, which the DAG
+                // orders against every conflicting task; `beta = 1` makes
+                // the packed path replay the monolithic gemm bitwise.
+                let c = unsafe { a.block_mut(slo, pj0, mb, nbp) };
+                gemm_packed(-1.0, apack, bpack, ctx.k, 1.0, c);
             }
             CaluTask::LeftSwap { jblk } => {
                 let jc0 = jblk * b;
@@ -779,6 +993,83 @@ mod tests {
         let g4 = calu_task_graph(240, 240, &p4);
         g4.validate();
         assert!(g4.len() < g1.len(), "coarse blocking must shrink the graph: {} vs {}", g4.len(), g1.len());
+    }
+
+    #[test]
+    fn decomposed_update_matches_plain_and_sequential() {
+        // Force the par_gemm sub-DAG with a tiny threshold: multi-slab
+        // (m = 400 ⇒ 3 slabs of slab_h = 128 at b = 16) and the bitwise
+        // contract against both the monolithic tasks and the sequential
+        // reference, at several worker counts.
+        let a0 = ca_matrix::random_uniform(400, 96, &mut seeded_rng(31));
+        let p_plain = CaParams::new(16, 1, 4).with_par_update_rows(usize::MAX);
+        let p_par = p_plain.with_par_update_rows(32);
+        let g_plain = calu_task_graph(400, 96, &p_plain);
+        let g_par = calu_task_graph(400, 96, &p_par);
+        assert!(g_par.len() > g_plain.len(), "decomposition must add pack/tile tasks");
+        let f_plain = calu(a0.clone(), &p_plain);
+        for threads in [1, 2, 4] {
+            let mut p = p_par;
+            p.threads = threads;
+            let f = calu(a0.clone(), &p);
+            assert_eq!(f.pivots.ipiv, f_plain.pivots.ipiv, "pivots diverged at {threads} threads");
+            assert_eq!(f.lu.as_slice(), f_plain.lu.as_slice(), "factors diverged at {threads} threads");
+        }
+        let fs = calu_seq_factor(a0, &p_par);
+        assert_eq!(f_plain.lu.as_slice(), fs.lu.as_slice());
+    }
+
+    #[test]
+    fn decomposed_update_splits_wide_chunks_into_panels() {
+        // A wide two-level-blocked chunk (wj = 1120 > pan_w = 1024) must
+        // split into two packed-B panels and still factor bitwise-identically.
+        let (m, n, b) = (96, 1200, 16);
+        let a0 = ca_matrix::random_uniform(m, n, &mut seeded_rng(32));
+        let p_plain = CaParams::new(b, 1, 3).with_update_blocking(70);
+        let p_par = p_plain.with_par_update_rows(16);
+        let graph = calu_task_graph(m, n, &p_par);
+        graph.validate();
+        let f_plain = calu(a0.clone(), &p_plain);
+        let f_par = calu(a0, &p_par);
+        assert_eq!(f_par.lu.as_slice(), f_plain.lu.as_slice());
+        assert_eq!(f_par.pivots.ipiv, f_plain.pivots.ipiv);
+    }
+
+    #[test]
+    fn decomposed_update_passes_checked_execution() {
+        // Static verify + shadow-lease audited execution with the sub-DAG
+        // enabled: every pack/tile access must stay inside its declared
+        // footprint and no two live leases may race.
+        let a0 = ca_matrix::random_uniform(160, 160, &mut seeded_rng(33));
+        let p = CaParams::new(16, 2, 3).with_par_update_rows(32);
+        let (f, _) = try_run_checked(a0.clone(), &p).expect("checked run");
+        let fs = calu_seq_factor(a0, &p);
+        assert_eq!(f.lu.as_slice(), fs.lu.as_slice());
+    }
+
+    #[test]
+    fn decomposed_graph_verifies_at_block_and_rect_granularity() {
+        let p = CaParams::new(16, 2, 4).with_par_update_rows(32);
+        for granularity in [ca_sched::Granularity::Block, ca_sched::Granularity::Rect] {
+            let opts = ca_sched::VerifyOptions { granularity, lint_edges: false };
+            verify_calu_with(256, 192, &p, &opts)
+                .unwrap_or_else(|v| panic!("verify failed at {granularity}: {v}"));
+        }
+    }
+
+    #[test]
+    fn disabled_threshold_reproduces_monolithic_graph() {
+        let p_def = CaParams::new(16, 1, 4); // default threshold 2·MC = 256
+        let p_off = p_def.with_par_update_rows(usize::MAX);
+        // 400-row groups exceed the default threshold, so the default graph
+        // decomposes while usize::MAX must not.
+        let g_def = calu_task_graph(400, 96, &p_def);
+        let g_off = calu_task_graph(400, 96, &p_off);
+        assert!(g_def.len() > g_off.len());
+        let a0 = ca_matrix::random_uniform(400, 96, &mut seeded_rng(34));
+        let f_def = calu(a0.clone(), &p_def);
+        let f_off = calu(a0, &p_off);
+        assert_eq!(f_def.lu.as_slice(), f_off.lu.as_slice());
     }
 
     #[test]

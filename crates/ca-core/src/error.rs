@@ -101,7 +101,7 @@ impl std::error::Error for FactorError {}
 
 /// Position `(row, col)` of the first non-finite entry, scanning in
 /// column-major order, or `None` when every entry is finite.
-pub(crate) fn find_non_finite(a: &Matrix) -> Option<(usize, usize)> {
+pub(crate) fn find_non_finite<T: ca_matrix::Scalar>(a: &Matrix<T>) -> Option<(usize, usize)> {
     for j in 0..a.ncols() {
         for i in 0..a.nrows() {
             if !a[(i, j)].is_finite() {
@@ -134,6 +134,6 @@ mod tests {
         a[(2, 1)] = f64::NAN;
         a[(0, 3)] = f64::INFINITY;
         assert_eq!(find_non_finite(&a), Some((2, 1)));
-        assert_eq!(find_non_finite(&Matrix::zeros(3, 3)), None);
+        assert_eq!(find_non_finite(&Matrix::<f64>::zeros(3, 3)), None);
     }
 }

@@ -53,7 +53,7 @@ pub use calu::{
 };
 pub use caqr::{
     caqr, caqr_seq, caqr_with_stats, try_caqr, try_caqr_checked, try_caqr_profiled,
-    try_caqr_recovering, try_caqr_recovering_checked, try_caqr_with_faults,
+    try_caqr_recovering, try_caqr_recovering_checked, try_caqr_seq, try_caqr_with_faults,
     try_tsqr_factor, tsqr_factor, QrFactors,
 };
 pub use error::{FactorError, DEFAULT_GROWTH_LIMIT};

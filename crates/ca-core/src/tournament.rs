@@ -7,21 +7,21 @@
 //! factored copy of the final winner doubles as the packed `L_KK\U_KK`
 //! factors of the panel's top block (Algorithm 1 line 19).
 
-use ca_kernels::{getf2, rgetf2, LuInfo};
-use ca_matrix::{MatView, Matrix};
+use ca_kernels::{getf2, rgetf2, Kernel, LuInfo};
+use ca_matrix::{MatView, Matrix, Scalar};
 
 /// The outcome of one tournament node: `k = min(rows, cols)` selected rows.
 #[derive(Clone, Debug)]
-pub struct Selected {
+pub struct Selected<T: Scalar = f64> {
     /// The selected rows with their **original** values, in pivot order
     /// (`k × n`): what the next tree level stacks.
-    pub rows: Matrix,
+    pub rows: Matrix<T>,
     /// Global row index of each selected row.
     pub idx: Vec<usize>,
     /// Packed `L\U` factors of `rows` (`k × n`): GEPP of the node input,
     /// restricted to the winning rows. At the tournament root this is the
     /// panel's `L_KK\U_KK` block.
-    pub packed: Matrix,
+    pub packed: Matrix<T>,
     /// First exactly-zero pivot column, if the node input was rank deficient.
     pub breakdown: Option<usize>,
 }
@@ -34,7 +34,7 @@ pub struct Selected {
 ///
 /// # Panics
 /// If `idx.len() != stack.nrows()` or `stack` is empty.
-pub fn select(stack: MatView<'_>, idx: &[usize], recursive: bool) -> Selected {
+pub fn select<T: Kernel>(stack: MatView<'_, T>, idx: &[usize], recursive: bool) -> Selected<T> {
     let s = stack.nrows();
     let n = stack.ncols();
     assert_eq!(idx.len(), s, "one global index per stacked row");
@@ -65,9 +65,9 @@ pub fn select(stack: MatView<'_>, idx: &[usize], recursive: bool) -> Selected {
 
 /// Stacks the `rows` matrices and `idx` lists of several [`Selected`]
 /// outcomes (in participant order) for the next tree level.
-pub fn stack_candidates(parts: &[&Selected]) -> (Matrix, Vec<usize>) {
+pub fn stack_candidates<T: Scalar>(parts: &[&Selected<T>]) -> (Matrix<T>, Vec<usize>) {
     assert!(!parts.is_empty(), "nothing to stack");
-    let views: Vec<MatView<'_>> = parts.iter().map(|p| p.rows.view()).collect();
+    let views: Vec<MatView<'_, T>> = parts.iter().map(|p| p.rows.view()).collect();
     let stacked = Matrix::vstack(&views);
     let idx = parts.iter().flat_map(|p| p.idx.iter().copied()).collect();
     (stacked, idx)

@@ -9,8 +9,8 @@
 use crate::params::{partition_rows, RowPartition, TreeShape};
 use crate::tournament::{select, stack_candidates, Selected};
 use crate::tree::reduction_schedule;
-use ca_kernels::trsm_right_upper_notrans;
-use ca_matrix::{MatView, MatViewMut, PivotSeq};
+use ca_kernels::{trsm_right_upper_notrans, Kernel};
+use ca_matrix::{MatView, MatViewMut, PivotSeq, Scalar};
 
 /// Result of factoring one panel.
 #[derive(Clone, Debug)]
@@ -57,14 +57,14 @@ pub fn pivot_seq_from_targets(k0: usize, idx: &[usize]) -> PivotSeq {
 /// and returns the winner (selected rows + packed top factors).
 ///
 /// `a` here is a view of the **panel columns only**, full matrix height.
-pub fn run_tournament(
-    panel: &MatViewMut<'_>,
+pub fn run_tournament<T: Kernel>(
+    panel: &MatViewMut<'_, T>,
     part: &RowPartition,
     tree: TreeShape,
     recursive: bool,
-) -> Selected {
+) -> Selected<T> {
     let g = part.ngroups();
-    let mut slots: Vec<Option<Selected>> = Vec::with_capacity(g);
+    let mut slots: Vec<Option<Selected<T>>> = Vec::with_capacity(g);
     for i in 0..g {
         let r = part.group(i);
         let block = panel.as_ref().sub(r.start, 0, r.len(), panel.ncols());
@@ -72,7 +72,7 @@ pub fn run_tournament(
         slots.push(Some(select(block, &idx, recursive)));
     }
     for node in reduction_schedule(g, tree) {
-        let parts: Vec<&Selected> =
+        let parts: Vec<&Selected<T>> =
             node.participants.iter().map(|&p| slots[p].as_ref().expect("candidate present")).collect();
         let (stacked, idx) = stack_candidates(&parts);
         let merged = select(stacked.view(), &idx, recursive);
@@ -84,11 +84,11 @@ pub fn run_tournament(
     slots[0].take().expect("tournament winner")
 }
 
-fn max_abs_view(v: MatView<'_>) -> f64 {
+fn max_abs_view<T: Scalar>(v: MatView<'_, T>) -> f64 {
     let mut mx = 0.0f64;
     for j in 0..v.ncols() {
         for i in 0..v.nrows() {
-            mx = mx.max(v.at(i, j).abs());
+            mx = mx.max(v.at(i, j).abs().to_f64());
         }
     }
     mx
@@ -106,15 +106,15 @@ fn max_abs_view(v: MatView<'_>) -> f64 {
 /// (GEPP) on the panel — and reports the refactorization via the `bool`.
 ///
 /// Returns `(selection to use, growth estimate of it, fallback happened)`.
-pub(crate) fn apply_growth_policy(
-    active: MatView<'_>,
+pub(crate) fn apply_growth_policy<T: Kernel>(
+    active: MatView<'_, T>,
     row0: usize,
-    winner: Selected,
+    winner: Selected<T>,
     limit: f64,
     recursive: bool,
-) -> (Selected, f64, bool) {
+) -> (Selected<T>, f64, bool) {
     let max_in = max_abs_view(active);
-    let growth_of = |s: &Selected| {
+    let growth_of = |s: &Selected<T>| {
         let g = max_abs_view(s.packed.view());
         if max_in > 0.0 { g / max_in } else { 0.0 }
     };
@@ -138,8 +138,8 @@ pub(crate) fn apply_growth_policy(
 ///
 /// Interchanges are applied to the panel columns only; the caller applies
 /// the returned sequence to the columns left and right of the panel.
-pub fn factor_panel(
-    a: MatViewMut<'_>,
+pub fn factor_panel<T: Kernel>(
+    a: MatViewMut<'_, T>,
     k0: usize,
     b: usize,
     tr: usize,
@@ -153,8 +153,8 @@ pub fn factor_panel(
 /// element growth exceeds `growth_limit`, the panel is refactored with
 /// plain GEPP (see [`apply_growth_policy`]) before anything is written.
 #[allow(clippy::too_many_arguments)]
-pub fn factor_panel_limited(
-    mut a: MatViewMut<'_>,
+pub fn factor_panel_limited<T: Kernel>(
+    mut a: MatViewMut<'_, T>,
     k0: usize,
     b: usize,
     tr: usize,

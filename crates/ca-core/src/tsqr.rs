@@ -19,40 +19,40 @@
 use crate::params::RowPartition;
 use crate::tree::{reduction_schedule, ReduceNode};
 use crate::params::TreeShape;
-use ca_kernels::{geqr2, geqr3, larfb_left, larfb_left_multi, larft, Trans};
-use ca_matrix::{Matrix, SharedMatrix};
+use ca_kernels::{geqr2, geqr3, larfb_left, larfb_left_multi, larft, Kernel, Trans};
+use ca_matrix::{Matrix, Scalar, SharedMatrix};
 use core::ops::Range;
 
 /// Q-representation of one leaf QR: the reflectors live in the factored
 /// matrix itself (below the diagonal of the group's panel block).
 #[derive(Clone, Debug)]
-pub struct LeafQ {
+pub struct LeafQ<T: Scalar = f64> {
     /// Global row range of the group.
     pub rows: Range<usize>,
     /// Number of reflectors: `min(rows.len(), panel width)`.
     pub kv: usize,
     /// Compact-WY factor (`kv × kv`, upper triangular).
-    pub t: Matrix,
+    pub t: Matrix<T>,
 }
 
 /// Q-representation of one reduction node: reflectors of the stacked-`R` QR.
 #[derive(Clone, Debug)]
-pub struct NodeQ {
+pub struct NodeQ<T: Scalar = f64> {
     /// Global row ranges the node's stacked rows come from. `row_ranges[0]`
     /// has length `kk` (the reflector count); the rest are the other
     /// participants' `R` row blocks.
     pub row_ranges: Vec<Range<usize>>,
     /// Packed stacked factorization (`sum(len) × w`): `R` on top, `V` below.
-    pub v: Matrix,
+    pub v: Matrix<T>,
     /// Compact-WY factor (`kk × kk`).
-    pub t: Matrix,
+    pub t: Matrix<T>,
     /// Number of reflectors: `min(total stacked rows, w)`.
     pub kk: usize,
 }
 
 /// Q-representation of a whole panel.
 #[derive(Clone, Debug)]
-pub struct PanelQ {
+pub struct PanelQ<T: Scalar = f64> {
     /// Panel diagonal row (= panel column start for square grids).
     pub k0: usize,
     /// Panel column start.
@@ -62,9 +62,9 @@ pub struct PanelQ {
     /// Reflector count of the final `R` (`min(active rows, w)`).
     pub k: usize,
     /// Per-group leaf factorizations.
-    pub leaves: Vec<LeafQ>,
+    pub leaves: Vec<LeafQ<T>>,
     /// Tree nodes in execution order.
-    pub nodes: Vec<NodeQ>,
+    pub nodes: Vec<NodeQ<T>>,
 }
 
 /// Static plan of a panel's tree: row ranges for every node, computed from
@@ -117,7 +117,12 @@ pub fn plan_panel(part: &RowPartition, w: usize, tree: TreeShape) -> (Vec<usize>
 // TSQR kernel helper: called from DAG executors whose declared
 // footprints `verify_graph` proves conflict-ordered.
 #[allow(clippy::disallowed_methods)]
-pub fn leaf_qr(a: &SharedMatrix, c0: usize, w: usize, rows: Range<usize>) -> LeafQ {
+pub fn leaf_qr<T: Kernel>(
+    a: &SharedMatrix<T>,
+    c0: usize,
+    w: usize,
+    rows: Range<usize>,
+) -> LeafQ<T> {
     let r = rows.len();
     let kv = r.min(w);
     // SAFETY: caller (sequential loop or DAG) guarantees exclusive access.
@@ -140,11 +145,11 @@ pub fn leaf_qr(a: &SharedMatrix, c0: usize, w: usize, rows: Range<usize>) -> Lea
 // TSQR kernel helper: called from DAG executors whose declared
 // footprints `verify_graph` proves conflict-ordered.
 #[allow(clippy::disallowed_methods)]
-pub fn leaf_apply(
-    src: &SharedMatrix,
+pub fn leaf_apply<T: Kernel>(
+    src: &SharedMatrix<T>,
     c0: usize,
-    leaf: &LeafQ,
-    dst: &SharedMatrix,
+    leaf: &LeafQ<T>,
+    dst: &SharedMatrix<T>,
     dcols: Range<usize>,
     trans: Trans,
 ) {
@@ -166,7 +171,12 @@ pub fn leaf_apply(
 // TSQR kernel helper: called from DAG executors whose declared
 // footprints `verify_graph` proves conflict-ordered.
 #[allow(clippy::disallowed_methods)]
-pub fn node_qr(a: &SharedMatrix, c0: usize, w: usize, plan: &NodePlan) -> NodeQ {
+pub fn node_qr<T: Kernel>(
+    a: &SharedMatrix<T>,
+    c0: usize,
+    w: usize,
+    plan: &NodePlan,
+) -> NodeQ<T> {
     let s: usize = plan.row_ranges.iter().map(|r| r.len()).sum();
     let kk = plan.kk;
     let mut stack = Matrix::zeros(s, w);
@@ -219,7 +229,12 @@ pub fn node_qr(a: &SharedMatrix, c0: usize, w: usize, plan: &NodePlan) -> NodeQ 
 // TSQR kernel helper: called from DAG executors whose declared
 // footprints `verify_graph` proves conflict-ordered.
 #[allow(clippy::disallowed_methods)]
-pub fn node_apply(node: &NodeQ, dst: &SharedMatrix, dcols: Range<usize>, trans: Trans) {
+pub fn node_apply<T: Kernel>(
+    node: &NodeQ<T>,
+    dst: &SharedMatrix<T>,
+    dcols: Range<usize>,
+    trans: Trans,
+) {
     if dcols.is_empty() {
         return;
     }
@@ -252,14 +267,14 @@ pub fn node_apply(node: &NodeQ, dst: &SharedMatrix, dcols: Range<usize>, trans: 
 // TSQR kernel helper: called from DAG executors whose declared
 // footprints `verify_graph` proves conflict-ordered.
 #[allow(clippy::disallowed_methods)]
-pub fn panel_apply(
-    src: &Matrix,
-    panel: &PanelQ,
-    dst: &SharedMatrix,
+pub fn panel_apply<T: Kernel>(
+    src: &Matrix<T>,
+    panel: &PanelQ<T>,
+    dst: &SharedMatrix<T>,
     dcols: Range<usize>,
     trans: Trans,
 ) {
-    let one_leaf = |leaf: &LeafQ| {
+    let one_leaf = |leaf: &LeafQ<T>| {
         let r = leaf.rows.len();
         let v = src.block(leaf.rows.start, panel.c0, r, leaf.kv);
         // SAFETY: replay is sequential; no other view of dst is live.

@@ -8,7 +8,7 @@
 //! second oracle in the conformance suite.
 
 use crate::gemm::{op_shape, scale, Trans};
-use ca_matrix::{MatView, MatViewMut};
+use ca_matrix::{MatView, MatViewMut, Scalar};
 
 /// Cache-block sizes of the AXPY path (the original tuning).
 const MC: usize = 256;
@@ -22,14 +22,14 @@ const NC: usize = 512;
 ///
 /// # Panics
 /// If the shapes of `op(A)`, `op(B)` and `C` are inconsistent.
-pub fn gemm_axpy(
+pub fn gemm_axpy<T: Scalar>(
     ta: Trans,
     tb: Trans,
-    alpha: f64,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    beta: f64,
-    mut c: MatViewMut<'_>,
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    mut c: MatViewMut<'_, T>,
 ) {
     let (m, ka) = op_shape(ta, a);
     let (kb, n) = op_shape(tb, b);
@@ -41,7 +41,7 @@ pub fn gemm_axpy(
     if m == 0 || n == 0 {
         return;
     }
-    if alpha == 0.0 || k == 0 {
+    if alpha == T::ZERO || k == 0 {
         scale(beta, c.rb());
         return;
     }
@@ -56,12 +56,12 @@ pub fn gemm_axpy(
 
 /// Blocked `NoTrans × NoTrans` path. The `A` block is packed into a
 /// contiguous scratch (`ld == mb`) before the inner kernel runs.
-fn gemm_nn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+fn gemm_nn<T: Scalar>(alpha: T, a: MatView<'_, T>, b: MatView<'_, T>, beta: T, mut c: MatViewMut<'_, T>) {
     let (m, k) = (a.nrows(), a.ncols());
     let n = b.ncols();
     scale(beta, c.rb());
 
-    let mut pack = vec![0.0f64; MC.min(m) * KC.min(k)];
+    let mut pack = vec![T::ZERO; MC.min(m) * KC.min(k)];
     let mut jc = 0;
     while jc < n {
         let nb = NC.min(n - jc);
@@ -90,7 +90,7 @@ fn gemm_nn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatView
 /// Inner block: `C += alpha * A * B` with A `mb × kb`, all fitting cache.
 /// Loop order j-k-i with the k loop unrolled by 4 so each C column is loaded
 /// and stored once per 4 rank-1 contributions.
-fn gemm_nn_block(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_>) {
+fn gemm_nn_block<T: Scalar>(alpha: T, a: MatView<'_, T>, b: MatView<'_, T>, mut c: MatViewMut<'_, T>) {
     let (mb, kb) = (a.nrows(), a.ncols());
     let nb = b.ncols();
     for j in 0..nb {
@@ -116,7 +116,7 @@ fn gemm_nn_block(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'
         }
         while p < kb {
             let x = alpha * b_col[p];
-            if x != 0.0 {
+            if x != T::ZERO {
                 let a_col = a.col(p);
                 for i in 0..mb {
                     c_col[i] += x * a_col[i];
@@ -128,7 +128,7 @@ fn gemm_nn_block(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'
 }
 
 /// `C := alpha * Aᵀ * B + beta*C` — dot-product order; A is `k × m` stored.
-fn gemm_tn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+fn gemm_tn<T: Scalar>(alpha: T, a: MatView<'_, T>, b: MatView<'_, T>, beta: T, mut c: MatViewMut<'_, T>) {
     let m = a.ncols();
     let k = a.nrows();
     let n = b.ncols();
@@ -136,18 +136,18 @@ fn gemm_tn(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatView
         let b_col = b.col(j);
         for i in 0..m {
             let a_col = a.col(i);
-            let mut dot = 0.0;
+            let mut dot = T::ZERO;
             for p in 0..k {
                 dot += a_col[p] * b_col[p];
             }
             let cij = c.at(i, j);
-            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
+            c.set(i, j, if beta == T::ZERO { alpha * dot } else { beta * cij + alpha * dot });
         }
     }
 }
 
 /// `C := alpha * A * Bᵀ + beta*C` — B is `n × k` stored; axpy order over Bᵀ.
-fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+fn gemm_nt<T: Scalar>(alpha: T, a: MatView<'_, T>, b: MatView<'_, T>, beta: T, mut c: MatViewMut<'_, T>) {
     let m = a.nrows();
     let k = a.ncols();
     let n = b.nrows();
@@ -157,7 +157,7 @@ fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatView
         let b_col = b.col(p); // column p of B = row elements B[j, p]
         for (j, &bjp) in b_col.iter().enumerate().take(n) {
             let x = alpha * bjp;
-            if x != 0.0 {
+            if x != T::ZERO {
                 let c_col = c.col_mut(j);
                 for i in 0..m {
                     c_col[i] += x * a_col[i];
@@ -168,19 +168,19 @@ fn gemm_nt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatView
 }
 
 /// `C := alpha * Aᵀ * Bᵀ + beta*C` — rarely used; simple triple loop.
-fn gemm_tt(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+fn gemm_tt<T: Scalar>(alpha: T, a: MatView<'_, T>, b: MatView<'_, T>, beta: T, mut c: MatViewMut<'_, T>) {
     let m = a.ncols();
     let k = a.nrows();
     let n = b.nrows();
     for j in 0..n {
         for i in 0..m {
             let a_col = a.col(i);
-            let mut dot = 0.0;
+            let mut dot = T::ZERO;
             for (p, &ap) in a_col.iter().enumerate().take(k) {
                 dot += ap * b.at(j, p);
             }
             let cij = c.at(i, j);
-            c.set(i, j, if beta == 0.0 { alpha * dot } else { beta * cij + alpha * dot });
+            c.set(i, j, if beta == T::ZERO { alpha * dot } else { beta * cij + alpha * dot });
         }
     }
 }

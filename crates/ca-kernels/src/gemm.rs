@@ -1,50 +1,62 @@
-//! General matrix-matrix multiply (`dgemm` equivalent).
+//! General matrix-matrix multiply (`dgemm`/`sgemm` equivalent).
 //!
 //! `gemm` computes `C := alpha * op(A) * op(B) + beta * C` for column-major
 //! views, as a BLIS-style three-loop blocked algorithm around a
-//! register-blocked `MR × NR` microkernel (Van Zee & van de Geijn, "BLIS: A
+//! register-blocked `mr × nr` microkernel (Van Zee & van de Geijn, "BLIS: A
 //! Framework for Rapidly Instantiating BLAS Functionality"):
 //!
 //! * the `jc`/`pc`/`ic` cache loops carve `op(B)` into `KC × NC` panels and
 //!   `op(A)` into `MC × KC` blocks, packed into aligned micro-tiled scratch
-//!   ([`ca_matrix::AlignedBuf`], reused per thread);
+//!   ([`ca_matrix::AlignedBuf`], reused per thread and per element type);
 //! * both `Trans` flags are folded into the pack routines ([`crate::pack`]),
 //!   so transposed operands — compact-WY applications in TSQR, `dtrsm`
 //!   updates — run the same packed hot path as the trailing update;
-//! * the `jr`/`ir` register loops drive an `8 × 4` f64 microkernel: AVX2 +
-//!   FMA intrinsics when the CPU supports them (checked once at runtime via
-//!   `is_x86_feature_detected!`), a portable scalar kernel otherwise or when
-//!   `CA_KERNELS_FORCE_SCALAR` is set in the environment;
-//! * `m % MR` / `n % NR` remainders run the same full-size microkernel on
+//! * the `jr`/`ir` register loops ([`macro_kernel`]) drive the microkernel
+//!   selected once per process by [`Kernel::spec`]: AVX-512F (16-row tiles),
+//!   AVX2+FMA, or a portable scalar kernel — per element type, checked via
+//!   `is_x86_feature_detected!`, overridable with `CA_KERNELS_FORCE_SCALAR`
+//!   or `CA_KERNELS_BACKEND`;
+//! * `m % mr` / `n % nr` remainders run the same full-size microkernel on
 //!   zero-padded panels and land in C through a stack tile.
 //!
-//! The pre-BLIS 4-way-unrolled AXPY implementation survives as
-//! [`gemm_axpy`] — the baseline the `gemm_sweep` bench (BENCH_gemm.json)
-//! compares against, and a second oracle for the conformance suite.
+//! The whole surface is generic over the sealed [`Scalar`] trait through
+//! [`Kernel`] (implemented for `f32` and `f64`), with `f64` defaults so all
+//! pre-existing call sites compile unchanged. The scheduler-parallel
+//! decomposition of the same loops lives in [`crate::par_gemm`] and shares
+//! [`macro_kernel`], which is what makes parallel results bitwise-identical
+//! to this serial path. The pre-BLIS AXPY-loop kernel survives as
+//! [`crate::gemm_axpy`] — the benchmark baseline and a second test oracle.
 
-use crate::microkernel::{kernel_scalar, MR as MR_, NR as NR_};
+use crate::microkernel as mk;
 use crate::pack::{pack_a, pack_b, PackTrans};
-use ca_matrix::{AlignedBuf, MatView, MatViewMut};
+use ca_matrix::{AlignedBuf, MatView, MatViewMut, Scalar};
 use core::cell::RefCell;
 use std::sync::OnceLock;
 
-/// Microkernel tile height: C rows computed per microkernel call.
-pub const MR: usize = MR_;
-/// Microkernel tile width: C columns computed per microkernel call.
-pub const NR: usize = NR_;
+/// f64 portable-tile height: C rows per microkernel call on the
+/// scalar/AVX2 f64 path (the AVX-512 and f32 geometries differ — see
+/// [`KernelSpec`]).
+pub const MR: usize = mk::MR;
+/// f64 portable-tile width (see [`MR`]).
+pub const NR: usize = mk::NR;
 
 /// Cache-block sizes for the packed path, tuned against the profiler's
 /// per-kernel-class roofline attribution (see DESIGN.md §10): the packed A
-/// block (`MC × KC` = 256 KiB) fills most of a 512 KiB-class L2 while
-/// leaving room for the streaming B micro-panel; `KC` keeps one `MR`- or
-/// `NR`-wide micro-panel (`KC·MR·8` = 16 KiB) resident in L1 across the
-/// register loops; `NC` bounds the packed B panel (`KC × NC` = 2 MiB) to a
-/// per-core L3 share.
+/// block (`MC × KC` = 256 KiB at f64) fills most of a 512 KiB-class L2
+/// while leaving room for the streaming B micro-panel; `KC` keeps one
+/// micro-panel resident in L1 across the register loops; `NC` bounds the
+/// packed B panel (`KC × NC` = 2 MiB at f64) to a per-core L3 share. The
+/// same element counts are used for f32 (half the bytes: comfortably
+/// cache-resident).
 pub const MC: usize = 128;
 /// `k`-dimension cache-block depth (see [`MC`]).
 pub const KC: usize = 256;
 /// `n`-dimension cache-block width (see [`MC`]).
 pub const NC: usize = 1024;
+
+/// Upper bound on `mr * nr` over every kernel geometry — sizes the stack
+/// tile edge updates land in.
+pub(crate) const MAX_TILE: usize = 128;
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,13 +67,57 @@ pub enum Trans {
     Yes,
 }
 
-/// Microkernel backend selected at runtime.
+impl From<Trans> for PackTrans {
+    fn from(t: Trans) -> Self {
+        match t {
+            Trans::No => PackTrans::No,
+            Trans::Yes => PackTrans::Yes,
+        }
+    }
+}
+
+/// Microkernel backend, selected once per process (see [`gemm_backend`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Backend {
+pub enum Backend {
+    /// Portable scalar microkernel.
     Scalar,
+    /// AVX2 + FMA (x86-64).
     #[cfg(target_arch = "x86_64")]
     Avx2,
+    /// AVX-512F (x86-64), 16-row tiles.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
 }
+
+fn backend_label(b: Backend) -> &'static str {
+    match b {
+        Backend::Scalar => "scalar",
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => "avx2-fma",
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => "avx512f",
+    }
+}
+
+fn backend_supported(b: Backend) -> bool {
+    match b {
+        Backend::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+    }
+}
+
+const ALL_BACKENDS: &[Backend] = &[
+    #[cfg(target_arch = "x86_64")]
+    Backend::Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Backend::Avx2,
+    Backend::Scalar,
+];
 
 fn active_backend() -> Backend {
     static CACHE: OnceLock<Backend> = OnceLock::new();
@@ -73,55 +129,164 @@ fn active_backend() -> Backend {
         if forced {
             return Backend::Scalar;
         }
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-        {
-            return Backend::Avx2;
+        if let Ok(name) = std::env::var("CA_KERNELS_BACKEND") {
+            // Pin a specific backend (CI dispatch matrix); silently fall
+            // back to detection when the host can't run it.
+            for &b in ALL_BACKENDS {
+                if backend_label(b) == name && backend_supported(b) {
+                    return b;
+                }
+            }
         }
-        Backend::Scalar
+        *ALL_BACKENDS
+            .iter()
+            .find(|&&b| backend_supported(b))
+            .expect("scalar backend is always supported")
     })
 }
 
-/// Name of the microkernel backend `gemm` dispatches to on this host:
-/// `"avx2-fma"` or `"scalar"`. Scalar is selected when the CPU lacks
-/// AVX2/FMA or when the `CA_KERNELS_FORCE_SCALAR` environment variable is
-/// set (to anything but `0`); the choice is made once per process.
-pub fn gemm_backend() -> &'static str {
-    match active_backend() {
-        Backend::Scalar => "scalar",
-        #[cfg(target_arch = "x86_64")]
-        Backend::Avx2 => "avx2-fma",
-    }
+/// One microkernel and its register-tile geometry. The packed-panel layout
+/// (and therefore every pack-buffer size) is a function of `(mr, nr)`, so
+/// the spec travels together through the driver, [`crate::par_gemm`], and
+/// the scheduler sub-DAG builders.
+pub struct KernelSpec<T: Scalar> {
+    /// Tile height: rows of C per microkernel call (packed-A panel height).
+    pub mr: usize,
+    /// Tile width: columns of C per microkernel call (packed-B panel width).
+    pub nr: usize,
+    /// Kernel name with geometry, e.g. `"avx512f-16x4-f64"`.
+    pub name: &'static str,
+    /// The microkernel.
+    ///
+    /// # Safety
+    /// `(kc, alpha, a, b, c, ldc)`: `a` holds `mr*kc` packed elements
+    /// (64-byte-aligned base for SIMD kernels), `b` holds `nr*kc`, `c`
+    /// points to an `mr × nr` column-major tile with `ldc >= mr` valid for
+    /// reads and writes, and the CPU must support the kernel's features.
+    pub kernel: unsafe fn(usize, T, *const T, *const T, *mut T, usize),
 }
 
-/// Dispatches one `MR × NR` microkernel tile on the chosen backend.
+static F64_SCALAR: KernelSpec<f64> =
+    KernelSpec { mr: mk::MR, nr: mk::NR, name: "scalar-8x4-f64", kernel: mk::kernel_scalar_f64 };
+static F32_SCALAR: KernelSpec<f32> = KernelSpec {
+    mr: mk::MR_F32,
+    nr: mk::NR_F32,
+    name: "scalar-8x8-f32",
+    kernel: mk::kernel_scalar_f32,
+};
+#[cfg(target_arch = "x86_64")]
+static F64_AVX2: KernelSpec<f64> =
+    KernelSpec { mr: mk::MR, nr: mk::NR, name: "avx2-fma-8x4-f64", kernel: mk::kernel_avx2_f64 };
+#[cfg(target_arch = "x86_64")]
+static F32_AVX2: KernelSpec<f32> = KernelSpec {
+    mr: mk::MR_F32,
+    nr: mk::NR_F32,
+    name: "avx2-fma-8x8-f32",
+    kernel: mk::kernel_avx2_f32,
+};
+#[cfg(target_arch = "x86_64")]
+static F64_AVX512: KernelSpec<f64> = KernelSpec {
+    mr: mk::MR_512,
+    nr: mk::NR_512_F64,
+    name: "avx512f-16x4-f64",
+    kernel: mk::kernel_avx512_f64,
+};
+#[cfg(target_arch = "x86_64")]
+static F32_AVX512: KernelSpec<f32> = KernelSpec {
+    mr: mk::MR_512,
+    nr: mk::NR_512_F32,
+    name: "avx512f-16x8-f32",
+    kernel: mk::kernel_avx512_f32,
+};
+
+/// An element type with a full microkernel dispatch table (`f32`, `f64`).
 ///
-/// # Safety
-/// Panel and C-tile requirements of [`kernel_scalar`]; for the AVX2 backend
-/// the caller (the dispatch logic) guarantees the CPU supports AVX2+FMA and
-/// `a` is 32-byte aligned (packed panels in an [`AlignedBuf`]).
-#[inline]
-unsafe fn run_kernel(
-    backend: Backend,
-    kc: usize,
-    alpha: f64,
-    a: *const f64,
-    b: *const f64,
-    c: *mut f64,
-    ldc: usize,
-) {
-    match backend {
-        // SAFETY: forwarded caller contract.
-        Backend::Scalar => unsafe { kernel_scalar(kc, alpha, a, b, c, ldc) },
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: forwarded caller contract; Avx2 is only ever constructed
-        // after `is_x86_feature_detected!("avx2") && ("fma")`.
-        Backend::Avx2 => unsafe { crate::microkernel::kernel_avx2(kc, alpha, a, b, c, ldc) },
+/// Extends the sealed [`Scalar`] trait, so it cannot be implemented outside
+/// this workspace; the methods are dispatch plumbing that kernel entry
+/// points ([`gemm`], [`crate::par_gemm`]) use internally.
+pub trait Kernel: Scalar {
+    /// The spec for a given backend (the scalar one always exists; SIMD
+    /// specs exist whenever compiled for x86-64 — the caller checks CPU
+    /// support before running them).
+    #[doc(hidden)]
+    fn spec_of(backend: Backend) -> &'static KernelSpec<Self>;
+
+    /// Runs `f` with this thread's packing scratch for this element type.
+    #[doc(hidden)]
+    fn with_pack_bufs<R>(f: impl FnOnce(&mut AlignedBuf<Self>, &mut AlignedBuf<Self>) -> R) -> R;
+
+    /// The process-wide dispatched spec (cached feature detection + env
+    /// overrides).
+    fn spec() -> &'static KernelSpec<Self> {
+        Self::spec_of(active_backend())
+    }
+
+    /// The portable scalar spec (always safe to run).
+    fn scalar_spec() -> &'static KernelSpec<Self> {
+        Self::spec_of(Backend::Scalar)
     }
 }
 
+macro_rules! impl_kernel {
+    ($t:ty, $scalar:ident, $avx2:ident, $avx512:ident) => {
+        impl Kernel for $t {
+            fn spec_of(backend: Backend) -> &'static KernelSpec<$t> {
+                match backend {
+                    Backend::Scalar => &$scalar,
+                    #[cfg(target_arch = "x86_64")]
+                    Backend::Avx2 => &$avx2,
+                    #[cfg(target_arch = "x86_64")]
+                    Backend::Avx512 => &$avx512,
+                }
+            }
+
+            fn with_pack_bufs<R>(
+                f: impl FnOnce(&mut AlignedBuf<$t>, &mut AlignedBuf<$t>) -> R,
+            ) -> R {
+                thread_local! {
+                    /// Per-thread packing scratch (A block, B panel), reused
+                    /// across calls so task-sized gemms don't pay an
+                    /// allocation each.
+                    static BUFS: RefCell<(AlignedBuf<$t>, AlignedBuf<$t>)> =
+                        const { RefCell::new((AlignedBuf::new(), AlignedBuf::new())) };
+                }
+                BUFS.with(|bufs| {
+                    let mut bufs = bufs.borrow_mut();
+                    let (a_buf, b_buf) = &mut *bufs;
+                    f(a_buf, b_buf)
+                })
+            }
+        }
+    };
+}
+
+impl_kernel!(f64, F64_SCALAR, F64_AVX2, F64_AVX512);
+impl_kernel!(f32, F32_SCALAR, F32_AVX2, F32_AVX512);
+
+/// Name of the microkernel backend `gemm` dispatches to on this host:
+/// `"avx512f"`, `"avx2-fma"` or `"scalar"`. Scalar is selected when the CPU
+/// lacks the SIMD features or when the `CA_KERNELS_FORCE_SCALAR`
+/// environment variable is set (to anything but `0`);
+/// `CA_KERNELS_BACKEND=<name>` pins a specific supported backend. The
+/// choice is made once per process and shared by both element types.
+pub fn gemm_backend() -> &'static str {
+    backend_label(active_backend())
+}
+
+/// Full name (with tile geometry) of the dispatched microkernel for `T`,
+/// e.g. `"avx512f-16x8-f32"`.
+pub fn gemm_kernel_name<T: Kernel>() -> &'static str {
+    T::spec().name
+}
+
+/// Names of every microkernel backend this host can actually run, best
+/// first. Drives the differential conformance matrix in the test suite.
+pub fn gemm_available_backends() -> Vec<&'static str> {
+    ALL_BACKENDS.iter().copied().filter(|&b| backend_supported(b)).map(backend_label).collect()
+}
+
 #[inline]
-pub(crate) fn op_shape(t: Trans, a: MatView<'_>) -> (usize, usize) {
+pub(crate) fn op_shape<T: Scalar>(t: Trans, a: MatView<'_, T>) -> (usize, usize) {
     match t {
         Trans::No => (a.nrows(), a.ncols()),
         Trans::Yes => (a.ncols(), a.nrows()),
@@ -133,44 +298,133 @@ pub(crate) fn op_shape(t: Trans, a: MatView<'_>) -> (usize, usize) {
 /// # Panics
 /// If the shapes of `op(A)` (`m × k`), `op(B)` (`k × n`) and `C` (`m × n`)
 /// are inconsistent.
-pub fn gemm(
+pub fn gemm<T: Kernel>(
     ta: Trans,
     tb: Trans,
-    alpha: f64,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    beta: f64,
-    c: MatViewMut<'_>,
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    c: MatViewMut<'_, T>,
 ) {
-    gemm_on(active_backend(), ta, tb, alpha, a, b, beta, c);
+    gemm_on(T::spec(), ta, tb, alpha, a, b, beta, c);
 }
 
 /// [`gemm`] forced onto the portable scalar microkernel, regardless of CPU
 /// features or `CA_KERNELS_FORCE_SCALAR`. A testing hook: the conformance
 /// suite and the ASan job use it to exercise the fallback path in-process
 /// next to the dispatched one.
-pub fn gemm_force_scalar(
+pub fn gemm_force_scalar<T: Kernel>(
     ta: Trans,
     tb: Trans,
-    alpha: f64,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    beta: f64,
-    c: MatViewMut<'_>,
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    c: MatViewMut<'_, T>,
 ) {
-    gemm_on(Backend::Scalar, ta, tb, alpha, a, b, beta, c);
+    gemm_on(T::scalar_spec(), ta, tb, alpha, a, b, beta, c);
+}
+
+/// [`gemm`] pinned to a named backend from [`gemm_available_backends`] —
+/// the in-process hook behind the backend × precision conformance matrix.
+///
+/// # Panics
+/// If `name` is not a backend this host supports.
+#[allow(clippy::too_many_arguments)] // BLAS-style call convention
+pub fn gemm_with_backend<T: Kernel>(
+    name: &str,
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    c: MatViewMut<'_, T>,
+) {
+    let backend = *ALL_BACKENDS
+        .iter()
+        .find(|&&b| backend_label(b) == name && backend_supported(b))
+        .unwrap_or_else(|| panic!("backend {name:?} not available on this host"));
+    gemm_on(T::spec_of(backend), ta, tb, alpha, a, b, beta, c);
+}
+
+/// Runs the `jr`/`ir` register loops of one packed cache block:
+/// `C[0..mb, 0..nb] += alpha * Apack · Bpack` with `C` addressed through
+/// `(cbase, ldc)`.
+///
+/// This is the single code path every GEMM entry funnels into — the serial
+/// driver below, [`crate::par_gemm`], and the scheduler sub-DAG tile tasks
+/// — which is what makes their results bitwise-identical: same packed
+/// layouts, same microkernel, same per-element operation order.
+///
+/// # Safety
+/// `apack` holds the `mb × kcb` A block packed for `spec` (at least
+/// `mb.next_multiple_of(spec.mr) * kcb` elements, 64-byte-aligned base for
+/// SIMD specs), `bpack` the `kcb × nb` B block (at least
+/// `kcb * nb.next_multiple_of(spec.nr)`), `cbase` points to an `mb × nb`
+/// column-major window with leading dimension `ldc` valid for reads and
+/// writes, and the CPU must support `spec`'s features.
+#[allow(clippy::too_many_arguments)] // BLAS-style call convention
+pub(crate) unsafe fn macro_kernel<T: Scalar>(
+    spec: &KernelSpec<T>,
+    mb: usize,
+    nb: usize,
+    kcb: usize,
+    alpha: T,
+    apack: &[T],
+    bpack: &[T],
+    cbase: *mut T,
+    ldc: usize,
+) {
+    let (mr, nr) = (spec.mr, spec.nr);
+    debug_assert!(apack.len() >= mb.next_multiple_of(mr) * kcb);
+    debug_assert!(bpack.len() >= kcb * nb.next_multiple_of(nr));
+    let mut jr = 0;
+    while jr < nb {
+        let nrb = nr.min(nb - jr);
+        let b_panel = bpack[(jr / nr) * nr * kcb..].as_ptr();
+        let mut ir = 0;
+        while ir < mb {
+            let mrb = mr.min(mb - ir);
+            let a_panel = apack[(ir / mr) * mr * kcb..].as_ptr();
+            // SAFETY: panels hold mr*kcb / nr*kcb packed (zero-padded)
+            // elements; the A panel starts at a multiple of mr·kcb elements
+            // inside a 64-byte-aligned buffer, so SIMD alignment holds.
+            unsafe {
+                if mrb == mr && nrb == nr {
+                    // Full tile: C window (ir, jr) is mr×nr, in bounds by
+                    // the loop guards.
+                    let cp = cbase.add(ir + jr * ldc);
+                    (spec.kernel)(kcb, alpha, a_panel, b_panel, cp, ldc);
+                } else {
+                    // Edge tile: land in a stack tile, then fold the valid
+                    // mrb×nrb corner into C.
+                    let mut tile = [T::ZERO; MAX_TILE];
+                    (spec.kernel)(kcb, alpha, a_panel, b_panel, tile.as_mut_ptr(), mr);
+                    for j in 0..nrb {
+                        for i in 0..mrb {
+                            *cbase.add(ir + i + (jr + j) * ldc) += tile[j * mr + i];
+                        }
+                    }
+                }
+            }
+            ir += mr;
+        }
+        jr += nr;
+    }
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors the 8-operand BLAS dgemm surface
-fn gemm_on(
-    backend: Backend,
+fn gemm_on<T: Kernel>(
+    spec: &KernelSpec<T>,
     ta: Trans,
     tb: Trans,
-    alpha: f64,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    beta: f64,
-    mut c: MatViewMut<'_>,
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    mut c: MatViewMut<'_, T>,
 ) {
     let (m, ka) = op_shape(ta, a);
     let (kb, n) = op_shape(tb, b);
@@ -183,24 +437,17 @@ fn gemm_on(
         return;
     }
     scale(beta, c.rb());
-    if alpha == 0.0 || k == 0 {
+    if alpha == T::ZERO || k == 0 {
         return;
     }
 
-    let tap = match ta {
-        Trans::No => PackTrans::No,
-        Trans::Yes => PackTrans::Yes,
-    };
-    let tbp = match tb {
-        Trans::No => PackTrans::No,
-        Trans::Yes => PackTrans::Yes,
-    };
+    let tap: PackTrans = ta.into();
+    let tbp: PackTrans = tb.into();
+    let (mr, nr) = (spec.mr, spec.nr);
 
-    PACK_BUFS.with(|bufs| {
-        let mut bufs = bufs.borrow_mut();
-        let (a_buf, b_buf) = &mut *bufs;
-        let apack = a_buf.scratch(MC.min(m).next_multiple_of(MR) * KC.min(k));
-        let bpack = b_buf.scratch(KC.min(k) * NC.min(n).next_multiple_of(NR));
+    T::with_pack_bufs(|a_buf, b_buf| {
+        let apack = a_buf.scratch(MC.min(m).next_multiple_of(mr) * KC.min(k));
+        let bpack = b_buf.scratch(KC.min(k) * NC.min(n).next_multiple_of(nr));
         let ldc = c.ld();
         let cbase = c.as_mut_ptr();
 
@@ -210,53 +457,27 @@ fn gemm_on(
             let mut pc = 0;
             while pc < k {
                 let kcb = KC.min(k - pc);
-                pack_b(tbp, b, pc, kcb, jc, nb, bpack);
+                pack_b(tbp, b, pc, kcb, jc, nb, bpack, nr);
                 let mut ic = 0;
                 while ic < m {
                     let mb = MC.min(m - ic);
-                    pack_a(tap, a, ic, mb, pc, kcb, apack);
-                    let mut jr = 0;
-                    while jr < nb {
-                        let nr = NR.min(nb - jr);
-                        let b_panel = bpack[(jr / NR) * NR * kcb..].as_ptr();
-                        let mut ir = 0;
-                        while ir < mb {
-                            let mr = MR.min(mb - ir);
-                            let a_panel = apack[(ir / MR) * MR * kcb..].as_ptr();
-                            // SAFETY: panels hold MR*kcb / NR*kcb packed
-                            // (zero-padded) elements; the A panel starts at
-                            // a multiple of MR·kcb f64s inside a 64-byte-
-                            // aligned AlignedBuf, so it is 32-byte aligned.
-                            unsafe {
-                                if mr == MR && nr == NR {
-                                    // Full tile: C window (ic+ir, jc+jr) is
-                                    // MR×NR, in bounds by the loop guards.
-                                    let cp = cbase.add(ic + ir + (jc + jr) * ldc);
-                                    run_kernel(backend, kcb, alpha, a_panel, b_panel, cp, ldc);
-                                } else {
-                                    // Edge tile: land in a stack tile, then
-                                    // fold the valid mr×nr corner into C.
-                                    let mut tile = [0.0f64; MR * NR];
-                                    run_kernel(
-                                        backend,
-                                        kcb,
-                                        alpha,
-                                        a_panel,
-                                        b_panel,
-                                        tile.as_mut_ptr(),
-                                        MR,
-                                    );
-                                    for j in 0..nr {
-                                        for i in 0..mr {
-                                            *cbase.add(ic + ir + i + (jc + jr + j) * ldc) +=
-                                                tile[j * MR + i];
-                                        }
-                                    }
-                                }
-                            }
-                            ir += MR;
-                        }
-                        jr += NR;
+                    pack_a(tap, a, ic, mb, pc, kcb, apack, mr);
+                    // SAFETY: packed panels were just filled for `spec`'s
+                    // geometry; the C window (ic, jc)+(mb × nb) is in bounds
+                    // by the loop guards; specs with SIMD kernels are only
+                    // reachable through dispatch or an availability check.
+                    unsafe {
+                        macro_kernel(
+                            spec,
+                            mb,
+                            nb,
+                            kcb,
+                            alpha,
+                            apack,
+                            bpack,
+                            cbase.add(ic + jc * ldc),
+                            ldc,
+                        );
                     }
                     ic += mb;
                 }
@@ -267,22 +488,15 @@ fn gemm_on(
     });
 }
 
-thread_local! {
-    /// Per-thread packing scratch (A block, B panel), reused across calls so
-    /// task-sized gemms don't pay an allocation each.
-    static PACK_BUFS: RefCell<(AlignedBuf, AlignedBuf)> =
-        const { RefCell::new((AlignedBuf::new(), AlignedBuf::new())) };
-}
-
 /// `C := beta * C` (handles `beta == 0` without reading C).
-pub(crate) fn scale(beta: f64, mut c: MatViewMut<'_>) {
-    if beta == 1.0 {
+pub(crate) fn scale<T: Scalar>(beta: T, mut c: MatViewMut<'_, T>) {
+    if beta == T::ONE {
         return;
     }
     for j in 0..c.ncols() {
         let col = c.col_mut(j);
-        if beta == 0.0 {
-            col.fill(0.0);
+        if beta == T::ZERO {
+            col.fill(T::ZERO);
         } else {
             for x in col {
                 *x *= beta;
@@ -323,18 +537,14 @@ mod tests {
         let b = ca_matrix::random_uniform(br, bc, &mut rng);
         let c0 = ca_matrix::random_uniform(m, n, &mut rng);
         let expect = reference(ta, tb, alpha, &a, &b, beta, &c0);
-        for forced_scalar in [false, true] {
+        for backend in gemm_available_backends() {
             let mut c = c0.clone();
-            if forced_scalar {
-                gemm_force_scalar(ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
-            } else {
-                gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
-            }
+            gemm_with_backend(backend, ta, tb, alpha, a.view(), b.view(), beta, c.view_mut());
             let diff = c.sub_matrix(&expect);
             let err = ca_matrix::norm_max(diff.view());
             assert!(
                 err < 1e-12 * (k.max(1) as f64),
-                "error {err} for {ta:?}{tb:?} {m}x{n}x{k} scalar={forced_scalar}"
+                "error {err} for {ta:?}{tb:?} {m}x{n}x{k} backend={backend}"
             );
         }
     }
@@ -354,7 +564,9 @@ mod tests {
 
     #[test]
     fn nn_crosses_register_block_boundaries() {
-        for &m in &[MR - 1, MR, MR + 1, 2 * MR - 1] {
+        // Straddle every geometry's tile edges, including AVX-512's 16-row
+        // tiles.
+        for &m in &[MR - 1, MR, MR + 1, 2 * MR - 1, 2 * MR + 1] {
             for &n in &[NR - 1, NR, NR + 1, 2 * NR + 1] {
                 check(Trans::No, Trans::No, m, n, 5, 1.0, 1.0);
             }
@@ -369,6 +581,28 @@ mod tests {
         // Transposed operands crossing the register blocking.
         check(Trans::Yes, Trans::No, MR + 3, NR + 2, 21, 1.0, 0.0);
         check(Trans::No, Trans::Yes, 2 * MR + 1, 2 * NR + 3, 13, -1.0, 1.0);
+    }
+
+    #[test]
+    fn f32_gemm_matches_oracle_on_every_backend() {
+        let (m, n, k) = (37, 21, 29);
+        let mut rng = ca_matrix::seeded_rng(99);
+        let a64 = ca_matrix::random_uniform(m, k, &mut rng);
+        let b64 = ca_matrix::random_uniform(k, n, &mut rng);
+        let c64 = ca_matrix::random_uniform(m, n, &mut rng);
+        let a: Matrix<f32> = Matrix::from_f64(&a64);
+        let b: Matrix<f32> = Matrix::from_f64(&b64);
+        let c0: Matrix<f32> = Matrix::from_f64(&c64);
+        let expect = reference(Trans::No, Trans::No, 1.0, &a.to_f64(), &b.to_f64(), -0.5, &c0.to_f64());
+        for backend in gemm_available_backends() {
+            let mut c = c0.clone();
+            gemm_with_backend(backend, Trans::No, Trans::No, 1.0f32, a.view(), b.view(), -0.5f32, c.view_mut());
+            let err = ca_matrix::norm_max(c.to_f64().sub_matrix(&expect).view());
+            assert!(
+                err < 8.0 * (k as f64 + 4.0) * f32::EPSILON as f64,
+                "f32 error {err} on backend={backend}"
+            );
+        }
     }
 
     #[test]
@@ -451,6 +685,12 @@ mod tests {
     #[test]
     fn backend_name_is_reported() {
         let name = gemm_backend();
-        assert!(name == "avx2-fma" || name == "scalar", "unexpected backend {name}");
+        assert!(
+            name == "avx512f" || name == "avx2-fma" || name == "scalar",
+            "unexpected backend {name}"
+        );
+        assert!(gemm_available_backends().contains(&name));
+        assert!(gemm_kernel_name::<f64>().contains("f64"));
+        assert!(gemm_kernel_name::<f32>().contains("f32"));
     }
 }

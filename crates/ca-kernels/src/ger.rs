@@ -1,19 +1,19 @@
 //! Rank-1 update (`dger` equivalent) and column scaling — the BLAS2
 //! building blocks of unblocked Gaussian elimination.
 
-use ca_matrix::MatViewMut;
+use ca_matrix::{MatViewMut, Scalar};
 
 /// `A := A + alpha * x * yᵀ` where `x` has `A.nrows()` and `y` has
 /// `A.ncols()` elements.
 ///
 /// # Panics
 /// If the vector lengths do not match `A`'s shape.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatViewMut<'_>) {
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], mut a: MatViewMut<'_, T>) {
     assert_eq!(x.len(), a.nrows(), "x length must equal row count");
     assert_eq!(y.len(), a.ncols(), "y length must equal column count");
     for (j, &yj) in y.iter().enumerate() {
         let s = alpha * yj;
-        if s != 0.0 {
+        if s != T::ZERO {
             let col = a.col_mut(j);
             for (ci, &xi) in col.iter_mut().zip(x) {
                 *ci += s * xi;
@@ -23,7 +23,7 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatViewMut<'_>) {
 }
 
 /// `x := alpha * x` over a column slice.
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
     for v in x {
         *v *= alpha;
     }
@@ -32,12 +32,12 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 /// Index of the element of maximum absolute value (`idamax`), or `None` for
 /// an empty slice. NaN entries are treated as not-a-maximum (skipped) unless
 /// every entry is NaN, in which case index 0 is returned.
-pub fn iamax(x: &[f64]) -> Option<usize> {
+pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
     if x.is_empty() {
         return None;
     }
     let mut best = 0usize;
-    let mut best_val = -1.0f64;
+    let mut best_val = -T::ONE;
     for (i, &v) in x.iter().enumerate() {
         let a = v.abs();
         if a > best_val {
@@ -71,9 +71,11 @@ mod tests {
     fn iamax_finds_largest_magnitude() {
         assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
         assert_eq!(iamax(&[0.0, 0.0]), Some(0));
-        assert_eq!(iamax(&[]), None);
+        assert_eq!(iamax::<f64>(&[]), None);
         // NaN never beats a real maximum.
         assert_eq!(iamax(&[1.0, f64::NAN, 3.0]), Some(2));
+        // Same semantics in f32.
+        assert_eq!(iamax(&[1.0f32, f32::NAN, -3.0]), Some(2));
     }
 
     #[test]

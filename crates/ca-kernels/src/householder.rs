@@ -5,26 +5,26 @@
 //! what the TSQR reduction-tree update (task S at inner tree nodes,
 //! Algorithm 2 line 26 of the paper) needs.
 
-use crate::gemm::{gemm, Trans};
-use ca_matrix::{MatView, MatViewMut, Matrix};
+use crate::gemm::{gemm, Kernel, Trans};
+use ca_matrix::{MatView, MatViewMut, Matrix, Scalar};
 
 /// Generates an elementary reflector `H = I − τ·v·vᵀ` with `v[0] = 1` such
 /// that `H · [alpha; x] = [beta; 0]`.
 ///
 /// On return `x` holds `v[1..]`; returns `(beta, tau)`. If `x` is zero,
 /// `tau = 0` (H = I) and `beta = alpha`.
-pub fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
-    let xnorm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
-    if xnorm == 0.0 {
-        return (alpha, 0.0);
+pub fn larfg<T: Scalar>(alpha: T, x: &mut [T]) -> (T, T) {
+    let xnorm = x.iter().fold(T::ZERO, |s, &v| s + v * v).sqrt();
+    if xnorm == T::ZERO {
+        return (alpha, T::ZERO);
     }
     let mut beta = -(alpha.hypot(xnorm)).copysign(alpha);
     // Guard against underflow in the scaling factor for tiny beta.
-    if beta == 0.0 {
-        beta = f64::MIN_POSITIVE;
+    if beta == T::ZERO {
+        beta = T::MIN_POSITIVE;
     }
     let tau = (beta - alpha) / beta;
-    let scale = 1.0 / (alpha - beta);
+    let scale = T::ONE / (alpha - beta);
     for v in x.iter_mut() {
         *v *= scale;
     }
@@ -34,8 +34,8 @@ pub fn larfg(alpha: f64, x: &mut [f64]) -> (f64, f64) {
 /// Applies `H = I − τ·v·vᵀ` from the left to `c` (`m × n`), where `v` is the
 /// full reflector vector including the leading implicit `1`
 /// (`v.len() == m`, `v[0]` ignored and treated as 1).
-pub fn larf_left(tau: f64, v: &[f64], mut c: MatViewMut<'_>) {
-    if tau == 0.0 {
+pub fn larf_left<T: Scalar>(tau: T, v: &[T], mut c: MatViewMut<'_, T>) {
+    if tau == T::ZERO {
         return;
     }
     let m = c.nrows();
@@ -59,7 +59,7 @@ pub fn larf_left(tau: f64, v: &[f64], mut c: MatViewMut<'_>) {
 /// reflectors stored in `v` (`m × k`, unit lower trapezoidal: `v[i][j]` for
 /// `i > j` are stored, the diagonal is implicitly 1, above is ignored) and
 /// the scalar factors `tau` (`dlarft` with `DIRECT='F'`, `STOREV='C'`).
-pub fn larft(v: MatView<'_>, tau: &[f64], mut t: MatViewMut<'_>) {
+pub fn larft<T: Scalar>(v: MatView<'_, T>, tau: &[T], mut t: MatViewMut<'_, T>) {
     let m = v.nrows();
     let k = v.ncols();
     assert_eq!(tau.len(), k, "tau length must equal reflector count");
@@ -70,7 +70,7 @@ pub fn larft(v: MatView<'_>, tau: &[f64], mut t: MatViewMut<'_>) {
         if j > 0 {
             // w = Vᵀ v_j restricted to columns 0..j, where v_j has an
             // implicit 1 at row j and stored entries below.
-            let mut w = vec![0.0f64; j];
+            let mut w = vec![T::ZERO; j];
             for (i, wi) in w.iter_mut().enumerate() {
                 let mut s = v.at(j, i); // row j of column i times the implicit 1
                 for r in j + 1..m {
@@ -80,8 +80,8 @@ pub fn larft(v: MatView<'_>, tau: &[f64], mut t: MatViewMut<'_>) {
             }
             // T[0..j, j] = -tau_j * T[0..j, 0..j] * w  (T upper triangular)
             for i in 0..j {
-                let mut s = 0.0;
-                for (l, wl) in w.iter().enumerate().take(j).skip(i) {
+                let mut s = T::ZERO;
+                for (l, &wl) in w.iter().enumerate().take(j).skip(i) {
                     s += t.at(i, l) * wl;
                 }
                 t.set(i, j, -tj * s);
@@ -89,14 +89,14 @@ pub fn larft(v: MatView<'_>, tau: &[f64], mut t: MatViewMut<'_>) {
         }
         // Zero the strictly-lower part of column j so T is cleanly triangular.
         for i in j + 1..k {
-            t.set(i, j, 0.0);
+            t.set(i, j, T::ZERO);
         }
     }
 }
 
 /// In place `W := V₁ᵀ · W` where `V₁` is `k × k` **unit lower** triangular
 /// (stored entries strictly below the diagonal; diagonal implicit 1).
-fn trmv_unit_lower_trans(v1: MatView<'_>, mut w: MatViewMut<'_>) {
+fn trmv_unit_lower_trans<T: Scalar>(v1: MatView<'_, T>, mut w: MatViewMut<'_, T>) {
     let k = v1.nrows();
     debug_assert_eq!(v1.ncols(), k);
     debug_assert_eq!(w.nrows(), k);
@@ -115,7 +115,7 @@ fn trmv_unit_lower_trans(v1: MatView<'_>, mut w: MatViewMut<'_>) {
 }
 
 /// In place `C₁ := C₁ − V₁ · W` where `V₁` is `k × k` unit lower triangular.
-fn sub_unit_lower_mul(v1: MatView<'_>, w: MatView<'_>, mut c1: MatViewMut<'_>) {
+fn sub_unit_lower_mul<T: Scalar>(v1: MatView<'_, T>, w: MatView<'_, T>, mut c1: MatViewMut<'_, T>) {
     let k = v1.nrows();
     debug_assert_eq!(w.nrows(), k);
     debug_assert_eq!(c1.nrows(), k);
@@ -135,7 +135,7 @@ fn sub_unit_lower_mul(v1: MatView<'_>, w: MatView<'_>, mut c1: MatViewMut<'_>) {
 }
 
 /// In place `W := op(T) · W` with `T` upper triangular `k × k`.
-fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
+fn trmv_upper<T: Scalar>(trans: Trans, t: MatView<'_, T>, mut w: MatViewMut<'_, T>) {
     let k = t.nrows();
     debug_assert_eq!(w.nrows(), k);
     for j in 0..w.ncols() {
@@ -144,7 +144,7 @@ fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
             Trans::No => {
                 // row i uses rows >= i: ascending is safe in place.
                 for i in 0..k {
-                    let mut s = 0.0;
+                    let mut s = T::ZERO;
                     for (l, &cl) in col.iter().enumerate().take(k).skip(i) {
                         s += t.at(i, l) * cl;
                     }
@@ -154,7 +154,7 @@ fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
             Trans::Yes => {
                 // (Tᵀ)[i, :] uses rows <= i: descending is safe in place.
                 for i in (0..k).rev() {
-                    let mut s = 0.0;
+                    let mut s = T::ZERO;
                     for (l, &cl) in col.iter().enumerate().take(i + 1) {
                         s += t.at(l, i) * cl;
                     }
@@ -180,13 +180,13 @@ fn trmv_upper(trans: Trans, t: MatView<'_>, mut w: MatViewMut<'_>) {
 /// The two C blocks may live at unrelated addresses — this is exactly the
 /// inner-tree-node trailing update of multithreaded CAQR, where the stacked
 /// `R` rows of two different block rows of the matrix are updated together.
-pub fn larfb_left_pair(
+pub fn larfb_left_pair<T: Kernel>(
     trans: Trans,
-    v_top: MatView<'_>,
-    v_bot: MatView<'_>,
-    t: MatView<'_>,
-    c_top: MatViewMut<'_>,
-    c_bot: MatViewMut<'_>,
+    v_top: MatView<'_, T>,
+    v_bot: MatView<'_, T>,
+    t: MatView<'_, T>,
+    c_top: MatViewMut<'_, T>,
+    c_bot: MatViewMut<'_, T>,
 ) {
     let mut c_rest = [c_bot];
     larfb_left_multi(trans, v_top, &[v_bot], t, c_top, &mut c_rest);
@@ -200,13 +200,13 @@ pub fn larfb_left_pair(
 ///
 /// # Panics
 /// If block shapes are inconsistent or `v_rest.len() != c_rest.len()`.
-pub fn larfb_left_multi(
+pub fn larfb_left_multi<T: Kernel>(
     trans: Trans,
-    v_top: MatView<'_>,
-    v_rest: &[MatView<'_>],
-    t: MatView<'_>,
-    mut c_top: MatViewMut<'_>,
-    c_rest: &mut [MatViewMut<'_>],
+    v_top: MatView<'_, T>,
+    v_rest: &[MatView<'_, T>],
+    t: MatView<'_, T>,
+    mut c_top: MatViewMut<'_, T>,
+    c_rest: &mut [MatViewMut<'_, T>],
 ) {
     let k = v_top.nrows();
     assert_eq!(v_top.ncols(), k, "v_top must be square k x k");
@@ -227,14 +227,14 @@ pub fn larfb_left_multi(
     trmv_unit_lower_trans(v_top, w.view_mut());
     for (vb, cb) in v_rest.iter().zip(c_rest.iter()) {
         if vb.nrows() > 0 {
-            gemm(Trans::Yes, Trans::No, 1.0, *vb, cb.as_ref(), 1.0, w.view_mut());
+            gemm(Trans::Yes, Trans::No, T::ONE, *vb, cb.as_ref(), T::ONE, w.view_mut());
         }
     }
     trmv_upper(trans, t, w.view_mut());
     sub_unit_lower_mul(v_top, w.view(), c_top.rb());
     for (vb, cb) in v_rest.iter().zip(c_rest.iter_mut()) {
         if vb.nrows() > 0 {
-            gemm(Trans::No, Trans::No, -1.0, *vb, w.view(), 1.0, cb.rb());
+            gemm(Trans::No, Trans::No, -T::ONE, *vb, w.view(), T::ONE, cb.rb());
         }
     }
 }
@@ -242,7 +242,7 @@ pub fn larfb_left_multi(
 /// Applies `op(Q)` from the left to a contiguous `m × n` block `c`, where
 /// the reflectors are stored unit-lower-trapezoidally in `v` (`m × k`),
 /// as produced by [`crate::geqr2`]/[`crate::geqr3`] (`dlarfb`).
-pub fn larfb_left(trans: Trans, v: MatView<'_>, t: MatView<'_>, c: MatViewMut<'_>) {
+pub fn larfb_left<T: Kernel>(trans: Trans, v: MatView<'_, T>, t: MatView<'_, T>, c: MatViewMut<'_, T>) {
     let m = v.nrows();
     let k = v.ncols();
     assert_eq!(c.nrows(), m, "C rows must match V rows");
@@ -255,12 +255,12 @@ pub fn larfb_left(trans: Trans, v: MatView<'_>, t: MatView<'_>, c: MatViewMut<'_
 
 /// Forms the thin explicit `Q` (`m × k`) from packed reflectors `v` (`m × k`)
 /// and compact-WY factor `t`: `Q = (I − V·T·Vᵀ) · [I_k; 0]`.
-pub fn form_q_thin(v: MatView<'_>, t: MatView<'_>) -> Matrix {
+pub fn form_q_thin<T: Kernel>(v: MatView<'_, T>, t: MatView<'_, T>) -> Matrix<T> {
     let m = v.nrows();
     let k = v.ncols();
     let mut q = Matrix::zeros(m, k);
     for i in 0..k {
-        q[(i, i)] = 1.0;
+        q[(i, i)] = T::ONE;
     }
     larfb_left(Trans::No, v, t, q.view_mut());
     q

@@ -16,14 +16,22 @@
 //! | `dlarfg`/`dlarf`/`dlarft`/`dlarfb` | [`larfg`], [`larf_left`], [`larft`], [`larfb_left`], [`larfb_left_pair`] |
 //!
 //! All kernels operate on [`ca_matrix::MatView`]/[`ca_matrix::MatViewMut`]
-//! blocks, so they compose into panel/tile tasks without copying.
+//! blocks, so they compose into panel/tile tasks without copying, and all
+//! are generic over the sealed [`ca_matrix::Scalar`] trait (`f32`/`f64`,
+//! with `f64` defaults so existing call sites are unchanged).
 //!
-//! [`gemm`] is a packed BLIS-style implementation (DESIGN.md §10): three
-//! cache loops over [`NC`]/[`KC`]/[`MC`] around an [`MR`]`×`[`NR`]
-//! microkernel, runtime-dispatched between AVX2+FMA and a portable scalar
-//! fallback ([`gemm_backend`] reports which; `CA_KERNELS_FORCE_SCALAR`
-//! pins the scalar path). The pre-BLIS AXPY-loop kernel survives as
-//! [`gemm_axpy`] — the benchmark baseline and a second test oracle.
+//! [`gemm`] is a packed BLIS-style implementation (DESIGN.md §10, §15):
+//! three cache loops over [`NC`]/[`KC`]/[`MC`] around a register-tiled
+//! microkernel, runtime-dispatched per element type between AVX-512F,
+//! AVX2+FMA and a portable scalar fallback ([`gemm_backend`] reports which;
+//! `CA_KERNELS_FORCE_SCALAR` pins the scalar path and
+//! `CA_KERNELS_BACKEND=<name>` pins any supported backend). [`par_gemm`]
+//! runs the identical decomposition as worker tasks — bitwise-identical
+//! results at every worker count — and its pack/compute task bodies
+//! ([`pack_a_slab`], [`pack_b_panel`], [`gemm_packed`]) are exported for
+//! the scheduler DAG builders in `ca-core`. The pre-BLIS AXPY-loop kernel
+//! survives as [`gemm_axpy`] — the benchmark baseline and a second test
+//! oracle.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -35,6 +43,7 @@ mod gemm;
 mod ger;
 mod microkernel;
 mod pack;
+mod par_gemm;
 mod householder;
 mod lu_recursive;
 mod lu_unblocked;
@@ -43,8 +52,13 @@ mod qr_unblocked;
 mod trsm;
 
 pub use axpy::gemm_axpy;
-pub use gemm::{gemm, gemm_backend, gemm_force_scalar, Trans, KC, MC, MR, NC, NR};
+pub use gemm::{
+    gemm, gemm_available_backends, gemm_backend, gemm_force_scalar, gemm_kernel_name,
+    gemm_with_backend, Backend, Kernel, KernelSpec, Trans, KC, MC, MR, NC, NR,
+};
 pub use ger::{ger, iamax, scal};
+pub use pack::{pack_a, pack_b, PackTrans};
+pub use par_gemm::{gemm_packed, pack_a_slab, pack_b_panel, packed_a_len, packed_b_len, par_gemm};
 pub use householder::{
     form_q_thin, larf_left, larfb_left, larfb_left_multi, larfb_left_pair, larfg, larft,
 };

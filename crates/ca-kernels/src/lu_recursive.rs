@@ -4,7 +4,7 @@
 //! uses it as the sequential kernel inside TSLU leaves: "the best available
 //! sequential algorithm can be used".
 
-use crate::gemm::{gemm, Trans};
+use crate::gemm::{gemm, Kernel, Trans};
 use crate::lu_unblocked::{getf2, LuInfo};
 use crate::trsm::trsm_left_lower_unit;
 use ca_matrix::{MatViewMut, PivotSeq};
@@ -15,7 +15,7 @@ const BASE_COLS: usize = 8;
 /// Recursive Gaussian elimination with partial pivoting of an `m × n` view
 /// (`m ≥ n` expected but not required), in place. Pivot indices are
 /// view-local, exactly as [`getf2`] reports them.
-pub fn rgetf2(a: MatViewMut<'_>) -> LuInfo {
+pub fn rgetf2<T: Kernel>(a: MatViewMut<'_, T>) -> LuInfo {
     let m = a.nrows();
     let n = a.ncols();
     if n <= BASE_COLS || m <= 1 {
@@ -45,7 +45,7 @@ pub fn rgetf2(a: MatViewMut<'_>) -> LuInfo {
         let l11 = left_cols.as_ref().sub(0, 0, n1, n1);
         trsm_left_lower_unit(l11, u12.rb());
         let l21 = left_cols.as_ref().sub(n1, 0, m - n1, n1);
-        gemm(Trans::No, Trans::No, -1.0, l21, u12.as_ref(), 1.0, a22);
+        gemm(Trans::No, Trans::No, -T::ONE, l21, u12.as_ref(), T::ONE, a22);
     }
 
     // Factor the trailing block A[n1.., n1..].

@@ -4,7 +4,7 @@
 //! already moved the chosen pivot rows to the top).
 
 use crate::ger::iamax;
-use ca_matrix::{MatViewMut, PivotSeq};
+use ca_matrix::{MatViewMut, PivotSeq, Scalar};
 
 /// Outcome of an LU panel factorization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,7 +24,7 @@ pub struct LuInfo {
 /// One column is eliminated per step: pivot search (`idamax`), row swap,
 /// column scale, rank-1 trailing update. This is the BLAS2 routine whose
 /// poor multicore performance motivates TSLU in the paper.
-pub fn getf2(mut a: MatViewMut<'_>) -> LuInfo {
+pub fn getf2<T: Scalar>(mut a: MatViewMut<'_, T>) -> LuInfo {
     let m = a.nrows();
     let n = a.ncols();
     let kmax = m.min(n);
@@ -40,14 +40,14 @@ pub fn getf2(mut a: MatViewMut<'_>) -> LuInfo {
             a.swap_rows(k, p);
         }
         let piv = a.at(k, k);
-        if piv == 0.0 {
+        if piv == T::ZERO {
             if first_zero_pivot.is_none() {
                 first_zero_pivot = Some(k);
             }
             continue; // nothing to eliminate; U gets the zero
         }
         // Scale multipliers.
-        let inv = 1.0 / piv;
+        let inv = T::ONE / piv;
         {
             let col_k = a.col_mut(k);
             for x in &mut col_k[k + 1..] {
@@ -58,7 +58,7 @@ pub fn getf2(mut a: MatViewMut<'_>) -> LuInfo {
         // A[k+1.., k+1..] -= L[k+1.., k] * U[k, k+1..].
         for j in k + 1..n {
             let ukj = a.at(k, j);
-            if ukj != 0.0 {
+            if ukj != T::ZERO {
                 // Column k multipliers are read-only during the update of
                 // column j (j > k) — copy via raw parts to satisfy borrows.
                 let lk_ptr = a.col(k)[k + 1..].as_ptr();
@@ -79,20 +79,20 @@ pub fn getf2(mut a: MatViewMut<'_>) -> LuInfo {
 ///
 /// Returns the column index of the first zero diagonal if the factorization
 /// broke down (`None` on success).
-pub fn lu_nopiv(mut a: MatViewMut<'_>) -> Option<usize> {
+pub fn lu_nopiv<T: Scalar>(mut a: MatViewMut<'_, T>) -> Option<usize> {
     let m = a.nrows();
     let n = a.ncols();
     let kmax = m.min(n);
     let mut breakdown = None;
     for k in 0..kmax {
         let piv = a.at(k, k);
-        if piv == 0.0 {
+        if piv == T::ZERO {
             if breakdown.is_none() {
                 breakdown = Some(k);
             }
             continue;
         }
-        let inv = 1.0 / piv;
+        let inv = T::ONE / piv;
         {
             let col_k = a.col_mut(k);
             for x in &mut col_k[k + 1..] {
@@ -101,7 +101,7 @@ pub fn lu_nopiv(mut a: MatViewMut<'_>) -> Option<usize> {
         }
         for j in k + 1..n {
             let ukj = a.at(k, j);
-            if ukj != 0.0 {
+            if ukj != T::ZERO {
                 let lk_ptr = a.col(k)[k + 1..].as_ptr();
                 let lk = unsafe { core::slice::from_raw_parts(lk_ptr, m - k - 1) };
                 let cj = &mut a.col_mut(j)[k + 1..];

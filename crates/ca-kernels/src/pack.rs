@@ -5,57 +5,63 @@
 //! are folded away: the packed image is always the *operated* matrix, so the
 //! driver and microkernel only ever see the `NoTrans × NoTrans` case.
 //!
-//! Layouts (`MR`/`NR` from [`crate::microkernel`]):
+//! Layouts, for a microkernel geometry `(mr, nr)` (a runtime parameter now
+//! that geometries differ per element type and SIMD backend — see
+//! [`crate::gemm::KernelSpec`]):
 //!
-//! * **A block** (`mb × kb` of `op(A)`): row micro-panels of `MR` rows, each
+//! * **A block** (`mb × kb` of `op(A)`): row micro-panels of `mr` rows, each
 //!   panel stored column-by-column — element `(i, p)` of panel `q` lives at
-//!   `q·MR·kb + p·MR + i`. Rows past `mb` in the last panel are zero-filled.
-//! * **B block** (`kb × nb` of `op(B)`): column micro-panels of `NR`
+//!   `q·mr·kb + p·mr + i`. Rows past `mb` in the last panel are zero-filled.
+//! * **B block** (`kb × nb` of `op(B)`): column micro-panels of `nr`
 //!   columns, each stored row-by-row — element `(p, j)` of panel `q` lives
-//!   at `q·NR·kb + p·NR + j`. Columns past `nb` are zero-filled.
+//!   at `q·nr·kb + p·nr + j`. Columns past `nb` are zero-filled.
 //!
-//! Zero-padding lets the microkernel always run a full `MR × NR` tile; the
+//! Zero-padding lets the microkernel always run a full `mr × nr` tile; the
 //! driver discards the padded lanes when storing edge tiles.
 
-use crate::microkernel::{MR, NR};
-use ca_matrix::MatView;
+use ca_matrix::{MatView, Scalar};
 
 /// Whether the source operand is read as stored or transposed, resolved at
 /// pack time.
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum PackTrans {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PackTrans {
+    /// Pack the operand as stored.
     No,
+    /// Pack the transpose of the operand.
     Yes,
 }
 
 /// Packs the `mb × kb` block of `op(A)` starting at (`ic`, `pc`) (indices in
-/// the *operated* matrix) into `buf` in row-micro-panel order.
+/// the *operated* matrix) into `buf` in row-micro-panel order for tile
+/// height `mr`.
 ///
-/// `buf` must hold at least `mb.next_multiple_of(MR) * kb` elements.
-pub(crate) fn pack_a(
+/// `buf` must hold at least `mb.next_multiple_of(mr) * kb` elements.
+#[allow(clippy::too_many_arguments)] // BLAS-style call convention
+pub fn pack_a<T: Scalar>(
     trans: PackTrans,
-    a: MatView<'_>,
+    a: MatView<'_, T>,
     ic: usize,
     mb: usize,
     pc: usize,
     kb: usize,
-    buf: &mut [f64],
+    buf: &mut [T],
+    mr: usize,
 ) {
-    let panels = mb.div_ceil(MR);
-    debug_assert!(buf.len() >= panels * MR * kb);
+    let panels = mb.div_ceil(mr);
+    debug_assert!(buf.len() >= panels * mr * kb);
     for q in 0..panels {
-        let i0 = q * MR;
-        let rows = MR.min(mb - i0);
-        let panel = &mut buf[q * MR * kb..(q + 1) * MR * kb];
+        let i0 = q * mr;
+        let rows = mr.min(mb - i0);
+        let panel = &mut buf[q * mr * kb..(q + 1) * mr * kb];
         match trans {
             PackTrans::No => {
                 // op(A)[ic+i, pc+p] = A[ic+i, pc+p]: source columns are
                 // contiguous, copy `rows` at a time.
                 for p in 0..kb {
                     let src = &a.col(pc + p)[ic + i0..ic + i0 + rows];
-                    let dst = &mut panel[p * MR..p * MR + rows];
+                    let dst = &mut panel[p * mr..p * mr + rows];
                     dst.copy_from_slice(src);
-                    panel[p * MR + rows..(p + 1) * MR].fill(0.0);
+                    panel[p * mr + rows..(p + 1) * mr].fill(T::ZERO);
                 }
             }
             PackTrans::Yes => {
@@ -64,12 +70,12 @@ pub(crate) fn pack_a(
                 for i in 0..rows {
                     let src = &a.col(ic + i0 + i)[pc..pc + kb];
                     for (p, &v) in src.iter().enumerate() {
-                        panel[p * MR + i] = v;
+                        panel[p * mr + i] = v;
                     }
                 }
-                if rows < MR {
+                if rows < mr {
                     for p in 0..kb {
-                        panel[p * MR + rows..(p + 1) * MR].fill(0.0);
+                        panel[p * mr + rows..(p + 1) * mr].fill(T::ZERO);
                     }
                 }
             }
@@ -78,32 +84,35 @@ pub(crate) fn pack_a(
 }
 
 /// Packs the `kb × nb` block of `op(B)` starting at (`pc`, `jc`) (indices in
-/// the *operated* matrix) into `buf` in column-micro-panel order.
+/// the *operated* matrix) into `buf` in column-micro-panel order for tile
+/// width `nr`.
 ///
-/// `buf` must hold at least `kb * nb.next_multiple_of(NR)` elements.
-pub(crate) fn pack_b(
+/// `buf` must hold at least `kb * nb.next_multiple_of(nr)` elements.
+#[allow(clippy::too_many_arguments)] // BLAS-style call convention
+pub fn pack_b<T: Scalar>(
     trans: PackTrans,
-    b: MatView<'_>,
+    b: MatView<'_, T>,
     pc: usize,
     kb: usize,
     jc: usize,
     nb: usize,
-    buf: &mut [f64],
+    buf: &mut [T],
+    nr: usize,
 ) {
-    let panels = nb.div_ceil(NR);
-    debug_assert!(buf.len() >= panels * NR * kb);
+    let panels = nb.div_ceil(nr);
+    debug_assert!(buf.len() >= panels * nr * kb);
     for q in 0..panels {
-        let j0 = q * NR;
-        let cols = NR.min(nb - j0);
-        let panel = &mut buf[q * NR * kb..(q + 1) * NR * kb];
+        let j0 = q * nr;
+        let cols = nr.min(nb - j0);
+        let panel = &mut buf[q * nr * kb..(q + 1) * nr * kb];
         match trans {
             PackTrans::No => {
-                // op(B)[pc+p, jc+j] = B[pc+p, jc+j]: walk the NR source
-                // columns, scattering each into stride-NR slots.
+                // op(B)[pc+p, jc+j] = B[pc+p, jc+j]: walk the nr source
+                // columns, scattering each into stride-nr slots.
                 for j in 0..cols {
                     let src = &b.col(jc + j0 + j)[pc..pc + kb];
                     for (p, &v) in src.iter().enumerate() {
-                        panel[p * NR + j] = v;
+                        panel[p * nr + j] = v;
                     }
                 }
             }
@@ -113,14 +122,14 @@ pub(crate) fn pack_b(
                 for p in 0..kb {
                     let src = b.col(pc + p);
                     for j in 0..cols {
-                        panel[p * NR + j] = src[jc + j0 + j];
+                        panel[p * nr + j] = src[jc + j0 + j];
                     }
                 }
             }
         }
-        if cols < NR {
+        if cols < nr {
             for p in 0..kb {
-                panel[p * NR + cols..(p + 1) * NR].fill(0.0);
+                panel[p * nr + cols..(p + 1) * nr].fill(T::ZERO);
             }
         }
     }
@@ -129,6 +138,7 @@ pub(crate) fn pack_b(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{MR, NR};
     use ca_matrix::Matrix;
 
     fn numbered(rows: usize, cols: usize) -> Matrix {
@@ -141,7 +151,7 @@ mod tests {
         let mb = MR + 3;
         let kb = 5;
         let mut buf = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
-        pack_a(PackTrans::No, a.view(), 0, mb, 0, kb, &mut buf);
+        pack_a(PackTrans::No, a.view(), 0, mb, 0, kb, &mut buf, MR);
         // Panel 0, column p, row i.
         for p in 0..kb {
             for i in 0..MR {
@@ -167,8 +177,8 @@ mod tests {
         let (mb, kb) = (MR + 2, 6);
         let mut packed_t = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
         let mut packed_n = vec![f64::NAN; mb.div_ceil(MR) * MR * kb];
-        pack_a(PackTrans::Yes, a.view(), 0, mb, 0, kb, &mut packed_t);
-        pack_a(PackTrans::No, at.view(), 0, mb, 0, kb, &mut packed_n);
+        pack_a(PackTrans::Yes, a.view(), 0, mb, 0, kb, &mut packed_t, MR);
+        pack_a(PackTrans::No, at.view(), 0, mb, 0, kb, &mut packed_n, MR);
         assert_eq!(packed_t, packed_n);
     }
 
@@ -177,7 +187,7 @@ mod tests {
         let b = numbered(4, NR + 1);
         let (kb, nb) = (4, NR + 1);
         let mut buf = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
-        pack_b(PackTrans::No, b.view(), 0, kb, 0, nb, &mut buf);
+        pack_b(PackTrans::No, b.view(), 0, kb, 0, nb, &mut buf, NR);
         for p in 0..kb {
             for j in 0..NR {
                 assert_eq!(buf[p * NR + j], b[(p, j)]);
@@ -199,8 +209,8 @@ mod tests {
         let (kb, nb) = (7, NR + 3);
         let mut packed_t = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
         let mut packed_n = vec![f64::NAN; nb.div_ceil(NR) * NR * kb];
-        pack_b(PackTrans::Yes, b.view(), 0, kb, 0, nb, &mut packed_t);
-        pack_b(PackTrans::No, bt.view(), 0, kb, 0, nb, &mut packed_n);
+        pack_b(PackTrans::Yes, b.view(), 0, kb, 0, nb, &mut packed_t, NR);
+        pack_b(PackTrans::No, bt.view(), 0, kb, 0, nb, &mut packed_n, NR);
         assert_eq!(packed_t, packed_n);
     }
 
@@ -209,19 +219,36 @@ mod tests {
         let a = numbered(20, 20);
         let (ic, pc, mb, kb) = (3, 5, MR, 4);
         let mut buf = vec![f64::NAN; MR * kb];
-        pack_a(PackTrans::No, a.view(), ic, mb, pc, kb, &mut buf);
+        pack_a(PackTrans::No, a.view(), ic, mb, pc, kb, &mut buf, MR);
         for p in 0..kb {
             for i in 0..MR {
                 assert_eq!(buf[p * MR + i], a[(ic + i, pc + p)]);
             }
         }
         let mut buf = vec![f64::NAN; 2 * NR * kb];
-        pack_b(PackTrans::No, a.view(), pc, kb, ic, 2 * NR, &mut buf);
+        pack_b(PackTrans::No, a.view(), pc, kb, ic, 2 * NR, &mut buf, NR);
         for q in 0..2 {
             for p in 0..kb {
                 for j in 0..NR {
                     assert_eq!(buf[q * NR * kb + p * NR + j], a[(pc + p, ic + q * NR + j)]);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_wide_tile_geometry_f32() {
+        // AVX-512-style f32 geometry (mr = 16) on a ragged block.
+        let a: Matrix<f32> = Matrix::from_fn(19, 3, |i, j| (i * 10 + j) as f32);
+        let (mb, kb, mr) = (19usize, 3, 16);
+        let mut buf = vec![f32::NAN; mb.div_ceil(mr) * mr * kb];
+        pack_a(PackTrans::No, a.view(), 0, mb, 0, kb, &mut buf, mr);
+        for p in 0..kb {
+            for i in 0..mb {
+                assert_eq!(buf[(i / mr) * mr * kb + p * mr + (i % mr)], a[(i, p)]);
+            }
+            for i in mb..2 * mr {
+                assert_eq!(buf[(i / mr) * mr * kb + p * mr + (i % mr)], 0.0);
             }
         }
     }

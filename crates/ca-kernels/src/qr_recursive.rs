@@ -6,10 +6,10 @@
 //! runs inside TSQR leaves and tree nodes ("the efficient recursive QR
 //! factorization [10]").
 
-use crate::gemm::{gemm, Trans};
+use crate::gemm::{gemm, Kernel, Trans};
 use crate::householder::{larfb_left, larft};
 use crate::qr_unblocked::geqr2;
-use ca_matrix::{MatView, MatViewMut, Matrix};
+use ca_matrix::{MatView, MatViewMut, Matrix, Scalar};
 
 /// Column count at which recursion bottoms out into `geqr2` + `larft`.
 const BASE_COLS: usize = 4;
@@ -22,7 +22,7 @@ const BASE_COLS: usize = 4;
 ///
 /// # Panics
 /// If `m < n` or `t` is smaller than `n × n`.
-pub fn geqr3(mut a: MatViewMut<'_>, mut t: MatViewMut<'_>) {
+pub fn geqr3<T: Kernel>(mut a: MatViewMut<'_, T>, mut t: MatViewMut<'_, T>) {
     let m = a.nrows();
     let n = a.ncols();
     assert!(m >= n, "geqr3 requires a tall or square panel (m >= n), got {m}x{n}");
@@ -59,7 +59,7 @@ pub fn geqr3(mut a: MatViewMut<'_>, mut t: MatViewMut<'_>) {
         let v2_unit = materialize_unit_lower(a.as_ref().sub(n1, n1, m - n1, n2));
         let v1_low = a.as_ref().sub(n1, 0, m - n1, n1);
         let mut w = Matrix::zeros(n1, n2);
-        gemm(Trans::Yes, Trans::No, 1.0, v1_low, v2_unit.view(), 0.0, w.view_mut());
+        gemm(Trans::Yes, Trans::No, T::ONE, v1_low, v2_unit.view(), T::ZERO, w.view_mut());
 
         // w := T1 * w (T1 upper triangular n1×n1)
         let t1 = t.as_ref().sub(0, 0, n1, n1);
@@ -79,28 +79,28 @@ pub fn geqr3(mut a: MatViewMut<'_>, mut t: MatViewMut<'_>) {
 
 /// Copies a unit-lower-trapezoidal reflector block into an explicit dense
 /// matrix (upper part zeroed, unit diagonal written).
-fn materialize_unit_lower(v: MatView<'_>) -> Matrix {
+fn materialize_unit_lower<T: Scalar>(v: MatView<'_, T>) -> Matrix<T> {
     let m = v.nrows();
     let k = v.ncols();
     Matrix::from_fn(m, k, |i, j| {
         if i == j {
-            1.0
+            T::ONE
         } else if i > j {
             v.at(i, j)
         } else {
-            0.0
+            T::ZERO
         }
     })
 }
 
 /// In place `W := T · W` with `T` upper triangular (non-unit).
-fn trmm_upper_left(t: MatView<'_>, mut w: MatViewMut<'_>) {
+fn trmm_upper_left<T: Scalar>(t: MatView<'_, T>, mut w: MatViewMut<'_, T>) {
     let k = t.nrows();
     debug_assert_eq!(w.nrows(), k);
     for j in 0..w.ncols() {
         let col = w.col_mut(j);
         for i in 0..k {
-            let mut s = 0.0;
+            let mut s = T::ZERO;
             for (l, &cl) in col.iter().enumerate().take(k).skip(i) {
                 s += t.at(i, l) * cl;
             }
@@ -110,14 +110,14 @@ fn trmm_upper_left(t: MatView<'_>, mut w: MatViewMut<'_>) {
 }
 
 /// In place `W := W · T` with `T` upper triangular (non-unit).
-fn trmm_upper_right(t: MatView<'_>, mut w: MatViewMut<'_>) {
+fn trmm_upper_right<T: Scalar>(t: MatView<'_, T>, mut w: MatViewMut<'_, T>) {
     let k = t.nrows();
     debug_assert_eq!(w.ncols(), k);
     let m = w.nrows();
     // Column j of the result uses columns 0..=j of W: process right-to-left.
     for j in (0..k).rev() {
         for i in 0..m {
-            let mut s = 0.0;
+            let mut s = T::ZERO;
             for l in 0..=j {
                 s += w.at(i, l) * t.at(l, j);
             }
@@ -194,8 +194,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "m >= n")]
     fn wide_panel_rejected() {
-        let mut a = Matrix::zeros(3, 5);
-        let mut t = Matrix::zeros(5, 5);
+        let mut a: Matrix = Matrix::zeros(3, 5);
+        let mut t: Matrix = Matrix::zeros(5, 5);
         geqr3(a.view_mut(), t.view_mut());
     }
 }

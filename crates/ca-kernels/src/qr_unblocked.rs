@@ -2,19 +2,19 @@
 //! calls `MKL_dgeqr2`, and the base case of the recursive `geqr3`.
 
 use crate::householder::{larf_left, larfg};
-use ca_matrix::MatViewMut;
+use ca_matrix::{MatViewMut, Scalar};
 
 /// Householder QR of an `m × n` view, in place. On return the upper triangle
 /// holds `R`; the reflector vectors `v_j` are stored below the diagonal with
 /// implicit unit diagonal; `tau` receives the `min(m, n)` scalar factors.
-pub fn geqr2(mut a: MatViewMut<'_>, tau: &mut Vec<f64>) {
+pub fn geqr2<T: Scalar>(mut a: MatViewMut<'_, T>, tau: &mut Vec<T>) {
     let m = a.nrows();
     let n = a.ncols();
     let k = m.min(n);
     tau.clear();
     tau.reserve(k);
 
-    let mut vbuf = vec![0.0f64; m];
+    let mut vbuf = vec![T::ZERO; m];
     for j in 0..k {
         // Generate reflector annihilating A[j+1.., j].
         let alpha = a.at(j, j);
@@ -25,10 +25,10 @@ pub fn geqr2(mut a: MatViewMut<'_>, tau: &mut Vec<f64>) {
         a.set(j, j, beta);
         tau.push(tj);
 
-        if j + 1 < n && tj != 0.0 {
+        if j + 1 < n && tj != T::ZERO {
             // Apply H to the trailing columns A[j.., j+1..].
             let len = m - j;
-            vbuf[0] = 1.0;
+            vbuf[0] = T::ONE;
             vbuf[1..len].copy_from_slice(&a.col(j)[j + 1..]);
             let trailing = a.sub(j, j + 1, len, n - j - 1);
             larf_left(tj, &vbuf[..len], trailing);

@@ -31,6 +31,22 @@ pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
         + 2.0 * (m * n) as f64 * c_sweeps)
 }
 
+/// Packing a `rows × cols` operand block into a contiguous microkernel
+/// image (a scheduler pack task): the source is read once, the image
+/// written once.
+pub fn pack(rows: usize, cols: usize) -> f64 {
+    W * 2.0 * (rows * cols) as f64
+}
+
+/// One packed-image tile multiply `C += Apack·Bpack` (`C` `m × n`, depth
+/// `k`): the images stream in once per `pc` sweep they survive in cache,
+/// C is read and written once per sweep. Packing traffic is charged to the
+/// pack tasks ([`pack`]), not here.
+pub fn gemm_packed(m: usize, n: usize, k: usize) -> f64 {
+    let c_sweeps = k.div_ceil(crate::KC).max(1) as f64;
+    W * ((m * k) as f64 + (k * n) as f64 + 2.0 * (m * n) as f64 * c_sweeps)
+}
+
 /// Right triangular solve `B := B·U⁻¹`, `B` `m × n`: read U, read+write B.
 pub fn trsm_right(m: usize, n: usize) -> f64 {
     W * ((n * n / 2) as f64 + 2.0 * (m * n) as f64)

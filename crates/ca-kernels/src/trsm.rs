@@ -10,8 +10,8 @@
 //! update, so the bulk of the arithmetic runs on the packed BLIS-style
 //! GEMM path.
 
-use crate::gemm::{gemm, Trans};
-use ca_matrix::{MatView, MatViewMut};
+use crate::gemm::{gemm, Kernel, Trans};
+use ca_matrix::{MatView, MatViewMut, Scalar};
 
 /// Diagonal-block order below which the scalar base-case solver runs.
 const TRSM_NB: usize = 64;
@@ -27,7 +27,7 @@ const TRSM_NB: usize = 64;
 ///
 /// # Panics
 /// If `U` is not square or its order differs from `B`'s column count.
-pub fn trsm_right_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
+pub fn trsm_right_upper_notrans<T: Kernel>(u: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let n = u.nrows();
     assert_eq!(u.ncols(), n, "U must be square");
     assert_eq!(b.ncols(), n, "B column count must equal order of U");
@@ -41,10 +41,10 @@ pub fn trsm_right_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
             gemm(
                 Trans::No,
                 Trans::No,
-                -1.0,
+                -T::ONE,
                 solved.as_ref(),
                 u.sub(0, j0, j0, w),
-                1.0,
+                T::ONE,
                 rest.into_sub(0, 0, m, w),
             );
         }
@@ -54,14 +54,14 @@ pub fn trsm_right_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
 }
 
 /// Scalar base case of [`trsm_right_upper_notrans`] (one diagonal block).
-fn trsm_right_upper_notrans_base(u: MatView<'_>, mut b: MatViewMut<'_>) {
+fn trsm_right_upper_notrans_base<T: Scalar>(u: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let n = u.nrows();
     let m = b.nrows();
     for j in 0..n {
         // B[:, j] -= sum_{k<j} B[:, k] * U[k, j]
         let u_col = u.col(j);
         for (k, &x) in u_col.iter().enumerate().take(j) {
-            if x != 0.0 {
+            if x != T::ZERO {
                 // Split borrow: copy the already-solved column k scale into j.
                 let (bk_ptr, bj) = {
                     let bk = b.col(k).as_ptr();
@@ -74,7 +74,7 @@ fn trsm_right_upper_notrans_base(u: MatView<'_>, mut b: MatViewMut<'_>) {
                 }
             }
         }
-        let inv = 1.0 / u_col[j];
+        let inv = T::ONE / u_col[j];
         for x in b.col_mut(j) {
             *x *= inv;
         }
@@ -85,7 +85,7 @@ fn trsm_right_upper_notrans_base(u: MatView<'_>, mut b: MatViewMut<'_>) {
 /// (`dtrsm('L','L','N','U')`).
 ///
 /// This computes the `U` block row in LU: `U₁₂ = L₁₁⁻¹ A₁₂`.
-pub fn trsm_left_lower_unit(l: MatView<'_>, mut b: MatViewMut<'_>) {
+pub fn trsm_left_lower_unit<T: Kernel>(l: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let m = l.nrows();
     assert_eq!(l.ncols(), m, "L must be square");
     assert_eq!(b.nrows(), m, "B row count must equal order of L");
@@ -100,10 +100,10 @@ pub fn trsm_left_lower_unit(l: MatView<'_>, mut b: MatViewMut<'_>) {
             gemm(
                 Trans::No,
                 Trans::No,
-                -1.0,
+                -T::ONE,
                 l.sub(k0 + w, k0, m - k0 - w, w),
                 top.as_ref().sub(k0, 0, w, n),
-                1.0,
+                T::ONE,
                 below,
             );
         }
@@ -112,14 +112,14 @@ pub fn trsm_left_lower_unit(l: MatView<'_>, mut b: MatViewMut<'_>) {
 }
 
 /// Scalar base case of [`trsm_left_lower_unit`] (one diagonal block).
-fn trsm_left_lower_unit_base(l: MatView<'_>, mut b: MatViewMut<'_>) {
+fn trsm_left_lower_unit_base<T: Scalar>(l: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let m = l.nrows();
     let n = b.ncols();
     for j in 0..n {
         let bj = b.col_mut(j);
         for k in 0..m {
             let x = bj[k];
-            if x != 0.0 {
+            if x != T::ZERO {
                 let l_col = l.col(k);
                 for i in k + 1..m {
                     bj[i] -= x * l_col[i];
@@ -133,7 +133,7 @@ fn trsm_left_lower_unit_base(l: MatView<'_>, mut b: MatViewMut<'_>) {
 /// `B := U⁻¹ * B` with `U` upper triangular, non-unit diagonal
 /// (`dtrsm('L','U','N','N')`) — back substitution for solvers. BLAS
 /// semantics on singular triangles (zero diagonal yields `inf`/`NaN`).
-pub fn trsm_left_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
+pub fn trsm_left_upper_notrans<T: Scalar>(u: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let m = u.nrows();
     assert_eq!(u.ncols(), m, "U must be square");
     assert_eq!(b.nrows(), m, "B row count must equal order of U");
@@ -143,7 +143,7 @@ pub fn trsm_left_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
         for k in (0..m).rev() {
             let x = bj[k] / u.at(k, k);
             bj[k] = x;
-            if x != 0.0 {
+            if x != T::ZERO {
                 let u_col = u.col(k);
                 for i in 0..k {
                     bj[i] -= x * u_col[i];
@@ -157,7 +157,7 @@ pub fn trsm_left_upper_notrans(u: MatView<'_>, mut b: MatViewMut<'_>) {
 /// (`dtrsm('L','U','T','N')`) — forward substitution with `Uᵀ`, used for
 /// transpose solves `AᵀX = B` from an LU factorization. BLAS semantics on
 /// singular triangles.
-pub fn trsm_left_upper_trans(u: MatView<'_>, mut b: MatViewMut<'_>) {
+pub fn trsm_left_upper_trans<T: Scalar>(u: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let m = u.nrows();
     assert_eq!(u.ncols(), m, "U must be square");
     assert_eq!(b.nrows(), m, "B row count must equal order of U");
@@ -179,7 +179,7 @@ pub fn trsm_left_upper_trans(u: MatView<'_>, mut b: MatViewMut<'_>) {
 /// `B := L⁻ᵀ * B` with `L` lower triangular, unit diagonal
 /// (`dtrsm('L','L','T','U')`) — used when solving `AᵀX = B` from an LU
 /// factorization.
-pub fn trsm_left_lower_trans_unit(l: MatView<'_>, mut b: MatViewMut<'_>) {
+pub fn trsm_left_lower_trans_unit<T: Scalar>(l: MatView<'_, T>, mut b: MatViewMut<'_, T>) {
     let m = l.nrows();
     assert_eq!(l.ncols(), m, "L must be square");
     assert_eq!(b.nrows(), m, "B row count must equal order of L");
@@ -296,8 +296,8 @@ mod tests {
         trsm_right_upper_notrans(u.view(), b.view_mut());
         assert_eq!(b, Matrix::from_rows(3, 1, &[1.0, 2.0, 3.0]));
 
-        let u0 = Matrix::zeros(0, 0);
-        let mut b0 = Matrix::zeros(5, 0);
+        let u0: Matrix = Matrix::zeros(0, 0);
+        let mut b0: Matrix = Matrix::zeros(5, 0);
         trsm_right_upper_notrans(u0.view(), b0.view_mut());
         let mut b1 = Matrix::zeros(0, 3);
         trsm_left_lower_unit(u0.view(), b1.view_mut());
@@ -338,6 +338,20 @@ mod tests {
             let err = norm_max(x.sub_matrix(&x_true).view());
             assert!(err < 1e-10 * m as f64, "m={m} err {err}");
         }
+    }
+
+    #[test]
+    fn f32_right_upper_solves_xu_eq_b() {
+        let n = TRSM_NB + 3; // cross the blocked/gemm boundary in f32 too
+        let u64m = random_upper(n, 31);
+        let x64 = ca_matrix::random_uniform(9, n, &mut ca_matrix::seeded_rng(32));
+        let u: Matrix<f32> = Matrix::from_f64(&u64m);
+        let x_true: Matrix<f32> = Matrix::from_f64(&x64);
+        let b = x_true.to_f64().matmul(&u.to_f64());
+        let mut x: Matrix<f32> = Matrix::from_f64(&b);
+        trsm_right_upper_notrans(u.view(), x.view_mut());
+        let err = norm_max(x.to_f64().sub_matrix(&x_true.to_f64()).view());
+        assert!(err < 1e-3, "err {err}");
     }
 
     #[test]

@@ -2,33 +2,35 @@
 //!
 //! The BLIS-style packed GEMM in `ca-kernels` copies operand panels into
 //! contiguous micro-tile scratch before the register-blocked microkernel
-//! runs. Those panels want 64-byte alignment so every AVX2 load of a packed
+//! runs. Those panels want 64-byte alignment so every SIMD load of a packed
 //! micro-panel row sits inside one cache line and never splits across two.
-//! `Vec<f64>` only guarantees 8-byte alignment, hence this small allocator
-//! wrapper.
+//! `Vec<T>` only guarantees the element's natural alignment, hence this
+//! small allocator wrapper. Generic over [`Scalar`] (`f32`/`f64`) with an
+//! `f64` default, like [`crate::Matrix`].
 
+use crate::scalar::Scalar;
 use core::ops::{Deref, DerefMut};
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 
 /// Alignment of [`AlignedBuf`] allocations, in bytes (one x86 cache line).
 pub const BUF_ALIGN: usize = 64;
 
-/// A growable `f64` buffer whose storage is always [`BUF_ALIGN`]-aligned.
+/// A growable scalar buffer whose storage is always [`BUF_ALIGN`]-aligned.
 ///
 /// Unlike `Vec`, growth never copies the old contents: the buffer is scratch
 /// that callers fully overwrite each use, so `reserve` simply reallocates
 /// fresh zeroed storage when the capacity is insufficient.
-pub struct AlignedBuf {
-    ptr: *mut f64,
+pub struct AlignedBuf<T: Scalar = f64> {
+    ptr: *mut T,
     len: usize,
 }
 
 // SAFETY: the buffer exclusively owns its allocation; it is a plain chunk of
-// f64s with no interior mutability or thread affinity.
-unsafe impl Send for AlignedBuf {}
-unsafe impl Sync for AlignedBuf {}
+// scalars with no interior mutability or thread affinity.
+unsafe impl<T: Scalar> Send for AlignedBuf<T> {}
+unsafe impl<T: Scalar> Sync for AlignedBuf<T> {}
 
-impl AlignedBuf {
+impl<T: Scalar> AlignedBuf<T> {
     /// Creates an empty buffer (no allocation).
     pub const fn new() -> Self {
         Self { ptr: core::ptr::null_mut(), len: 0 }
@@ -62,7 +64,7 @@ impl AlignedBuf {
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len > self.len >= 0 and len > 0
         // here since len > self.len implies len >= 1).
-        let ptr = unsafe { alloc_zeroed(layout) } as *mut f64;
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
         if ptr.is_null() {
             handle_alloc_error(layout);
         }
@@ -74,7 +76,7 @@ impl AlignedBuf {
     /// A zeroed, aligned mutable slice of exactly `len` elements, growing
     /// the buffer if needed. The slice contents are unspecified (whatever a
     /// previous user left) — packing code overwrites every element it reads.
-    pub fn scratch(&mut self, len: usize) -> &mut [f64] {
+    pub fn scratch(&mut self, len: usize) -> &mut [T] {
         self.reserve(len);
         // SAFETY: `ptr` holds at least `len` initialized (zeroed-at-alloc)
         // elements and we hold `&mut self`.
@@ -82,7 +84,7 @@ impl AlignedBuf {
     }
 
     fn layout(len: usize) -> Layout {
-        Layout::from_size_align(len * core::mem::size_of::<f64>(), BUF_ALIGN)
+        Layout::from_size_align(len * core::mem::size_of::<T>(), BUF_ALIGN)
             .expect("aligned buffer layout")
     }
 
@@ -96,21 +98,21 @@ impl AlignedBuf {
     }
 }
 
-impl Default for AlignedBuf {
+impl<T: Scalar> Default for AlignedBuf<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Drop for AlignedBuf {
+impl<T: Scalar> Drop for AlignedBuf<T> {
     fn drop(&mut self) {
         self.release();
     }
 }
 
-impl Deref for AlignedBuf {
-    type Target = [f64];
-    fn deref(&self) -> &[f64] {
+impl<T: Scalar> Deref for AlignedBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
         if self.ptr.is_null() {
             &[]
         } else {
@@ -120,8 +122,8 @@ impl Deref for AlignedBuf {
     }
 }
 
-impl DerefMut for AlignedBuf {
-    fn deref_mut(&mut self) -> &mut [f64] {
+impl<T: Scalar> DerefMut for AlignedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
         if self.ptr.is_null() {
             &mut []
         } else {
@@ -137,7 +139,7 @@ mod tests {
 
     #[test]
     fn starts_empty_and_grows_zeroed() {
-        let mut b = AlignedBuf::new();
+        let mut b: AlignedBuf = AlignedBuf::new();
         assert!(b.is_empty());
         assert_eq!(&b[..], &[]);
         let s = b.scratch(17);
@@ -148,14 +150,24 @@ mod tests {
     #[test]
     fn storage_is_cache_line_aligned() {
         for n in [1usize, 7, 64, 1000] {
-            let b = AlignedBuf::zeroed(n);
+            let b: AlignedBuf = AlignedBuf::zeroed(n);
             assert_eq!(b.as_ptr() as usize % BUF_ALIGN, 0, "misaligned for n={n}");
         }
     }
 
     #[test]
+    fn f32_storage_is_cache_line_aligned() {
+        for n in [1usize, 3, 16, 1000] {
+            let mut b: AlignedBuf<f32> = AlignedBuf::zeroed(n);
+            assert_eq!(b.as_ptr() as usize % BUF_ALIGN, 0, "misaligned for n={n}");
+            let s = b.scratch(n);
+            assert!(s.iter().all(|&x| x == 0.0f32));
+        }
+    }
+
+    #[test]
     fn reserve_never_shrinks_and_scratch_reuses() {
-        let mut b = AlignedBuf::zeroed(100);
+        let mut b: AlignedBuf = AlignedBuf::zeroed(100);
         let p = b.as_ptr();
         b.reserve(50);
         assert_eq!(b.len(), 100);
@@ -167,7 +179,7 @@ mod tests {
 
     #[test]
     fn growth_reallocates_aligned() {
-        let mut b = AlignedBuf::zeroed(8);
+        let mut b: AlignedBuf = AlignedBuf::zeroed(8);
         b.scratch(8)[0] = 1.0;
         let s = b.scratch(4096);
         assert_eq!(s.len(), 4096);

@@ -32,6 +32,7 @@ mod matrix;
 mod norms;
 mod perm;
 pub mod region;
+mod scalar;
 pub mod shadow;
 mod shared;
 mod view;
@@ -48,6 +49,7 @@ pub use norms::{
 };
 pub use perm::{invert_permutation, is_permutation, permute_rows, PivotSeq};
 pub use region::RegionSet;
+pub use scalar::Scalar;
 pub use shadow::{ElemRect, ShadowRegistry, ShadowViolation, TaskFootprint, TaskScope};
 pub use shared::SharedMatrix;
 pub use view::{MatView, MatViewMut};

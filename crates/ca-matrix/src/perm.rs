@@ -2,6 +2,7 @@
 //! need: pivot sequences (`ipiv`, as produced by partial pivoting) and
 //! explicit permutation vectors.
 
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 
 /// A sequence of row interchanges, LAPACK `ipiv`-style but 0-based:
@@ -44,21 +45,21 @@ impl PivotSeq {
     ///
     /// `a` must be a view whose row `0` corresponds to global row `0`
     /// (i.e. a full-height block of the matrix being factored).
-    pub fn apply(&self, mut a: MatViewMut<'_>) {
+    pub fn apply<T: Scalar>(&self, mut a: MatViewMut<'_, T>) {
         for (k, &p) in self.ipiv.iter().enumerate() {
             a.swap_rows(self.offset + k, p);
         }
     }
 
     /// Applies the interchanges in reverse order (the inverse permutation).
-    pub fn apply_inverse(&self, mut a: MatViewMut<'_>) {
+    pub fn apply_inverse<T: Scalar>(&self, mut a: MatViewMut<'_, T>) {
         for (k, &p) in self.ipiv.iter().enumerate().rev() {
             a.swap_rows(self.offset + k, p);
         }
     }
 
     /// Applies the interchanges to a row-indexed vector (e.g. a RHS).
-    pub fn apply_vec(&self, v: &mut [f64]) {
+    pub fn apply_vec<T: Scalar>(&self, v: &mut [T]) {
         for (k, &p) in self.ipiv.iter().enumerate() {
             v.swap(self.offset + k, p);
         }
@@ -86,9 +87,9 @@ impl PivotSeq {
 /// row `i` of the result is row `perm[i]` of the input.
 ///
 /// Allocates a scratch column; use on full-height views.
-pub fn permute_rows(perm: &[usize], mut a: MatViewMut<'_>) {
+pub fn permute_rows<T: Scalar>(perm: &[usize], mut a: MatViewMut<'_, T>) {
     assert_eq!(perm.len(), a.nrows(), "permutation length must match row count");
-    let mut scratch = vec![0.0f64; a.nrows()];
+    let mut scratch = vec![T::ZERO; a.nrows()];
     for j in 0..a.ncols() {
         let col = a.col_mut(j);
         for (i, &p) in perm.iter().enumerate() {

@@ -18,6 +18,7 @@
 //! time.
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use crate::shadow::{ElemRect, ShadowRegistry};
 use crate::view::{MatView, MatViewMut};
 use core::cell::UnsafeCell;
@@ -29,8 +30,8 @@ use std::sync::Arc;
 /// result with [`SharedMatrix::into_inner`]. Checked execution mode attaches
 /// a [`ShadowRegistry`] with [`SharedMatrix::with_shadow`], which makes every
 /// block accessor record its element range for race/footprint checking.
-pub struct SharedMatrix {
-    cell: UnsafeCell<Matrix>,
+pub struct SharedMatrix<T: Scalar = f64> {
+    cell: UnsafeCell<Matrix<T>>,
     rows: usize,
     cols: usize,
     shadow: Option<Arc<ShadowRegistry>>,
@@ -39,12 +40,12 @@ pub struct SharedMatrix {
 // SAFETY: concurrent access is only possible through the `unsafe` block
 // accessors, whose contracts require callers (the task runtime) to guarantee
 // non-overlapping access; under that contract data races cannot occur.
-unsafe impl Send for SharedMatrix {}
-unsafe impl Sync for SharedMatrix {}
+unsafe impl<T: Scalar> Send for SharedMatrix<T> {}
+unsafe impl<T: Scalar> Sync for SharedMatrix<T> {}
 
-impl SharedMatrix {
+impl<T: Scalar> SharedMatrix<T> {
     /// Wraps a matrix for shared task access.
-    pub fn new(m: Matrix) -> Self {
+    pub fn new(m: Matrix<T>) -> Self {
         let rows = m.nrows();
         let cols = m.ncols();
         Self { cell: UnsafeCell::new(m), rows, cols, shadow: None }
@@ -52,7 +53,7 @@ impl SharedMatrix {
 
     /// Wraps a matrix for *checked* shared task access: every block accessor
     /// reports its element range to `registry` (see [`crate::shadow`]).
-    pub fn with_shadow(m: Matrix, registry: Arc<ShadowRegistry>) -> Self {
+    pub fn with_shadow(m: Matrix<T>, registry: Arc<ShadowRegistry>) -> Self {
         let mut s = Self::new(m);
         s.shadow = Some(registry);
         s
@@ -76,7 +77,7 @@ impl SharedMatrix {
     }
 
     /// Reclaims the matrix after all tasks have completed.
-    pub fn into_inner(self) -> Matrix {
+    pub fn into_inner(self) -> Matrix<T> {
         self.cell.into_inner()
     }
 
@@ -87,7 +88,7 @@ impl SharedMatrix {
     /// mutate any element of the block. The scheduler's dependency edges must
     /// enforce this.
     #[inline]
-    pub unsafe fn block(&self, i: usize, j: usize, r: usize, c: usize) -> MatView<'_> {
+    pub unsafe fn block(&self, i: usize, j: usize, r: usize, c: usize) -> MatView<'_, T> {
         assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
         if let Some(reg) = &self.shadow {
             reg.on_access(false, i..i + r, j..j + c);
@@ -109,7 +110,7 @@ impl SharedMatrix {
     /// edges must enforce this.
     #[inline]
     #[allow(clippy::mut_from_ref)]
-    pub unsafe fn block_mut(&self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'_> {
+    pub unsafe fn block_mut(&self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'_, T> {
         assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
         if let Some(reg) = &self.shadow {
             reg.on_access(true, i..i + r, j..j + c);
@@ -146,7 +147,7 @@ impl SharedMatrix {
         r: usize,
         c: usize,
         rects: &[ElemRect],
-    ) -> MatView<'_> {
+    ) -> MatView<'_, T> {
         assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
         if let Some(reg) = &self.shadow {
             for rect in rects {
@@ -181,7 +182,7 @@ impl SharedMatrix {
         r: usize,
         c: usize,
         rects: &[ElemRect],
-    ) -> MatViewMut<'_> {
+    ) -> MatViewMut<'_, T> {
         assert!(i + r <= self.rows && j + c <= self.cols, "block out of bounds");
         if let Some(reg) = &self.shadow {
             for rect in rects {
@@ -207,7 +208,7 @@ impl SharedMatrix {
     #[allow(clippy::mut_from_ref)]
     // Forwarding wrapper: carries block_mut's own contract verbatim.
     #[allow(clippy::disallowed_methods)]
-    pub unsafe fn whole_mut(&self) -> MatViewMut<'_> {
+    pub unsafe fn whole_mut(&self) -> MatViewMut<'_, T> {
         // SAFETY: the caller's contract is exactly `block_mut`'s over the
         // whole matrix.
         unsafe { self.block_mut(0, 0, self.rows, self.cols) }

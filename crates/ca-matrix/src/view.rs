@@ -5,18 +5,20 @@
 //! currency of every kernel in this workspace: they make it possible to hand
 //! disjoint panels and trailing blocks of one allocation to different tasks
 //! without copying, exactly as LAPACK routines do with `(A, LDA)` pairs.
+//! Generic over [`Scalar`] with an `f64` default, like [`crate::Matrix`].
 
+use crate::scalar::Scalar;
 use core::fmt;
 use core::marker::PhantomData;
 
 /// Immutable view of a column-major matrix block.
 #[derive(Clone, Copy)]
-pub struct MatView<'a> {
-    ptr: *const f64,
+pub struct MatView<'a, T: Scalar = f64> {
+    ptr: *const T,
     rows: usize,
     cols: usize,
     ld: usize,
-    _marker: PhantomData<&'a f64>,
+    _marker: PhantomData<&'a T>,
 }
 
 /// Mutable view of a column-major matrix block.
@@ -25,22 +27,22 @@ pub struct MatView<'a> {
 /// Use [`MatViewMut::rb`] (reborrow) to lend it out temporarily and
 /// [`MatViewMut::split_at_row`] / [`MatViewMut::split_at_col`] to divide it
 /// into disjoint sub-blocks.
-pub struct MatViewMut<'a> {
-    ptr: *mut f64,
+pub struct MatViewMut<'a, T: Scalar = f64> {
+    ptr: *mut T,
     rows: usize,
     cols: usize,
     ld: usize,
-    _marker: PhantomData<&'a mut f64>,
+    _marker: PhantomData<&'a mut T>,
 }
 
-// SAFETY: a view is just a reference-like handle to f64 data; f64: Send+Sync
-// and the borrow rules are enforced by the lifetimes exactly as for &[f64].
-unsafe impl<'a> Send for MatView<'a> {}
-unsafe impl<'a> Sync for MatView<'a> {}
-unsafe impl<'a> Send for MatViewMut<'a> {}
-unsafe impl<'a> Sync for MatViewMut<'a> {}
+// SAFETY: a view is just a reference-like handle to scalar data; T: Send+Sync
+// and the borrow rules are enforced by the lifetimes exactly as for &[T].
+unsafe impl<'a, T: Scalar> Send for MatView<'a, T> {}
+unsafe impl<'a, T: Scalar> Sync for MatView<'a, T> {}
+unsafe impl<'a, T: Scalar> Send for MatViewMut<'a, T> {}
+unsafe impl<'a, T: Scalar> Sync for MatViewMut<'a, T> {}
 
-impl<'a> MatView<'a> {
+impl<'a, T: Scalar> MatView<'a, T> {
     /// Builds a view from raw parts.
     ///
     /// # Safety
@@ -48,7 +50,7 @@ impl<'a> MatView<'a> {
     /// `ld * (cols - 1) + rows` elements (when `cols > 0`), which stays alive
     /// and un-mutated for `'a`, and `ld >= rows` must hold.
     #[inline]
-    pub unsafe fn from_raw_parts(ptr: *const f64, rows: usize, cols: usize, ld: usize) -> Self {
+    pub unsafe fn from_raw_parts(ptr: *const T, rows: usize, cols: usize, ld: usize) -> Self {
         debug_assert!(ld >= rows || cols <= 1);
         Self { ptr, rows, cols, ld, _marker: PhantomData }
     }
@@ -58,7 +60,7 @@ impl<'a> MatView<'a> {
     /// # Panics
     /// If `data.len() != rows * cols`.
     #[inline]
-    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize) -> Self {
+    pub fn from_slice(data: &'a [T], rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols, "slice length must equal rows*cols");
         unsafe { Self::from_raw_parts(data.as_ptr(), rows, cols, rows.max(1)) }
     }
@@ -83,7 +85,7 @@ impl<'a> MatView<'a> {
 
     /// Raw pointer to element `(0, 0)`.
     #[inline]
-    pub fn as_ptr(&self) -> *const f64 {
+    pub fn as_ptr(&self) -> *const T {
         self.ptr
     }
 
@@ -96,7 +98,7 @@ impl<'a> MatView<'a> {
     /// Reads element `(i, j)` with bounds checking.
     #[inline]
     #[track_caller]
-    pub fn at(&self, i: usize, j: usize) -> f64 {
+    pub fn at(&self, i: usize, j: usize) -> T {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { *self.ptr.add(i + j * self.ld) }
     }
@@ -106,7 +108,7 @@ impl<'a> MatView<'a> {
     /// # Safety
     /// `i < nrows()` and `j < ncols()` must hold.
     #[inline]
-    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: in bounds per the caller's contract.
         unsafe { *self.ptr.add(i + j * self.ld) }
@@ -115,7 +117,7 @@ impl<'a> MatView<'a> {
     /// Column `j` as a contiguous slice.
     #[inline]
     #[track_caller]
-    pub fn col(&self, j: usize) -> &'a [f64] {
+    pub fn col(&self, j: usize) -> &'a [T] {
         assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
         unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
     }
@@ -123,14 +125,14 @@ impl<'a> MatView<'a> {
     /// Sub-view of `r × c` elements starting at `(i, j)`.
     #[inline]
     #[track_caller]
-    pub fn sub(&self, i: usize, j: usize, r: usize, c: usize) -> MatView<'a> {
+    pub fn sub(&self, i: usize, j: usize, r: usize, c: usize) -> MatView<'a, T> {
         assert!(i + r <= self.rows && j + c <= self.cols,
             "subview ({i},{j})+({r}x{c}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { MatView::from_raw_parts(self.ptr.add(i + j * self.ld), r, c, self.ld) }
     }
 
     /// Copies the view into a fresh `rows * cols` column-major `Vec`.
-    pub fn to_vec(&self) -> Vec<f64> {
+    pub fn to_vec(&self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.rows * self.cols);
         for j in 0..self.cols {
             out.extend_from_slice(self.col(j));
@@ -139,8 +141,8 @@ impl<'a> MatView<'a> {
     }
 
     /// Maximum absolute value of the elements (`0.0` for an empty view).
-    pub fn max_abs(&self) -> f64 {
-        let mut m = 0.0f64;
+    pub fn max_abs(&self) -> T {
+        let mut m = T::ZERO;
         for j in 0..self.cols {
             for &x in self.col(j) {
                 m = m.max(x.abs());
@@ -150,14 +152,14 @@ impl<'a> MatView<'a> {
     }
 }
 
-impl<'a> MatViewMut<'a> {
+impl<'a, T: Scalar> MatViewMut<'a, T> {
     /// Builds a mutable view from raw parts.
     ///
     /// # Safety
     /// Same requirements as [`MatView::from_raw_parts`], plus exclusivity:
     /// no other live view may alias the window for `'a`.
     #[inline]
-    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, ld: usize) -> Self {
+    pub unsafe fn from_raw_parts(ptr: *mut T, rows: usize, cols: usize, ld: usize) -> Self {
         debug_assert!(ld >= rows || cols <= 1);
         Self { ptr, rows, cols, ld, _marker: PhantomData }
     }
@@ -167,7 +169,7 @@ impl<'a> MatViewMut<'a> {
     /// # Panics
     /// If `data.len() != rows * cols`.
     #[inline]
-    pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize) -> Self {
+    pub fn from_slice(data: &'a mut [T], rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols, "slice length must equal rows*cols");
         unsafe { Self::from_raw_parts(data.as_mut_ptr(), rows, cols, rows.max(1)) }
     }
@@ -192,7 +194,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Raw pointer to element `(0, 0)`.
     #[inline]
-    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+    pub fn as_mut_ptr(&mut self) -> *mut T {
         self.ptr
     }
 
@@ -204,20 +206,20 @@ impl<'a> MatViewMut<'a> {
 
     /// Reborrows as an immutable view.
     #[inline]
-    pub fn as_ref(&self) -> MatView<'_> {
+    pub fn as_ref(&self) -> MatView<'_, T> {
         unsafe { MatView::from_raw_parts(self.ptr, self.rows, self.cols, self.ld) }
     }
 
     /// Reborrows mutably with a shorter lifetime (like `&mut *x`).
     #[inline]
-    pub fn rb(&mut self) -> MatViewMut<'_> {
+    pub fn rb(&mut self) -> MatViewMut<'_, T> {
         unsafe { MatViewMut::from_raw_parts(self.ptr, self.rows, self.cols, self.ld) }
     }
 
     /// Reads element `(i, j)` with bounds checking.
     #[inline]
     #[track_caller]
-    pub fn at(&self, i: usize, j: usize) -> f64 {
+    pub fn at(&self, i: usize, j: usize) -> T {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { *self.ptr.add(i + j * self.ld) }
     }
@@ -225,7 +227,7 @@ impl<'a> MatViewMut<'a> {
     /// Writes element `(i, j)` with bounds checking.
     #[inline]
     #[track_caller]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { *self.ptr.add(i + j * self.ld) = v }
     }
@@ -233,7 +235,7 @@ impl<'a> MatViewMut<'a> {
     /// Mutable reference to element `(i, j)` with bounds checking.
     #[inline]
     #[track_caller]
-    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { &mut *self.ptr.add(i + j * self.ld) }
     }
@@ -243,7 +245,7 @@ impl<'a> MatViewMut<'a> {
     /// # Safety
     /// `i < nrows()` and `j < ncols()` must hold.
     #[inline]
-    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: in bounds per the caller's contract.
         unsafe { *self.ptr.add(i + j * self.ld) }
@@ -254,7 +256,7 @@ impl<'a> MatViewMut<'a> {
     /// # Safety
     /// `i < nrows()` and `j < ncols()` must hold.
     #[inline]
-    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: T) {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: in bounds per the caller's contract.
         unsafe { *self.ptr.add(i + j * self.ld) = v };
@@ -263,7 +265,7 @@ impl<'a> MatViewMut<'a> {
     /// Column `j` as a contiguous immutable slice.
     #[inline]
     #[track_caller]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[T] {
         assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
         unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
     }
@@ -271,7 +273,7 @@ impl<'a> MatViewMut<'a> {
     /// Column `j` as a contiguous mutable slice.
     #[inline]
     #[track_caller]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
         unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows) }
     }
@@ -279,7 +281,7 @@ impl<'a> MatViewMut<'a> {
     /// Mutable sub-view of `r × c` elements starting at `(i, j)`.
     #[inline]
     #[track_caller]
-    pub fn sub(&mut self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'_> {
+    pub fn sub(&mut self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'_, T> {
         assert!(i + r <= self.rows && j + c <= self.cols,
             "subview ({i},{j})+({r}x{c}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { MatViewMut::from_raw_parts(self.ptr.add(i + j * self.ld), r, c, self.ld) }
@@ -288,7 +290,7 @@ impl<'a> MatViewMut<'a> {
     /// Consumes the view, producing a sub-view with the full lifetime `'a`.
     #[inline]
     #[track_caller]
-    pub fn into_sub(self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'a> {
+    pub fn into_sub(self, i: usize, j: usize, r: usize, c: usize) -> MatViewMut<'a, T> {
         assert!(i + r <= self.rows && j + c <= self.cols,
             "subview ({i},{j})+({r}x{c}) out of bounds ({}x{})", self.rows, self.cols);
         unsafe { MatViewMut::from_raw_parts(self.ptr.add(i + j * self.ld), r, c, self.ld) }
@@ -297,7 +299,7 @@ impl<'a> MatViewMut<'a> {
     /// Splits into `(top, bottom)` at row `i` (`top` gets rows `0..i`).
     #[inline]
     #[track_caller]
-    pub fn split_at_row(self, i: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+    pub fn split_at_row(self, i: usize) -> (MatViewMut<'a, T>, MatViewMut<'a, T>) {
         assert!(i <= self.rows, "split row {i} out of bounds ({})", self.rows);
         unsafe {
             (
@@ -310,7 +312,7 @@ impl<'a> MatViewMut<'a> {
     /// Splits into `(left, right)` at column `j` (`left` gets columns `0..j`).
     #[inline]
     #[track_caller]
-    pub fn split_at_col(self, j: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+    pub fn split_at_col(self, j: usize) -> (MatViewMut<'a, T>, MatViewMut<'a, T>) {
         assert!(j <= self.cols, "split col {j} out of bounds ({})", self.cols);
         unsafe {
             (
@@ -328,7 +330,7 @@ impl<'a> MatViewMut<'a> {
         self,
         i: usize,
         j: usize,
-    ) -> (MatViewMut<'a>, MatViewMut<'a>, MatViewMut<'a>, MatViewMut<'a>) {
+    ) -> (MatViewMut<'a, T>, MatViewMut<'a, T>, MatViewMut<'a, T>, MatViewMut<'a, T>) {
         let (top, bottom) = self.split_at_row(i);
         let (tl, tr) = top.split_at_col(j);
         let (bl, br) = bottom.split_at_col(j);
@@ -336,7 +338,7 @@ impl<'a> MatViewMut<'a> {
     }
 
     /// Fills every element with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for j in 0..self.cols {
             self.col_mut(j).fill(v);
         }
@@ -344,7 +346,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Copies `src` into this view. Shapes must match.
     #[track_caller]
-    pub fn copy_from(&mut self, src: MatView<'_>) {
+    pub fn copy_from(&mut self, src: MatView<'_, T>) {
         assert_eq!(self.rows, src.nrows(), "row count mismatch in copy_from");
         assert_eq!(self.cols, src.ncols(), "column count mismatch in copy_from");
         for j in 0..self.cols {
@@ -352,7 +354,7 @@ impl<'a> MatViewMut<'a> {
         }
     }
 
-    /// Swaps rows `i1` and `i2` over columns `cols` (full width if `None`).
+    /// Swaps rows `i1` and `i2` over all columns.
     #[track_caller]
     pub fn swap_rows(&mut self, i1: usize, i2: usize) {
         assert!(i1 < self.rows && i2 < self.rows, "swap_rows out of bounds");
@@ -369,13 +371,13 @@ impl<'a> MatViewMut<'a> {
     }
 }
 
-impl fmt::Debug for MatView<'_> {
+impl<T: Scalar> fmt::Debug for MatView<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "MatView({}x{}, ld={})", self.rows, self.cols, self.ld)
     }
 }
 
-impl fmt::Debug for MatViewMut<'_> {
+impl<T: Scalar> fmt::Debug for MatViewMut<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "MatViewMut({}x{}, ld={})", self.rows, self.cols, self.ld)
     }
@@ -489,5 +491,14 @@ mod tests {
         let v = MatView::from_slice(&data, 4, 3);
         let s = v.sub(1, 1, 2, 2);
         assert_eq!(s.to_vec(), vec![5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn f32_views_share_the_same_api() {
+        let mut data: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let mut v = MatViewMut::from_slice(&mut data, 3, 2);
+        v.set(0, 1, 9.5);
+        assert_eq!(v.at(0, 1), 9.5f32);
+        assert_eq!(v.as_ref().max_abs(), 9.5f32);
     }
 }

@@ -62,6 +62,13 @@ fn fail(e: &FactorError) -> ! {
     exit(exit_code(e))
 }
 
+/// Working precision of the factorization (`--precision f32|f64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Precision {
+    F32,
+    F64,
+}
+
 struct Opts {
     input: Option<String>,
     rhs: Option<String>,
@@ -73,6 +80,10 @@ struct Opts {
     tree: TreeShape,
     seed: u64,
     refine: bool,
+    /// `--precision f32|f64`: element type the factorization runs in. The
+    /// task-parallel executor is double-precision; `f32` routes `factor`
+    /// through the sequential CALU/CAQR path in single precision.
+    precision: Precision,
     /// `verify --granularity={block,rect}`: conflict-enumeration granularity
     /// for the static soundness pass.
     granularity: ca_factor::sched::Granularity,
@@ -126,6 +137,7 @@ impl Default for Opts {
             tree: TreeShape::Binary,
             seed: 42,
             refine: false,
+            precision: Precision::F64,
             granularity: ca_factor::sched::Granularity::Block,
             lint_edges: false,
             profile: None,
@@ -155,6 +167,8 @@ fn usage() -> ! {
                 --b B --tr TR --threads T         CALU/CAQR parameters\n\
                 --tree binary|flat|kary:K|hybrid:W  reduction tree\n\
                 --seed S --refine\n\
+                --precision f32|f64               working precision (f64);\n\
+                                                  f32 factors sequentially\n\
          verify: --granularity=block|rect         conflict enumeration:\n\
                                                   whole blocks (default) or\n\
                                                   element-exact rects; rect\n\
@@ -228,6 +242,13 @@ fn parse_opts(args: &[String]) -> Opts {
             "--threads" => o.threads = next().parse().unwrap_or_else(|_| usage()),
             "--tree" => o.tree = parse_tree(&next()),
             "--seed" => o.seed = next().parse().unwrap_or_else(|_| usage()),
+            "--precision" => {
+                o.precision = match next().as_str() {
+                    "f32" => Precision::F32,
+                    "f64" => Precision::F64,
+                    _ => usage(),
+                }
+            }
             s if s.starts_with("--granularity=") => {
                 o.granularity = match &s["--granularity=".len()..] {
                     "block" => ca_factor::sched::Granularity::Block,
@@ -318,6 +339,24 @@ fn cmd_factor_lu(o: &Opts) {
     let a = load_matrix(o);
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
+    if o.precision == Precision::F32 {
+        let a32 = ca_factor::matrix::Matrix::<f32>::from_f64(&a);
+        let t0 = Instant::now();
+        let f = ca_factor::core::try_calu_seq(a32.clone(), &p).unwrap_or_else(|e| fail(&e));
+        let dt = t0.elapsed().as_secs_f64();
+        let gf = ca_factor::kernels::flops::getrf(m, n.min(m)) / dt / 1e9;
+        println!(
+            "CALU[f32] {m}x{n}  b={} Tr={} tree={:?} sequential  {dt:.3}s  {gf:.2} GFlop/s  \
+             residual={:.2e}",
+            p.b, p.tr, p.tree,
+            f.residual(&a32)
+        );
+        if let Some(out) = &o.output {
+            write_matrix_market_file(out, &f.lu.to_f64()).expect("write output");
+            println!("packed L\\U written to {out}");
+        }
+        return;
+    }
     let t0 = Instant::now();
     let (f, tasks) = if let Some(trace) = &o.profile {
         let (f, profile) =
@@ -353,6 +392,25 @@ fn cmd_factor_qr(o: &Opts) {
     let a = load_matrix(o);
     let (m, n) = (a.nrows(), a.ncols());
     let p = params(o, n);
+    if o.precision == Precision::F32 {
+        let a32 = ca_factor::matrix::Matrix::<f32>::from_f64(&a);
+        let t0 = Instant::now();
+        let f = ca_factor::core::try_caqr_seq(a32.clone(), &p).unwrap_or_else(|e| fail(&e));
+        let dt = t0.elapsed().as_secs_f64();
+        let gf = ca_factor::kernels::flops::geqrf(m, n.min(m)) / dt / 1e9;
+        println!(
+            "CAQR[f32] {m}x{n}  b={} Tr={} tree={:?} sequential  {dt:.3}s  {gf:.2} GFlop/s  \
+             residual={:.2e}  orthogonality={:.2e}",
+            p.b, p.tr, p.tree,
+            f.residual(&a32),
+            f.orthogonality()
+        );
+        if let Some(out) = &o.output {
+            write_matrix_market_file(out, &f.r().to_f64()).expect("write output");
+            println!("R written to {out}");
+        }
+        return;
+    }
     let t0 = Instant::now();
     let f = if let Some(trace) = &o.profile {
         let (f, profile) =
@@ -797,7 +855,14 @@ fn main() {
                 }
             }
             ("verify", Some((sub, rest2))) => cmd_verify(sub, &parse_opts(rest2)),
-            ("solve", _) => cmd_solve(&parse_opts(rest)),
+            ("solve", _) => {
+                let o = parse_opts(rest);
+                if o.precision == Precision::F32 {
+                    eprintln!("solve runs in f64 (iterative refinement contract)");
+                    exit(2);
+                }
+                cmd_solve(&o)
+            }
             ("serve", _) => cmd_serve(&parse_opts(rest)),
             ("info", _) => cmd_info(&parse_opts(rest)),
             ("top", Some((file, _))) => cmd_top(file),

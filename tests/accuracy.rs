@@ -137,3 +137,74 @@ fn accuracy_is_backend_independent() {
     assert!(lu.residual(&a) < bound, "backend {}", ca_factor::kernels::gemm_backend());
     assert!(qr.residual(&a) < bound && qr.orthogonality() < bound);
 }
+
+/// `c · max(m,n) · eps_f32` acceptance threshold for the single-precision
+/// sequential path (`calu_seq_factor::<f32>` / `caqr_seq::<f32>`). The
+/// diagnostics themselves (residual, orthogonality) are f64-bridged, so the
+/// statistic measures true f32 backward error against f64 reference
+/// arithmetic.
+fn bound_f32(m: usize, n: usize) -> f64 {
+    C * m.max(n) as f64 * f32::EPSILON as f64
+}
+
+#[test]
+fn calu_f32_backward_error_both_trees() {
+    for (m, n) in SHAPES {
+        let a = ca_factor::matrix::Matrix::<f32>::from_f64(&random_uniform(
+            m,
+            n,
+            &mut seeded_rng((m * 17 + n) as u64),
+        ));
+        for tree in trees() {
+            let mut p = CaParams::new(16, 4, 1);
+            p.tree = tree;
+            let f = ca_factor::core::calu_seq_factor(a.clone(), &p);
+            assert!(f.breakdown.is_none(), "unexpected f32 breakdown {m}x{n}");
+            let res = f.residual(&a);
+            let b = bound_f32(m, n);
+            assert!(res < b, "CALU f32 {m}x{n} {tree:?}: residual {res} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn caqr_f32_backward_error_and_orthogonality_both_trees() {
+    for (m, n) in SHAPES {
+        let a = ca_factor::matrix::Matrix::<f32>::from_f64(&random_uniform(
+            m,
+            n,
+            &mut seeded_rng((m * 19 + n) as u64),
+        ));
+        for tree in trees() {
+            let mut p = CaParams::new(16, 4, 1);
+            p.tree = tree;
+            let f = ca_factor::core::caqr_seq(a.clone(), &p);
+            let res = f.residual(&a);
+            let orth = f.orthogonality();
+            let b = bound_f32(m, n);
+            assert!(res < b, "CAQR f32 {m}x{n} {tree:?}: residual {res} vs {b}");
+            assert!(orth < b, "CAQR f32 {m}x{n} {tree:?}: orthogonality {orth} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn f32_fallible_path_accepts_clean_and_rejects_non_finite() {
+    let a = ca_factor::matrix::Matrix::<f32>::from_f64(&random_uniform(64, 48, &mut seeded_rng(5)));
+    let p = CaParams::new(16, 2, 1);
+    let f = ca_factor::core::try_calu_seq(a.clone(), &p).expect("clean f32 input must factor");
+    assert!(f.residual(&a) < bound_f32(64, 48));
+    let q = ca_factor::core::try_caqr_seq(a.clone(), &p).expect("clean f32 input must factor");
+    assert!(q.residual(&a) < bound_f32(64, 48));
+
+    let mut bad = a;
+    bad[(3, 2)] = f32::NAN;
+    assert!(matches!(
+        ca_factor::core::try_calu_seq(bad.clone(), &p),
+        Err(ca_factor::core::FactorError::NonFiniteInput { row: 3, col: 2 })
+    ));
+    assert!(matches!(
+        ca_factor::core::try_caqr_seq(bad, &p),
+        Err(ca_factor::core::FactorError::NonFiniteInput { row: 3, col: 2 })
+    ));
+}

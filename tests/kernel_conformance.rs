@@ -264,3 +264,201 @@ proptest! {
         check(TRANS[ta], TRANS[tb], coeffs[ci], coeffs[3 - ci], m, n, k, seed);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential conformance across precisions, backends, and parallelism
+// (DESIGN.md §15): every supported microkernel backend × {f32, f64} against
+// the f64 oracle with eps-scaled tolerances, and the scheduler-parallel
+// par_gemm against serial gemm bit for bit at every worker count.
+// ---------------------------------------------------------------------------
+
+use ca_factor::kernels::{gemm_available_backends, gemm_with_backend, par_gemm};
+use ca_factor::matrix::Scalar;
+
+/// Random operands for one configuration, generated in f64 and rounded to
+/// the working precision so every backend of a given type sees identical
+/// input bits.
+fn operands<T: Scalar>(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> (Matrix<T>, Matrix<T>, Matrix<T>) {
+    let mut rng = seeded_rng(seed);
+    let (ar, ac) = stored(ta, m, k);
+    let (br, bc) = stored(tb, k, n);
+    let a = Matrix::<T>::from_f64(&random_uniform(ar, ac, &mut rng));
+    let b = Matrix::<T>::from_f64(&random_uniform(br, bc, &mut rng));
+    let c0 = Matrix::<T>::from_f64(&random_uniform(m, n, &mut rng));
+    (a, b, c0)
+}
+
+/// Forward-error bound in the working precision: `O(k·eps_T)` per dot
+/// product, same slack factor as [`tol`].
+fn tol_t<T: Scalar>(k: usize) -> f64 {
+    8.0 * (k as f64 + 4.0) * T::EPSILON.to_f64()
+}
+
+/// Checks the runtime-dispatched and forced-scalar paths for element type
+/// `T` against the f64 oracle run on the widened inputs.
+#[allow(clippy::too_many_arguments)] // BLAS-style call convention
+fn check_t<T: Scalar + ca_factor::kernels::Kernel>(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    beta: f64,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+) {
+    let (a, b, c0) = operands::<T>(ta, tb, m, n, k, seed);
+    let mut want = c0.to_f64();
+    gemm_oracle(ta, tb, alpha, &a.to_f64(), &b.to_f64(), beta, &mut want, k);
+
+    let (al, be) = (T::from_f64(alpha), T::from_f64(beta));
+    let mut got = c0.clone();
+    gemm(ta, tb, al, a.view(), b.view(), be, got.view_mut());
+    let mut got_scalar = c0.clone();
+    gemm_force_scalar(ta, tb, al, a.view(), b.view(), be, got_scalar.view_mut());
+
+    let t = tol_t::<T>(k);
+    for j in 0..n {
+        for i in 0..m {
+            let w = want[(i, j)];
+            let g = got[(i, j)].to_f64();
+            let gs = got_scalar[(i, j)].to_f64();
+            assert!(
+                (g - w).abs() <= t,
+                "{} dispatch: ({i},{j}) of {m}x{n}x{k} {ta:?}{tb:?}: got {g} want {w}",
+                T::NAME
+            );
+            assert!(
+                (gs - w).abs() <= t,
+                "{} scalar: ({i},{j}) of {m}x{n}x{k} {ta:?}{tb:?}: got {gs} want {w}",
+                T::NAME
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_register_block_edges_full_cross() {
+    // f32 tile geometries differ per backend (8-wide scalar/AVX2, 16-wide
+    // AVX-512), so cross the residues of both.
+    let dims = [0, 1, 7, 9, 15, 17];
+    let mut seed = 10_000;
+    for &m in &dims {
+        for &n in &dims {
+            for &k in &dims {
+                for ta in TRANS {
+                    for tb in TRANS {
+                        seed += 1;
+                        check_t::<f32>(ta, tb, 0.37, -1.0, m, n, k, seed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_alpha_beta_grid_and_kc_boundary() {
+    let coeffs = [0.0, 1.0, -1.0, 0.37];
+    for &alpha in &coeffs {
+        for &beta in &coeffs {
+            check_t::<f32>(Trans::No, Trans::Yes, alpha, beta, 17, 9, 5, 777);
+        }
+    }
+    for &k in &[KC - 1, KC, KC + 1] {
+        check_t::<f32>(Trans::No, Trans::No, 0.37, 1.0, 17, 9, k, k as u64);
+    }
+}
+
+#[test]
+fn every_backend_matches_oracle_in_both_precisions() {
+    // The conformance matrix: each host-supported backend × {f64, f32} must
+    // stay inside the per-precision oracle bound on a shape crossing both
+    // the register blocking and the KC cache boundary.
+    let (m, n, k) = (MR * 2 + 3, NR * 2 + 1, KC + 7);
+    let backends = gemm_available_backends();
+    assert!(backends.contains(&"scalar"), "scalar backend must always exist");
+    for name in &backends {
+        {
+            let (a, b, c0) = operands::<f64>(Trans::No, Trans::No, m, n, k, 42);
+            let mut want = c0.clone();
+            gemm_oracle(Trans::No, Trans::No, 0.37, &a, &b, -1.0, &mut want, k);
+            let mut got = c0.clone();
+            gemm_with_backend(name, Trans::No, Trans::No, 0.37, a.view(), b.view(), -1.0, got.view_mut());
+            for j in 0..n {
+                for i in 0..m {
+                    assert!(
+                        (got[(i, j)] - want[(i, j)]).abs() <= tol(k),
+                        "backend {name} f64 at ({i},{j})"
+                    );
+                }
+            }
+        }
+        {
+            let (a, b, c0) = operands::<f32>(Trans::No, Trans::No, m, n, k, 43);
+            let mut want = c0.to_f64();
+            gemm_oracle(Trans::No, Trans::No, 0.37, &a.to_f64(), &b.to_f64(), -1.0, &mut want, k);
+            let mut got = c0.clone();
+            gemm_with_backend(
+                name,
+                Trans::No,
+                Trans::No,
+                0.37f32,
+                a.view(),
+                b.view(),
+                -1.0f32,
+                got.view_mut(),
+            );
+            for j in 0..n {
+                for i in 0..m {
+                    assert!(
+                        (got[(i, j)].to_f64() - want[(i, j)]).abs() <= tol_t::<f32>(k),
+                        "backend {name} f32 at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// par_gemm must equal serial gemm bit for bit at every worker count and on
+/// every repeat — the property the scheduler sub-DAG decomposition in
+/// ca-core relies on for its "decomposition is purely a granularity knob"
+/// contract. Runs for both precisions and both Trans combos that exercise
+/// distinct pack routines.
+#[test]
+fn par_gemm_bitwise_identical_to_serial_at_every_worker_count() {
+    fn check_par<T: Scalar + ca_factor::kernels::Kernel>(ta: Trans, tb: Trans, seed: u64) {
+        let (m, n, k) = (ca_factor::kernels::MC + MR + 3, NR * 3 + 1, KC + 7);
+        let (a, b, c0) = operands::<T>(ta, tb, m, n, k, seed);
+        let (al, be) = (T::from_f64(0.37), T::from_f64(-1.0));
+
+        let mut serial = c0.clone();
+        gemm(ta, tb, al, a.view(), b.view(), be, serial.view_mut());
+        let reference: Vec<u64> = serial.as_slice().iter().map(|x| x.to_bits_u64()).collect();
+
+        for workers in [1usize, 2, 4] {
+            for repeat in 0..2 {
+                let mut c = c0.clone();
+                par_gemm(workers, ta, tb, al, a.view(), b.view(), be, c.view_mut());
+                let bits: Vec<u64> = c.as_slice().iter().map(|x| x.to_bits_u64()).collect();
+                assert_eq!(
+                    reference, bits,
+                    "{} par_gemm workers={workers} repeat={repeat} {ta:?}{tb:?} differs from serial",
+                    T::NAME
+                );
+            }
+        }
+    }
+    check_par::<f64>(Trans::No, Trans::No, 21);
+    check_par::<f64>(Trans::Yes, Trans::Yes, 22);
+    check_par::<f32>(Trans::No, Trans::No, 23);
+    check_par::<f32>(Trans::No, Trans::Yes, 24);
+}

@@ -178,3 +178,106 @@ proptest! {
         prop_assert!(err < 1e-7, "LS error {}", err);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Packing round-trip (ca-kernels): the packed image of op(A)/op(B) must be a
+// bit-exact rearrangement of the source block — panel q, offset (i, p) of an
+// A block at q·mr·kb + p·mr + i, zero-filled past the edge — for both
+// PackTrans values, both element types, and every (mb mod MR, nb mod NR)
+// residue class. A naive element-by-element copy of the operated block is
+// the oracle.
+// ---------------------------------------------------------------------------
+
+use ca_factor::kernels::{pack_a, pack_b, PackTrans, MR, NR};
+use ca_factor::matrix::{Matrix, Scalar};
+
+fn check_pack_residues<T: Scalar>(qa: usize, qb: usize, kb: usize, ic: usize, pc: usize, seed: u64) {
+    let mut rng = seeded_rng(seed);
+    for ra in 0..MR {
+        let mb = qa * MR + ra;
+        for trans in [PackTrans::No, PackTrans::Yes] {
+            let (sr, sc) = match trans {
+                PackTrans::No => (ic + mb, pc + kb),
+                PackTrans::Yes => (pc + kb, ic + mb),
+            };
+            let src = Matrix::<T>::from_f64(&random_uniform(sr, sc, &mut rng));
+            let panels = mb.div_ceil(MR);
+            let mut buf = vec![T::from_f64(f64::NAN); panels * MR * kb];
+            pack_a(trans, src.view(), ic, mb, pc, kb, &mut buf, MR);
+            for q in 0..panels {
+                for p in 0..kb {
+                    for i in 0..MR {
+                        let gi = q * MR + i;
+                        let want = if gi < mb {
+                            match trans {
+                                PackTrans::No => src[(ic + gi, pc + p)],
+                                PackTrans::Yes => src[(pc + p, ic + gi)],
+                            }
+                        } else {
+                            T::ZERO
+                        };
+                        assert_eq!(
+                            buf[q * MR * kb + p * MR + i].to_bits_u64(),
+                            want.to_bits_u64(),
+                            "{} pack_a {trans:?} mb={mb} kb={kb} panel {q} elem ({i},{p})",
+                            T::NAME
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for rb in 0..NR {
+        let nb = qb * NR + rb;
+        for trans in [PackTrans::No, PackTrans::Yes] {
+            let (sr, sc) = match trans {
+                PackTrans::No => (pc + kb, ic + nb),
+                PackTrans::Yes => (ic + nb, pc + kb),
+            };
+            let src = Matrix::<T>::from_f64(&random_uniform(sr, sc, &mut rng));
+            let panels = nb.div_ceil(NR);
+            let mut buf = vec![T::from_f64(f64::NAN); panels * NR * kb];
+            pack_b(trans, src.view(), pc, kb, ic, nb, &mut buf, NR);
+            for q in 0..panels {
+                for p in 0..kb {
+                    for j in 0..NR {
+                        let gj = q * NR + j;
+                        let want = if gj < nb {
+                            match trans {
+                                PackTrans::No => src[(pc + p, ic + gj)],
+                                PackTrans::Yes => src[(ic + gj, pc + p)],
+                            }
+                        } else {
+                            T::ZERO
+                        };
+                        assert_eq!(
+                            buf[q * NR * kb + p * NR + j].to_bits_u64(),
+                            want.to_bits_u64(),
+                            "{} pack_b {trans:?} nb={nb} kb={kb} panel {q} elem ({p},{j})",
+                            T::NAME
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn packing_is_bit_exact_across_residues_trans_and_precision(
+        qa in 1usize..3,
+        qb in 1usize..4,
+        kb in 1usize..12,
+        ic in 0usize..3,
+        pc in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        // Each case sweeps all MR (resp. NR) edge residues, so every
+        // (mb mod MR, nb mod NR) class is hit in every single case.
+        check_pack_residues::<f64>(qa, qb, kb, ic, pc, seed);
+        check_pack_residues::<f32>(qa, qb, kb, ic, pc, seed + 1);
+    }
+}
