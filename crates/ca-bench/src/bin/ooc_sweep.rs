@@ -1,0 +1,178 @@
+//! Out-of-core CALU/CAQR sweep: factor a matrix several times larger than
+//! the resident-memory budget through the [`ca_ooc::TileStore`] tier and
+//! gate the measured disk traffic against the sequential communication
+//! lower bound `elem_bytes · (2mn + flops/√M)` (arXiv 0806.2159) — the
+//! out-of-core claim of DESIGN.md §16, quantified.
+//!
+//! The full run factors 8192×8192 `f64` (512 MiB) under a 128 MiB budget —
+//! the matrix is 4× fast memory — and verifies each factorization with the
+//! streamed `O(n²)` probes, gated at the accuracy suite's
+//! `residual_threshold(m, n, 100)`. In-core CALU/CAQR at the same shape
+//! provide the GFlop/s comparison. Writes `BENCH_ooc.json` under `--out`
+//! (default `results/`); exits 1 if any gate fails.
+//!
+//! Flags: `--quick` (1024² under a 4 MiB budget, for CI smoke tests),
+//! `--threads N`, `--out DIR`.
+
+use ca_core::{try_calu, try_caqr, CaParams};
+use ca_kernels::flops;
+use ca_kernels::traffic::{ooc_lu_lower_bound, ooc_qr_lower_bound};
+use ca_matrix::{random_uniform, residual_threshold, seeded_rng};
+use ca_ooc::{ooc_calu, ooc_caqr, probe, TileStore};
+use serde_json::json;
+use std::time::Instant;
+
+/// Maximum admissible ratio of measured traffic to the lower bound.
+const IO_GATE: f64 = 1.5;
+/// Accuracy-gate constant, matching `tests/accuracy.rs`.
+const C: f64 = 100.0;
+
+fn main() {
+    let cli = ca_bench::Cli::parse(std::env::args().skip(1));
+    // Quick keeps the same ≥2× matrix-to-budget ratio shape but fits in a
+    // CI smoke slot; full is the paper-scale 4× configuration.
+    let (n, b, budget) = if cli.quick { (1024usize, 16usize, 4usize << 20) } else { (8192, 64, 128 << 20) };
+    let m = n;
+    let tr = 2; // sequential OOC: tr shapes the tournament, not parallelism
+    let mut p = CaParams::new(b, tr, cli.threads.max(2));
+    p.tree = ca_core::TreeShape::Binary;
+    let matrix_bytes = m * n * 8;
+
+    println!(
+        "OOC sweep — {m}x{n} f64 ({} MiB) under a {} MiB budget ({}x fast memory), b={b} tr={tr}",
+        matrix_bytes >> 20,
+        budget >> 20,
+        matrix_bytes / budget,
+    );
+
+    let dir = std::env::temp_dir().join(format!("ca_ooc_sweep_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create scratch dir {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut rows = Vec::new();
+    let mut gate_pass = true;
+    for qr in [false, true] {
+        let name = if qr { "CAQR" } else { "CALU" };
+        let a = random_uniform(m, n, &mut seeded_rng(0x00C5EED + qr as u64));
+        let path = dir.join(format!("{}.castore", name.to_lowercase()));
+        let store = TileStore::<f64>::create(&path, m, n, b).expect("create store");
+        store.import_matrix(&a).expect("import");
+
+        let x: Vec<f64> = {
+            let xm = random_uniform(n, 1, &mut seeded_rng(0x0b5e ^ qr as u64));
+            (0..n).map(|i| xm[(i, 0)]).collect()
+        };
+        let (want, a_fro) = probe::stream_matvec(&store, &x).expect("probe baseline");
+
+        let fl = if qr { flops::geqrf(m, n) } else { flops::getrf(m, n) };
+        let t0 = Instant::now();
+        let (plan, io, got) = if qr {
+            let f = ooc_caqr(&store, &p, budget).expect("ooc qr");
+            let got = probe::qr_probe_apply(&store, &f.panels, &x).expect("qr probe");
+            (f.plan, f.io, got)
+        } else {
+            let f = ooc_calu(&store, &p, budget).expect("ooc lu");
+            let got = probe::lu_probe_apply(&store, &f.pivots, &x).expect("lu probe");
+            (f.plan, f.io, got)
+        };
+        let dt_ooc = t0.elapsed().as_secs_f64();
+        let gf_ooc = fl / dt_ooc / 1e9;
+        let residual = probe::probe_residual(&got, &want, a_fro, &x);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+
+        let moved = (io.bytes_read + io.bytes_written) as f64;
+        let bound = if qr {
+            ooc_qr_lower_bound(m, n, budget, 8)
+        } else {
+            ooc_lu_lower_bound(m, n, budget, 8)
+        };
+        let ratio = moved / bound;
+
+        // In-core comparison at the same shape: the task-parallel DAG path,
+        // i.e. what you would run if the matrix *did* fit in RAM.
+        let t1 = Instant::now();
+        if qr {
+            let _ = try_caqr(a, &p).expect("in-core qr");
+        } else {
+            let _ = try_calu(a, &p).expect("in-core lu");
+        }
+        let dt_in = t1.elapsed().as_secs_f64();
+        let gf_in = fl / dt_in / 1e9;
+
+        let thr = residual_threshold(m, n, C);
+        let io_ok = ratio <= IO_GATE;
+        let acc_ok = residual < thr;
+        gate_pass &= io_ok && acc_ok;
+
+        println!(
+            "{name}: superpanel w={} x{}  {dt_ooc:.2}s {gf_ooc:.2} GF/s  \
+             (in-core {dt_in:.2}s {gf_in:.2} GF/s, {:.0}% of in-core)",
+            plan.w,
+            plan.nsuper,
+            100.0 * gf_ooc / gf_in,
+        );
+        println!(
+            "  io: read {:.1} MiB + wrote {:.1} MiB = {:.2}x lower bound ({:.1} MiB)  [gate <= {IO_GATE}x: {}]",
+            io.bytes_read as f64 / (1 << 20) as f64,
+            io.bytes_written as f64 / (1 << 20) as f64,
+            ratio,
+            bound / (1 << 20) as f64,
+            if io_ok { "pass" } else { "FAIL" },
+        );
+        println!(
+            "  probe residual {residual:.2e} vs threshold {thr:.2e}  [gate: {}]",
+            if acc_ok { "pass" } else { "FAIL" },
+        );
+
+        rows.push(json!({
+            "algorithm": name,
+            "m": m as f64, "n": n as f64, "b": b as f64, "tr": tr as f64,
+            "budget_bytes": budget as f64,
+            "superpanel_cols": plan.w as f64,
+            "superpanels": plan.nsuper as f64,
+            "seconds": dt_ooc,
+            "gflops": gf_ooc,
+            "incore_seconds": dt_in,
+            "incore_gflops": gf_in,
+            "bytes_read": io.bytes_read as f64,
+            "bytes_written": io.bytes_written as f64,
+            "panel_loads": io.panel_loads as f64,
+            "load_seconds": io.load_seconds,
+            "lower_bound_bytes": bound,
+            "io_ratio": ratio,
+            "probe_residual": residual,
+            "residual_threshold": thr,
+            "io_gate_pass": io_ok,
+            "accuracy_gate_pass": acc_ok,
+        }));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = json!({
+        "bench": "ooc_sweep",
+        "quick": cli.quick,
+        "matrix_bytes": matrix_bytes as f64,
+        "budget_bytes": budget as f64,
+        "memory_ratio": matrix_bytes as f64 / budget as f64,
+        "io_gate": IO_GATE,
+        "threads": p.threads as f64,
+        "rows": rows,
+        "gate_pass": gate_pass,
+    });
+
+    if let Err(e) = std::fs::create_dir_all(&cli.out) {
+        eprintln!("warning: could not create {}: {e}", cli.out.display());
+    }
+    let path = cli.out.join("BENCH_ooc.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable")) {
+        Ok(()) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("warning: could not save {}: {e}", path.display()),
+    }
+    if !gate_pass {
+        eprintln!("ooc_sweep: gate FAILED");
+        std::process::exit(1);
+    }
+}

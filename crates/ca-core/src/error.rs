@@ -67,6 +67,23 @@ pub enum FactorError {
         /// The threshold it was compared against.
         threshold: f64,
     },
+    /// An out-of-core tile-store operation failed at the filesystem level
+    /// (open, seek, read, write, sync). Carries the operation name and the
+    /// OS error rendered to a string — `std::io::Error` itself is neither
+    /// `Clone` nor `PartialEq`, which this enum promises.
+    Io {
+        /// The store operation that failed (e.g. `"read_panel"`).
+        op: String,
+        /// Display form of the underlying I/O error.
+        message: String,
+    },
+}
+
+impl FactorError {
+    /// Wraps a `std::io::Error` from store operation `op`.
+    pub fn io(op: impl Into<String>, e: std::io::Error) -> Self {
+        Self::Io { op: op.into(), message: e.to_string() }
+    }
 }
 
 impl fmt::Display for FactorError {
@@ -92,6 +109,9 @@ impl fmt::Display for FactorError {
                     f,
                     "silent corruption: probe residual {residual:.2e} exceeds threshold {threshold:.2e}"
                 )
+            }
+            Self::Io { op, message } => {
+                write!(f, "out-of-core I/O error during {op}: {message}")
             }
         }
     }
@@ -126,6 +146,12 @@ mod tests {
         assert!(e.to_string().contains("column 16"));
         let e = FactorError::TaskFailed { label: "P[1,0,1]".into(), message: "boom".into() };
         assert!(e.to_string().contains("P[1,0,1]") && e.to_string().contains("boom"));
+        let e = FactorError::io(
+            "read_panel",
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read"),
+        );
+        assert!(e.to_string().contains("read_panel") && e.to_string().contains("short read"));
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

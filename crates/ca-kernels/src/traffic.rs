@@ -95,6 +95,42 @@ pub fn laswp(swaps: usize, n: usize) -> f64 {
     W * 4.0 * (swaps * n) as f64
 }
 
+/// Sequential communication lower bound, in **bytes**, for an out-of-core
+/// LU factorization of an `m × n` matrix with a fast memory of
+/// `mem_bytes` bytes and `elem_bytes`-byte elements.
+///
+/// Demmel–Grigori–Hoemmen–Langou (arXiv 0806.2159) extend the
+/// Hong–Kung/Irony–Toledo–Tiskin argument across every level of the memory
+/// hierarchy: any schedule of the O(n³) LU arithmetic moves
+/// `Ω(#flops / √M)` words across a boundary with `M` words of fast memory
+/// on its near side — on top of the *compulsory* traffic of reading the
+/// input once and writing the factors once (`2mn` words). The bound used
+/// here is the sum of both terms with unit constants:
+///
+/// ```text
+///   words ≥ 2·m·n + flops_getrf(m, n) / √M
+/// ```
+///
+/// The `ooc_sweep` bench gates the measured tile-store byte count against
+/// `1.5×` this bound.
+pub fn ooc_lu_lower_bound(m: usize, n: usize, mem_bytes: usize, elem_bytes: usize) -> f64 {
+    ooc_lower_bound(m, n, crate::flops::getrf(m, n), mem_bytes, elem_bytes)
+}
+
+/// Sequential communication lower bound, in bytes, for out-of-core QR —
+/// [`ooc_lu_lower_bound`] with the `geqrf` flop count (CAQR performs the
+/// same `Θ(flops/√M)` word movement, arXiv 0806.2159 §4).
+pub fn ooc_qr_lower_bound(m: usize, n: usize, mem_bytes: usize, elem_bytes: usize) -> f64 {
+    ooc_lower_bound(m, n, crate::flops::geqrf(m, n), mem_bytes, elem_bytes)
+}
+
+fn ooc_lower_bound(m: usize, n: usize, flops: f64, mem_bytes: usize, elem_bytes: usize) -> f64 {
+    assert!(mem_bytes > 0 && elem_bytes > 0, "empty memory budget");
+    let mem_words = (mem_bytes / elem_bytes).max(1) as f64;
+    let compulsory = 2.0 * (m * n) as f64;
+    elem_bytes as f64 * (compulsory + flops / mem_words.sqrt())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +175,22 @@ mod tests {
     #[test]
     fn swap_traffic_scales_with_width() {
         assert_eq!(laswp(10, 100), 8.0 * 4.0 * 1000.0);
+    }
+
+    #[test]
+    fn ooc_bound_has_compulsory_floor_and_shrinks_with_memory() {
+        let n = 4096;
+        // With the whole matrix resident, the bound approaches the
+        // compulsory read-input + write-factors traffic.
+        let huge = ooc_lu_lower_bound(n, n, 64 << 30, 8);
+        let compulsory = 8.0 * 2.0 * (n * n) as f64;
+        assert!(huge < 1.1 * compulsory, "huge-memory bound {huge} vs {compulsory}");
+        // Shrinking memory 4× grows the bandwidth term by 2×.
+        let small = ooc_lu_lower_bound(n, n, 128 << 20, 8) - compulsory;
+        let tiny = ooc_lu_lower_bound(n, n, 32 << 20, 8) - compulsory;
+        assert!((tiny / small - 2.0).abs() < 1e-9, "sqrt scaling: {tiny} vs {small}");
+        // QR moves twice the flops, so twice the bandwidth term.
+        let qr = ooc_qr_lower_bound(n, n, 128 << 20, 8) - compulsory;
+        assert!((qr / small - 2.0).abs() < 1e-9);
     }
 }

@@ -3,6 +3,7 @@
 //! usual test collections and with the `cafactor` CLI.
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -36,12 +37,16 @@ fn parse_err(s: impl Into<String>) -> MmError {
     MmError::Parse(s.into())
 }
 
-/// Reads a Matrix Market stream into a dense [`Matrix`].
+/// Reads a Matrix Market stream into a dense [`Matrix`], generic over the
+/// element type (`read_matrix_market::<f32>` for the single-precision tier).
 ///
 /// Supports `array` (dense, column-major) and `coordinate` (sparse triples,
 /// materialized densely) formats with `real` or `integer` fields, `general`
-/// or `symmetric` symmetry.
-pub fn read_matrix_market(reader: impl Read) -> Result<Matrix, MmError> {
+/// or `symmetric` symmetry. Values are parsed in `f64` and rounded once via
+/// [`Scalar::from_f64`]; because `f64` carries more than twice an `f32`'s
+/// precision, that double rounding is exact for any decimal string an `f32`
+/// writer emits, so `f32` files roundtrip bitwise.
+pub fn read_matrix_market<T: Scalar>(reader: impl Read) -> Result<Matrix<T>, MmError> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines
         .next()
@@ -98,15 +103,19 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Matrix, MmError> {
             if numbers.len() != expect {
                 return Err(parse_err(format!("expected {expect} entries, got {}", numbers.len())));
             }
-            let vals: Vec<f64> = numbers
+            let vals: Vec<T> = numbers
                 .iter()
-                .map(|t| t.parse().map_err(|_| parse_err(format!("bad value {t}"))))
+                .map(|t| {
+                    t.parse::<f64>()
+                        .map(T::from_f64)
+                        .map_err(|_| parse_err(format!("bad value {t}")))
+                })
                 .collect::<Result<_, _>>()?;
             if symmetry == "symmetric" {
                 if m != n {
                     return Err(parse_err("symmetric array must be square"));
                 }
-                let mut a = Matrix::zeros(n, n);
+                let mut a = Matrix::<T>::zeros(n, n);
                 let mut it = vals.into_iter();
                 for j in 0..n {
                     for i in j..n {
@@ -131,7 +140,7 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Matrix, MmError> {
                     numbers.len()
                 )));
             }
-            let mut a = Matrix::zeros(m, n);
+            let mut a = Matrix::<T>::zeros(m, n);
             for t in numbers.chunks(3) {
                 let i: usize =
                     t[0].parse().map_err(|_| parse_err(format!("bad row index {}", t[0])))?;
@@ -142,9 +151,9 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Matrix, MmError> {
                 if i == 0 || j == 0 || i > m || j > n {
                     return Err(parse_err(format!("index ({i},{j}) out of bounds {m}x{n}")));
                 }
-                a[(i - 1, j - 1)] = v;
+                a[(i - 1, j - 1)] = T::from_f64(v);
                 if symmetry == "symmetric" && i != j {
-                    a[(j - 1, i - 1)] = v;
+                    a[(j - 1, i - 1)] = T::from_f64(v);
                 }
             }
             Ok(a)
@@ -154,25 +163,35 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Matrix, MmError> {
 }
 
 /// Writes a dense matrix in Matrix Market `array real general` format.
-pub fn write_matrix_market(mut w: impl Write, a: &Matrix) -> std::io::Result<()> {
+///
+/// Values are emitted with `{:e}` — Rust's shortest-roundtrip scientific
+/// notation, the minimal digit string that parses back to the exact same
+/// bit pattern for the matrix's own element type (9 significant digits at
+/// most for `f32`, 17 for `f64`). File roundtrips are therefore
+/// bitwise-stable in both precisions, which the out-of-core store's debug
+/// export relies on.
+pub fn write_matrix_market<T: Scalar>(mut w: impl Write, a: &Matrix<T>) -> std::io::Result<()> {
     writeln!(w, "%%MatrixMarket matrix array real general")?;
-    writeln!(w, "% written by ca-factor")?;
+    writeln!(w, "% written by ca-factor ({})", T::NAME)?;
     writeln!(w, "{} {}", a.nrows(), a.ncols())?;
     for j in 0..a.ncols() {
         for i in 0..a.nrows() {
-            writeln!(w, "{:.17e}", a[(i, j)])?;
+            writeln!(w, "{:e}", a[(i, j)])?;
         }
     }
     Ok(())
 }
 
 /// Reads a Matrix Market file.
-pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Matrix, MmError> {
+pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<Matrix<T>, MmError> {
     read_matrix_market(std::fs::File::open(path)?)
 }
 
 /// Writes a Matrix Market file.
-pub fn write_matrix_market_file(path: impl AsRef<Path>, a: &Matrix) -> std::io::Result<()> {
+pub fn write_matrix_market_file<T: Scalar>(
+    path: impl AsRef<Path>,
+    a: &Matrix<T>,
+) -> std::io::Result<()> {
     write_matrix_market(BufWriter::new(std::fs::File::create(path)?), a)
 }
 
@@ -186,14 +205,43 @@ mod tests {
         let a = random_uniform(7, 5, &mut seeded_rng(1));
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &a).unwrap();
-        let b = read_matrix_market(&buf[..]).unwrap();
+        let b: Matrix = read_matrix_market(&buf[..]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f32_round_trip_preserves_bits() {
+        let mut a = Matrix::<f32>::from_f64(&random_uniform(9, 4, &mut seeded_rng(3)));
+        // Exercise values whose shortest f32 form needs many digits, plus
+        // signed zero and extremes of the normal range.
+        a[(0, 0)] = f32::MIN_POSITIVE;
+        a[(1, 0)] = f32::MAX;
+        a[(2, 0)] = -0.0;
+        a[(3, 0)] = 0.1;
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b: Matrix<f32> = read_matrix_market(&buf[..]).unwrap();
+        for j in 0..a.ncols() {
+            for i in 0..a.nrows() {
+                assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_reads_f64_written_files_with_single_rounding() {
+        // A full-precision f64 value read back as f32 must equal the direct
+        // rounding of that value to f32.
+        let v = 0.123456789123456789f64;
+        let src = format!("%%MatrixMarket matrix array real general\n1 1\n{v:e}\n");
+        let a: Matrix<f32> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a[(0, 0)].to_bits(), (v as f32).to_bits());
     }
 
     #[test]
     fn parses_coordinate_general() {
         let src = "%%MatrixMarket matrix coordinate real general\n% test\n3 4 3\n1 1 2.5\n3 4 -1.0\n2 2 7\n";
-        let a = read_matrix_market(src.as_bytes()).unwrap();
+        let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(a.nrows(), 3);
         assert_eq!(a.ncols(), 4);
         assert_eq!(a[(0, 0)], 2.5);
@@ -205,7 +253,7 @@ mod tests {
     #[test]
     fn parses_coordinate_symmetric() {
         let src = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 4.0\n3 3 1.0\n";
-        let a = read_matrix_market(src.as_bytes()).unwrap();
+        let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(a[(1, 0)], 4.0);
         assert_eq!(a[(0, 1)], 4.0);
         assert_eq!(a[(2, 2)], 1.0);
@@ -215,7 +263,7 @@ mod tests {
     fn parses_symmetric_array() {
         // 2x2 symmetric array: lower triangle column-major: a11 a21 a22.
         let src = "%%MatrixMarket matrix array real symmetric\n2 2\n1.0\n2.0\n3.0\n";
-        let a = read_matrix_market(src.as_bytes()).unwrap();
+        let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(a[(0, 0)], 1.0);
         assert_eq!(a[(1, 0)], 2.0);
         assert_eq!(a[(0, 1)], 2.0);
@@ -225,21 +273,21 @@ mod tests {
     #[test]
     fn integer_field_accepted() {
         let src = "%%MatrixMarket matrix array integer general\n2 1\n4\n-2\n";
-        let a = read_matrix_market(src.as_bytes()).unwrap();
+        let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(a[(0, 0)], 4.0);
         assert_eq!(a[(1, 0)], -2.0);
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(read_matrix_market("hello\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n1.0\n".as_bytes())
+        assert!(read_matrix_market::<f64>("hello\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f64>("%%MatrixMarket matrix array real general\n2 2\n1.0\n".as_bytes())
             .is_err()); // too few entries
-        assert!(read_matrix_market(
+        assert!(read_matrix_market::<f64>(
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n".as_bytes()
         )
         .is_err()); // out-of-bounds index
-        assert!(read_matrix_market(
+        assert!(read_matrix_market::<f64>(
             "%%MatrixMarket matrix array complex general\n1 1\n1 0\n".as_bytes()
         )
         .is_err()); // unsupported field
@@ -250,7 +298,7 @@ mod tests {
         let a = random_uniform(4, 4, &mut seeded_rng(2));
         let path = std::env::temp_dir().join("ca_matrix_io_test.mtx");
         write_matrix_market_file(&path, &a).unwrap();
-        let b = read_matrix_market_file(&path).unwrap();
+        let b: Matrix = read_matrix_market_file(&path).unwrap();
         assert_eq!(a, b);
         let _ = std::fs::remove_file(&path);
     }

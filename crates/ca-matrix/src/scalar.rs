@@ -61,6 +61,9 @@ pub trait Scalar:
     const MIN_POSITIVE: Self;
     /// Type name for dispatch tables and reports (`"f32"` / `"f64"`).
     const NAME: &'static str;
+    /// Storage size of one element in bytes (4 / 8) — the on-disk element
+    /// width for the out-of-core tile store and other binary codecs.
+    const BYTES: usize;
 
     /// Lossless widening to `f64` (identity for `f64`).
     fn to_f64(self) -> f64;
@@ -82,16 +85,20 @@ pub trait Scalar:
     fn is_finite(self) -> bool;
     /// Raw bit pattern widened to `u64` (bitwise-identity assertions).
     fn to_bits_u64(self) -> u64;
+    /// Inverse of [`Scalar::to_bits_u64`]: reconstructs the value from the
+    /// low [`Scalar::BYTES`]·8 bits (binary deserialization).
+    fn from_bits_u64(bits: u64) -> Self;
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $name:literal) => {
+    ($t:ty, $bits:ty, $name:literal) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const EPSILON: Self = <$t>::EPSILON;
             const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
             const NAME: &'static str = $name;
+            const BYTES: usize = core::mem::size_of::<$t>();
 
             #[inline(always)]
             fn to_f64(self) -> f64 {
@@ -133,12 +140,16 @@ macro_rules! impl_scalar {
             fn to_bits_u64(self) -> u64 {
                 self.to_bits() as u64
             }
+            #[inline(always)]
+            fn from_bits_u64(bits: u64) -> Self {
+                <$t>::from_bits(bits as $bits)
+            }
         }
     };
 }
 
-impl_scalar!(f32, "f32");
-impl_scalar!(f64, "f64");
+impl_scalar!(f32, u32, "f32");
+impl_scalar!(f64, u64, "f64");
 
 #[cfg(test)]
 mod tests {
@@ -160,6 +171,18 @@ mod tests {
         assert_eq!(f32::NAME, "f32");
         assert_eq!(f64::NAME, "f64");
         assert_eq!(3.0f64.to_bits_u64(), 3.0f64.to_bits());
+    }
+
+    #[test]
+    fn bit_roundtrip_is_exact_for_both_widths() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        for v in [0.0f64, -0.0, 1.0, -1.5e-300, f64::MIN_POSITIVE, f64::MAX] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f32, -0.0, 1.0, -1.5e-30, f32::MIN_POSITIVE, f32::MAX] {
+            assert_eq!(f32::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
     }
 
     #[test]

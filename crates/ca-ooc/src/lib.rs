@@ -1,0 +1,46 @@
+//! Out-of-core sequential CALU/CAQR: factoring matrices larger than RAM.
+//!
+//! The multicore CALU/CAQR algorithms of Donfack–Grigori–Gupta have
+//! sequential out-of-core twins (Demmel–Grigori–Hoemmen–Langou, arXiv
+//! 0806.2159): when the matrix lives on disk and fast memory holds `M`
+//! words, *any* LU/QR schedule must move `Ω(flops/√M)` words across the
+//! disk boundary, and left-looking panel algorithms with `b`-wide
+//! tournament/TSQR panels attain that bound up to a constant. This crate
+//! is that tier:
+//!
+//! * [`TileStore`] — the matrix as block-column panels in one file, with
+//!   bitwise-exact element encoding and per-transfer byte accounting;
+//! * [`OocPlan`] — how wide a resident superpanel a byte budget affords
+//!   (one superpanel + one streamed column chunk, never two panels);
+//! * [`ooc_calu`] / [`ooc_caqr`] — left-looking drivers that replay prior
+//!   panels' updates onto the resident superpanel and then run the in-core
+//!   TSLU/TSQR loops ([`ca_core`]) on it, bitwise-matching the in-core
+//!   sequential factorizations;
+//! * [`probe`] — streamed `O(n²)` matvec probes that verify factors too
+//!   large for a full residual;
+//! * [`metrics`] — process-wide `ooc_bytes_{read,written}_total` /
+//!   `ooc_panel_load_seconds` instruments, adoptable into any
+//!   [`ca_telemetry::Registry`].
+//!
+//! The measured I/O volume of a factorization ([`OocLu::io`] /
+//! [`OocQr::io`]) is gated in the `ooc_sweep` bench against 1.5× the
+//! lower bound ([`ca_kernels::traffic::ooc_lu_lower_bound`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod lu;
+mod pivots;
+mod plan;
+mod qr;
+mod store;
+
+pub mod metrics;
+pub mod probe;
+
+pub use lu::{ooc_calu, OocLu};
+pub use metrics::{ooc_metrics, register_ooc_metrics, OocMetrics};
+pub use pivots::apply_pivots_rebased;
+pub use plan::{OocKind, OocPlan};
+pub use qr::{apply_panel_from_store, leaf_apply_from_store, ooc_caqr, OocQr};
+pub use store::{IoSnapshot, IoVolume, TileStore};

@@ -1,0 +1,190 @@
+//! Left-looking out-of-core CALU.
+//!
+//! [`ooc_calu`] factors a [`TileStore`]-resident matrix whose footprint
+//! exceeds RAM, holding one superpanel of [`OocPlan::w`] columns in memory
+//! at a time. For each resident superpanel it first *replays* every
+//! previously factored inner panel — that panel's interchanges, a `b × b`
+//! unit-lower triangular solve, and a rank-`b` [`ca_kernels::par_gemm`]
+//! update, streamed from disk one column chunk at a time — and then runs
+//! the in-core CALU panel loop (tournament pivoting via
+//! [`ca_core::tslu`]) on the resident columns, exactly mirroring
+//! [`ca_core::calu_seq`]'s program order.
+//!
+//! Because each inner panel's updates are replayed per panel in ascending
+//! order with the very kernels the in-core path uses (whose per-element
+//! accumulation order does not depend on how many trailing columns a call
+//! covers — `par_gemm` is documented bitwise-identical to the serial
+//! `gemm` at every worker count), the factors written back to the store
+//! are **bitwise identical** to `calu_seq` output at the same `b`/`tr`,
+//! which the `ooc` test suite asserts.
+//!
+//! Interchanges for columns *left* of the resident superpanel (already on
+//! disk) are deferred — pure row swaps commute with nothing that touches
+//! those columns again — and applied in one fix-up sweep at the end.
+
+use crate::plan::{OocKind, OocPlan};
+use crate::store::{IoSnapshot, TileStore};
+use crate::pivots::apply_pivots_rebased;
+use ca_core::tslu::factor_panel_limited;
+use ca_core::{CaParams, FactorError, LuStats};
+use ca_kernels::{par_gemm, trsm_left_lower_unit, Kernel, Trans};
+use ca_matrix::PivotSeq;
+
+/// The result of an out-of-core LU factorization. The packed `L\U` factors
+/// live in the [`TileStore`] (which now holds `dgetrf`-layout output);
+/// only pivots and diagnostics come back in RAM.
+#[derive(Debug)]
+pub struct OocLu {
+    /// Global row interchanges (offset 0, length `min(m, n)`).
+    pub pivots: PivotSeq,
+    /// Per-inner-panel interchange sequences in panel order (offsets are
+    /// the panels' global diagonal columns) — kept so `Q`-style replay and
+    /// the fix-up sweep stay auditable.
+    pub panel_pivots: Vec<PivotSeq>,
+    /// First column where a panel hit an exactly-zero pivot, if any.
+    pub breakdown: Option<usize>,
+    /// Per-panel growth estimates and GEPP-fallback record.
+    pub stats: LuStats,
+    /// The residency plan the factorization ran under.
+    pub plan: OocPlan,
+    /// Tile-store transfer volume of the factorization (probe and import
+    /// traffic excluded — snapshot delta across the factorization only).
+    pub io: IoSnapshot,
+}
+
+/// Factors the store's matrix in place as `P·A = L·U` under `budget_bytes`
+/// of resident memory. `p` carries the usual CALU parameters (`b`, `tr`,
+/// tree shape, `threads` for the parallel trailing update).
+pub fn ooc_calu<T: Kernel>(
+    store: &TileStore<T>,
+    p: &CaParams,
+    budget_bytes: usize,
+) -> Result<OocLu, FactorError> {
+    let m = store.nrows();
+    let n = store.ncols();
+    let kmax = m.min(n);
+    let plan = OocPlan::solve(OocKind::Lu, m, n, p, T::BYTES, budget_bytes)?;
+    let io0 = store.io();
+
+    let mut panel_pivots: Vec<PivotSeq> = Vec::with_capacity(kmax.div_ceil(p.b));
+    let mut breakdown: Option<usize> = None;
+    let mut stats = LuStats::default();
+
+    for j in 0..plan.nsuper {
+        let c0s = plan.super_start(j);
+        let ws = plan.super_width(j);
+        let mut resident = store.read_cols(c0s, ws, 0)?;
+
+        // Replay every previously factored panel onto the resident columns,
+        // in panel order — interchanges, triangular solve, rank-k update —
+        // exactly as calu_seq would have applied them when it reached that
+        // panel, restricted to these columns.
+        for pv in &panel_pivots {
+            let k0 = pv.offset;
+            let k = pv.len();
+            pv.apply(resident.view_mut());
+            let chunk = store.read_cols(k0, k, k0)?; // [L_kk; L_below], (m-k0) × k
+            {
+                let u_row = resident.block_mut(k0, 0, k, ws);
+                trsm_left_lower_unit(chunk.block(0, 0, k, k), u_row);
+            }
+            if k0 + k < m {
+                let (top, below) = resident.view_mut().split_at_row(k0 + k);
+                let u_row = top.as_ref().sub(k0, 0, k, ws);
+                let l_below = chunk.block(k, 0, m - k0 - k, k);
+                par_gemm(p.threads, Trans::No, Trans::No, -T::ONE, l_below, u_row, T::ONE, below);
+            }
+        }
+
+        // In-core CALU over the resident columns (global diagonal k0).
+        let mut lc = 0usize;
+        while lc < ws {
+            let k0 = c0s + lc;
+            if k0 >= kmax {
+                break;
+            }
+            let w = p.b.min(ws - lc);
+            let k = w.min(m - k0);
+            let outcome = {
+                let panel = resident.block_mut(0, lc, m, w);
+                factor_panel_limited(panel, k0, p.b, p.tr, p.tree, !p.leaf_blas2, p.growth_limit)
+            };
+            if breakdown.is_none() {
+                breakdown = outcome.breakdown.map(|c| k0 + c);
+            }
+            stats.panel_growth.push(outcome.growth);
+            if outcome.fallback {
+                stats.fallback_panels.push(k0);
+            }
+
+            // Interchanges hit the trailing resident columns now. ALL
+            // columns to the left — resident or on disk — are deferred to
+            // the fix-up sweep: the replay of this panel onto later
+            // superpanels must read its `L` rows exactly as they were at
+            // factorization time, so already-factored columns stay
+            // unpermuted on disk until every panel is done.
+            if lc + w < ws {
+                outcome.pivots.apply(resident.block_mut(0, lc + w, m, ws - lc - w));
+            }
+
+            if lc + w < ws && k > 0 {
+                let (panel_cols, mut trailing) = resident.view_mut().split_at_col(lc + w);
+                let lkk = panel_cols.as_ref().sub(k0, lc, k, k);
+                let u_row = trailing.rb().into_sub(k0, 0, k, ws - lc - w);
+                trsm_left_lower_unit(lkk, u_row);
+                if k0 + k < m {
+                    let l_below = panel_cols.as_ref().sub(k0 + k, lc, m - k0 - k, k);
+                    let (u_row, a_below) = trailing.split_at_row(k0 + k);
+                    let u_row = u_row.as_ref().sub(k0, 0, k, ws - lc - w);
+                    par_gemm(
+                        p.threads,
+                        Trans::No,
+                        Trans::No,
+                        -T::ONE,
+                        l_below,
+                        u_row,
+                        T::ONE,
+                        a_below,
+                    );
+                }
+            }
+            panel_pivots.push(outcome.pivots);
+            lc += w;
+        }
+
+        store.write_cols(c0s, 0, &resident)?;
+    }
+
+    // Fix-up sweep: every factored panel still lacks the row swaps of the
+    // panels that came after it. Those swaps only touch rows at or below
+    // the later panels' diagonals, so for panel `q` (diagonal `k0`, width
+    // `w`) rows `0..k0+w` on disk are final and only rows `k0+w..m` need
+    // one streamed read-swap-write pass.
+    for (q, head) in panel_pivots.iter().enumerate() {
+        let k0 = head.offset;
+        let w = p.b.min(n - k0);
+        let base = k0 + w;
+        if base >= m || q + 1 == panel_pivots.len() {
+            continue;
+        }
+        let mut blk = store.read_cols(k0, w, base)?;
+        for pv in &panel_pivots[q + 1..] {
+            apply_pivots_rebased(pv, base, blk.view_mut());
+        }
+        store.write_cols(k0, base, &blk)?;
+    }
+
+    let mut pivots = PivotSeq::new(0);
+    for pv in &panel_pivots {
+        pivots.extend(pv);
+    }
+
+    Ok(OocLu {
+        pivots,
+        panel_pivots,
+        breakdown,
+        stats,
+        plan,
+        io: store.io().since(&io0),
+    })
+}

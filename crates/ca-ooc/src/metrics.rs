@@ -1,0 +1,86 @@
+//! Process-wide out-of-core I/O instruments.
+//!
+//! The tile store is constructed deep inside drivers, far from wherever a
+//! [`ca_telemetry::Registry`] lives, so the instruments are process
+//! globals: every [`crate::TileStore`] feeds the same three handles, and a
+//! registry *adopts* them (via [`ca_telemetry::Registry::adopt_counter`] /
+//! `adopt_histogram`) so its snapshots read the live atomics with no
+//! delta-sync.
+
+use ca_telemetry::{Counter, Histogram, Registry, LATENCY_BOUNDS};
+use std::sync::{Arc, OnceLock};
+
+/// The global out-of-core I/O instruments.
+#[derive(Debug)]
+pub struct OocMetrics {
+    /// Bytes read from tile stores since process start.
+    pub bytes_read: Arc<Counter>,
+    /// Bytes written to tile stores since process start.
+    pub bytes_written: Arc<Counter>,
+    /// Latency of each panel/chunk load, in seconds.
+    pub panel_load_seconds: Arc<Histogram>,
+}
+
+/// Returns the process-wide instruments, creating them on first use.
+pub fn ooc_metrics() -> &'static OocMetrics {
+    static METRICS: OnceLock<OocMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| OocMetrics {
+        bytes_read: Arc::new(Counter::new()),
+        bytes_written: Arc::new(Counter::new()),
+        panel_load_seconds: Arc::new(Histogram::new(LATENCY_BOUNDS)),
+    })
+}
+
+/// Registers the global instruments in `registry` so its snapshots and
+/// exposition include live out-of-core I/O totals.
+pub fn register_ooc_metrics(registry: &Registry) {
+    let m = ooc_metrics();
+    registry.adopt_counter(
+        "ooc_bytes_read_total",
+        "Bytes read from out-of-core tile stores",
+        &[],
+        m.bytes_read.clone(),
+    );
+    registry.adopt_counter(
+        "ooc_bytes_written_total",
+        "Bytes written to out-of-core tile stores",
+        &[],
+        m.bytes_written.clone(),
+    );
+    registry.adopt_histogram(
+        "ooc_panel_load_seconds",
+        "Latency of out-of-core panel/chunk loads",
+        &[],
+        m.panel_load_seconds.clone(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_instruments_reflect_live_globals() {
+        let reg = Registry::new();
+        register_ooc_metrics(&reg);
+        let before = ooc_metrics().bytes_read.get();
+        ooc_metrics().bytes_read.add(4096);
+        ooc_metrics().panel_load_seconds.observe(0.001);
+        let snap = reg.snapshot();
+        let fam = snap
+            .families
+            .iter()
+            .find(|f| f.name == "ooc_bytes_read_total")
+            .expect("family registered");
+        let got = match &fam.series[0].value {
+            ca_telemetry::SeriesValue::Counter(v) => *v,
+            other => panic!("unexpected series value {other:?}"),
+        };
+        assert!(got >= before + 4096, "snapshot {got} vs live {}", before + 4096);
+        // Re-registering in a second registry must reuse the same handles.
+        let reg2 = Registry::new();
+        register_ooc_metrics(&reg2);
+        ooc_metrics().bytes_written.add(1);
+        assert!(reg2.snapshot().families.iter().any(|f| f.name == "ooc_bytes_written_total"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Deferred-interchange application for partial-height blocks.
+
+use ca_matrix::{MatViewMut, PivotSeq, Scalar};
+
+/// Applies `pv` to a block whose first row is global row `base`: swap
+/// `offset + k ↔ ipiv[k]` in sequence with both indices rebased by `base`.
+///
+/// The fix-up sweep loads only rows `base..m` of an already-written
+/// superpanel, so every index must lie at or below `base` — true for the
+/// deferred interchanges by construction (a panel's swaps never reach
+/// above its own diagonal, and only panels *below* `base` are deferred).
+///
+/// # Panics
+/// If any interchange of `pv` touches a row above `base`.
+pub fn apply_pivots_rebased<T: Scalar>(pv: &PivotSeq, base: usize, mut a: MatViewMut<'_, T>) {
+    for (k, &p) in pv.ipiv.iter().enumerate() {
+        let r = pv.offset + k;
+        assert!(
+            r >= base && p >= base,
+            "interchange {r} <-> {p} reaches above the block base {base}"
+        );
+        a.swap_rows(r - base, p - base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_matrix::Matrix;
+
+    #[test]
+    fn rebased_application_matches_full_height() {
+        let mut full = Matrix::from_fn(8, 2, |i, j| (10 * i + j) as f64);
+        let mut tail = Matrix::from_fn(5, 2, |i, j| full[(3 + i, j)]);
+        let mut pv = PivotSeq::new(4);
+        pv.push(6);
+        pv.push(7);
+        pv.apply(full.view_mut());
+        apply_pivots_rebased(&pv, 3, tail.view_mut());
+        for i in 0..5 {
+            for j in 0..2 {
+                assert_eq!(tail[(i, j)], full[(3 + i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "above the block base")]
+    fn out_of_range_interchange_is_rejected() {
+        let mut a = Matrix::<f64>::zeros(4, 1);
+        let mut pv = PivotSeq::new(2);
+        pv.push(3);
+        apply_pivots_rebased(&pv, 3, a.view_mut());
+    }
+}

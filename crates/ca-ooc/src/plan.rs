@@ -1,0 +1,189 @@
+//! Memory planning: how wide a resident superpanel a byte budget affords.
+//!
+//! The left-looking drivers keep exactly one *superpanel* (all `m` rows of
+//! `w` consecutive columns) in RAM and stream everything else:
+//!
+//! * a prior panel's factor block enters as one `m' × b` column chunk at a
+//!   time (`m' ≤ m` rows from its diagonal down), so streaming costs one
+//!   chunk buffer, never a second superpanel;
+//! * CAQR additionally keeps the reduction tree's scratch (`LeafQ::t`,
+//!   `NodeQ::v`/`t`) in RAM for every factored panel — bounded by
+//!   `4·tr·b² `elements per panel since a partition has at most `tr`
+//!   groups, so `4·tr·b·min(m,n)` elements in total, which the QR plan
+//!   reserves up front.
+//!
+//! Superpanel width is the whole game for I/O volume: every prior panel is
+//! re-read once per later superpanel, so total reads scale with `n/w` and
+//! the measured traffic approaches the arXiv 0806.2159 lower bound as `w`
+//! approaches its budget-allowed maximum (see
+//! [`ca_kernels::traffic::ooc_lu_lower_bound`]).
+
+use ca_core::{CaParams, FactorError};
+
+/// Bytes kept aside for loop-local allocations (pivot vectors, stacked-R
+/// scratch inside TSLU/TSQR, transfer codec buffers).
+const SLACK_BYTES: usize = 1 << 20;
+
+/// Which factorization a plan is for (QR reserves tree scratch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OocKind {
+    /// Out-of-core CALU.
+    Lu,
+    /// Out-of-core CAQR.
+    Qr,
+}
+
+/// The resolved residency plan of one out-of-core factorization.
+#[derive(Clone, Debug)]
+pub struct OocPlan {
+    /// Factorization kind.
+    pub kind: OocKind,
+    /// Matrix rows.
+    pub m: usize,
+    /// Matrix columns.
+    pub n: usize,
+    /// Inner panel width `b` (identical to the in-core algorithm's).
+    pub b: usize,
+    /// Superpanel width: columns resident at once (multiple of `b`, except
+    /// possibly narrower than `b` never — the plan fails instead).
+    pub w: usize,
+    /// Number of superpanels (`⌈n/w⌉`).
+    pub nsuper: usize,
+    /// The memory budget the plan was solved for, in bytes.
+    pub budget_bytes: usize,
+    /// Bytes of the resident superpanel buffer (`m·w·elem`).
+    pub resident_bytes: usize,
+    /// Bytes reserved for one streamed column chunk (`m·b·elem`).
+    pub chunk_bytes: usize,
+    /// Bytes reserved for RAM-held Q-tree scratch (QR only, `0` for LU).
+    pub scratch_bytes: usize,
+}
+
+impl OocPlan {
+    /// Solves the residency plan for an `m × n` factorization of
+    /// `elem_bytes`-byte elements under `budget_bytes` of RAM.
+    ///
+    /// Fails with [`FactorError::Io`] when the budget cannot hold even one
+    /// `b`-wide superpanel plus the streaming chunk (and, for QR, the tree
+    /// scratch) — out-of-core needs `O(m·b)` resident memory as a floor.
+    pub fn solve(
+        kind: OocKind,
+        m: usize,
+        n: usize,
+        p: &CaParams,
+        elem_bytes: usize,
+        budget_bytes: usize,
+    ) -> Result<OocPlan, FactorError> {
+        assert!(m > 0 && n > 0, "empty matrix");
+        let b = p.b;
+        let col_bytes = m * elem_bytes;
+        let chunk_bytes = b * col_bytes;
+        let scratch_bytes = match kind {
+            OocKind::Lu => 0,
+            OocKind::Qr => 4 * p.tr * b * m.min(n) * elem_bytes,
+        };
+        let fixed = chunk_bytes + scratch_bytes + SLACK_BYTES;
+        let avail = budget_bytes.saturating_sub(fixed);
+        // Widest multiple of b that fits, capped at the whole matrix.
+        let w = (avail / col_bytes) / b * b;
+        let w = w.min(n.div_ceil(b) * b).min(n.max(b));
+        if w < b {
+            return Err(FactorError::Io {
+                op: "plan".into(),
+                message: format!(
+                    "memory budget {budget_bytes} B cannot hold a {m}x{b} superpanel \
+                     (+{fixed} B streaming/scratch reserve) for {kind:?}; \
+                     need at least {} B",
+                    fixed + chunk_bytes
+                ),
+            });
+        }
+        let w = w.min(n);
+        Ok(OocPlan {
+            kind,
+            m,
+            n,
+            b,
+            w,
+            nsuper: n.div_ceil(w),
+            budget_bytes,
+            resident_bytes: w * col_bytes,
+            chunk_bytes,
+            scratch_bytes,
+        })
+    }
+
+    /// First column of superpanel `j`.
+    pub fn super_start(&self, j: usize) -> usize {
+        j * self.w
+    }
+
+    /// Width of superpanel `j`.
+    pub fn super_width(&self, j: usize) -> usize {
+        self.w.min(self.n - j * self.w)
+    }
+
+    /// Peak planned RAM use in bytes (resident + chunk + scratch + slack).
+    pub fn planned_bytes(&self) -> usize {
+        self.resident_bytes + self.chunk_bytes + self.scratch_bytes + SLACK_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(b: usize, tr: usize) -> CaParams {
+        CaParams::new(b, tr, 1)
+    }
+
+    #[test]
+    fn plan_fills_the_budget_without_exceeding_it() {
+        // The acceptance-scale shape: 8192² f64 under 128 MiB.
+        let p = params(64, 2);
+        let plan = OocPlan::solve(OocKind::Lu, 8192, 8192, &p, 8, 128 << 20).unwrap();
+        assert!(plan.planned_bytes() <= 128 << 20, "plan overshoots: {plan:?}");
+        assert_eq!(plan.w % 64, 0);
+        // The matrix (512 MiB) is ≥ 4× the budget, so several superpanels.
+        assert!(plan.nsuper >= 4, "expected an actually-out-of-core plan: {plan:?}");
+        // And the width should not be pessimal: at least half the
+        // theoretical max budget/(m·elem).
+        assert!(plan.w >= 1024, "superpanel too narrow: {plan:?}");
+    }
+
+    #[test]
+    fn qr_plan_reserves_tree_scratch() {
+        let p = params(64, 2);
+        let lu = OocPlan::solve(OocKind::Lu, 8192, 8192, &p, 8, 128 << 20).unwrap();
+        let qr = OocPlan::solve(OocKind::Qr, 8192, 8192, &p, 8, 128 << 20).unwrap();
+        assert!(qr.scratch_bytes > 0 && qr.w < lu.w, "lu {lu:?} qr {qr:?}");
+        assert!(qr.planned_bytes() <= 128 << 20);
+    }
+
+    #[test]
+    fn in_core_sized_budget_degenerates_to_one_superpanel() {
+        let p = params(16, 2);
+        let plan = OocPlan::solve(OocKind::Lu, 100, 80, &p, 8, 1 << 30).unwrap();
+        assert_eq!(plan.nsuper, 1);
+        assert!(plan.w >= 80);
+    }
+
+    #[test]
+    fn impossible_budget_is_refused_with_io_error() {
+        let p = params(64, 2);
+        let e = OocPlan::solve(OocKind::Lu, 1 << 20, 1 << 20, &p, 8, 1 << 20).unwrap_err();
+        assert!(matches!(e, FactorError::Io { ref op, .. } if op == "plan"), "{e}");
+    }
+
+    #[test]
+    fn super_geometry_covers_all_columns() {
+        let p = params(8, 2);
+        let plan = OocPlan::solve(OocKind::Qr, 256, 200, &p, 8, 200 * 1024 + (1 << 21)).unwrap();
+        let mut cols = 0;
+        for j in 0..plan.nsuper {
+            assert_eq!(plan.super_start(j), cols);
+            cols += plan.super_width(j);
+        }
+        assert_eq!(cols, 200);
+    }
+}

@@ -1,0 +1,158 @@
+//! Left-looking out-of-core CAQR.
+//!
+//! [`ooc_caqr`] factors a [`TileStore`]-resident matrix with one resident
+//! superpanel, mirroring [`ca_core::caqr_seq`]'s program order. For each
+//! resident superpanel it first applies every previously factored panel's
+//! `Qᵀ` — leaf reflectors streamed from the store (they live below the
+//! diagonal of the factored panels on disk), tree-node reflectors from the
+//! RAM-held [`PanelQ`] scratch — then runs the in-core TSQR panel loop
+//! ([`ca_core::tsqr`]) on the resident columns.
+//!
+//! The Q-tree scratch (`LeafQ::t`, `NodeQ::v`/`t`) stays in RAM for the
+//! whole factorization: a panel's partition has at most `tr` groups, so
+//! the scratch is `O(tr·b²)` per panel and `O(tr·b·min(m,n))` overall —
+//! the QR plan reserves it out of the memory budget up front
+//! ([`crate::OocPlan::scratch_bytes`]).
+
+use crate::plan::{OocKind, OocPlan};
+use crate::store::{IoSnapshot, TileStore};
+use ca_core::params::partition_rows;
+use ca_core::tsqr::{leaf_apply, leaf_qr, node_apply, node_qr, plan_panel, LeafQ, PanelQ};
+use ca_core::{CaParams, FactorError};
+use ca_kernels::{larfb_left, Kernel, Trans};
+use ca_matrix::SharedMatrix;
+use core::ops::Range;
+
+/// The result of an out-of-core QR factorization. `R` and the leaf
+/// Householder vectors live in the [`TileStore`] (same packed layout as
+/// [`ca_core::QrFactors::a`]); the tree scratch comes back in RAM.
+#[derive(Debug)]
+pub struct OocQr<T: ca_matrix::Scalar = f64> {
+    /// Per-panel `Q` representation in factorization order. `PanelQ::c0`
+    /// holds the panel's *global* column (unlike the in-core path, the
+    /// reflectors are addressed in the store, not a resident matrix).
+    pub panels: Vec<PanelQ<T>>,
+    /// The residency plan the factorization ran under.
+    pub plan: OocPlan,
+    /// Tile-store transfer volume of the factorization.
+    pub io: IoSnapshot,
+}
+
+/// Factors the store's matrix in place as `A = Q·R` under `budget_bytes`
+/// of resident memory.
+pub fn ooc_caqr<T: Kernel>(
+    store: &TileStore<T>,
+    p: &CaParams,
+    budget_bytes: usize,
+) -> Result<OocQr<T>, FactorError> {
+    let m = store.nrows();
+    let n = store.ncols();
+    let kmax = m.min(n);
+    let plan = OocPlan::solve(OocKind::Qr, m, n, p, T::BYTES, budget_bytes)?;
+    let io0 = store.io();
+
+    let mut panels: Vec<PanelQ<T>> = Vec::with_capacity(kmax.div_ceil(p.b));
+
+    for j in 0..plan.nsuper {
+        let c0s = plan.super_start(j);
+        let ws = plan.super_width(j);
+        let sh = SharedMatrix::new(store.read_cols(c0s, ws, 0)?);
+
+        // Qᵀ of every previously factored panel, in panel order — the
+        // update caqr_seq interleaved with its own trailing loop, replayed
+        // verbatim on the resident columns.
+        for panel in &panels {
+            apply_panel_from_store(store, panel, &sh, 0..ws, Trans::Yes)?;
+        }
+
+        // In-core TSQR over the resident columns (global diagonal k0).
+        let mut lc = 0usize;
+        while lc < ws {
+            let k0 = c0s + lc;
+            if k0 >= kmax {
+                break;
+            }
+            let w = p.b.min(ws - lc);
+            let part = partition_rows(m, k0, p.b, p.tr);
+            let (_leaf_ks, plans) = plan_panel(&part, w, p.tree);
+            let trailing = (lc + w)..ws;
+
+            let mut leaves = Vec::with_capacity(part.ngroups());
+            for grp in 0..part.ngroups() {
+                let leaf = leaf_qr(&sh, lc, w, part.group(grp));
+                leaf_apply(&sh, lc, &leaf, &sh, trailing.clone(), Trans::Yes);
+                leaves.push(leaf);
+            }
+            let mut nodes = Vec::with_capacity(plans.len());
+            for node_plan in &plans {
+                let node = node_qr(&sh, lc, w, node_plan);
+                node_apply(&node, &sh, trailing.clone(), Trans::Yes);
+                nodes.push(node);
+            }
+            let k = (m - k0).min(w);
+            panels.push(PanelQ { k0, c0: c0s + lc, w, k, leaves, nodes });
+            lc += w;
+        }
+
+        store.write_cols(c0s, 0, &sh.into_inner())?;
+    }
+
+    Ok(OocQr { panels, plan, io: store.io().since(&io0) })
+}
+
+/// Applies `op(Q_leaf)` to columns `dcols` of `dst` with the reflector
+/// trapezoid streamed from the store at global column `c0` (the
+/// out-of-core twin of [`ca_core::tsqr::leaf_apply`]).
+// Mirrors the tsqr kernel helpers: the caller sequences applications so
+// the destination block is exclusively ours.
+#[allow(clippy::disallowed_methods)]
+pub fn leaf_apply_from_store<T: Kernel>(
+    store: &TileStore<T>,
+    c0: usize,
+    leaf: &LeafQ<T>,
+    dst: &SharedMatrix<T>,
+    dcols: Range<usize>,
+    trans: Trans,
+) -> Result<(), FactorError> {
+    if dcols.is_empty() {
+        return Ok(());
+    }
+    let r = leaf.rows.len();
+    let v = store.read_block(leaf.rows.start, r, c0, leaf.kv)?;
+    // SAFETY: sequential replay — no other view of dst is live.
+    let c = unsafe { dst.block_mut(leaf.rows.start, dcols.start, r, dcols.len()) };
+    larfb_left(trans, v.view(), leaf.t.view(), c);
+    Ok(())
+}
+
+/// Applies `op(Q_panel)` for a store-resident factored panel to columns
+/// `dcols` of `dst` (`panel.c0` is the panel's global column in the
+/// store). `Qᵀ` = leaves then nodes; `Q` = nodes in reverse then leaves —
+/// the out-of-core twin of [`ca_core::tsqr::panel_apply`].
+pub fn apply_panel_from_store<T: Kernel>(
+    store: &TileStore<T>,
+    panel: &PanelQ<T>,
+    dst: &SharedMatrix<T>,
+    dcols: Range<usize>,
+    trans: Trans,
+) -> Result<(), FactorError> {
+    match trans {
+        Trans::Yes => {
+            for leaf in &panel.leaves {
+                leaf_apply_from_store(store, panel.c0, leaf, dst, dcols.clone(), trans)?;
+            }
+            for node in &panel.nodes {
+                node_apply(node, dst, dcols.clone(), trans);
+            }
+        }
+        Trans::No => {
+            for node in panel.nodes.iter().rev() {
+                node_apply(node, dst, dcols.clone(), trans);
+            }
+            for leaf in &panel.leaves {
+                leaf_apply_from_store(store, panel.c0, leaf, dst, dcols.clone(), trans)?;
+            }
+        }
+    }
+    Ok(())
+}

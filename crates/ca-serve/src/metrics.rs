@@ -108,6 +108,9 @@ impl ServeMetrics {
     pub(crate) fn new(cfg: &TelemetryConfig) -> Arc<Self> {
         let registry = Arc::new(Registry::new());
         let r = &registry;
+        // Out-of-core transfer instruments share the process-wide handles,
+        // so `submit_lu_ooc` traffic shows up in every exposition/`top`.
+        ca_ooc::register_ooc_metrics(r);
         let task_recovery = TASK_RECOVERY_NAMES
             .iter()
             .map(|n| {

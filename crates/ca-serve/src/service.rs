@@ -1015,6 +1015,44 @@ impl Service {
         }
     }
 
+    /// Submits an out-of-core LU (left-looking CALU) factorization of the
+    /// matrix resident in `store`, running under `budget_bytes` of resident
+    /// memory (see [`ca_ooc::ooc_calu`]).
+    ///
+    /// The factorization is sequential by design — the disk, not the cores,
+    /// is the bottleneck, and only the trailing `par_gemm` update fans out
+    /// (within the job, governed by the effective [`CaParams::threads`]) —
+    /// so the job occupies exactly one pool task. Admission control,
+    /// fair-share weighting, and deadlines apply as usual under telemetry
+    /// class `"lu_ooc"`. On success the store holds the packed `L\U`
+    /// factors in place and the handle yields the pivots, plan, and I/O
+    /// accounting; on failure ([`FactorError`] rendered into the task
+    /// failure) the output slot stays empty and the store's contents are
+    /// unspecified.
+    pub fn submit_lu_ooc(
+        &self,
+        store: Arc<ca_ooc::TileStore<f64>>,
+        budget_bytes: usize,
+        opts: SubmitOptions,
+    ) -> Result<JobHandle<ca_ooc::OocLu>, ServeError> {
+        let p = self.params_for(&opts);
+        self.core.admit()?;
+        let (m, n) = (store.nrows() as f64, store.ncols() as f64);
+        let k = m.min(n);
+        let flops = m * n * k - (m + n) * k * k / 2.0 + k * k * k / 3.0;
+        let output: Arc<OnceLock<ca_ooc::OocLu>> = Arc::new(OnceLock::new());
+        let out = Arc::clone(&output);
+        let mut graph: TaskGraph<DynJob> = TaskGraph::new();
+        let body: DynJob = Box::new(move || {
+            let f = ca_ooc::ooc_calu(&store, &p, budget_bytes)
+                .map_err(|e| ca_sched::TaskFailure::new(e.to_string()))?;
+            let _ = out.set(f);
+            Ok(())
+        });
+        graph.add_task(TaskMeta::new(TaskLabel::new(TaskKind::Other, 0, 0, 0), flops), body);
+        Ok(self.submit_direct(ServeGraph { graph, output }, &opts, None, "lu_ooc"))
+    }
+
     /// Submits a factor-and-solve job for square `A·X = rhs` (CALU followed
     /// by the pivoted triangular solves). A singular `A` fails the job.
     ///

@@ -147,6 +147,55 @@ impl Registry {
         )
     }
 
+    /// Registers an *existing* counter handle as the series `name{labels}`.
+    ///
+    /// Process-global instruments (e.g. the out-of-core byte counters that
+    /// live in `ca-ooc` independently of any registry) can be adopted into
+    /// a registry this way: snapshots then read the shared atomics live, no
+    /// delta-sync needed. If the series already exists the registered
+    /// handle is returned and `handle` is dropped.
+    pub fn adopt_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        handle: Arc<Counter>,
+    ) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            move || Metric::Counter(handle),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers an *existing* histogram handle as the series
+    /// `name{labels}` — the histogram analogue of [`Registry::adopt_counter`].
+    pub fn adopt_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        handle: Arc<Histogram>,
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            move || Metric::Histogram(handle),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
     /// Point-in-time copy of every family and series.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let fams = self.families.lock().expect("registry poisoned");
@@ -372,6 +421,34 @@ mod tests {
         assert!(text.contains("serve_exec_seconds_bucket{tenant=\"a\",le=\"1\"} 2"), "{text}");
         assert!(text.contains("serve_exec_seconds_bucket{tenant=\"a\",le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("serve_exec_seconds_count{tenant=\"a\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn adopted_handles_are_read_live_by_snapshots() {
+        let r = Registry::new();
+        let external = Arc::new(Counter::new());
+        external.add(7);
+        let adopted = r.adopt_counter("ooc_bytes_read_total", "bytes", &[], external.clone());
+        assert_eq!(adopted.get(), 7);
+        external.add(3);
+        match &r.snapshot().families[0].series[0].value {
+            SeriesValue::Counter(10) => {}
+            v => panic!("unexpected {v:?}"),
+        }
+        // Re-adoption returns the registered handle, not a new series.
+        let again = r.adopt_counter("ooc_bytes_read_total", "bytes", &[], Arc::new(Counter::new()));
+        again.inc();
+        assert_eq!(external.get(), 11);
+
+        let h = Arc::new(Histogram::default());
+        h.observe(0.01);
+        r.adopt_histogram("ooc_panel_load_seconds", "load", &[], h.clone());
+        let snap = r.snapshot();
+        let fam = snap.families.iter().find(|f| f.name == "ooc_panel_load_seconds").unwrap();
+        match &fam.series[0].value {
+            SeriesValue::Histogram(hs) => assert_eq!(hs.count, 1),
+            v => panic!("unexpected {v:?}"),
+        }
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub mod serve {
     pub use ca_serve::*;
 }
 
+/// Out-of-core sequential CALU/CAQR: tile store, residency planning,
+/// left-looking drivers, streamed verification probes (`ca-ooc`).
+pub mod ooc {
+    pub use ca_ooc::*;
+}
+
 /// Always-on telemetry primitives: atomic counters/gauges, log-scale
 /// histograms, the metric registry, and atomic snapshot files
 /// (`ca-telemetry`).

@@ -44,7 +44,7 @@ fn factor_qr_writes_r_and_solve_reads_matrices() {
         .output()
         .expect("run cafactor");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let r = ca_factor::matrix::io::read_matrix_market_file(&r_path).unwrap();
+    let r: ca_factor::Matrix = ca_factor::matrix::io::read_matrix_market_file(&r_path).unwrap();
     assert_eq!(r.nrows(), 60);
     // R upper triangular.
     assert_eq!(r[(5, 2)], 0.0);

@@ -1,0 +1,114 @@
+//! Matrix Market I/O coverage at the integration tier: the sparse
+//! `coordinate` and `symmetric` paths, and the parser's behavior on
+//! malformed headers and truncated bodies — the failure modes a factorize
+//! CLI hits when fed real-world `.mtx` files.
+
+use ca_factor::matrix::io::{read_matrix_market, write_matrix_market, MmError};
+use ca_factor::matrix::Matrix;
+
+#[test]
+fn coordinate_general_materializes_all_triples() {
+    let src = "%%MatrixMarket matrix coordinate real general\n\
+               % comment line\n\
+               \n\
+               4 3 4\n\
+               1 1 1.5\n\
+               4 3 -2.25\n\
+               2 2 1e-3\n\
+               3 1 7\n";
+    let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
+    assert_eq!((a.nrows(), a.ncols()), (4, 3));
+    assert_eq!(a[(0, 0)], 1.5);
+    assert_eq!(a[(3, 2)], -2.25);
+    assert_eq!(a[(1, 1)], 1e-3);
+    assert_eq!(a[(2, 0)], 7.0);
+    // Unlisted entries are explicit zeros.
+    assert_eq!(a[(0, 2)], 0.0);
+}
+
+#[test]
+fn coordinate_symmetric_mirrors_off_diagonal_entries() {
+    let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+               3 3 3\n\
+               1 1 2.0\n\
+               3 1 -4.5\n\
+               3 2 0.125\n";
+    let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
+    assert_eq!(a[(2, 0)], -4.5);
+    assert_eq!(a[(0, 2)], -4.5, "upper mirror of (3,1)");
+    assert_eq!(a[(2, 1)], 0.125);
+    assert_eq!(a[(1, 2)], 0.125, "upper mirror of (3,2)");
+    assert_eq!(a[(0, 0)], 2.0, "diagonal entry must not be doubled");
+    // f32 reads the same stream.
+    let a32: Matrix<f32> = read_matrix_market(src.as_bytes()).unwrap();
+    assert_eq!(a32[(0, 2)], -4.5f32);
+}
+
+#[test]
+fn coordinate_symmetric_roundtrips_through_general_writer() {
+    let src = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 3.0\n2 1 0.5\n";
+    let a: Matrix = read_matrix_market(src.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, &a).unwrap();
+    let b: Matrix = read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn malformed_headers_are_rejected_with_parse_errors() {
+    let cases: &[(&str, &str)] = &[
+        ("", "empty stream"),
+        ("%%NotMatrixMarket matrix array real general\n1 1\n0\n", "bad banner token"),
+        ("%%MatrixMarket tensor array real general\n1 1\n0\n", "non-matrix object"),
+        ("%%MatrixMarket matrix\n1 1\n0\n", "too few header fields"),
+        ("%%MatrixMarket matrix elemental real general\n1 1\n0\n", "unknown format"),
+        ("%%MatrixMarket matrix array complex general\n1 1\n0 0\n", "unsupported field"),
+        ("%%MatrixMarket matrix array real hermitian\n1 1\n0\n", "unsupported symmetry"),
+        ("%%MatrixMarket matrix array real general\n% only comments follow\n", "missing size line"),
+        ("%%MatrixMarket matrix array real general\nx y\n", "non-numeric size entry"),
+        ("%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1.0\n", "coordinate size line needs nnz"),
+        ("%%MatrixMarket matrix array real symmetric\n2 3\n1\n2\n3\n4\n5\n", "symmetric must be square"),
+    ];
+    for (src, why) in cases {
+        let r = read_matrix_market::<f64>(src.as_bytes());
+        assert!(
+            matches!(r, Err(MmError::Parse(_))),
+            "expected parse error ({why}), got {r:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_bodies_are_rejected_not_zero_filled() {
+    // Array body one entry short.
+    let short_array = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n";
+    assert!(matches!(
+        read_matrix_market::<f64>(short_array.as_bytes()),
+        Err(MmError::Parse(_))
+    ));
+    // Coordinate body missing a whole triple.
+    let short_coo = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n";
+    assert!(matches!(
+        read_matrix_market::<f64>(short_coo.as_bytes()),
+        Err(MmError::Parse(_))
+    ));
+    // Coordinate body with a torn final triple (two tokens of three).
+    let torn = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n2 2\n";
+    assert!(matches!(read_matrix_market::<f64>(torn.as_bytes()), Err(MmError::Parse(_))));
+    // Symmetric array lower triangle one entry short.
+    let short_sym = "%%MatrixMarket matrix array real symmetric\n2 2\n1.0\n2.0\n";
+    assert!(matches!(
+        read_matrix_market::<f64>(short_sym.as_bytes()),
+        Err(MmError::Parse(_))
+    ));
+}
+
+#[test]
+fn oversized_bodies_and_bad_values_are_rejected() {
+    let extra = "%%MatrixMarket matrix array real general\n1 1\n1.0\n2.0\n";
+    assert!(matches!(read_matrix_market::<f64>(extra.as_bytes()), Err(MmError::Parse(_))));
+    let bad_value = "%%MatrixMarket matrix array real general\n1 1\nnope\n";
+    assert!(matches!(read_matrix_market::<f64>(bad_value.as_bytes()), Err(MmError::Parse(_))));
+    let bad_index = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+    assert!(matches!(read_matrix_market::<f64>(bad_index.as_bytes()), Err(MmError::Parse(_))));
+}

@@ -269,3 +269,49 @@ fn solve_and_lstsq_through_the_service_are_accurate() {
     assert!(norm_max(got_ls.sub_matrix(&want_ls).view()) < 1e-10, "lstsq vs reference");
     svc.shutdown();
 }
+
+/// The out-of-core submission path: a tile-store-resident matrix factored
+/// under a budget that forces streaming (multiple superpanels) produces
+/// factors bitwise identical to `calu_seq_factor`, through the service.
+#[test]
+fn out_of_core_lu_job_matches_in_core_bitwise() {
+    use ca_factor::ooc::{OocKind, OocPlan, TileStore};
+    use std::sync::Arc;
+
+    let svc = service(2);
+    let p = params();
+    let n = 96;
+    let a = random_uniform(n, n, &mut seeded_rng(0x00C));
+
+    let dir = std::env::temp_dir().join(format!("ca_serve_ooc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("lu_ooc.castore");
+    let store = TileStore::<f64>::create(&path, n, n, p.b).expect("create store");
+    store.import_matrix(&a).expect("import");
+
+    // Sized so the 96-column matrix needs three resident superpanels.
+    let budget = 1_090_864;
+    let plan = OocPlan::solve(OocKind::Lu, n, n, &p, 8, budget).expect("plan");
+    assert!(plan.nsuper > 1, "budget must force streaming, got nsuper={}", plan.nsuper);
+
+    let h = svc
+        .submit_lu_ooc(Arc::new(store), budget, SubmitOptions::default())
+        .expect("admits");
+    let f = h.wait().expect("ooc job completes");
+    assert!(f.io.bytes_read > 0 && f.io.bytes_written > 0, "I/O is accounted");
+
+    let reference = calu_seq_factor(a, &p);
+    let got = TileStore::<f64>::open(&path).expect("reopen").export_matrix().expect("export");
+    for j in 0..n {
+        for i in 0..n {
+            assert_eq!(
+                got[(i, j)].to_bits(),
+                reference.lu[(i, j)].to_bits(),
+                "L\\U mismatch at ({i},{j})"
+            );
+        }
+    }
+    assert_eq!(f.pivots.ipiv, reference.pivots.ipiv, "pivot sequences differ");
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
